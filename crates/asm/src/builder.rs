@@ -1,0 +1,341 @@
+//! Programmatic assembler frontend.
+//!
+//! [`Asm`] is a thin, chainable emitter over [`crate::ir::Program`] text
+//! items. The guest operating systems in `embsan-guestos` are written
+//! entirely against this API.
+//!
+//! # Example
+//!
+//! ```
+//! use embsan_asm::Asm;
+//! use embsan_emu::isa::Reg;
+//!
+//! let mut asm = Asm::new();
+//! asm.func("memset32");
+//! // a0 = dst, a1 = value, a2 = word count
+//! asm.label("memset32.loop");
+//! asm.beq(Reg::A2, Reg::R0, "memset32.done");
+//! asm.sw(Reg::A1, Reg::A0, 0);
+//! asm.addi(Reg::A0, Reg::A0, 4);
+//! asm.addi(Reg::A2, Reg::A2, -1);
+//! asm.jump("memset32.loop");
+//! asm.label("memset32.done");
+//! asm.ret();
+//! assert_eq!(asm.items().len(), 9);
+//! ```
+
+use embsan_emu::isa::{Insn, Reg};
+
+use crate::ir::{AInsn, Cond, TextItem};
+
+/// Chainable emitter of text items.
+#[derive(Debug, Clone, Default)]
+pub struct Asm {
+    items: Vec<TextItem>,
+}
+
+macro_rules! rrr {
+    ($($method:ident => $variant:ident),* $(,)?) => {
+        $(
+            #[doc = concat!("Emits `", stringify!($method), " rd, rs1, rs2`.")]
+            pub fn $method(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+                self.raw(Insn::$variant { rd, rs1, rs2 })
+            }
+        )*
+    };
+}
+
+macro_rules! rri {
+    ($($method:ident => $variant:ident),* $(,)?) => {
+        $(
+            #[doc = concat!("Emits `", stringify!($method), " rd, rs1, imm`.")]
+            pub fn $method(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+                self.raw(Insn::$variant { rd, rs1, imm })
+            }
+        )*
+    };
+}
+
+macro_rules! loads {
+    ($($method:ident => $variant:ident),* $(,)?) => {
+        $(
+            #[doc = concat!("Emits `", stringify!($method), " rd, [rs1+imm]`.")]
+            pub fn $method(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+                self.raw(Insn::$variant { rd, rs1, imm })
+            }
+        )*
+    };
+}
+
+macro_rules! stores {
+    ($($method:ident => $variant:ident),* $(,)?) => {
+        $(
+            #[doc = concat!("Emits `", stringify!($method), " rs2, [rs1+imm]`.")]
+            pub fn $method(&mut self, rs2: Reg, rs1: Reg, imm: i32) -> &mut Self {
+                self.raw(Insn::$variant { rs2, rs1, imm })
+            }
+        )*
+    };
+}
+
+macro_rules! branches {
+    ($($method:ident => $cond:ident),* $(,)?) => {
+        $(
+            #[doc = concat!("Emits a `", stringify!($method), "` branch to a label.")]
+            pub fn $method(&mut self, rs1: Reg, rs2: Reg, target: &str) -> &mut Self {
+                self.push(TextItem::Insn(AInsn::Branch {
+                    cond: Cond::$cond,
+                    rs1,
+                    rs2,
+                    target: target.to_string(),
+                }))
+            }
+        )*
+    };
+}
+
+impl Asm {
+    /// Creates an empty emitter.
+    pub fn new() -> Asm {
+        Asm::default()
+    }
+
+    /// The emitted items.
+    pub fn items(&self) -> &[TextItem] {
+        &self.items
+    }
+
+    /// Consumes the emitter, returning the items.
+    pub fn into_items(self) -> Vec<TextItem> {
+        self.items
+    }
+
+    /// Appends another emitter's items.
+    pub fn append(&mut self, other: Asm) -> &mut Self {
+        self.items.extend(other.items);
+        self
+    }
+
+    fn push(&mut self, item: TextItem) -> &mut Self {
+        self.items.push(item);
+        self
+    }
+
+    /// Emits a raw machine instruction.
+    pub fn raw(&mut self, insn: Insn) -> &mut Self {
+        self.push(TextItem::Insn(AInsn::Raw(insn)))
+    }
+
+    /// Starts a function (emits a function label).
+    pub fn func(&mut self, name: &str) -> &mut Self {
+        self.push(TextItem::Func(name.to_string()))
+    }
+
+    /// Emits a local label.
+    pub fn label(&mut self, name: &str) -> &mut Self {
+        self.push(TextItem::Label(name.to_string()))
+    }
+
+    rrr! {
+        add => Add, sub => Sub, and => And, or => Or, xor => Xor,
+        sll => Sll, srl => Srl, sra => Sra, mul => Mul, mulh => Mulh,
+        divu => Divu, remu => Remu, slt => Slt, sltu => Sltu,
+    }
+
+    rri! {
+        addi => Addi, andi => Andi, ori => Ori, xori => Xori,
+        slti => Slti, sltiu => Sltiu,
+    }
+
+    /// Emits `slli rd, rs1, shamt`.
+    pub fn slli(&mut self, rd: Reg, rs1: Reg, shamt: u8) -> &mut Self {
+        self.raw(Insn::Slli { rd, rs1, shamt })
+    }
+
+    /// Emits `srli rd, rs1, shamt`.
+    pub fn srli(&mut self, rd: Reg, rs1: Reg, shamt: u8) -> &mut Self {
+        self.raw(Insn::Srli { rd, rs1, shamt })
+    }
+
+    /// Emits `srai rd, rs1, shamt`.
+    pub fn srai(&mut self, rd: Reg, rs1: Reg, shamt: u8) -> &mut Self {
+        self.raw(Insn::Srai { rd, rs1, shamt })
+    }
+
+    loads! { lb => Lb, lbu => Lbu, lh => Lh, lhu => Lhu, lw => Lw }
+    stores! { sb => Sb, sh => Sh, sw => Sw }
+
+    /// Emits `amoadd.w rd, [rs1], rs2`.
+    pub fn amoadd(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.raw(Insn::AmoAddW { rd, rs1, rs2 })
+    }
+
+    /// Emits `amoswp.w rd, [rs1], rs2`.
+    pub fn amoswp(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.raw(Insn::AmoSwpW { rd, rs1, rs2 })
+    }
+
+    branches! {
+        beq => Eq, bne => Ne, blt => Lt, bltu => Ltu, bge => Ge, bgeu => Geu,
+    }
+
+    /// Loads a 32-bit constant into `rd`.
+    pub fn li(&mut self, rd: Reg, value: impl Into<i64>) -> &mut Self {
+        self.push(TextItem::Insn(AInsn::Li { rd, value: value.into() }))
+    }
+
+    /// Loads the address of `sym` into `rd`.
+    pub fn la(&mut self, rd: Reg, sym: &str) -> &mut Self {
+        self.push(TextItem::Insn(AInsn::La { rd, sym: sym.to_string(), offset: 0 }))
+    }
+
+    /// Loads the address of `sym + offset` into `rd`.
+    pub fn la_off(&mut self, rd: Reg, sym: &str, offset: i32) -> &mut Self {
+        self.push(TextItem::Insn(AInsn::La { rd, sym: sym.to_string(), offset }))
+    }
+
+    /// Unconditional jump to a label.
+    pub fn jump(&mut self, target: &str) -> &mut Self {
+        self.push(TextItem::Insn(AInsn::Jump { target: target.to_string() }))
+    }
+
+    /// Calls a function (return address in `lr`).
+    pub fn call(&mut self, target: &str) -> &mut Self {
+        self.push(TextItem::Insn(AInsn::Call { target: target.to_string() }))
+    }
+
+    /// Calls a function with the return address in an alternate register.
+    pub fn call_via(&mut self, link: Reg, target: &str) -> &mut Self {
+        self.push(TextItem::Insn(AInsn::CallVia { link, target: target.to_string() }))
+    }
+
+    /// Indirect call through a register (`jalr lr, rs1, 0`).
+    pub fn call_reg(&mut self, rs1: Reg) -> &mut Self {
+        self.raw(Insn::Jalr { rd: Reg::LR, rs1, imm: 0 })
+    }
+
+    /// Returns from a function (`jalr r0, lr, 0`).
+    pub fn ret(&mut self) -> &mut Self {
+        self.raw(Insn::Jalr { rd: Reg::R0, rs1: Reg::LR, imm: 0 })
+    }
+
+    /// Returns through an alternate link register.
+    pub fn ret_via(&mut self, link: Reg) -> &mut Self {
+        self.raw(Insn::Jalr { rd: Reg::R0, rs1: link, imm: 0 })
+    }
+
+    /// Copies `rs1` into `rd` (`addi rd, rs1, 0`).
+    pub fn mv(&mut self, rd: Reg, rs1: Reg) -> &mut Self {
+        self.addi(rd, rs1, 0)
+    }
+
+    /// Emits `ecall code`.
+    pub fn ecall(&mut self, code: u16) -> &mut Self {
+        self.raw(Insn::Ecall { code })
+    }
+
+    /// Emits `eret`.
+    pub fn eret(&mut self) -> &mut Self {
+        self.raw(Insn::Eret)
+    }
+
+    /// Emits a hypercall.
+    pub fn hyper(&mut self, nr: u32) -> &mut Self {
+        self.raw(Insn::Hyper { nr })
+    }
+
+    /// Reads a CSR.
+    pub fn csrr(&mut self, rd: Reg, idx: u16) -> &mut Self {
+        self.raw(Insn::Csrr { rd, idx })
+    }
+
+    /// Writes a CSR.
+    pub fn csrw(&mut self, rs1: Reg, idx: u16) -> &mut Self {
+        self.raw(Insn::Csrw { rs1, idx })
+    }
+
+    /// Emits `halt code`.
+    pub fn halt(&mut self, code: u16) -> &mut Self {
+        self.raw(Insn::Halt { code })
+    }
+
+    /// Emits `wfi`.
+    pub fn wfi(&mut self) -> &mut Self {
+        self.raw(Insn::Wfi)
+    }
+
+    /// Emits `nop`.
+    pub fn nop(&mut self) -> &mut Self {
+        self.raw(Insn::Nop)
+    }
+
+    /// Pushes `reg` onto the stack.
+    pub fn push_reg(&mut self, reg: Reg) -> &mut Self {
+        self.addi(Reg::SP, Reg::SP, -4);
+        self.sw(reg, Reg::SP, 0)
+    }
+
+    /// Pops the top of the stack into `reg`.
+    pub fn pop_reg(&mut self, reg: Reg) -> &mut Self {
+        self.lw(reg, Reg::SP, 0);
+        self.addi(Reg::SP, Reg::SP, 4)
+    }
+
+    /// Standard function prologue: saves `lr` and the given callee-saved
+    /// registers.
+    pub fn prologue(&mut self, saved: &[Reg]) -> &mut Self {
+        let frame = 4 * (saved.len() as i32 + 1);
+        self.addi(Reg::SP, Reg::SP, -frame);
+        self.sw(Reg::LR, Reg::SP, frame - 4);
+        for (i, reg) in saved.iter().enumerate() {
+            self.sw(*reg, Reg::SP, (i as i32) * 4);
+        }
+        self
+    }
+
+    /// Standard function epilogue matching [`Asm::prologue`]; ends with `ret`.
+    pub fn epilogue(&mut self, saved: &[Reg]) -> &mut Self {
+        let frame = 4 * (saved.len() as i32 + 1);
+        for (i, reg) in saved.iter().enumerate() {
+            self.lw(*reg, Reg::SP, (i as i32) * 4);
+        }
+        self.lw(Reg::LR, Reg::SP, frame - 4);
+        self.addi(Reg::SP, Reg::SP, frame);
+        self.ret()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_expected_items() {
+        let mut asm = Asm::new();
+        asm.func("f").li(Reg::R1, 5).call("g").ret();
+        let items = asm.items();
+        assert_eq!(items.len(), 4);
+        assert!(matches!(&items[0], TextItem::Func(n) if n == "f"));
+        assert!(matches!(&items[1], TextItem::Insn(AInsn::Li { value: 5, .. })));
+        assert!(matches!(&items[2], TextItem::Insn(AInsn::Call { .. })));
+    }
+
+    #[test]
+    fn prologue_epilogue_are_balanced() {
+        let mut asm = Asm::new();
+        asm.prologue(&[Reg::R7, Reg::R8]);
+        asm.epilogue(&[Reg::R7, Reg::R8]);
+        // 1 sp-adjust + 3 saves, 2 restores + 1 lr restore + 1 sp-adjust + ret
+        assert_eq!(asm.items().len(), 4 + 5);
+    }
+
+    #[test]
+    fn append_concatenates() {
+        let mut a = Asm::new();
+        a.nop();
+        let mut b = Asm::new();
+        b.halt(0);
+        a.append(b);
+        assert_eq!(a.items().len(), 2);
+    }
+}

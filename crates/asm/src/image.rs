@@ -1,0 +1,478 @@
+//! The EVFW firmware image format.
+//!
+//! A [`FirmwareImage`] is the linker's output and the unit of distribution:
+//! code, initialized data, the symbol table, the global-object table
+//! (sizes and redzones of sanitized globals) and build metadata, with a
+//! compact binary serialization. Closed-source firmware — like the paper's
+//! TP-Link VxWorks image — is modelled by [`FirmwareImage::strip`], which
+//! removes all symbol information so only dynamic probing can analyze it.
+
+use embsan_emu::machine::Machine;
+use embsan_emu::profile::{Arch, ArchProfile};
+use embsan_emu::EmuError;
+
+/// Magic bytes at the start of every serialized image.
+pub const MAGIC: &[u8; 4] = b"EVFW";
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+/// How the firmware was instrumented at build time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstrMode {
+    /// No compile-time instrumentation (EMBSAN-D territory).
+    None,
+    /// EMBSAN-C: sanitizer calls linked against the dummy (hypercall) library.
+    SanCall,
+    /// Compile-time instrumentation linked against a guest-native sanitizer
+    /// runtime (the paper's native KASAN/KCSAN baselines).
+    Native,
+}
+
+impl InstrMode {
+    fn to_u8(self) -> u8 {
+        match self {
+            InstrMode::None => 0,
+            InstrMode::SanCall => 1,
+            InstrMode::Native => 2,
+        }
+    }
+
+    fn from_u8(value: u8) -> Option<InstrMode> {
+        match value {
+            0 => Some(InstrMode::None),
+            1 => Some(InstrMode::SanCall),
+            2 => Some(InstrMode::Native),
+            _ => None,
+        }
+    }
+}
+
+/// Kind of a symbol-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SymbolKind {
+    /// A function entry point.
+    Func,
+    /// A data object.
+    Object,
+    /// A linker-synthesized location (heap bounds, stack top, …).
+    Synthetic,
+}
+
+impl SymbolKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            SymbolKind::Func => 0,
+            SymbolKind::Object => 1,
+            SymbolKind::Synthetic => 2,
+        }
+    }
+
+    fn from_u8(value: u8) -> Option<SymbolKind> {
+        match value {
+            0 => Some(SymbolKind::Func),
+            1 => Some(SymbolKind::Object),
+            2 => Some(SymbolKind::Synthetic),
+            _ => None,
+        }
+    }
+}
+
+/// A symbol-table entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Symbol {
+    /// Symbol name.
+    pub name: String,
+    /// Guest address.
+    pub addr: u32,
+    /// Size in bytes (0 if unknown; function sizes span to the next symbol).
+    pub size: u32,
+    /// Symbol kind.
+    pub kind: SymbolKind,
+}
+
+/// A sanitized global object with its redzone geometry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalObject {
+    /// Symbol name.
+    pub name: String,
+    /// Address of the object itself (not the redzone).
+    pub addr: u32,
+    /// Object size in bytes.
+    pub size: u32,
+    /// Redzone bytes before the object (0 if built without redzones).
+    pub redzone_before: u32,
+    /// Redzone bytes after the object.
+    pub redzone_after: u32,
+}
+
+/// Errors from [`FirmwareImage::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImageError {
+    /// Input ended before the structure was complete.
+    Truncated,
+    /// Magic bytes did not match.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// Unknown architecture, instrumentation mode or symbol kind tag.
+    BadTag(u8),
+    /// A string field was not valid UTF-8.
+    BadString,
+}
+
+impl std::fmt::Display for ImageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImageError::Truncated => write!(f, "truncated firmware image"),
+            ImageError::BadMagic => write!(f, "missing EVFW magic"),
+            ImageError::BadVersion(v) => write!(f, "unsupported image version {v}"),
+            ImageError::BadTag(t) => write!(f, "invalid tag byte {t:#x}"),
+            ImageError::BadString => write!(f, "invalid UTF-8 in image string"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}
+
+/// A linked firmware image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FirmwareImage {
+    /// Target architecture.
+    pub arch: Arch,
+    /// Instrumentation mode the image was built with.
+    pub instr: InstrMode,
+    /// Entry point address.
+    pub entry: u32,
+    /// ROM (text) base address.
+    pub rom_base: u32,
+    /// ROM contents.
+    pub text: Vec<u8>,
+    /// RAM base address.
+    pub ram_base: u32,
+    /// RAM size in bytes.
+    pub ram_size: u32,
+    /// Initialized-data records applied to RAM at load time.
+    pub data_init: Vec<(u32, Vec<u8>)>,
+    /// Address of the ready-to-run point (`None` if unknown/stripped).
+    pub ready: Option<u32>,
+    /// Symbol table (empty if stripped).
+    pub symbols: Vec<Symbol>,
+    /// Global-object table (empty if stripped or not instrumented).
+    pub globals: Vec<GlobalObject>,
+}
+
+impl FirmwareImage {
+    /// Looks up a symbol's address by name.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.iter().find(|s| s.name == name).map(|s| s.addr)
+    }
+
+    /// Finds the function symbol containing `addr`, if any.
+    pub fn function_at(&self, addr: u32) -> Option<&Symbol> {
+        self.symbols
+            .iter()
+            .filter(|s| s.kind == SymbolKind::Func && s.addr <= addr)
+            .filter(|s| s.size == 0 || addr < s.addr + s.size)
+            .max_by_key(|s| s.addr)
+    }
+
+    /// Whether the image carries symbol information.
+    pub fn has_symbols(&self) -> bool {
+        !self.symbols.is_empty()
+    }
+
+    /// Returns a copy with all symbol information, the global-object table
+    /// and the ready annotation removed — a closed-source binary-only image.
+    pub fn strip(&self) -> FirmwareImage {
+        FirmwareImage {
+            symbols: Vec::new(),
+            globals: Vec::new(),
+            ready: None,
+            ..self.clone()
+        }
+    }
+
+    /// Boots a machine from this image: builds a [`Machine`] for the image's
+    /// architecture profile, loads the ROM and applies data-init records.
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine construction and data-load errors.
+    pub fn boot_machine(&self, cpus: usize) -> Result<Machine, EmuError> {
+        let profile = ArchProfile::for_arch(self.arch);
+        let mut machine = Machine::builder(profile)
+            .rom(self.rom_base, &self.text)
+            .ram(self.ram_base, self.ram_size)
+            .cpus(cpus)
+            .entry(self.entry)
+            .build()?;
+        for (addr, bytes) in &self.data_init {
+            machine.bus_mut().write_bytes(*addr, bytes)?;
+        }
+        Ok(machine)
+    }
+
+    /// Serializes the image to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::default();
+        w.bytes(MAGIC);
+        w.u16(VERSION);
+        w.u8(match self.arch {
+            Arch::Armv => 0,
+            Arch::Mipsv => 1,
+            Arch::X86v => 2,
+        });
+        w.u8(self.instr.to_u8());
+        w.u32(self.entry);
+        w.u32(self.rom_base);
+        w.u32(self.ram_base);
+        w.u32(self.ram_size);
+        w.u32(self.ready.map_or(0, |r| r));
+        w.u32(self.text.len() as u32);
+        w.bytes(&self.text);
+        w.u32(self.data_init.len() as u32);
+        for (addr, bytes) in &self.data_init {
+            w.u32(*addr);
+            w.u32(bytes.len() as u32);
+            w.bytes(bytes);
+        }
+        w.u32(self.symbols.len() as u32);
+        for sym in &self.symbols {
+            w.u8(sym.kind.to_u8());
+            w.u32(sym.addr);
+            w.u32(sym.size);
+            w.str16(&sym.name);
+        }
+        w.u32(self.globals.len() as u32);
+        for g in &self.globals {
+            w.u32(g.addr);
+            w.u32(g.size);
+            w.u32(g.redzone_before);
+            w.u32(g.redzone_after);
+            w.str16(&g.name);
+        }
+        w.out
+    }
+
+    /// Parses an image from bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ImageError`] describing the first malformed field.
+    pub fn parse(input: &[u8]) -> Result<FirmwareImage, ImageError> {
+        let mut r = Reader { input, pos: 0 };
+        if r.take(4)? != MAGIC {
+            return Err(ImageError::BadMagic);
+        }
+        let version = r.u16()?;
+        if version != VERSION {
+            return Err(ImageError::BadVersion(version));
+        }
+        let arch = match r.u8()? {
+            0 => Arch::Armv,
+            1 => Arch::Mipsv,
+            2 => Arch::X86v,
+            t => return Err(ImageError::BadTag(t)),
+        };
+        let instr_tag = r.u8()?;
+        let instr = InstrMode::from_u8(instr_tag).ok_or(ImageError::BadTag(instr_tag))?;
+        let entry = r.u32()?;
+        let rom_base = r.u32()?;
+        let ram_base = r.u32()?;
+        let ram_size = r.u32()?;
+        let ready_raw = r.u32()?;
+        let text_len = r.u32()? as usize;
+        let text = r.take(text_len)?.to_vec();
+        let n_init = r.u32()?;
+        let mut data_init = Vec::with_capacity(n_init as usize);
+        for _ in 0..n_init {
+            let addr = r.u32()?;
+            let len = r.u32()? as usize;
+            data_init.push((addr, r.take(len)?.to_vec()));
+        }
+        let n_syms = r.u32()?;
+        let mut symbols = Vec::with_capacity(n_syms as usize);
+        for _ in 0..n_syms {
+            let kind_tag = r.u8()?;
+            let kind = SymbolKind::from_u8(kind_tag).ok_or(ImageError::BadTag(kind_tag))?;
+            let addr = r.u32()?;
+            let size = r.u32()?;
+            let name = r.str16()?;
+            symbols.push(Symbol { name, addr, size, kind });
+        }
+        let n_globals = r.u32()?;
+        let mut globals = Vec::with_capacity(n_globals as usize);
+        for _ in 0..n_globals {
+            let addr = r.u32()?;
+            let size = r.u32()?;
+            let redzone_before = r.u32()?;
+            let redzone_after = r.u32()?;
+            let name = r.str16()?;
+            globals.push(GlobalObject { name, addr, size, redzone_before, redzone_after });
+        }
+        Ok(FirmwareImage {
+            arch,
+            instr,
+            entry,
+            rom_base,
+            text,
+            ram_base,
+            ram_size,
+            data_init,
+            ready: if ready_raw == 0 { None } else { Some(ready_raw) },
+            symbols,
+            globals,
+        })
+    }
+}
+
+#[derive(Default)]
+struct Writer {
+    out: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.out.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+    fn bytes(&mut self, v: &[u8]) {
+        self.out.extend_from_slice(v);
+    }
+    fn str16(&mut self, s: &str) {
+        self.u16(s.len() as u16);
+        self.bytes(s.as_bytes());
+    }
+}
+
+struct Reader<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, len: usize) -> Result<&'a [u8], ImageError> {
+        if self.pos + len > self.input.len() {
+            return Err(ImageError::Truncated);
+        }
+        let slice = &self.input[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(slice)
+    }
+    fn u8(&mut self) -> Result<u8, ImageError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, ImageError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, ImageError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn str16(&mut self) -> Result<String, ImageError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ImageError::BadString)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_image() -> FirmwareImage {
+        FirmwareImage {
+            arch: Arch::Mipsv,
+            instr: InstrMode::SanCall,
+            entry: 0x2_0000,
+            rom_base: 0x2_0000,
+            text: vec![1, 2, 3, 4, 5, 6, 7, 8],
+            ram_base: 0x20_0000,
+            ram_size: 0x10_0000,
+            data_init: vec![(0x20_0000, vec![9, 9]), (0x20_0100, vec![7])],
+            ready: Some(0x2_0040),
+            symbols: vec![
+                Symbol { name: "main".into(), addr: 0x2_0000, size: 32, kind: SymbolKind::Func },
+                Symbol {
+                    name: "kmalloc".into(),
+                    addr: 0x2_0020,
+                    size: 64,
+                    kind: SymbolKind::Func,
+                },
+                Symbol {
+                    name: "__heap_start".into(),
+                    addr: 0x20_1000,
+                    size: 0,
+                    kind: SymbolKind::Synthetic,
+                },
+            ],
+            globals: vec![GlobalObject {
+                name: "g_table".into(),
+                addr: 0x20_0020,
+                size: 40,
+                redzone_before: 32,
+                redzone_after: 32,
+            }],
+        }
+    }
+
+    #[test]
+    fn serialize_parse_roundtrip() {
+        let image = sample_image();
+        let parsed = FirmwareImage::parse(&image.to_bytes()).unwrap();
+        assert_eq!(parsed, image);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(FirmwareImage::parse(b"EVF"), Err(ImageError::Truncated));
+        assert_eq!(FirmwareImage::parse(b"NOPE1234"), Err(ImageError::BadMagic));
+        let mut bytes = sample_image().to_bytes();
+        bytes[4] = 0xFF; // version
+        assert!(matches!(FirmwareImage::parse(&bytes), Err(ImageError::BadVersion(_))));
+        let mut bytes = sample_image().to_bytes();
+        bytes.truncate(bytes.len() - 3);
+        assert_eq!(FirmwareImage::parse(&bytes), Err(ImageError::Truncated));
+    }
+
+    #[test]
+    fn strip_removes_analysis_surface() {
+        let stripped = sample_image().strip();
+        assert!(!stripped.has_symbols());
+        assert!(stripped.globals.is_empty());
+        assert!(stripped.ready.is_none());
+        // But the runnable parts survive.
+        assert_eq!(stripped.text, sample_image().text);
+        assert_eq!(stripped.data_init, sample_image().data_init);
+    }
+
+    #[test]
+    fn symbol_queries() {
+        let image = sample_image();
+        assert_eq!(image.symbol("kmalloc"), Some(0x2_0020));
+        assert_eq!(image.symbol("missing"), None);
+        assert_eq!(image.function_at(0x2_0010).unwrap().name, "main");
+        assert_eq!(image.function_at(0x2_0020).unwrap().name, "kmalloc");
+        assert_eq!(image.function_at(0x2_0059).unwrap().name, "kmalloc");
+        assert!(image.function_at(0x2_0060).is_none());
+        assert!(image.function_at(0x1_0000).is_none());
+    }
+
+    #[test]
+    fn boot_machine_applies_data_init() {
+        let mut image = sample_image();
+        // Make the text a valid instruction stream (halt).
+        image.text = embsan_emu::isa::Insn::Halt { code: 0 }
+            .encode()
+            .to_bytes(embsan_emu::profile::Endian::Big)
+            .to_vec();
+        let mut machine = image.boot_machine(1).unwrap();
+        assert_eq!(machine.read_mem(0x20_0000, 1).unwrap(), 9);
+        assert_eq!(machine.read_mem(0x20_0100, 1).unwrap(), 7);
+        assert_eq!(machine.cpu(0).pc, 0x2_0000);
+    }
+}

@@ -1,0 +1,348 @@
+//! The EMBSAN-C compile-time instrumentation pass.
+//!
+//! This is the reproduction of "open-source firmware that supports
+//! compile-time sanitizer instrumentation" (§3.2, category 1): the pass
+//! rewrites a [`Program`] so that
+//!
+//! 1. every load/store/atomic is preceded by a call to a `__san_*` check
+//!    stub, with the effective address materialized in the reserved
+//!    instrumentation scratch register `r12` and the return address in the
+//!    alternate link register `r11` (so surrounding code is undisturbed);
+//! 2. the check stubs are provided by a generated *dummy sanitizer library*
+//!    whose bodies are a single trapping `hyper` instruction — the
+//!    platform-specific `vmcall` of the paper — unless the firmware links a
+//!    guest-native sanitizer runtime instead ([`InstrumentOptions::link_dummy_lib`]);
+//! 3. sanitized globals receive redzones (via the linker) and a generated
+//!    `__san_register_globals` routine registers each of them at boot.
+//!
+//! Functions listed in [`Program::no_instrument`] — boot code, allocator
+//! internals, and the sanitizer runtime itself — are left untouched, as are
+//! all `__san_*` functions.
+
+use embsan_emu::isa::{Insn, Reg};
+use embsan_emu::profile::{Arch, ArchProfile};
+
+use crate::builder::Asm;
+use crate::ir::{AInsn, Program, TextItem};
+use crate::sanabi::{self, check_nr, stub_name, stubs, GLOBAL_REDZONE, STUB_NAMES};
+
+/// Alternate link register used by check calls.
+pub const CHECK_LINK: Reg = Reg::R11;
+
+/// Options controlling the instrumentation pass.
+#[derive(Debug, Clone, Copy)]
+pub struct InstrumentOptions {
+    /// Target architecture (the dummy library marshals hypercall arguments
+    /// per this profile's convention).
+    pub arch: Arch,
+    /// Instrument memory accesses with check-stub calls.
+    pub checks: bool,
+    /// Emit the dummy (hypercall) sanitizer library. Set to `false` when the
+    /// firmware links a guest-native runtime providing the `__san_*` symbols.
+    pub link_dummy_lib: bool,
+    /// Give sanitized globals redzones and generate boot registration.
+    pub global_redzones: bool,
+    /// Emit kcov-style coverage beacons: each instrumented function entry
+    /// writes its identifier to the platform coverage port. Coarser than
+    /// the emulator's OS-agnostic edge coverage (function- rather than
+    /// edge-granular) — the comparison behind the Tardis-style collection
+    /// choice.
+    pub guest_coverage: bool,
+}
+
+impl InstrumentOptions {
+    /// The full EMBSAN-C configuration for `arch`.
+    pub fn embsan_c(arch: Arch) -> InstrumentOptions {
+        InstrumentOptions {
+            arch,
+            checks: true,
+            link_dummy_lib: true,
+            global_redzones: true,
+            guest_coverage: false,
+        }
+    }
+
+    /// Compile-time instrumentation for a guest-native sanitizer build: the
+    /// same checks and redzones, but the `__san_*` bodies come from the
+    /// firmware itself.
+    pub fn native(arch: Arch) -> InstrumentOptions {
+        InstrumentOptions {
+            arch,
+            checks: true,
+            link_dummy_lib: false,
+            global_redzones: true,
+            guest_coverage: false,
+        }
+    }
+}
+
+/// Classifies a memory instruction for instrumentation.
+fn access_of(insn: &Insn) -> Option<(Reg, i32, u8, bool, bool)> {
+    // (base, offset, size, is_write, atomic)
+    match *insn {
+        Insn::Lb { rs1, imm, .. } | Insn::Lbu { rs1, imm, .. } => Some((rs1, imm, 1, false, false)),
+        Insn::Lh { rs1, imm, .. } | Insn::Lhu { rs1, imm, .. } => Some((rs1, imm, 2, false, false)),
+        Insn::Lw { rs1, imm, .. } => Some((rs1, imm, 4, false, false)),
+        Insn::Sb { rs1, imm, .. } => Some((rs1, imm, 1, true, false)),
+        Insn::Sh { rs1, imm, .. } => Some((rs1, imm, 2, true, false)),
+        Insn::Sw { rs1, imm, .. } => Some((rs1, imm, 4, true, false)),
+        Insn::AmoAddW { rs1, .. } | Insn::AmoSwpW { rs1, .. } => Some((rs1, 0, 4, true, true)),
+        _ => None,
+    }
+}
+
+/// Runs the pass in place.
+///
+/// Returns the number of memory accesses instrumented.
+pub fn instrument(program: &mut Program, options: &InstrumentOptions) -> u32 {
+    let mut out: Vec<TextItem> = Vec::with_capacity(program.text.len() * 2);
+    let mut skip_current = false;
+    let mut count = 0u32;
+    let mut func_id = 0i64;
+    let profile = ArchProfile::for_arch(options.arch);
+    let cov_port = i64::from(profile.mmio_base + embsan_emu::device::COV_BASE);
+
+    if options.checks || options.guest_coverage {
+        for item in program.text.drain(..) {
+            match &item {
+                TextItem::Func(name) => {
+                    skip_current =
+                        name.starts_with("__san_") || program.no_instrument.contains(name);
+                    out.push(item);
+                    if options.guest_coverage && !skip_current {
+                        // kcov-style beacon: write the function id to the
+                        // coverage port using the reserved instrumentation
+                        // registers.
+                        func_id += 1;
+                        let mut beacon = Asm::new();
+                        beacon.li(Reg::SCRATCH, cov_port);
+                        beacon.li(CHECK_LINK, func_id);
+                        beacon.sw(CHECK_LINK, Reg::SCRATCH, 0);
+                        out.extend(beacon.into_items());
+                    }
+                }
+                TextItem::Label(_) => out.push(item),
+                TextItem::Insn(AInsn::Raw(raw)) if !skip_current && options.checks => {
+                    if let Some((base, offset, size, is_write, atomic)) = access_of(raw) {
+                        // r12 = base + offset; call __san_<kind><size> via r11.
+                        out.push(TextItem::Insn(AInsn::Raw(Insn::Addi {
+                            rd: Reg::SCRATCH,
+                            rs1: base,
+                            imm: offset,
+                        })));
+                        out.push(TextItem::Insn(AInsn::CallVia {
+                            link: CHECK_LINK,
+                            target: stub_name(size, is_write, atomic).to_string(),
+                        }));
+                        count += 1;
+                    }
+                    out.push(item);
+                }
+                _ => out.push(item),
+            }
+        }
+        program.text = out;
+    }
+
+    if options.link_dummy_lib {
+        append_dummy_library(program, &profile);
+    }
+    if options.global_redzones {
+        program.redzones = true;
+        append_global_registration(program);
+    }
+    // Everything we generated must never be re-instrumented.
+    for name in STUB_NAMES {
+        program.no_instrument.insert(name.to_string());
+    }
+    for name in [stubs::ALLOC, stubs::FREE, stubs::GLOBAL, stubs::READY, stubs::REGISTER_GLOBALS] {
+        program.no_instrument.insert(name.to_string());
+    }
+    count
+}
+
+/// Emits register moves placing standard-ABI arguments (`a0..`) into the
+/// profile's hypercall argument registers. Moves are emitted from the last
+/// argument to the first, which is safe for the (ascending) register
+/// assignments of all shipped profiles.
+fn marshal_hypercall_args(asm: &mut Asm, profile: &ArchProfile, argc: usize) {
+    let sources = [Reg::A0, Reg::A1, Reg::A2, Reg::A3];
+    for i in (0..argc).rev() {
+        let target = profile.hypercall.args[i];
+        let source = sources[i];
+        if target != source {
+            asm.mv(target, source);
+        }
+    }
+}
+
+/// Appends the dummy sanitizer library: check stubs trapping via `hyper`,
+/// plus the state-maintenance entry points.
+fn append_dummy_library(program: &mut Program, profile: &ArchProfile) {
+    let mut asm = Asm::new();
+    // Check stubs: address arrives in r12; return via r11.
+    for &(size, is_write, atomic) in &[
+        (1u8, false, false),
+        (2, false, false),
+        (4, false, false),
+        (1, true, false),
+        (2, true, false),
+        (4, true, false),
+        (4, true, true),
+    ] {
+        asm.func(stub_name(size, is_write, atomic));
+        asm.hyper(check_nr(size, is_write, atomic));
+        asm.ret_via(CHECK_LINK);
+    }
+    // __san_alloc(addr, size)
+    asm.func(stubs::ALLOC);
+    marshal_hypercall_args(&mut asm, profile, 2);
+    asm.hyper(sanabi::hyper::ALLOC);
+    asm.ret();
+    // __san_free(addr)
+    asm.func(stubs::FREE);
+    marshal_hypercall_args(&mut asm, profile, 1);
+    asm.hyper(sanabi::hyper::FREE);
+    asm.ret();
+    // __san_global(addr, size, redzone)
+    asm.func(stubs::GLOBAL);
+    marshal_hypercall_args(&mut asm, profile, 3);
+    asm.hyper(sanabi::hyper::REGISTER_GLOBAL);
+    asm.ret();
+    // __san_ready()
+    asm.func(stubs::READY);
+    asm.hyper(sanabi::hyper::READY);
+    asm.ret();
+    program.text.extend(asm.into_items());
+}
+
+/// Appends `__san_register_globals`, which registers every sanitized global
+/// with the sanitizer at boot (the analogue of ASan's module constructors).
+fn append_global_registration(program: &mut Program) {
+    let mut asm = Asm::new();
+    asm.func(stubs::REGISTER_GLOBALS);
+    asm.prologue(&[]);
+    for g in program.globals.iter().filter(|g| g.sanitize) {
+        asm.la(Reg::A0, &g.name);
+        asm.li(Reg::A1, i64::from(g.size));
+        asm.li(Reg::A2, i64::from(GLOBAL_REDZONE));
+        asm.call(stubs::GLOBAL);
+    }
+    asm.epilogue(&[]);
+    program.text.extend(asm.into_items());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::GlobalDef;
+    use crate::link::{link, LinkOptions};
+
+    fn base_program() -> Program {
+        let mut p = Program::new();
+        let mut asm = Asm::new();
+        asm.func("main");
+        asm.la(Reg::A0, "buf");
+        asm.lw(Reg::A1, Reg::A0, 0);
+        asm.sw(Reg::A1, Reg::A0, 4);
+        asm.call(stubs::REGISTER_GLOBALS);
+        asm.halt(0);
+        asm.func("raw_copy");
+        asm.lbu(Reg::A1, Reg::A0, 0);
+        asm.ret();
+        p.text = asm.into_items();
+        p.globals.push(GlobalDef::zeroed("buf", 16));
+        p
+    }
+
+    #[test]
+    fn inserts_checks_before_accesses() {
+        let mut p = base_program();
+        let n = instrument(&mut p, &InstrumentOptions::embsan_c(Arch::Armv));
+        assert_eq!(n, 3); // lw, sw, lbu
+        // Find the lw in main and verify the two preceding items.
+        let items = &p.text;
+        let lw_pos = items
+            .iter()
+            .position(|i| matches!(i, TextItem::Insn(AInsn::Raw(Insn::Lw { .. }))))
+            .unwrap();
+        assert!(matches!(
+            &items[lw_pos - 1],
+            TextItem::Insn(AInsn::CallVia { link, target })
+                if *link == CHECK_LINK && target == "__san_load4"
+        ));
+        assert!(matches!(
+            &items[lw_pos - 2],
+            TextItem::Insn(AInsn::Raw(Insn::Addi { rd: Reg::R12, .. }))
+        ));
+    }
+
+    #[test]
+    fn no_instrument_functions_are_skipped() {
+        let mut p = base_program();
+        p.no_instrument.insert("raw_copy".to_string());
+        let n = instrument(&mut p, &InstrumentOptions::embsan_c(Arch::Armv));
+        assert_eq!(n, 2); // only main's lw and sw
+    }
+
+    #[test]
+    fn dummy_library_and_registration_are_emitted_and_linkable() {
+        let mut p = base_program();
+        instrument(&mut p, &InstrumentOptions::embsan_c(Arch::X86v));
+        for name in STUB_NAMES {
+            assert!(p.defines_function(name), "missing {name}");
+        }
+        assert!(p.defines_function(stubs::ALLOC));
+        assert!(p.defines_function(stubs::REGISTER_GLOBALS));
+        assert!(p.redzones);
+        // And the whole thing links.
+        let image = link(&p, &LinkOptions::new(Arch::X86v)).unwrap();
+        assert_eq!(image.globals.len(), 1);
+        assert_eq!(image.globals[0].redzone_before, GLOBAL_REDZONE);
+    }
+
+    #[test]
+    fn native_mode_omits_dummy_library() {
+        let mut p = base_program();
+        instrument(&mut p, &InstrumentOptions::native(Arch::Armv));
+        assert!(!p.defines_function("__san_load4"));
+        // Checks were still inserted (they reference the now-external stubs).
+        assert!(p.text.iter().any(|i| matches!(
+            i,
+            TextItem::Insn(AInsn::CallVia { target, .. }) if target == "__san_load4"
+        )));
+    }
+
+    #[test]
+    fn pass_is_not_applied_twice_to_stubs() {
+        let mut p = base_program();
+        instrument(&mut p, &InstrumentOptions::embsan_c(Arch::Armv));
+        let words_once = p.code_words();
+        // Re-running instruments nothing new inside __san_* bodies; the only
+        // additions would be re-instrumenting main/raw_copy accesses, whose
+        // count must equal the first run (their originals), not grow with
+        // the inserted stubs.
+        let mut q = p.clone();
+        let n = instrument(&mut q, &InstrumentOptions::embsan_c(Arch::Armv));
+        assert_eq!(n, 3);
+        assert!(q.code_words() > words_once); // re-instrumented main only
+    }
+
+    #[test]
+    fn marshalling_handles_overlapping_registers() {
+        // x86v passes hypercall args in r2.. while the ABI args are r1..;
+        // moving in reverse order must preserve all values.
+        let profile = ArchProfile::x86v();
+        let mut asm = Asm::new();
+        marshal_hypercall_args(&mut asm, &profile, 3);
+        let moves: Vec<(Reg, Reg)> = asm
+            .items()
+            .iter()
+            .filter_map(|i| match i {
+                TextItem::Insn(AInsn::Raw(Insn::Addi { rd, rs1, imm: 0 })) => Some((*rd, *rs1)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(moves, vec![(Reg::R4, Reg::R3), (Reg::R3, Reg::R2), (Reg::R2, Reg::R1)]);
+    }
+}

@@ -1,0 +1,244 @@
+//! Assembly-level intermediate representation.
+//!
+//! A [`Program`] is the unit of firmware compilation: a text stream of
+//! labeled instructions, a set of global data objects, and build metadata.
+//! Instructions that need symbol resolution are represented by [`AInsn`]
+//! pseudo-ops; everything else passes through as a raw [`Insn`].
+
+use std::collections::BTreeSet;
+
+use embsan_emu::isa::{Insn, Reg};
+
+/// Branch condition of the [`AInsn::Branch`] pseudo-instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// `rs1 == rs2`
+    Eq,
+    /// `rs1 != rs2`
+    Ne,
+    /// signed `rs1 < rs2`
+    Lt,
+    /// unsigned `rs1 < rs2`
+    Ltu,
+    /// signed `rs1 >= rs2`
+    Ge,
+    /// unsigned `rs1 >= rs2`
+    Geu,
+}
+
+/// An assembler instruction: either a fully concrete machine instruction or
+/// a pseudo-instruction resolved at link time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AInsn {
+    /// A concrete machine instruction (no symbols).
+    Raw(Insn),
+    /// Load a 32-bit constant (expands to `addi` or `lui`+`ori`).
+    Li {
+        /// Destination register.
+        rd: Reg,
+        /// The constant; accepted range is `i32::MIN..=u32::MAX`.
+        value: i64,
+    },
+    /// Load the address of `sym + offset` (expands to `lui`+`ori`).
+    La {
+        /// Destination register.
+        rd: Reg,
+        /// Symbol name.
+        sym: String,
+        /// Byte offset added to the symbol address.
+        offset: i32,
+    },
+    /// Conditional branch to a label.
+    Branch {
+        /// Condition.
+        cond: Cond,
+        /// Left operand.
+        rs1: Reg,
+        /// Right operand.
+        rs2: Reg,
+        /// Target label.
+        target: String,
+    },
+    /// Unconditional jump to a label (`jal r0`).
+    Jump {
+        /// Target label.
+        target: String,
+    },
+    /// Call a function through the standard link register (`jal lr`).
+    Call {
+        /// Target function label.
+        target: String,
+    },
+    /// Call through an alternate link register (used by sanitizer
+    /// instrumentation so checks do not clobber `lr`).
+    CallVia {
+        /// Link register receiving the return address.
+        link: Reg,
+        /// Target function label.
+        target: String,
+    },
+}
+
+impl AInsn {
+    /// Number of machine words this pseudo-instruction expands to.
+    pub fn expansion_len(&self) -> u32 {
+        match self {
+            AInsn::Raw(_) | AInsn::Branch { .. } | AInsn::Jump { .. } | AInsn::Call { .. }
+            | AInsn::CallVia { .. } => 1,
+            AInsn::Li { value, .. } => {
+                if (-2048..2048).contains(value) {
+                    1
+                } else {
+                    2
+                }
+            }
+            AInsn::La { .. } => 2,
+        }
+    }
+}
+
+/// One item of the text section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TextItem {
+    /// A function-start label (participates in the symbol table as a
+    /// function; delimits instrumentation scopes).
+    Func(String),
+    /// A local label (branch target; not a function boundary).
+    Label(String),
+    /// An instruction.
+    Insn(AInsn),
+}
+
+/// A global data object placed in RAM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalDef {
+    /// Symbol name.
+    pub name: String,
+    /// Object size in bytes.
+    pub size: u32,
+    /// Optional initializer (shorter than `size` is zero-padded).
+    pub init: Option<Vec<u8>>,
+    /// Minimum alignment (power of two; at least 4 is enforced).
+    pub align: u32,
+    /// Whether the EMBSAN-C pass should give this object redzones. Plain
+    /// data (e.g. string constants) sets this to `false`.
+    pub sanitize: bool,
+}
+
+impl GlobalDef {
+    /// A sanitized, zero-initialized global of `size` bytes.
+    pub fn zeroed(name: &str, size: u32) -> GlobalDef {
+        GlobalDef { name: name.to_string(), size, init: None, align: 4, sanitize: true }
+    }
+
+    /// A sanitized global with an initializer.
+    pub fn with_init(name: &str, init: Vec<u8>) -> GlobalDef {
+        GlobalDef {
+            name: name.to_string(),
+            size: init.len() as u32,
+            init: Some(init),
+            align: 4,
+            sanitize: true,
+        }
+    }
+
+    /// An unsanitized data blob (no redzones even under EMBSAN-C).
+    pub fn plain(name: &str, init: Vec<u8>) -> GlobalDef {
+        GlobalDef {
+            name: name.to_string(),
+            size: init.len() as u32,
+            init: Some(init),
+            align: 4,
+            sanitize: false,
+        }
+    }
+}
+
+/// A complete firmware program before linking.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// The text stream (labels and instructions).
+    pub text: Vec<TextItem>,
+    /// Global data objects, laid out in declaration order.
+    pub globals: Vec<GlobalDef>,
+    /// Entry-point function name.
+    pub entry: String,
+    /// The "ready-to-run" symbol: the address the paper's workflow treats as
+    /// the end of system initialization.
+    pub ready: Option<String>,
+    /// Functions exempt from sanitizer instrumentation (boot code, allocator
+    /// internals, the sanitizer runtime itself).
+    pub no_instrument: BTreeSet<String>,
+    /// Heap bytes reserved after globals (symbols `__heap_start`/`__heap_end`).
+    pub heap_size: u32,
+    /// Whether sanitized globals get redzones (set by the instrumentation
+    /// pass; consumed by the linker).
+    pub redzones: bool,
+}
+
+impl Program {
+    /// Creates an empty program with a 64 KiB heap and entry `main`.
+    pub fn new() -> Program {
+        Program {
+            entry: "main".to_string(),
+            heap_size: 64 * 1024,
+            ..Program::default()
+        }
+    }
+
+    /// Iterates over the function names defined in the text stream.
+    pub fn functions(&self) -> impl Iterator<Item = &str> {
+        self.text.iter().filter_map(|item| match item {
+            TextItem::Func(name) => Some(name.as_str()),
+            _ => None,
+        })
+    }
+
+    /// Whether a function with the given name is defined.
+    pub fn defines_function(&self, name: &str) -> bool {
+        self.functions().any(|f| f == name)
+    }
+
+    /// Total number of instructions (after pseudo-expansion).
+    pub fn code_words(&self) -> u32 {
+        self.text
+            .iter()
+            .map(|item| match item {
+                TextItem::Insn(insn) => insn.expansion_len(),
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_lengths() {
+        assert_eq!(AInsn::Li { rd: Reg::R1, value: 100 }.expansion_len(), 1);
+        assert_eq!(AInsn::Li { rd: Reg::R1, value: -2048 }.expansion_len(), 1);
+        assert_eq!(AInsn::Li { rd: Reg::R1, value: 2048 }.expansion_len(), 2);
+        assert_eq!(AInsn::Li { rd: Reg::R1, value: 0xDEAD_BEEF }.expansion_len(), 2);
+        assert_eq!(
+            AInsn::La { rd: Reg::R1, sym: "x".into(), offset: 0 }.expansion_len(),
+            2
+        );
+        assert_eq!(AInsn::Raw(Insn::Nop).expansion_len(), 1);
+    }
+
+    #[test]
+    fn program_function_queries() {
+        let mut p = Program::new();
+        p.text.push(TextItem::Func("main".into()));
+        p.text.push(TextItem::Insn(AInsn::Raw(Insn::Nop)));
+        p.text.push(TextItem::Label("main.loop".into()));
+        p.text.push(TextItem::Insn(AInsn::Li { rd: Reg::R1, value: 70000 }));
+        p.text.push(TextItem::Func("helper".into()));
+        assert!(p.defines_function("main"));
+        assert!(p.defines_function("helper"));
+        assert!(!p.defines_function("main.loop"));
+        assert_eq!(p.code_words(), 3);
+    }
+}

@@ -1,0 +1,35 @@
+//! Firmware toolchain for EV32: assembler, linker, image format, and the
+//! EMBSAN-C compile-time instrumentation pass.
+//!
+//! This crate plays the role of the GCC/LLVM toolchain in the EMBSAN paper:
+//! guest firmware is written either programmatically against [`builder::Asm`]
+//! or as text assembly parsed by [`text::assemble`], linked by
+//! [`link::link`] into a [`image::FirmwareImage`], and optionally rewritten
+//! by [`instrument::instrument`] — the analogue of building a kernel with
+//! `-fsanitize` — which:
+//!
+//! - inserts calls to `__san_loadN`/`__san_storeN` stub functions before
+//!   every memory access,
+//! - implements those stubs as a *dummy sanitizer library* whose body is a
+//!   single trapping `hyper` instruction (the paper's `vmcall` trick), and
+//! - places redzones around sanitized global objects, with boot-time
+//!   registration calls.
+//!
+//! Firmware built *without* the pass can still be sanitized by EMBSAN-D,
+//! which intercepts allocator functions dynamically — at the cost of global
+//! redzone coverage, exactly the capability gap Table 2 of the paper shows.
+
+pub mod builder;
+pub mod image;
+pub mod instrument;
+pub mod ir;
+pub mod link;
+pub mod sanabi;
+pub mod text;
+
+pub use builder::Asm;
+pub use image::{FirmwareImage, ImageError, InstrMode, Symbol, SymbolKind};
+pub use instrument::{instrument, InstrumentOptions};
+pub use ir::{AInsn, Cond, GlobalDef, Program, TextItem};
+pub use link::{link, LinkError, LinkOptions};
+pub use text::{assemble, AsmError};

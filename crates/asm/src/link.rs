@@ -1,0 +1,492 @@
+//! Linker: address assignment, symbol resolution, pseudo-expansion, and
+//! image assembly.
+//!
+//! Layout decisions mirror a typical embedded firmware link:
+//!
+//! - text at the ROM base,
+//! - globals at the RAM base (with redzones when the program was built by
+//!   the EMBSAN-C pass),
+//! - a heap region after the globals (`__heap_start`/`__heap_end`),
+//! - stacks growing down from the top of RAM (`__stack_top`).
+
+use std::collections::BTreeMap;
+
+use embsan_emu::isa::{Insn, Reg};
+use embsan_emu::profile::{Arch, ArchProfile};
+
+use crate::image::{FirmwareImage, GlobalObject, InstrMode, Symbol, SymbolKind};
+use crate::ir::{AInsn, Cond, Program, TextItem};
+use crate::sanabi::GLOBAL_REDZONE;
+
+/// Linker configuration.
+#[derive(Debug, Clone)]
+pub struct LinkOptions {
+    /// Target architecture (selects the platform profile).
+    pub arch: Arch,
+    /// Total RAM size in bytes (default 4 MiB).
+    pub ram_size: u32,
+    /// Instrumentation mode recorded in the image header.
+    pub instr: InstrMode,
+}
+
+impl LinkOptions {
+    /// Default options for `arch`.
+    pub fn new(arch: Arch) -> LinkOptions {
+        LinkOptions { arch, ram_size: 4 * 1024 * 1024, instr: InstrMode::None }
+    }
+}
+
+/// Linker errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkError {
+    /// The same symbol was defined twice.
+    DuplicateSymbol(String),
+    /// A referenced symbol has no definition.
+    UndefinedSymbol(String),
+    /// A branch target is beyond the ±8 KiB branch range.
+    BranchOutOfRange {
+        /// Target label.
+        target: String,
+        /// The required byte offset.
+        offset: i64,
+    },
+    /// A jump/call target is beyond the ±2 MiB range.
+    JumpOutOfRange {
+        /// Target label.
+        target: String,
+        /// The required byte offset.
+        offset: i64,
+    },
+    /// An `li` constant does not fit in 32 bits.
+    ValueOutOfRange(i64),
+    /// Globals plus heap do not fit in RAM (leaving stack headroom).
+    RamOverflow {
+        /// Bytes required.
+        required: u32,
+        /// Bytes available.
+        available: u32,
+    },
+    /// The entry (or ready) symbol is not defined.
+    NoEntry(String),
+}
+
+impl std::fmt::Display for LinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinkError::DuplicateSymbol(name) => write!(f, "duplicate symbol `{name}`"),
+            LinkError::UndefinedSymbol(name) => write!(f, "undefined symbol `{name}`"),
+            LinkError::BranchOutOfRange { target, offset } => {
+                write!(f, "branch to `{target}` out of range ({offset} bytes)")
+            }
+            LinkError::JumpOutOfRange { target, offset } => {
+                write!(f, "jump to `{target}` out of range ({offset} bytes)")
+            }
+            LinkError::ValueOutOfRange(v) => write!(f, "constant {v} does not fit in 32 bits"),
+            LinkError::RamOverflow { required, available } => {
+                write!(f, "RAM overflow: need {required} bytes, have {available}")
+            }
+            LinkError::NoEntry(name) => write!(f, "entry symbol `{name}` is not defined"),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+/// Minimum RAM headroom reserved above the heap for stacks.
+const STACK_HEADROOM: u32 = 64 * 1024;
+
+fn align_up(value: u32, align: u32) -> u32 {
+    debug_assert!(align.is_power_of_two());
+    (value + align - 1) & !(align - 1)
+}
+
+/// Links a program into a firmware image.
+///
+/// # Errors
+///
+/// See [`LinkError`] for the failure modes: undefined/duplicate symbols,
+/// out-of-range branches or constants, RAM overflow, or a missing entry.
+pub fn link(program: &Program, options: &LinkOptions) -> Result<FirmwareImage, LinkError> {
+    let profile = ArchProfile::for_arch(options.arch);
+
+    // Pass 1: assign text addresses to every label.
+    let mut labels: BTreeMap<String, u32> = BTreeMap::new();
+    let mut funcs: Vec<(String, u32)> = Vec::new();
+    let mut addr = profile.rom_base;
+    for item in &program.text {
+        match item {
+            TextItem::Func(name) | TextItem::Label(name) => {
+                if labels.insert(name.clone(), addr).is_some() {
+                    return Err(LinkError::DuplicateSymbol(name.clone()));
+                }
+                if matches!(item, TextItem::Func(_)) {
+                    funcs.push((name.clone(), addr));
+                }
+            }
+            TextItem::Insn(insn) => addr += 4 * insn.expansion_len(),
+        }
+    }
+    let text_end = addr;
+
+    // Global layout in RAM.
+    let mut globals_out: Vec<GlobalObject> = Vec::new();
+    let mut data_init: Vec<(u32, Vec<u8>)> = Vec::new();
+    let mut objects: Vec<Symbol> = Vec::new();
+    let mut cursor = profile.ram_base;
+    for g in &program.globals {
+        let redzoned = program.redzones && g.sanitize;
+        let align = if redzoned { g.align.max(8) } else { g.align.max(4) };
+        cursor = align_up(cursor, align);
+        let (rz_before, rz_after) = if redzoned {
+            let padded = align_up(g.size.max(1), 8);
+            (GLOBAL_REDZONE, GLOBAL_REDZONE + (padded - g.size))
+        } else {
+            (0, 0)
+        };
+        cursor += rz_before;
+        let g_addr = cursor;
+        cursor += g.size + rz_after;
+        if labels.insert(g.name.clone(), g_addr).is_some() {
+            return Err(LinkError::DuplicateSymbol(g.name.clone()));
+        }
+        objects.push(Symbol {
+            name: g.name.clone(),
+            addr: g_addr,
+            size: g.size,
+            kind: SymbolKind::Object,
+        });
+        if g.sanitize {
+            globals_out.push(GlobalObject {
+                name: g.name.clone(),
+                addr: g_addr,
+                size: g.size,
+                redzone_before: rz_before,
+                redzone_after: rz_after,
+            });
+        }
+        if let Some(init) = &g.init {
+            let mut bytes = init.clone();
+            bytes.resize(g.size as usize, 0);
+            data_init.push((g_addr, bytes));
+        }
+    }
+
+    // Heap and stack bounds.
+    let heap_start = align_up(cursor, 4096);
+    let heap_end = heap_start + program.heap_size;
+    let ram_end = profile.ram_base + options.ram_size;
+    if heap_end + STACK_HEADROOM > ram_end {
+        return Err(LinkError::RamOverflow {
+            required: heap_end + STACK_HEADROOM - profile.ram_base,
+            available: options.ram_size,
+        });
+    }
+    let synthetic = [
+        ("__heap_start", heap_start),
+        ("__heap_end", heap_end),
+        ("__stack_top", ram_end),
+        ("__ram_start", profile.ram_base),
+        ("__ram_end", ram_end),
+        ("__text_end", text_end),
+    ];
+    for (name, value) in synthetic {
+        if labels.insert(name.to_string(), value).is_some() {
+            return Err(LinkError::DuplicateSymbol(name.to_string()));
+        }
+    }
+
+    // Pass 2: encode.
+    let resolve = |name: &str| -> Result<u32, LinkError> {
+        labels
+            .get(name)
+            .copied()
+            .ok_or_else(|| LinkError::UndefinedSymbol(name.to_string()))
+    };
+    let mut words: Vec<Insn> = Vec::new();
+    let mut pc = profile.rom_base;
+    for item in &program.text {
+        let insn = match item {
+            TextItem::Func(_) | TextItem::Label(_) => continue,
+            TextItem::Insn(insn) => insn,
+        };
+        match insn {
+            AInsn::Raw(raw) => words.push(*raw),
+            AInsn::Li { rd, value } => {
+                if *value > i64::from(u32::MAX) || *value < i64::from(i32::MIN) {
+                    return Err(LinkError::ValueOutOfRange(*value));
+                }
+                emit_li(&mut words, *rd, *value as u32, (-2048..2048).contains(value));
+            }
+            AInsn::La { rd, sym, offset } => {
+                let target = resolve(sym)?.wrapping_add(*offset as u32);
+                emit_li(&mut words, *rd, target, false);
+            }
+            AInsn::Branch { cond, rs1, rs2, target } => {
+                let t = resolve(target)?;
+                let offset = i64::from(t) - i64::from(pc);
+                if !(-8192..8192).contains(&offset) {
+                    return Err(LinkError::BranchOutOfRange { target: target.clone(), offset });
+                }
+                let offset = offset as i32;
+                let (rs1, rs2) = (*rs1, *rs2);
+                words.push(match cond {
+                    Cond::Eq => Insn::Beq { rs1, rs2, offset },
+                    Cond::Ne => Insn::Bne { rs1, rs2, offset },
+                    Cond::Lt => Insn::Blt { rs1, rs2, offset },
+                    Cond::Ltu => Insn::Bltu { rs1, rs2, offset },
+                    Cond::Ge => Insn::Bge { rs1, rs2, offset },
+                    Cond::Geu => Insn::Bgeu { rs1, rs2, offset },
+                });
+            }
+            AInsn::Jump { target } | AInsn::Call { target } | AInsn::CallVia { target, .. } => {
+                let t = resolve(target)?;
+                let offset = i64::from(t) - i64::from(pc);
+                if !(-(1 << 21)..(1 << 21)).contains(&offset) {
+                    return Err(LinkError::JumpOutOfRange { target: target.clone(), offset });
+                }
+                let rd = match insn {
+                    AInsn::Jump { .. } => Reg::ZERO,
+                    AInsn::Call { .. } => Reg::LR,
+                    AInsn::CallVia { link, .. } => *link,
+                    _ => unreachable!(),
+                };
+                words.push(Insn::Jal { rd, offset: offset as i32 });
+            }
+        }
+        pc += 4 * insn.expansion_len();
+    }
+    debug_assert_eq!(pc, text_end);
+
+    let mut text = Vec::with_capacity(words.len() * 4);
+    for word in &words {
+        text.extend_from_slice(&word.encode().to_bytes(profile.endian));
+    }
+
+    // Function sizes: span to the next function (or text end).
+    let mut symbols: Vec<Symbol> = Vec::new();
+    for (i, (name, f_addr)) in funcs.iter().enumerate() {
+        let end = funcs.get(i + 1).map_or(text_end, |(_, next)| *next);
+        symbols.push(Symbol {
+            name: name.clone(),
+            addr: *f_addr,
+            size: end - f_addr,
+            kind: SymbolKind::Func,
+        });
+    }
+    symbols.extend(objects);
+    for (name, value) in synthetic {
+        symbols.push(Symbol {
+            name: name.to_string(),
+            addr: value,
+            size: 0,
+            kind: SymbolKind::Synthetic,
+        });
+    }
+
+    let entry = resolve(&program.entry).map_err(|_| LinkError::NoEntry(program.entry.clone()))?;
+    let ready = match &program.ready {
+        Some(name) => {
+            Some(resolve(name).map_err(|_| LinkError::NoEntry(name.clone()))?)
+        }
+        None => None,
+    };
+
+    Ok(FirmwareImage {
+        arch: options.arch,
+        instr: options.instr,
+        entry,
+        rom_base: profile.rom_base,
+        text,
+        ram_base: profile.ram_base,
+        ram_size: options.ram_size,
+        data_init,
+        ready,
+        symbols,
+        globals: globals_out,
+    })
+}
+
+/// Emits the expansion of `li`/`la`: one `addi` when `small`, else
+/// `lui` + `ori`.
+fn emit_li(words: &mut Vec<Insn>, rd: Reg, value: u32, small: bool) {
+    if small {
+        words.push(Insn::Addi { rd, rs1: Reg::ZERO, imm: value as i32 });
+    } else {
+        words.push(Insn::Lui { rd, imm: value & 0xFFFF_F000 });
+        words.push(Insn::Ori { rd, rs1: rd, imm: (value & 0xFFF) as i32 });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Asm;
+    use crate::ir::GlobalDef;
+    use embsan_emu::hook::NullHook;
+    use embsan_emu::machine::RunExit;
+
+    fn simple_program() -> Program {
+        let mut p = Program::new();
+        let mut asm = Asm::new();
+        asm.func("main");
+        asm.la(Reg::A0, "counter");
+        asm.li(Reg::A1, 5);
+        asm.label("main.loop");
+        asm.beq(Reg::A1, Reg::R0, "main.done");
+        asm.lw(Reg::A2, Reg::A0, 0);
+        asm.addi(Reg::A2, Reg::A2, 1);
+        asm.sw(Reg::A2, Reg::A0, 0);
+        asm.addi(Reg::A1, Reg::A1, -1);
+        asm.jump("main.loop");
+        asm.label("main.done");
+        asm.halt(0);
+        p.text = asm.into_items();
+        p.globals.push(GlobalDef::zeroed("counter", 4));
+        p
+    }
+
+    #[test]
+    fn linked_program_executes() {
+        for arch in Arch::ALL {
+            let image = link(&simple_program(), &LinkOptions::new(arch)).unwrap();
+            let mut machine = image.boot_machine(1).unwrap();
+            let exit = machine.run(&mut NullHook, 10_000).unwrap();
+            assert_eq!(exit, RunExit::Halted { code: 0 }, "arch {arch:?}");
+            let counter = image.symbol("counter").unwrap();
+            assert_eq!(machine.read_mem(counter, 4).unwrap(), 5, "arch {arch:?}");
+        }
+    }
+
+    #[test]
+    fn data_init_is_applied() {
+        let mut p = Program::new();
+        let mut asm = Asm::new();
+        asm.func("main");
+        asm.la(Reg::A0, "msg");
+        asm.lbu(Reg::A1, Reg::A0, 1);
+        asm.halt(0);
+        p.text = asm.into_items();
+        p.globals.push(GlobalDef::with_init("msg", b"hey".to_vec()));
+        let image = link(&p, &LinkOptions::new(Arch::Mipsv)).unwrap();
+        let mut machine = image.boot_machine(1).unwrap();
+        machine.run(&mut NullHook, 100).unwrap();
+        assert_eq!(machine.cpu(0).regs.read(Reg::A1), u32::from(b'e'));
+    }
+
+    #[test]
+    fn redzones_only_when_enabled() {
+        let mut p = simple_program();
+        let plain = link(&p, &LinkOptions::new(Arch::Armv)).unwrap();
+        assert_eq!(plain.globals[0].redzone_before, 0);
+
+        p.redzones = true;
+        let zoned = link(&p, &LinkOptions::new(Arch::Armv)).unwrap();
+        assert_eq!(zoned.globals[0].redzone_before, GLOBAL_REDZONE);
+        assert!(zoned.globals[0].redzone_after >= GLOBAL_REDZONE);
+        // The object itself moved up by the leading redzone.
+        assert_eq!(zoned.globals[0].addr, plain.globals[0].addr + GLOBAL_REDZONE);
+    }
+
+    #[test]
+    fn synthetic_symbols_are_ordered() {
+        let image = link(&simple_program(), &LinkOptions::new(Arch::Armv)).unwrap();
+        let heap_start = image.symbol("__heap_start").unwrap();
+        let heap_end = image.symbol("__heap_end").unwrap();
+        let stack_top = image.symbol("__stack_top").unwrap();
+        let counter = image.symbol("counter").unwrap();
+        assert!(counter < heap_start);
+        assert!(heap_start < heap_end);
+        assert!(heap_end < stack_top);
+        assert_eq!(heap_start % 4096, 0);
+    }
+
+    #[test]
+    fn function_sizes_span_to_next() {
+        let mut p = Program::new();
+        let mut asm = Asm::new();
+        asm.func("main").nop().nop().halt(0);
+        asm.func("second").ret();
+        p.text = asm.into_items();
+        let image = link(&p, &LinkOptions::new(Arch::Armv)).unwrap();
+        let main = image.symbols.iter().find(|s| s.name == "main").unwrap();
+        let second = image.symbols.iter().find(|s| s.name == "second").unwrap();
+        assert_eq!(main.size, 12);
+        assert_eq!(second.addr, main.addr + 12);
+        assert_eq!(second.size, 4);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        // Undefined symbol.
+        let mut p = Program::new();
+        let mut asm = Asm::new();
+        asm.func("main").call("nowhere").halt(0);
+        p.text = asm.into_items();
+        assert_eq!(
+            link(&p, &LinkOptions::new(Arch::Armv)).unwrap_err(),
+            LinkError::UndefinedSymbol("nowhere".into())
+        );
+
+        // Duplicate symbol.
+        let mut p = Program::new();
+        let mut asm = Asm::new();
+        asm.func("main").halt(0);
+        asm.func("main");
+        p.text = asm.into_items();
+        assert!(matches!(
+            link(&p, &LinkOptions::new(Arch::Armv)),
+            Err(LinkError::DuplicateSymbol(_))
+        ));
+
+        // Missing entry.
+        let mut p = Program::new();
+        p.entry = "absent".into();
+        let mut asm = Asm::new();
+        asm.func("main").halt(0);
+        p.text = asm.into_items();
+        assert!(matches!(link(&p, &LinkOptions::new(Arch::Armv)), Err(LinkError::NoEntry(_))));
+
+        // Value out of range.
+        let mut p = Program::new();
+        let mut asm = Asm::new();
+        asm.func("main").li(Reg::R1, 1i64 << 40).halt(0);
+        p.text = asm.into_items();
+        assert!(matches!(
+            link(&p, &LinkOptions::new(Arch::Armv)),
+            Err(LinkError::ValueOutOfRange(_))
+        ));
+
+        // RAM overflow.
+        let mut p = simple_program();
+        p.heap_size = 16 * 1024 * 1024;
+        assert!(matches!(
+            link(&p, &LinkOptions::new(Arch::Armv)),
+            Err(LinkError::RamOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn branch_out_of_range_detected() {
+        let mut p = Program::new();
+        let mut asm = Asm::new();
+        asm.func("main");
+        asm.beq(Reg::R0, Reg::R0, "far");
+        for _ in 0..3000 {
+            asm.nop();
+        }
+        asm.label("far");
+        asm.halt(0);
+        p.text = asm.into_items();
+        assert!(matches!(
+            link(&p, &LinkOptions::new(Arch::Armv)),
+            Err(LinkError::BranchOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn image_roundtrips_through_bytes() {
+        let image = link(&simple_program(), &LinkOptions::new(Arch::X86v)).unwrap();
+        let parsed = FirmwareImage::parse(&image.to_bytes()).unwrap();
+        assert_eq!(parsed, image);
+    }
+}

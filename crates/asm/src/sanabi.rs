@@ -1,0 +1,161 @@
+//! The sanitizer hypercall ABI shared between compile-time instrumentation
+//! and the EMBSAN runtime.
+//!
+//! Firmware built with the EMBSAN-C pass is linked against a *dummy
+//! sanitizer library* in which each sanitizer API is one trapping `hyper`
+//! instruction (§3.2 of the paper). The hypercall numbers and argument
+//! conventions below are that library's contract:
+//!
+//! - **Access checks** (`CHECK_*`): the faulting-candidate address is passed
+//!   in the dedicated instrumentation scratch register
+//!   [`Reg::SCRATCH`](embsan_emu::isa::Reg::SCRATCH) (`r12`), because check
+//!   calls use the lightweight `call_via r11` convention that preserves the
+//!   surrounding function's argument registers.
+//! - **State maintenance** (`ALLOC`, `FREE`, `REGISTER_GLOBAL`, `READY`):
+//!   arguments are passed in the *architecture profile's hypercall argument
+//!   registers* ([`ArchProfile::hypercall`](embsan_emu::profile::ArchProfile)),
+//!   which differ per platform — the dummy library is generated per profile,
+//!   and the EMBSAN runtime reconstructs arguments per the platform spec.
+
+/// Hypercall numbers of the dummy sanitizer library.
+pub mod hyper {
+    /// 1-byte load check; address in `r12`.
+    pub const CHECK_LOAD1: u32 = 0x10;
+    /// 2-byte load check; address in `r12`.
+    pub const CHECK_LOAD2: u32 = 0x11;
+    /// 4-byte load check; address in `r12`.
+    pub const CHECK_LOAD4: u32 = 0x12;
+    /// 1-byte store check; address in `r12`.
+    pub const CHECK_STORE1: u32 = 0x14;
+    /// 2-byte store check; address in `r12`.
+    pub const CHECK_STORE2: u32 = 0x15;
+    /// 4-byte store check; address in `r12`.
+    pub const CHECK_STORE4: u32 = 0x16;
+    /// Atomic RMW check (4 bytes); address in `r12`.
+    pub const CHECK_ATOMIC4: u32 = 0x17;
+
+    /// Heap allocation: `args = (addr, size)`.
+    pub const ALLOC: u32 = 0x20;
+    /// Heap free: `args = (addr,)`.
+    pub const FREE: u32 = 0x21;
+    /// Global registration: `args = (addr, size, redzone)`.
+    pub const REGISTER_GLOBAL: u32 = 0x22;
+    /// System reached the ready-to-run state.
+    pub const READY: u32 = 0x23;
+
+    /// Decodes a `CHECK_*` number into `(size, is_write)`.
+    pub fn decode_check(nr: u32) -> Option<(u8, bool)> {
+        match nr {
+            CHECK_LOAD1 => Some((1, false)),
+            CHECK_LOAD2 => Some((2, false)),
+            CHECK_LOAD4 => Some((4, false)),
+            CHECK_STORE1 => Some((1, true)),
+            CHECK_STORE2 => Some((2, true)),
+            CHECK_STORE4 => Some((4, true)),
+            CHECK_ATOMIC4 => Some((4, true)),
+            _ => None,
+        }
+    }
+}
+
+/// Names of the dummy sanitizer library's functions, in a stable order.
+///
+/// The EMBSAN-C pass emits calls to these; the platform prober looks them up
+/// in the symbol table when deriving the platform spec.
+pub const STUB_NAMES: [&str; 7] = [
+    "__san_load1",
+    "__san_load2",
+    "__san_load4",
+    "__san_store1",
+    "__san_store2",
+    "__san_store4",
+    "__san_atomic4",
+];
+
+/// Returns the stub function name for an access of `size` bytes.
+///
+/// # Panics
+///
+/// Panics if `size` is not 1, 2 or 4.
+pub fn stub_name(size: u8, is_write: bool, atomic: bool) -> &'static str {
+    if atomic {
+        return "__san_atomic4";
+    }
+    match (size, is_write) {
+        (1, false) => "__san_load1",
+        (2, false) => "__san_load2",
+        (4, false) => "__san_load4",
+        (1, true) => "__san_store1",
+        (2, true) => "__san_store2",
+        (4, true) => "__san_store4",
+        _ => panic!("unsupported access size {size}"),
+    }
+}
+
+/// The hypercall number for an access check stub.
+pub fn check_nr(size: u8, is_write: bool, atomic: bool) -> u32 {
+    if atomic {
+        return hyper::CHECK_ATOMIC4;
+    }
+    match (size, is_write) {
+        (1, false) => hyper::CHECK_LOAD1,
+        (2, false) => hyper::CHECK_LOAD2,
+        (4, false) => hyper::CHECK_LOAD4,
+        (1, true) => hyper::CHECK_STORE1,
+        (2, true) => hyper::CHECK_STORE2,
+        (4, true) => hyper::CHECK_STORE4,
+        _ => panic!("unsupported access size {size}"),
+    }
+}
+
+/// Names of the state-maintenance library functions.
+pub mod stubs {
+    /// `__san_alloc(addr, size)` — guest allocators call this after carving a
+    /// chunk.
+    pub const ALLOC: &str = "__san_alloc";
+    /// `__san_free(addr)` — guest allocators call this before releasing.
+    pub const FREE: &str = "__san_free";
+    /// `__san_global(addr, size, redzone)` — boot-time global registration.
+    pub const GLOBAL: &str = "__san_global";
+    /// `__san_ready()` — marks the ready-to-run point.
+    pub const READY: &str = "__san_ready";
+    /// `__san_register_globals()` — generated registration sequence.
+    pub const REGISTER_GLOBALS: &str = "__san_register_globals";
+}
+
+/// Default redzone size in bytes around sanitized globals (matches KASAN's
+/// minimum global redzone granularity).
+pub const GLOBAL_REDZONE: u32 = 32;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_nr_and_decode_are_inverse() {
+        for &(size, wr, at) in &[
+            (1u8, false, false),
+            (2, false, false),
+            (4, false, false),
+            (1, true, false),
+            (2, true, false),
+            (4, true, false),
+            (4, true, true),
+        ] {
+            let nr = check_nr(size, wr, at);
+            let (dsize, dwrite) = hyper::decode_check(nr).unwrap();
+            assert_eq!(dsize, size);
+            // Atomics decode as writes.
+            assert_eq!(dwrite, wr || at);
+        }
+        assert_eq!(hyper::decode_check(hyper::ALLOC), None);
+    }
+
+    #[test]
+    fn stub_names_cover_all_sizes() {
+        assert_eq!(stub_name(1, false, false), "__san_load1");
+        assert_eq!(stub_name(4, true, false), "__san_store4");
+        assert_eq!(stub_name(4, true, true), "__san_atomic4");
+        assert!(STUB_NAMES.contains(&stub_name(2, true, false)));
+    }
+}

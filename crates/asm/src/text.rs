@@ -1,0 +1,622 @@
+//! Text assembly frontend.
+//!
+//! A GNU-as-flavoured syntax for EV32. Top-level labels declare functions;
+//! labels starting with `.` are function-local (they are name-mangled to
+//! `<function>.<label>`). Directives:
+//!
+//! ```text
+//! .entry main              ; entry point (default: main)
+//! .ready kernel_ready      ; ready-to-run symbol
+//! .heap 65536              ; heap size in bytes
+//! .no_instrument boot      ; exempt a function from instrumentation
+//! .global buf, 64          ; sanitized zeroed global, 64 bytes
+//! .global msg, "hello"     ; sanitized global with string initializer
+//! .data raw, "x"           ; unsanitized data blob
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! let src = r#"
+//!     .entry main
+//!     .global counter, 4
+//! main:
+//!     la a0, counter
+//!     li a1, 3
+//! .loop:
+//!     beq a1, r0, .done
+//!     lw a2, [a0]
+//!     addi a2, a2, 1
+//!     sw a2, [a0]
+//!     addi a1, a1, -1
+//!     j .loop
+//! .done:
+//!     halt 0
+//! "#;
+//! let program = embsan_asm::assemble(src)?;
+//! assert!(program.defines_function("main"));
+//! # Ok::<(), embsan_asm::AsmError>(())
+//! ```
+
+use embsan_emu::isa::{Insn, Reg};
+
+use crate::ir::{AInsn, Cond, GlobalDef, Program, TextItem};
+
+/// An assembly syntax error with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError { line, message: message.into() }
+}
+
+/// Assembles text source into a [`Program`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] pointing at the first malformed line.
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    let mut program = Program::new();
+    let mut current_fn = String::new();
+
+    for (idx, raw_line) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('.') {
+            // Local label or directive?
+            if let Some(name) = line.strip_suffix(':') {
+                if current_fn.is_empty() {
+                    return Err(err(line_no, "local label outside a function"));
+                }
+                program
+                    .text
+                    .push(TextItem::Label(format!("{current_fn}{name}")));
+                continue;
+            }
+            parse_directive(&mut program, rest, line_no)?;
+            continue;
+        }
+        if let Some(name) = line.strip_suffix(':') {
+            let name = name.trim();
+            if name.is_empty() || name.contains(char::is_whitespace) {
+                return Err(err(line_no, "malformed label"));
+            }
+            current_fn = name.to_string();
+            program.text.push(TextItem::Func(name.to_string()));
+            continue;
+        }
+        let insn = parse_insn(line, &current_fn, line_no)?;
+        program.text.push(TextItem::Insn(insn));
+    }
+    Ok(program)
+}
+
+fn strip_comment(line: &str) -> &str {
+    // Comments start with ';' or '#', but '#' inside a string stays.
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            ';' | '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_directive(program: &mut Program, rest: &str, line: usize) -> Result<(), AsmError> {
+    let (name, args) = rest.split_once(char::is_whitespace).unwrap_or((rest, ""));
+    let args = args.trim();
+    match name {
+        "entry" => program.entry = args.to_string(),
+        "ready" => program.ready = Some(args.to_string()),
+        "heap" => {
+            program.heap_size =
+                parse_int(args, line)?.try_into().map_err(|_| err(line, "bad heap size"))?;
+        }
+        "no_instrument" => {
+            program.no_instrument.insert(args.to_string());
+        }
+        "global" | "data" => {
+            let (sym, init) = args
+                .split_once(',')
+                .ok_or_else(|| err(line, format!("`.{name}` needs `name, size|init`")))?;
+            let sym = sym.trim();
+            let init = init.trim();
+            let sanitize = name == "global";
+            let def = if let Some(stripped) = init.strip_prefix('"') {
+                let text = stripped
+                    .strip_suffix('"')
+                    .ok_or_else(|| err(line, "unterminated string"))?;
+                let bytes = unescape(text, line)?;
+                GlobalDef {
+                    name: sym.to_string(),
+                    size: bytes.len() as u32,
+                    init: Some(bytes),
+                    align: 4,
+                    sanitize,
+                }
+            } else if let Some(list) = init.strip_prefix('[') {
+                let list = list
+                    .strip_suffix(']')
+                    .ok_or_else(|| err(line, "unterminated byte list"))?;
+                let mut bytes = Vec::new();
+                for piece in list.split(',') {
+                    let v = parse_int(piece.trim(), line)?;
+                    bytes.push(
+                        u8::try_from(v).map_err(|_| err(line, "byte value out of range"))?,
+                    );
+                }
+                GlobalDef {
+                    name: sym.to_string(),
+                    size: bytes.len() as u32,
+                    init: Some(bytes),
+                    align: 4,
+                    sanitize,
+                }
+            } else {
+                let size = parse_int(init, line)?
+                    .try_into()
+                    .map_err(|_| err(line, "bad global size"))?;
+                GlobalDef { name: sym.to_string(), size, init: None, align: 4, sanitize }
+            };
+            program.globals.push(def);
+        }
+        _ => return Err(err(line, format!("unknown directive `.{name}`"))),
+    }
+    Ok(())
+}
+
+fn unescape(text: &str, line: usize) -> Result<Vec<u8>, AsmError> {
+    let mut out = Vec::new();
+    let mut chars = text.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            let mut buf = [0u8; 4];
+            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push(b'\n'),
+            Some('t') => out.push(b'\t'),
+            Some('0') => out.push(0),
+            Some('\\') => out.push(b'\\'),
+            Some('"') => out.push(b'"'),
+            other => return Err(err(line, format!("bad escape `\\{other:?}`"))),
+        }
+    }
+    Ok(out)
+}
+
+fn parse_int(text: &str, line: usize) -> Result<i64, AsmError> {
+    let text = text.trim();
+    let (negative, body) = match text.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, text),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse::<i64>()
+    }
+    .map_err(|_| err(line, format!("bad integer `{text}`")))?;
+    Ok(if negative { -value } else { value })
+}
+
+fn parse_reg(text: &str, line: usize) -> Result<Reg, AsmError> {
+    Reg::parse(text.trim()).ok_or_else(|| err(line, format!("unknown register `{text}`")))
+}
+
+/// Resolves a possibly-local label reference.
+fn label_ref(text: &str, current_fn: &str) -> String {
+    if let Some(local) = text.strip_prefix('.') {
+        format!("{current_fn}.{local}")
+    } else {
+        text.to_string()
+    }
+}
+
+/// Parses `[reg]`, `[reg+off]` or `[reg-off]`.
+fn parse_mem(text: &str, line: usize) -> Result<(Reg, i32), AsmError> {
+    let inner = text
+        .trim()
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| err(line, format!("expected `[reg+off]`, got `{text}`")))?;
+    if let Some(pos) = inner.rfind(['+', '-']) {
+        if pos > 0 {
+            let reg = parse_reg(&inner[..pos], line)?;
+            let off = parse_int(&inner[pos..], line)?;
+            let off = i32::try_from(off).map_err(|_| err(line, "offset out of range"))?;
+            return Ok((reg, off));
+        }
+    }
+    Ok((parse_reg(inner, line)?, 0))
+}
+
+fn parse_insn(line_text: &str, current_fn: &str, line: usize) -> Result<AInsn, AsmError> {
+    let (mnemonic, rest) = line_text
+        .split_once(char::is_whitespace)
+        .unwrap_or((line_text, ""));
+    let ops: Vec<&str> = if rest.trim().is_empty() {
+        Vec::new()
+    } else {
+        split_operands(rest)
+    };
+    let want = |n: usize| -> Result<(), AsmError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(err(line, format!("`{mnemonic}` expects {n} operands, got {}", ops.len())))
+        }
+    };
+
+    macro_rules! rrr {
+        ($variant:ident) => {{
+            want(3)?;
+            AInsn::Raw(Insn::$variant {
+                rd: parse_reg(ops[0], line)?,
+                rs1: parse_reg(ops[1], line)?,
+                rs2: parse_reg(ops[2], line)?,
+            })
+        }};
+    }
+    macro_rules! rri {
+        ($variant:ident) => {{
+            want(3)?;
+            AInsn::Raw(Insn::$variant {
+                rd: parse_reg(ops[0], line)?,
+                rs1: parse_reg(ops[1], line)?,
+                imm: parse_int(ops[2], line)? as i32,
+            })
+        }};
+    }
+    macro_rules! shift {
+        ($variant:ident) => {{
+            want(3)?;
+            AInsn::Raw(Insn::$variant {
+                rd: parse_reg(ops[0], line)?,
+                rs1: parse_reg(ops[1], line)?,
+                shamt: parse_int(ops[2], line)? as u8,
+            })
+        }};
+    }
+    macro_rules! load {
+        ($variant:ident) => {{
+            want(2)?;
+            let (rs1, imm) = parse_mem(ops[1], line)?;
+            AInsn::Raw(Insn::$variant { rd: parse_reg(ops[0], line)?, rs1, imm })
+        }};
+    }
+    macro_rules! store {
+        ($variant:ident) => {{
+            want(2)?;
+            let (rs1, imm) = parse_mem(ops[1], line)?;
+            AInsn::Raw(Insn::$variant { rs2: parse_reg(ops[0], line)?, rs1, imm })
+        }};
+    }
+    macro_rules! branch {
+        ($cond:ident) => {{
+            want(3)?;
+            AInsn::Branch {
+                cond: Cond::$cond,
+                rs1: parse_reg(ops[0], line)?,
+                rs2: parse_reg(ops[1], line)?,
+                target: label_ref(ops[2], current_fn),
+            }
+        }};
+    }
+
+    let insn = match mnemonic {
+        "add" => rrr!(Add),
+        "sub" => rrr!(Sub),
+        "and" => rrr!(And),
+        "or" => rrr!(Or),
+        "xor" => rrr!(Xor),
+        "sll" => rrr!(Sll),
+        "srl" => rrr!(Srl),
+        "sra" => rrr!(Sra),
+        "mul" => rrr!(Mul),
+        "mulh" => rrr!(Mulh),
+        "divu" => rrr!(Divu),
+        "remu" => rrr!(Remu),
+        "slt" => rrr!(Slt),
+        "sltu" => rrr!(Sltu),
+        "addi" => rri!(Addi),
+        "andi" => rri!(Andi),
+        "ori" => rri!(Ori),
+        "xori" => rri!(Xori),
+        "slti" => rri!(Slti),
+        "sltiu" => rri!(Sltiu),
+        "slli" => shift!(Slli),
+        "srli" => shift!(Srli),
+        "srai" => shift!(Srai),
+        "lb" => load!(Lb),
+        "lbu" => load!(Lbu),
+        "lh" => load!(Lh),
+        "lhu" => load!(Lhu),
+        "lw" => load!(Lw),
+        "sb" => store!(Sb),
+        "sh" => store!(Sh),
+        "sw" => store!(Sw),
+        "amoadd.w" => {
+            want(3)?;
+            let (rs1, off) = parse_mem(ops[1], line)?;
+            if off != 0 {
+                return Err(err(line, "atomic operands take no offset"));
+            }
+            AInsn::Raw(Insn::AmoAddW {
+                rd: parse_reg(ops[0], line)?,
+                rs1,
+                rs2: parse_reg(ops[2], line)?,
+            })
+        }
+        "amoswp.w" => {
+            want(3)?;
+            let (rs1, off) = parse_mem(ops[1], line)?;
+            if off != 0 {
+                return Err(err(line, "atomic operands take no offset"));
+            }
+            AInsn::Raw(Insn::AmoSwpW {
+                rd: parse_reg(ops[0], line)?,
+                rs1,
+                rs2: parse_reg(ops[2], line)?,
+            })
+        }
+        "beq" => branch!(Eq),
+        "bne" => branch!(Ne),
+        "blt" => branch!(Lt),
+        "bltu" => branch!(Ltu),
+        "bge" => branch!(Ge),
+        "bgeu" => branch!(Geu),
+        "li" => {
+            want(2)?;
+            AInsn::Li { rd: parse_reg(ops[0], line)?, value: parse_int(ops[1], line)? }
+        }
+        "la" => {
+            want(2)?;
+            let target = ops[1];
+            let (sym, offset) = match target.rfind('+') {
+                Some(pos) if pos > 0 => {
+                    (&target[..pos], parse_int(&target[pos + 1..], line)? as i32)
+                }
+                _ => (target, 0),
+            };
+            AInsn::La {
+                rd: parse_reg(ops[0], line)?,
+                sym: label_ref(sym.trim(), current_fn),
+                offset,
+            }
+        }
+        "j" => {
+            want(1)?;
+            AInsn::Jump { target: label_ref(ops[0], current_fn) }
+        }
+        "call" => {
+            want(1)?;
+            AInsn::Call { target: label_ref(ops[0], current_fn) }
+        }
+        "callvia" => {
+            want(2)?;
+            AInsn::CallVia {
+                link: parse_reg(ops[0], line)?,
+                target: label_ref(ops[1], current_fn),
+            }
+        }
+        "callr" => {
+            want(1)?;
+            AInsn::Raw(Insn::Jalr { rd: Reg::LR, rs1: parse_reg(ops[0], line)?, imm: 0 })
+        }
+        "jalr" => {
+            want(3)?;
+            AInsn::Raw(Insn::Jalr {
+                rd: parse_reg(ops[0], line)?,
+                rs1: parse_reg(ops[1], line)?,
+                imm: parse_int(ops[2], line)? as i32,
+            })
+        }
+        "ret" => AInsn::Raw(Insn::Jalr { rd: Reg::ZERO, rs1: Reg::LR, imm: 0 }),
+        "mv" => {
+            want(2)?;
+            AInsn::Raw(Insn::Addi {
+                rd: parse_reg(ops[0], line)?,
+                rs1: parse_reg(ops[1], line)?,
+                imm: 0,
+            })
+        }
+        "ecall" => {
+            want(1)?;
+            AInsn::Raw(Insn::Ecall { code: parse_int(ops[0], line)? as u16 })
+        }
+        "eret" => AInsn::Raw(Insn::Eret),
+        "hyper" => {
+            want(1)?;
+            AInsn::Raw(Insn::Hyper { nr: parse_int(ops[0], line)? as u32 })
+        }
+        "csrr" => {
+            want(2)?;
+            AInsn::Raw(Insn::Csrr {
+                rd: parse_reg(ops[0], line)?,
+                idx: parse_int(ops[1], line)? as u16,
+            })
+        }
+        "csrw" => {
+            want(2)?;
+            AInsn::Raw(Insn::Csrw {
+                rs1: parse_reg(ops[0], line)?,
+                idx: parse_int(ops[1], line)? as u16,
+            })
+        }
+        "halt" => {
+            want(1)?;
+            AInsn::Raw(Insn::Halt { code: parse_int(ops[0], line)? as u16 })
+        }
+        "wfi" => AInsn::Raw(Insn::Wfi),
+        "nop" => AInsn::Raw(Insn::Nop),
+        "fence" => AInsn::Raw(Insn::Fence),
+        "brk" => AInsn::Raw(Insn::Brk),
+        other => return Err(err(line, format!("unknown mnemonic `{other}`"))),
+    };
+    Ok(insn)
+}
+
+/// Splits an operand list on commas that are not inside brackets.
+fn split_operands(text: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in text.char_indices() {
+        match c {
+            '[' => depth += 1,
+            ']' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                out.push(text[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    let last = text[start..].trim();
+    if !last.is_empty() {
+        out.push(last);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::{link, LinkOptions};
+    use embsan_emu::hook::NullHook;
+    use embsan_emu::machine::RunExit;
+    use embsan_emu::profile::Arch;
+
+    const COUNTER_SRC: &str = r#"
+        ; simple counter kernel
+        .entry main
+        .ready main
+        .heap 8192
+        .global counter, 4
+        .global msg, "ok\n"
+    main:
+        la a0, counter
+        li a1, 3
+    .loop:
+        beq a1, r0, .done
+        lw a2, [a0]
+        addi a2, a2, 1
+        sw a2, [a0]
+        addi a1, a1, -1
+        j .loop
+    .done:
+        halt 0
+    "#;
+
+    #[test]
+    fn assembles_and_runs() {
+        let program = assemble(COUNTER_SRC).unwrap();
+        assert_eq!(program.heap_size, 8192);
+        assert!(program.ready.is_some());
+        let image = link(&program, &LinkOptions::new(Arch::Armv)).unwrap();
+        let mut machine = image.boot_machine(1).unwrap();
+        let exit = machine.run(&mut NullHook, 1000).unwrap();
+        assert_eq!(exit, RunExit::Halted { code: 0 });
+        let counter = image.symbol("counter").unwrap();
+        assert_eq!(machine.read_mem(counter, 4).unwrap(), 3);
+    }
+
+    #[test]
+    fn string_initializers_unescape() {
+        let program = assemble(COUNTER_SRC).unwrap();
+        let msg = program.globals.iter().find(|g| g.name == "msg").unwrap();
+        assert_eq!(msg.init.as_deref(), Some(&b"ok\n"[..]));
+    }
+
+    #[test]
+    fn local_labels_are_mangled_per_function() {
+        let src = r#"
+    f:
+    .loop:
+        j .loop
+    g:
+    .loop:
+        j .loop
+        "#;
+        let program = assemble(src).unwrap();
+        let labels: Vec<_> = program
+            .text
+            .iter()
+            .filter_map(|i| match i {
+                TextItem::Label(l) => Some(l.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(labels, vec!["f.loop", "g.loop"]);
+        // Both functions link (no duplicate label error).
+        let mut program = program;
+        program.entry = "f".into();
+        assert!(link(&program, &LinkOptions::new(Arch::Armv)).is_ok());
+    }
+
+    #[test]
+    fn memory_operand_forms() {
+        let p = assemble("f:\n lw r1, [r2]\n lw r1, [r2+8]\n lw r1, [r2-4]\n").unwrap();
+        let imms: Vec<i32> = p
+            .text
+            .iter()
+            .filter_map(|i| match i {
+                TextItem::Insn(AInsn::Raw(Insn::Lw { imm, .. })) => Some(*imm),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(imms, vec![0, 8, -4]);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("f:\n bogus r1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+
+        let e = assemble("f:\n add r1, r2\n").unwrap_err();
+        assert!(e.message.contains("expects 3 operands"));
+
+        let e = assemble(".loop:\n nop\n").unwrap_err();
+        assert!(e.message.contains("outside a function"));
+
+        let e = assemble("f:\n lw r99, [r1]\n").unwrap_err();
+        assert!(e.message.contains("unknown register"));
+
+        let e = assemble(".global x\n").unwrap_err();
+        assert!(e.message.contains("needs"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = assemble("# header\nf:\n nop ; trailing\n\n  ; full line\n halt 0\n").unwrap();
+        assert_eq!(p.code_words(), 2);
+    }
+
+    #[test]
+    fn data_directive_is_unsanitized() {
+        let p = assemble(".data blob, [1, 2, 0xFF]\nf:\n nop\n").unwrap();
+        assert!(!p.globals[0].sanitize);
+        assert_eq!(p.globals[0].init.as_deref(), Some(&[1u8, 2, 0xFF][..]));
+    }
+}

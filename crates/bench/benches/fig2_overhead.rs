@@ -1,0 +1,113 @@
+//! Criterion microbenchmark behind Figure 2: corpus replay under each
+//! sanitizer configuration on one representative firmware.
+//!
+//! Run with `cargo bench -p embsan-bench`. The full-figure harness (all
+//! firmware, grouped facets) is the `figure2` binary; this bench gives
+//! statistically characterized per-configuration numbers on one target.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use embsan_core::probe::{probe, ProbeMode};
+use embsan_core::session::Session;
+use embsan_emu::hook::NullHook;
+use embsan_emu::machine::RunExit;
+use embsan_guestos::executor::ExecProgram;
+use embsan_guestos::firmware_by_name;
+use embsan_guestos::workload::merged_corpus;
+use embsan_guestos::SanMode;
+
+fn corpus() -> Vec<ExecProgram> {
+    merged_corpus(0xBE9C, 4, 32)
+}
+
+/// Baseline: raw machine, no sanitizer.
+fn bench_baseline(c: &mut Criterion) {
+    let spec = firmware_by_name("OpenWRT-armvirt").unwrap();
+    let image = spec.build(SanMode::None).unwrap();
+    let mut machine = image.boot_machine(1).unwrap();
+    machine.run(&mut NullHook, 400_000_000).unwrap();
+    let snapshot = machine.snapshot();
+    let corpus = corpus();
+    c.bench_function("replay/baseline", |b| {
+        b.iter(|| {
+            machine.restore(&snapshot).unwrap();
+            for program in &corpus {
+                machine
+                    .bus_mut()
+                    .devices
+                    .mailbox
+                    .host_load(&program.encode());
+                loop {
+                    let exit = machine.run(&mut NullHook, 500_000).unwrap();
+                    if machine.bus().devices.mailbox.result_count() >= program.calls.len()
+                        || exit != RunExit::BudgetExhausted
+                    {
+                        break;
+                    }
+                }
+            }
+        })
+    });
+}
+
+fn bench_sanitized(c: &mut Criterion, name: &str, san: SanMode, mode: ProbeMode) {
+    let spec = firmware_by_name("OpenWRT-armvirt").unwrap();
+    let image = spec.build(san).unwrap();
+    let specs = embsan_core::reference_specs().unwrap();
+    let artifacts = probe(&image, mode, None).unwrap();
+    let mut session = Session::new(&image, &specs, &artifacts).unwrap();
+    session.run_to_ready(400_000_000).unwrap();
+    let corpus = corpus();
+    c.bench_function(name, |b| {
+        b.iter(|| {
+            session.reset().unwrap();
+            for program in &corpus {
+                session.run_program(program, 50_000_000).unwrap();
+            }
+        })
+    });
+}
+
+/// Native KASAN: guest-resident checks, no host runtime.
+fn bench_native(c: &mut Criterion) {
+    let spec = firmware_by_name("OpenWRT-armvirt").unwrap();
+    let image = spec.build(SanMode::NativeKasan).unwrap();
+    let mut machine = image.boot_machine(1).unwrap();
+    machine.run(&mut NullHook, 400_000_000).unwrap();
+    let snapshot = machine.snapshot();
+    let corpus = corpus();
+    c.bench_function("replay/native-kasan", |b| {
+        b.iter(|| {
+            machine.restore(&snapshot).unwrap();
+            for program in &corpus {
+                machine
+                    .bus_mut()
+                    .devices
+                    .mailbox
+                    .host_load(&program.encode());
+                loop {
+                    let exit = machine.run(&mut NullHook, 500_000).unwrap();
+                    if machine.bus().devices.mailbox.result_count() >= program.calls.len()
+                        || exit != RunExit::BudgetExhausted
+                    {
+                        break;
+                    }
+                }
+            }
+        })
+    });
+}
+
+fn benches(c: &mut Criterion) {
+    bench_baseline(c);
+    bench_sanitized(c, "replay/embsan-c-kasan+kcsan", SanMode::SanCall, ProbeMode::CompileTime);
+    bench_sanitized(c, "replay/embsan-d-kasan+kcsan", SanMode::None, ProbeMode::DynamicSource);
+    bench_native(c);
+}
+
+criterion_group! {
+    name = fig2;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(fig2);

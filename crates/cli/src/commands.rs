@@ -1,0 +1,401 @@
+//! Subcommand implementations.
+
+use std::fs;
+
+use embsan_asm::image::{FirmwareImage, InstrMode};
+use embsan_core::probe::{probe, ProbeMode};
+use embsan_core::session::Session;
+use embsan_dsl::merge;
+use embsan_emu::isa::{Insn, Word};
+use embsan_emu::profile::{Arch, ArchProfile};
+use embsan_guestos::bugs::{BugKind, BugSpec};
+use embsan_guestos::executor::ExecProgram;
+use embsan_guestos::{os, BuildOptions, SanMode};
+
+use crate::args::{parse, Parsed};
+
+const HELP: &str = "\
+embsan — decoupled on-host sanitizing of embedded OS firmware
+
+USAGE:
+  embsan build <emblinux|freertos|liteos|vxworks> [options]   build demo firmware
+      --arch arm|mips|x86       architecture profile (default arm)
+      --san none|c|native-kasan|native-kcsan
+                                 instrumentation mode (default none)
+      --bug LOCATION:KIND        seed a bug (repeatable); KIND is one of
+                                 oob-write|oob-read|oob-far|uaf|double-free|
+                                 null-deref|global-oob|race|uninit-read
+      --strip                    strip symbols (closed-source image)
+      -o FILE                    output path (default firmware.evfw)
+  embsan inspect <image>         show image header, symbols, globals
+  embsan disasm <image>          disassemble the text section
+  embsan distill [headers...]    distill sanitizer headers to merged DSL
+                                 (defaults to the bundled KASAN+KCSAN)
+  embsan probe <image> [--mode auto|c|source|binary]
+                                 run the platform prober; print DSL artifacts
+  embsan run <image> [--call NR:ARG,...]... [--cpus N] [--budget N]
+                                 boot under EMBSAN and run executor calls
+  embsan fuzz <image> [--iters N] [--seed S] [--syscalls N] [--cpus N]
+                                 coverage-guided fuzzing with EMBSAN attached
+  embsan help                    this text
+";
+
+/// Dispatches a command line.
+///
+/// # Errors
+///
+/// Returns a human-readable message for any failure.
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let Some((command, rest)) = argv.split_first() else {
+        print!("{HELP}");
+        return Ok(());
+    };
+    let parsed = parse(rest)?;
+    match command.as_str() {
+        "help" | "--help" | "-h" => {
+            print!("{HELP}");
+            Ok(())
+        }
+        "build" => cmd_build(&parsed),
+        "inspect" => cmd_inspect(&parsed),
+        "disasm" => cmd_disasm(&parsed),
+        "distill" => cmd_distill(&parsed),
+        "probe" => cmd_probe(&parsed),
+        "run" => cmd_run(&parsed),
+        "fuzz" => cmd_fuzz(&parsed),
+        other => Err(format!("unknown command `{other}` (try `embsan help`)")),
+    }
+}
+
+fn parse_arch(parsed: &Parsed) -> Result<Arch, String> {
+    match parsed.option("arch").unwrap_or("arm") {
+        "arm" | "armv" => Ok(Arch::Armv),
+        "mips" | "mipsv" => Ok(Arch::Mipsv),
+        "x86" | "x86v" => Ok(Arch::X86v),
+        other => Err(format!("unknown architecture `{other}`")),
+    }
+}
+
+fn parse_bug(text: &str) -> Result<BugSpec, String> {
+    let (location, kind) = text
+        .rsplit_once(':')
+        .ok_or_else(|| format!("--bug expects LOCATION:KIND, got `{text}`"))?;
+    let kind = match kind {
+        "oob-write" => BugKind::OobWrite,
+        "oob-read" => BugKind::OobRead,
+        "oob-far" => BugKind::OobWriteFar,
+        "uaf" => BugKind::Uaf,
+        "double-free" => BugKind::DoubleFree,
+        "null-deref" => BugKind::NullDeref,
+        "global-oob" => BugKind::GlobalOob,
+        "race" => BugKind::Race,
+        "uninit-read" => BugKind::UninitRead,
+        other => return Err(format!("unknown bug kind `{other}`")),
+    };
+    Ok(BugSpec::new(location, kind))
+}
+
+fn load_image(parsed: &Parsed) -> Result<FirmwareImage, String> {
+    let path = parsed
+        .positional
+        .first()
+        .ok_or("expected an image path")?;
+    let bytes = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    FirmwareImage::parse(&bytes).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_build(parsed: &Parsed) -> Result<(), String> {
+    let os_name = parsed
+        .positional
+        .first()
+        .ok_or("expected an OS flavour (emblinux|freertos|liteos|vxworks)")?;
+    let arch = parse_arch(parsed)?;
+    let san = match parsed.option("san").unwrap_or("none") {
+        "none" => SanMode::None,
+        "c" | "sancall" => SanMode::SanCall,
+        "native-kasan" => SanMode::NativeKasan,
+        "native-kcsan" => SanMode::NativeKcsan,
+        other => return Err(format!("unknown sanitizer mode `{other}`")),
+    };
+    let bugs: Vec<BugSpec> = parsed
+        .option_all("bug")
+        .into_iter()
+        .map(parse_bug)
+        .collect::<Result<_, _>>()?;
+    let needs_smp = bugs.iter().any(|b| b.kind == BugKind::Race);
+    let opts = BuildOptions::new(arch)
+        .san(san)
+        .cpus(if needs_smp { 2 } else { 1 });
+    let image = match os_name.as_str() {
+        "emblinux" => os::emblinux::build(&opts, &bugs),
+        "freertos" => os::freertos::build(&opts, &bugs),
+        "liteos" => os::liteos::build(&opts, &bugs),
+        "vxworks" => os::vxworks::build_unstripped(&opts, &bugs),
+        other => return Err(format!("unknown OS flavour `{other}`")),
+    }
+    .map_err(|e| format!("build failed: {e}"))?;
+    let image = if parsed.flags.iter().any(|f| f == "strip") {
+        image.strip()
+    } else {
+        image
+    };
+    let out = parsed.option("o").unwrap_or("firmware.evfw");
+    fs::write(out, image.to_bytes()).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "wrote {out}: {} ({}, {:?}), {} bytes text, {} symbols, {} seeded bug(s)",
+        os_name,
+        image.arch,
+        image.instr,
+        image.text.len(),
+        image.symbols.len(),
+        bugs.len()
+    );
+    Ok(())
+}
+
+fn cmd_inspect(parsed: &Parsed) -> Result<(), String> {
+    let image = load_image(parsed)?;
+    println!("arch:         {}", image.arch);
+    println!("instrumented: {:?}", image.instr);
+    println!("entry:        {:#010x}", image.entry);
+    println!(
+        "rom:          {:#010x} ({} bytes)",
+        image.rom_base,
+        image.text.len()
+    );
+    println!(
+        "ram:          {:#010x} ({} bytes)",
+        image.ram_base, image.ram_size
+    );
+    match image.ready {
+        Some(addr) => println!("ready:        {addr:#010x}"),
+        None => println!("ready:        (unknown)"),
+    }
+    println!("symbols:      {}", image.symbols.len());
+    for sym in &image.symbols {
+        println!(
+            "  {:#010x} {:>7} {:?} {}",
+            sym.addr, sym.size, sym.kind, sym.name
+        );
+    }
+    println!("sanitized globals: {}", image.globals.len());
+    for g in &image.globals {
+        println!(
+            "  {:#010x} size {:>5} redzones {}/{} {}",
+            g.addr, g.size, g.redzone_before, g.redzone_after, g.name
+        );
+    }
+    Ok(())
+}
+
+fn cmd_disasm(parsed: &Parsed) -> Result<(), String> {
+    let image = load_image(parsed)?;
+    let profile = ArchProfile::for_arch(image.arch);
+    for (i, chunk) in image.text.chunks_exact(4).enumerate() {
+        let addr = image.rom_base + 4 * i as u32;
+        if let Some(sym) = image.symbols.iter().find(|s| s.addr == addr) {
+            println!("\n{}:", sym.name);
+        }
+        let word = Word::from_bytes([chunk[0], chunk[1], chunk[2], chunk[3]], profile.endian);
+        match Insn::decode(word) {
+            Ok(insn) => println!("  {addr:#010x}: {insn}"),
+            Err(_) => println!("  {addr:#010x}: .word {:#010x}", word.0),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_distill(parsed: &Parsed) -> Result<(), String> {
+    let specs = if parsed.positional.is_empty() {
+        embsan_core::reference_specs().map_err(|e| e.to_string())?
+    } else {
+        parsed
+            .positional
+            .iter()
+            .map(|path| {
+                let text =
+                    fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+                embsan_core::distill::distill(&text).map_err(|e| format!("{path}: {e}"))
+            })
+            .collect::<Result<Vec<_>, String>>()?
+    };
+    for spec in &specs {
+        println!("{spec}\n");
+    }
+    println!("# merged specification (§3.1 union rules)\n{}", merge(&specs));
+    Ok(())
+}
+
+fn probe_mode(parsed: &Parsed, image: &FirmwareImage) -> Result<ProbeMode, String> {
+    match parsed.option("mode").unwrap_or("auto") {
+        "c" | "compile-time" => Ok(ProbeMode::CompileTime),
+        "source" => Ok(ProbeMode::DynamicSource),
+        "binary" => Ok(ProbeMode::DynamicBinary),
+        "auto" => Ok(if image.instr == InstrMode::SanCall {
+            ProbeMode::CompileTime
+        } else if image.has_symbols() {
+            ProbeMode::DynamicSource
+        } else {
+            ProbeMode::DynamicBinary
+        }),
+        other => Err(format!("unknown probe mode `{other}`")),
+    }
+}
+
+fn cmd_probe(parsed: &Parsed) -> Result<(), String> {
+    let image = load_image(parsed)?;
+    let mode = probe_mode(parsed, &image)?;
+    let artifacts = probe(&image, mode, None).map_err(|e| e.to_string())?;
+    println!("# probed with {mode:?}");
+    print!("{}", artifacts.to_dsl());
+    Ok(())
+}
+
+fn parse_call(text: &str) -> Result<(u8, Vec<u32>), String> {
+    let (nr, args) = match text.split_once(':') {
+        Some((nr, args)) => (nr, args),
+        None => (text, ""),
+    };
+    let nr: u8 = nr
+        .parse()
+        .map_err(|_| format!("--call expects NR:ARG,...; bad syscall `{nr}`"))?;
+    let args = if args.is_empty() {
+        Vec::new()
+    } else {
+        args.split(',')
+            .map(|a| {
+                let a = a.trim();
+                if let Some(hex) = a.strip_prefix("0x") {
+                    u32::from_str_radix(hex, 16)
+                } else {
+                    a.parse()
+                }
+                .map_err(|_| format!("bad argument `{a}`"))
+            })
+            .collect::<Result<_, _>>()?
+    };
+    Ok((nr, args))
+}
+
+fn ready_session(parsed: &Parsed) -> Result<(Session, FirmwareImage), String> {
+    let image = load_image(parsed)?;
+    let mode = probe_mode(parsed, &image)?;
+    let artifacts = probe(&image, mode, None).map_err(|e| e.to_string())?;
+    let specs = embsan_core::reference_specs().map_err(|e| e.to_string())?;
+    let cpus = parsed.option_u64("cpus", 1)? as usize;
+    let mut session =
+        Session::with_cpus(&image, &specs, &artifacts, cpus).map_err(|e| e.to_string())?;
+    session
+        .run_to_ready(parsed.option_u64("budget", 400_000_000)?)
+        .map_err(|e| e.to_string())?;
+    Ok((session, image))
+}
+
+fn cmd_run(parsed: &Parsed) -> Result<(), String> {
+    let (mut session, _image) = ready_session(parsed)?;
+    let mut program = ExecProgram::new();
+    for call in parsed.option_all("call") {
+        let (nr, args) = parse_call(call)?;
+        program.push(nr, &args);
+    }
+    if program.calls.is_empty() {
+        program.push(0, &[]);
+    }
+    let outcome = session
+        .run_program(&program, 50_000_000)
+        .map_err(|e| e.to_string())?;
+    println!("exit:    {:?}", outcome.exit);
+    println!("results: {:?}", outcome.results);
+    if !outcome.console.is_empty() {
+        println!("console: {}", String::from_utf8_lossy(&outcome.console));
+    }
+    if outcome.reports.is_empty() {
+        println!("no sanitizer reports");
+    }
+    for report in &outcome.reports {
+        print!("{}", session.render_report(report));
+    }
+    Ok(())
+}
+
+fn cmd_fuzz(parsed: &Parsed) -> Result<(), String> {
+    use embsan_fuzz::{descs, Dictionary, Fuzzer, FuzzerConfig, Strategy};
+    let (mut session, image) = ready_session(parsed)?;
+    let iters = parsed.option_u64("iters", 5_000)?;
+    let seed = parsed.option_u64("seed", 0xE1B)?;
+    // Without source knowledge the interface size is a tester input; the
+    // default assumes the standard executor layout with up to 16 gated
+    // syscalls.
+    let extra = parsed.option_u64("syscalls", 16)? as usize;
+    let mut syscall_descs = descs::base_descriptions();
+    for i in 0..extra {
+        syscall_descs.push(embsan_fuzz::SyscallDesc {
+            nr: embsan_guestos::executor::sys::BUG_BASE + i as u8,
+            args: vec![embsan_fuzz::ArgKind::Key],
+        });
+    }
+    let dict = Dictionary::extract(&image);
+    println!(
+        "fuzzing: {iters} iterations, seed {seed}, dictionary {} entries",
+        dict.len()
+    );
+    let config = FuzzerConfig::new(Strategy::Tardis, seed);
+    let mut fuzzer = Fuzzer::new(&mut session, syscall_descs, dict, config);
+    fuzzer.run(iters).map_err(|e| e.to_string())?;
+    let stats = fuzzer.stats();
+    println!(
+        "execs {}  corpus {}  coverage {}  findings {}",
+        stats.execs, stats.corpus, stats.coverage, stats.findings
+    );
+    let findings = fuzzer.into_findings();
+    for finding in &findings {
+        println!(
+            "[{}] pc={:#010x} reproducer calls {:?}",
+            finding.report.class,
+            finding.report.pc,
+            finding
+                .program
+                .calls
+                .iter()
+                .map(|c| c.nr)
+                .collect::<Vec<_>>()
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bug_specs_parse() {
+        let bug = parse_bug("drivers/net:uaf").unwrap();
+        assert_eq!(bug.location, "drivers/net");
+        assert_eq!(bug.kind, BugKind::Uaf);
+        // Locations may contain colons only before the last one.
+        assert!(parse_bug("nokind").is_err());
+        assert!(parse_bug("x:mystery").is_err());
+    }
+
+    #[test]
+    fn calls_parse() {
+        assert_eq!(parse_call("2:64,0").unwrap(), (2, vec![64, 0]));
+        assert_eq!(parse_call("0").unwrap(), (0, vec![]));
+        assert_eq!(parse_call("16:0xAB12").unwrap(), (16, vec![0xAB12]));
+        assert!(parse_call("x:1").is_err());
+        assert!(parse_call("1:y").is_err());
+    }
+
+    #[test]
+    fn unknown_command_is_reported() {
+        let err = dispatch(&["bogus".to_string()]).unwrap_err();
+        assert!(err.contains("bogus"));
+    }
+
+    #[test]
+    fn help_prints() {
+        dispatch(&[]).unwrap();
+        dispatch(&["help".to_string()]).unwrap();
+    }
+}

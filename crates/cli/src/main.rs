@@ -1,0 +1,29 @@
+//! `embsan` — the command-line front end.
+//!
+//! ```text
+//! embsan build <os> [--arch A] [--san M] [--bug LOC:KIND]... [-o FILE]
+//! embsan inspect <image>
+//! embsan disasm <image>
+//! embsan distill [header files...]
+//! embsan probe <image> [--mode auto|c|source|binary]
+//! embsan run <image> [--call NR:ARG,ARG,...]... [--cpus N]
+//! embsan fuzz <image> [--iters N] [--seed S] [--syscalls N] [--cpus N]
+//! ```
+//!
+//! Run `embsan help` for details.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("embsan: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,37 @@
+/*
+ * EMBSAN reference extraction: Kernel Address Sanitizer (KASAN).
+ *
+ * This file models the interface headers a tester feeds to the Sanitizer
+ * Common Function Distiller (paper §3.1): each interception API is a C
+ * prototype annotated with an EMBSAN_INTERCEPT(kind, point) marker, and
+ * external resource requirements are declared with EMBSAN_RESOURCE.
+ */
+
+EMBSAN_SANITIZER(kasan)
+
+EMBSAN_RESOURCE(shadow, granule, 8)
+EMBSAN_RESOURCE(quarantine, bytes, 262144)
+
+EMBSAN_INTERCEPT(insn, load)
+void __kasan_check_read(const void *addr, unsigned int size);
+
+EMBSAN_INTERCEPT(insn, store)
+void __kasan_check_write(const void *addr, unsigned int size);
+
+EMBSAN_INTERCEPT(insn, atomic)
+void __kasan_check_atomic(const void *addr, unsigned int size);
+
+EMBSAN_INTERCEPT(call, alloc)
+void kasan_kmalloc(const void *addr, size_t size);
+
+EMBSAN_INTERCEPT(call, free)
+void kasan_slab_free(const void *addr);
+
+EMBSAN_INTERCEPT(call, global)
+void kasan_register_global(const void *addr, size_t size, size_t redzone);
+
+EMBSAN_INTERCEPT(event, ready)
+void kasan_init(void);
+
+EMBSAN_INTERCEPT(event, fault)
+void kasan_report_fault(const void *addr);

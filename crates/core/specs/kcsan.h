@@ -1,0 +1,23 @@
+/*
+ * EMBSAN reference extraction: Kernel Concurrency Sanitizer (KCSAN).
+ *
+ * The interception points overlap KASAN's (load/store/atomic) but request
+ * different argument sets — the §3.1 merge rules unite them, widening
+ * shared arguments and annotating each with its source sanitizers.
+ */
+
+EMBSAN_SANITIZER(kcsan)
+
+EMBSAN_RESOURCE(shadow, granule, 1)
+EMBSAN_RESOURCE(watchpoints, slots, 8)
+EMBSAN_RESOURCE(watchpoints, window, 900)
+EMBSAN_RESOURCE(watchpoints, sample, 47)
+
+EMBSAN_INTERCEPT(insn, load)
+void __tsan_read_range(const void *addr, size_t size, unsigned int cpu);
+
+EMBSAN_INTERCEPT(insn, store)
+void __tsan_write_range(const void *addr, size_t size, unsigned int value, unsigned int cpu);
+
+EMBSAN_INTERCEPT(insn, atomic)
+void __tsan_atomic_rmw(const void *addr, size_t size, unsigned int cpu);

@@ -1,0 +1,30 @@
+/*
+ * EMBSAN reference extraction: an uninitialized-memory-read sanitizer
+ * (UMSAN), in the spirit of KMSAN.
+ *
+ * This header exists to exercise the paper's adaptability claim (§5):
+ * "Adapting new sanitizer functionalities to EMBSAN is also simple,
+ * requiring developers to write runtime code accordingly and designate
+ * which instructions to instrument and what interfaces should be called."
+ * UMSAN reuses the existing interception points — the Distiller merges it
+ * with KASAN/KCSAN under the §3.1 union rules with no new plumbing.
+ *
+ * Simplification vs real KMSAN: shadow is not propagated through copies;
+ * any load from never-initialized heap bytes reports immediately.
+ */
+
+EMBSAN_SANITIZER(umsan)
+
+EMBSAN_RESOURCE(initshadow, granule, 1)
+
+EMBSAN_INTERCEPT(insn, load)
+void __msan_check_load(const void *addr, size_t size);
+
+EMBSAN_INTERCEPT(insn, store)
+void __msan_note_store(const void *addr, size_t size);
+
+EMBSAN_INTERCEPT(call, alloc)
+void msan_poison_alloc(const void *addr, size_t size);
+
+EMBSAN_INTERCEPT(call, free)
+void msan_unpoison_free(const void *addr);

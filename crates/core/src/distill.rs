@@ -1,0 +1,339 @@
+//! The Sanitizer Common Function Distiller (§3.1).
+//!
+//! Input: reference sanitizer interface extractions — C-style headers whose
+//! interception APIs carry `EMBSAN_INTERCEPT(kind, point)` annotations and
+//! whose external resources are declared with
+//! `EMBSAN_RESOURCE(group, key, value)`. Output: [`SanitizerSpec`]s in the
+//! in-house DSL, plus the merged multi-sanitizer specification under the
+//! paper's union rules ([`embsan_dsl::merge()`]).
+//!
+//! The reference extractions for KASAN and KCSAN ship with the crate
+//! (`specs/kasan.h`, `specs/kcsan.h`) and are returned by
+//! [`reference_specs`].
+
+use embsan_dsl::{merge, ArgSpec, ArgType, InterceptPoint, PointKind, SanitizerSpec};
+
+/// The shipped KASAN reference extraction.
+pub const KASAN_HEADER: &str = include_str!("../specs/kasan.h");
+/// The shipped KCSAN reference extraction.
+pub const KCSAN_HEADER: &str = include_str!("../specs/kcsan.h");
+/// The shipped UMSAN reference extraction (the §5 adaptability extension:
+/// an uninitialized-read detector added through the standard pipeline).
+pub const UMSAN_HEADER: &str = include_str!("../specs/umsan.h");
+
+/// Errors from the distiller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DistillError {
+    /// The header lacks an `EMBSAN_SANITIZER(name)` declaration.
+    MissingSanitizerName,
+    /// An annotation names an unknown interception kind.
+    BadKind {
+        /// 1-based line.
+        line: usize,
+        /// The offending kind token.
+        kind: String,
+    },
+    /// An `EMBSAN_INTERCEPT` annotation is not followed by a prototype.
+    MissingPrototype {
+        /// 1-based line of the annotation.
+        line: usize,
+    },
+    /// A prototype parameter could not be parsed.
+    BadParameter {
+        /// 1-based line.
+        line: usize,
+        /// The parameter text.
+        param: String,
+    },
+    /// A malformed annotation.
+    BadAnnotation {
+        /// 1-based line.
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for DistillError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistillError::MissingSanitizerName => {
+                write!(f, "header lacks EMBSAN_SANITIZER(name)")
+            }
+            DistillError::BadKind { line, kind } => {
+                write!(f, "line {line}: unknown interception kind `{kind}`")
+            }
+            DistillError::MissingPrototype { line } => {
+                write!(f, "line {line}: EMBSAN_INTERCEPT without a following prototype")
+            }
+            DistillError::BadParameter { line, param } => {
+                write!(f, "line {line}: cannot parse parameter `{param}`")
+            }
+            DistillError::BadAnnotation { line } => write!(f, "line {line}: malformed annotation"),
+        }
+    }
+}
+
+impl std::error::Error for DistillError {}
+
+/// Maps a C parameter type to a DSL argument type.
+fn map_type(c_type: &str) -> ArgType {
+    let normalized = c_type.replace("const", " ");
+    let normalized = normalized.trim();
+    if normalized.contains('*') {
+        ArgType::Ptr
+    } else if normalized.contains("size_t") || normalized.contains("unsigned long") {
+        ArgType::Usize
+    } else if normalized.contains("unsigned short") || normalized.contains("u16") {
+        ArgType::U16
+    } else if normalized.contains("unsigned char") || normalized.contains("u8") {
+        ArgType::U8
+    } else {
+        ArgType::U32
+    }
+}
+
+/// Extracts the argument inside `MACRO(...)`.
+fn macro_args(line: &str) -> Option<Vec<String>> {
+    let open = line.find('(')?;
+    let close = line.rfind(')')?;
+    Some(
+        line[open + 1..close]
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .collect(),
+    )
+}
+
+/// Distills one annotated header into a [`SanitizerSpec`].
+///
+/// # Errors
+///
+/// Returns a [`DistillError`] describing the first malformed construct.
+pub fn distill(header: &str) -> Result<SanitizerSpec, DistillError> {
+    let mut spec = SanitizerSpec::default();
+    let mut pending: Option<(usize, PointKind, String)> = None;
+
+    // Strip block comments first (they may span lines).
+    let mut cleaned = String::with_capacity(header.len());
+    let mut rest = header;
+    while let Some(start) = rest.find("/*") {
+        cleaned.push_str(&rest[..start]);
+        // Preserve line structure inside the comment for line numbers.
+        match rest[start..].find("*/") {
+            Some(end) => {
+                cleaned.extend(rest[start..start + end + 2].chars().filter(|&c| c == '\n'));
+                rest = &rest[start + end + 2..];
+            }
+            None => {
+                rest = "";
+                break;
+            }
+        }
+    }
+    cleaned.push_str(rest);
+
+    for (idx, raw) in cleaned.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split("//").next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with("EMBSAN_SANITIZER") {
+            let args = macro_args(line).ok_or(DistillError::BadAnnotation { line: line_no })?;
+            spec.name = args
+                .first()
+                .cloned()
+                .filter(|s| !s.is_empty())
+                .ok_or(DistillError::BadAnnotation { line: line_no })?;
+        } else if line.starts_with("EMBSAN_RESOURCE") {
+            let args = macro_args(line).ok_or(DistillError::BadAnnotation { line: line_no })?;
+            if args.len() != 3 {
+                return Err(DistillError::BadAnnotation { line: line_no });
+            }
+            let value: u64 = args[2]
+                .parse()
+                .map_err(|_| DistillError::BadAnnotation { line: line_no })?;
+            spec.resources
+                .entry(args[0].clone())
+                .or_default()
+                .insert(args[1].clone(), value);
+        } else if line.starts_with("EMBSAN_INTERCEPT") {
+            if let Some((line, _, _)) = pending {
+                return Err(DistillError::MissingPrototype { line });
+            }
+            let args = macro_args(line).ok_or(DistillError::BadAnnotation { line: line_no })?;
+            if args.len() != 2 {
+                return Err(DistillError::BadAnnotation { line: line_no });
+            }
+            let kind = PointKind::parse(&args[0]).ok_or_else(|| DistillError::BadKind {
+                line: line_no,
+                kind: args[0].clone(),
+            })?;
+            pending = Some((line_no, kind, args[1].clone()));
+        } else if let Some((_, kind, point_name)) = pending.take() {
+            // The prototype line for the pending annotation.
+            let args = parse_prototype_args(line, line_no)?;
+            spec.points.push(InterceptPoint { kind, name: point_name, args });
+        }
+        // Other lines (un-annotated prototypes, macros) are ignored: only
+        // annotated APIs are interception points.
+    }
+    if let Some((line, _, _)) = pending {
+        return Err(DistillError::MissingPrototype { line });
+    }
+    if spec.name.is_empty() {
+        return Err(DistillError::MissingSanitizerName);
+    }
+    Ok(spec)
+}
+
+/// Parses the parameter list of a C prototype into DSL argument specs.
+fn parse_prototype_args(line: &str, line_no: usize) -> Result<Vec<ArgSpec>, DistillError> {
+    let open = line.find('(').ok_or(DistillError::MissingPrototype { line: line_no })?;
+    let close = line.rfind(')').ok_or(DistillError::MissingPrototype { line: line_no })?;
+    let inner = line[open + 1..close].trim();
+    if inner.is_empty() || inner == "void" {
+        return Ok(Vec::new());
+    }
+    let mut args = Vec::new();
+    for param in inner.split(',') {
+        let param = param.trim();
+        // The parameter name is the last identifier; everything before it
+        // (plus any '*') is the type.
+        let name_start = param
+            .rfind(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        let name = &param[name_start..];
+        let c_type = &param[..name_start];
+        if name.is_empty() || c_type.trim().is_empty() {
+            return Err(DistillError::BadParameter {
+                line: line_no,
+                param: param.to_string(),
+            });
+        }
+        args.push(ArgSpec { name: name.to_string(), ty: map_type(c_type), sources: Vec::new() });
+    }
+    Ok(args)
+}
+
+/// Distills several headers.
+///
+/// # Errors
+///
+/// Fails on the first malformed header.
+pub fn distill_sources(headers: &[&str]) -> Result<Vec<SanitizerSpec>, DistillError> {
+    headers.iter().map(|h| distill(h)).collect()
+}
+
+/// Distills the shipped KASAN and KCSAN reference extractions.
+///
+/// # Errors
+///
+/// Never fails for the shipped headers; the `Result` guards against local
+/// modifications.
+pub fn reference_specs() -> Result<Vec<SanitizerSpec>, DistillError> {
+    distill_sources(&[KASAN_HEADER, KCSAN_HEADER])
+}
+
+/// Distills and merges the shipped references into the combined spec the
+/// runtime consumes.
+///
+/// # Errors
+///
+/// See [`reference_specs`].
+pub fn reference_merged() -> Result<SanitizerSpec, DistillError> {
+    Ok(merge(&reference_specs()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distills_kasan_reference() {
+        let spec = distill(KASAN_HEADER).unwrap();
+        assert_eq!(spec.name, "kasan");
+        assert_eq!(spec.resource("shadow", "granule"), Some(8));
+        assert_eq!(spec.resource("quarantine", "bytes"), Some(262144));
+        let load = spec.point(PointKind::Insn, "load").unwrap();
+        assert_eq!(load.args.len(), 2);
+        assert_eq!(load.args[0].name, "addr");
+        assert_eq!(load.args[0].ty, ArgType::Ptr);
+        assert_eq!(load.args[1].ty, ArgType::U32); // unsigned int
+        let alloc = spec.point(PointKind::Call, "alloc").unwrap();
+        assert_eq!(alloc.args[1].ty, ArgType::Usize); // size_t
+        let ready = spec.point(PointKind::Event, "ready").unwrap();
+        assert!(ready.args.is_empty()); // void parameter list
+    }
+
+    #[test]
+    fn distills_kcsan_reference() {
+        let spec = distill(KCSAN_HEADER).unwrap();
+        assert_eq!(spec.name, "kcsan");
+        assert_eq!(spec.resource("watchpoints", "slots"), Some(8));
+        let store = spec.point(PointKind::Insn, "store").unwrap();
+        assert_eq!(store.args.len(), 4);
+    }
+
+    #[test]
+    fn merged_reference_follows_union_rules() {
+        let merged = reference_merged().unwrap();
+        assert_eq!(merged.name, "kasan_kcsan");
+        // KASAN-only points survive.
+        assert!(merged.point(PointKind::Call, "alloc").is_some());
+        assert!(merged.point(PointKind::Event, "fault").is_some());
+        // Shared point: argument union with widening (u32 ∪ usize = usize)
+        // and per-source annotations.
+        let load = merged.point(PointKind::Insn, "load").unwrap();
+        let size = load.args.iter().find(|a| a.name == "size").unwrap();
+        assert_eq!(size.ty, ArgType::Usize);
+        assert_eq!(size.sources, vec!["kasan", "kcsan"]);
+        let cpu = load.args.iter().find(|a| a.name == "cpu").unwrap();
+        assert_eq!(cpu.sources, vec!["kcsan"]);
+        // Most demanding resource value wins.
+        assert_eq!(merged.resource("shadow", "granule"), Some(8));
+    }
+
+    #[test]
+    fn merged_spec_round_trips_through_the_dsl() {
+        let merged = reference_merged().unwrap();
+        let text = merged.to_string();
+        let items = embsan_dsl::parse(&text).unwrap();
+        assert_eq!(items.len(), 1);
+        let embsan_dsl::Item::Sanitizer(reparsed) = &items[0] else {
+            panic!("expected sanitizer item");
+        };
+        assert_eq!(*reparsed, merged);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(
+            distill("void f(void);"),
+            Err(DistillError::MissingSanitizerName)
+        );
+        assert!(matches!(
+            distill("EMBSAN_SANITIZER(x)\nEMBSAN_INTERCEPT(bogus, load)\nvoid f(void);"),
+            Err(DistillError::BadKind { .. })
+        ));
+        assert!(matches!(
+            distill("EMBSAN_SANITIZER(x)\nEMBSAN_INTERCEPT(insn, load)"),
+            Err(DistillError::MissingPrototype { .. })
+        ));
+        assert!(matches!(
+            distill("EMBSAN_SANITIZER(x)\nEMBSAN_RESOURCE(a, b)\n"),
+            Err(DistillError::BadAnnotation { .. })
+        ));
+    }
+
+    #[test]
+    fn type_mapping() {
+        assert_eq!(map_type("const void *"), ArgType::Ptr);
+        assert_eq!(map_type("size_t"), ArgType::Usize);
+        assert_eq!(map_type("unsigned long"), ArgType::Usize);
+        assert_eq!(map_type("unsigned int"), ArgType::U32);
+        assert_eq!(map_type("unsigned short"), ArgType::U16);
+        assert_eq!(map_type("unsigned char"), ArgType::U8);
+        assert_eq!(map_type("int"), ArgType::U32);
+    }
+}

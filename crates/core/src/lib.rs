@@ -1,0 +1,71 @@
+//! EMBSAN core: the paper's primary contribution.
+//!
+//! Three components (§3):
+//!
+//! - the **Sanitizer Common Function Distiller** ([`mod@distill`]): parses
+//!   reference sanitizer interface extractions (annotated C-style headers of
+//!   KASAN/KCSAN, shipped under `specs/`), converts them into the in-house
+//!   DSL, and merges multiple sanitizers' specifications under the §3.1
+//!   union rules;
+//! - the **Embedded Platform Configuration Prober** ([`mod@probe`]): determines
+//!   a firmware's platform details and compiles its initialization routine,
+//!   with three modes matching the paper's firmware categories —
+//!   compile-time-instrumented, open-source-uninstrumented, and
+//!   closed-source binary-only;
+//! - the **Common Sanitizer Runtime** ([`runtime`]): hooks the emulator's
+//!   translated code (EMBSAN-D) or receives dummy-library hypercalls
+//!   (EMBSAN-C), maintains a unified shadow memory, and runs the KASAN and
+//!   KCSAN engines on the host, decoupled from the guest.
+//!
+//! [`session::Session`] drives the §3.4/§3.5 workflow end to end:
+//! pre-testing probing, boot to the ready point, init-routine execution,
+//! then the testing phase.
+//!
+//! # Example
+//!
+//! ```
+//! use embsan_core::prelude::*;
+//! use embsan_guestos::{os, BugKind, BugSpec, BuildOptions, SanMode};
+//! use embsan_guestos::executor::{sys, ExecProgram};
+//! use embsan_emu::profile::Arch;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Build an EMBSAN-C firmware with one seeded use-after-free.
+//! let bug = BugSpec::new("demo_uaf", BugKind::Uaf);
+//! let opts = BuildOptions::new(Arch::Armv).san(SanMode::SanCall);
+//! let image = os::emblinux::build(&opts, std::slice::from_ref(&bug))?;
+//!
+//! // Pre-testing probing phase, then a sanitized session.
+//! let specs = reference_specs()?;
+//! let artifacts = probe::probe(&image, ProbeMode::CompileTime, None)?;
+//! let mut session = Session::new(&image, &specs, &artifacts)?;
+//! session.run_to_ready(50_000_000)?;
+//!
+//! // Trigger the bug through the executor: EMBSAN reports a UAF.
+//! let mut program = ExecProgram::new();
+//! program.push(sys::BUG_BASE, &[embsan_guestos::bugs::trigger_key("demo_uaf")]);
+//! let outcome = session.run_program(&program, 10_000_000)?;
+//! assert!(outcome.reports.iter().any(|r| r.class == BugClass::Uaf));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod distill;
+pub mod probe;
+pub mod report;
+pub mod runtime;
+pub mod session;
+
+pub use distill::{distill, distill_sources, reference_specs, DistillError};
+pub use probe::{probe, PriorKnowledge, ProbeArtifacts, ProbeError, ProbeMode};
+pub use report::{BugClass, Report};
+pub use runtime::EmbsanRuntime;
+pub use session::{ExecOutcome, Session, SessionError};
+
+/// Convenient glob import for typical usage.
+pub mod prelude {
+    pub use crate::distill::reference_specs;
+    pub use crate::probe::{self, ProbeMode};
+    pub use crate::report::{BugClass, Report};
+    pub use crate::session::Session;
+}

@@ -1,0 +1,669 @@
+//! The Embedded Platform Configuration Prober (§3.2).
+//!
+//! Produces a firmware's platform specification and initialization routine
+//! in the DSL, via a pre-testing *dry run*. Three modes match the paper's
+//! firmware categories:
+//!
+//! 1. [`ProbeMode::CompileTime`] — firmware with compile-time sanitizer
+//!    instrumentation: the dry run records every dummy-library hypercall up
+//!    to the `READY` trap; the recorded actions compile into the init
+//!    routine.
+//! 2. [`ProbeMode::DynamicSource`] — open-source firmware without
+//!    instrumentation: allocator functions are located by name patterns in
+//!    the symbol table (`Xalloc()`-style signatures) and *verified
+//!    dynamically* during the dry run; boot-time allocations are recorded
+//!    through call/return interception.
+//! 3. [`ProbeMode::DynamicBinary`] — closed-source binary-only firmware: a
+//!    multi-pass dry run records every completed call's argument and return
+//!    value; allocator candidates are identified purely from that dataflow
+//!    (small-integer arguments, distinct RAM-pointer returns, frees fed by
+//!    prior returns), with optional tester [`PriorKnowledge`].
+
+use std::collections::BTreeMap;
+
+use embsan_asm::image::{FirmwareImage, InstrMode, SymbolKind};
+use embsan_asm::sanabi::hyper;
+use embsan_dsl::{FuncHook, FuncRole, InitProgram, InitStep, PlatformSpec, ReadyPoint};
+use embsan_emu::cpu::CpuView;
+use embsan_emu::hook::{ExecHook, HookAction, HookConfig};
+use embsan_emu::isa::Reg;
+use embsan_emu::machine::RunExit;
+use embsan_emu::profile::{Arch, ArchProfile, Endian};
+
+/// Which probing strategy to use (the paper's three firmware categories).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeMode {
+    /// Category 1: compile-time instrumented firmware.
+    CompileTime,
+    /// Category 2: open-source firmware without instrumentation support.
+    DynamicSource,
+    /// Category 3: closed-source binary-only firmware.
+    DynamicBinary,
+}
+
+/// Tester-provided prior knowledge for binary-only probing ("with some
+/// manual intervention", §3.2).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PriorKnowledge {
+    /// Known allocator entry point.
+    pub alloc_addr: Option<u32>,
+    /// Known free entry point.
+    pub free_addr: Option<u32>,
+    /// Known heap bounds.
+    pub heap: Option<(u32, u32)>,
+    /// Known ready-point address.
+    pub ready_addr: Option<u32>,
+}
+
+/// The prober's output: the two DSL documents the runtime consumes.
+#[derive(Debug, Clone)]
+pub struct ProbeArtifacts {
+    /// Platform configuration specification.
+    pub platform: PlatformSpec,
+    /// Sanitizer initialization routine.
+    pub init: InitProgram,
+}
+
+impl ProbeArtifacts {
+    /// Renders both artifacts as DSL text (what the paper's Prober emits).
+    pub fn to_dsl(&self) -> String {
+        format!("{}\n\n{}\n", self.platform, self.init)
+    }
+}
+
+/// Probing errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProbeError {
+    /// Compile-time mode requires an instrumented image.
+    NotInstrumented,
+    /// Source mode requires a symbol table.
+    NoSymbols,
+    /// No allocator could be identified (and no prior knowledge supplied).
+    AllocatorNotFound,
+    /// The dry run did not reach the ready state.
+    BootFailed(String),
+}
+
+impl std::fmt::Display for ProbeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProbeError::NotInstrumented => {
+                write!(f, "firmware lacks compile-time instrumentation")
+            }
+            ProbeError::NoSymbols => write!(f, "firmware has no symbol table"),
+            ProbeError::AllocatorNotFound => {
+                write!(f, "no allocator function could be identified")
+            }
+            ProbeError::BootFailed(msg) => write!(f, "dry run failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ProbeError {}
+
+/// Dry-run instruction budget.
+const DRY_RUN_BUDGET: u64 = 50_000_000;
+
+/// Largest plausible allocation-size argument during signature matching.
+const MAX_SIZE_ARG: u32 = 0x10000;
+
+fn reg_name(reg: Reg) -> String {
+    reg.name().to_string()
+}
+
+/// Builds the platform skeleton shared by all modes.
+fn platform_skeleton(image: &FirmwareImage) -> PlatformSpec {
+    let profile = ArchProfile::for_arch(image.arch);
+    PlatformSpec {
+        name: "probed".to_string(),
+        arch: match image.arch {
+            Arch::Armv => "armv",
+            Arch::Mipsv => "mipsv",
+            Arch::X86v => "x86v",
+        }
+        .to_string(),
+        endian_big: profile.endian == Endian::Big,
+        ram: (
+            u64::from(image.ram_base),
+            u64::from(image.ram_base) + u64::from(image.ram_size),
+        ),
+        mmio: (
+            u64::from(profile.mmio_base),
+            u64::from(profile.mmio_base) + u64::from(profile.mmio_size),
+        ),
+        hypercall_args: profile.hypercall.args.iter().copied().map(reg_name).collect(),
+        hypercall_ret: reg_name(profile.hypercall.ret),
+        check_reg: reg_name(Reg::SCRATCH),
+        instrumented: match image.instr {
+            InstrMode::SanCall => "sancall",
+            InstrMode::Native => "native",
+            InstrMode::None => "none",
+        }
+        .to_string(),
+        ready: None,
+        funcs: Vec::new(),
+    }
+}
+
+/// Compiles a net-live allocation set into init steps.
+fn alloc_steps(live: &BTreeMap<u32, (u32, u32)>) -> Vec<InitStep> {
+    live.iter()
+        .map(|(&addr, &(size, site))| InitStep::Alloc {
+            addr: u64::from(addr),
+            size: u64::from(size),
+            site: u64::from(site),
+        })
+        .collect()
+}
+
+/// Probes a firmware image.
+///
+/// # Errors
+///
+/// See [`ProbeError`].
+pub fn probe(
+    image: &FirmwareImage,
+    mode: ProbeMode,
+    prior: Option<&PriorKnowledge>,
+) -> Result<ProbeArtifacts, ProbeError> {
+    match mode {
+        ProbeMode::CompileTime => probe_compile_time(image),
+        ProbeMode::DynamicSource => probe_dynamic_source(image),
+        ProbeMode::DynamicBinary => probe_dynamic_binary(image, prior),
+    }
+}
+
+// --- Category 1: compile-time instrumented firmware ---------------------
+
+/// Records dummy-library hypercalls during the dry run.
+#[derive(Default)]
+struct HypercallRecorder {
+    events: Vec<(u32, [u32; 3])>,
+    ready: bool,
+}
+
+impl ExecHook for HypercallRecorder {
+    fn hypercall(&mut self, cpu: &mut CpuView<'_>, nr: u32) -> HookAction {
+        let profile = ArchProfile::for_arch(arch_of(cpu));
+        let arg = |cpu: &CpuView<'_>, i: usize| cpu.reg(profile.hypercall.args[i]);
+        match nr {
+            hyper::ALLOC | hyper::FREE | hyper::REGISTER_GLOBAL => {
+                self.events
+                    .push((nr, [arg(cpu, 0), arg(cpu, 1), arg(cpu, 2)]));
+                HookAction::Continue
+            }
+            hyper::READY => {
+                self.ready = true;
+                HookAction::Stop
+            }
+            _ => HookAction::Continue,
+        }
+    }
+}
+
+/// Recovers the architecture from the MMIO base (hooks have no direct
+/// machine handle; the bus uniquely identifies the profile).
+fn arch_of(cpu: &CpuView<'_>) -> Arch {
+    for arch in Arch::ALL {
+        if cpu.bus.is_mmio(ArchProfile::for_arch(arch).mmio_base) {
+            return arch;
+        }
+    }
+    Arch::Armv
+}
+
+fn probe_compile_time(image: &FirmwareImage) -> Result<ProbeArtifacts, ProbeError> {
+    if image.instr != InstrMode::SanCall {
+        return Err(ProbeError::NotInstrumented);
+    }
+    let mut machine = image
+        .boot_machine(1)
+        .map_err(|e| ProbeError::BootFailed(e.to_string()))?;
+    let mut recorder = HypercallRecorder::default();
+    machine.set_hook_config(HookConfig { hypercalls: true, ..HookConfig::none() });
+    let exit = machine
+        .run(&mut recorder, DRY_RUN_BUDGET)
+        .map_err(|e| ProbeError::BootFailed(e.to_string()))?;
+    if !recorder.ready {
+        return Err(ProbeError::BootFailed(format!(
+            "no READY trap before {exit:?}"
+        )));
+    }
+
+    let mut init = InitProgram::default();
+    // Heap bounds from the symbol table (available for category-1 firmware).
+    if let (Some(start), Some(end)) = (image.symbol("__heap_start"), image.symbol("__heap_end")) {
+        init.steps.push(InitStep::Poison {
+            start: u64::from(start),
+            end: u64::from(end),
+            kind: embsan_dsl::PoisonKind::HeapRedzone,
+        });
+    }
+    let mut live: BTreeMap<u32, (u32, u32)> = BTreeMap::new();
+    let mut globals = Vec::new();
+    for (nr, args) in &recorder.events {
+        match *nr {
+            hyper::ALLOC
+                if args[0] != 0 => {
+                    live.insert(args[0], (args[1], 0));
+                }
+            hyper::FREE => {
+                live.remove(&args[0]);
+            }
+            hyper::REGISTER_GLOBAL => globals.push(InitStep::Global {
+                addr: u64::from(args[0]),
+                size: u64::from(args[1]),
+                redzone: u64::from(args[2]),
+            }),
+            _ => {}
+        }
+    }
+    init.steps.extend(globals);
+    init.steps.extend(alloc_steps(&live));
+    init.steps.push(InitStep::Ready);
+
+    let mut platform = platform_skeleton(image);
+    platform.ready = Some(ReadyPoint::Hypercall);
+    Ok(ProbeArtifacts { platform, init })
+}
+
+// --- Call/return recording shared by the dynamic modes -------------------
+
+#[derive(Debug, Clone, Copy)]
+struct CompletedCall {
+    target: u32,
+    arg0: u32,
+    ret_value: u32,
+    site: u32,
+}
+
+#[derive(Default)]
+struct CallRecorder {
+    pending: Vec<Vec<(u32, u32, u32)>>, // per-cpu (target, ret_to, arg0)
+    completed: Vec<CompletedCall>,
+}
+
+impl CallRecorder {
+    fn new(cpus: usize) -> CallRecorder {
+        CallRecorder { pending: vec![Vec::new(); cpus], completed: Vec::new() }
+    }
+}
+
+impl ExecHook for CallRecorder {
+    fn call(&mut self, cpu: &mut CpuView<'_>, target: u32, ret_to: u32) {
+        let idx = cpu.cpu_index();
+        self.pending[idx].push((target, ret_to, cpu.reg(Reg::A0)));
+    }
+
+    fn ret(&mut self, cpu: &mut CpuView<'_>, target: u32) {
+        let idx = cpu.cpu_index();
+        if let Some(&(call_target, ret_to, arg0)) = self.pending[idx].last() {
+            if ret_to == target {
+                self.pending[idx].pop();
+                self.completed.push(CompletedCall {
+                    target: call_target,
+                    arg0,
+                    ret_value: cpu.reg(Reg::A0),
+                    site: target.wrapping_sub(4),
+                });
+            }
+        }
+    }
+}
+
+/// Runs the dry run with call recording until the ready point.
+fn dry_run_calls(
+    image: &FirmwareImage,
+    ready_addr: Option<u32>,
+) -> Result<Vec<CompletedCall>, ProbeError> {
+    let mut machine = image
+        .boot_machine(1)
+        .map_err(|e| ProbeError::BootFailed(e.to_string()))?;
+    let mut recorder = CallRecorder::new(1);
+    machine.set_hook_config(HookConfig { calls: true, ..HookConfig::none() });
+    if let Some(addr) = ready_addr {
+        machine.add_breakpoint(addr);
+    }
+    let exit = machine
+        .run(&mut recorder, DRY_RUN_BUDGET)
+        .map_err(|e| ProbeError::BootFailed(e.to_string()))?;
+    match (ready_addr, exit) {
+        (Some(addr), RunExit::Breakpoint { pc, .. }) if pc == addr => {}
+        (None, RunExit::AllIdle) => {}
+        (_, other) => {
+            return Err(ProbeError::BootFailed(format!(
+                "dry run ended with {other:?} before the ready point"
+            )))
+        }
+    }
+    Ok(recorder.completed)
+}
+
+/// Replays a completed-call trace for a chosen allocator pair, producing the
+/// net-live boot allocations.
+fn live_allocations(
+    calls: &[CompletedCall],
+    alloc_addr: u32,
+    free_addr: u32,
+) -> BTreeMap<u32, (u32, u32)> {
+    let mut live = BTreeMap::new();
+    for call in calls {
+        if call.target == alloc_addr && call.ret_value != 0 {
+            live.insert(call.ret_value, (call.arg0, call.site));
+        } else if call.target == free_addr {
+            live.remove(&call.arg0);
+        }
+    }
+    live
+}
+
+fn ram_contains(image: &FirmwareImage, addr: u32) -> bool {
+    addr >= image.ram_base && addr < image.ram_base + image.ram_size
+}
+
+// --- Category 2: open-source, no instrumentation -------------------------
+
+fn probe_dynamic_source(image: &FirmwareImage) -> Result<ProbeArtifacts, ProbeError> {
+    if !image.has_symbols() {
+        return Err(ProbeError::NoSymbols);
+    }
+    let ready_addr = image.ready.or_else(|| image.symbol("kernel_ready"));
+    let calls = dry_run_calls(image, ready_addr)?;
+
+    // Name-pattern candidates, verified against the observed dataflow.
+    let funcs: Vec<_> = image
+        .symbols
+        .iter()
+        .filter(|s| s.kind == SymbolKind::Func && !s.name.starts_with("__san_"))
+        .collect();
+    let verify_alloc = |addr: u32| {
+        calls.iter().any(|c| {
+            c.target == addr
+                && c.arg0 > 0
+                && c.arg0 < MAX_SIZE_ARG
+                && ram_contains(image, c.ret_value)
+        })
+    };
+    let alloc_sym = funcs
+        .iter()
+        .find(|s| {
+            let lower = s.name.to_lowercase();
+            lower.contains("alloc") && !lower.contains("free") && verify_alloc(s.addr)
+        })
+        .ok_or(ProbeError::AllocatorNotFound)?;
+    let alloc_rets: Vec<u32> = calls
+        .iter()
+        .filter(|c| c.target == alloc_sym.addr)
+        .map(|c| c.ret_value)
+        .collect();
+    let free_sym = funcs
+        .iter()
+        .find(|s| {
+            let lower = s.name.to_lowercase();
+            lower.contains("free")
+                && calls
+                    .iter()
+                    .any(|c| c.target == s.addr && alloc_rets.contains(&c.arg0))
+        })
+        .ok_or(ProbeError::AllocatorNotFound)?;
+
+    let mut platform = platform_skeleton(image);
+    platform.ready = ready_addr.map(|a| ReadyPoint::Addr(u64::from(a)));
+    platform.funcs = vec![
+        FuncHook {
+            symbol: alloc_sym.name.clone(),
+            addr: u64::from(alloc_sym.addr),
+            role: FuncRole::Alloc,
+            params: vec![("size".to_string(), 0)],
+            returns: Some("addr".to_string()),
+        },
+        FuncHook {
+            symbol: free_sym.name.clone(),
+            addr: u64::from(free_sym.addr),
+            role: FuncRole::Free,
+            params: vec![("addr".to_string(), 0)],
+            returns: None,
+        },
+    ];
+
+    let mut init = InitProgram::default();
+    if let (Some(start), Some(end)) = (image.symbol("__heap_start"), image.symbol("__heap_end")) {
+        init.steps.push(InitStep::Poison {
+            start: u64::from(start),
+            end: u64::from(end),
+            kind: embsan_dsl::PoisonKind::HeapRedzone,
+        });
+    }
+    init.steps
+        .extend(alloc_steps(&live_allocations(&calls, alloc_sym.addr, free_sym.addr)));
+    init.steps.push(InitStep::Ready);
+    Ok(ProbeArtifacts { platform, init })
+}
+
+// --- Category 3: closed-source binary-only -------------------------------
+
+fn probe_dynamic_binary(
+    image: &FirmwareImage,
+    prior: Option<&PriorKnowledge>,
+) -> Result<ProbeArtifacts, ProbeError> {
+    let prior = prior.copied().unwrap_or_default();
+    let calls = dry_run_calls(image, prior.ready_addr)?;
+
+    // Group completed calls by target.
+    let mut by_target: BTreeMap<u32, Vec<&CompletedCall>> = BTreeMap::new();
+    for call in &calls {
+        by_target.entry(call.target).or_default().push(call);
+    }
+
+    // Allocator signature: called at least twice, all arguments look like
+    // sizes (small positive integers), all returns are distinct RAM
+    // pointers.
+    let alloc_addr = match prior.alloc_addr {
+        Some(addr) => addr,
+        None => {
+            let mut candidates: Vec<(u32, usize)> = by_target
+                .iter()
+                .filter(|(_, calls)| {
+                    calls.len() >= 2
+                        && calls.iter().all(|c| {
+                            c.arg0 > 0
+                                && c.arg0 < MAX_SIZE_ARG
+                                && ram_contains(image, c.ret_value)
+                        })
+                        && {
+                            let mut rets: Vec<u32> =
+                                calls.iter().map(|c| c.ret_value).collect();
+                            rets.sort_unstable();
+                            rets.windows(2).all(|w| w[0] != w[1])
+                        }
+                })
+                .map(|(&target, calls)| (target, calls.len()))
+                .collect();
+            candidates.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+            candidates.first().map(|&(t, _)| t).ok_or(ProbeError::AllocatorNotFound)?
+        }
+    };
+    let alloc_rets: Vec<u32> = by_target
+        .get(&alloc_addr)
+        .map(|calls| calls.iter().map(|c| c.ret_value).collect())
+        .unwrap_or_default();
+
+    // Free signature: called with pointers previously returned by the
+    // allocator.
+    let free_addr = match prior.free_addr {
+        Some(addr) => addr,
+        None => by_target
+            .iter()
+            .filter(|(&target, _)| target != alloc_addr)
+            .find(|(_, calls)| calls.iter().any(|c| alloc_rets.contains(&c.arg0)))
+            .map(|(&target, _)| target)
+            .ok_or(ProbeError::AllocatorNotFound)?,
+    };
+
+    let mut platform = platform_skeleton(image);
+    platform.ready = prior.ready_addr.map(|a| ReadyPoint::Addr(u64::from(a)));
+    platform.funcs = vec![
+        FuncHook {
+            symbol: format!("fn_{alloc_addr:08x}"),
+            addr: u64::from(alloc_addr),
+            role: FuncRole::Alloc,
+            params: vec![("size".to_string(), 0)],
+            returns: Some("addr".to_string()),
+        },
+        FuncHook {
+            symbol: format!("fn_{free_addr:08x}"),
+            addr: u64::from(free_addr),
+            role: FuncRole::Free,
+            params: vec![("addr".to_string(), 0)],
+            returns: None,
+        },
+    ];
+
+    let mut init = InitProgram::default();
+    // Heap bounds only with prior knowledge; otherwise the runtime relies
+    // on per-allocation tail redzones.
+    if let Some((start, end)) = prior.heap {
+        init.steps.push(InitStep::Poison {
+            start: u64::from(start),
+            end: u64::from(end),
+            kind: embsan_dsl::PoisonKind::HeapRedzone,
+        });
+    }
+    init.steps
+        .extend(alloc_steps(&live_allocations(&calls, alloc_addr, free_addr)));
+    init.steps.push(InitStep::Ready);
+    Ok(ProbeArtifacts { platform, init })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embsan_dsl::PoisonKind;
+    use embsan_emu::profile::Arch;
+    use embsan_guestos::{os, BuildOptions, SanMode};
+
+    #[test]
+    fn compile_time_probe_records_boot_actions() {
+        let opts = BuildOptions::new(Arch::Armv).san(SanMode::SanCall);
+        let image = os::emblinux::build(&opts, &[]).unwrap();
+        let artifacts = probe(&image, ProbeMode::CompileTime, None).unwrap();
+        assert_eq!(artifacts.platform.instrumented, "sancall");
+        assert_eq!(artifacts.platform.ready, Some(ReadyPoint::Hypercall));
+        let steps = &artifacts.init.steps;
+        // Heap poison first, globals registered, net-live boot alloc
+        // (boot_obj: 96 bytes), ready last.
+        assert!(matches!(
+            steps[0],
+            InitStep::Poison { kind: PoisonKind::HeapRedzone, .. }
+        ));
+        assert!(steps.iter().any(|s| matches!(s, InitStep::Global { redzone: 32, .. })));
+        let allocs: Vec<_> = steps
+            .iter()
+            .filter_map(|s| match s {
+                InitStep::Alloc { size, .. } => Some(*size),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(allocs, vec![96], "only the long-lived boot alloc survives");
+        assert_eq!(*steps.last().unwrap(), InitStep::Ready);
+    }
+
+    #[test]
+    fn compile_time_probe_rejects_uninstrumented() {
+        let opts = BuildOptions::new(Arch::Armv);
+        let image = os::emblinux::build(&opts, &[]).unwrap();
+        assert_eq!(
+            probe(&image, ProbeMode::CompileTime, None).unwrap_err(),
+            ProbeError::NotInstrumented
+        );
+    }
+
+    #[test]
+    fn dynamic_source_probe_identifies_allocators() {
+        type BuildFn = fn(
+            &BuildOptions,
+            &[embsan_guestos::BugSpec],
+        )
+            -> Result<embsan_asm::FirmwareImage, embsan_asm::LinkError>;
+        let cases: [(BuildFn, &str, &str); 3] = [
+            (os::emblinux::build, "kmalloc", "kfree"),
+            (os::freertos::build, "pvPortMalloc", "vPortFree"),
+            (os::liteos::build, "LOS_MemAlloc", "LOS_MemFree"),
+        ];
+        for (build, alloc, free) in cases {
+            let opts = BuildOptions::new(Arch::Armv);
+            let image = build(&opts, &[]).unwrap();
+            let artifacts = probe(&image, ProbeMode::DynamicSource, None).unwrap();
+            let alloc_hook = artifacts.platform.func_by_role(FuncRole::Alloc).unwrap();
+            assert_eq!(alloc_hook.symbol, alloc);
+            assert_eq!(alloc_hook.addr as u32, image.symbol(alloc).unwrap());
+            let free_hook = artifacts.platform.func_by_role(FuncRole::Free).unwrap();
+            assert_eq!(free_hook.symbol, free);
+            // Ready point resolved from the symbol table.
+            assert!(matches!(artifacts.platform.ready, Some(ReadyPoint::Addr(_))));
+        }
+    }
+
+    #[test]
+    fn dynamic_source_requires_symbols() {
+        let opts = BuildOptions::new(Arch::Armv);
+        let image = os::vxworks::build(&opts, &[]).unwrap(); // stripped
+        assert_eq!(
+            probe(&image, ProbeMode::DynamicSource, None).unwrap_err(),
+            ProbeError::NoSymbols
+        );
+    }
+
+    #[test]
+    fn dynamic_binary_probe_finds_allocator_by_signature() {
+        let opts = BuildOptions::new(Arch::Armv);
+        let stripped = os::vxworks::build(&opts, &[]).unwrap();
+        let truth = os::vxworks::build_unstripped(&opts, &[]).unwrap();
+        let artifacts = probe(&stripped, ProbeMode::DynamicBinary, None).unwrap();
+        let alloc_hook = artifacts.platform.func_by_role(FuncRole::Alloc).unwrap();
+        let free_hook = artifacts.platform.func_by_role(FuncRole::Free).unwrap();
+        // The dataflow heuristic must land on the real allocator pair.
+        assert_eq!(alloc_hook.addr as u32, truth.symbol("memPartAlloc").unwrap());
+        assert_eq!(free_hook.addr as u32, truth.symbol("memPartFree").unwrap());
+        // Boot's net-live allocation is replayed.
+        assert!(artifacts
+            .init
+            .steps
+            .iter()
+            .any(|s| matches!(s, InitStep::Alloc { size: 96, .. })));
+    }
+
+    #[test]
+    fn prior_knowledge_overrides_heuristics() {
+        let opts = BuildOptions::new(Arch::Armv);
+        let stripped = os::vxworks::build(&opts, &[]).unwrap();
+        let truth = os::vxworks::build_unstripped(&opts, &[]).unwrap();
+        let prior = PriorKnowledge {
+            alloc_addr: truth.symbol("memPartAlloc"),
+            free_addr: truth.symbol("memPartFree"),
+            heap: Some((
+                truth.symbol("__heap_start").unwrap(),
+                truth.symbol("__heap_end").unwrap(),
+            )),
+            ready_addr: truth.symbol("kernel_ready"),
+        };
+        let artifacts = probe(&stripped, ProbeMode::DynamicBinary, Some(&prior)).unwrap();
+        assert!(matches!(
+            artifacts.init.steps[0],
+            InitStep::Poison { kind: PoisonKind::HeapRedzone, .. }
+        ));
+        assert!(matches!(artifacts.platform.ready, Some(ReadyPoint::Addr(_))));
+    }
+
+    #[test]
+    fn artifacts_render_as_parseable_dsl() {
+        let opts = BuildOptions::new(Arch::Mipsv).san(SanMode::SanCall);
+        let image = os::emblinux::build(&opts, &[]).unwrap();
+        let artifacts = probe(&image, ProbeMode::CompileTime, None).unwrap();
+        let text = artifacts.to_dsl();
+        let items = embsan_dsl::parse(&text).unwrap();
+        assert_eq!(items.len(), 2);
+        assert!(matches!(items[0], embsan_dsl::Item::Platform(_)));
+        assert!(matches!(items[1], embsan_dsl::Item::Init(_)));
+    }
+}

@@ -1,0 +1,220 @@
+//! The unified shadow memory (§3.3).
+//!
+//! One host-side shadow byte per 8 guest bytes of RAM, shared by every
+//! sanitizer engine ("the conservation of memory resources on the host
+//! machine"). Encoding follows KASAN: `0` fully addressable, `1..=7`
+//! first-N-bytes addressable, `≥ 0x80` poisoned with a class code.
+
+/// Shadow granule size in bytes.
+pub const GRANULE: u32 = 8;
+
+/// Poison class codes (the high-bit range).
+pub mod code {
+    /// Unallocated heap memory.
+    pub const HEAP: u8 = 0xFF;
+    /// Redzone following a heap object.
+    pub const HEAP_REDZONE: u8 = 0xFA;
+    /// Freed (quarantined) memory.
+    pub const FREED: u8 = 0xFD;
+    /// Redzone around a global object.
+    pub const GLOBAL_REDZONE: u8 = 0xF9;
+    /// Memory poisoned for any other reason.
+    pub const INVALID: u8 = 0xFE;
+}
+
+/// Result of a failed shadow check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShadowViolation {
+    /// First out-of-policy byte address.
+    pub bad_addr: u32,
+    /// The shadow code at that byte (`code::*`, or `1..=7` for a partial
+    /// granule overrun).
+    pub code: u8,
+}
+
+/// Host-side shadow of guest RAM.
+#[derive(Debug, Clone)]
+pub struct ShadowMemory {
+    ram_base: u32,
+    bytes: Vec<u8>,
+}
+
+impl ShadowMemory {
+    /// Creates an all-addressable shadow for `ram_size` bytes of RAM at
+    /// `ram_base`.
+    pub fn new(ram_base: u32, ram_size: u32) -> ShadowMemory {
+        ShadowMemory { ram_base, bytes: vec![0; (ram_size / GRANULE) as usize] }
+    }
+
+    /// Whether `addr` is covered by the shadow (i.e. inside RAM).
+    pub fn covers(&self, addr: u32) -> bool {
+        addr >= self.ram_base
+            && ((addr - self.ram_base) / GRANULE) < self.bytes.len() as u32
+    }
+
+    fn index(&self, addr: u32) -> usize {
+        debug_assert!(self.covers(addr));
+        ((addr - self.ram_base) / GRANULE) as usize
+    }
+
+    /// Reads the shadow byte covering `addr`.
+    pub fn get(&self, addr: u32) -> u8 {
+        self.bytes[self.index(addr)]
+    }
+
+    /// Poisons `[start, end)` with `poison_code`. Partially covered edge
+    /// granules are fully poisoned (conservative, like KASAN's
+    /// `kasan_poison` which requires granule alignment — callers align).
+    pub fn poison(&mut self, start: u32, end: u32, poison_code: u8) {
+        if end <= start || !self.covers(start) {
+            return;
+        }
+        let from = self.index(start);
+        let to = self.index(end.min(self.limit()) - 1);
+        for byte in &mut self.bytes[from..=to] {
+            *byte = poison_code;
+        }
+    }
+
+    /// Unpoisons an object `[addr, addr+size)`: full granules become
+    /// addressable, a trailing partial granule gets the `size % 8`
+    /// watermark.
+    pub fn unpoison_object(&mut self, addr: u32, size: u32) {
+        if size == 0 || !self.covers(addr) {
+            return;
+        }
+        let full = (size / GRANULE) as usize;
+        let from = self.index(addr);
+        let end = (from + full).min(self.bytes.len());
+        for byte in &mut self.bytes[from..end] {
+            *byte = 0;
+        }
+        let tail = (size % GRANULE) as u8;
+        if tail != 0 && from + full < self.bytes.len() {
+            self.bytes[from + full] = tail;
+        }
+    }
+
+    /// One past the highest shadowed address.
+    pub fn limit(&self) -> u32 {
+        self.ram_base + self.bytes.len() as u32 * GRANULE
+    }
+
+    /// Checks an access of `size` bytes at `addr`.
+    ///
+    /// Addresses outside RAM are not the shadow's business (MMIO, ROM) and
+    /// always pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violating byte and its shadow code.
+    pub fn check(&self, addr: u32, size: u8) -> Result<(), ShadowViolation> {
+        let end = addr.saturating_add(u32::from(size));
+        let mut cursor = addr;
+        while cursor < end {
+            if !self.covers(cursor) {
+                cursor += 1;
+                continue;
+            }
+            let shadow = self.bytes[self.index(cursor)];
+            if shadow == 0 {
+                // Whole granule addressable: skip to the next granule.
+                cursor = (cursor / GRANULE + 1) * GRANULE;
+                continue;
+            }
+            if shadow >= 0x80 {
+                return Err(ShadowViolation { bad_addr: cursor, code: shadow });
+            }
+            // Partial granule: bytes `granule_start .. granule_start+shadow`
+            // are addressable.
+            let offset_in_granule = (cursor % GRANULE) as u8;
+            if offset_in_granule >= shadow {
+                return Err(ShadowViolation { bad_addr: cursor, code: shadow });
+            }
+            cursor += 1;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shadow() -> ShadowMemory {
+        ShadowMemory::new(0x10_0000, 0x1000)
+    }
+
+    #[test]
+    fn fresh_shadow_is_addressable() {
+        let s = shadow();
+        assert!(s.check(0x10_0000, 4).is_ok());
+        assert!(s.check(0x10_0FFC, 4).is_ok());
+        // Outside RAM: not our business.
+        assert!(s.check(0xF000_0000, 4).is_ok());
+        assert!(s.check(0, 4).is_ok());
+    }
+
+    #[test]
+    fn poison_and_detect() {
+        let mut s = shadow();
+        s.poison(0x10_0100, 0x10_0140, code::HEAP);
+        assert_eq!(
+            s.check(0x10_0100, 1),
+            Err(ShadowViolation { bad_addr: 0x10_0100, code: code::HEAP })
+        );
+        assert!(s.check(0x10_00F8, 8).is_ok());
+        // Access straddling into the poison is caught at the first bad byte.
+        assert_eq!(
+            s.check(0x10_00FE, 4).unwrap_err().bad_addr,
+            0x10_0100
+        );
+        assert!(s.check(0x10_0140, 4).is_ok());
+    }
+
+    #[test]
+    fn unpoison_object_with_partial_tail() {
+        let mut s = shadow();
+        s.poison(0x10_0200, 0x10_0280, code::HEAP);
+        s.unpoison_object(0x10_0200, 20); // 2 full granules + 4-byte tail
+        assert!(s.check(0x10_0200, 4).is_ok());
+        assert!(s.check(0x10_0210, 4).is_ok()); // bytes 16..20
+        // Byte 20 is past the watermark (tail granule allows 4 bytes).
+        let err = s.check(0x10_0214, 1).unwrap_err();
+        assert_eq!(err.code, 4);
+        // And byte 24 hits the fully poisoned next granule.
+        assert_eq!(s.check(0x10_0218, 1).unwrap_err().code, code::HEAP);
+    }
+
+    #[test]
+    fn partial_tail_read_across_watermark_fails() {
+        let mut s = shadow();
+        s.poison(0x10_0300, 0x10_0320, code::HEAP);
+        s.unpoison_object(0x10_0300, 6);
+        assert!(s.check(0x10_0300, 4).is_ok());
+        assert!(s.check(0x10_0304, 2).is_ok());
+        assert!(s.check(0x10_0304, 4).is_err()); // bytes 6..8 not addressable
+    }
+
+    #[test]
+    fn granule_math_at_boundaries() {
+        let mut s = shadow();
+        // Poison the very last granule.
+        s.poison(0x10_0FF8, 0x10_1000, code::INVALID);
+        assert!(s.check(0x10_0FF0, 8).is_ok());
+        assert!(s.check(0x10_0FF8, 1).is_err());
+        // Unpoison it as a 3-byte object.
+        s.unpoison_object(0x10_0FF8, 3);
+        assert!(s.check(0x10_0FF8, 2).is_ok());
+        assert!(s.check(0x10_0FFB, 1).is_err());
+    }
+
+    #[test]
+    fn zero_size_and_out_of_range_are_noops() {
+        let mut s = shadow();
+        s.unpoison_object(0x10_0000, 0);
+        s.poison(0x10_0010, 0x10_0010, code::HEAP); // empty range
+        s.poison(0xFFFF_0000, 0xFFFF_0100, code::HEAP); // out of range
+        assert!(s.check(0x10_0000, 4).is_ok());
+    }
+}

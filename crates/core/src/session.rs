@@ -1,0 +1,500 @@
+//! Testing-phase orchestration (§3.4 / §3.5).
+//!
+//! A [`Session`] binds a firmware image, the merged sanitizer spec and the
+//! prober's artifacts into a runnable sanitized machine:
+//!
+//! 1. [`Session::run_to_ready`] boots the firmware to its ready-to-run
+//!    point (READY hypercall, ready-address breakpoint, or first idle,
+//!    per the platform spec), applies the init routine, activates the
+//!    runtime, and snapshots the machine for fast resets;
+//! 2. [`Session::run_program`] injects one executor test program and
+//!    collects results, console output and new sanitizer reports;
+//! 3. [`Session::reset`] restores the post-ready snapshot (machine *and*
+//!    sanitizer state), giving fuzzers a clean target per input.
+
+use embsan_asm::image::FirmwareImage;
+use embsan_dsl::{merge, InitProgram, ReadyPoint, SanitizerSpec};
+use embsan_emu::machine::{Machine, RunExit};
+use embsan_emu::snapshot::Snapshot;
+use embsan_emu::EmuError;
+use embsan_guestos::executor::ExecProgram;
+
+use crate::probe::ProbeArtifacts;
+use crate::report::Report;
+use crate::runtime::{EmbsanRuntime, RuntimeError, RuntimeState};
+
+/// Session construction/run errors.
+#[derive(Debug)]
+pub enum SessionError {
+    /// Emulator-level failure.
+    Emu(EmuError),
+    /// Runtime construction failure.
+    Runtime(RuntimeError),
+    /// The firmware did not reach its ready point within the budget.
+    ReadyTimeout(String),
+    /// An operation that requires the ready state was called too early.
+    NotReady,
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::Emu(e) => write!(f, "emulator error: {e}"),
+            SessionError::Runtime(e) => write!(f, "runtime error: {e}"),
+            SessionError::ReadyTimeout(msg) => write!(f, "firmware never became ready: {msg}"),
+            SessionError::NotReady => write!(f, "session has not reached the ready state"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<EmuError> for SessionError {
+    fn from(e: EmuError) -> SessionError {
+        SessionError::Emu(e)
+    }
+}
+
+impl From<RuntimeError> for SessionError {
+    fn from(e: RuntimeError) -> SessionError {
+        SessionError::Runtime(e)
+    }
+}
+
+/// Outcome of running one test program.
+#[derive(Debug)]
+pub struct ExecOutcome {
+    /// How the run ended (normally [`RunExit::AllIdle`]).
+    pub exit: RunExit,
+    /// Per-call result bytes from the executor.
+    pub results: Vec<u8>,
+    /// New (deduplicated) sanitizer reports from this program.
+    pub reports: Vec<Report>,
+    /// Console output produced during the program.
+    pub console: Vec<u8>,
+}
+
+/// A sanitized testing session over one firmware image.
+pub struct Session {
+    machine: Machine,
+    runtime: EmbsanRuntime,
+    init: InitProgram,
+    ready: Option<ReadyPoint>,
+    image: FirmwareImage,
+    ready_done: bool,
+    baseline: Option<(Snapshot, RuntimeState)>,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("ready", &self.ready_done)
+            .field("reports", &self.runtime.reports().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Session {
+    /// Creates a single-vCPU session.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the machine cannot be built or the specs do not resolve.
+    pub fn new(
+        image: &FirmwareImage,
+        specs: &[SanitizerSpec],
+        artifacts: &ProbeArtifacts,
+    ) -> Result<Session, SessionError> {
+        Session::with_cpus(image, specs, artifacts, 1)
+    }
+
+    /// Creates a session with `cpus` vCPUs (≥2 for race-capable firmware).
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::new`].
+    pub fn with_cpus(
+        image: &FirmwareImage,
+        specs: &[SanitizerSpec],
+        artifacts: &ProbeArtifacts,
+        cpus: usize,
+    ) -> Result<Session, SessionError> {
+        let merged = if specs.len() == 1 { specs[0].clone() } else { merge(specs) };
+        let machine = image.boot_machine(cpus)?;
+        let runtime = EmbsanRuntime::new(&merged, &artifacts.platform, cpus)?;
+        let mut session = Session {
+            machine,
+            runtime,
+            init: artifacts.init.clone(),
+            ready: artifacts.platform.ready,
+            image: image.clone(),
+            ready_done: false,
+            baseline: None,
+        };
+        let config = session.runtime.hook_config();
+        session.machine.set_hook_config(config);
+        Ok(session)
+    }
+
+    /// The underlying machine (e.g. for console inspection).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Mutable machine access (e.g. to drive devices directly).
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// The runtime (report access, statistics).
+    pub fn runtime(&self) -> &EmbsanRuntime {
+        &self.runtime
+    }
+
+    /// Mutable runtime access (e.g. to set `stop_on_report`).
+    pub fn runtime_mut(&mut self) -> &mut EmbsanRuntime {
+        &mut self.runtime
+    }
+
+    /// All deduplicated reports so far.
+    pub fn reports(&self) -> &[Report] {
+        self.runtime.reports()
+    }
+
+    /// Renders a report against this session's firmware symbols.
+    pub fn render_report(&self, report: &Report) -> String {
+        report.render(if self.image.has_symbols() { Some(&self.image) } else { None })
+    }
+
+    /// Boots the firmware to its ready point, applies the init routine and
+    /// activates the sanitizer (§3.5's initialization step).
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::ReadyTimeout`] if the ready point is not reached
+    /// within `budget` instructions.
+    pub fn run_to_ready(&mut self, budget: u64) -> Result<(), SessionError> {
+        match self.ready {
+            Some(ReadyPoint::Hypercall) => {
+                let exit = self.machine.run(&mut self.runtime, budget)?;
+                if !(exit == RunExit::Stopped && self.runtime.ready_seen()) {
+                    return Err(SessionError::ReadyTimeout(format!("{exit:?}")));
+                }
+            }
+            Some(ReadyPoint::Addr(addr)) => {
+                let addr = addr as u32;
+                self.machine.add_breakpoint(addr);
+                let exit = self.machine.run(&mut self.runtime, budget)?;
+                self.machine.remove_breakpoint(addr);
+                if !matches!(exit, RunExit::Breakpoint { pc, .. } if pc == addr) {
+                    return Err(SessionError::ReadyTimeout(format!("{exit:?}")));
+                }
+            }
+            None => {
+                // Binary-only firmware: boot completes when the executor
+                // first idles.
+                let exit = self.machine.run(&mut self.runtime, budget)?;
+                if exit != RunExit::AllIdle {
+                    return Err(SessionError::ReadyTimeout(format!("{exit:?}")));
+                }
+            }
+        }
+        self.runtime.apply_init(&self.init);
+        if !self.runtime.is_active() {
+            // Init routines normally end with `ready;`; be lenient.
+            self.runtime.activate();
+        }
+        self.ready_done = true;
+        self.baseline = Some((self.machine.snapshot(), self.runtime.state()));
+        Ok(())
+    }
+
+    /// Restores the post-ready snapshot: machine and sanitizer state
+    /// (reports already collected are kept).
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::NotReady`] before [`Session::run_to_ready`].
+    pub fn reset(&mut self) -> Result<(), SessionError> {
+        let (snapshot, state) = self.baseline.as_ref().ok_or(SessionError::NotReady)?;
+        self.machine.restore(snapshot)?;
+        self.runtime.restore_state(state.clone());
+        Ok(())
+    }
+
+    /// Arms translation-block probes so an observer hook (e.g. a fuzzer's
+    /// coverage collector) receives block-enter events. Call once, before
+    /// or after [`Session::run_to_ready`] (the translation cache is
+    /// regenerated either way).
+    pub fn enable_block_coverage(&mut self) {
+        let mut config = self.runtime.hook_config();
+        config.blocks = true;
+        self.machine.set_hook_config(config);
+    }
+
+    /// Injects and runs one executor program, collecting its outcome.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::NotReady`] before [`Session::run_to_ready`].
+    pub fn run_program(
+        &mut self,
+        program: &ExecProgram,
+        budget: u64,
+    ) -> Result<ExecOutcome, SessionError> {
+        self.run_program_observed(program, budget, &mut embsan_emu::NullHook)
+    }
+
+    /// Like [`Session::run_program`], with a passive observer hook attached
+    /// (receiving the same events; its verdicts are ignored).
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::NotReady`] before [`Session::run_to_ready`].
+    pub fn run_program_observed(
+        &mut self,
+        program: &ExecProgram,
+        budget: u64,
+        observer: &mut dyn embsan_emu::ExecHook,
+    ) -> Result<ExecOutcome, SessionError> {
+        if !self.ready_done {
+            return Err(SessionError::NotReady);
+        }
+        self.machine.take_console();
+        self.runtime.take_new_reports();
+        self.machine
+            .bus_mut()
+            .devices
+            .mailbox
+            .host_load(&program.encode());
+        // Run in slices, waking parked vCPUs at each slice boundary (`wfi`
+        // waits for an event; host slicing is one). The completion signal is
+        // the executor's per-call result bytes — `AllIdle` alone is not
+        // usable on SMP firmware whose background task never sleeps.
+        let total_calls = program.calls.len();
+        let mut exit;
+        let mut spent: u64 = 0;
+        loop {
+            let slice = budget.saturating_sub(spent).clamp(1, 500_000);
+            let Session { machine, runtime, .. } = &mut *self;
+            let mut combined =
+                embsan_emu::hook::CombinedHook { primary: runtime, observer: &mut *observer };
+            exit = machine.run(&mut combined, slice)?;
+            spent += slice;
+            let done =
+                self.machine.bus().devices.mailbox.result_count() >= total_calls;
+            match exit {
+                RunExit::Faulted { .. } | RunExit::Halted { .. } => break,
+                RunExit::Stopped if self.runtime.stop_on_report => break,
+                _ if done => break,
+                // All vCPUs parked with the program incomplete: stuck.
+                RunExit::AllIdle => break,
+                _ if spent >= budget => break,
+                _ => {}
+            }
+        }
+        Ok(ExecOutcome {
+            exit,
+            results: self.machine.bus_mut().devices.mailbox.host_take_results(),
+            reports: self.runtime.take_new_reports(),
+            console: self.machine.take_console(),
+        })
+    }
+
+    /// Convenience: reset, then run the program (the fuzzing hot path).
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::reset`] and [`Session::run_program`].
+    pub fn run_program_fresh(
+        &mut self,
+        program: &ExecProgram,
+        budget: u64,
+    ) -> Result<ExecOutcome, SessionError> {
+        self.reset()?;
+        self.run_program(program, budget)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distill::reference_specs;
+    use crate::probe::{probe, ProbeMode};
+    use crate::report::BugClass;
+    use embsan_emu::profile::Arch;
+    use embsan_guestos::bugs::{trigger_key, BugKind, BugSpec};
+    use embsan_guestos::executor::sys;
+    use embsan_guestos::{os, BuildOptions, SanMode};
+
+    fn session_for(
+        san: SanMode,
+        mode: ProbeMode,
+        bugs: &[BugSpec],
+    ) -> Session {
+        let opts = BuildOptions::new(Arch::Armv).san(san);
+        let image = os::emblinux::build(&opts, bugs).unwrap();
+        let specs = reference_specs().unwrap();
+        let artifacts = probe(&image, mode, None).unwrap();
+        let mut session = Session::new(&image, &specs, &artifacts).unwrap();
+        session.run_to_ready(100_000_000).unwrap();
+        session
+    }
+
+    #[test]
+    fn embsan_c_detects_heap_oob_write() {
+        let bug = BugSpec::new("t/oob", BugKind::OobWrite);
+        let mut session =
+            session_for(SanMode::SanCall, ProbeMode::CompileTime, std::slice::from_ref(&bug));
+        let mut program = ExecProgram::new();
+        program.push(sys::BUG_BASE, &[trigger_key("t/oob")]);
+        let outcome = session.run_program(&program, 10_000_000).unwrap();
+        assert_eq!(
+            outcome.reports.iter().map(|r| r.class).collect::<Vec<_>>(),
+            vec![BugClass::HeapOob],
+            "console: {}",
+            String::from_utf8_lossy(&outcome.console)
+        );
+        assert!(outcome.reports[0].is_write);
+    }
+
+    #[test]
+    fn embsan_d_detects_heap_oob_via_dynamic_interception() {
+        let bug = BugSpec::new("t/oob", BugKind::OobWrite);
+        let mut session =
+            session_for(SanMode::None, ProbeMode::DynamicSource, std::slice::from_ref(&bug));
+        let mut program = ExecProgram::new();
+        program.push(sys::BUG_BASE, &[trigger_key("t/oob")]);
+        let outcome = session.run_program(&program, 10_000_000).unwrap();
+        assert!(
+            outcome.reports.iter().any(|r| r.class == BugClass::HeapOob),
+            "reports: {:?}",
+            outcome.reports
+        );
+    }
+
+    #[test]
+    fn no_false_positives_on_clean_workload() {
+        for (san, mode) in [
+            (SanMode::SanCall, ProbeMode::CompileTime),
+            (SanMode::None, ProbeMode::DynamicSource),
+        ] {
+            let mut session = session_for(san, mode, &[]);
+            let corpus = embsan_guestos::workload::merged_corpus(11, 3, 30);
+            for program in &corpus {
+                let outcome = session.run_program(program, 20_000_000).unwrap();
+                assert!(
+                    outcome.reports.is_empty(),
+                    "{san:?}/{mode:?} false positive: {:?}",
+                    outcome.reports
+                );
+                assert_eq!(outcome.exit, RunExit::AllIdle);
+            }
+        }
+    }
+
+    #[test]
+    fn reset_gives_clean_state_per_program() {
+        let bug = BugSpec::new("t/uaf", BugKind::Uaf);
+        let mut session = session_for(SanMode::SanCall, ProbeMode::CompileTime, &[bug]);
+        let mut trigger = ExecProgram::new();
+        trigger.push(sys::BUG_BASE, &[trigger_key("t/uaf")]);
+        let outcome = session.run_program_fresh(&trigger, 10_000_000).unwrap();
+        assert_eq!(outcome.reports.len(), 1);
+        assert_eq!(outcome.reports[0].class, BugClass::Uaf);
+        // Same program again after reset: the report deduplicates (same pc)
+        // but execution still works and state was clean.
+        let outcome = session.run_program_fresh(&trigger, 10_000_000).unwrap();
+        assert!(outcome.reports.is_empty());
+        assert_eq!(outcome.exit, RunExit::AllIdle);
+        // A clean program after reset sees no stale allocations.
+        let mut clean = ExecProgram::new();
+        clean.push(sys::ALLOC, &[64, 0]);
+        clean.push(sys::WRITE, &[0, 10, 1]);
+        let outcome = session.run_program_fresh(&clean, 10_000_000).unwrap();
+        assert!(outcome.reports.is_empty());
+    }
+
+    #[test]
+    fn double_free_detected_in_both_modes() {
+        let bug = BugSpec::new("t/df", BugKind::DoubleFree);
+        for (san, mode) in [
+            (SanMode::SanCall, ProbeMode::CompileTime),
+            (SanMode::None, ProbeMode::DynamicSource),
+        ] {
+            let mut session = session_for(san, mode, std::slice::from_ref(&bug));
+            let mut program = ExecProgram::new();
+            program.push(sys::BUG_BASE, &[trigger_key("t/df")]);
+            let outcome = session.run_program(&program, 10_000_000).unwrap();
+            assert!(
+                outcome.reports.iter().any(|r| r.class == BugClass::DoubleFree),
+                "{san:?}: {:?}",
+                outcome.reports
+            );
+        }
+    }
+
+    #[test]
+    fn null_deref_reported_from_fault() {
+        let bug = BugSpec::new("t/npd", BugKind::NullDeref);
+        let mut session = session_for(SanMode::SanCall, ProbeMode::CompileTime, &[bug]);
+        let mut program = ExecProgram::new();
+        program.push(sys::BUG_BASE, &[trigger_key("t/npd")]);
+        let outcome = session.run_program(&program, 10_000_000).unwrap();
+        assert!(outcome.reports.iter().any(|r| r.class == BugClass::NullDeref));
+        assert!(matches!(outcome.exit, RunExit::Faulted { .. }));
+        // The machine faulted; reset recovers it.
+        session.reset().unwrap();
+        let mut clean = ExecProgram::new();
+        clean.push(sys::NOP, &[]);
+        let outcome = session.run_program(&clean, 10_000_000).unwrap();
+        assert_eq!(outcome.exit, RunExit::AllIdle);
+    }
+
+    #[test]
+    fn global_oob_detected_by_c_missed_by_d() {
+        let bug = BugSpec::new("t/goob", BugKind::GlobalOob);
+        // EMBSAN-C: compile-time redzones catch it.
+        let mut session =
+            session_for(SanMode::SanCall, ProbeMode::CompileTime, std::slice::from_ref(&bug));
+        let mut program = ExecProgram::new();
+        program.push(sys::BUG_BASE, &[trigger_key("t/goob")]);
+        let outcome = session.run_program(&program, 10_000_000).unwrap();
+        assert!(
+            outcome.reports.iter().any(|r| r.class == BugClass::GlobalOob),
+            "EMBSAN-C must detect global OOB: {:?}",
+            outcome.reports
+        );
+        // EMBSAN-D: no redzones around globals — undetected (Table 2).
+        let mut session =
+            session_for(SanMode::None, ProbeMode::DynamicSource, std::slice::from_ref(&bug));
+        let outcome = session.run_program(&program, 10_000_000).unwrap();
+        assert!(
+            outcome.reports.is_empty(),
+            "EMBSAN-D must miss global OOB: {:?}",
+            outcome.reports
+        );
+    }
+
+    #[test]
+    fn race_detected_with_kcsan_on_smp() {
+        let bug = BugSpec::new("t/race", BugKind::Race);
+        let opts = BuildOptions::new(Arch::X86v).san(SanMode::SanCall).cpus(2);
+        let image = os::emblinux::build(&opts, std::slice::from_ref(&bug)).unwrap();
+        let specs = reference_specs().unwrap();
+        let artifacts = probe(&image, ProbeMode::CompileTime, None).unwrap();
+        let mut session = Session::with_cpus(&image, &specs, &artifacts, 2).unwrap();
+        session.run_to_ready(200_000_000).unwrap();
+        let mut program = ExecProgram::new();
+        // Several trigger calls: sampling needs a few chances.
+        for _ in 0..8 {
+            program.push(sys::BUG_BASE, &[trigger_key("t/race")]);
+        }
+        let outcome = session.run_program(&program, 100_000_000).unwrap();
+        assert!(
+            outcome.reports.iter().any(|r| r.class == BugClass::Race),
+            "reports: {:?}",
+            outcome.reports
+        );
+    }
+}

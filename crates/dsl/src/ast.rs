@@ -1,0 +1,542 @@
+//! Abstract syntax of the EMBSAN DSL.
+//!
+//! Every AST type implements [`std::fmt::Display`], printing the canonical
+//! DSL form; documents round-trip through [`crate::parse`]. The crate is
+//! deliberately independent of the emulator: architecture and register names
+//! are strings here, validated by the consumer (`embsan-core`).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The type of an interception-point argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ArgType {
+    /// 8-bit integer.
+    U8,
+    /// 16-bit integer.
+    U16,
+    /// 32-bit integer.
+    U32,
+    /// Pointer-sized integer.
+    Usize,
+    /// Guest pointer.
+    Ptr,
+}
+
+impl ArgType {
+    /// Parses a type name.
+    pub fn parse(name: &str) -> Option<ArgType> {
+        match name {
+            "u8" => Some(ArgType::U8),
+            "u16" => Some(ArgType::U16),
+            "u32" => Some(ArgType::U32),
+            "usize" => Some(ArgType::Usize),
+            "ptr" => Some(ArgType::Ptr),
+            _ => None,
+        }
+    }
+
+    /// The canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ArgType::U8 => "u8",
+            ArgType::U16 => "u16",
+            ArgType::U32 => "u32",
+            ArgType::Usize => "usize",
+            ArgType::Ptr => "ptr",
+        }
+    }
+
+    /// The wider of two types ("largest possible union of the data", §3.1).
+    pub fn widest(self, other: ArgType) -> ArgType {
+        self.max(other)
+    }
+}
+
+impl fmt::Display for ArgType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One argument of an interception point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgSpec {
+    /// Argument name.
+    pub name: String,
+    /// Argument type.
+    pub ty: ArgType,
+    /// Which source sanitizers requested this argument (filled by the merge;
+    /// empty in a single-sanitizer spec).
+    pub sources: Vec<String>,
+}
+
+impl ArgSpec {
+    /// Creates an argument with no source annotations.
+    pub fn new(name: &str, ty: ArgType) -> ArgSpec {
+        ArgSpec { name: name.to_string(), ty, sources: Vec::new() }
+    }
+}
+
+impl fmt::Display for ArgSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.name, self.ty)?;
+        if !self.sources.is_empty() {
+            write!(f, " from {}", self.sources.join(" "))?;
+        }
+        Ok(())
+    }
+}
+
+/// What an interception point attaches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PointKind {
+    /// A sensitive instruction class (load, store, atomic).
+    Insn,
+    /// A function call (allocators, registration).
+    Call,
+    /// A machine event (ready, fault).
+    Event,
+}
+
+impl PointKind {
+    /// Parses a kind keyword.
+    pub fn parse(name: &str) -> Option<PointKind> {
+        match name {
+            "insn" => Some(PointKind::Insn),
+            "call" => Some(PointKind::Call),
+            "event" => Some(PointKind::Event),
+            _ => None,
+        }
+    }
+
+    /// The canonical keyword.
+    pub fn name(self) -> &'static str {
+        match self {
+            PointKind::Insn => "insn",
+            PointKind::Call => "call",
+            PointKind::Event => "event",
+        }
+    }
+}
+
+impl fmt::Display for PointKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One interception point of a sanitizer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterceptPoint {
+    /// Attachment kind.
+    pub kind: PointKind,
+    /// Point name (`load`, `store`, `alloc`, `free`, `ready`, …).
+    pub name: String,
+    /// Arguments the sanitizer wants reconstructed at this point.
+    pub args: Vec<ArgSpec>,
+}
+
+impl fmt::Display for InterceptPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "intercept {} {} (", self.kind, self.name)?;
+        for (i, arg) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{arg}")?;
+        }
+        write!(f, ");")
+    }
+}
+
+/// A sanitizer interface specification (the Distiller's output for one
+/// sanitizer, or the merged specification for several).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SanitizerSpec {
+    /// Sanitizer name (`kasan`, `kcsan`, or a merged name).
+    pub name: String,
+    /// Resource requirements: `resource <name> { key: value; … }`.
+    pub resources: BTreeMap<String, BTreeMap<String, u64>>,
+    /// Interception points in declaration order.
+    pub points: Vec<InterceptPoint>,
+}
+
+impl SanitizerSpec {
+    /// Finds a point by kind and name.
+    pub fn point(&self, kind: PointKind, name: &str) -> Option<&InterceptPoint> {
+        self.points.iter().find(|p| p.kind == kind && p.name == name)
+    }
+
+    /// Reads a resource parameter, e.g. `resource("shadow", "granule")`.
+    pub fn resource(&self, group: &str, key: &str) -> Option<u64> {
+        self.resources.get(group)?.get(key).copied()
+    }
+}
+
+impl fmt::Display for SanitizerSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "sanitizer {} {{", self.name)?;
+        for (group, params) in &self.resources {
+            write!(f, "    resource {group} {{ ")?;
+            for (key, value) in params {
+                write!(f, "{key}: {value}; ")?;
+            }
+            writeln!(f, "}}")?;
+        }
+        for point in &self.points {
+            writeln!(f, "    {point}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// The semantic role of a hooked firmware function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuncRole {
+    /// Heap allocation (`kmalloc`, `pvPortMalloc`, `LOS_MemAlloc`, …).
+    Alloc,
+    /// Heap release.
+    Free,
+    /// Global-object registration.
+    Global,
+    /// Ready-to-run notification.
+    Ready,
+}
+
+impl FuncRole {
+    /// Parses a role keyword.
+    pub fn parse(name: &str) -> Option<FuncRole> {
+        match name {
+            "alloc" => Some(FuncRole::Alloc),
+            "free" => Some(FuncRole::Free),
+            "global" => Some(FuncRole::Global),
+            "ready" => Some(FuncRole::Ready),
+            _ => None,
+        }
+    }
+
+    /// The canonical keyword.
+    pub fn name(self) -> &'static str {
+        match self {
+            FuncRole::Alloc => "alloc",
+            FuncRole::Free => "free",
+            FuncRole::Global => "global",
+            FuncRole::Ready => "ready",
+        }
+    }
+}
+
+impl fmt::Display for FuncRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A firmware function the runtime intercepts dynamically (EMBSAN-D).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncHook {
+    /// Symbol name (may be a synthesized `fn_0x…` name for stripped firmware).
+    pub symbol: String,
+    /// Entry address.
+    pub addr: u64,
+    /// Semantic role.
+    pub role: FuncRole,
+    /// Parameter mapping: `(semantic name, ABI argument index)`.
+    pub params: Vec<(String, u8)>,
+    /// Name of the value reconstructed from the function's return, if any.
+    pub returns: Option<String>,
+}
+
+impl fmt::Display for FuncHook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "symbol \"{}\" = 0x{:x} role {} (", self.symbol, self.addr, self.role)?;
+        for (i, (name, idx)) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{name} = arg {idx}")?;
+        }
+        write!(f, ")")?;
+        if let Some(ret) = &self.returns {
+            write!(f, " returns {ret}")?;
+        }
+        write!(f, ";")
+    }
+}
+
+/// How the runtime learns the firmware reached its ready-to-run state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadyPoint {
+    /// Execution reaching a fixed address.
+    Addr(u64),
+    /// The firmware's instrumentation issues the `READY` hypercall.
+    Hypercall,
+}
+
+impl fmt::Display for ReadyPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadyPoint::Addr(addr) => write!(f, "ready at 0x{addr:x};"),
+            ReadyPoint::Hypercall => write!(f, "ready hypercall;"),
+        }
+    }
+}
+
+/// A platform configuration specification (the Prober's main output).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PlatformSpec {
+    /// Firmware/platform name.
+    pub name: String,
+    /// Architecture name (`armv`, `mipsv`, `x86v`).
+    pub arch: String,
+    /// Big-endian guest memory.
+    pub endian_big: bool,
+    /// RAM range `start..end`.
+    pub ram: (u64, u64),
+    /// MMIO range `start..end`.
+    pub mmio: (u64, u64),
+    /// Hypercall argument registers, in order.
+    pub hypercall_args: Vec<String>,
+    /// Hypercall result register.
+    pub hypercall_ret: String,
+    /// Register carrying the address for check hypercalls.
+    pub check_reg: String,
+    /// Instrumentation mode (`none`, `sancall`, `native`).
+    pub instrumented: String,
+    /// The ready-to-run point, if known.
+    pub ready: Option<ReadyPoint>,
+    /// Dynamically hooked functions.
+    pub funcs: Vec<FuncHook>,
+}
+
+impl PlatformSpec {
+    /// Finds a hooked function by role.
+    pub fn func_by_role(&self, role: FuncRole) -> Option<&FuncHook> {
+        self.funcs.iter().find(|f| f.role == role)
+    }
+}
+
+impl fmt::Display for PlatformSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "platform {} {{", self.name)?;
+        writeln!(f, "    arch {};", self.arch)?;
+        writeln!(f, "    endian {};", if self.endian_big { "big" } else { "little" })?;
+        writeln!(f, "    ram 0x{:x} .. 0x{:x};", self.ram.0, self.ram.1)?;
+        writeln!(f, "    mmio 0x{:x} .. 0x{:x};", self.mmio.0, self.mmio.1)?;
+        writeln!(
+            f,
+            "    hypercall args {} ret {};",
+            self.hypercall_args.join(" "),
+            self.hypercall_ret
+        )?;
+        writeln!(f, "    check_reg {};", self.check_reg)?;
+        writeln!(f, "    instrumented {};", self.instrumented)?;
+        if let Some(ready) = &self.ready {
+            writeln!(f, "    {ready}")?;
+        }
+        for func in &self.funcs {
+            writeln!(f, "    {func}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Shadow-memory poison classes used by init routines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PoisonKind {
+    /// Redzone around a heap object.
+    HeapRedzone,
+    /// Redzone around a global object.
+    GlobalRedzone,
+    /// Freed (quarantined) memory.
+    Freed,
+    /// Memory that is invalid to touch for any reason.
+    Invalid,
+}
+
+impl PoisonKind {
+    /// Parses a poison-kind keyword.
+    pub fn parse(name: &str) -> Option<PoisonKind> {
+        match name {
+            "heap_redzone" => Some(PoisonKind::HeapRedzone),
+            "global_redzone" => Some(PoisonKind::GlobalRedzone),
+            "freed" => Some(PoisonKind::Freed),
+            "invalid" => Some(PoisonKind::Invalid),
+            _ => None,
+        }
+    }
+
+    /// The canonical keyword.
+    pub fn name(self) -> &'static str {
+        match self {
+            PoisonKind::HeapRedzone => "heap_redzone",
+            PoisonKind::GlobalRedzone => "global_redzone",
+            PoisonKind::Freed => "freed",
+            PoisonKind::Invalid => "invalid",
+        }
+    }
+}
+
+impl fmt::Display for PoisonKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One step of a sanitizer initialization routine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InitStep {
+    /// Poison a shadow range.
+    Poison {
+        /// Range start.
+        start: u64,
+        /// Range end (exclusive).
+        end: u64,
+        /// Poison class.
+        kind: PoisonKind,
+    },
+    /// Unpoison a shadow range.
+    Unpoison {
+        /// Range start.
+        start: u64,
+        /// Range end (exclusive).
+        end: u64,
+    },
+    /// Replay a boot-time allocation.
+    Alloc {
+        /// Chunk address.
+        addr: u64,
+        /// Chunk size.
+        size: u64,
+        /// Allocation site (guest pc).
+        site: u64,
+    },
+    /// Register a global object with redzones.
+    Global {
+        /// Object address.
+        addr: u64,
+        /// Object size.
+        size: u64,
+        /// Redzone bytes on each side.
+        redzone: u64,
+    },
+    /// Mark the system ready.
+    Ready,
+}
+
+impl fmt::Display for InitStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            InitStep::Poison { start, end, kind } => {
+                write!(f, "poison 0x{start:x} .. 0x{end:x} {kind};")
+            }
+            InitStep::Unpoison { start, end } => {
+                write!(f, "unpoison 0x{start:x} .. 0x{end:x};")
+            }
+            InitStep::Alloc { addr, size, site } => {
+                write!(f, "alloc 0x{addr:x} size {size} site 0x{site:x};")
+            }
+            InitStep::Global { addr, size, redzone } => {
+                write!(f, "global 0x{addr:x} size {size} redzone {redzone};")
+            }
+            InitStep::Ready => write!(f, "ready;"),
+        }
+    }
+}
+
+/// A sanitizer initialization routine (the Prober's dry-run output).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct InitProgram {
+    /// Steps in execution order.
+    pub steps: Vec<InitStep>,
+}
+
+impl fmt::Display for InitProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "init {{")?;
+        for step in &self.steps {
+            writeln!(f, "    {step}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A top-level DSL item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// `sanitizer <name> { … }`
+    Sanitizer(SanitizerSpec),
+    /// `platform <name> { … }`
+    Platform(PlatformSpec),
+    /// `init { … }`
+    Init(InitProgram),
+}
+
+impl fmt::Display for Item {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Item::Sanitizer(spec) => spec.fmt(f),
+            Item::Platform(spec) => spec.fmt(f),
+            Item::Init(init) => init.fmt(f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_type_widening() {
+        assert_eq!(ArgType::U8.widest(ArgType::U32), ArgType::U32);
+        assert_eq!(ArgType::Usize.widest(ArgType::Ptr), ArgType::Ptr);
+        assert_eq!(ArgType::U16.widest(ArgType::U16), ArgType::U16);
+    }
+
+    #[test]
+    fn display_forms() {
+        let point = InterceptPoint {
+            kind: PointKind::Insn,
+            name: "load".into(),
+            args: vec![ArgSpec::new("addr", ArgType::Ptr), ArgSpec::new("size", ArgType::Usize)],
+        };
+        assert_eq!(point.to_string(), "intercept insn load (addr: ptr, size: usize);");
+
+        let step = InitStep::Poison { start: 0x10, end: 0x20, kind: PoisonKind::GlobalRedzone };
+        assert_eq!(step.to_string(), "poison 0x10 .. 0x20 global_redzone;");
+
+        let hook = FuncHook {
+            symbol: "kmalloc".into(),
+            addr: 0x1000,
+            role: FuncRole::Alloc,
+            params: vec![("size".into(), 0)],
+            returns: Some("addr".into()),
+        };
+        assert_eq!(
+            hook.to_string(),
+            "symbol \"kmalloc\" = 0x1000 role alloc (size = arg 0) returns addr;"
+        );
+    }
+
+    #[test]
+    fn keyword_roundtrips() {
+        for kind in [PointKind::Insn, PointKind::Call, PointKind::Event] {
+            assert_eq!(PointKind::parse(kind.name()), Some(kind));
+        }
+        for role in [FuncRole::Alloc, FuncRole::Free, FuncRole::Global, FuncRole::Ready] {
+            assert_eq!(FuncRole::parse(role.name()), Some(role));
+        }
+        for kind in [
+            PoisonKind::HeapRedzone,
+            PoisonKind::GlobalRedzone,
+            PoisonKind::Freed,
+            PoisonKind::Invalid,
+        ] {
+            assert_eq!(PoisonKind::parse(kind.name()), Some(kind));
+        }
+        for ty in [ArgType::U8, ArgType::U16, ArgType::U32, ArgType::Usize, ArgType::Ptr] {
+            assert_eq!(ArgType::parse(ty.name()), Some(ty));
+        }
+    }
+}

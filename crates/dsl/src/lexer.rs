@@ -1,0 +1,253 @@
+//! Tokenizer for the EMBSAN DSL.
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal (decimal or `0x` hexadecimal).
+    Int(u64),
+    /// Double-quoted string literal.
+    Str(String),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `:`
+    Colon,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `=`
+    Eq,
+    /// `..`
+    DotDot,
+}
+
+impl std::fmt::Display for Token {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "`{s}`"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Str(s) => write!(f, "\"{s}\""),
+            Token::LBrace => write!(f, "`{{`"),
+            Token::RBrace => write!(f, "`}}`"),
+            Token::LParen => write!(f, "`(`"),
+            Token::RParen => write!(f, "`)`"),
+            Token::Colon => write!(f, "`:`"),
+            Token::Semi => write!(f, "`;`"),
+            Token::Comma => write!(f, "`,`"),
+            Token::Eq => write!(f, "`=`"),
+            Token::DotDot => write!(f, "`..`"),
+        }
+    }
+}
+
+/// A token with its source line (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// A tokenization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes DSL source. Comments run from `#` to end of line.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on unterminated strings, malformed numbers, or
+/// unexpected characters.
+pub fn lex(source: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut chars = source.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '#' => {
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            '{' => {
+                chars.next();
+                out.push(Spanned { token: Token::LBrace, line });
+            }
+            '}' => {
+                chars.next();
+                out.push(Spanned { token: Token::RBrace, line });
+            }
+            '(' => {
+                chars.next();
+                out.push(Spanned { token: Token::LParen, line });
+            }
+            ')' => {
+                chars.next();
+                out.push(Spanned { token: Token::RParen, line });
+            }
+            ':' => {
+                chars.next();
+                out.push(Spanned { token: Token::Colon, line });
+            }
+            ';' => {
+                chars.next();
+                out.push(Spanned { token: Token::Semi, line });
+            }
+            ',' => {
+                chars.next();
+                out.push(Spanned { token: Token::Comma, line });
+            }
+            '=' => {
+                chars.next();
+                out.push(Spanned { token: Token::Eq, line });
+            }
+            '.' => {
+                chars.next();
+                if chars.peek() == Some(&'.') {
+                    chars.next();
+                    out.push(Spanned { token: Token::DotDot, line });
+                } else {
+                    return Err(LexError { line, message: "expected `..`".to_string() });
+                }
+            }
+            '"' => {
+                chars.next();
+                let mut text = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some('\n') | None => {
+                            return Err(LexError {
+                                line,
+                                message: "unterminated string".to_string(),
+                            })
+                        }
+                        Some(c) => text.push(c),
+                    }
+                }
+                out.push(Spanned { token: Token::Str(text), line });
+            }
+            c if c.is_ascii_digit() => {
+                let mut text = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        text.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let text = text.replace('_', "");
+                let value = if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+                    u64::from_str_radix(hex, 16)
+                } else {
+                    text.parse()
+                }
+                .map_err(|_| LexError { line, message: format!("bad integer `{text}`") })?;
+                out.push(Spanned { token: Token::Int(value), line });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut text = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        text.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Spanned { token: Token::Ident(text), line });
+            }
+            other => {
+                return Err(LexError { line, message: format!("unexpected character `{other}`") })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_all_token_kinds() {
+        let tokens = lex("foo { 0x10 .. 42 } (a: \"s\"); x = 1, # comment\ny").unwrap();
+        let kinds: Vec<Token> = tokens.into_iter().map(|t| t.token).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                Token::Ident("foo".into()),
+                Token::LBrace,
+                Token::Int(16),
+                Token::DotDot,
+                Token::Int(42),
+                Token::RBrace,
+                Token::LParen,
+                Token::Ident("a".into()),
+                Token::Colon,
+                Token::Str("s".into()),
+                Token::RParen,
+                Token::Semi,
+                Token::Ident("x".into()),
+                Token::Eq,
+                Token::Int(1),
+                Token::Comma,
+                Token::Ident("y".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let tokens = lex("a\nb\n\nc").unwrap();
+        let lines: Vec<usize> = tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn underscores_in_numbers() {
+        let tokens = lex("0x0010_0000 1_000").unwrap();
+        assert_eq!(tokens[0].token, Token::Int(0x10_0000));
+        assert_eq!(tokens[1].token, Token::Int(1000));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("a . b").is_err());
+        assert!(lex("@").is_err());
+    }
+}

@@ -1,0 +1,47 @@
+//! The EMBSAN in-house Domain-Specific Language.
+//!
+//! §3.1 of the paper: the Sanitizer Common Function Distiller converts the
+//! interception interfaces and logic of reference sanitizers (KASAN, KCSAN)
+//! into "an in-house Domain-Specific Language"; the Platform Configuration
+//! Prober likewise emits platform details and initialization routines in the
+//! DSL, and the Common Sanitizer Runtime consumes all three.
+//!
+//! This crate defines that language: three document kinds —
+//!
+//! - `sanitizer <name> { … }`: interception points and resource requirements
+//!   ([`ast::SanitizerSpec`]),
+//! - `platform <name> { … }`: architecture, memory layout, hypercall
+//!   conventions and function hooks ([`ast::PlatformSpec`]),
+//! - `init { … }`: the boot-time sanitizer state routine
+//!   ([`ast::InitProgram`]),
+//!
+//! with a lexer/parser ([`parse`]), a pretty-printer (every AST type
+//! implements [`std::fmt::Display`] and round-trips through the parser), and
+//! the specification-merging rules of §3.1 ([`merge::merge`]).
+//!
+//! # Example
+//!
+//! ```
+//! let doc = r#"
+//! sanitizer kasan {
+//!     resource shadow { granule: 8; }
+//!     intercept insn load (addr: ptr, size: usize);
+//!     intercept call alloc (addr: ptr, size: usize);
+//! }
+//! "#;
+//! let items = embsan_dsl::parse(doc)?;
+//! assert_eq!(items.len(), 1);
+//! # Ok::<(), embsan_dsl::ParseError>(())
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod merge;
+pub mod parser;
+
+pub use ast::{
+    ArgSpec, ArgType, FuncHook, FuncRole, InitProgram, InitStep, InterceptPoint, Item,
+    PlatformSpec, PointKind, PoisonKind, ReadyPoint, SanitizerSpec,
+};
+pub use merge::merge;
+pub use parser::{parse, ParseError};

@@ -1,0 +1,186 @@
+//! Specification merging — the §3.1 combination rules.
+//!
+//! > "First, the resulting set of interception points is taken over a union
+//! > of the individual sanitizer's set. Then, for each interception point,
+//! > the interface's arguments are also taken as a union of the individual
+//! > sanitizer's arguments. For arguments that share target data but are not
+//! > exactly the same, we take the largest possible union of the data and
+//! > combine them into one argument, and add the corresponding annotations
+//! > identifying which source APIs the segments belong to."
+
+use std::collections::BTreeMap;
+
+use crate::ast::{ArgSpec, InterceptPoint, PointKind, SanitizerSpec};
+
+/// Merges several sanitizer specifications into one, per the §3.1 rules.
+///
+/// Interception points are united by `(kind, name)`; arguments by name, with
+/// type widening and per-source annotations. Resource groups are united; a
+/// parameter requested by several sanitizers takes the *maximum* value (the
+/// most demanding requirement wins).
+///
+/// The merged specification's name is the source names joined by `_`.
+pub fn merge(specs: &[SanitizerSpec]) -> SanitizerSpec {
+    let mut merged = SanitizerSpec {
+        name: specs.iter().map(|s| s.name.as_str()).collect::<Vec<_>>().join("_"),
+        ..SanitizerSpec::default()
+    };
+
+    // Resources: union of groups; per-parameter maximum.
+    for spec in specs {
+        for (group, params) in &spec.resources {
+            let out = merged.resources.entry(group.clone()).or_default();
+            for (key, value) in params {
+                out.entry(key.clone())
+                    .and_modify(|v| *v = (*v).max(*value))
+                    .or_insert(*value);
+            }
+        }
+    }
+
+    // Interception points: union keyed by (kind, name), preserving first-seen
+    // order; argument union with widening and annotations.
+    let mut index: BTreeMap<(PointKind, String), usize> = BTreeMap::new();
+    for spec in specs {
+        for point in &spec.points {
+            let key = (point.kind, point.name.clone());
+            let at = *index.entry(key).or_insert_with(|| {
+                merged.points.push(InterceptPoint {
+                    kind: point.kind,
+                    name: point.name.clone(),
+                    args: Vec::new(),
+                });
+                merged.points.len() - 1
+            });
+            let out_args = &mut merged.points[at].args;
+            for arg in &point.args {
+                match out_args.iter_mut().find(|a| a.name == arg.name) {
+                    Some(existing) => {
+                        existing.ty = existing.ty.widest(arg.ty);
+                        if !existing.sources.contains(&spec.name) {
+                            existing.sources.push(spec.name.clone());
+                        }
+                    }
+                    None => out_args.push(ArgSpec {
+                        name: arg.name.clone(),
+                        ty: arg.ty,
+                        sources: vec![spec.name.clone()],
+                    }),
+                }
+            }
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::ArgType;
+    use crate::parser::parse;
+    use crate::Item;
+
+    fn spec(doc: &str) -> SanitizerSpec {
+        match parse(doc).unwrap().remove(0) {
+            Item::Sanitizer(spec) => spec,
+            _ => panic!("expected sanitizer"),
+        }
+    }
+
+    fn kasan() -> SanitizerSpec {
+        spec(
+            "sanitizer kasan {
+                resource shadow { granule: 8; }
+                resource quarantine { bytes: 65536; }
+                intercept insn load (addr: ptr, size: u8);
+                intercept insn store (addr: ptr, size: u8);
+                intercept call alloc (addr: ptr, size: usize);
+                intercept call free (addr: ptr);
+                intercept event ready ();
+            }",
+        )
+    }
+
+    fn kcsan() -> SanitizerSpec {
+        spec(
+            "sanitizer kcsan {
+                resource shadow { granule: 1; }
+                resource watchpoints { slots: 8; window: 64; }
+                intercept insn load (addr: ptr, size: usize, cpu: u32);
+                intercept insn store (addr: ptr, size: usize, value: u32, cpu: u32);
+                intercept insn atomic (addr: ptr, size: usize, cpu: u32);
+            }",
+        )
+    }
+
+    #[test]
+    fn points_are_united() {
+        let merged = merge(&[kasan(), kcsan()]);
+        assert_eq!(merged.name, "kasan_kcsan");
+        // kasan: load store alloc free ready; kcsan adds atomic.
+        assert_eq!(merged.points.len(), 6);
+        assert!(merged.point(PointKind::Insn, "atomic").is_some());
+        assert!(merged.point(PointKind::Call, "alloc").is_some());
+    }
+
+    #[test]
+    fn argument_union_with_widening_and_annotations() {
+        let merged = merge(&[kasan(), kcsan()]);
+        let load = merged.point(PointKind::Insn, "load").unwrap();
+        assert_eq!(load.args.len(), 3);
+        let size = load.args.iter().find(|a| a.name == "size").unwrap();
+        // kasan said u8, kcsan said usize → widest wins.
+        assert_eq!(size.ty, ArgType::Usize);
+        assert_eq!(size.sources, vec!["kasan", "kcsan"]);
+        let cpu = load.args.iter().find(|a| a.name == "cpu").unwrap();
+        assert_eq!(cpu.sources, vec!["kcsan"]);
+        let value = merged
+            .point(PointKind::Insn, "store")
+            .unwrap()
+            .args
+            .iter()
+            .find(|a| a.name == "value")
+            .unwrap();
+        assert_eq!(value.sources, vec!["kcsan"]);
+    }
+
+    #[test]
+    fn resources_take_the_most_demanding_value() {
+        let merged = merge(&[kasan(), kcsan()]);
+        assert_eq!(merged.resource("shadow", "granule"), Some(8));
+        assert_eq!(merged.resource("quarantine", "bytes"), Some(65536));
+        assert_eq!(merged.resource("watchpoints", "slots"), Some(8));
+    }
+
+    #[test]
+    fn merge_is_idempotent_for_one_spec() {
+        let once = merge(&[kasan()]);
+        assert_eq!(once.points.len(), kasan().points.len());
+        // Every arg is annotated with the single source.
+        for point in &once.points {
+            for arg in &point.args {
+                assert_eq!(arg.sources, vec!["kasan"]);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_point_set_is_order_insensitive() {
+        let ab = merge(&[kasan(), kcsan()]);
+        let ba = merge(&[kcsan(), kasan()]);
+        let mut ab_keys: Vec<_> = ab.points.iter().map(|p| (p.kind, p.name.clone())).collect();
+        let mut ba_keys: Vec<_> = ba.points.iter().map(|p| (p.kind, p.name.clone())).collect();
+        ab_keys.sort();
+        ba_keys.sort();
+        assert_eq!(ab_keys, ba_keys);
+        assert_eq!(ab.resources, ba.resources);
+    }
+
+    #[test]
+    fn merged_spec_prints_and_reparses() {
+        let merged = merge(&[kasan(), kcsan()]);
+        let printed = merged.to_string();
+        let reparsed = spec(&printed);
+        assert_eq!(reparsed, merged);
+    }
+}

@@ -1,0 +1,484 @@
+//! Recursive-descent parser for the EMBSAN DSL.
+
+use crate::ast::{
+    ArgSpec, ArgType, FuncHook, FuncRole, InitProgram, InitStep, InterceptPoint, Item,
+    PlatformSpec, PointKind, PoisonKind, ReadyPoint, SanitizerSpec,
+};
+use crate::lexer::{lex, LexError, Spanned, Token};
+
+/// A parse error with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line (0 for end-of-input).
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(err: LexError) -> ParseError {
+        ParseError { line: err.line, message: err.message }
+    }
+}
+
+/// Parses a DSL document into top-level items.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error with its line number.
+pub fn parse(source: &str) -> Result<Vec<Item>, ParseError> {
+    let tokens = lex(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let mut items = Vec::new();
+    while !parser.at_end() {
+        items.push(parser.item()?);
+    }
+    Ok(items)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn line(&self) -> usize {
+        self.tokens.get(self.pos).map_or(0, |t| t.line)
+    }
+
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|t| &t.token)
+    }
+
+    fn next(&mut self) -> Result<Token, ParseError> {
+        let token = self
+            .tokens
+            .get(self.pos)
+            .ok_or(ParseError { line: 0, message: "unexpected end of input".into() })?
+            .token
+            .clone();
+        self.pos += 1;
+        Ok(token)
+    }
+
+    fn expect(&mut self, want: &Token) -> Result<(), ParseError> {
+        let line = self.line();
+        let got = self.next()?;
+        if &got == want {
+            Ok(())
+        } else {
+            Err(ParseError { line, message: format!("expected {want}, found {got}") })
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        let line = self.line();
+        match self.next()? {
+            Token::Ident(name) => Ok(name),
+            other => Err(ParseError { line, message: format!("expected identifier, found {other}") }),
+        }
+    }
+
+    fn keyword(&mut self, want: &str) -> Result<(), ParseError> {
+        let line = self.line();
+        let name = self.ident()?;
+        if name == want {
+            Ok(())
+        } else {
+            Err(ParseError { line, message: format!("expected `{want}`, found `{name}`") })
+        }
+    }
+
+    fn int(&mut self) -> Result<u64, ParseError> {
+        let line = self.line();
+        match self.next()? {
+            Token::Int(value) => Ok(value),
+            other => Err(ParseError { line, message: format!("expected integer, found {other}") }),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        let line = self.line();
+        match self.next()? {
+            Token::Str(value) => Ok(value),
+            other => Err(ParseError { line, message: format!("expected string, found {other}") }),
+        }
+    }
+
+    fn eat(&mut self, token: &Token) -> bool {
+        if self.peek() == Some(token) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn range(&mut self) -> Result<(u64, u64), ParseError> {
+        let start = self.int()?;
+        self.expect(&Token::DotDot)?;
+        let end = self.int()?;
+        Ok((start, end))
+    }
+
+    fn item(&mut self) -> Result<Item, ParseError> {
+        let line = self.line();
+        let keyword = self.ident()?;
+        match keyword.as_str() {
+            "sanitizer" => self.sanitizer().map(Item::Sanitizer),
+            "platform" => self.platform().map(Item::Platform),
+            "init" => self.init().map(Item::Init),
+            other => Err(ParseError {
+                line,
+                message: format!("expected `sanitizer`, `platform` or `init`, found `{other}`"),
+            }),
+        }
+    }
+
+    fn sanitizer(&mut self) -> Result<SanitizerSpec, ParseError> {
+        let mut spec = SanitizerSpec { name: self.ident()?, ..SanitizerSpec::default() };
+        self.expect(&Token::LBrace)?;
+        while !self.eat(&Token::RBrace) {
+            let line = self.line();
+            match self.ident()?.as_str() {
+                "resource" => {
+                    let group = self.ident()?;
+                    self.expect(&Token::LBrace)?;
+                    let params = spec.resources.entry(group).or_default();
+                    while !self.eat(&Token::RBrace) {
+                        let key = self.ident()?;
+                        self.expect(&Token::Colon)?;
+                        let value = self.int()?;
+                        self.expect(&Token::Semi)?;
+                        params.insert(key, value);
+                    }
+                }
+                "intercept" => {
+                    let kind_name = self.ident()?;
+                    let kind = PointKind::parse(&kind_name).ok_or(ParseError {
+                        line,
+                        message: format!("unknown interception kind `{kind_name}`"),
+                    })?;
+                    let name = self.ident()?;
+                    let mut args = Vec::new();
+                    self.expect(&Token::LParen)?;
+                    while !self.eat(&Token::RParen) {
+                        if !args.is_empty() {
+                            self.expect(&Token::Comma)?;
+                        }
+                        let arg_name = self.ident()?;
+                        self.expect(&Token::Colon)?;
+                        let ty_line = self.line();
+                        let ty_name = self.ident()?;
+                        let ty = ArgType::parse(&ty_name).ok_or(ParseError {
+                            line: ty_line,
+                            message: format!("unknown argument type `{ty_name}`"),
+                        })?;
+                        let mut sources = Vec::new();
+                        if self.peek() == Some(&Token::Ident("from".into())) {
+                            self.pos += 1;
+                            while let Some(Token::Ident(src)) = self.peek() {
+                                sources.push(src.clone());
+                                self.pos += 1;
+                            }
+                        }
+                        args.push(ArgSpec { name: arg_name, ty, sources });
+                    }
+                    self.expect(&Token::Semi)?;
+                    spec.points.push(InterceptPoint { kind, name, args });
+                }
+                other => {
+                    return Err(ParseError {
+                        line,
+                        message: format!("unknown sanitizer item `{other}`"),
+                    })
+                }
+            }
+        }
+        Ok(spec)
+    }
+
+    fn platform(&mut self) -> Result<PlatformSpec, ParseError> {
+        let mut spec = PlatformSpec { name: self.ident()?, ..PlatformSpec::default() };
+        self.expect(&Token::LBrace)?;
+        while !self.eat(&Token::RBrace) {
+            let line = self.line();
+            match self.ident()?.as_str() {
+                "arch" => {
+                    spec.arch = self.ident()?;
+                    self.expect(&Token::Semi)?;
+                }
+                "endian" => {
+                    let value = self.ident()?;
+                    spec.endian_big = match value.as_str() {
+                        "big" => true,
+                        "little" => false,
+                        other => {
+                            return Err(ParseError {
+                                line,
+                                message: format!("endian must be big or little, found `{other}`"),
+                            })
+                        }
+                    };
+                    self.expect(&Token::Semi)?;
+                }
+                "ram" => {
+                    spec.ram = self.range()?;
+                    self.expect(&Token::Semi)?;
+                }
+                "mmio" => {
+                    spec.mmio = self.range()?;
+                    self.expect(&Token::Semi)?;
+                }
+                "hypercall" => {
+                    self.keyword("args")?;
+                    while let Some(Token::Ident(name)) = self.peek() {
+                        if name == "ret" {
+                            break;
+                        }
+                        spec.hypercall_args.push(name.clone());
+                        self.pos += 1;
+                    }
+                    self.keyword("ret")?;
+                    spec.hypercall_ret = self.ident()?;
+                    self.expect(&Token::Semi)?;
+                }
+                "check_reg" => {
+                    spec.check_reg = self.ident()?;
+                    self.expect(&Token::Semi)?;
+                }
+                "instrumented" => {
+                    spec.instrumented = self.ident()?;
+                    self.expect(&Token::Semi)?;
+                }
+                "ready" => {
+                    let which = self.ident()?;
+                    spec.ready = Some(match which.as_str() {
+                        "at" => ReadyPoint::Addr(self.int()?),
+                        "hypercall" => ReadyPoint::Hypercall,
+                        other => {
+                            return Err(ParseError {
+                                line,
+                                message: format!("expected `at` or `hypercall`, found `{other}`"),
+                            })
+                        }
+                    });
+                    self.expect(&Token::Semi)?;
+                }
+                "symbol" => {
+                    let symbol = self.string()?;
+                    self.expect(&Token::Eq)?;
+                    let addr = self.int()?;
+                    self.keyword("role")?;
+                    let role_line = self.line();
+                    let role_name = self.ident()?;
+                    let role = FuncRole::parse(&role_name).ok_or(ParseError {
+                        line: role_line,
+                        message: format!("unknown function role `{role_name}`"),
+                    })?;
+                    let mut params = Vec::new();
+                    self.expect(&Token::LParen)?;
+                    while !self.eat(&Token::RParen) {
+                        if !params.is_empty() {
+                            self.expect(&Token::Comma)?;
+                        }
+                        let name = self.ident()?;
+                        self.expect(&Token::Eq)?;
+                        self.keyword("arg")?;
+                        let idx = self.int()? as u8;
+                        params.push((name, idx));
+                    }
+                    let mut returns = None;
+                    if self.peek() == Some(&Token::Ident("returns".into())) {
+                        self.pos += 1;
+                        returns = Some(self.ident()?);
+                    }
+                    self.expect(&Token::Semi)?;
+                    spec.funcs.push(FuncHook { symbol, addr, role, params, returns });
+                }
+                other => {
+                    return Err(ParseError {
+                        line,
+                        message: format!("unknown platform item `{other}`"),
+                    })
+                }
+            }
+        }
+        Ok(spec)
+    }
+
+    fn init(&mut self) -> Result<InitProgram, ParseError> {
+        let mut program = InitProgram::default();
+        self.expect(&Token::LBrace)?;
+        while !self.eat(&Token::RBrace) {
+            let line = self.line();
+            match self.ident()?.as_str() {
+                "poison" => {
+                    let (start, end) = self.range()?;
+                    let kind_line = self.line();
+                    let kind_name = self.ident()?;
+                    let kind = PoisonKind::parse(&kind_name).ok_or(ParseError {
+                        line: kind_line,
+                        message: format!("unknown poison kind `{kind_name}`"),
+                    })?;
+                    self.expect(&Token::Semi)?;
+                    program.steps.push(InitStep::Poison { start, end, kind });
+                }
+                "unpoison" => {
+                    let (start, end) = self.range()?;
+                    self.expect(&Token::Semi)?;
+                    program.steps.push(InitStep::Unpoison { start, end });
+                }
+                "alloc" => {
+                    let addr = self.int()?;
+                    self.keyword("size")?;
+                    let size = self.int()?;
+                    self.keyword("site")?;
+                    let site = self.int()?;
+                    self.expect(&Token::Semi)?;
+                    program.steps.push(InitStep::Alloc { addr, size, site });
+                }
+                "global" => {
+                    let addr = self.int()?;
+                    self.keyword("size")?;
+                    let size = self.int()?;
+                    self.keyword("redzone")?;
+                    let redzone = self.int()?;
+                    self.expect(&Token::Semi)?;
+                    program.steps.push(InitStep::Global { addr, size, redzone });
+                }
+                "ready" => {
+                    self.expect(&Token::Semi)?;
+                    program.steps.push(InitStep::Ready);
+                }
+                other => {
+                    return Err(ParseError { line, message: format!("unknown init step `{other}`") })
+                }
+            }
+        }
+        Ok(program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FULL_DOC: &str = r#"
+# Reference extraction of KASAN + probed platform + init routine.
+sanitizer kasan {
+    resource shadow { granule: 8; }
+    resource quarantine { bytes: 65536; }
+    intercept insn load (addr: ptr, size: usize);
+    intercept insn store (addr: ptr, size: usize);
+    intercept call alloc (addr: ptr, size: usize);
+    intercept call free (addr: ptr);
+    intercept event ready ();
+}
+
+platform openwrt_armvirt {
+    arch armv;
+    endian little;
+    ram 0x0010_0000 .. 0x0050_0000;
+    mmio 0xF0000000 .. 0xF0001000;
+    hypercall args r1 r2 r3 r4 ret r1;
+    check_reg r12;
+    instrumented sancall;
+    ready at 0x108C4;
+    symbol "kmalloc" = 0x10200 role alloc (size = arg 0) returns addr;
+    symbol "kfree" = 0x10280 role free (addr = arg 0);
+}
+
+init {
+    poison 0x200000 .. 0x200020 global_redzone;
+    unpoison 0x200020 .. 0x200040;
+    alloc 0x300000 size 128 site 0x10444;
+    global 0x200020 size 40 redzone 32;
+    ready;
+}
+"#;
+
+    #[test]
+    fn parses_full_document() {
+        let items = parse(FULL_DOC).unwrap();
+        assert_eq!(items.len(), 3);
+        let Item::Sanitizer(kasan) = &items[0] else { panic!("expected sanitizer") };
+        assert_eq!(kasan.name, "kasan");
+        assert_eq!(kasan.resource("shadow", "granule"), Some(8));
+        assert_eq!(kasan.points.len(), 5);
+        assert_eq!(kasan.point(PointKind::Insn, "load").unwrap().args.len(), 2);
+        assert!(kasan.point(PointKind::Event, "ready").unwrap().args.is_empty());
+
+        let Item::Platform(platform) = &items[1] else { panic!("expected platform") };
+        assert_eq!(platform.arch, "armv");
+        assert_eq!(platform.ram, (0x10_0000, 0x50_0000));
+        assert_eq!(platform.hypercall_args, vec!["r1", "r2", "r3", "r4"]);
+        assert_eq!(platform.ready, Some(ReadyPoint::Addr(0x108C4)));
+        let kmalloc = platform.func_by_role(FuncRole::Alloc).unwrap();
+        assert_eq!(kmalloc.symbol, "kmalloc");
+        assert_eq!(kmalloc.params, vec![("size".to_string(), 0)]);
+        assert_eq!(kmalloc.returns.as_deref(), Some("addr"));
+
+        let Item::Init(init) = &items[2] else { panic!("expected init") };
+        assert_eq!(init.steps.len(), 5);
+        assert_eq!(init.steps[4], InitStep::Ready);
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        let items = parse(FULL_DOC).unwrap();
+        let printed: String =
+            items.iter().map(|i| i.to_string()).collect::<Vec<_>>().join("\n");
+        let reparsed = parse(&printed).unwrap();
+        assert_eq!(items, reparsed);
+    }
+
+    #[test]
+    fn merged_arg_annotations_roundtrip() {
+        let doc = "sanitizer merged { intercept insn load (addr: ptr from kasan kcsan, cpu: u32 from kcsan); }";
+        let items = parse(doc).unwrap();
+        let Item::Sanitizer(spec) = &items[0] else { panic!() };
+        assert_eq!(spec.points[0].args[0].sources, vec!["kasan", "kcsan"]);
+        let reparsed = parse(&items[0].to_string()).unwrap();
+        assert_eq!(items, reparsed);
+    }
+
+    #[test]
+    fn error_messages_are_located() {
+        let err = parse("sanitizer x {\n bogus y;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("bogus"));
+
+        let err = parse("platform p {\n endian sideways;\n}").unwrap_err();
+        assert!(err.message.contains("sideways"));
+
+        let err = parse("init {\n poison 1 .. 2 tasty;\n}").unwrap_err();
+        assert!(err.message.contains("tasty"));
+
+        let err = parse("garbage").unwrap_err();
+        assert!(err.message.contains("expected `sanitizer`"));
+
+        let err = parse("sanitizer x {").unwrap_err();
+        assert!(err.message.contains("end of input"));
+    }
+
+    #[test]
+    fn ready_hypercall_variant() {
+        let items = parse("platform p { ready hypercall; }").unwrap();
+        let Item::Platform(p) = &items[0] else { panic!() };
+        assert_eq!(p.ready, Some(ReadyPoint::Hypercall));
+    }
+}

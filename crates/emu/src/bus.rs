@@ -1,0 +1,399 @@
+//! Physical memory bus: ROM, RAM, MMIO window, and fault generation.
+
+use crate::device::DeviceSet;
+use crate::error::Fault;
+use crate::profile::{ArchProfile, Endian};
+
+/// End of the null guard page: accesses below this address fault as
+/// [`Fault::NullPage`], which the EMBSAN runtime classifies as
+/// null-pointer dereferences.
+pub const NULL_GUARD_END: u32 = 0x1000;
+
+/// The kind of a guest memory access, as seen by sanitizer probes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemKind {
+    /// A plain load.
+    Read,
+    /// A plain store.
+    Write,
+    /// An atomic read-modify-write (counts as both for race detection).
+    AtomicRmw,
+}
+
+impl MemKind {
+    /// Whether this access writes memory.
+    pub fn is_write(self) -> bool {
+        matches!(self, MemKind::Write | MemKind::AtomicRmw)
+    }
+
+    /// Whether this access reads memory.
+    pub fn is_read(self) -> bool {
+        matches!(self, MemKind::Read | MemKind::AtomicRmw)
+    }
+}
+
+/// A sanitizer-visible description of one guest memory access.
+///
+/// Probes run *before* the access is performed, matching how compiler
+/// sanitizers insert checks before the instruction; `value` therefore only
+/// carries the to-be-written value for stores (zero for loads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Guest physical address.
+    pub addr: u32,
+    /// Access width in bytes (1, 2 or 4).
+    pub size: u8,
+    /// Load / store / atomic.
+    pub kind: MemKind,
+    /// For writes: the value being written. Zero for reads.
+    pub value: u32,
+    /// Program counter of the accessing instruction.
+    pub pc: u32,
+    /// Index of the accessing vCPU.
+    pub cpu: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Region {
+    base: u32,
+    data: Vec<u8>,
+}
+
+impl Region {
+    fn contains(&self, addr: u32, size: u32) -> bool {
+        addr >= self.base && u64::from(addr) + u64::from(size) <= u64::from(self.base) + self.data.len() as u64
+    }
+}
+
+/// The machine's physical memory bus.
+///
+/// Address space layout: a null guard page at the bottom, a read-only ROM,
+/// a RAM region, and an MMIO window dispatching to [`DeviceSet`]. All other
+/// addresses fault.
+#[derive(Debug, Clone)]
+pub struct Bus {
+    endian: Endian,
+    rom: Region,
+    ram: Region,
+    mmio_base: u32,
+    mmio_size: u32,
+    /// The platform devices. Public so hosts (fuzzers, benches, the prober)
+    /// can drive the mailbox and read the UART.
+    pub devices: DeviceSet,
+}
+
+impl Bus {
+    /// Creates a bus for `profile` with the given ROM image and RAM size.
+    pub fn new(
+        profile: &ArchProfile,
+        rom_base: u32,
+        rom: Vec<u8>,
+        ram_base: u32,
+        ram_size: u32,
+        rng_seed: u64,
+    ) -> Bus {
+        Bus {
+            endian: profile.endian,
+            rom: Region { base: rom_base, data: rom },
+            ram: Region { base: ram_base, data: vec![0; ram_size as usize] },
+            mmio_base: profile.mmio_base,
+            mmio_size: profile.mmio_size,
+            devices: DeviceSet::new(rng_seed),
+        }
+    }
+
+    /// Guest memory byte order.
+    pub fn endian(&self) -> Endian {
+        self.endian
+    }
+
+    /// The RAM region as `(base, size)`.
+    pub fn ram_range(&self) -> (u32, u32) {
+        (self.ram.base, self.ram.data.len() as u32)
+    }
+
+    /// The ROM region as `(base, size)`.
+    pub fn rom_range(&self) -> (u32, u32) {
+        (self.rom.base, self.rom.data.len() as u32)
+    }
+
+    /// Whether `addr` falls inside the MMIO window (device memory is not
+    /// sanitized).
+    pub fn is_mmio(&self, addr: u32) -> bool {
+        addr >= self.mmio_base && addr < self.mmio_base.saturating_add(self.mmio_size)
+    }
+
+    /// Whether `addr..addr+size` falls entirely inside RAM.
+    pub fn is_ram(&self, addr: u32, size: u32) -> bool {
+        self.ram.contains(addr, size)
+    }
+
+    fn classify_fault(&self, addr: u32, is_write: bool) -> Fault {
+        if addr < NULL_GUARD_END {
+            Fault::NullPage { addr, is_write }
+        } else {
+            Fault::Unmapped { addr, is_write }
+        }
+    }
+
+    fn load_int(bytes: &[u8], endian: Endian) -> u32 {
+        let mut value: u32 = 0;
+        match endian {
+            Endian::Little => {
+                for (i, byte) in bytes.iter().enumerate() {
+                    value |= u32::from(*byte) << (8 * i);
+                }
+            }
+            Endian::Big => {
+                for byte in bytes {
+                    value = value << 8 | u32::from(*byte);
+                }
+            }
+        }
+        value
+    }
+
+    fn store_int(bytes: &mut [u8], endian: Endian, value: u32) {
+        match endian {
+            Endian::Little => {
+                for (i, byte) in bytes.iter_mut().enumerate() {
+                    *byte = (value >> (8 * i)) as u8;
+                }
+            }
+            Endian::Big => {
+                let n = bytes.len();
+                for (i, byte) in bytes.iter_mut().enumerate() {
+                    *byte = (value >> (8 * (n - 1 - i))) as u8;
+                }
+            }
+        }
+    }
+
+    /// Performs a guest read of `size` bytes (1, 2 or 4) at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Faults on misalignment, the null guard page, and unmapped addresses.
+    pub fn read(&mut self, addr: u32, size: u8) -> Result<u32, Fault> {
+        if !addr.is_multiple_of(u32::from(size)) {
+            return Err(Fault::Misaligned { addr, size });
+        }
+        let len = u32::from(size);
+        if self.ram.contains(addr, len) {
+            let off = (addr - self.ram.base) as usize;
+            return Ok(Self::load_int(&self.ram.data[off..off + size as usize], self.endian));
+        }
+        if self.rom.contains(addr, len) {
+            let off = (addr - self.rom.base) as usize;
+            return Ok(Self::load_int(&self.rom.data[off..off + size as usize], self.endian));
+        }
+        if self.is_mmio(addr) {
+            return Ok(self.devices.read(addr - self.mmio_base));
+        }
+        Err(self.classify_fault(addr, false))
+    }
+
+    /// Performs a guest write of `size` bytes (1, 2 or 4) at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Faults on misalignment, ROM writes, the null guard page, and unmapped
+    /// addresses.
+    pub fn write(&mut self, addr: u32, size: u8, value: u32) -> Result<(), Fault> {
+        if !addr.is_multiple_of(u32::from(size)) {
+            return Err(Fault::Misaligned { addr, size });
+        }
+        let len = u32::from(size);
+        if self.ram.contains(addr, len) {
+            let off = (addr - self.ram.base) as usize;
+            Self::store_int(&mut self.ram.data[off..off + size as usize], self.endian, value);
+            return Ok(());
+        }
+        if self.rom.contains(addr, len) {
+            return Err(Fault::RomWrite { addr });
+        }
+        if self.is_mmio(addr) {
+            self.devices.write(addr - self.mmio_base, value);
+            return Ok(());
+        }
+        Err(self.classify_fault(addr, true))
+    }
+
+    /// Fetches the instruction word at `pc`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fault::BadFetch`] if `pc` is misaligned or outside ROM/RAM.
+    pub fn fetch(&self, pc: u32) -> Result<u32, Fault> {
+        if !pc.is_multiple_of(4) {
+            return Err(Fault::BadFetch { pc });
+        }
+        for region in [&self.rom, &self.ram] {
+            if region.contains(pc, 4) {
+                let off = (pc - region.base) as usize;
+                return Ok(Self::load_int(&region.data[off..off + 4], self.endian));
+            }
+        }
+        Err(Fault::BadFetch { pc })
+    }
+
+    /// Host-side bulk read from ROM or RAM (never touches devices).
+    ///
+    /// # Errors
+    ///
+    /// Faults if any byte of the range is outside ROM and RAM.
+    pub fn read_bytes(&self, addr: u32, buf: &mut [u8]) -> Result<(), Fault> {
+        let len = buf.len() as u32;
+        for region in [&self.ram, &self.rom] {
+            if region.contains(addr, len) {
+                let off = (addr - region.base) as usize;
+                buf.copy_from_slice(&region.data[off..off + buf.len()]);
+                return Ok(());
+            }
+        }
+        Err(self.classify_fault(addr, false))
+    }
+
+    /// Host-side bulk write into RAM (used by loaders and the fuzzer to
+    /// inject data without going through guest code).
+    ///
+    /// # Errors
+    ///
+    /// Faults if any byte of the range is outside RAM.
+    pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) -> Result<(), Fault> {
+        let len = bytes.len() as u32;
+        if self.ram.contains(addr, len) {
+            let off = (addr - self.ram.base) as usize;
+            self.ram.data[off..off + bytes.len()].copy_from_slice(bytes);
+            return Ok(());
+        }
+        Err(self.classify_fault(addr, true))
+    }
+
+    pub(crate) fn clone_ram(&self) -> Vec<u8> {
+        self.ram.data.clone()
+    }
+
+    pub(crate) fn restore_ram(&mut self, data: &[u8]) {
+        self.ram.data.copy_from_slice(data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_bus(endian: Endian) -> Bus {
+        let mut profile = ArchProfile::armv();
+        profile.endian = endian;
+        Bus::new(&profile, 0x1_0000, vec![0xAA; 64], 0x10_0000, 0x1000, 7)
+    }
+
+    #[test]
+    fn ram_read_write_roundtrip_le() {
+        let mut bus = test_bus(Endian::Little);
+        bus.write(0x10_0000, 4, 0xDEAD_BEEF).unwrap();
+        assert_eq!(bus.read(0x10_0000, 4).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(bus.read(0x10_0000, 1).unwrap(), 0xEF);
+        assert_eq!(bus.read(0x10_0002, 2).unwrap(), 0xDEAD);
+    }
+
+    #[test]
+    fn ram_read_write_roundtrip_be() {
+        let mut bus = test_bus(Endian::Big);
+        bus.write(0x10_0000, 4, 0xDEAD_BEEF).unwrap();
+        assert_eq!(bus.read(0x10_0000, 4).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(bus.read(0x10_0000, 1).unwrap(), 0xDE);
+        assert_eq!(bus.read(0x10_0002, 2).unwrap(), 0xBEEF);
+    }
+
+    #[test]
+    fn null_page_faults() {
+        let mut bus = test_bus(Endian::Little);
+        assert_eq!(
+            bus.read(0x10, 4),
+            Err(Fault::NullPage { addr: 0x10, is_write: false })
+        );
+        assert_eq!(
+            bus.write(0x0, 4, 1),
+            Err(Fault::NullPage { addr: 0x0, is_write: true })
+        );
+    }
+
+    #[test]
+    fn rom_is_read_only() {
+        let mut bus = test_bus(Endian::Little);
+        assert_eq!(bus.read(0x1_0000, 1).unwrap(), 0xAA);
+        assert_eq!(bus.write(0x1_0000, 1, 0), Err(Fault::RomWrite { addr: 0x1_0000 }));
+    }
+
+    #[test]
+    fn misaligned_access_faults() {
+        let mut bus = test_bus(Endian::Little);
+        assert_eq!(
+            bus.read(0x10_0001, 4),
+            Err(Fault::Misaligned { addr: 0x10_0001, size: 4 })
+        );
+        assert_eq!(
+            bus.read(0x10_0001, 2),
+            Err(Fault::Misaligned { addr: 0x10_0001, size: 2 })
+        );
+        // Byte accesses are never misaligned.
+        assert!(bus.read(0x10_0001, 1).is_ok());
+    }
+
+    #[test]
+    fn unmapped_faults() {
+        let mut bus = test_bus(Endian::Little);
+        assert_eq!(
+            bus.read(0x8000_0000, 4),
+            Err(Fault::Unmapped { addr: 0x8000_0000, is_write: false })
+        );
+    }
+
+    #[test]
+    fn region_boundary_is_exact() {
+        let mut bus = test_bus(Endian::Little);
+        // Last word of RAM is accessible; one past is not.
+        assert!(bus.write(0x10_0FFC, 4, 1).is_ok());
+        assert!(bus.write(0x10_1000, 4, 1).is_err());
+        // A 4-byte access straddling the end faults.
+        assert!(bus.read(0x10_0FFC, 4).is_ok());
+        assert!(bus.read(0x10_1000 - 2, 2).is_ok());
+    }
+
+    #[test]
+    fn mmio_dispatch() {
+        let mut bus = test_bus(Endian::Little);
+        let mmio = 0xF000_0000;
+        bus.write(mmio, 4, u32::from(b'x')).unwrap();
+        assert_eq!(bus.devices.uart.take_output(), b"x");
+        assert!(bus.is_mmio(mmio));
+        assert!(!bus.is_mmio(0x10_0000));
+    }
+
+    #[test]
+    fn fetch_from_rom_and_ram() {
+        let mut bus = test_bus(Endian::Little);
+        assert_eq!(bus.fetch(0x1_0000).unwrap(), 0xAAAA_AAAA);
+        bus.write(0x10_0000, 4, 0x1234_5678).unwrap();
+        assert_eq!(bus.fetch(0x10_0000).unwrap(), 0x1234_5678);
+        assert_eq!(bus.fetch(0x2), Err(Fault::BadFetch { pc: 2 }));
+        assert_eq!(bus.fetch(0x9000_0000), Err(Fault::BadFetch { pc: 0x9000_0000 }));
+    }
+
+    #[test]
+    fn host_bulk_access() {
+        let mut bus = test_bus(Endian::Little);
+        bus.write_bytes(0x10_0100, &[1, 2, 3, 4]).unwrap();
+        let mut buf = [0u8; 4];
+        bus.read_bytes(0x10_0100, &mut buf).unwrap();
+        assert_eq!(buf, [1, 2, 3, 4]);
+        // Bulk reads can also see ROM.
+        let mut rom_buf = [0u8; 2];
+        bus.read_bytes(0x1_0000, &mut rom_buf).unwrap();
+        assert_eq!(rom_buf, [0xAA, 0xAA]);
+        // Bulk writes cannot touch ROM.
+        assert!(bus.write_bytes(0x1_0000, &[0]).is_err());
+    }
+}

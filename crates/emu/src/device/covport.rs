@@ -1,0 +1,61 @@
+//! Guest-assisted coverage port.
+//!
+//! Firmware built with guest-side coverage instrumentation (the kcov-style
+//! path the paper mentions for Syzkaller) writes edge identifiers here. The
+//! Tardis-style OS-agnostic path does not use this device — it taps the
+//! emulator's block-enter hook instead — but having both lets the benches
+//! compare the two collection mechanisms.
+
+/// Coverage-recording MMIO port.
+#[derive(Debug, Clone, Default)]
+pub struct CovPort {
+    edges: Vec<u32>,
+    enabled: bool,
+}
+
+impl CovPort {
+    /// Creates a disabled coverage port.
+    pub fn new() -> CovPort {
+        CovPort::default()
+    }
+
+    /// Enables or disables recording (host side).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Takes and clears the recorded edge identifiers.
+    pub fn take_edges(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.edges)
+    }
+
+    pub(crate) fn read(&mut self, offset: u32) -> u32 {
+        match offset {
+            0x4 => u32::from(self.enabled),
+            _ => 0,
+        }
+    }
+
+    pub(crate) fn write(&mut self, offset: u32, value: u32) {
+        if offset == 0 && self.enabled {
+            self.edges.push(value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_only_when_enabled() {
+        let mut cov = CovPort::new();
+        cov.write(0, 1);
+        assert!(cov.take_edges().is_empty());
+        cov.set_enabled(true);
+        cov.write(0, 2);
+        cov.write(0, 3);
+        assert_eq!(cov.take_edges(), vec![2, 3]);
+        assert!(cov.take_edges().is_empty());
+    }
+}

@@ -1,0 +1,111 @@
+//! Host↔guest mailbox device.
+//!
+//! This is the channel through which fuzzer executor tasks in the guest
+//! kernels receive serialized test programs from the host (the role played by
+//! Syzkaller's executor pipe / Tardis's injection channel in the paper) and
+//! send back per-call results.
+
+/// Mailbox register offsets.
+const STATUS: u32 = 0x0;
+const LEN: u32 = 0x4;
+const NEXT: u32 = 0x8;
+const RESULT: u32 = 0xC;
+
+/// Program-injection mailbox.
+#[derive(Debug, Clone, Default)]
+pub struct Mailbox {
+    program: Vec<u8>,
+    cursor: usize,
+    results: Vec<u8>,
+}
+
+impl Mailbox {
+    /// Creates an empty mailbox.
+    pub fn new() -> Mailbox {
+        Mailbox::default()
+    }
+
+    /// Host side: loads a program for the guest executor, resetting the read
+    /// cursor and clearing previous results.
+    pub fn host_load(&mut self, program: &[u8]) {
+        self.program = program.to_vec();
+        self.cursor = 0;
+        self.results.clear();
+    }
+
+    /// Host side: takes the result bytes written by the guest so far.
+    pub fn host_take_results(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.results)
+    }
+
+    /// Host side: number of result bytes written so far (without draining).
+    /// Used as the program-completion signal: the executor writes one
+    /// result byte per call.
+    pub fn result_count(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Host side: whether the guest has consumed the entire program.
+    pub fn is_drained(&self) -> bool {
+        self.cursor >= self.program.len()
+    }
+
+    pub(crate) fn read(&mut self, offset: u32) -> u32 {
+        match offset {
+            STATUS => u32::from(self.cursor < self.program.len()),
+            LEN => self.program.len() as u32,
+            NEXT => {
+                let byte = self.program.get(self.cursor).copied().unwrap_or(0);
+                self.cursor = (self.cursor + 1).min(self.program.len());
+                u32::from(byte)
+            }
+            _ => 0,
+        }
+    }
+
+    pub(crate) fn write(&mut self, offset: u32, value: u32) {
+        if offset == RESULT {
+            self.results.push(value as u8);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guest_reads_program_byte_by_byte() {
+        let mut mailbox = Mailbox::new();
+        mailbox.host_load(&[1, 2, 3]);
+        assert_eq!(mailbox.read(LEN), 3);
+        assert_eq!(mailbox.read(STATUS), 1);
+        assert_eq!(mailbox.read(NEXT), 1);
+        assert_eq!(mailbox.read(NEXT), 2);
+        assert_eq!(mailbox.read(NEXT), 3);
+        assert_eq!(mailbox.read(STATUS), 0);
+        assert!(mailbox.is_drained());
+        // Reads past the end are zero, not panics.
+        assert_eq!(mailbox.read(NEXT), 0);
+    }
+
+    #[test]
+    fn guest_writes_results() {
+        let mut mailbox = Mailbox::new();
+        mailbox.write(RESULT, 0xAB);
+        mailbox.write(RESULT, 0xCD);
+        assert_eq!(mailbox.host_take_results(), vec![0xAB, 0xCD]);
+        assert!(mailbox.host_take_results().is_empty());
+    }
+
+    #[test]
+    fn reload_resets_cursor_and_results() {
+        let mut mailbox = Mailbox::new();
+        mailbox.host_load(&[9]);
+        assert_eq!(mailbox.read(NEXT), 9);
+        mailbox.write(RESULT, 1);
+        mailbox.host_load(&[7]);
+        assert_eq!(mailbox.read(NEXT), 7);
+        assert!(mailbox.host_take_results().is_empty());
+    }
+}

@@ -1,0 +1,135 @@
+//! Memory-mapped platform devices.
+//!
+//! The device set is deliberately small but sufficient for real firmware
+//! behaviour: a console [`Uart`], a countdown [`Timer`] that raises the
+//! machine interrupt, a [`Mailbox`] used by fuzzer executors to receive test
+//! programs from the host, a [`Power`] controller for clean shutdown, a
+//! seeded [`Rng`], and a [`CovPort`] for guest-assisted coverage (the
+//! kcov-style channel; the Tardis-style channel taps the emulator directly).
+//!
+//! Register map (offsets from the profile's `mmio_base`):
+//!
+//! | offset | device  | registers |
+//! |--------|---------|-----------|
+//! | `0x000`| UART    | `+0` TX, `+4` status (always ready) |
+//! | `0x100`| TIMER   | `+0` ctrl (1=enable), `+4` reload, `+8` count |
+//! | `0x200`| COV     | `+0` write edge id |
+//! | `0x300`| POWER   | `+0` write exit code → halt machine |
+//! | `0x400`| MAILBOX | `+0` status, `+4` len, `+8` next byte, `+12` result |
+//! | `0x500`| RNG     | `+0` next pseudo-random word |
+
+mod covport;
+mod mailbox;
+mod power;
+mod rng;
+mod timer;
+mod uart;
+
+pub use covport::CovPort;
+pub use mailbox::Mailbox;
+pub use power::Power;
+pub use rng::Rng;
+pub use timer::Timer;
+pub use uart::Uart;
+
+/// Offset of the UART block.
+pub const UART_BASE: u32 = 0x000;
+/// Offset of the timer block.
+pub const TIMER_BASE: u32 = 0x100;
+/// Offset of the coverage port.
+pub const COV_BASE: u32 = 0x200;
+/// Offset of the power controller.
+pub const POWER_BASE: u32 = 0x300;
+/// Offset of the mailbox block.
+pub const MAILBOX_BASE: u32 = 0x400;
+/// Offset of the RNG block.
+pub const RNG_BASE: u32 = 0x500;
+
+/// The full set of devices behind a machine's MMIO window.
+#[derive(Debug, Clone)]
+pub struct DeviceSet {
+    /// Console output device.
+    pub uart: Uart,
+    /// Countdown interrupt timer.
+    pub timer: Timer,
+    /// Guest-assisted coverage port.
+    pub cov: CovPort,
+    /// Power/shutdown controller.
+    pub power: Power,
+    /// Host↔guest program mailbox.
+    pub mailbox: Mailbox,
+    /// Deterministic pseudo-random source.
+    pub rng: Rng,
+}
+
+impl DeviceSet {
+    /// Creates a device set with the given RNG seed.
+    pub fn new(rng_seed: u64) -> DeviceSet {
+        DeviceSet {
+            uart: Uart::new(),
+            timer: Timer::new(),
+            cov: CovPort::new(),
+            power: Power::new(),
+            mailbox: Mailbox::new(),
+            rng: Rng::new(rng_seed),
+        }
+    }
+
+    /// Dispatches an MMIO read at `offset` within the window.
+    ///
+    /// Unassigned offsets read as zero (matching typical bus behaviour for
+    /// reserved registers, which the prober relies on when scanning).
+    pub fn read(&mut self, offset: u32) -> u32 {
+        match offset & !0xFF {
+            UART_BASE => self.uart.read(offset & 0xFF),
+            TIMER_BASE => self.timer.read(offset & 0xFF),
+            COV_BASE => self.cov.read(offset & 0xFF),
+            POWER_BASE => self.power.read(offset & 0xFF),
+            MAILBOX_BASE => self.mailbox.read(offset & 0xFF),
+            RNG_BASE => self.rng.read(offset & 0xFF),
+            _ => 0,
+        }
+    }
+
+    /// Dispatches an MMIO write at `offset` within the window.
+    pub fn write(&mut self, offset: u32, value: u32) {
+        match offset & !0xFF {
+            UART_BASE => self.uart.write(offset & 0xFF, value),
+            TIMER_BASE => self.timer.write(offset & 0xFF, value),
+            COV_BASE => self.cov.write(offset & 0xFF, value),
+            POWER_BASE => self.power.write(offset & 0xFF, value),
+            MAILBOX_BASE => self.mailbox.write(offset & 0xFF, value),
+            RNG_BASE => self.rng.write(offset & 0xFF, value),
+            _ => {}
+        }
+    }
+
+    /// Advances time by `instructions` retired instructions.
+    ///
+    /// Returns `true` if the timer raised an interrupt during the window.
+    pub fn tick(&mut self, instructions: u64) -> bool {
+        self.timer.tick(instructions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unassigned_offsets_read_zero() {
+        let mut devices = DeviceSet::new(1);
+        assert_eq!(devices.read(0x700), 0);
+        assert_eq!(devices.read(0x900), 0);
+        devices.write(0x700, 0xFFFF_FFFF); // must not panic
+    }
+
+    #[test]
+    fn dispatch_reaches_devices() {
+        let mut devices = DeviceSet::new(1);
+        devices.write(UART_BASE, u32::from(b'A'));
+        assert_eq!(devices.uart.take_output(), b"A");
+        devices.write(POWER_BASE, 7);
+        assert_eq!(devices.power.halt_request(), Some(7));
+    }
+}

@@ -1,0 +1,53 @@
+//! Power/shutdown controller.
+
+/// A write-to-halt power controller.
+///
+/// Writing an exit code to the control register requests a machine halt; the
+/// machine loop observes the request after the current instruction retires.
+#[derive(Debug, Clone, Default)]
+pub struct Power {
+    halt: Option<u16>,
+}
+
+impl Power {
+    /// Creates a power controller with no pending request.
+    pub fn new() -> Power {
+        Power::default()
+    }
+
+    /// The pending halt exit code, if any.
+    pub fn halt_request(&self) -> Option<u16> {
+        self.halt
+    }
+
+    /// Clears a pending halt request (used when reusing a machine).
+    pub fn clear(&mut self) {
+        self.halt = None;
+    }
+
+    pub(crate) fn read(&mut self, _offset: u32) -> u32 {
+        u32::from(self.halt.is_some())
+    }
+
+    pub(crate) fn write(&mut self, offset: u32, value: u32) {
+        if offset == 0 {
+            self.halt = Some(value as u16);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halt_request_lifecycle() {
+        let mut power = Power::new();
+        assert_eq!(power.halt_request(), None);
+        power.write(0, 3);
+        assert_eq!(power.halt_request(), Some(3));
+        assert_eq!(power.read(0), 1);
+        power.clear();
+        assert_eq!(power.halt_request(), None);
+    }
+}

@@ -1,0 +1,60 @@
+//! Deterministic pseudo-random source device.
+
+/// A seeded xorshift64* pseudo-random MMIO device.
+///
+/// Guests read successive words from the data register. Being seeded from
+/// the machine configuration keeps whole-system runs reproducible, which the
+/// fuzz-campaign benches rely on.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates an RNG from a seed (zero is mapped to a fixed non-zero value).
+    pub fn new(seed: u64) -> Rng {
+        Rng { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
+    }
+
+    fn next(&mut self) -> u64 {
+        // xorshift64* (Marsaglia / Vigna).
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    pub(crate) fn read(&mut self, offset: u32) -> u32 {
+        if offset == 0 {
+            self.next() as u32
+        } else {
+            0
+        }
+    }
+
+    pub(crate) fn write(&mut self, _offset: u32, _value: u32) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..16 {
+            assert_eq!(a.read(0), b.read(0));
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut rng = Rng::new(0);
+        let first = rng.read(0);
+        let second = rng.read(0);
+        assert_ne!(first, second);
+    }
+}

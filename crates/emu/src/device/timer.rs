@@ -1,0 +1,79 @@
+//! Countdown interrupt timer.
+
+/// A countdown timer clocked by retired guest instructions.
+///
+/// When enabled, the counter decrements once per retired instruction; on
+/// reaching zero it reloads and raises the machine interrupt line, which the
+/// guest kernels use for preemptive scheduling.
+#[derive(Debug, Clone, Default)]
+pub struct Timer {
+    enabled: bool,
+    reload: u32,
+    count: u32,
+}
+
+impl Timer {
+    /// Creates a disabled timer.
+    pub fn new() -> Timer {
+        Timer::default()
+    }
+
+    pub(crate) fn read(&mut self, offset: u32) -> u32 {
+        match offset {
+            0x0 => u32::from(self.enabled),
+            0x4 => self.reload,
+            0x8 => self.count,
+            _ => 0,
+        }
+    }
+
+    pub(crate) fn write(&mut self, offset: u32, value: u32) {
+        match offset {
+            0x0 => self.enabled = value & 1 != 0,
+            0x4 => {
+                self.reload = value;
+                self.count = value;
+            }
+            _ => {}
+        }
+    }
+
+    /// Advances the timer by `instructions` ticks; returns `true` if the
+    /// counter expired (and reloaded) at least once in the window.
+    pub fn tick(&mut self, instructions: u64) -> bool {
+        if !self.enabled || self.reload == 0 {
+            return false;
+        }
+        if instructions < u64::from(self.count.max(1)) {
+            self.count -= instructions as u32;
+            return false;
+        }
+        let past_expiry = instructions - u64::from(self.count);
+        let reload = u64::from(self.reload);
+        let into_period = past_expiry % reload;
+        self.count = (reload - into_period) as u32;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_timer_never_fires() {
+        let mut timer = Timer::new();
+        assert!(!timer.tick(1_000_000));
+    }
+
+    #[test]
+    fn fires_on_expiry_and_reloads() {
+        let mut timer = Timer::new();
+        timer.write(0x4, 100);
+        timer.write(0x0, 1);
+        assert!(!timer.tick(99));
+        assert!(timer.tick(1));
+        assert_eq!(timer.read(0x8), 100);
+        assert!(timer.tick(150));
+    }
+}

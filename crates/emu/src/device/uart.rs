@@ -1,0 +1,64 @@
+//! Console UART device.
+
+/// A transmit-only console UART.
+///
+/// Bytes written to the TX register accumulate in a host-visible buffer; the
+/// prober uses console output (e.g. a firmware's "ready" banner) as one of
+/// its ready-point signals for closed-source firmware.
+#[derive(Debug, Clone, Default)]
+pub struct Uart {
+    output: Vec<u8>,
+}
+
+impl Uart {
+    /// Creates an idle UART.
+    pub fn new() -> Uart {
+        Uart::default()
+    }
+
+    pub(crate) fn read(&mut self, offset: u32) -> u32 {
+        match offset {
+            // Status: TX always ready.
+            0x4 => 1,
+            _ => 0,
+        }
+    }
+
+    pub(crate) fn write(&mut self, offset: u32, value: u32) {
+        if offset == 0 {
+            self.output.push(value as u8);
+        }
+    }
+
+    /// Takes and clears the accumulated console output.
+    pub fn take_output(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.output)
+    }
+
+    /// Peeks at the accumulated console output without clearing it.
+    pub fn output(&self) -> &[u8] {
+        &self.output
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_accumulates_and_drains() {
+        let mut uart = Uart::new();
+        for byte in b"ok\n" {
+            uart.write(0, u32::from(*byte));
+        }
+        assert_eq!(uart.output(), b"ok\n");
+        assert_eq!(uart.take_output(), b"ok\n");
+        assert!(uart.output().is_empty());
+    }
+
+    #[test]
+    fn status_reads_ready() {
+        let mut uart = Uart::new();
+        assert_eq!(uart.read(4), 1);
+    }
+}

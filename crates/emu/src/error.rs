@@ -1,0 +1,121 @@
+//! Error and fault types.
+
+use crate::isa::DecodeError;
+
+/// A guest-visible execution fault.
+///
+/// Faults stop the faulting vCPU and are reported through
+/// [`crate::hook::ExecHook::fault`] and [`crate::machine::RunExit::Faulted`].
+/// The EMBSAN runtime classifies some of them further (e.g. an access inside
+/// the null guard page becomes a null-pointer-dereference report).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fault {
+    /// Access to an address no memory region claims.
+    Unmapped { addr: u32, is_write: bool },
+    /// Access inside the null guard page (`0x0000_0000..0x0000_1000`).
+    NullPage { addr: u32, is_write: bool },
+    /// Write to read-only memory (the boot ROM).
+    RomWrite { addr: u32 },
+    /// Misaligned load/store.
+    Misaligned { addr: u32, size: u8 },
+    /// Instruction fetch from an unmapped or misaligned address.
+    BadFetch { pc: u32 },
+    /// Undecodable instruction word.
+    IllegalInsn { pc: u32, word: u32 },
+    /// `brk` debug breakpoint.
+    Breakpoint { pc: u32 },
+    /// `ecall` executed with no trap vector configured.
+    NoTrapVector { pc: u32 },
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Fault::Unmapped { addr, is_write } => write!(
+                f,
+                "{} of unmapped address {addr:#010x}",
+                if is_write { "write" } else { "read" }
+            ),
+            Fault::NullPage { addr, is_write } => write!(
+                f,
+                "{} inside null guard page at {addr:#010x}",
+                if is_write { "write" } else { "read" }
+            ),
+            Fault::RomWrite { addr } => write!(f, "write to read-only memory at {addr:#010x}"),
+            Fault::Misaligned { addr, size } => {
+                write!(f, "misaligned {size}-byte access at {addr:#010x}")
+            }
+            Fault::BadFetch { pc } => write!(f, "instruction fetch fault at pc {pc:#010x}"),
+            Fault::IllegalInsn { pc, word } => {
+                write!(f, "illegal instruction {word:#010x} at pc {pc:#010x}")
+            }
+            Fault::Breakpoint { pc } => write!(f, "breakpoint at pc {pc:#010x}"),
+            Fault::NoTrapVector { pc } => {
+                write!(f, "ecall at pc {pc:#010x} with no trap vector installed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Fault {}
+
+/// Errors reported by the emulator's host-facing API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmuError {
+    /// Machine configuration is invalid (overlapping regions, zero vCPUs, …).
+    InvalidConfig(String),
+    /// A host-side access (`Machine::read_mem` etc.) hit a fault.
+    Fault(Fault),
+    /// A snapshot was taken from an incompatible machine.
+    SnapshotMismatch(String),
+}
+
+impl std::fmt::Display for EmuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EmuError::InvalidConfig(msg) => write!(f, "invalid machine configuration: {msg}"),
+            EmuError::Fault(fault) => write!(f, "memory fault: {fault}"),
+            EmuError::SnapshotMismatch(msg) => write!(f, "snapshot mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EmuError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EmuError::Fault(fault) => Some(fault),
+            _ => None,
+        }
+    }
+}
+
+impl From<Fault> for EmuError {
+    fn from(fault: Fault) -> EmuError {
+        EmuError::Fault(fault)
+    }
+}
+
+impl From<DecodeError> for Fault {
+    fn from(err: DecodeError) -> Fault {
+        Fault::IllegalInsn { pc: 0, word: err.word.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_display_is_informative() {
+        let text = Fault::NullPage { addr: 0x10, is_write: true }.to_string();
+        assert!(text.contains("null guard page"));
+        assert!(text.contains("0x00000010"));
+    }
+
+    #[test]
+    fn error_source_chains() {
+        use std::error::Error as _;
+        let err = EmuError::from(Fault::RomWrite { addr: 4 });
+        assert!(err.source().is_some());
+    }
+}

@@ -1,0 +1,428 @@
+//! Binary encoding and decoding of EV32 instructions.
+//!
+//! All instructions are 32 bits wide:
+//!
+//! ```text
+//!  31      24 23  20 19  16 15  12 11           0
+//! +----------+------+------+------+--------------+
+//! |  opcode  |  rd  | rs1  | rs2  |    imm12     |   R/I/S/B-type
+//! +----------+------+------+------+--------------+
+//! |  opcode  |  rd  |          imm20             |   U/J-type
+//! +----------+------+----------------------------+
+//! ```
+//!
+//! Branch and jump immediates are stored as *word* offsets (byte offset / 4),
+//! giving branches a ±8 KiB range and `jal` a ±2 MiB range.
+
+use super::insn::Insn;
+use super::{Reg, Word};
+
+/// Error returned when a word does not decode to a valid EV32 instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The undecodable word.
+    pub word: Word,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid instruction word {:#010x}", self.word.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// Opcode space. Grouped by format for decoder clarity.
+mod op {
+    pub const ADD: u8 = 0x01;
+    pub const SUB: u8 = 0x02;
+    pub const AND: u8 = 0x03;
+    pub const OR: u8 = 0x04;
+    pub const XOR: u8 = 0x05;
+    pub const SLL: u8 = 0x06;
+    pub const SRL: u8 = 0x07;
+    pub const SRA: u8 = 0x08;
+    pub const MUL: u8 = 0x09;
+    pub const MULH: u8 = 0x0A;
+    pub const DIVU: u8 = 0x0B;
+    pub const REMU: u8 = 0x0C;
+    pub const SLT: u8 = 0x0D;
+    pub const SLTU: u8 = 0x0E;
+
+    pub const ADDI: u8 = 0x10;
+    pub const ANDI: u8 = 0x11;
+    pub const ORI: u8 = 0x12;
+    pub const XORI: u8 = 0x13;
+    pub const SLLI: u8 = 0x14;
+    pub const SRLI: u8 = 0x15;
+    pub const SRAI: u8 = 0x16;
+    pub const SLTI: u8 = 0x17;
+    pub const SLTIU: u8 = 0x18;
+
+    pub const LUI: u8 = 0x20;
+    pub const AUIPC: u8 = 0x21;
+
+    pub const LB: u8 = 0x30;
+    pub const LBU: u8 = 0x31;
+    pub const LH: u8 = 0x32;
+    pub const LHU: u8 = 0x33;
+    pub const LW: u8 = 0x34;
+    pub const SB: u8 = 0x38;
+    pub const SH: u8 = 0x39;
+    pub const SW: u8 = 0x3A;
+    pub const AMOADDW: u8 = 0x3C;
+    pub const AMOSWPW: u8 = 0x3D;
+
+    pub const BEQ: u8 = 0x40;
+    pub const BNE: u8 = 0x41;
+    pub const BLT: u8 = 0x42;
+    pub const BLTU: u8 = 0x43;
+    pub const BGE: u8 = 0x44;
+    pub const BGEU: u8 = 0x45;
+    pub const JAL: u8 = 0x48;
+    pub const JALR: u8 = 0x49;
+
+    pub const ECALL: u8 = 0x50;
+    pub const ERET: u8 = 0x51;
+    pub const HYPER: u8 = 0x52;
+    pub const CSRR: u8 = 0x53;
+    pub const CSRW: u8 = 0x54;
+    pub const HALT: u8 = 0x55;
+    pub const WFI: u8 = 0x56;
+    pub const NOP: u8 = 0x57;
+    pub const FENCE: u8 = 0x58;
+    pub const BRK: u8 = 0x59;
+}
+
+/// Signed 12-bit immediate range check.
+fn imm12(value: i32) -> u32 {
+    assert!(
+        (-2048..2048).contains(&value),
+        "immediate {value} does not fit in 12 bits"
+    );
+    (value as u32) & 0xFFF
+}
+
+/// Unsigned 12-bit immediate range check (logical immediates are
+/// zero-extended so `lui + ori` can synthesize any 32-bit constant).
+fn uimm12(value: i32) -> u32 {
+    assert!(
+        (0..4096).contains(&value),
+        "unsigned immediate {value} does not fit in 12 bits"
+    );
+    value as u32
+}
+
+/// Signed 20-bit immediate range check.
+fn imm20(value: i32) -> u32 {
+    assert!(
+        (-(1 << 19)..(1 << 19)).contains(&value),
+        "immediate {value} does not fit in 20 bits"
+    );
+    (value as u32) & 0xF_FFFF
+}
+
+fn sign_extend(value: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((value << shift) as i32) >> shift
+}
+
+fn rtype(opcode: u8, rd: Reg, rs1: Reg, rs2: Reg) -> Word {
+    Word(
+        u32::from(opcode) << 24
+            | (rd.index() as u32) << 20
+            | (rs1.index() as u32) << 16
+            | (rs2.index() as u32) << 12,
+    )
+}
+
+fn itype(opcode: u8, rd: Reg, rs1: Reg, imm: i32) -> Word {
+    Word(
+        u32::from(opcode) << 24
+            | (rd.index() as u32) << 20
+            | (rs1.index() as u32) << 16
+            | imm12(imm),
+    )
+}
+
+fn itype_u(opcode: u8, rd: Reg, rs1: Reg, imm: i32) -> Word {
+    Word(
+        u32::from(opcode) << 24
+            | (rd.index() as u32) << 20
+            | (rs1.index() as u32) << 16
+            | uimm12(imm),
+    )
+}
+
+fn stype(opcode: u8, rs2: Reg, rs1: Reg, imm: i32) -> Word {
+    Word(
+        u32::from(opcode) << 24
+            | (rs1.index() as u32) << 16
+            | (rs2.index() as u32) << 12
+            | imm12(imm),
+    )
+}
+
+fn btype(opcode: u8, rs1: Reg, rs2: Reg, offset: i32) -> Word {
+    assert!(offset % 4 == 0, "branch offset {offset} is not word-aligned");
+    Word(
+        u32::from(opcode) << 24
+            | (rs1.index() as u32) << 16
+            | (rs2.index() as u32) << 12
+            | imm12(offset / 4),
+    )
+}
+
+fn utype(opcode: u8, rd: Reg, imm: u32) -> Word {
+    assert!(imm & 0xFFF == 0, "upper immediate {imm:#x} has low bits set");
+    Word(u32::from(opcode) << 24 | (rd.index() as u32) << 20 | imm >> 12)
+}
+
+fn jtype(opcode: u8, rd: Reg, offset: i32) -> Word {
+    assert!(offset % 4 == 0, "jump offset {offset} is not word-aligned");
+    Word(u32::from(opcode) << 24 | (rd.index() as u32) << 20 | imm20(offset / 4))
+}
+
+fn shift(opcode: u8, rd: Reg, rs1: Reg, shamt: u8) -> Word {
+    assert!(shamt < 32, "shift amount {shamt} out of range");
+    itype(opcode, rd, rs1, i32::from(shamt))
+}
+
+impl Insn {
+    /// Encodes the instruction into a raw word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an immediate is out of range for its field, a branch/jump
+    /// offset is not word-aligned, or a shift amount is ≥ 32. The assembler
+    /// in `embsan-asm` validates these before encoding.
+    pub fn encode(self) -> Word {
+        use op::*;
+        match self {
+            Insn::Add { rd, rs1, rs2 } => rtype(ADD, rd, rs1, rs2),
+            Insn::Sub { rd, rs1, rs2 } => rtype(SUB, rd, rs1, rs2),
+            Insn::And { rd, rs1, rs2 } => rtype(AND, rd, rs1, rs2),
+            Insn::Or { rd, rs1, rs2 } => rtype(OR, rd, rs1, rs2),
+            Insn::Xor { rd, rs1, rs2 } => rtype(XOR, rd, rs1, rs2),
+            Insn::Sll { rd, rs1, rs2 } => rtype(SLL, rd, rs1, rs2),
+            Insn::Srl { rd, rs1, rs2 } => rtype(SRL, rd, rs1, rs2),
+            Insn::Sra { rd, rs1, rs2 } => rtype(SRA, rd, rs1, rs2),
+            Insn::Mul { rd, rs1, rs2 } => rtype(MUL, rd, rs1, rs2),
+            Insn::Mulh { rd, rs1, rs2 } => rtype(MULH, rd, rs1, rs2),
+            Insn::Divu { rd, rs1, rs2 } => rtype(DIVU, rd, rs1, rs2),
+            Insn::Remu { rd, rs1, rs2 } => rtype(REMU, rd, rs1, rs2),
+            Insn::Slt { rd, rs1, rs2 } => rtype(SLT, rd, rs1, rs2),
+            Insn::Sltu { rd, rs1, rs2 } => rtype(SLTU, rd, rs1, rs2),
+
+            Insn::Addi { rd, rs1, imm } => itype(ADDI, rd, rs1, imm),
+            Insn::Andi { rd, rs1, imm } => itype_u(ANDI, rd, rs1, imm),
+            Insn::Ori { rd, rs1, imm } => itype_u(ORI, rd, rs1, imm),
+            Insn::Xori { rd, rs1, imm } => itype_u(XORI, rd, rs1, imm),
+            Insn::Slli { rd, rs1, shamt } => shift(SLLI, rd, rs1, shamt),
+            Insn::Srli { rd, rs1, shamt } => shift(SRLI, rd, rs1, shamt),
+            Insn::Srai { rd, rs1, shamt } => shift(SRAI, rd, rs1, shamt),
+            Insn::Slti { rd, rs1, imm } => itype(SLTI, rd, rs1, imm),
+            Insn::Sltiu { rd, rs1, imm } => itype(SLTIU, rd, rs1, imm),
+
+            Insn::Lui { rd, imm } => utype(LUI, rd, imm),
+            Insn::Auipc { rd, imm } => utype(AUIPC, rd, imm),
+
+            Insn::Lb { rd, rs1, imm } => itype(LB, rd, rs1, imm),
+            Insn::Lbu { rd, rs1, imm } => itype(LBU, rd, rs1, imm),
+            Insn::Lh { rd, rs1, imm } => itype(LH, rd, rs1, imm),
+            Insn::Lhu { rd, rs1, imm } => itype(LHU, rd, rs1, imm),
+            Insn::Lw { rd, rs1, imm } => itype(LW, rd, rs1, imm),
+            Insn::Sb { rs2, rs1, imm } => stype(SB, rs2, rs1, imm),
+            Insn::Sh { rs2, rs1, imm } => stype(SH, rs2, rs1, imm),
+            Insn::Sw { rs2, rs1, imm } => stype(SW, rs2, rs1, imm),
+            Insn::AmoAddW { rd, rs1, rs2 } => rtype(AMOADDW, rd, rs1, rs2),
+            Insn::AmoSwpW { rd, rs1, rs2 } => rtype(AMOSWPW, rd, rs1, rs2),
+
+            Insn::Beq { rs1, rs2, offset } => btype(BEQ, rs1, rs2, offset),
+            Insn::Bne { rs1, rs2, offset } => btype(BNE, rs1, rs2, offset),
+            Insn::Blt { rs1, rs2, offset } => btype(BLT, rs1, rs2, offset),
+            Insn::Bltu { rs1, rs2, offset } => btype(BLTU, rs1, rs2, offset),
+            Insn::Bge { rs1, rs2, offset } => btype(BGE, rs1, rs2, offset),
+            Insn::Bgeu { rs1, rs2, offset } => btype(BGEU, rs1, rs2, offset),
+            Insn::Jal { rd, offset } => jtype(JAL, rd, offset),
+            Insn::Jalr { rd, rs1, imm } => itype(JALR, rd, rs1, imm),
+
+            Insn::Ecall { code } => Word(u32::from(ECALL) << 24 | u32::from(code)),
+            Insn::Eret => Word(u32::from(ERET) << 24),
+            Insn::Hyper { nr } => {
+                assert!(nr < (1 << 20), "hypercall number {nr} does not fit in 20 bits");
+                Word(u32::from(HYPER) << 24 | nr)
+            }
+            Insn::Csrr { rd, idx } => {
+                Word(u32::from(CSRR) << 24 | (rd.index() as u32) << 20 | u32::from(idx))
+            }
+            Insn::Csrw { rs1, idx } => {
+                Word(u32::from(CSRW) << 24 | (rs1.index() as u32) << 16 | u32::from(idx))
+            }
+            Insn::Halt { code } => Word(u32::from(HALT) << 24 | u32::from(code)),
+            Insn::Wfi => Word(u32::from(WFI) << 24),
+            Insn::Nop => Word(u32::from(NOP) << 24),
+            Insn::Fence => Word(u32::from(FENCE) << 24),
+            Insn::Brk => Word(u32::from(BRK) << 24),
+        }
+    }
+
+    /// Decodes a raw word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if the opcode byte is not assigned or reserved
+    /// fields are non-zero in a way that cannot round-trip.
+    pub fn decode(word: Word) -> Result<Insn, DecodeError> {
+        use op::*;
+        let w = word.0;
+        let opcode = (w >> 24) as u8;
+        let rd = Reg::from_index(((w >> 20) & 0xF) as u8);
+        let rs1 = Reg::from_index(((w >> 16) & 0xF) as u8);
+        let rs2 = Reg::from_index(((w >> 12) & 0xF) as u8);
+        let i12 = sign_extend(w & 0xFFF, 12);
+        let i20 = sign_extend(w & 0xF_FFFF, 20);
+        let boff = i12 * 4;
+
+        let insn = match opcode {
+            ADD => Insn::Add { rd, rs1, rs2 },
+            SUB => Insn::Sub { rd, rs1, rs2 },
+            AND => Insn::And { rd, rs1, rs2 },
+            OR => Insn::Or { rd, rs1, rs2 },
+            XOR => Insn::Xor { rd, rs1, rs2 },
+            SLL => Insn::Sll { rd, rs1, rs2 },
+            SRL => Insn::Srl { rd, rs1, rs2 },
+            SRA => Insn::Sra { rd, rs1, rs2 },
+            MUL => Insn::Mul { rd, rs1, rs2 },
+            MULH => Insn::Mulh { rd, rs1, rs2 },
+            DIVU => Insn::Divu { rd, rs1, rs2 },
+            REMU => Insn::Remu { rd, rs1, rs2 },
+            SLT => Insn::Slt { rd, rs1, rs2 },
+            SLTU => Insn::Sltu { rd, rs1, rs2 },
+
+            ADDI => Insn::Addi { rd, rs1, imm: i12 },
+            ANDI => Insn::Andi { rd, rs1, imm: (w & 0xFFF) as i32 },
+            ORI => Insn::Ori { rd, rs1, imm: (w & 0xFFF) as i32 },
+            XORI => Insn::Xori { rd, rs1, imm: (w & 0xFFF) as i32 },
+            SLLI => Insn::Slli { rd, rs1, shamt: (w & 0x1F) as u8 },
+            SRLI => Insn::Srli { rd, rs1, shamt: (w & 0x1F) as u8 },
+            SRAI => Insn::Srai { rd, rs1, shamt: (w & 0x1F) as u8 },
+            SLTI => Insn::Slti { rd, rs1, imm: i12 },
+            SLTIU => Insn::Sltiu { rd, rs1, imm: i12 },
+
+            LUI => Insn::Lui { rd, imm: (w & 0xF_FFFF) << 12 },
+            AUIPC => Insn::Auipc { rd, imm: (w & 0xF_FFFF) << 12 },
+
+            LB => Insn::Lb { rd, rs1, imm: i12 },
+            LBU => Insn::Lbu { rd, rs1, imm: i12 },
+            LH => Insn::Lh { rd, rs1, imm: i12 },
+            LHU => Insn::Lhu { rd, rs1, imm: i12 },
+            LW => Insn::Lw { rd, rs1, imm: i12 },
+            SB => Insn::Sb { rs2, rs1, imm: i12 },
+            SH => Insn::Sh { rs2, rs1, imm: i12 },
+            SW => Insn::Sw { rs2, rs1, imm: i12 },
+            AMOADDW => Insn::AmoAddW { rd, rs1, rs2 },
+            AMOSWPW => Insn::AmoSwpW { rd, rs1, rs2 },
+
+            BEQ => Insn::Beq { rs1, rs2, offset: boff },
+            BNE => Insn::Bne { rs1, rs2, offset: boff },
+            BLT => Insn::Blt { rs1, rs2, offset: boff },
+            BLTU => Insn::Bltu { rs1, rs2, offset: boff },
+            BGE => Insn::Bge { rs1, rs2, offset: boff },
+            BGEU => Insn::Bgeu { rs1, rs2, offset: boff },
+            JAL => Insn::Jal { rd, offset: i20 * 4 },
+            JALR => Insn::Jalr { rd, rs1, imm: i12 },
+
+            ECALL => Insn::Ecall { code: (w & 0xFFFF) as u16 },
+            ERET => Insn::Eret,
+            HYPER => Insn::Hyper { nr: w & 0xF_FFFF },
+            CSRR => Insn::Csrr { rd, idx: (w & 0xFFFF) as u16 },
+            CSRW => Insn::Csrw { rs1, idx: (w & 0xFFFF) as u16 },
+            HALT => Insn::Halt { code: (w & 0xFFFF) as u16 },
+            WFI => Insn::Wfi,
+            NOP => Insn::Nop,
+            FENCE => Insn::Fence,
+            BRK => Insn::Brk,
+            _ => return Err(DecodeError { word }),
+        };
+        Ok(insn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_insns() -> Vec<Insn> {
+        use Reg::*;
+        vec![
+            Insn::Add { rd: R1, rs1: R2, rs2: R3 },
+            Insn::Sub { rd: R15, rs1: R13, rs2: R0 },
+            Insn::Mulh { rd: R7, rs1: R8, rs2: R9 },
+            Insn::Addi { rd: R1, rs1: R0, imm: -2048 },
+            Insn::Addi { rd: R1, rs1: R0, imm: 2047 },
+            Insn::Slli { rd: R4, rs1: R4, shamt: 31 },
+            Insn::Srai { rd: R4, rs1: R4, shamt: 0 },
+            Insn::Lui { rd: R5, imm: 0xFFFF_F000 },
+            Insn::Auipc { rd: R5, imm: 0x0001_2000 },
+            Insn::Lw { rd: R6, rs1: R13, imm: -4 },
+            Insn::Sb { rs2: R6, rs1: R13, imm: 12 },
+            Insn::AmoSwpW { rd: R1, rs1: R2, rs2: R3 },
+            Insn::Beq { rs1: R1, rs2: R2, offset: -8192 },
+            Insn::Bgeu { rs1: R1, rs2: R2, offset: 8188 },
+            Insn::Jal { rd: R15, offset: -(1 << 21) },
+            Insn::Jal { rd: R0, offset: (1 << 21) - 4 },
+            Insn::Jalr { rd: R0, rs1: R15, imm: 0 },
+            Insn::Ecall { code: 0xBEEF },
+            Insn::Eret,
+            Insn::Hyper { nr: 0xF_FFFF },
+            Insn::Csrr { rd: R3, idx: 7 },
+            Insn::Csrw { rs1: R3, idx: 7 },
+            Insn::Halt { code: 42 },
+            Insn::Wfi,
+            Insn::Nop,
+            Insn::Fence,
+            Insn::Brk,
+        ]
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for insn in sample_insns() {
+            let word = insn.encode();
+            assert_eq!(Insn::decode(word), Ok(insn), "roundtrip failed for {insn:?}");
+        }
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        assert!(Insn::decode(Word(0xFF00_0000)).is_err());
+        assert!(Insn::decode(Word(0x0000_0000)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit in 12 bits")]
+    fn immediate_overflow_panics() {
+        let _ = Insn::Addi { rd: Reg::R1, rs1: Reg::R0, imm: 4096 }.encode();
+    }
+
+    #[test]
+    #[should_panic(expected = "not word-aligned")]
+    fn misaligned_branch_panics() {
+        let _ = Insn::Beq { rs1: Reg::R1, rs2: Reg::R2, offset: 6 }.encode();
+    }
+
+    #[test]
+    fn mem_access_classification() {
+        assert!(Insn::Lw { rd: Reg::R1, rs1: Reg::R2, imm: 0 }.is_mem_access());
+        assert!(Insn::AmoAddW { rd: Reg::R1, rs1: Reg::R2, rs2: Reg::R3 }.is_mem_access());
+        assert!(!Insn::Add { rd: Reg::R1, rs1: Reg::R2, rs2: Reg::R3 }.is_mem_access());
+    }
+
+    #[test]
+    fn block_end_classification() {
+        assert!(Insn::Jal { rd: Reg::R0, offset: 0 }.ends_block());
+        assert!(Insn::Halt { code: 0 }.ends_block());
+        assert!(!Insn::Lw { rd: Reg::R1, rs1: Reg::R2, imm: 0 }.ends_block());
+    }
+}

@@ -1,0 +1,89 @@
+//! Textual disassembly of EV32 instructions.
+//!
+//! The output grammar matches what the `embsan-asm` text assembler accepts,
+//! so `disasm → assemble` round-trips (used by the binary-firmware prober to
+//! present candidate allocator functions to the tester).
+
+use super::insn::Insn;
+
+impl std::fmt::Display for Insn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Insn::Add { rd, rs1, rs2 } => write!(f, "add {rd}, {rs1}, {rs2}"),
+            Insn::Sub { rd, rs1, rs2 } => write!(f, "sub {rd}, {rs1}, {rs2}"),
+            Insn::And { rd, rs1, rs2 } => write!(f, "and {rd}, {rs1}, {rs2}"),
+            Insn::Or { rd, rs1, rs2 } => write!(f, "or {rd}, {rs1}, {rs2}"),
+            Insn::Xor { rd, rs1, rs2 } => write!(f, "xor {rd}, {rs1}, {rs2}"),
+            Insn::Sll { rd, rs1, rs2 } => write!(f, "sll {rd}, {rs1}, {rs2}"),
+            Insn::Srl { rd, rs1, rs2 } => write!(f, "srl {rd}, {rs1}, {rs2}"),
+            Insn::Sra { rd, rs1, rs2 } => write!(f, "sra {rd}, {rs1}, {rs2}"),
+            Insn::Mul { rd, rs1, rs2 } => write!(f, "mul {rd}, {rs1}, {rs2}"),
+            Insn::Mulh { rd, rs1, rs2 } => write!(f, "mulh {rd}, {rs1}, {rs2}"),
+            Insn::Divu { rd, rs1, rs2 } => write!(f, "divu {rd}, {rs1}, {rs2}"),
+            Insn::Remu { rd, rs1, rs2 } => write!(f, "remu {rd}, {rs1}, {rs2}"),
+            Insn::Slt { rd, rs1, rs2 } => write!(f, "slt {rd}, {rs1}, {rs2}"),
+            Insn::Sltu { rd, rs1, rs2 } => write!(f, "sltu {rd}, {rs1}, {rs2}"),
+            Insn::Addi { rd, rs1, imm } => write!(f, "addi {rd}, {rs1}, {imm}"),
+            Insn::Andi { rd, rs1, imm } => write!(f, "andi {rd}, {rs1}, {imm}"),
+            Insn::Ori { rd, rs1, imm } => write!(f, "ori {rd}, {rs1}, {imm}"),
+            Insn::Xori { rd, rs1, imm } => write!(f, "xori {rd}, {rs1}, {imm}"),
+            Insn::Slli { rd, rs1, shamt } => write!(f, "slli {rd}, {rs1}, {shamt}"),
+            Insn::Srli { rd, rs1, shamt } => write!(f, "srli {rd}, {rs1}, {shamt}"),
+            Insn::Srai { rd, rs1, shamt } => write!(f, "srai {rd}, {rs1}, {shamt}"),
+            Insn::Slti { rd, rs1, imm } => write!(f, "slti {rd}, {rs1}, {imm}"),
+            Insn::Sltiu { rd, rs1, imm } => write!(f, "sltiu {rd}, {rs1}, {imm}"),
+            Insn::Lui { rd, imm } => write!(f, "lui {rd}, {imm:#x}"),
+            Insn::Auipc { rd, imm } => write!(f, "auipc {rd}, {imm:#x}"),
+            Insn::Lb { rd, rs1, imm } => write!(f, "lb {rd}, [{rs1}{imm:+}]"),
+            Insn::Lbu { rd, rs1, imm } => write!(f, "lbu {rd}, [{rs1}{imm:+}]"),
+            Insn::Lh { rd, rs1, imm } => write!(f, "lh {rd}, [{rs1}{imm:+}]"),
+            Insn::Lhu { rd, rs1, imm } => write!(f, "lhu {rd}, [{rs1}{imm:+}]"),
+            Insn::Lw { rd, rs1, imm } => write!(f, "lw {rd}, [{rs1}{imm:+}]"),
+            Insn::Sb { rs2, rs1, imm } => write!(f, "sb {rs2}, [{rs1}{imm:+}]"),
+            Insn::Sh { rs2, rs1, imm } => write!(f, "sh {rs2}, [{rs1}{imm:+}]"),
+            Insn::Sw { rs2, rs1, imm } => write!(f, "sw {rs2}, [{rs1}{imm:+}]"),
+            Insn::AmoAddW { rd, rs1, rs2 } => write!(f, "amoadd.w {rd}, [{rs1}], {rs2}"),
+            Insn::AmoSwpW { rd, rs1, rs2 } => write!(f, "amoswp.w {rd}, [{rs1}], {rs2}"),
+            Insn::Beq { rs1, rs2, offset } => write!(f, "beq {rs1}, {rs2}, {offset:+}"),
+            Insn::Bne { rs1, rs2, offset } => write!(f, "bne {rs1}, {rs2}, {offset:+}"),
+            Insn::Blt { rs1, rs2, offset } => write!(f, "blt {rs1}, {rs2}, {offset:+}"),
+            Insn::Bltu { rs1, rs2, offset } => write!(f, "bltu {rs1}, {rs2}, {offset:+}"),
+            Insn::Bge { rs1, rs2, offset } => write!(f, "bge {rs1}, {rs2}, {offset:+}"),
+            Insn::Bgeu { rs1, rs2, offset } => write!(f, "bgeu {rs1}, {rs2}, {offset:+}"),
+            Insn::Jal { rd, offset } => write!(f, "jal {rd}, {offset:+}"),
+            Insn::Jalr { rd, rs1, imm } => write!(f, "jalr {rd}, {rs1}, {imm}"),
+            Insn::Ecall { code } => write!(f, "ecall {code}"),
+            Insn::Eret => write!(f, "eret"),
+            Insn::Hyper { nr } => write!(f, "hyper {nr}"),
+            Insn::Csrr { rd, idx } => write!(f, "csrr {rd}, {idx}"),
+            Insn::Csrw { rs1, idx } => write!(f, "csrw {rs1}, {idx}"),
+            Insn::Halt { code } => write!(f, "halt {code}"),
+            Insn::Wfi => write!(f, "wfi"),
+            Insn::Nop => write!(f, "nop"),
+            Insn::Fence => write!(f, "fence"),
+            Insn::Brk => write!(f, "brk"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::isa::{Insn, Reg};
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            Insn::Add { rd: Reg::R1, rs1: Reg::R2, rs2: Reg::R3 }.to_string(),
+            "add r1, r2, r3"
+        );
+        assert_eq!(
+            Insn::Lw { rd: Reg::R1, rs1: Reg::SP, imm: -4 }.to_string(),
+            "lw r1, [r13-4]"
+        );
+        assert_eq!(
+            Insn::Sw { rs2: Reg::R2, rs1: Reg::R3, imm: 8 }.to_string(),
+            "sw r2, [r3+8]"
+        );
+        assert_eq!(Insn::Hyper { nr: 3 }.to_string(), "hyper 3");
+    }
+}

@@ -1,0 +1,223 @@
+//! The EV32 instruction set architecture.
+//!
+//! EV32 is a 32-bit RISC ISA with sixteen general-purpose registers and
+//! fixed-width 32-bit instructions. It exists in three *architecture
+//! profiles* ([`crate::profile::Arch`]) that share the instruction set but
+//! differ in memory endianness, hypercall conventions and platform layout —
+//! mirroring the paper's x86/ARM/MIPS targets, whose differences (from the
+//! sanitizer's point of view) are exactly of this kind.
+//!
+//! The module is split into:
+//! - [`Reg`]: register names and ABI aliases,
+//! - [`Insn`]: the decoded instruction form,
+//! - [`Word`]: a raw 32-bit instruction word with endian-aware byte I/O,
+//! - `codec`: binary encode/decode,
+//! - `disasm`: textual disassembly.
+
+mod codec;
+mod disasm;
+mod insn;
+
+pub use codec::DecodeError;
+pub use insn::Insn;
+
+use crate::profile::Endian;
+
+/// A general-purpose register identifier (`r0`–`r15`).
+///
+/// `r0` is hardwired to zero. The base ABI used by all shipped firmware
+/// assigns: `r1`–`r6` argument/scratch (`r1` also return value), `r7`–`r10`
+/// callee-saved, `r11` instrumentation link register, `r12` instrumentation
+/// scratch, `r13` stack pointer, `r14` thread pointer, `r15` link register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Reg {
+    R0 = 0,
+    R1 = 1,
+    R2 = 2,
+    R3 = 3,
+    R4 = 4,
+    R5 = 5,
+    R6 = 6,
+    R7 = 7,
+    R8 = 8,
+    R9 = 9,
+    R10 = 10,
+    R11 = 11,
+    R12 = 12,
+    R13 = 13,
+    R14 = 14,
+    R15 = 15,
+}
+
+impl Reg {
+    /// The hardwired zero register.
+    pub const ZERO: Reg = Reg::R0;
+    /// First argument / return value register.
+    pub const A0: Reg = Reg::R1;
+    /// Second argument register.
+    pub const A1: Reg = Reg::R2;
+    /// Third argument register.
+    pub const A2: Reg = Reg::R3;
+    /// Fourth argument register.
+    pub const A3: Reg = Reg::R4;
+    /// Fifth argument register.
+    pub const A4: Reg = Reg::R5;
+    /// Sixth argument register.
+    pub const A5: Reg = Reg::R6;
+    /// Instrumentation scratch register (reserved by the EMBSAN-C pass).
+    pub const SCRATCH: Reg = Reg::R12;
+    /// Stack pointer.
+    pub const SP: Reg = Reg::R13;
+    /// Thread pointer (current task control block).
+    pub const TP: Reg = Reg::R14;
+    /// Link register.
+    pub const LR: Reg = Reg::R15;
+
+    /// All sixteen registers in index order.
+    pub const ALL: [Reg; 16] = [
+        Reg::R0,
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+        Reg::R12,
+        Reg::R13,
+        Reg::R14,
+        Reg::R15,
+    ];
+
+    /// Returns the register with the given index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 16`.
+    pub fn from_index(index: u8) -> Reg {
+        Reg::ALL[usize::from(index)]
+    }
+
+    /// The register's index, `0..16`.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The canonical assembly name (`r0`–`r15`).
+    pub fn name(self) -> &'static str {
+        const NAMES: [&str; 16] = [
+            "r0", "r1", "r2", "r3", "r4", "r5", "r6", "r7", "r8", "r9", "r10", "r11", "r12",
+            "r13", "r14", "r15",
+        ];
+        NAMES[self.index()]
+    }
+
+    /// Parses a register name, accepting both `rN` numerals and ABI aliases
+    /// (`zero`, `a0`–`a5`, `sp`, `tp`, `lr`, `scratch`).
+    pub fn parse(name: &str) -> Option<Reg> {
+        let reg = match name {
+            "zero" => Reg::ZERO,
+            "a0" => Reg::A0,
+            "a1" => Reg::A1,
+            "a2" => Reg::A2,
+            "a3" => Reg::A3,
+            "a4" => Reg::A4,
+            "a5" => Reg::A5,
+            "sp" => Reg::SP,
+            "tp" => Reg::TP,
+            "lr" => Reg::LR,
+            "scratch" => Reg::SCRATCH,
+            _ => {
+                let idx: u8 = name.strip_prefix('r')?.parse().ok()?;
+                if idx >= 16 {
+                    return None;
+                }
+                Reg::from_index(idx)
+            }
+        };
+        Some(reg)
+    }
+}
+
+impl std::fmt::Display for Reg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A raw 32-bit instruction word.
+///
+/// The bit layout of a `Word` is endian-independent; only the in-memory byte
+/// order differs between profiles, which is why [`Word::to_bytes`] and
+/// [`Word::from_bytes`] take an [`Endian`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Word(pub u32);
+
+impl Word {
+    /// Serializes the word into guest memory byte order.
+    pub fn to_bytes(self, endian: Endian) -> [u8; 4] {
+        match endian {
+            Endian::Little => self.0.to_le_bytes(),
+            Endian::Big => self.0.to_be_bytes(),
+        }
+    }
+
+    /// Reads a word from guest memory byte order.
+    pub fn from_bytes(bytes: [u8; 4], endian: Endian) -> Word {
+        Word(match endian {
+            Endian::Little => u32::from_le_bytes(bytes),
+            Endian::Big => u32::from_be_bytes(bytes),
+        })
+    }
+}
+
+impl std::fmt::LowerHex for Word {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u32> for Word {
+    fn from(value: u32) -> Word {
+        Word(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_roundtrip_names() {
+        for reg in Reg::ALL {
+            assert_eq!(Reg::parse(reg.name()), Some(reg));
+        }
+    }
+
+    #[test]
+    fn reg_aliases() {
+        assert_eq!(Reg::parse("sp"), Some(Reg::R13));
+        assert_eq!(Reg::parse("lr"), Some(Reg::R15));
+        assert_eq!(Reg::parse("a0"), Some(Reg::R1));
+        assert_eq!(Reg::parse("zero"), Some(Reg::R0));
+        assert_eq!(Reg::parse("r16"), None);
+        assert_eq!(Reg::parse("x3"), None);
+    }
+
+    #[test]
+    fn word_endianness() {
+        let w = Word(0x1234_5678);
+        assert_eq!(w.to_bytes(Endian::Little), [0x78, 0x56, 0x34, 0x12]);
+        assert_eq!(w.to_bytes(Endian::Big), [0x12, 0x34, 0x56, 0x78]);
+        assert_eq!(Word::from_bytes(w.to_bytes(Endian::Big), Endian::Big), w);
+        assert_eq!(
+            Word::from_bytes(w.to_bytes(Endian::Little), Endian::Little),
+            w
+        );
+    }
+}

@@ -1,0 +1,1317 @@
+//! The full-system machine: vCPUs, bus, translation cache, and the
+//! deterministic execution loop.
+
+use std::collections::HashSet;
+
+use crate::bus::{Bus, MemAccess, MemKind};
+use crate::cpu::{Cpu, CpuView, Csr};
+use crate::error::{EmuError, Fault};
+use crate::hook::{ExecHook, HookAction, HookConfig};
+use crate::isa::{Insn, Reg};
+use crate::profile::ArchProfile;
+use crate::translate::{call_kind, BlockCache, CallKind};
+
+/// Why a [`Machine::run`] call returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunExit {
+    /// A `halt` instruction or a power-controller write stopped the machine.
+    Halted {
+        /// Guest-provided exit code.
+        code: u16,
+    },
+    /// A vCPU faulted (after [`ExecHook::fault`] was delivered).
+    Faulted {
+        /// The fault.
+        fault: Fault,
+        /// Index of the faulting vCPU.
+        cpu: usize,
+        /// Program counter of the faulting instruction.
+        pc: u32,
+    },
+    /// The instruction budget was exhausted.
+    BudgetExhausted,
+    /// A hook returned [`HookAction::Stop`].
+    Stopped,
+    /// Every vCPU is parked in `wfi` with no interrupt source able to wake it.
+    AllIdle,
+    /// Execution reached a host breakpoint (the instruction at `pc` has not
+    /// executed yet).
+    Breakpoint {
+        /// The breakpoint address.
+        pc: u32,
+        /// Index of the vCPU that hit it.
+        cpu: usize,
+    },
+}
+
+/// Builder for [`Machine`].
+#[derive(Debug)]
+pub struct MachineBuilder {
+    profile: ArchProfile,
+    rom: Option<(u32, Vec<u8>)>,
+    ram: Option<(u32, u32)>,
+    cpus: usize,
+    quantum: u64,
+    entry: Option<u32>,
+    rng_seed: u64,
+}
+
+impl MachineBuilder {
+    /// Starts a builder for the given architecture profile.
+    pub fn new(profile: ArchProfile) -> MachineBuilder {
+        MachineBuilder {
+            profile,
+            rom: None,
+            ram: None,
+            cpus: 1,
+            quantum: 1000,
+            entry: None,
+            rng_seed: 0x5EED,
+        }
+    }
+
+    /// Installs the boot ROM image at `base`.
+    pub fn rom(mut self, base: u32, image: &[u8]) -> MachineBuilder {
+        self.rom = Some((base, image.to_vec()));
+        self
+    }
+
+    /// Installs `size` bytes of zeroed RAM at `base`.
+    pub fn ram(mut self, base: u32, size: u32) -> MachineBuilder {
+        self.ram = Some((base, size));
+        self
+    }
+
+    /// Sets the number of vCPUs (default 1).
+    pub fn cpus(mut self, count: usize) -> MachineBuilder {
+        self.cpus = count;
+        self
+    }
+
+    /// Sets the round-robin scheduling quantum in instructions (default 1000).
+    pub fn quantum(mut self, instructions: u64) -> MachineBuilder {
+        self.quantum = instructions;
+        self
+    }
+
+    /// Sets the boot entry point (default: the ROM base).
+    pub fn entry(mut self, pc: u32) -> MachineBuilder {
+        self.entry = Some(pc);
+        self
+    }
+
+    /// Seeds the RNG device (default: a fixed seed; runs are deterministic).
+    pub fn rng_seed(mut self, seed: u64) -> MachineBuilder {
+        self.rng_seed = seed;
+        self
+    }
+
+    /// Builds the machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmuError::InvalidConfig`] if ROM or RAM is missing, regions
+    /// overlap each other / the MMIO window / the null guard page, or the
+    /// vCPU count or quantum is zero.
+    pub fn build(self) -> Result<Machine, EmuError> {
+        let (rom_base, rom) = self
+            .rom
+            .ok_or_else(|| EmuError::InvalidConfig("no ROM image".into()))?;
+        let (ram_base, ram_size) = self
+            .ram
+            .ok_or_else(|| EmuError::InvalidConfig("no RAM region".into()))?;
+        if self.cpus == 0 {
+            return Err(EmuError::InvalidConfig("machine needs at least one vCPU".into()));
+        }
+        if self.quantum == 0 {
+            return Err(EmuError::InvalidConfig("scheduling quantum must be non-zero".into()));
+        }
+        let regions = [
+            ("rom", u64::from(rom_base), rom.len() as u64),
+            ("ram", u64::from(ram_base), u64::from(ram_size)),
+            (
+                "mmio",
+                u64::from(self.profile.mmio_base),
+                u64::from(self.profile.mmio_size),
+            ),
+            ("null-guard", 0, u64::from(crate::bus::NULL_GUARD_END)),
+        ];
+        for (i, a) in regions.iter().enumerate() {
+            for b in regions.iter().skip(i + 1) {
+                if a.1 < b.1 + b.2 && b.1 < a.1 + a.2 && a.2 > 0 && b.2 > 0 {
+                    return Err(EmuError::InvalidConfig(format!(
+                        "{} region overlaps {} region",
+                        a.0, b.0
+                    )));
+                }
+            }
+        }
+        let entry = self.entry.unwrap_or(rom_base);
+        let bus = Bus::new(&self.profile, rom_base, rom, ram_base, ram_size, self.rng_seed);
+        let cpus = (0..self.cpus)
+            .map(|i| Cpu::new(i, self.cpus, entry))
+            .collect();
+        Ok(Machine {
+            profile: self.profile,
+            bus,
+            cpus,
+            cache: BlockCache::new(),
+            quantum: self.quantum,
+            global_retired: 0,
+            next_cpu: 0,
+            breakpoints: HashSet::new(),
+            skip_bp_once: None,
+        })
+    }
+}
+
+/// A full-system EV32 machine.
+pub struct Machine {
+    profile: ArchProfile,
+    bus: Bus,
+    cpus: Vec<Cpu>,
+    cache: BlockCache,
+    quantum: u64,
+    global_retired: u64,
+    next_cpu: usize,
+    breakpoints: HashSet<u32>,
+    skip_bp_once: Option<(usize, u32)>,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("arch", &self.profile.arch)
+            .field("cpus", &self.cpus.len())
+            .field("retired", &self.global_retired)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Outcome of one scheduling quantum on one vCPU.
+enum QuantumExit {
+    Continue,
+    Parked,
+    Stalled,
+    Halt(u16),
+    Fault(Fault, u32),
+    Stopped,
+    Breakpoint(u32),
+}
+
+impl Machine {
+    /// Starts building a machine for `profile`.
+    pub fn builder(profile: ArchProfile) -> MachineBuilder {
+        MachineBuilder::new(profile)
+    }
+
+    /// The machine's architecture profile.
+    pub fn profile(&self) -> &ArchProfile {
+        &self.profile
+    }
+
+    /// Shared access to the bus (devices, memory ranges).
+    pub fn bus(&self) -> &Bus {
+        &self.bus
+    }
+
+    /// Mutable access to the bus (e.g. to drive the mailbox or read the UART).
+    pub fn bus_mut(&mut self) -> &mut Bus {
+        &mut self.bus
+    }
+
+    /// The vCPU at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn cpu(&self, index: usize) -> &Cpu {
+        &self.cpus[index]
+    }
+
+    /// Mutable access to the vCPU at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn cpu_mut(&mut self, index: usize) -> &mut Cpu {
+        &mut self.cpus[index]
+    }
+
+    /// Number of vCPUs.
+    pub fn cpu_count(&self) -> usize {
+        self.cpus.len()
+    }
+
+    /// Total instructions retired across all vCPUs.
+    pub fn retired(&self) -> u64 {
+        self.global_retired
+    }
+
+    pub(crate) fn set_retired(&mut self, value: u64) {
+        self.global_retired = value;
+    }
+
+    /// Installs a hook configuration, regenerating translation templates
+    /// (flushing the block cache) if it differs from the current one.
+    pub fn set_hook_config(&mut self, config: HookConfig) {
+        self.cache.reconfigure(config);
+    }
+
+    /// The currently installed hook configuration.
+    pub fn hook_config(&self) -> HookConfig {
+        self.cache.config()
+    }
+
+    /// Flushes the translation cache (required after host-side code patching).
+    pub fn flush_translation_cache(&mut self) {
+        self.cache.flush();
+    }
+
+    /// Number of block translations performed so far.
+    pub fn translation_count(&self) -> u64 {
+        self.cache.translation_count()
+    }
+
+    /// Adds a host breakpoint: [`Machine::run`] returns
+    /// [`RunExit::Breakpoint`] just before executing the instruction at `pc`.
+    pub fn add_breakpoint(&mut self, pc: u32) {
+        self.breakpoints.insert(pc);
+    }
+
+    /// Removes a host breakpoint.
+    pub fn remove_breakpoint(&mut self, pc: u32) {
+        self.breakpoints.remove(&pc);
+    }
+
+    /// Removes every host breakpoint.
+    pub fn clear_breakpoints(&mut self) {
+        self.breakpoints.clear();
+        self.skip_bp_once = None;
+    }
+
+    /// Host-side convenience read of guest memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bus faults as [`EmuError::Fault`].
+    pub fn read_mem(&mut self, addr: u32, size: u8) -> Result<u32, EmuError> {
+        Ok(self.bus.read(addr, size)?)
+    }
+
+    /// Host-side convenience write of guest RAM.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bus faults as [`EmuError::Fault`].
+    pub fn write_mem(&mut self, addr: u32, size: u8, value: u32) -> Result<(), EmuError> {
+        Ok(self.bus.write(addr, size, value)?)
+    }
+
+    /// Takes the console output accumulated since the last call.
+    pub fn take_console(&mut self) -> Vec<u8> {
+        self.bus.devices.uart.take_output()
+    }
+
+    /// Runs the machine for at most `budget` instructions, delivering events
+    /// to `hook` according to the installed [`HookConfig`].
+    ///
+    /// Parked (`wfi`) vCPUs are woken on entry, so loading work into the
+    /// mailbox and calling `run` again resumes an idle guest.
+    ///
+    /// # Errors
+    ///
+    /// This method currently never fails; the `Result` is kept for API
+    /// stability. Guest faults are reported via [`RunExit::Faulted`].
+    pub fn run(&mut self, hook: &mut dyn ExecHook, budget: u64) -> Result<RunExit, EmuError> {
+        for cpu in &mut self.cpus {
+            cpu.parked = false;
+        }
+        self.run_resume(hook, budget)
+    }
+
+    /// Like [`Machine::run`] but does not wake parked vCPUs; used to resume
+    /// after a breakpoint or stop without disturbing idle CPUs.
+    ///
+    /// # Errors
+    ///
+    /// See [`Machine::run`].
+    pub fn run_resume(
+        &mut self,
+        hook: &mut dyn ExecHook,
+        budget: u64,
+    ) -> Result<RunExit, EmuError> {
+        let mut executed_total: u64 = 0;
+        loop {
+            if executed_total >= budget {
+                return Ok(RunExit::BudgetExhausted);
+            }
+            // Expire stalls whose window has passed.
+            for idx in 0..self.cpus.len() {
+                if let Some(until) = self.cpus[idx].stalled_until {
+                    if until <= self.global_retired {
+                        self.cpus[idx].stalled_until = None;
+                        let token = self.cpus[idx].stall_token;
+                        let mut view = CpuView {
+                            cpu: &mut self.cpus[idx],
+                            bus: &mut self.bus,
+                            global_retired: self.global_retired,
+                        };
+                        hook.stall_expired(&mut view, token);
+                    }
+                }
+            }
+            // `wfi` is a hint: while any vCPU is still runnable, parked
+            // vCPUs receive spurious wakes (matching real hardware, where
+            // WFI may return at any time). Parking is only binding when the
+            // whole machine is idle.
+            let any_runnable = self
+                .cpus
+                .iter()
+                .any(|c| !c.parked && c.stalled_until.is_none());
+            if any_runnable {
+                for cpu in &mut self.cpus {
+                    if cpu.stalled_until.is_none() {
+                        cpu.parked = false;
+                    }
+                }
+            }
+            // Pick the next runnable vCPU, round-robin.
+            let ncpus = self.cpus.len();
+            let runnable = (0..ncpus)
+                .map(|off| (self.next_cpu + off) % ncpus)
+                .find(|&i| !self.cpus[i].parked && self.cpus[i].stalled_until.is_none());
+            let idx = match runnable {
+                Some(idx) => idx,
+                None => {
+                    // Everyone is parked or stalled. If someone is stalled,
+                    // fast-forward time to the earliest stall end.
+                    if let Some(min_until) = self
+                        .cpus
+                        .iter()
+                        .filter_map(|c| c.stalled_until)
+                        .min()
+                    {
+                        self.global_retired = self.global_retired.max(min_until);
+                        continue;
+                    }
+                    // All parked: only a timer interrupt can wake them.
+                    let timer_live = self.bus.devices.timer.tick(u64::MAX / 2)
+                        && self
+                            .cpus
+                            .iter()
+                            .any(|c| c.csr(Csr::Ie) != 0 && c.csr(Csr::Tvec) != 0);
+                    if timer_live {
+                        for cpu in &mut self.cpus {
+                            cpu.irq_pending = true;
+                            cpu.parked = false;
+                        }
+                        continue;
+                    }
+                    return Ok(RunExit::AllIdle);
+                }
+            };
+            self.next_cpu = (idx + 1) % ncpus;
+
+            // Deliver a pending interrupt before running the quantum.
+            let cpu = &mut self.cpus[idx];
+            if cpu.irq_pending && cpu.csr(Csr::Ie) != 0 && cpu.csr(Csr::Tvec) != 0 {
+                cpu.irq_pending = false;
+                cpu.set_csr(Csr::Epc, cpu.pc);
+                cpu.set_csr(Csr::Cause, Cpu::CAUSE_TIMER_IRQ);
+                cpu.pc = cpu.csr(Csr::Tvec);
+            }
+
+            let quantum = self.quantum.min(budget - executed_total);
+            let before = self.cpus[idx].retired;
+            let exit = self.run_quantum(idx, hook, quantum);
+            let ran = self.cpus[idx].retired - before;
+            executed_total += ran;
+
+            // Advance platform time.
+            if self.bus.devices.tick(ran) {
+                for cpu in &mut self.cpus {
+                    cpu.irq_pending = true;
+                    cpu.parked = false;
+                }
+            }
+            if let Some(code) = self.bus.devices.power.halt_request() {
+                self.bus.devices.power.clear();
+                return Ok(RunExit::Halted { code });
+            }
+
+            match exit {
+                QuantumExit::Continue | QuantumExit::Parked | QuantumExit::Stalled => {}
+                QuantumExit::Halt(code) => return Ok(RunExit::Halted { code }),
+                QuantumExit::Fault(fault, pc) => {
+                    return Ok(RunExit::Faulted { fault, cpu: idx, pc })
+                }
+                QuantumExit::Stopped => return Ok(RunExit::Stopped),
+                QuantumExit::Breakpoint(pc) => {
+                    self.skip_bp_once = Some((idx, pc));
+                    return Ok(RunExit::Breakpoint { pc, cpu: idx });
+                }
+            }
+        }
+    }
+
+    /// Executes up to `quantum` instructions on vCPU `idx`.
+    fn run_quantum(&mut self, idx: usize, hook: &mut dyn ExecHook, quantum: u64) -> QuantumExit {
+        let cfg = self.cache.config();
+        let mut executed: u64 = 0;
+        while executed < quantum {
+            let pc = self.cpus[idx].pc;
+            let block = match self.cache.lookup(&self.bus, pc) {
+                Ok(block) => block,
+                Err(fault) => {
+                    self.deliver_fault(idx, hook, fault);
+                    return QuantumExit::Fault(fault, pc);
+                }
+            };
+            if cfg.blocks {
+                let mut view = CpuView {
+                    cpu: &mut self.cpus[idx],
+                    bus: &mut self.bus,
+                    global_retired: self.global_retired,
+                };
+                hook.block_enter(&mut view, pc);
+            }
+            for op in &block.ops {
+                // Host breakpoints (checked only when any are set).
+                if !self.breakpoints.is_empty() && self.breakpoints.contains(&op.pc) {
+                    if self.skip_bp_once == Some((idx, op.pc)) {
+                        self.skip_bp_once = None;
+                    } else {
+                        self.cpus[idx].pc = op.pc;
+                        return QuantumExit::Breakpoint(op.pc);
+                    }
+                }
+                let step = self.exec_op(idx, hook, cfg, op.insn, op.pc, op.probe_mem, op.probe_call);
+                executed += 1;
+                self.cpus[idx].retired += 1;
+                self.global_retired += 1;
+                match step {
+                    Step::Next => {
+                        self.cpus[idx].pc = op.pc.wrapping_add(4);
+                    }
+                    Step::Jump(target) => {
+                        self.cpus[idx].pc = target;
+                        break; // control flow leaves the block
+                    }
+                    Step::Halt(code) => return QuantumExit::Halt(code),
+                    Step::Park => {
+                        self.cpus[idx].pc = op.pc.wrapping_add(4);
+                        self.cpus[idx].parked = true;
+                        return QuantumExit::Parked;
+                    }
+                    Step::Stall { instrs, token } => {
+                        self.cpus[idx].pc = op.pc.wrapping_add(4);
+                        self.cpus[idx].stalled_until = Some(self.global_retired + instrs);
+                        self.cpus[idx].stall_token = token;
+                        return QuantumExit::Stalled;
+                    }
+                    Step::Stopped => {
+                        self.cpus[idx].pc = op.pc; // re-execute on resume
+                        return QuantumExit::Stopped;
+                    }
+                    Step::Fault(fault) => {
+                        self.cpus[idx].pc = op.pc;
+                        self.deliver_fault(idx, hook, fault);
+                        return QuantumExit::Fault(fault, op.pc);
+                    }
+                }
+                if executed >= quantum {
+                    // Quantum expired mid-block; pc already advanced.
+                    return QuantumExit::Continue;
+                }
+            }
+        }
+        QuantumExit::Continue
+    }
+
+    fn deliver_fault(&mut self, idx: usize, hook: &mut dyn ExecHook, fault: Fault) {
+        let mut view = CpuView {
+            cpu: &mut self.cpus[idx],
+            bus: &mut self.bus,
+            global_retired: self.global_retired,
+        };
+        hook.fault(&mut view, fault);
+    }
+
+    /// Executes a single translated op on vCPU `idx`.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_op(
+        &mut self,
+        idx: usize,
+        hook: &mut dyn ExecHook,
+        cfg: HookConfig,
+        insn: Insn,
+        pc: u32,
+        probe_mem: bool,
+        probe_call: bool,
+    ) -> Step {
+        // Split borrows once for the whole op.
+        let Machine { cpus, bus, global_retired, .. } = self;
+        let cpu = &mut cpus[idx];
+        let r = |cpu: &Cpu, reg: Reg| cpu.regs.read(reg);
+
+        macro_rules! alu {
+            ($cpu:expr, $rd:expr, $val:expr) => {{
+                let value = $val;
+                $cpu.regs.write($rd, value);
+                Step::Next
+            }};
+        }
+
+        match insn {
+            Insn::Add { rd, rs1, rs2 } => alu!(cpu, rd, r(cpu, rs1).wrapping_add(r(cpu, rs2))),
+            Insn::Sub { rd, rs1, rs2 } => alu!(cpu, rd, r(cpu, rs1).wrapping_sub(r(cpu, rs2))),
+            Insn::And { rd, rs1, rs2 } => alu!(cpu, rd, r(cpu, rs1) & r(cpu, rs2)),
+            Insn::Or { rd, rs1, rs2 } => alu!(cpu, rd, r(cpu, rs1) | r(cpu, rs2)),
+            Insn::Xor { rd, rs1, rs2 } => alu!(cpu, rd, r(cpu, rs1) ^ r(cpu, rs2)),
+            Insn::Sll { rd, rs1, rs2 } => alu!(cpu, rd, r(cpu, rs1) << (r(cpu, rs2) & 31)),
+            Insn::Srl { rd, rs1, rs2 } => alu!(cpu, rd, r(cpu, rs1) >> (r(cpu, rs2) & 31)),
+            Insn::Sra { rd, rs1, rs2 } => {
+                alu!(cpu, rd, ((r(cpu, rs1) as i32) >> (r(cpu, rs2) & 31)) as u32)
+            }
+            Insn::Mul { rd, rs1, rs2 } => alu!(cpu, rd, r(cpu, rs1).wrapping_mul(r(cpu, rs2))),
+            Insn::Mulh { rd, rs1, rs2 } => alu!(
+                cpu,
+                rd,
+                ((u64::from(r(cpu, rs1)) * u64::from(r(cpu, rs2))) >> 32) as u32
+            ),
+            Insn::Divu { rd, rs1, rs2 } => {
+                alu!(cpu, rd, r(cpu, rs1).checked_div(r(cpu, rs2)).unwrap_or(u32::MAX))
+            }
+            Insn::Remu { rd, rs1, rs2 } => {
+                let d = r(cpu, rs2);
+                alu!(cpu, rd, if d == 0 { r(cpu, rs1) } else { r(cpu, rs1) % d })
+            }
+            Insn::Slt { rd, rs1, rs2 } => {
+                alu!(cpu, rd, u32::from((r(cpu, rs1) as i32) < (r(cpu, rs2) as i32)))
+            }
+            Insn::Sltu { rd, rs1, rs2 } => alu!(cpu, rd, u32::from(r(cpu, rs1) < r(cpu, rs2))),
+
+            Insn::Addi { rd, rs1, imm } => {
+                alu!(cpu, rd, r(cpu, rs1).wrapping_add(imm as u32))
+            }
+            // Logical immediates are zero-extended (see the codec docs).
+            Insn::Andi { rd, rs1, imm } => alu!(cpu, rd, r(cpu, rs1) & (imm as u32 & 0xFFF)),
+            Insn::Ori { rd, rs1, imm } => alu!(cpu, rd, r(cpu, rs1) | (imm as u32 & 0xFFF)),
+            Insn::Xori { rd, rs1, imm } => alu!(cpu, rd, r(cpu, rs1) ^ (imm as u32 & 0xFFF)),
+            Insn::Slli { rd, rs1, shamt } => alu!(cpu, rd, r(cpu, rs1) << shamt),
+            Insn::Srli { rd, rs1, shamt } => alu!(cpu, rd, r(cpu, rs1) >> shamt),
+            Insn::Srai { rd, rs1, shamt } => {
+                alu!(cpu, rd, ((r(cpu, rs1) as i32) >> shamt) as u32)
+            }
+            Insn::Slti { rd, rs1, imm } => {
+                alu!(cpu, rd, u32::from((r(cpu, rs1) as i32) < imm))
+            }
+            Insn::Sltiu { rd, rs1, imm } => {
+                alu!(cpu, rd, u32::from(r(cpu, rs1) < imm as u32))
+            }
+            Insn::Lui { rd, imm } => alu!(cpu, rd, imm),
+            Insn::Auipc { rd, imm } => alu!(cpu, rd, pc.wrapping_add(imm)),
+
+            Insn::Lb { rd, rs1, imm }
+            | Insn::Lbu { rd, rs1, imm }
+            | Insn::Lh { rd, rs1, imm }
+            | Insn::Lhu { rd, rs1, imm }
+            | Insn::Lw { rd, rs1, imm } => {
+                let addr = r(cpu, rs1).wrapping_add(imm as u32);
+                let (size, sign) = match insn {
+                    Insn::Lb { .. } => (1u8, true),
+                    Insn::Lbu { .. } => (1, false),
+                    Insn::Lh { .. } => (2, true),
+                    Insn::Lhu { .. } => (2, false),
+                    _ => (4, false),
+                };
+                if probe_mem {
+                    let access = MemAccess {
+                        addr,
+                        size,
+                        kind: MemKind::Read,
+                        value: 0,
+                        pc,
+                        cpu: idx,
+                    };
+                    let mut view = CpuView { cpu, bus, global_retired: *global_retired };
+                    match hook.mem_access(&mut view, &access) {
+                        HookAction::Continue => {}
+                        HookAction::Stop => return Step::Stopped,
+                        HookAction::Stall { instrs, token } => {
+                            // Perform the access, then open the stall window.
+                            return match load_value(bus, addr, size, sign) {
+                                Ok(value) => {
+                                    cpu.regs.write(rd, value);
+                                    Step::Stall { instrs, token }
+                                }
+                                Err(fault) => Step::Fault(fault),
+                            };
+                        }
+                    }
+                }
+                match load_value(bus, addr, size, sign) {
+                    Ok(value) => alu!(cpu, rd, value),
+                    Err(fault) => Step::Fault(fault),
+                }
+            }
+
+            Insn::Sb { rs2, rs1, imm } | Insn::Sh { rs2, rs1, imm } | Insn::Sw { rs2, rs1, imm } => {
+                let addr = r(cpu, rs1).wrapping_add(imm as u32);
+                let size = match insn {
+                    Insn::Sb { .. } => 1u8,
+                    Insn::Sh { .. } => 2,
+                    _ => 4,
+                };
+                let value = r(cpu, rs2)
+                    & match size {
+                        1 => 0xFF,
+                        2 => 0xFFFF,
+                        _ => u32::MAX,
+                    };
+                let mut stall: Option<(u64, u64)> = None;
+                if probe_mem {
+                    let access = MemAccess {
+                        addr,
+                        size,
+                        kind: MemKind::Write,
+                        value,
+                        pc,
+                        cpu: idx,
+                    };
+                    let mut view = CpuView { cpu, bus, global_retired: *global_retired };
+                    match hook.mem_access(&mut view, &access) {
+                        HookAction::Continue => {}
+                        HookAction::Stop => return Step::Stopped,
+                        HookAction::Stall { instrs, token } => stall = Some((instrs, token)),
+                    }
+                }
+                match bus.write(addr, size, value) {
+                    Ok(()) => match stall {
+                        Some((instrs, token)) => Step::Stall { instrs, token },
+                        None => Step::Next,
+                    },
+                    Err(fault) => Step::Fault(fault),
+                }
+            }
+
+            Insn::AmoAddW { rd, rs1, rs2 } | Insn::AmoSwpW { rd, rs1, rs2 } => {
+                let addr = r(cpu, rs1);
+                let operand = r(cpu, rs2);
+                if probe_mem {
+                    let access = MemAccess {
+                        addr,
+                        size: 4,
+                        kind: MemKind::AtomicRmw,
+                        value: operand,
+                        pc,
+                        cpu: idx,
+                    };
+                    let mut view = CpuView { cpu, bus, global_retired: *global_retired };
+                    match hook.mem_access(&mut view, &access) {
+                        HookAction::Continue => {}
+                        HookAction::Stop => return Step::Stopped,
+                        // Atomic ops never stall: a stall window inside a
+                        // lock operation would deadlock the guest.
+                        HookAction::Stall { .. } => {}
+                    }
+                }
+                let old = match bus.read(addr, 4) {
+                    Ok(value) => value,
+                    Err(fault) => return Step::Fault(fault),
+                };
+                let new = match insn {
+                    Insn::AmoAddW { .. } => old.wrapping_add(operand),
+                    _ => operand,
+                };
+                if let Err(fault) = bus.write(addr, 4, new) {
+                    return Step::Fault(fault);
+                }
+                alu!(cpu, rd, old)
+            }
+
+            Insn::Beq { rs1, rs2, offset } => branch(cpu, pc, offset, r(cpu, rs1) == r(cpu, rs2)),
+            Insn::Bne { rs1, rs2, offset } => branch(cpu, pc, offset, r(cpu, rs1) != r(cpu, rs2)),
+            Insn::Blt { rs1, rs2, offset } => branch(
+                cpu,
+                pc,
+                offset,
+                (r(cpu, rs1) as i32) < (r(cpu, rs2) as i32),
+            ),
+            Insn::Bltu { rs1, rs2, offset } => {
+                branch(cpu, pc, offset, r(cpu, rs1) < r(cpu, rs2))
+            }
+            Insn::Bge { rs1, rs2, offset } => branch(
+                cpu,
+                pc,
+                offset,
+                (r(cpu, rs1) as i32) >= (r(cpu, rs2) as i32),
+            ),
+            Insn::Bgeu { rs1, rs2, offset } => {
+                branch(cpu, pc, offset, r(cpu, rs1) >= r(cpu, rs2))
+            }
+
+            Insn::Jal { rd, offset } => {
+                let target = pc.wrapping_add(offset as u32);
+                let ret_to = pc.wrapping_add(4);
+                cpu.regs.write(rd, ret_to);
+                if probe_call && cfg.calls {
+                    let mut view = CpuView { cpu, bus, global_retired: *global_retired };
+                    hook.call(&mut view, target, ret_to);
+                }
+                Step::Jump(target)
+            }
+            Insn::Jalr { rd, rs1, imm } => {
+                let target = r(cpu, rs1).wrapping_add(imm as u32) & !3;
+                let ret_to = pc.wrapping_add(4);
+                let kind = call_kind(&insn);
+                cpu.regs.write(rd, ret_to);
+                if probe_call && cfg.calls {
+                    let mut view = CpuView { cpu, bus, global_retired: *global_retired };
+                    match kind {
+                        CallKind::Call => hook.call(&mut view, target, ret_to),
+                        CallKind::Ret => hook.ret(&mut view, target),
+                        CallKind::Neither => {}
+                    }
+                }
+                Step::Jump(target)
+            }
+
+            Insn::Ecall { code } => {
+                let tvec = cpu.csr(Csr::Tvec);
+                if tvec == 0 {
+                    return Step::Fault(Fault::NoTrapVector { pc });
+                }
+                cpu.set_csr(Csr::Epc, pc.wrapping_add(4));
+                cpu.set_csr(Csr::Cause, u32::from(code));
+                Step::Jump(tvec)
+            }
+            Insn::Eret => Step::Jump(cpu.csr(Csr::Epc)),
+
+            Insn::Hyper { nr } => {
+                if cfg.hypercalls {
+                    let mut view = CpuView { cpu, bus, global_retired: *global_retired };
+                    match hook.hypercall(&mut view, nr) {
+                        HookAction::Continue => Step::Next,
+                        HookAction::Stop => Step::Stopped,
+                        HookAction::Stall { instrs, token } => Step::Stall { instrs, token },
+                    }
+                } else {
+                    Step::Next
+                }
+            }
+
+            Insn::Csrr { rd, idx: csr } => alu!(cpu, rd, cpu.csr_read(csr)),
+            Insn::Csrw { rs1, idx: csr } => {
+                let value = r(cpu, rs1);
+                cpu.csr_write(csr, value);
+                Step::Next
+            }
+
+            Insn::Halt { code } => Step::Halt(code),
+            Insn::Wfi => Step::Park,
+            Insn::Nop | Insn::Fence => Step::Next,
+            Insn::Brk => Step::Fault(Fault::Breakpoint { pc }),
+        }
+    }
+}
+
+fn load_value(bus: &mut Bus, addr: u32, size: u8, sign: bool) -> Result<u32, Fault> {
+    let raw = bus.read(addr, size)?;
+    Ok(if sign {
+        match size {
+            1 => raw as u8 as i8 as i32 as u32,
+            2 => raw as u16 as i16 as i32 as u32,
+            _ => raw,
+        }
+    } else {
+        raw
+    })
+}
+
+fn branch(_cpu: &mut Cpu, pc: u32, offset: i32, taken: bool) -> Step {
+    if taken {
+        Step::Jump(pc.wrapping_add(offset as u32))
+    } else {
+        Step::Next
+    }
+}
+
+enum Step {
+    Next,
+    Jump(u32),
+    Halt(u16),
+    Park,
+    Stall { instrs: u64, token: u64 },
+    Stopped,
+    Fault(Fault),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hook::NullHook;
+    use crate::profile::ArchProfile;
+
+    fn machine_with(insns: &[Insn]) -> Machine {
+        machine_with_profile(ArchProfile::armv(), insns)
+    }
+
+    fn machine_with_profile(profile: ArchProfile, insns: &[Insn]) -> Machine {
+        let mut text = Vec::new();
+        for insn in insns {
+            text.extend_from_slice(&insn.encode().to_bytes(profile.endian));
+        }
+        Machine::builder(profile)
+            .rom(profile.rom_base, &text)
+            .ram(profile.ram_base, 0x1_0000)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn arithmetic_program_runs() {
+        let mut m = machine_with(&[
+            Insn::Addi { rd: Reg::R1, rs1: Reg::R0, imm: 21 },
+            Insn::Addi { rd: Reg::R2, rs1: Reg::R0, imm: 2 },
+            Insn::Mul { rd: Reg::R3, rs1: Reg::R1, rs2: Reg::R2 },
+            Insn::Halt { code: 9 },
+        ]);
+        let exit = m.run(&mut NullHook, 100).unwrap();
+        assert_eq!(exit, RunExit::Halted { code: 9 });
+        assert_eq!(m.cpu(0).regs.read(Reg::R3), 42);
+        assert_eq!(m.retired(), 4);
+    }
+
+    #[test]
+    fn runs_on_all_profiles() {
+        for arch in crate::profile::Arch::ALL {
+            let profile = ArchProfile::for_arch(arch);
+            let ram = profile.ram_base;
+            let mut m = machine_with_profile(
+                profile,
+                &[
+                    Insn::Lui { rd: Reg::R1, imm: ram & 0xFFFF_F000 },
+                    Insn::Ori { rd: Reg::R1, rs1: Reg::R1, imm: (ram & 0xFFF) as i32 },
+                    Insn::Addi { rd: Reg::R2, rs1: Reg::R0, imm: 0x5A },
+                    Insn::Sw { rs2: Reg::R2, rs1: Reg::R1, imm: 8 },
+                    Insn::Lw { rd: Reg::R3, rs1: Reg::R1, imm: 8 },
+                    Insn::Halt { code: 0 },
+                ],
+            );
+            let exit = m.run(&mut NullHook, 100).unwrap();
+            assert_eq!(exit, RunExit::Halted { code: 0 }, "arch {arch:?}");
+            assert_eq!(m.cpu(0).regs.read(Reg::R3), 0x5A, "arch {arch:?}");
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion() {
+        // Infinite loop.
+        let mut m = machine_with(&[Insn::Jal { rd: Reg::R0, offset: 0 }]);
+        let exit = m.run(&mut NullHook, 500).unwrap();
+        assert_eq!(exit, RunExit::BudgetExhausted);
+        assert_eq!(m.retired(), 500);
+    }
+
+    #[test]
+    fn fault_reports_pc() {
+        let mut m = machine_with(&[
+            Insn::Addi { rd: Reg::R1, rs1: Reg::R0, imm: 16 },
+            Insn::Lw { rd: Reg::R2, rs1: Reg::R1, imm: 0 }, // null page
+        ]);
+        let exit = m.run(&mut NullHook, 100).unwrap();
+        let rom = ArchProfile::armv().rom_base;
+        assert_eq!(
+            exit,
+            RunExit::Faulted {
+                fault: Fault::NullPage { addr: 16, is_write: false },
+                cpu: 0,
+                pc: rom + 4,
+            }
+        );
+    }
+
+    #[test]
+    fn wfi_all_idle() {
+        let mut m = machine_with(&[Insn::Wfi]);
+        let exit = m.run(&mut NullHook, 100).unwrap();
+        assert_eq!(exit, RunExit::AllIdle);
+        // Running again wakes the CPU (which re-executes from after wfi and
+        // falls off into an illegal fetch region of the ROM — here the ROM is
+        // 4 bytes, so it's a fetch fault).
+        let exit = m.run(&mut NullHook, 100).unwrap();
+        assert!(matches!(exit, RunExit::Faulted { .. }));
+    }
+
+    #[test]
+    fn mem_probe_sees_accesses() {
+        struct Recorder(Vec<MemAccess>);
+        impl ExecHook for Recorder {
+            fn mem_access(&mut self, _cpu: &mut CpuView<'_>, access: &MemAccess) -> HookAction {
+                self.0.push(*access);
+                HookAction::Continue
+            }
+        }
+        let profile = ArchProfile::armv();
+        let ram = profile.ram_base;
+        let mut m = machine_with(&[
+            Insn::Lui { rd: Reg::R1, imm: ram },
+            Insn::Addi { rd: Reg::R2, rs1: Reg::R0, imm: 7 },
+            Insn::Sw { rs2: Reg::R2, rs1: Reg::R1, imm: 4 },
+            Insn::Lbu { rd: Reg::R3, rs1: Reg::R1, imm: 4 },
+            Insn::Halt { code: 0 },
+        ]);
+        m.set_hook_config(HookConfig { mem: true, ..HookConfig::none() });
+        let mut recorder = Recorder(Vec::new());
+        m.run(&mut recorder, 100).unwrap();
+        assert_eq!(recorder.0.len(), 2);
+        assert_eq!(recorder.0[0].kind, MemKind::Write);
+        assert_eq!(recorder.0[0].addr, ram + 4);
+        assert_eq!(recorder.0[0].value, 7);
+        assert_eq!(recorder.0[1].kind, MemKind::Read);
+        assert_eq!(recorder.0[1].size, 1);
+    }
+
+    #[test]
+    fn probes_not_delivered_without_config() {
+        struct Panicker;
+        impl ExecHook for Panicker {
+            fn mem_access(&mut self, _cpu: &mut CpuView<'_>, _access: &MemAccess) -> HookAction {
+                panic!("probe delivered without configuration");
+            }
+        }
+        let profile = ArchProfile::armv();
+        let mut m = machine_with(&[
+            Insn::Lui { rd: Reg::R1, imm: profile.ram_base },
+            Insn::Sw { rs2: Reg::R0, rs1: Reg::R1, imm: 0 },
+            Insn::Halt { code: 0 },
+        ]);
+        m.run(&mut Panicker, 100).unwrap();
+    }
+
+    #[test]
+    fn hook_stop_halts_machine() {
+        struct Stopper;
+        impl ExecHook for Stopper {
+            fn mem_access(&mut self, _cpu: &mut CpuView<'_>, _access: &MemAccess) -> HookAction {
+                HookAction::Stop
+            }
+        }
+        let profile = ArchProfile::armv();
+        let mut m = machine_with(&[
+            Insn::Lui { rd: Reg::R1, imm: profile.ram_base },
+            Insn::Sw { rs2: Reg::R0, rs1: Reg::R1, imm: 0 },
+            Insn::Halt { code: 0 },
+        ]);
+        m.set_hook_config(HookConfig { mem: true, ..HookConfig::none() });
+        let exit = m.run(&mut Stopper, 100).unwrap();
+        assert_eq!(exit, RunExit::Stopped);
+        // The store did not execute.
+        assert_eq!(m.read_mem(profile.ram_base, 4).unwrap(), 0);
+    }
+
+    #[test]
+    fn hypercall_round_trip() {
+        struct Hyper(Vec<u32>);
+        impl ExecHook for Hyper {
+            fn hypercall(&mut self, cpu: &mut CpuView<'_>, nr: u32) -> HookAction {
+                self.0.push(nr);
+                cpu.set_reg(Reg::R1, 0x77);
+                HookAction::Continue
+            }
+        }
+        let mut m = machine_with(&[Insn::Hyper { nr: 1234 }, Insn::Halt { code: 0 }]);
+        m.set_hook_config(HookConfig { hypercalls: true, ..HookConfig::none() });
+        let mut hook = Hyper(Vec::new());
+        m.run(&mut hook, 100).unwrap();
+        assert_eq!(hook.0, vec![1234]);
+        assert_eq!(m.cpu(0).regs.read(Reg::R1), 0x77);
+    }
+
+    #[test]
+    fn hypercall_is_nop_without_hook_config() {
+        let mut m = machine_with(&[Insn::Hyper { nr: 1 }, Insn::Halt { code: 5 }]);
+        let exit = m.run(&mut NullHook, 100).unwrap();
+        assert_eq!(exit, RunExit::Halted { code: 5 });
+    }
+
+    #[test]
+    fn call_and_ret_probes() {
+        #[derive(Default)]
+        struct Tracker {
+            calls: Vec<(u32, u32)>,
+            rets: Vec<u32>,
+        }
+        impl ExecHook for Tracker {
+            fn call(&mut self, _cpu: &mut CpuView<'_>, target: u32, ret_to: u32) {
+                self.calls.push((target, ret_to));
+            }
+            fn ret(&mut self, _cpu: &mut CpuView<'_>, target: u32) {
+                self.rets.push(target);
+            }
+        }
+        let rom = ArchProfile::armv().rom_base;
+        // 0: jal lr, +12 (to 12)
+        // 4: halt 0
+        // 8: nop (padding)
+        // 12: jalr r0, lr, 0 (return)
+        let mut m = machine_with(&[
+            Insn::Jal { rd: Reg::LR, offset: 12 },
+            Insn::Halt { code: 0 },
+            Insn::Nop,
+            Insn::Jalr { rd: Reg::R0, rs1: Reg::LR, imm: 0 },
+        ]);
+        m.set_hook_config(HookConfig { calls: true, ..HookConfig::none() });
+        let mut tracker = Tracker::default();
+        let exit = m.run(&mut tracker, 100).unwrap();
+        assert_eq!(exit, RunExit::Halted { code: 0 });
+        assert_eq!(tracker.calls, vec![(rom + 12, rom + 4)]);
+        assert_eq!(tracker.rets, vec![rom + 4]);
+    }
+
+    #[test]
+    fn breakpoints_pause_and_resume() {
+        let rom = ArchProfile::armv().rom_base;
+        let mut m = machine_with(&[
+            Insn::Addi { rd: Reg::R1, rs1: Reg::R0, imm: 1 },
+            Insn::Addi { rd: Reg::R2, rs1: Reg::R0, imm: 2 },
+            Insn::Halt { code: 0 },
+        ]);
+        m.add_breakpoint(rom + 4);
+        let exit = m.run(&mut NullHook, 100).unwrap();
+        assert_eq!(exit, RunExit::Breakpoint { pc: rom + 4, cpu: 0 });
+        assert_eq!(m.cpu(0).regs.read(Reg::R1), 1);
+        assert_eq!(m.cpu(0).regs.read(Reg::R2), 0);
+        // Resume past the breakpoint.
+        let exit = m.run_resume(&mut NullHook, 100).unwrap();
+        assert_eq!(exit, RunExit::Halted { code: 0 });
+        assert_eq!(m.cpu(0).regs.read(Reg::R2), 2);
+    }
+
+    #[test]
+    fn ecall_and_eret_trap_flow() {
+        let rom = ArchProfile::armv().rom_base;
+        // Handler at rom+16 writes r5 = cause, then eret.
+        let mut m = machine_with(&[
+            Insn::Addi { rd: Reg::R1, rs1: Reg::R0, imm: (rom + 16) as i32 & 0x7FF },
+            Insn::Nop, // placeholder; we set TVEC directly below
+            Insn::Ecall { code: 33 },
+            Insn::Halt { code: 1 },
+            Insn::Csrr { rd: Reg::R5, idx: Csr::Cause as u16 },
+            Insn::Eret,
+        ]);
+        m.cpu_mut(0).set_csr(Csr::Tvec, rom + 16);
+        let exit = m.run(&mut NullHook, 100).unwrap();
+        assert_eq!(exit, RunExit::Halted { code: 1 });
+        assert_eq!(m.cpu(0).regs.read(Reg::R5), 33);
+    }
+
+    #[test]
+    fn ecall_without_vector_faults() {
+        let mut m = machine_with(&[Insn::Ecall { code: 1 }]);
+        let exit = m.run(&mut NullHook, 100).unwrap();
+        assert!(matches!(
+            exit,
+            RunExit::Faulted { fault: Fault::NoTrapVector { .. }, .. }
+        ));
+    }
+
+    #[test]
+    fn power_device_halts_machine() {
+        let profile = ArchProfile::armv();
+        let power = profile.mmio_base + crate::device::POWER_BASE;
+        let mut m = machine_with(&[
+            Insn::Lui { rd: Reg::R1, imm: power & 0xFFFF_F000 },
+            Insn::Ori { rd: Reg::R1, rs1: Reg::R1, imm: (power & 0xFFF) as i32 },
+            Insn::Addi { rd: Reg::R2, rs1: Reg::R0, imm: 88 },
+            Insn::Sw { rs2: Reg::R2, rs1: Reg::R1, imm: 0 },
+            Insn::Jal { rd: Reg::R0, offset: 0 },
+        ]);
+        let exit = m.run(&mut NullHook, 10_000).unwrap();
+        assert_eq!(exit, RunExit::Halted { code: 88 });
+    }
+
+    #[test]
+    fn multi_cpu_round_robin_is_deterministic() {
+        // Two CPUs increment separate RAM counters; with a fixed quantum the
+        // interleaving (and hence final counts at any budget) is reproducible.
+        let profile = ArchProfile::armv();
+        let ram = profile.ram_base;
+        let insns = [
+            // r1 = ram + cpuid*4 (each CPU its own slot)
+            Insn::Csrr { rd: Reg::R2, idx: Csr::Cpuid as u16 },
+            Insn::Slli { rd: Reg::R2, rs1: Reg::R2, shamt: 2 },
+            Insn::Lui { rd: Reg::R1, imm: ram },
+            Insn::Add { rd: Reg::R1, rs1: Reg::R1, rs2: Reg::R2 },
+            // loop: r3 = [r1]; r3 += 1; [r1] = r3; j loop
+            Insn::Lw { rd: Reg::R3, rs1: Reg::R1, imm: 0 },
+            Insn::Addi { rd: Reg::R3, rs1: Reg::R3, imm: 1 },
+            Insn::Sw { rs2: Reg::R3, rs1: Reg::R1, imm: 0 },
+            Insn::Jal { rd: Reg::R0, offset: -12 },
+        ];
+        let mut text = Vec::new();
+        for insn in &insns {
+            text.extend_from_slice(&insn.encode().to_bytes(profile.endian));
+        }
+        let run_once = || {
+            let mut m = Machine::builder(profile)
+                .rom(profile.rom_base, &text)
+                .ram(profile.ram_base, 0x1000)
+                .cpus(2)
+                .quantum(100)
+                .build()
+                .unwrap();
+            m.run(&mut NullHook, 5000).unwrap();
+            (
+                m.read_mem(ram, 4).unwrap(),
+                m.read_mem(ram + 4, 4).unwrap(),
+            )
+        };
+        let (a1, b1) = run_once();
+        let (a2, b2) = run_once();
+        assert_eq!((a1, b1), (a2, b2));
+        assert!(a1 > 0 && b1 > 0, "both CPUs made progress: {a1} {b1}");
+    }
+
+    #[test]
+    fn stall_lets_other_cpu_run() {
+        // CPU0 stores to a watched address and stalls; CPU1 keeps counting.
+        struct StallOnce {
+            stalled: bool,
+            expired: Vec<u64>,
+        }
+        impl ExecHook for StallOnce {
+            fn mem_access(&mut self, cpu: &mut CpuView<'_>, access: &MemAccess) -> HookAction {
+                if !self.stalled && access.kind.is_write() && cpu.cpu_index() == 0 {
+                    self.stalled = true;
+                    return HookAction::Stall { instrs: 50, token: 0xAB };
+                }
+                HookAction::Continue
+            }
+            fn stall_expired(&mut self, cpu: &mut CpuView<'_>, token: u64) {
+                self.expired.push(token);
+                assert_eq!(cpu.cpu_index(), 0);
+            }
+        }
+        let profile = ArchProfile::armv();
+        let ram = profile.ram_base;
+        let insns = [
+            Insn::Csrr { rd: Reg::R2, idx: Csr::Cpuid as u16 },
+            Insn::Slli { rd: Reg::R2, rs1: Reg::R2, shamt: 2 },
+            Insn::Lui { rd: Reg::R1, imm: ram },
+            Insn::Add { rd: Reg::R1, rs1: Reg::R1, rs2: Reg::R2 },
+            Insn::Lw { rd: Reg::R3, rs1: Reg::R1, imm: 0 },
+            Insn::Addi { rd: Reg::R3, rs1: Reg::R3, imm: 1 },
+            Insn::Sw { rs2: Reg::R3, rs1: Reg::R1, imm: 0 },
+            Insn::Jal { rd: Reg::R0, offset: -12 },
+        ];
+        let mut text = Vec::new();
+        for insn in &insns {
+            text.extend_from_slice(&insn.encode().to_bytes(profile.endian));
+        }
+        let mut m = Machine::builder(profile)
+            .rom(profile.rom_base, &text)
+            .ram(profile.ram_base, 0x1000)
+            .cpus(2)
+            .quantum(10)
+            .build()
+            .unwrap();
+        m.set_hook_config(HookConfig { mem: true, ..HookConfig::none() });
+        let mut hook = StallOnce { stalled: false, expired: Vec::new() };
+        m.run(&mut hook, 2000).unwrap();
+        assert_eq!(hook.expired, vec![0xAB]);
+        // The stalled store still landed.
+        assert!(m.read_mem(ram, 4).unwrap() > 0);
+        assert!(m.read_mem(ram + 4, 4).unwrap() > 0);
+    }
+
+    #[test]
+    fn single_cpu_stall_fast_forwards() {
+        struct StallOnce(bool);
+        impl ExecHook for StallOnce {
+            fn mem_access(&mut self, _cpu: &mut CpuView<'_>, access: &MemAccess) -> HookAction {
+                if !self.0 && access.kind.is_write() {
+                    self.0 = true;
+                    return HookAction::Stall { instrs: 1000, token: 1 };
+                }
+                HookAction::Continue
+            }
+        }
+        let profile = ArchProfile::armv();
+        let mut m = machine_with(&[
+            Insn::Lui { rd: Reg::R1, imm: profile.ram_base },
+            Insn::Sw { rs2: Reg::R1, rs1: Reg::R1, imm: 0 },
+            Insn::Halt { code: 3 },
+        ]);
+        m.set_hook_config(HookConfig { mem: true, ..HookConfig::none() });
+        let exit = m.run(&mut StallOnce(false), 10_000).unwrap();
+        assert_eq!(exit, RunExit::Halted { code: 3 });
+    }
+
+    #[test]
+    fn timer_irq_wakes_and_traps() {
+        let rom = ArchProfile::armv().rom_base;
+        // Main: enable timer + IE, then wfi forever.
+        // Handler at rom+40: r9 += 1, eret.
+        let profile = ArchProfile::armv();
+        let timer_ctrl = profile.mmio_base + crate::device::TIMER_BASE;
+        let insns = [
+            // r1 = timer base
+            Insn::Lui { rd: Reg::R1, imm: timer_ctrl & 0xFFFF_F000 },
+            Insn::Ori { rd: Reg::R1, rs1: Reg::R1, imm: (timer_ctrl & 0xFFF) as i32 },
+            // reload = 64
+            Insn::Addi { rd: Reg::R2, rs1: Reg::R0, imm: 64 },
+            Insn::Sw { rs2: Reg::R2, rs1: Reg::R1, imm: 4 },
+            // enable
+            Insn::Addi { rd: Reg::R2, rs1: Reg::R0, imm: 1 },
+            Insn::Sw { rs2: Reg::R2, rs1: Reg::R1, imm: 0 },
+            // IE = 1
+            Insn::Csrw { rs1: Reg::R2, idx: Csr::Ie as u16 },
+            // idle loop
+            Insn::Wfi,
+            Insn::Jal { rd: Reg::R0, offset: -4 },
+            Insn::Nop,
+            // handler at rom + 40:
+            Insn::Addi { rd: Reg::R9, rs1: Reg::R9, imm: 1 },
+            Insn::Eret,
+        ];
+        let mut text = Vec::new();
+        for insn in &insns {
+            text.extend_from_slice(&insn.encode().to_bytes(profile.endian));
+        }
+        let mut m = Machine::builder(profile)
+            .rom(rom, &text)
+            .ram(profile.ram_base, 0x1000)
+            .build()
+            .unwrap();
+        m.cpu_mut(0).set_csr(Csr::Tvec, rom + 40);
+        let exit = m.run(&mut NullHook, 2000).unwrap();
+        assert_eq!(exit, RunExit::BudgetExhausted);
+        assert!(m.cpu(0).regs.read(Reg::R9) >= 2, "handler ran repeatedly");
+    }
+
+    #[test]
+    fn builder_rejects_bad_configs() {
+        let profile = ArchProfile::armv();
+        assert!(Machine::builder(profile).ram(profile.ram_base, 4).build().is_err());
+        assert!(Machine::builder(profile).rom(profile.rom_base, &[0; 4]).build().is_err());
+        assert!(Machine::builder(profile)
+            .rom(0x800, &[0; 4096]) // overlaps null guard
+            .ram(profile.ram_base, 4096)
+            .build()
+            .is_err());
+        assert!(Machine::builder(profile)
+            .rom(profile.ram_base, &[0; 4096]) // overlaps ram
+            .ram(profile.ram_base, 4096)
+            .build()
+            .is_err());
+        assert!(Machine::builder(profile)
+            .rom(profile.rom_base, &[0; 16])
+            .ram(profile.ram_base, 4096)
+            .cpus(0)
+            .build()
+            .is_err());
+    }
+}

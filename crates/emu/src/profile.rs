@@ -1,0 +1,169 @@
+//! Architecture profiles.
+//!
+//! The three profiles play the role of the paper's x86/ARM/MIPS targets: the
+//! instruction set is shared, but everything a *sanitizer* has to care about
+//! when adapting to a platform differs — byte order, where RAM and MMIO live,
+//! and how hypercall arguments are passed. The Embedded Platform
+//! Configuration Prober discovers these details rather than assuming them.
+
+use crate::isa::Reg;
+
+/// Guest memory byte order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Endian {
+    /// Little-endian (the `Armv` and `X86v` profiles).
+    #[default]
+    Little,
+    /// Big-endian (the `Mipsv` profile).
+    Big,
+}
+
+/// The architecture family of a profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Arch {
+    /// ARM-like: little-endian, MMIO high, hypercall args in `r1..`.
+    Armv,
+    /// MIPS-like: big-endian, MMIO in the KSEG-style window, args in `r4..`.
+    Mipsv,
+    /// x86-like: little-endian, args in `r2..` (the `vmcall` convention).
+    X86v,
+}
+
+impl Arch {
+    /// All supported architectures.
+    pub const ALL: [Arch; 3] = [Arch::Armv, Arch::Mipsv, Arch::X86v];
+
+    /// The display name used in tables ("ARM", "MIPS", "x86").
+    pub fn display_name(self) -> &'static str {
+        match self {
+            Arch::Armv => "ARM",
+            Arch::Mipsv => "MIPS",
+            Arch::X86v => "x86",
+        }
+    }
+}
+
+impl std::fmt::Display for Arch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.display_name())
+    }
+}
+
+/// Hypercall argument-passing convention.
+///
+/// A hypercall transfers `nr` (from the instruction) plus up to four argument
+/// registers to the host; results come back in `ret`. The conventions differ
+/// per architecture, which is why the EMBSAN runtime must perform "argument
+/// reconstruction" per platform (§4.3) instead of reading fixed registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HypercallAbi {
+    /// Registers carrying hypercall arguments, in order.
+    pub args: [Reg; 4],
+    /// Register receiving the hypercall result.
+    pub ret: Reg,
+}
+
+/// Full platform description of one architecture profile.
+///
+/// These are the "platform details" the paper's Prober produces; the values
+/// here are the ground truth the Prober is validated against in tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArchProfile {
+    /// Architecture family.
+    pub arch: Arch,
+    /// Guest memory byte order.
+    pub endian: Endian,
+    /// Base address of the boot ROM (text + rodata).
+    pub rom_base: u32,
+    /// Base address of RAM.
+    pub ram_base: u32,
+    /// Base address of the MMIO window.
+    pub mmio_base: u32,
+    /// Size of the MMIO window in bytes.
+    pub mmio_size: u32,
+    /// Hypercall argument convention.
+    pub hypercall: HypercallAbi,
+}
+
+impl ArchProfile {
+    /// The ARM-like profile.
+    pub fn armv() -> ArchProfile {
+        ArchProfile {
+            arch: Arch::Armv,
+            endian: Endian::Little,
+            rom_base: 0x0001_0000,
+            ram_base: 0x0010_0000,
+            mmio_base: 0xF000_0000,
+            mmio_size: 0x1000,
+            hypercall: HypercallAbi {
+                args: [Reg::R1, Reg::R2, Reg::R3, Reg::R4],
+                ret: Reg::R1,
+            },
+        }
+    }
+
+    /// The MIPS-like profile (big-endian).
+    pub fn mipsv() -> ArchProfile {
+        ArchProfile {
+            arch: Arch::Mipsv,
+            endian: Endian::Big,
+            rom_base: 0x0002_0000,
+            ram_base: 0x0020_0000,
+            mmio_base: 0xBF00_0000,
+            mmio_size: 0x1000,
+            hypercall: HypercallAbi {
+                args: [Reg::R4, Reg::R5, Reg::R6, Reg::R7],
+                ret: Reg::R2,
+            },
+        }
+    }
+
+    /// The x86-like profile.
+    pub fn x86v() -> ArchProfile {
+        ArchProfile {
+            arch: Arch::X86v,
+            endian: Endian::Little,
+            rom_base: 0x0001_0000,
+            ram_base: 0x0040_0000,
+            mmio_base: 0xE000_0000,
+            mmio_size: 0x1000,
+            hypercall: HypercallAbi {
+                args: [Reg::R2, Reg::R3, Reg::R4, Reg::R5],
+                ret: Reg::R1,
+            },
+        }
+    }
+
+    /// The profile for a given architecture family.
+    pub fn for_arch(arch: Arch) -> ArchProfile {
+        match arch {
+            Arch::Armv => ArchProfile::armv(),
+            Arch::Mipsv => ArchProfile::mipsv(),
+            Arch::X86v => ArchProfile::x86v(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_differ_in_sanitizer_relevant_ways() {
+        let a = ArchProfile::armv();
+        let m = ArchProfile::mipsv();
+        let x = ArchProfile::x86v();
+        assert_ne!(a.endian, m.endian);
+        assert_ne!(a.hypercall, m.hypercall);
+        assert_ne!(a.hypercall, x.hypercall);
+        assert_ne!(a.mmio_base, m.mmio_base);
+        assert_ne!(a.mmio_base, x.mmio_base);
+    }
+
+    #[test]
+    fn for_arch_is_consistent() {
+        for arch in Arch::ALL {
+            assert_eq!(ArchProfile::for_arch(arch).arch, arch);
+        }
+    }
+}

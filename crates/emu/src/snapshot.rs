@@ -1,0 +1,136 @@
+//! Machine snapshot / restore.
+//!
+//! Fuzzers take a snapshot at the firmware's ready-to-run point and restore
+//! it before every test program, so each execution starts from an identical,
+//! fully booted system state.
+
+use crate::cpu::Cpu;
+use crate::device::DeviceSet;
+use crate::error::EmuError;
+use crate::machine::Machine;
+
+/// A point-in-time copy of all mutable machine state (RAM, vCPUs, devices,
+/// retired-instruction counters). The ROM and translation cache are not part
+/// of the snapshot: ROM is immutable and the cache is a pure function of ROM
+/// plus the hook configuration.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    ram: Vec<u8>,
+    cpus: Vec<Cpu>,
+    devices: DeviceSet,
+    global_retired: u64,
+}
+
+impl Machine {
+    /// Captures a snapshot of the current machine state.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            ram: self.bus().clone_ram(),
+            cpus: (0..self.cpu_count()).map(|i| self.cpu(i).clone()).collect(),
+            devices: self.bus().devices.clone(),
+            global_retired: self.retired(),
+        }
+    }
+
+    /// Restores a snapshot previously taken from a machine with the same
+    /// RAM size and vCPU count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmuError::SnapshotMismatch`] if the snapshot shape does not
+    /// match this machine.
+    pub fn restore(&mut self, snapshot: &Snapshot) -> Result<(), EmuError> {
+        let (_, ram_size) = self.bus().ram_range();
+        if snapshot.ram.len() != ram_size as usize {
+            return Err(EmuError::SnapshotMismatch(format!(
+                "snapshot RAM is {} bytes, machine has {}",
+                snapshot.ram.len(),
+                ram_size
+            )));
+        }
+        if snapshot.cpus.len() != self.cpu_count() {
+            return Err(EmuError::SnapshotMismatch(format!(
+                "snapshot has {} vCPUs, machine has {}",
+                snapshot.cpus.len(),
+                self.cpu_count()
+            )));
+        }
+        self.bus_mut().restore_ram(&snapshot.ram);
+        self.bus_mut().devices = snapshot.devices.clone();
+        for (i, cpu) in snapshot.cpus.iter().enumerate() {
+            *self.cpu_mut(i) = cpu.clone();
+        }
+        self.set_retired(snapshot.global_retired);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::hook::NullHook;
+    use crate::isa::{Insn, Reg};
+    use crate::machine::{Machine, RunExit};
+    use crate::profile::ArchProfile;
+
+    fn counting_machine() -> Machine {
+        let profile = ArchProfile::armv();
+        let ram = profile.ram_base;
+        let insns = [
+            Insn::Lui { rd: Reg::R1, imm: ram },
+            Insn::Lw { rd: Reg::R3, rs1: Reg::R1, imm: 0 },
+            Insn::Addi { rd: Reg::R3, rs1: Reg::R3, imm: 1 },
+            Insn::Sw { rs2: Reg::R3, rs1: Reg::R1, imm: 0 },
+            Insn::Jal { rd: Reg::R0, offset: -12 },
+        ];
+        let mut text = Vec::new();
+        for insn in &insns {
+            text.extend_from_slice(&insn.encode().to_bytes(profile.endian));
+        }
+        Machine::builder(profile)
+            .rom(profile.rom_base, &text)
+            .ram(ram, 0x1000)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut m = counting_machine();
+        let ram = ArchProfile::armv().ram_base;
+        m.run(&mut NullHook, 100).unwrap();
+        let snap = m.snapshot();
+        let count_at_snap = m.read_mem(ram, 4).unwrap();
+        let pc_at_snap = m.cpu(0).pc;
+
+        m.run(&mut NullHook, 1000).unwrap();
+        assert_ne!(m.read_mem(ram, 4).unwrap(), count_at_snap);
+
+        m.restore(&snap).unwrap();
+        assert_eq!(m.read_mem(ram, 4).unwrap(), count_at_snap);
+        assert_eq!(m.cpu(0).pc, pc_at_snap);
+        assert_eq!(m.retired(), 100);
+
+        // Determinism: re-running from the snapshot reproduces the same state.
+        let exit1 = m.run(&mut NullHook, 500).unwrap();
+        let v1 = m.read_mem(ram, 4).unwrap();
+        m.restore(&snap).unwrap();
+        let exit2 = m.run(&mut NullHook, 500).unwrap();
+        let v2 = m.read_mem(ram, 4).unwrap();
+        assert_eq!(exit1, exit2);
+        assert_eq!(exit1, RunExit::BudgetExhausted);
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn mismatched_snapshot_rejected() {
+        let m1 = counting_machine();
+        let snap = m1.snapshot();
+        let profile = ArchProfile::armv();
+        let mut m2 = Machine::builder(profile)
+            .rom(profile.rom_base, &[0; 16])
+            .ram(profile.ram_base, 0x2000) // different RAM size
+            .build()
+            .unwrap();
+        assert!(m2.restore(&snap).is_err());
+    }
+}

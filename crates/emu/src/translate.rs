@@ -1,0 +1,312 @@
+//! Basic-block translation with sanitizer probe splicing.
+//!
+//! This module is the reproduction's TCG: guest code is decoded once into
+//! cached blocks of "translated" operations. When a sanitizer arms memory
+//! probes, the *translation templates change* — each memory operation in a
+//! freshly translated block carries a probe marker, and the whole cache is
+//! flushed so stale unprobed blocks cannot run. This is precisely the §3.3
+//! mechanism ("the Runtime modifies its translation template by inserting a
+//! call to a delegate function `load_intercept()`"), expressed in a
+//! micro-op interpreter instead of emitted host code.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::bus::Bus;
+use crate::error::Fault;
+use crate::hook::HookConfig;
+use crate::isa::{Insn, Reg, Word};
+
+/// Maximum instructions per translation block.
+pub const MAX_BLOCK_LEN: usize = 64;
+
+/// One translated operation: a decoded instruction plus the probe markers
+/// spliced in at translation time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TranslatedOp {
+    /// The decoded instruction.
+    pub insn: Insn,
+    /// Guest address of the instruction.
+    pub pc: u32,
+    /// A memory probe precedes this op (set only for memory accesses, and
+    /// only when the translation-time hook configuration armed `mem`).
+    pub probe_mem: bool,
+    /// A call/return probe is attached to this op.
+    pub probe_call: bool,
+}
+
+/// A translated basic block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Guest address of the first instruction.
+    pub start: u32,
+    /// The translated operations, in program order.
+    pub ops: Vec<TranslatedOp>,
+}
+
+/// Cache of translated blocks, keyed by start address.
+///
+/// The cache remembers the [`HookConfig`] it was built under; installing a
+/// different configuration must go through [`BlockCache::reconfigure`],
+/// which flushes every block.
+#[derive(Debug, Default)]
+pub struct BlockCache {
+    blocks: HashMap<u32, Rc<Block>>,
+    /// Direct-mapped front cache (the analogue of TCG's block chaining):
+    /// most lookups hit here without touching the hash map.
+    front: Vec<Option<Rc<Block>>>,
+    config: HookConfig,
+    translations: u64,
+    hits: u64,
+}
+
+/// Size of the direct-mapped front cache (power of two).
+const FRONT_SIZE: usize = 1 << 14;
+
+#[inline]
+fn front_index(pc: u32) -> usize {
+    (pc >> 2) as usize & (FRONT_SIZE - 1)
+}
+
+impl BlockCache {
+    /// Creates an empty cache with no probes armed.
+    pub fn new() -> BlockCache {
+        BlockCache::default()
+    }
+
+    /// The hook configuration the cached blocks were translated under.
+    pub fn config(&self) -> HookConfig {
+        self.config
+    }
+
+    /// Installs a new hook configuration, flushing all cached blocks if it
+    /// differs from the current one (template regeneration).
+    pub fn reconfigure(&mut self, config: HookConfig) {
+        if config != self.config {
+            self.flush();
+            self.config = config;
+        }
+    }
+
+    /// Drops every cached block (e.g. after host-side code patching).
+    pub fn flush(&mut self) {
+        self.blocks.clear();
+        self.front.clear();
+    }
+
+    /// Number of blocks translated since creation (monotonic; not reset by
+    /// flushes). Used by tests to observe cache behaviour.
+    pub fn translation_count(&self) -> u64 {
+        self.translations
+    }
+
+    /// Number of cache hits since creation.
+    pub fn hit_count(&self) -> u64 {
+        self.hits
+    }
+
+    /// Looks up (or translates) the block starting at `pc`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a fetch or decode fault if `pc` does not point at valid code.
+    pub fn lookup(&mut self, bus: &Bus, pc: u32) -> Result<Rc<Block>, Fault> {
+        if self.front.is_empty() {
+            self.front.resize(FRONT_SIZE, None);
+        }
+        let slot = front_index(pc);
+        if let Some(block) = &self.front[slot] {
+            if block.start == pc {
+                self.hits += 1;
+                return Ok(Rc::clone(block));
+            }
+        }
+        if let Some(block) = self.blocks.get(&pc) {
+            self.hits += 1;
+            self.front[slot] = Some(Rc::clone(block));
+            return Ok(Rc::clone(block));
+        }
+        let block = Rc::new(translate_block(bus, pc, self.config)?);
+        self.translations += 1;
+        self.blocks.insert(pc, Rc::clone(&block));
+        self.front[slot] = Some(Rc::clone(&block));
+        Ok(block)
+    }
+}
+
+/// Whether an instruction is a call (writes a link register other than `r0`).
+fn is_call(insn: &Insn) -> bool {
+    match insn {
+        Insn::Jal { rd, .. } | Insn::Jalr { rd, .. } => *rd != Reg::ZERO,
+        _ => false,
+    }
+}
+
+/// Whether an instruction is a return (`jalr r0, lr, 0` by ABI convention).
+fn is_ret(insn: &Insn) -> bool {
+    matches!(insn, Insn::Jalr { rd: Reg::R0, rs1: Reg::LR, .. })
+}
+
+/// Decodes a block starting at `pc`, splicing probes per `config`.
+fn translate_block(bus: &Bus, pc: u32, config: HookConfig) -> Result<Block, Fault> {
+    let mut ops = Vec::new();
+    let mut cur = pc;
+    loop {
+        // A fetch or decode failure past the first instruction ends the block
+        // early instead of faulting: the fault (if reachable) materializes
+        // when execution actually arrives there.
+        let raw = match bus.fetch(cur) {
+            Ok(raw) => raw,
+            Err(fault) => {
+                if ops.is_empty() {
+                    return Err(fault);
+                }
+                break;
+            }
+        };
+        let insn = match Insn::decode(Word(raw)) {
+            Ok(insn) => insn,
+            Err(_) => {
+                if ops.is_empty() {
+                    return Err(Fault::IllegalInsn { pc: cur, word: raw });
+                }
+                break;
+            }
+        };
+        let probe_mem = config.mem && insn.is_mem_access();
+        let probe_call = config.calls && (is_call(&insn) || is_ret(&insn));
+        ops.push(TranslatedOp { insn, pc: cur, probe_mem, probe_call });
+        if insn.ends_block() || ops.len() >= MAX_BLOCK_LEN {
+            break;
+        }
+        cur = cur.wrapping_add(4);
+    }
+    Ok(Block { start: pc, ops })
+}
+
+/// Classification of a call-probe op used by the executor.
+pub(crate) fn call_kind(insn: &Insn) -> CallKind {
+    if is_ret(insn) {
+        CallKind::Ret
+    } else if is_call(insn) {
+        CallKind::Call
+    } else {
+        CallKind::Neither
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CallKind {
+    Call,
+    Ret,
+    Neither,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::ArchProfile;
+
+    fn bus_with_text(insns: &[Insn]) -> (Bus, u32) {
+        let profile = ArchProfile::armv();
+        let mut text = Vec::new();
+        for insn in insns {
+            text.extend_from_slice(&insn.encode().to_bytes(profile.endian));
+        }
+        let bus = Bus::new(&profile, profile.rom_base, text, profile.ram_base, 0x1000, 1);
+        (bus, profile.rom_base)
+    }
+
+    #[test]
+    fn block_ends_at_branch() {
+        let (bus, base) = bus_with_text(&[
+            Insn::Addi { rd: Reg::R1, rs1: Reg::R0, imm: 1 },
+            Insn::Lw { rd: Reg::R2, rs1: Reg::R1, imm: 0 },
+            Insn::Jal { rd: Reg::R0, offset: -8 },
+            Insn::Halt { code: 0 }, // unreachable, not part of block
+        ]);
+        let mut cache = BlockCache::new();
+        let block = cache.lookup(&bus, base).unwrap();
+        assert_eq!(block.ops.len(), 3);
+        assert!(matches!(block.ops[2].insn, Insn::Jal { .. }));
+    }
+
+    #[test]
+    fn probes_spliced_only_when_armed() {
+        let (bus, base) = bus_with_text(&[
+            Insn::Lw { rd: Reg::R2, rs1: Reg::R1, imm: 0 },
+            Insn::Halt { code: 0 },
+        ]);
+        let mut cache = BlockCache::new();
+        let block = cache.lookup(&bus, base).unwrap();
+        assert!(!block.ops[0].probe_mem);
+
+        cache.reconfigure(HookConfig { mem: true, ..HookConfig::none() });
+        let block = cache.lookup(&bus, base).unwrap();
+        assert!(block.ops[0].probe_mem);
+        assert!(!block.ops[1].probe_mem); // halt is not a memory access
+    }
+
+    #[test]
+    fn reconfigure_flushes_cache() {
+        let (bus, base) = bus_with_text(&[Insn::Halt { code: 0 }]);
+        let mut cache = BlockCache::new();
+        cache.lookup(&bus, base).unwrap();
+        cache.lookup(&bus, base).unwrap();
+        assert_eq!(cache.translation_count(), 1);
+        assert_eq!(cache.hit_count(), 1);
+
+        cache.reconfigure(HookConfig::all());
+        cache.lookup(&bus, base).unwrap();
+        assert_eq!(cache.translation_count(), 2);
+
+        // Reinstalling the same config must NOT flush.
+        cache.reconfigure(HookConfig::all());
+        cache.lookup(&bus, base).unwrap();
+        assert_eq!(cache.translation_count(), 2);
+        assert_eq!(cache.hit_count(), 2);
+    }
+
+    #[test]
+    fn call_and_ret_classification() {
+        assert_eq!(call_kind(&Insn::Jal { rd: Reg::LR, offset: 16 }), CallKind::Call);
+        assert_eq!(
+            call_kind(&Insn::Jalr { rd: Reg::LR, rs1: Reg::R3, imm: 0 }),
+            CallKind::Call
+        );
+        assert_eq!(
+            call_kind(&Insn::Jalr { rd: Reg::R0, rs1: Reg::LR, imm: 0 }),
+            CallKind::Ret
+        );
+        // A plain computed goto is neither.
+        assert_eq!(
+            call_kind(&Insn::Jalr { rd: Reg::R0, rs1: Reg::R3, imm: 0 }),
+            CallKind::Neither
+        );
+    }
+
+    #[test]
+    fn illegal_instruction_reports_pc() {
+        let profile = ArchProfile::armv();
+        let bus = Bus::new(
+            &profile,
+            profile.rom_base,
+            vec![0xFF; 8],
+            profile.ram_base,
+            0x1000,
+            1,
+        );
+        let mut cache = BlockCache::new();
+        let err = cache.lookup(&bus, profile.rom_base).unwrap_err();
+        assert_eq!(err, Fault::IllegalInsn { pc: profile.rom_base, word: 0xFFFF_FFFF });
+    }
+
+    #[test]
+    fn max_block_length_is_enforced() {
+        let insns = vec![Insn::Nop; MAX_BLOCK_LEN + 10];
+        let (bus, base) = bus_with_text(&insns);
+        let mut cache = BlockCache::new();
+        let block = cache.lookup(&bus, base).unwrap();
+        assert_eq!(block.ops.len(), MAX_BLOCK_LEN);
+    }
+}

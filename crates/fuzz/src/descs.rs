@@ -1,0 +1,96 @@
+//! Typed syscall descriptions (the Syzkaller-style interface model).
+//!
+//! A [`SyscallDesc`] gives the fuzzer the shape of each call: how many
+//! arguments and what each one means. Argument kinds let generation and
+//! mutation stay in sensible ranges (a slot index is 0–7, a size is a small
+//! integer) while leaving [`ArgKind::Key`] arguments — the magic-gated
+//! inputs real kernels are full of — to dictionary and byte mutation.
+
+use embsan_guestos::executor::sys;
+use embsan_guestos::FirmwareSpec;
+
+/// The semantic kind of one syscall argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArgKind {
+    /// An object-table slot (0–7).
+    Slot,
+    /// An allocation size.
+    Size,
+    /// A byte offset into an object.
+    Offset,
+    /// An arbitrary data value.
+    Value,
+    /// A magic/key value guarding deeper code paths.
+    Key,
+}
+
+/// Description of one syscall.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyscallDesc {
+    /// Syscall number.
+    pub nr: u8,
+    /// Argument kinds, in order.
+    pub args: Vec<ArgKind>,
+}
+
+impl SyscallDesc {
+    fn new(nr: u8, args: &[ArgKind]) -> SyscallDesc {
+        SyscallDesc { nr, args: args.to_vec() }
+    }
+}
+
+/// The base interface shared by every OS flavour.
+pub fn base_descriptions() -> Vec<SyscallDesc> {
+    use ArgKind::*;
+    vec![
+        SyscallDesc::new(sys::NOP, &[]),
+        SyscallDesc::new(sys::ECHO, &[Value]),
+        SyscallDesc::new(sys::ALLOC, &[Size, Slot]),
+        SyscallDesc::new(sys::FREE, &[Slot]),
+        SyscallDesc::new(sys::WRITE, &[Slot, Offset, Value]),
+        SyscallDesc::new(sys::READ, &[Slot, Offset]),
+        SyscallDesc::new(sys::FILL, &[Slot, Value]),
+        SyscallDesc::new(sys::COPY, &[Slot, Slot]),
+        SyscallDesc::new(sys::STAT, &[]),
+        SyscallDesc::new(sys::HASH, &[Value]),
+    ]
+}
+
+/// Descriptions for a firmware: the base interface plus one key-guarded
+/// syscall per seeded subsystem entry (the fuzzer knows the *interface*,
+/// not the trigger values).
+pub fn descriptions_for(spec: &FirmwareSpec) -> Vec<SyscallDesc> {
+    let mut descs = base_descriptions();
+    for i in 0..spec.latent_bugs().len() {
+        descs.push(SyscallDesc::new(sys::BUG_BASE + i as u8, &[ArgKind::Key]));
+    }
+    descs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embsan_guestos::firmware_by_name;
+
+    #[test]
+    fn base_interface_is_complete() {
+        let descs = base_descriptions();
+        assert_eq!(descs.len(), 10);
+        assert!(descs.iter().all(|d| d.args.len() <= 4));
+        // Numbers are unique and below the bug base.
+        let mut nrs: Vec<u8> = descs.iter().map(|d| d.nr).collect();
+        nrs.dedup();
+        assert_eq!(nrs.len(), 10);
+        assert!(nrs.iter().all(|&nr| nr < sys::BUG_BASE));
+    }
+
+    #[test]
+    fn firmware_descriptions_cover_its_bugs() {
+        let spec = firmware_by_name("OpenWRT-armvirt").unwrap();
+        let descs = descriptions_for(spec);
+        assert_eq!(descs.len(), 10 + 6);
+        let keys: Vec<_> = descs.iter().filter(|d| d.args == [ArgKind::Key]).collect();
+        assert_eq!(keys.len(), 6);
+        assert_eq!(keys[0].nr, sys::BUG_BASE);
+    }
+}

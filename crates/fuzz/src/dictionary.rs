@@ -1,0 +1,117 @@
+//! Immediate-constant dictionary extracted from firmware binaries.
+//!
+//! The classic binary-fuzzing trick: comparison constants in the target
+//! usually appear as immediates in its code. Scanning the firmware's text
+//! section for `addi rd, r0, imm` / `li`-style materializations and branch
+//! comparisons yields a dictionary that mutation splices into arguments —
+//! which is how magic-gated paths (like real kernels' command codes) become
+//! reachable without symbolic execution.
+
+use embsan_asm::image::FirmwareImage;
+use embsan_emu::isa::{Insn, Reg, Word};
+use embsan_emu::profile::ArchProfile;
+
+/// A dictionary of interesting constants.
+#[derive(Debug, Clone, Default)]
+pub struct Dictionary {
+    values: Vec<u32>,
+}
+
+impl Dictionary {
+    /// Extracts a dictionary from a firmware image's text section.
+    ///
+    /// Works on stripped images too — only the instruction stream is
+    /// needed.
+    pub fn extract(image: &FirmwareImage) -> Dictionary {
+        let profile = ArchProfile::for_arch(image.arch);
+        let mut values = Vec::new();
+        for chunk in image.text.chunks_exact(4) {
+            let word = Word::from_bytes([chunk[0], chunk[1], chunk[2], chunk[3]], profile.endian);
+            let Ok(insn) = Insn::decode(word) else { continue };
+            let interesting = match insn {
+                // Constant materialization into a register.
+                Insn::Addi { rs1: Reg::R0, imm, .. } => Some(imm as u32),
+                Insn::Ori { imm, .. } | Insn::Xori { imm, .. } => Some(imm as u32),
+                Insn::Slti { imm, .. } | Insn::Sltiu { imm, .. } => Some(imm as u32),
+                Insn::Lui { imm, .. } => Some(imm),
+                _ => None,
+            };
+            if let Some(value) = interesting {
+                if value != 0 && !values.contains(&value) {
+                    values.push(value);
+                }
+            }
+        }
+        Dictionary { values }
+    }
+
+    /// The extracted constants.
+    pub fn values(&self) -> &[u32] {
+        &self.values
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Picks an entry by an arbitrary index (callers supply randomness).
+    pub fn pick(&self, index: usize) -> Option<u32> {
+        if self.values.is_empty() {
+            None
+        } else {
+            Some(self.values[index % self.values.len()])
+        }
+    }
+
+    /// The byte-sized entries (values < 256), used by byte-splice mutation
+    /// and the deterministic dictionary stage. Single-byte comparisons —
+    /// staged magic gates — always draw from this set.
+    pub fn bytes(&self) -> Vec<u8> {
+        self.values
+            .iter()
+            .filter(|&&v| v < 256)
+            .map(|&v| v as u8)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embsan_emu::profile::Arch;
+    use embsan_guestos::bugs::{gate_stages, BugKind, BugSpec};
+    use embsan_guestos::{os, BuildOptions};
+
+    #[test]
+    fn extracts_gate_constants_from_stripped_firmware() {
+        let spec = BugSpec::new("victim/path", BugKind::OobWrite);
+        let opts = BuildOptions::new(Arch::Armv);
+        let image = os::vxworks::build(&opts, std::slice::from_ref(&spec)).unwrap();
+        assert!(!image.has_symbols());
+        let dict = Dictionary::extract(&image);
+        assert!(!dict.is_empty());
+        let [s0, s1] = gate_stages("victim/path");
+        assert!(
+            dict.values().contains(&u32::from(s0)) || s0 == 0,
+            "stage-1 gate constant must be in the dictionary"
+        );
+        assert!(
+            dict.values().contains(&u32::from(s1)) || s1 == 0,
+            "stage-2 gate constant must be in the dictionary"
+        );
+    }
+
+    #[test]
+    fn pick_is_total_over_nonempty_dictionaries() {
+        let dict = Dictionary { values: vec![1, 2, 3] };
+        assert_eq!(dict.pick(0), Some(1));
+        assert_eq!(dict.pick(4), Some(2));
+        assert_eq!(Dictionary::default().pick(7), None);
+    }
+}

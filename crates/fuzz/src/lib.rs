@@ -1,0 +1,33 @@
+//! Kernel fuzzers for EMBSAN guest firmware.
+//!
+//! Stand-ins for the two fuzzers the paper pairs with EMBSAN:
+//!
+//! - **Syzkaller-style** ([`Strategy::Syz`]): generation and mutation driven
+//!   by typed syscall [`descs`] (slot/size/offset/value/key argument kinds),
+//!   used for the Embedded Linux firmware;
+//! - **Tardis-style** ([`Strategy::Tardis`]): OS-agnostic — programs are
+//!   mutated with interface-shape knowledge only (call count and arity),
+//!   and coverage is collected from the *emulator's* translation-block
+//!   events rather than any in-guest instrumentation, matching Tardis's
+//!   emulator-side coverage mechanism.
+//!
+//! Both share AFL-style edge [`cover`]age, a [`corpus`] with
+//! novelty-gating, a [`dictionary`] of immediate constants extracted from
+//! the firmware binary (the classic binary-dictionary trick), crash triage
+//! with program minimization, and a deterministic seeded [`campaign`]
+//! driver used by the Table 3/4 benches.
+
+pub mod campaign;
+pub mod corpus;
+pub mod cover;
+pub mod descs;
+pub mod dictionary;
+pub mod fuzzer;
+pub mod mutate;
+
+pub use campaign::{run_campaign, CampaignConfig, CampaignError, CampaignResult, FoundBug};
+pub use corpus::Corpus;
+pub use cover::CoverageMap;
+pub use descs::{descriptions_for, ArgKind, SyscallDesc};
+pub use dictionary::Dictionary;
+pub use fuzzer::{CoverageSource, Finding, Fuzzer, FuzzerConfig, FuzzerStats, Strategy};

@@ -1,0 +1,136 @@
+//! FreeRTOS heap_4-style allocator (`pvPortMalloc`/`vPortFree`).
+//!
+//! A first-fit free-list allocator with block splitting over the whole heap
+//! region. Block layout: `[size u32 (bit 31 = allocated) | next-free u32 |
+//! user area]`. Unlike the real heap_4 this simplified port does not
+//! coalesce on free (documented deviation; fragmentation is irrelevant to
+//! the sanitizer experiments, the allocator *interface* and access patterns
+//! are what matter).
+
+use embsan_asm::builder::Asm;
+use embsan_asm::ir::GlobalDef;
+use embsan_asm::sanabi::stubs;
+use embsan_emu::isa::Reg;
+
+use super::AllocatorPieces;
+use crate::opts::BuildOptions;
+
+/// Block header bytes.
+pub const HEADER: u32 = 8;
+/// Allocated flag in the size word.
+pub const ALLOC_BIT: i64 = 1 << 31;
+
+/// Emits `pvPortMalloc`, `vPortFree` and `heap4_init`.
+pub fn emit(opts: &BuildOptions) -> AllocatorPieces {
+    let san = opts.san.is_instrumented();
+    let mut asm = Asm::new();
+
+    // heap4_init(): one free block spanning the heap.
+    asm.func("heap4_init");
+    asm.la(Reg::A0, "__heap_start");
+    asm.la(Reg::A1, "__heap_end");
+    asm.sub(Reg::A1, Reg::A1, Reg::A0); // total size
+    asm.sw(Reg::A1, Reg::A0, 0); // size, free
+    asm.sw(Reg::R0, Reg::A0, 4); // next = NULL
+    asm.la(Reg::A2, "heap4_free_head");
+    asm.sw(Reg::A0, Reg::A2, 0);
+    asm.ret();
+
+    // pvPortMalloc(a0 = size) -> a0 = user ptr (0 on failure).
+    asm.func("pvPortMalloc");
+    asm.prologue(&[Reg::R7, Reg::R8]);
+    asm.beq(Reg::A0, Reg::R0, "pvPortMalloc.fail");
+    asm.mv(Reg::R7, Reg::A0); // r7 = requested size
+    // a5 = total block size needed: header + size rounded up to 8.
+    asm.addi(Reg::A5, Reg::A0, (HEADER + 7) as i32);
+    asm.li(Reg::A1, i64::from(0xFFFF_FFF8u32));
+    asm.and(Reg::A5, Reg::A5, Reg::A1);
+    // a3 = prev slot (&heap4_free_head), a4 = current block.
+    asm.la(Reg::A3, "heap4_free_head");
+    asm.lw(Reg::A4, Reg::A3, 0);
+    asm.label("pvPortMalloc.walk");
+    asm.beq(Reg::A4, Reg::R0, "pvPortMalloc.fail");
+    asm.lw(Reg::A1, Reg::A4, 0); // block size (free → bit31 clear)
+    asm.bgeu(Reg::A1, Reg::A5, "pvPortMalloc.take");
+    asm.addi(Reg::A3, Reg::A4, 4); // prev slot = &cur->next
+    asm.lw(Reg::A4, Reg::A4, 4);
+    asm.jump("pvPortMalloc.walk");
+    asm.label("pvPortMalloc.take");
+    // Split if the remainder can hold a minimal block (header + 8).
+    asm.sub(Reg::A2, Reg::A1, Reg::A5); // remainder
+    asm.li(Reg::A0, i64::from(HEADER + 8));
+    asm.bltu(Reg::A2, Reg::A0, "pvPortMalloc.whole");
+    // new free block at a4 + a5
+    asm.add(Reg::A0, Reg::A4, Reg::A5);
+    asm.sw(Reg::A2, Reg::A0, 0); // remainder size, free
+    asm.lw(Reg::A1, Reg::A4, 4); // old next
+    asm.sw(Reg::A1, Reg::A0, 4);
+    asm.sw(Reg::A0, Reg::A3, 0); // prev slot -> new block
+    asm.mv(Reg::A1, Reg::A5); // taken size = exactly needed
+    asm.jump("pvPortMalloc.mark");
+    asm.label("pvPortMalloc.whole");
+    // Unlink the whole block.
+    asm.lw(Reg::A0, Reg::A4, 4);
+    asm.sw(Reg::A0, Reg::A3, 0);
+    asm.label("pvPortMalloc.mark");
+    // Mark allocated: size | ALLOC_BIT.
+    asm.li(Reg::A0, ALLOC_BIT);
+    asm.or(Reg::A1, Reg::A1, Reg::A0);
+    asm.sw(Reg::A1, Reg::A4, 0);
+    asm.addi(Reg::R8, Reg::A4, HEADER as i32); // user ptr
+    if san {
+        asm.mv(Reg::A0, Reg::R8);
+        asm.mv(Reg::A1, Reg::R7);
+        asm.call(stubs::ALLOC);
+    }
+    asm.mv(Reg::A0, Reg::R8);
+    asm.epilogue(&[Reg::R7, Reg::R8]);
+    asm.label("pvPortMalloc.fail");
+    asm.li(Reg::A0, 0);
+    asm.epilogue(&[Reg::R7, Reg::R8]);
+
+    // vPortFree(a0 = user ptr).
+    asm.func("vPortFree");
+    asm.prologue(&[Reg::R7]);
+    asm.beq(Reg::A0, Reg::R0, "vPortFree.out");
+    asm.mv(Reg::R7, Reg::A0);
+    if san {
+        asm.call(stubs::FREE);
+    }
+    asm.addi(Reg::A4, Reg::R7, -(HEADER as i32)); // block header
+    // Clear the allocated bit.
+    asm.lw(Reg::A1, Reg::A4, 0);
+    asm.li(Reg::A2, ALLOC_BIT);
+    asm.xor(Reg::A1, Reg::A1, Reg::A2);
+    asm.sw(Reg::A1, Reg::A4, 0);
+    // Push at the head of the free list.
+    asm.la(Reg::A3, "heap4_free_head");
+    asm.lw(Reg::A1, Reg::A3, 0);
+    asm.sw(Reg::A1, Reg::A4, 4);
+    asm.sw(Reg::A4, Reg::A3, 0);
+    asm.label("vPortFree.out");
+    asm.epilogue(&[Reg::R7]);
+
+    AllocatorPieces {
+        asm,
+        globals: vec![GlobalDef::plain("heap4_free_head", vec![0; 4])],
+        no_instrument: vec!["heap4_init".into(), "pvPortMalloc".into(), "vPortFree".into()],
+        init_fn: "heap4_init",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embsan_emu::profile::Arch;
+
+    #[test]
+    fn emits_allocator_functions() {
+        let pieces = emit(&BuildOptions::new(Arch::Mipsv));
+        let mut p = embsan_asm::ir::Program::new();
+        p.text = pieces.asm.into_items();
+        assert!(p.defines_function("pvPortMalloc"));
+        assert!(p.defines_function("vPortFree"));
+        assert!(p.defines_function("heap4_init"));
+    }
+}

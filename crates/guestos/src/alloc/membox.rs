@@ -1,0 +1,139 @@
+//! LiteOS membox allocator (`LOS_MemAlloc`/`LOS_MemFree`).
+//!
+//! A fixed-block pool: the front of the heap is carved into `POOL_BLOCKS`
+//! blocks of `BLOCK_SIZE` bytes chained on a freelist at init; requests
+//! that fit take a pool block, larger requests fall back to a bump pointer
+//! (and cannot be freed — LiteOS static-pool semantics).
+
+use embsan_asm::builder::Asm;
+use embsan_asm::ir::GlobalDef;
+use embsan_asm::sanabi::stubs;
+use embsan_emu::isa::Reg;
+
+use super::AllocatorPieces;
+use crate::opts::BuildOptions;
+
+/// Pool block size in bytes (8-byte header + 120 user bytes).
+pub const BLOCK_SIZE: u32 = 128;
+/// User bytes per pool block.
+pub const BLOCK_USER: u32 = BLOCK_SIZE - 8;
+/// Number of pool blocks carved at init.
+pub const POOL_BLOCKS: u32 = 512;
+
+/// Emits `LOS_MemAlloc`, `LOS_MemFree` and `membox_init`.
+pub fn emit(opts: &BuildOptions) -> AllocatorPieces {
+    let san = opts.san.is_instrumented();
+    let mut asm = Asm::new();
+
+    // membox_init(): chain POOL_BLOCKS blocks; bump pointer after the pool.
+    asm.func("membox_init");
+    asm.la(Reg::A0, "__heap_start");
+    asm.li(Reg::A1, i64::from(POOL_BLOCKS));
+    asm.la(Reg::A2, "membox_free_head");
+    asm.sw(Reg::R0, Reg::A2, 0);
+    asm.label("membox_init.loop");
+    asm.beq(Reg::A1, Reg::R0, "membox_init.done");
+    // push block a0: block->next = head; head = block
+    asm.lw(Reg::A3, Reg::A2, 0);
+    asm.sw(Reg::A3, Reg::A0, 0);
+    asm.sw(Reg::A0, Reg::A2, 0);
+    asm.addi(Reg::A0, Reg::A0, BLOCK_SIZE as i32);
+    asm.addi(Reg::A1, Reg::A1, -1);
+    asm.jump("membox_init.loop");
+    asm.label("membox_init.done");
+    // bump pointer starts after the pool (a0 already points there).
+    asm.la(Reg::A2, "membox_brk");
+    asm.sw(Reg::A0, Reg::A2, 0);
+    asm.ret();
+
+    // LOS_MemAlloc(a0 = size) -> a0 = user ptr (0 on failure).
+    asm.func("LOS_MemAlloc");
+    asm.prologue(&[Reg::R7, Reg::R8]);
+    asm.beq(Reg::A0, Reg::R0, "LOS_MemAlloc.fail");
+    asm.mv(Reg::R7, Reg::A0);
+    asm.li(Reg::A1, i64::from(BLOCK_USER));
+    asm.bltu(Reg::A1, Reg::A0, "LOS_MemAlloc.big");
+    // Pool path: pop a block.
+    asm.la(Reg::A2, "membox_free_head");
+    asm.lw(Reg::A3, Reg::A2, 0);
+    asm.beq(Reg::A3, Reg::R0, "LOS_MemAlloc.fail"); // pool exhausted
+    asm.lw(Reg::A4, Reg::A3, 0);
+    asm.sw(Reg::A4, Reg::A2, 0);
+    // Tag header: 1 = pool block.
+    asm.li(Reg::A4, 1);
+    asm.sw(Reg::A4, Reg::A3, 0);
+    asm.addi(Reg::R8, Reg::A3, 8);
+    asm.jump("LOS_MemAlloc.done");
+    asm.label("LOS_MemAlloc.big");
+    // Bump path: header tag 2, never freed.
+    asm.la(Reg::A2, "membox_brk");
+    asm.lw(Reg::A3, Reg::A2, 0);
+    asm.addi(Reg::A4, Reg::R7, 8 + 7);
+    asm.li(Reg::A1, i64::from(0xFFFF_FFF8u32));
+    asm.and(Reg::A4, Reg::A4, Reg::A1);
+    asm.add(Reg::A4, Reg::A3, Reg::A4);
+    asm.la(Reg::A1, "__heap_end");
+    asm.bltu(Reg::A1, Reg::A4, "LOS_MemAlloc.fail");
+    asm.sw(Reg::A4, Reg::A2, 0);
+    asm.li(Reg::A4, 2);
+    asm.sw(Reg::A4, Reg::A3, 0);
+    asm.addi(Reg::R8, Reg::A3, 8);
+    asm.label("LOS_MemAlloc.done");
+    if san {
+        asm.mv(Reg::A0, Reg::R8);
+        asm.mv(Reg::A1, Reg::R7);
+        asm.call(stubs::ALLOC);
+    }
+    asm.mv(Reg::A0, Reg::R8);
+    asm.epilogue(&[Reg::R7, Reg::R8]);
+    asm.label("LOS_MemAlloc.fail");
+    asm.li(Reg::A0, 0);
+    asm.epilogue(&[Reg::R7, Reg::R8]);
+
+    // LOS_MemFree(a0 = user ptr): pool blocks return to the freelist;
+    // bump blocks are leaked (tag 2), NULL ignored.
+    asm.func("LOS_MemFree");
+    asm.prologue(&[Reg::R7]);
+    asm.beq(Reg::A0, Reg::R0, "LOS_MemFree.out");
+    asm.mv(Reg::R7, Reg::A0);
+    if san {
+        asm.call(stubs::FREE);
+    }
+    asm.lw(Reg::A1, Reg::R7, -8); // tag
+    asm.li(Reg::A2, 1);
+    asm.bne(Reg::A1, Reg::A2, "LOS_MemFree.out"); // not a pool block
+    asm.addi(Reg::A3, Reg::R7, -8);
+    asm.la(Reg::A2, "membox_free_head");
+    asm.lw(Reg::A1, Reg::A2, 0);
+    asm.sw(Reg::A1, Reg::A3, 0);
+    asm.sw(Reg::A3, Reg::A2, 0);
+    asm.label("LOS_MemFree.out");
+    asm.epilogue(&[Reg::R7]);
+
+    AllocatorPieces {
+        asm,
+        globals: vec![
+            GlobalDef::plain("membox_free_head", vec![0; 4]),
+            GlobalDef::plain("membox_brk", vec![0; 4]),
+        ],
+        no_instrument: vec!["membox_init".into(), "LOS_MemAlloc".into(), "LOS_MemFree".into()],
+        init_fn: "membox_init",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embsan_emu::profile::Arch;
+
+    #[test]
+    fn emits_allocator_functions() {
+        let pieces = emit(&BuildOptions::new(Arch::Armv));
+        let mut p = embsan_asm::ir::Program::new();
+        p.text = pieces.asm.into_items();
+        assert!(p.defines_function("LOS_MemAlloc"));
+        assert!(p.defines_function("LOS_MemFree"));
+        assert!(p.defines_function("membox_init"));
+        assert_eq!(pieces.init_fn, "membox_init");
+    }
+}

@@ -1,0 +1,123 @@
+//! VxWorks memPartLib-style allocator (`memPartAlloc`/`memPartFree`).
+//!
+//! An exact-fit freelist over 8-byte-rounded sizes with a bump-pointer
+//! fallback. Block layout: `[size u32 | next u32 | user area]`. Freed
+//! blocks are reused only by requests rounding to the same size — a common
+//! embedded partition-allocator behaviour, and usefully different from the
+//! other three allocators for the prober's signature matching.
+
+use embsan_asm::builder::Asm;
+use embsan_asm::ir::GlobalDef;
+use embsan_asm::sanabi::stubs;
+use embsan_emu::isa::Reg;
+
+use super::AllocatorPieces;
+use crate::opts::BuildOptions;
+
+/// Block header bytes.
+pub const HEADER: u32 = 8;
+
+/// Emits `memPartAlloc`, `memPartFree` and `mempart_init`.
+pub fn emit(opts: &BuildOptions) -> AllocatorPieces {
+    let san = opts.san.is_instrumented();
+    let mut asm = Asm::new();
+
+    asm.func("mempart_init");
+    asm.la(Reg::A0, "__heap_start");
+    asm.la(Reg::A1, "mempart_brk");
+    asm.sw(Reg::A0, Reg::A1, 0);
+    asm.la(Reg::A1, "mempart_free_head");
+    asm.sw(Reg::R0, Reg::A1, 0);
+    asm.ret();
+
+    // memPartAlloc(a0 = size) -> a0 = user ptr (0 on failure).
+    asm.func("memPartAlloc");
+    asm.prologue(&[Reg::R7, Reg::R8]);
+    asm.beq(Reg::A0, Reg::R0, "memPartAlloc.fail");
+    asm.mv(Reg::R7, Reg::A0);
+    // a5 = size rounded up to 8.
+    asm.addi(Reg::A5, Reg::A0, 7);
+    asm.li(Reg::A1, i64::from(0xFFFF_FFF8u32));
+    asm.and(Reg::A5, Reg::A5, Reg::A1);
+    // Exact-fit walk: a3 = prev slot, a4 = current.
+    asm.la(Reg::A3, "mempart_free_head");
+    asm.lw(Reg::A4, Reg::A3, 0);
+    asm.label("memPartAlloc.walk");
+    asm.beq(Reg::A4, Reg::R0, "memPartAlloc.carve");
+    asm.lw(Reg::A1, Reg::A4, 0);
+    asm.beq(Reg::A1, Reg::A5, "memPartAlloc.take");
+    asm.addi(Reg::A3, Reg::A4, 4);
+    asm.lw(Reg::A4, Reg::A4, 4);
+    asm.jump("memPartAlloc.walk");
+    asm.label("memPartAlloc.take");
+    asm.lw(Reg::A1, Reg::A4, 4);
+    asm.sw(Reg::A1, Reg::A3, 0);
+    asm.addi(Reg::R8, Reg::A4, HEADER as i32);
+    asm.jump("memPartAlloc.done");
+    asm.label("memPartAlloc.carve");
+    asm.la(Reg::A2, "mempart_brk");
+    asm.lw(Reg::A4, Reg::A2, 0);
+    asm.addi(Reg::A1, Reg::A5, HEADER as i32);
+    asm.add(Reg::A1, Reg::A4, Reg::A1);
+    asm.la(Reg::A0, "__heap_end");
+    asm.bltu(Reg::A0, Reg::A1, "memPartAlloc.fail");
+    asm.sw(Reg::A1, Reg::A2, 0);
+    asm.sw(Reg::A5, Reg::A4, 0); // header: rounded size
+    asm.addi(Reg::R8, Reg::A4, HEADER as i32);
+    asm.label("memPartAlloc.done");
+    if san {
+        asm.mv(Reg::A0, Reg::R8);
+        asm.mv(Reg::A1, Reg::R7);
+        asm.call(stubs::ALLOC);
+    }
+    asm.mv(Reg::A0, Reg::R8);
+    asm.epilogue(&[Reg::R7, Reg::R8]);
+    asm.label("memPartAlloc.fail");
+    asm.li(Reg::A0, 0);
+    asm.epilogue(&[Reg::R7, Reg::R8]);
+
+    // memPartFree(a0 = user ptr).
+    asm.func("memPartFree");
+    asm.prologue(&[Reg::R7]);
+    asm.beq(Reg::A0, Reg::R0, "memPartFree.out");
+    asm.mv(Reg::R7, Reg::A0);
+    if san {
+        asm.call(stubs::FREE);
+    }
+    asm.addi(Reg::A4, Reg::R7, -(HEADER as i32));
+    asm.la(Reg::A2, "mempart_free_head");
+    asm.lw(Reg::A1, Reg::A2, 0);
+    asm.sw(Reg::A1, Reg::A4, 4);
+    asm.sw(Reg::A4, Reg::A2, 0);
+    asm.label("memPartFree.out");
+    asm.epilogue(&[Reg::R7]);
+
+    AllocatorPieces {
+        asm,
+        globals: vec![
+            GlobalDef::plain("mempart_free_head", vec![0; 4]),
+            GlobalDef::plain("mempart_brk", vec![0; 4]),
+        ],
+        no_instrument: vec![
+            "mempart_init".into(),
+            "memPartAlloc".into(),
+            "memPartFree".into(),
+        ],
+        init_fn: "mempart_init",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embsan_emu::profile::Arch;
+
+    #[test]
+    fn emits_allocator_functions() {
+        let pieces = emit(&BuildOptions::new(Arch::Armv));
+        let mut p = embsan_asm::ir::Program::new();
+        p.text = pieces.asm.into_items();
+        assert!(p.defines_function("memPartAlloc"));
+        assert!(p.defines_function("memPartFree"));
+    }
+}

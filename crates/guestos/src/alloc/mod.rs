@@ -1,0 +1,52 @@
+//! Guest heap allocators, one per OS family.
+//!
+//! Each module emits the allocator's functions in guest assembly and
+//! declares its globals. The designs intentionally differ — a sanitizer
+//! that adapts "to a specific system without … implementing major changes"
+//! (the paper's challenge 1) must cope with all of them:
+//!
+//! | OS | module | design |
+//! |----|--------|--------|
+//! | Embedded Linux | [`slab`] | size-class slab with per-class freelists |
+//! | FreeRTOS | [`heap4`] | heap_4-style first-fit with block splitting |
+//! | LiteOS | [`membox`] | fixed-block membox pool + bump fallback |
+//! | VxWorks | [`mempart`] | memPartLib-style exact-fit freelist |
+//!
+//! Shared conventions: `alloc(a0 = size) → a0 = ptr` (0 on failure),
+//! `free(a0 = ptr)`; instrumented builds call `__san_alloc`/`__san_free`
+//! (the dummy-library hooks) at the appropriate points; all allocator
+//! internals are in the `no_instrument` set — under EMBSAN-D, the runtime
+//! instead suppresses checks while a hooked allocator frame is active,
+//! since allocators legitimately touch free memory.
+
+pub mod heap4;
+pub mod membox;
+pub mod mempart;
+pub mod slab;
+
+use embsan_asm::builder::Asm;
+use embsan_asm::ir::GlobalDef;
+
+use crate::opts::{BaseOs, BuildOptions};
+
+/// What an allocator module contributes to a firmware build.
+pub struct AllocatorPieces {
+    /// The emitted functions.
+    pub asm: Asm,
+    /// Globals the allocator needs.
+    pub globals: Vec<GlobalDef>,
+    /// Function names that must not be instrumented.
+    pub no_instrument: Vec<String>,
+    /// Name of the boot-time initialization function (called by `os_init`).
+    pub init_fn: &'static str,
+}
+
+/// Emits the allocator for `os`.
+pub fn emit_for(os: BaseOs, opts: &BuildOptions) -> AllocatorPieces {
+    match os {
+        BaseOs::EmbeddedLinux => slab::emit(opts),
+        BaseOs::FreeRtos => heap4::emit(opts),
+        BaseOs::LiteOs => membox::emit(opts),
+        BaseOs::VxWorks => mempart::emit(opts),
+    }
+}

@@ -1,0 +1,147 @@
+//! Embedded Linux slab allocator (`kmalloc`/`kfree`).
+//!
+//! Six size classes (32…1024 bytes). Each chunk is `[8-byte header |
+//! class-size user area]`; the header stores the class index. Freed chunks
+//! are pushed on a per-class freelist whose `next` pointer lives in the
+//! first user word (as in the real SLUB allocator — which is exactly why
+//! sanitizers must tolerate allocator-internal accesses to freed memory).
+
+use embsan_asm::builder::Asm;
+use embsan_asm::ir::GlobalDef;
+use embsan_asm::sanabi::stubs;
+use embsan_emu::isa::Reg;
+
+use super::AllocatorPieces;
+use crate::opts::BuildOptions;
+
+/// Number of size classes.
+pub const NUM_CLASSES: usize = 6;
+/// Smallest class size in bytes.
+pub const MIN_CLASS: u32 = 32;
+/// Largest class size in bytes (larger requests fail).
+pub const MAX_CLASS: u32 = 1024;
+/// Chunk header bytes preceding each user area.
+pub const HEADER: u32 = 8;
+
+/// Emits `kmalloc`, `kfree` and `slab_init`.
+pub fn emit(opts: &BuildOptions) -> AllocatorPieces {
+    let san = opts.san.is_instrumented();
+    let mut asm = Asm::new();
+
+    // slab_init(): heap_brk = __heap_start; freelists already zeroed (bss).
+    asm.func("slab_init");
+    asm.la(Reg::A0, "__heap_start");
+    asm.la(Reg::A1, "heap_brk");
+    asm.sw(Reg::A0, Reg::A1, 0);
+    asm.ret();
+
+    // kmalloc(a0 = size) -> a0 = user ptr (0 on failure).
+    asm.func("kmalloc");
+    asm.prologue(&[Reg::R7, Reg::R8]);
+    asm.mv(Reg::R7, Reg::A0); // r7 = requested size
+    // Class selection: a2 = index, a3 = class size.
+    asm.beq(Reg::A0, Reg::R0, "kmalloc.fail"); // zero-size alloc fails
+    asm.li(Reg::A2, 0);
+    asm.li(Reg::A3, i64::from(MIN_CLASS));
+    asm.label("kmalloc.class");
+    asm.bgeu(Reg::A3, Reg::R7, "kmalloc.classed");
+    asm.slli(Reg::A3, Reg::A3, 1);
+    asm.addi(Reg::A2, Reg::A2, 1);
+    asm.li(Reg::A4, NUM_CLASSES as i64);
+    asm.blt(Reg::A2, Reg::A4, "kmalloc.class");
+    asm.jump("kmalloc.fail");
+    asm.label("kmalloc.classed");
+    // a4 = &slab_heads[class]
+    asm.la(Reg::A4, "slab_heads");
+    asm.slli(Reg::A1, Reg::A2, 2);
+    asm.add(Reg::A4, Reg::A4, Reg::A1);
+    asm.lw(Reg::A1, Reg::A4, 0); // head
+    asm.beq(Reg::A1, Reg::R0, "kmalloc.carve");
+    // Pop from freelist: head's first user word is the next pointer.
+    asm.lw(Reg::A5, Reg::A1, 0);
+    asm.sw(Reg::A5, Reg::A4, 0);
+    asm.mv(Reg::R8, Reg::A1); // r8 = user ptr
+    asm.jump("kmalloc.done");
+    asm.label("kmalloc.carve");
+    // Carve a fresh chunk at the bump pointer.
+    asm.la(Reg::A4, "heap_brk");
+    asm.lw(Reg::A1, Reg::A4, 0); // a1 = chunk base
+    asm.addi(Reg::A5, Reg::A3, HEADER as i32);
+    asm.add(Reg::A5, Reg::A1, Reg::A5); // a5 = new brk
+    asm.la(Reg::A0, "__heap_end");
+    asm.bltu(Reg::A0, Reg::A5, "kmalloc.fail");
+    asm.sw(Reg::A5, Reg::A4, 0);
+    asm.sw(Reg::A2, Reg::A1, 0); // header: class index
+    asm.addi(Reg::R8, Reg::A1, HEADER as i32);
+    asm.label("kmalloc.done");
+    if san {
+        // __san_alloc(addr = r8, size = r7)
+        asm.mv(Reg::A0, Reg::R8);
+        asm.mv(Reg::A1, Reg::R7);
+        asm.call(stubs::ALLOC);
+    }
+    asm.mv(Reg::A0, Reg::R8);
+    asm.epilogue(&[Reg::R7, Reg::R8]);
+    asm.label("kmalloc.fail");
+    asm.li(Reg::A0, 0);
+    asm.epilogue(&[Reg::R7, Reg::R8]);
+
+    // kfree(a0 = user ptr); frees nothing on NULL.
+    asm.func("kfree");
+    asm.prologue(&[Reg::R7]);
+    asm.beq(Reg::A0, Reg::R0, "kfree.out");
+    asm.mv(Reg::R7, Reg::A0);
+    if san {
+        asm.call(stubs::FREE); // a0 is already the pointer
+    }
+    // Push onto the class freelist: next ptr into the first user word.
+    asm.lw(Reg::A2, Reg::R7, -(HEADER as i32)); // class index from header
+    asm.la(Reg::A4, "slab_heads");
+    asm.slli(Reg::A1, Reg::A2, 2);
+    asm.add(Reg::A4, Reg::A4, Reg::A1);
+    asm.lw(Reg::A1, Reg::A4, 0);
+    asm.sw(Reg::A1, Reg::R7, 0);
+    asm.sw(Reg::R7, Reg::A4, 0);
+    asm.label("kfree.out");
+    asm.epilogue(&[Reg::R7]);
+
+    AllocatorPieces {
+        asm,
+        globals: vec![
+            GlobalDef::plain("slab_heads", vec![0; NUM_CLASSES * 4]),
+            GlobalDef::plain("heap_brk", vec![0; 4]),
+        ],
+        no_instrument: vec!["slab_init".into(), "kmalloc".into(), "kfree".into()],
+        init_fn: "slab_init",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opts::SanMode;
+    use embsan_asm::ir::{AInsn, TextItem};
+    use embsan_emu::profile::Arch;
+
+    #[test]
+    fn emits_allocator_functions() {
+        let pieces = emit(&BuildOptions::new(Arch::Armv));
+        let mut p = embsan_asm::ir::Program::new();
+        p.text = pieces.asm.into_items();
+        assert!(p.defines_function("kmalloc"));
+        assert!(p.defines_function("kfree"));
+        assert!(p.defines_function("slab_init"));
+    }
+
+    #[test]
+    fn san_hooks_only_in_instrumented_builds() {
+        let has_alloc_hook = |opts: &BuildOptions| {
+            emit(opts).asm.items().iter().any(|i| {
+                matches!(i, TextItem::Insn(AInsn::Call { target }) if target == stubs::ALLOC)
+            })
+        };
+        assert!(!has_alloc_hook(&BuildOptions::new(Arch::Armv)));
+        assert!(has_alloc_hook(&BuildOptions::new(Arch::Armv).san(SanMode::SanCall)));
+        assert!(has_alloc_hook(&BuildOptions::new(Arch::Armv).san(SanMode::NativeKasan)));
+    }
+}

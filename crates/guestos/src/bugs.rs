@@ -1,0 +1,404 @@
+//! The seeded bug corpus.
+//!
+//! Two populations, mirroring the paper's evaluation:
+//!
+//! - [`KNOWN_BUGS`]: the 25 previously-found, reproducible KASAN bugs of
+//!   Table 2 (kernel version and location strings taken verbatim from the
+//!   paper). The last two are **global** out-of-bounds bugs — the class
+//!   EMBSAN-D cannot detect because it lacks compile-time global redzones.
+//! - [`LATENT_BUGS`]: the 41 "new" bugs of Tables 3/4, keyed by firmware
+//!   and location, reachable through the fuzzer executor.
+//!
+//! Each bug becomes a gated syscall handler: two single-byte comparisons on
+//! the key argument must pass before the buggy code runs. The staged gates
+//! make the bugs discoverable by a coverage-guided fuzzer (each stage is a
+//! separate branch) while keeping them invisible to blind replay — the same
+//! shape as magic-value conditions in real kernel code paths.
+
+use embsan_asm::builder::Asm;
+use embsan_asm::ir::GlobalDef;
+use embsan_emu::isa::Reg;
+
+/// Classification of a seeded bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BugKind {
+    /// Heap out-of-bounds write (into the slack/redzone past the object).
+    OobWrite,
+    /// Heap out-of-bounds write far past the object, into unallocated heap
+    /// (detectable only when the heap region is pre-poisoned — i.e. when
+    /// the prober could establish heap bounds; the binary-only mode's
+    /// tail redzones miss it).
+    OobWriteFar,
+    /// Heap out-of-bounds read.
+    OobRead,
+    /// Use after free.
+    Uaf,
+    /// Double free.
+    DoubleFree,
+    /// Null-pointer dereference.
+    NullDeref,
+    /// Out-of-bounds access on a global object (needs compile-time
+    /// redzones to detect — the EMBSAN-C / EMBSAN-D capability gap).
+    GlobalOob,
+    /// Data race on a shared counter against the background task.
+    Race,
+    /// Read of a freshly allocated, never-written heap buffer (detected by
+    /// the UMSAN extension engine, not by KASAN/KCSAN).
+    UninitRead,
+}
+
+impl BugKind {
+    /// The bug-class column label used in Tables 2/3/4.
+    pub fn paper_class(self) -> &'static str {
+        match self {
+            BugKind::OobWrite | BugKind::OobRead | BugKind::OobWriteFar => "OOB Access",
+            BugKind::Uaf => "UAF",
+            BugKind::DoubleFree => "Double Free",
+            BugKind::NullDeref => "Null-pointer-deref",
+            BugKind::GlobalOob => "OOB Access",
+            BugKind::Race => "Race",
+            BugKind::UninitRead => "Uninit Read",
+        }
+    }
+}
+
+/// One of the 25 previously-found bugs (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KnownBug {
+    /// Kernel version string from the paper.
+    pub kernel_version: &'static str,
+    /// Location (function) from the paper.
+    pub location: &'static str,
+    /// Seeded bug behaviour.
+    pub kind: BugKind,
+}
+
+/// The Table 2 corpus, in the paper's row order.
+pub const KNOWN_BUGS: [KnownBug; 25] = [
+    KnownBug { kernel_version: "5.17-rc2", location: "ringbuf_map_alloc", kind: BugKind::OobWrite },
+    KnownBug { kernel_version: "5.19", location: "ieee80211_scan_rx", kind: BugKind::Uaf },
+    KnownBug { kernel_version: "5.17-rc1", location: "bpf_prog_test_run_xdp", kind: BugKind::OobRead },
+    KnownBug { kernel_version: "5.17", location: "btrfs_scan_one_device", kind: BugKind::Uaf },
+    KnownBug { kernel_version: "5.19-rc1", location: "post_one_notification", kind: BugKind::Uaf },
+    KnownBug { kernel_version: "5.19-rc1", location: "post_watch_notification", kind: BugKind::Uaf },
+    KnownBug { kernel_version: "5.17-rc6", location: "watch_queue_set_filter", kind: BugKind::OobWrite },
+    KnownBug { kernel_version: "5.17-rc8", location: "free_pages", kind: BugKind::NullDeref },
+    KnownBug { kernel_version: "5.17", location: "vxlan_vnifilter_dump_dev", kind: BugKind::OobRead },
+    KnownBug { kernel_version: "5.19", location: "imageblit", kind: BugKind::OobWrite },
+    KnownBug { kernel_version: "5.19-rc4", location: "bpf_jit_free", kind: BugKind::OobRead },
+    KnownBug { kernel_version: "5.17-rc6", location: "null_skcipher_crypt", kind: BugKind::Uaf },
+    KnownBug { kernel_version: "5.18-rc6", location: "bio_poll", kind: BugKind::Uaf },
+    KnownBug { kernel_version: "5.18", location: "blk_mq_sched_free_rqs", kind: BugKind::Uaf },
+    KnownBug { kernel_version: "5.18-rc7", location: "do_sync_mmap_readahead", kind: BugKind::Uaf },
+    KnownBug { kernel_version: "5.18", location: "filp_close", kind: BugKind::Uaf },
+    KnownBug { kernel_version: "5.17-rc4", location: "setup_rw_floppy", kind: BugKind::Uaf },
+    KnownBug { kernel_version: "5.18-next", location: "driver_register", kind: BugKind::Uaf },
+    KnownBug { kernel_version: "5.17-rc4", location: "dev_uevent", kind: BugKind::Uaf },
+    KnownBug { kernel_version: "6.0", location: "run_unpack", kind: BugKind::OobWrite },
+    KnownBug { kernel_version: "5.19", location: "ath9k_hif_usb_rx_cb", kind: BugKind::Uaf },
+    KnownBug { kernel_version: "5.19-rc1", location: "vma_adjust", kind: BugKind::Uaf },
+    KnownBug { kernel_version: "6.0-rc7", location: "nilfs_mdt_destroy", kind: BugKind::Uaf },
+    // The two global out-of-bounds bugs detectable only with compile-time
+    // redzones (EMBSAN-C and native KASAN, not EMBSAN-D).
+    KnownBug { kernel_version: "5.7-rc5", location: "fbcon_get_font", kind: BugKind::GlobalOob },
+    KnownBug { kernel_version: "4.17-rc1", location: "string", kind: BugKind::GlobalOob },
+];
+
+/// One of the 41 new bugs (Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatentBug {
+    /// Firmware name from Table 4.
+    pub firmware: &'static str,
+    /// Location (subsystem path) from Table 4.
+    pub location: &'static str,
+    /// Seeded bug behaviour.
+    pub kind: BugKind,
+}
+
+/// The Table 4 corpus, in the paper's row order.
+pub const LATENT_BUGS: [LatentBug; 41] = [
+    LatentBug { firmware: "OpenWRT-armvirt", location: "fs/nfs_common", kind: BugKind::OobWrite },
+    LatentBug { firmware: "OpenWRT-armvirt", location: "net/netfilter", kind: BugKind::OobRead },
+    LatentBug { firmware: "OpenWRT-armvirt", location: "net/wireless", kind: BugKind::OobWrite },
+    LatentBug { firmware: "OpenWRT-armvirt", location: "drivers/net/ethernet/marvell", kind: BugKind::OobRead },
+    LatentBug { firmware: "OpenWRT-armvirt", location: "drivers/net/ethernet/realtek", kind: BugKind::OobWrite },
+    LatentBug { firmware: "OpenWRT-armvirt", location: "drivers/net/ethernet/atheros", kind: BugKind::DoubleFree },
+    LatentBug { firmware: "OpenWRT-bcm63xx", location: "drivers/bluetooth", kind: BugKind::OobWrite },
+    LatentBug { firmware: "OpenWRT-bcm63xx", location: "drivers/dma/bcm2835-dma", kind: BugKind::OobRead },
+    LatentBug { firmware: "OpenWRT-bcm63xx", location: "drivers/scsi/aic7xxx", kind: BugKind::OobWrite },
+    LatentBug { firmware: "OpenWRT-bcm63xx", location: "fs/btrfs", kind: BugKind::Uaf },
+    LatentBug { firmware: "OpenWRT-bcm63xx", location: "drivers/net/wireless/broadcom", kind: BugKind::Uaf },
+    LatentBug { firmware: "OpenWRT-ipq807x", location: "drivers/net/ethernet/broadcom", kind: BugKind::OobWrite },
+    LatentBug { firmware: "OpenWRT-ipq807x", location: "drivers/net/ethernet/broadcom#2", kind: BugKind::OobRead },
+    LatentBug { firmware: "OpenWRT-ipq807x", location: "net/sched", kind: BugKind::OobWrite },
+    LatentBug { firmware: "OpenWRT-ipq807x", location: "drivers/net/wireless/ath", kind: BugKind::Uaf },
+    LatentBug { firmware: "OpenWRT-ipq807x", location: "fs/fuse", kind: BugKind::DoubleFree },
+    LatentBug { firmware: "OpenWRT-mt7629", location: "drivers/net/ethernet/mediatek", kind: BugKind::OobWrite },
+    LatentBug { firmware: "OpenWRT-mt7629", location: "fs/nfs", kind: BugKind::OobRead },
+    LatentBug { firmware: "OpenWRT-mt7629", location: "net/core", kind: BugKind::DoubleFree },
+    LatentBug { firmware: "OpenWRT-mt7629", location: "drivers/dma/mediatek", kind: BugKind::DoubleFree },
+    LatentBug { firmware: "OpenWRT-rtl839x", location: "drivers/net/ethernet/realtek", kind: BugKind::OobWrite },
+    LatentBug { firmware: "OpenWRT-rtl839x", location: "drivers/net/bluetooth/realtek", kind: BugKind::Uaf },
+    LatentBug { firmware: "OpenWRT-rtl839x", location: "fs/netrom", kind: BugKind::DoubleFree },
+    LatentBug { firmware: "OpenWRT-x86_64", location: "drivers/iommu", kind: BugKind::OobWrite },
+    LatentBug { firmware: "OpenWRT-x86_64", location: "drivers/net/ethernet/realtek", kind: BugKind::OobRead },
+    LatentBug { firmware: "OpenWRT-x86_64", location: "drivers/net/ethernet/stmicro", kind: BugKind::OobWrite },
+    LatentBug { firmware: "OpenWRT-x86_64", location: "drivers/net/wireless/intel/iwlwifi", kind: BugKind::OobRead },
+    LatentBug { firmware: "OpenWRT-x86_64", location: "drivers/net/wireless/broadcom/b43", kind: BugKind::OobWrite },
+    LatentBug { firmware: "OpenWRT-x86_64", location: "fs/btrfs", kind: BugKind::Race },
+    LatentBug { firmware: "OpenWRT-x86_64", location: "fs/btrfs#2", kind: BugKind::Race },
+    LatentBug { firmware: "OpenHarmony-rk3566", location: "fs/nfs", kind: BugKind::OobWrite },
+    LatentBug { firmware: "OpenHarmony-rk3566", location: "fs/nfs_common", kind: BugKind::OobRead },
+    LatentBug { firmware: "OpenHarmony-rk3566", location: "net/sched", kind: BugKind::Uaf },
+    LatentBug { firmware: "OpenHarmony-stm32mp1", location: "fs/vfs", kind: BugKind::OobWrite },
+    LatentBug { firmware: "OpenHarmony-stm32f407", location: "fs/vfs", kind: BugKind::OobWrite },
+    LatentBug { firmware: "OpenHarmony-stm32f407", location: "fs/fat", kind: BugKind::OobRead },
+    LatentBug { firmware: "InfiniTime", location: "src/libs/littlefs/", kind: BugKind::OobWrite },
+    LatentBug { firmware: "InfiniTime", location: "src/drivers/Spi", kind: BugKind::OobRead },
+    LatentBug { firmware: "InfiniTime", location: "src/drivers/St7789", kind: BugKind::Uaf },
+    LatentBug { firmware: "TP-Link WDR-7660", location: "pppoed", kind: BugKind::OobWrite },
+    LatentBug { firmware: "TP-Link WDR-7660", location: "dhcpsd", kind: BugKind::OobRead },
+];
+
+/// A bug instance prepared for code generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BugSpec {
+    /// Human-readable location (Table 2/4 string).
+    pub location: String,
+    /// Behaviour.
+    pub kind: BugKind,
+}
+
+impl BugSpec {
+    /// Creates a spec.
+    pub fn new(location: &str, kind: BugKind) -> BugSpec {
+        BugSpec { location: location.to_string(), kind }
+    }
+}
+
+/// FNV-1a hash of a location string (used to derive gate bytes).
+fn fnv(text: &str) -> u32 {
+    let mut hash: u32 = 0x811C_9DC5;
+    for byte in text.bytes() {
+        hash ^= u32::from(byte);
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
+}
+
+/// The two gate bytes a trigger key must carry for this location.
+pub fn gate_stages(location: &str) -> [u8; 2] {
+    let hash = fnv(location);
+    [(hash & 0xFF) as u8, ((hash >> 8) & 0xFF) as u8]
+}
+
+/// The key argument that opens both gates — the "reproducer" value.
+pub fn trigger_key(location: &str) -> u32 {
+    let [s0, s1] = gate_stages(location);
+    u32::from(s0) | u32::from(s1) << 8
+}
+
+/// Turns a location string into a symbol-safe suffix.
+pub fn symbolize(location: &str) -> String {
+    location
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Size of the heap object allocated by heap-bug bodies.
+pub const BUG_OBJ_SIZE: i64 = 24;
+/// Offset past the object used by OOB bodies (lands in slack/redzone).
+pub const BUG_OOB_OFFSET: i32 = 28;
+/// Far-OOB offset: well past the chunk and its header, into unallocated
+/// heap.
+pub const BUG_OOB_FAR_OFFSET: i32 = 160;
+/// Size of each global-OOB bug's victim global.
+pub const BUG_GLOBAL_SIZE: u32 = 40;
+/// OOB offset used on globals (4 bytes past the object).
+pub const BUG_GLOBAL_OOB_OFFSET: i32 = 44;
+/// Iterations of the racy increment loop in race-bug bodies.
+pub const RACE_ITERS: i64 = 64;
+
+/// Emits `sys_bug_<index>` implementing `spec`, gated on the key argument.
+///
+/// Global-OOB bugs add their victim global to `globals`.
+pub fn emit_bug_handler(
+    asm: &mut Asm,
+    globals: &mut Vec<GlobalDef>,
+    index: usize,
+    spec: &BugSpec,
+    alloc_fn: &str,
+    free_fn: &str,
+) -> String {
+    let name = format!("sys_bug_{index}");
+    let [s0, s1] = gate_stages(&spec.location);
+    let out = format!("{name}.out");
+    asm.func(&name);
+    asm.prologue(&[Reg::R7]);
+    // Gate stage 1: low key byte.
+    asm.andi(Reg::A1, Reg::A0, 0xFF);
+    asm.li(Reg::A2, i64::from(s0));
+    asm.bne(Reg::A1, Reg::A2, &out);
+    // Gate stage 2: second key byte (a separate branch, so coverage-guided
+    // fuzzers climb the stages one at a time).
+    asm.srli(Reg::A1, Reg::A0, 8);
+    asm.andi(Reg::A1, Reg::A1, 0xFF);
+    asm.li(Reg::A2, i64::from(s1));
+    asm.bne(Reg::A1, Reg::A2, &out);
+
+    match spec.kind {
+        BugKind::OobWrite => {
+            asm.li(Reg::A0, BUG_OBJ_SIZE);
+            asm.call(alloc_fn);
+            asm.beq(Reg::A0, Reg::R0, &out);
+            asm.li(Reg::A1, 0x41);
+            asm.sb(Reg::A1, Reg::A0, BUG_OOB_OFFSET);
+        }
+        BugKind::OobWriteFar => {
+            asm.li(Reg::A0, BUG_OBJ_SIZE);
+            asm.call(alloc_fn);
+            asm.beq(Reg::A0, Reg::R0, &out);
+            asm.li(Reg::A1, 0x43);
+            asm.sb(Reg::A1, Reg::A0, BUG_OOB_FAR_OFFSET);
+        }
+        BugKind::OobRead => {
+            asm.li(Reg::A0, BUG_OBJ_SIZE);
+            asm.call(alloc_fn);
+            asm.beq(Reg::A0, Reg::R0, &out);
+            asm.lbu(Reg::A1, Reg::A0, BUG_OOB_OFFSET);
+        }
+        BugKind::Uaf => {
+            asm.li(Reg::A0, BUG_OBJ_SIZE);
+            asm.call(alloc_fn);
+            asm.beq(Reg::A0, Reg::R0, &out);
+            asm.mv(Reg::R7, Reg::A0);
+            asm.call(free_fn);
+            asm.lw(Reg::A1, Reg::R7, 4);
+        }
+        BugKind::DoubleFree => {
+            asm.li(Reg::A0, BUG_OBJ_SIZE);
+            asm.call(alloc_fn);
+            asm.beq(Reg::A0, Reg::R0, &out);
+            asm.mv(Reg::R7, Reg::A0);
+            asm.call(free_fn);
+            asm.mv(Reg::A0, Reg::R7);
+            asm.call(free_fn);
+        }
+        BugKind::NullDeref => {
+            asm.lw(Reg::A1, Reg::R0, 8);
+        }
+        BugKind::GlobalOob => {
+            let victim = format!("g_{}", symbolize(&spec.location));
+            globals.push(GlobalDef::zeroed(&victim, BUG_GLOBAL_SIZE));
+            asm.la(Reg::A0, &victim);
+            asm.li(Reg::A1, 0x42);
+            asm.sb(Reg::A1, Reg::A0, BUG_GLOBAL_OOB_OFFSET);
+        }
+        BugKind::UninitRead => {
+            // Allocate and immediately read — addressable (KASAN-clean)
+            // but uninitialized.
+            asm.li(Reg::A0, BUG_OBJ_SIZE);
+            asm.call(alloc_fn);
+            asm.beq(Reg::A0, Reg::R0, &out);
+            asm.lw(Reg::A1, Reg::A0, 4);
+        }
+        BugKind::Race => {
+            asm.la(Reg::A1, "racy_counter");
+            asm.li(Reg::A2, RACE_ITERS);
+            let loop_label = format!("{name}.race");
+            asm.label(&loop_label);
+            asm.lw(Reg::A3, Reg::A1, 0);
+            asm.addi(Reg::A3, Reg::A3, 1);
+            asm.sw(Reg::A3, Reg::A1, 0);
+            asm.addi(Reg::A2, Reg::A2, -1);
+            asm.bne(Reg::A2, Reg::R0, &loop_label);
+        }
+    }
+    asm.label(&out);
+    asm.li(Reg::A0, 0);
+    asm.epilogue(&[Reg::R7]);
+    name
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_shape_matches_paper() {
+        assert_eq!(KNOWN_BUGS.len(), 25);
+        // The last two are the global-OOB bugs EMBSAN-D must miss.
+        assert_eq!(KNOWN_BUGS[23].kind, BugKind::GlobalOob);
+        assert_eq!(KNOWN_BUGS[23].location, "fbcon_get_font");
+        assert_eq!(KNOWN_BUGS[24].kind, BugKind::GlobalOob);
+        assert_eq!(KNOWN_BUGS[24].location, "string");
+        // Exactly one null-deref (free_pages).
+        let npd: Vec<_> =
+            KNOWN_BUGS.iter().filter(|b| b.kind == BugKind::NullDeref).collect();
+        assert_eq!(npd.len(), 1);
+        assert_eq!(npd[0].location, "free_pages");
+    }
+
+    #[test]
+    fn table4_counts_match_table3() {
+        assert_eq!(LATENT_BUGS.len(), 41);
+        let count = |fw: &str, class: &str| {
+            LATENT_BUGS
+                .iter()
+                .filter(|b| b.firmware == fw && b.kind.paper_class() == class)
+                .count()
+        };
+        // Table 3's classification rows.
+        assert_eq!(count("OpenWRT-armvirt", "OOB Access"), 5);
+        assert_eq!(count("OpenWRT-armvirt", "Double Free"), 1);
+        assert_eq!(count("OpenWRT-bcm63xx", "OOB Access"), 3);
+        assert_eq!(count("OpenWRT-bcm63xx", "UAF"), 2);
+        assert_eq!(count("OpenWRT-ipq807x", "OOB Access"), 3);
+        assert_eq!(count("OpenWRT-ipq807x", "UAF"), 1);
+        assert_eq!(count("OpenWRT-ipq807x", "Double Free"), 1);
+        assert_eq!(count("OpenWRT-mt7629", "OOB Access"), 2);
+        assert_eq!(count("OpenWRT-mt7629", "Double Free"), 2);
+        assert_eq!(count("OpenWRT-rtl839x", "OOB Access"), 1);
+        assert_eq!(count("OpenWRT-rtl839x", "UAF"), 1);
+        assert_eq!(count("OpenWRT-rtl839x", "Double Free"), 1);
+        assert_eq!(count("OpenWRT-x86_64", "OOB Access"), 5);
+        assert_eq!(count("OpenWRT-x86_64", "Race"), 2);
+        assert_eq!(count("OpenHarmony-rk3566", "OOB Access"), 2);
+        assert_eq!(count("OpenHarmony-rk3566", "UAF"), 1);
+        assert_eq!(count("OpenHarmony-stm32mp1", "OOB Access"), 1);
+        assert_eq!(count("OpenHarmony-stm32f407", "OOB Access"), 2);
+        assert_eq!(count("InfiniTime", "OOB Access"), 2);
+        assert_eq!(count("InfiniTime", "UAF"), 1);
+        assert_eq!(count("TP-Link WDR-7660", "OOB Access"), 2);
+    }
+
+    #[test]
+    fn gates_are_deterministic_and_distinct() {
+        let a = gate_stages("fs/btrfs");
+        assert_eq!(a, gate_stages("fs/btrfs"));
+        assert_ne!(gate_stages("fs/btrfs"), gate_stages("fs/nfs"));
+        let key = trigger_key("fs/btrfs");
+        assert_eq!((key & 0xFF) as u8, a[0]);
+        assert_eq!(((key >> 8) & 0xFF) as u8, a[1]);
+    }
+
+    #[test]
+    fn symbolize_is_symbol_safe() {
+        assert_eq!(symbolize("drivers/net/ethernet#2"), "drivers_net_ethernet_2");
+    }
+
+    #[test]
+    fn emit_produces_handler_and_globals() {
+        let mut asm = Asm::new();
+        let mut globals = Vec::new();
+        let spec = BugSpec::new("fbcon_get_font", BugKind::GlobalOob);
+        let name = emit_bug_handler(&mut asm, &mut globals, 3, &spec, "kmalloc", "kfree");
+        assert_eq!(name, "sys_bug_3");
+        assert_eq!(globals.len(), 1);
+        assert!(globals[0].name.starts_with("g_"));
+        let mut p = embsan_asm::ir::Program::new();
+        p.text = asm.into_items();
+        assert!(p.defines_function("sys_bug_3"));
+    }
+}

@@ -1,0 +1,498 @@
+//! The fuzzer executor: guest-side syscall dispatch fed by the mailbox
+//! device, plus the host-side test-program encoding.
+//!
+//! This plays the role of Syzkaller's executor / Tardis's injected test
+//! programs: the host serializes an [`ExecProgram`] into the mailbox, the
+//! guest's `executor_loop` decodes it call by call, dispatches through the
+//! firmware's syscall table, and writes one result byte per call back.
+//!
+//! Wire format: `[n_calls u8]` then per call `[nr u8][argc u8][argc × u32 LE]`.
+
+use embsan_asm::builder::Asm;
+use embsan_asm::ir::GlobalDef;
+use embsan_emu::device;
+use embsan_emu::isa::Reg;
+use embsan_emu::profile::ArchProfile;
+
+use crate::opts::BuildOptions;
+
+/// Maximum calls per program.
+pub const MAX_CALLS: usize = 64;
+/// Maximum arguments per call.
+pub const MAX_ARGS: usize = 4;
+/// Capacity of the guest syscall table.
+pub const SYS_TABLE_CAP: usize = 64;
+/// Result byte returned for out-of-range syscall numbers.
+pub const BAD_SYSCALL_RESULT: u8 = 0xFF;
+
+/// Base syscall numbers common to every OS flavour.
+pub mod sys {
+    /// `nop()` → 0.
+    pub const NOP: u8 = 0;
+    /// `echo(x)` → x (low byte).
+    pub const ECHO: u8 = 1;
+    /// `alloc(size, slot)` → nonzero on success.
+    pub const ALLOC: u8 = 2;
+    /// `free(slot)`.
+    pub const FREE: u8 = 3;
+    /// `write(slot, off, val)`: bounded store into the object.
+    pub const WRITE: u8 = 4;
+    /// `read(slot, off)`: bounded load.
+    pub const READ: u8 = 5;
+    /// `fill(slot, byte)`: memset the object.
+    pub const FILL: u8 = 6;
+    /// `copy(dst_slot, src_slot)`: memcpy between objects.
+    pub const COPY: u8 = 7;
+    /// `stat()`: locked shared-counter increment.
+    pub const STAT: u8 = 8;
+    /// `hash(n)`: cpu-bound mixing loop.
+    pub const HASH: u8 = 9;
+    /// First bug-syscall number.
+    pub const BUG_BASE: u8 = 16;
+}
+
+/// One syscall invocation in a test program.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ExecCall {
+    /// Syscall number.
+    pub nr: u8,
+    /// Arguments (at most [`MAX_ARGS`]).
+    pub args: Vec<u32>,
+}
+
+impl ExecCall {
+    /// Creates a call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_ARGS`] arguments are given.
+    pub fn new(nr: u8, args: &[u32]) -> ExecCall {
+        assert!(args.len() <= MAX_ARGS, "at most {MAX_ARGS} arguments");
+        ExecCall { nr, args: args.to_vec() }
+    }
+}
+
+/// A serializable test program.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct ExecProgram {
+    /// The calls, executed in order.
+    pub calls: Vec<ExecCall>,
+}
+
+impl ExecProgram {
+    /// Creates an empty program.
+    pub fn new() -> ExecProgram {
+        ExecProgram::default()
+    }
+
+    /// Appends a call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program already has [`MAX_CALLS`] calls or the call has
+    /// too many arguments.
+    pub fn push(&mut self, nr: u8, args: &[u32]) -> &mut Self {
+        assert!(self.calls.len() < MAX_CALLS, "at most {MAX_CALLS} calls");
+        self.calls.push(ExecCall::new(nr, args));
+        self
+    }
+
+    /// Serializes to the mailbox wire format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![self.calls.len() as u8];
+        for call in &self.calls {
+            out.push(call.nr);
+            out.push(call.args.len() as u8);
+            for arg in &call.args {
+                out.extend_from_slice(&arg.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parses the wire format (used for corpus storage round-trips).
+    pub fn decode(bytes: &[u8]) -> Option<ExecProgram> {
+        let mut program = ExecProgram::new();
+        let (&n, mut rest) = bytes.split_first()?;
+        for _ in 0..n {
+            let (&nr, r) = rest.split_first()?;
+            let (&argc, mut r) = r.split_first()?;
+            if usize::from(argc) > MAX_ARGS {
+                return None;
+            }
+            let mut args = Vec::with_capacity(argc.into());
+            for _ in 0..argc {
+                let (word, r2) = r.split_first_chunk::<4>()?;
+                args.push(u32::from_le_bytes(*word));
+                r = r2;
+            }
+            program.calls.push(ExecCall { nr, args });
+            rest = r;
+        }
+        if rest.is_empty() {
+            Some(program)
+        } else {
+            None
+        }
+    }
+}
+
+/// Emits the mailbox helpers, the executor loop, the base syscalls and the
+/// `syscalls_init` table builder.
+///
+/// `alloc_fn`/`free_fn` are the OS's allocator entry points; `extra` maps
+/// additional syscall numbers to handler function names (bug syscalls).
+pub fn emit(
+    opts: &BuildOptions,
+    alloc_fn: &str,
+    free_fn: &str,
+    extra: &[(u8, String)],
+) -> (Asm, Vec<GlobalDef>, Vec<String>) {
+    let profile = ArchProfile::for_arch(opts.arch);
+    let mb = profile.mmio_base + device::MAILBOX_BASE;
+    let status = i64::from(mb);
+    let next = i64::from(mb + 8);
+    let result = i64::from(mb + 12);
+    let mut asm = Asm::new();
+
+    // mb_read_byte() -> a0; clobbers a1.
+    asm.func("mb_read_byte");
+    asm.li(Reg::A1, next);
+    asm.lw(Reg::A0, Reg::A1, 0);
+    asm.ret();
+
+    // mb_read_word() -> a0 (little-endian assembly); clobbers a0-a3.
+    asm.func("mb_read_word");
+    asm.prologue(&[]);
+    asm.li(Reg::A2, 0);
+    asm.li(Reg::A3, 0);
+    asm.label("mb_read_word.loop");
+    asm.call("mb_read_byte");
+    asm.sll(Reg::A0, Reg::A0, Reg::A3);
+    asm.or(Reg::A2, Reg::A2, Reg::A0);
+    asm.addi(Reg::A3, Reg::A3, 8);
+    asm.slti(Reg::A1, Reg::A3, 32);
+    asm.bne(Reg::A1, Reg::R0, "mb_read_word.loop");
+    asm.mv(Reg::A0, Reg::A2);
+    asm.epilogue(&[]);
+
+    // executor_loop(): never returns.
+    asm.func("executor_loop");
+    asm.li(Reg::R7, status);
+    asm.label("executor_loop.wait");
+    asm.lw(Reg::A0, Reg::R7, 0);
+    asm.bne(Reg::A0, Reg::R0, "executor_loop.got");
+    asm.wfi();
+    asm.jump("executor_loop.wait");
+    asm.label("executor_loop.got");
+    asm.call("mb_read_byte");
+    asm.mv(Reg::R8, Reg::A0); // remaining calls
+    asm.label("executor_loop.calls");
+    asm.beq(Reg::R8, Reg::R0, "executor_loop.wait");
+    asm.call("mb_read_byte");
+    asm.mv(Reg::R9, Reg::A0); // syscall nr
+    asm.call("mb_read_byte");
+    asm.mv(Reg::A4, Reg::A0); // argc
+    // Argument slots on the stack, zeroed.
+    asm.addi(Reg::SP, Reg::SP, -16);
+    for slot in 0..4 {
+        asm.sw(Reg::R0, Reg::SP, slot * 4);
+    }
+    asm.li(Reg::A5, 0); // index
+    asm.label("executor_loop.args");
+    asm.bgeu(Reg::A5, Reg::A4, "executor_loop.dispatch");
+    asm.call("mb_read_word"); // preserves a4/a5
+    asm.li(Reg::A1, 4);
+    asm.bgeu(Reg::A5, Reg::A1, "executor_loop.argnext"); // excess args dropped
+    asm.slli(Reg::A1, Reg::A5, 2);
+    asm.add(Reg::A1, Reg::A1, Reg::SP);
+    asm.sw(Reg::A0, Reg::A1, 0);
+    asm.label("executor_loop.argnext");
+    asm.addi(Reg::A5, Reg::A5, 1);
+    asm.jump("executor_loop.args");
+    asm.label("executor_loop.dispatch");
+    asm.la(Reg::A1, "sys_count");
+    asm.lw(Reg::A1, Reg::A1, 0);
+    asm.bgeu(Reg::R9, Reg::A1, "executor_loop.badnr");
+    asm.la(Reg::A1, "sys_table");
+    asm.slli(Reg::A2, Reg::R9, 2);
+    asm.add(Reg::A1, Reg::A1, Reg::A2);
+    asm.lw(Reg::R9, Reg::A1, 0); // handler address
+    asm.lw(Reg::A0, Reg::SP, 0);
+    asm.lw(Reg::A1, Reg::SP, 4);
+    asm.lw(Reg::A2, Reg::SP, 8);
+    asm.lw(Reg::A3, Reg::SP, 12);
+    asm.call_reg(Reg::R9);
+    asm.jump("executor_loop.result");
+    asm.label("executor_loop.badnr");
+    asm.li(Reg::A0, i64::from(BAD_SYSCALL_RESULT));
+    asm.label("executor_loop.result");
+    asm.addi(Reg::SP, Reg::SP, 16);
+    asm.li(Reg::A1, result);
+    asm.sw(Reg::A0, Reg::A1, 0);
+    asm.addi(Reg::R8, Reg::R8, -1);
+    asm.jump("executor_loop.calls");
+
+    emit_base_syscalls(&mut asm, alloc_fn, free_fn);
+
+    // syscalls_init(): fill the dispatch table.
+    let mut entries: Vec<(u8, String)> = vec![
+        (sys::NOP, "sys_nop".into()),
+        (sys::ECHO, "sys_echo".into()),
+        (sys::ALLOC, "sys_alloc".into()),
+        (sys::FREE, "sys_free".into()),
+        (sys::WRITE, "sys_write".into()),
+        (sys::READ, "sys_read".into()),
+        (sys::FILL, "sys_fill".into()),
+        (sys::COPY, "sys_copy".into()),
+        (sys::STAT, "sys_stat".into()),
+        (sys::HASH, "sys_hash".into()),
+    ];
+    entries.extend(extra.iter().cloned());
+    let max_nr = entries.iter().map(|(nr, _)| *nr).max().unwrap_or(0);
+    assert!(
+        usize::from(max_nr) < SYS_TABLE_CAP,
+        "syscall table capacity exceeded"
+    );
+    asm.func("syscalls_init");
+    asm.la(Reg::A1, "sys_table");
+    for (nr, handler) in &entries {
+        asm.la(Reg::A0, handler);
+        asm.sw(Reg::A0, Reg::A1, i32::from(*nr) * 4);
+    }
+    asm.li(Reg::A0, i64::from(max_nr) + 1);
+    asm.la(Reg::A1, "sys_count");
+    asm.sw(Reg::A0, Reg::A1, 0);
+    asm.ret();
+
+    let globals = vec![
+        GlobalDef::zeroed("obj_table", 8 * 8),
+        GlobalDef::plain("sys_table", vec![0; SYS_TABLE_CAP * 4]),
+        GlobalDef::plain("sys_count", vec![0; 4]),
+    ];
+    // The executor machinery itself is OS plumbing, not workload code; the
+    // base syscalls and handlers stay instrumented.
+    let no_instrument =
+        vec!["mb_read_byte".into(), "mb_read_word".into(), "executor_loop".into(), "syscalls_init".into()];
+    (asm, globals, no_instrument)
+}
+
+/// Emits the base syscall handlers shared by every OS flavour.
+fn emit_base_syscalls(asm: &mut Asm, alloc_fn: &str, free_fn: &str) {
+    // sys_nop() -> 0
+    asm.func("sys_nop");
+    asm.li(Reg::A0, 0);
+    asm.ret();
+
+    // sys_echo(x) -> x
+    asm.func("sys_echo");
+    asm.ret();
+
+    // sys_alloc(size, slot) -> ptr != 0
+    asm.func("sys_alloc");
+    asm.prologue(&[Reg::R7, Reg::R8]);
+    asm.andi(Reg::R7, Reg::A1, 7); // slot
+    asm.andi(Reg::A0, Reg::A0, 0x3FF); // clamp size to 1023
+    asm.bne(Reg::A0, Reg::R0, "sys_alloc.sized");
+    asm.li(Reg::A0, 8);
+    asm.label("sys_alloc.sized");
+    asm.mv(Reg::R8, Reg::A0); // remember size
+    asm.call(alloc_fn);
+    asm.la(Reg::A1, "obj_table");
+    asm.slli(Reg::A2, Reg::R7, 3);
+    asm.add(Reg::A1, Reg::A1, Reg::A2);
+    asm.sw(Reg::A0, Reg::A1, 0);
+    asm.sw(Reg::R8, Reg::A1, 4);
+    asm.epilogue(&[Reg::R7, Reg::R8]);
+
+    // sys_free(slot) -> 0
+    asm.func("sys_free");
+    asm.prologue(&[Reg::R7]);
+    asm.andi(Reg::A2, Reg::A0, 7);
+    asm.la(Reg::A1, "obj_table");
+    asm.slli(Reg::A3, Reg::A2, 3);
+    asm.add(Reg::A1, Reg::A1, Reg::A3);
+    asm.lw(Reg::R7, Reg::A1, 0);
+    asm.beq(Reg::R7, Reg::R0, "sys_free.out");
+    asm.sw(Reg::R0, Reg::A1, 0);
+    asm.sw(Reg::R0, Reg::A1, 4);
+    asm.mv(Reg::A0, Reg::R7);
+    asm.call(free_fn);
+    asm.label("sys_free.out");
+    asm.li(Reg::A0, 0);
+    asm.epilogue(&[Reg::R7]);
+
+    // sys_write(slot, off, val) -> 0 (1 if the slot is empty)
+    asm.func("sys_write");
+    asm.andi(Reg::A4, Reg::A0, 7);
+    asm.la(Reg::A3, "obj_table");
+    asm.slli(Reg::A4, Reg::A4, 3);
+    asm.add(Reg::A3, Reg::A3, Reg::A4);
+    asm.lw(Reg::A4, Reg::A3, 0); // ptr
+    asm.beq(Reg::A4, Reg::R0, "sys_write.empty");
+    asm.lw(Reg::A5, Reg::A3, 4); // size
+    asm.remu(Reg::A1, Reg::A1, Reg::A5); // bounded offset
+    asm.add(Reg::A4, Reg::A4, Reg::A1);
+    asm.sb(Reg::A2, Reg::A4, 0);
+    asm.li(Reg::A0, 0);
+    asm.ret();
+    asm.label("sys_write.empty");
+    asm.li(Reg::A0, 1);
+    asm.ret();
+
+    // sys_read(slot, off) -> byte (1 if empty — indistinguishable by design,
+    // like errno-less embedded APIs)
+    asm.func("sys_read");
+    asm.andi(Reg::A4, Reg::A0, 7);
+    asm.la(Reg::A3, "obj_table");
+    asm.slli(Reg::A4, Reg::A4, 3);
+    asm.add(Reg::A3, Reg::A3, Reg::A4);
+    asm.lw(Reg::A4, Reg::A3, 0);
+    asm.beq(Reg::A4, Reg::R0, "sys_read.empty");
+    asm.lw(Reg::A5, Reg::A3, 4);
+    asm.remu(Reg::A1, Reg::A1, Reg::A5);
+    asm.add(Reg::A4, Reg::A4, Reg::A1);
+    asm.lbu(Reg::A0, Reg::A4, 0);
+    asm.ret();
+    asm.label("sys_read.empty");
+    asm.li(Reg::A0, 1);
+    asm.ret();
+
+    // sys_fill(slot, byte) -> 0
+    asm.func("sys_fill");
+    asm.prologue(&[]);
+    asm.andi(Reg::A4, Reg::A0, 7);
+    asm.la(Reg::A3, "obj_table");
+    asm.slli(Reg::A4, Reg::A4, 3);
+    asm.add(Reg::A3, Reg::A3, Reg::A4);
+    asm.lw(Reg::A0, Reg::A3, 0); // dst
+    asm.beq(Reg::A0, Reg::R0, "sys_fill.out");
+    asm.lw(Reg::A2, Reg::A3, 4); // len = size
+    asm.call("memset");
+    asm.label("sys_fill.out");
+    asm.li(Reg::A0, 0);
+    asm.epilogue(&[]);
+
+    // sys_copy(dst_slot, src_slot) -> 0
+    asm.func("sys_copy");
+    asm.prologue(&[]);
+    asm.andi(Reg::A4, Reg::A0, 7);
+    asm.la(Reg::A3, "obj_table");
+    asm.slli(Reg::A4, Reg::A4, 3);
+    asm.add(Reg::A4, Reg::A3, Reg::A4);
+    asm.andi(Reg::A5, Reg::A1, 7);
+    asm.slli(Reg::A5, Reg::A5, 3);
+    asm.add(Reg::A5, Reg::A3, Reg::A5);
+    asm.lw(Reg::A0, Reg::A4, 0); // dst ptr
+    asm.lw(Reg::A1, Reg::A5, 0); // src ptr
+    asm.beq(Reg::A0, Reg::R0, "sys_copy.out");
+    asm.beq(Reg::A1, Reg::R0, "sys_copy.out");
+    asm.lw(Reg::A2, Reg::A4, 4); // dst size
+    asm.lw(Reg::A3, Reg::A5, 4); // src size
+    asm.bgeu(Reg::A3, Reg::A2, "sys_copy.go"); // len = min(dst, src)
+    asm.mv(Reg::A2, Reg::A3);
+    asm.label("sys_copy.go");
+    asm.call("memcpy");
+    asm.label("sys_copy.out");
+    asm.li(Reg::A0, 0);
+    asm.epilogue(&[]);
+
+    // sys_stat() -> new counter value (locked)
+    asm.func("sys_stat");
+    asm.prologue(&[Reg::R7]);
+    asm.la(Reg::A0, "stats_lock");
+    asm.call("lock_acquire");
+    asm.la(Reg::A1, "shared_stats");
+    asm.lw(Reg::R7, Reg::A1, 0);
+    asm.addi(Reg::R7, Reg::R7, 1);
+    asm.sw(Reg::R7, Reg::A1, 0);
+    asm.la(Reg::A0, "stats_lock");
+    asm.call("lock_release");
+    asm.mv(Reg::A0, Reg::R7);
+    asm.epilogue(&[Reg::R7]);
+
+    // sys_hash(n) -> mixed value; pure CPU work.
+    asm.func("sys_hash");
+    asm.andi(Reg::A1, Reg::A0, 0xFFF); // iterations ≤ 4095
+    asm.li(Reg::A2, 0x9E37);
+    asm.li(Reg::A3, 0x85EB_CA6Bi64);
+    asm.label("sys_hash.loop");
+    asm.beq(Reg::A1, Reg::R0, "sys_hash.done");
+    asm.mul(Reg::A2, Reg::A2, Reg::A3);
+    asm.srli(Reg::A4, Reg::A2, 13);
+    asm.xor(Reg::A2, Reg::A2, Reg::A4);
+    asm.addi(Reg::A1, Reg::A1, -1);
+    asm.jump("sys_hash.loop");
+    asm.label("sys_hash.done");
+    asm.mv(Reg::A0, Reg::A2);
+    asm.ret();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embsan_emu::profile::Arch;
+
+    #[test]
+    fn program_encoding_roundtrip() {
+        let mut program = ExecProgram::new();
+        program.push(sys::ALLOC, &[64, 0]);
+        program.push(sys::WRITE, &[0, 5, 0xAB]);
+        program.push(sys::NOP, &[]);
+        let bytes = program.encode();
+        assert_eq!(bytes[0], 3);
+        assert_eq!(ExecProgram::decode(&bytes), Some(program));
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        assert_eq!(ExecProgram::decode(&[]), None);
+        assert_eq!(ExecProgram::decode(&[1]), None); // promised call missing
+        assert_eq!(ExecProgram::decode(&[1, 0, 9]), None); // argc > MAX_ARGS
+        assert_eq!(ExecProgram::decode(&[1, 0, 1, 0xAA]), None); // short arg
+        let mut ok = ExecProgram::new();
+        ok.push(0, &[]);
+        let mut bytes = ok.encode();
+        bytes.push(0); // trailing garbage
+        assert_eq!(ExecProgram::decode(&bytes), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn too_many_args_panics() {
+        ExecProgram::new().push(0, &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn emits_executor_and_syscalls() {
+        let opts = BuildOptions::new(Arch::Armv);
+        let (asm, globals, _) = emit(&opts, "kmalloc", "kfree", &[(16, "sys_bug_0".into())]);
+        let mut p = embsan_asm::ir::Program::new();
+        p.text = asm.into_items();
+        for name in [
+            "executor_loop",
+            "mb_read_byte",
+            "mb_read_word",
+            "sys_nop",
+            "sys_alloc",
+            "sys_free",
+            "sys_write",
+            "sys_read",
+            "sys_fill",
+            "sys_copy",
+            "sys_stat",
+            "sys_hash",
+            "syscalls_init",
+        ] {
+            assert!(p.defines_function(name), "missing {name}");
+        }
+        assert!(globals.iter().any(|g| g.name == "sys_table"));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity exceeded")]
+    fn table_capacity_is_enforced() {
+        let opts = BuildOptions::new(Arch::Armv);
+        let _ = emit(&opts, "kmalloc", "kfree", &[(200, "sys_bug_0".into())]);
+    }
+}

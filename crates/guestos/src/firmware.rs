@@ -1,0 +1,176 @@
+//! The Table-1 firmware registry.
+//!
+//! Eleven firmware configurations with base OS, architecture,
+//! instrumentation mode, source availability and assigned fuzzer, exactly
+//! as the paper's Table 1. Each entry knows its share of the Table-4 latent
+//! bugs and can build itself into a runnable image.
+
+use embsan_asm::image::FirmwareImage;
+use embsan_asm::link::LinkError;
+use embsan_emu::profile::Arch;
+
+use crate::bugs::{BugKind, BugSpec, LATENT_BUGS};
+use crate::opts::{BaseOs, BuildOptions, SanMode};
+use crate::os;
+
+/// Which fuzzer the paper assigned to a firmware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fuzzer {
+    /// Syzkaller (Embedded Linux firmware).
+    Syzkaller,
+    /// Tardis (everything else).
+    Tardis,
+}
+
+impl std::fmt::Display for Fuzzer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Fuzzer::Syzkaller => "Syzkaller",
+            Fuzzer::Tardis => "Tardis",
+        })
+    }
+}
+
+/// One Table-1 row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FirmwareSpec {
+    /// Firmware name (Table 1/3/4 key).
+    pub name: &'static str,
+    /// Base operating system.
+    pub base_os: BaseOs,
+    /// Architecture.
+    pub arch: Arch,
+    /// Instrumentation mode: `true` = EMBSAN-C, `false` = EMBSAN-D.
+    pub embsan_c: bool,
+    /// Source availability.
+    pub open_source: bool,
+    /// Assigned fuzzer.
+    pub fuzzer: Fuzzer,
+}
+
+/// The eleven evaluated firmware, in Table 1's row order.
+pub const FIRMWARE: [FirmwareSpec; 11] = [
+    FirmwareSpec { name: "OpenWRT-armvirt", base_os: BaseOs::EmbeddedLinux, arch: Arch::Armv, embsan_c: true, open_source: true, fuzzer: Fuzzer::Syzkaller },
+    FirmwareSpec { name: "OpenWRT-bcm63xx", base_os: BaseOs::EmbeddedLinux, arch: Arch::Mipsv, embsan_c: false, open_source: true, fuzzer: Fuzzer::Syzkaller },
+    FirmwareSpec { name: "OpenWRT-ipq807x", base_os: BaseOs::EmbeddedLinux, arch: Arch::Armv, embsan_c: true, open_source: true, fuzzer: Fuzzer::Syzkaller },
+    FirmwareSpec { name: "OpenWRT-mt7629", base_os: BaseOs::EmbeddedLinux, arch: Arch::Armv, embsan_c: true, open_source: true, fuzzer: Fuzzer::Syzkaller },
+    FirmwareSpec { name: "OpenWRT-rtl839x", base_os: BaseOs::EmbeddedLinux, arch: Arch::Mipsv, embsan_c: false, open_source: true, fuzzer: Fuzzer::Syzkaller },
+    FirmwareSpec { name: "OpenWRT-x86_64", base_os: BaseOs::EmbeddedLinux, arch: Arch::X86v, embsan_c: true, open_source: true, fuzzer: Fuzzer::Syzkaller },
+    FirmwareSpec { name: "OpenHarmony-rk3566", base_os: BaseOs::EmbeddedLinux, arch: Arch::Armv, embsan_c: true, open_source: true, fuzzer: Fuzzer::Tardis },
+    FirmwareSpec { name: "OpenHarmony-stm32mp1", base_os: BaseOs::LiteOs, arch: Arch::Armv, embsan_c: false, open_source: true, fuzzer: Fuzzer::Tardis },
+    FirmwareSpec { name: "OpenHarmony-stm32f407", base_os: BaseOs::LiteOs, arch: Arch::Mipsv, embsan_c: false, open_source: true, fuzzer: Fuzzer::Tardis },
+    FirmwareSpec { name: "InfiniTime", base_os: BaseOs::FreeRtos, arch: Arch::Armv, embsan_c: false, open_source: true, fuzzer: Fuzzer::Tardis },
+    FirmwareSpec { name: "TP-Link WDR-7660", base_os: BaseOs::VxWorks, arch: Arch::Armv, embsan_c: false, open_source: false, fuzzer: Fuzzer::Tardis },
+];
+
+/// Looks up a firmware spec by name.
+pub fn firmware_by_name(name: &str) -> Option<&'static FirmwareSpec> {
+    FIRMWARE.iter().find(|f| f.name == name)
+}
+
+impl FirmwareSpec {
+    /// The instrumentation-mode label used in Table 1.
+    pub fn inst_mode_label(&self) -> &'static str {
+        if self.embsan_c {
+            "EmbSan-C"
+        } else {
+            "EmbSan-D"
+        }
+    }
+
+    /// This firmware's latent bugs (its Table-4 rows), in table order.
+    pub fn latent_bugs(&self) -> Vec<BugSpec> {
+        LATENT_BUGS
+            .iter()
+            .filter(|b| b.firmware == self.name)
+            .map(|b| BugSpec::new(b.location, b.kind))
+            .collect()
+    }
+
+    /// Whether this firmware needs a second vCPU (it has seeded races).
+    pub fn needs_smp(&self) -> bool {
+        self.latent_bugs().iter().any(|b| b.kind == BugKind::Race)
+    }
+
+    /// Default build options for this firmware under the given sanitizer
+    /// mode.
+    pub fn build_options(&self, san: SanMode) -> BuildOptions {
+        BuildOptions::new(self.arch)
+            .san(san)
+            .cpus(if self.needs_smp() { 2 } else { 1 })
+    }
+
+    /// The sanitizer mode matching the firmware's Table-1 instrumentation
+    /// column.
+    pub fn default_san_mode(&self) -> SanMode {
+        if self.embsan_c {
+            SanMode::SanCall
+        } else {
+            SanMode::None
+        }
+    }
+
+    /// Builds this firmware with its latent bug corpus. Closed-source
+    /// firmware comes back stripped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates linker errors.
+    pub fn build(&self, san: SanMode) -> Result<FirmwareImage, LinkError> {
+        let opts = self.build_options(san);
+        let bugs = self.latent_bugs();
+        match self.base_os {
+            BaseOs::EmbeddedLinux => os::emblinux::build(&opts, &bugs),
+            BaseOs::FreeRtos => os::freertos::build(&opts, &bugs),
+            BaseOs::LiteOs => os::liteos::build(&opts, &bugs),
+            BaseOs::VxWorks if self.open_source => os::vxworks::build_unstripped(&opts, &bugs),
+            BaseOs::VxWorks => os::vxworks::build(&opts, &bugs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_matches_table1() {
+        assert_eq!(FIRMWARE.len(), 11);
+        let by = |n: &str| firmware_by_name(n).unwrap();
+        assert_eq!(by("OpenWRT-bcm63xx").arch, Arch::Mipsv);
+        assert!(!by("OpenWRT-bcm63xx").embsan_c);
+        assert_eq!(by("OpenWRT-x86_64").arch, Arch::X86v);
+        assert_eq!(by("InfiniTime").base_os, BaseOs::FreeRtos);
+        assert_eq!(by("TP-Link WDR-7660").base_os, BaseOs::VxWorks);
+        assert!(!by("TP-Link WDR-7660").open_source);
+        assert_eq!(by("OpenHarmony-rk3566").fuzzer, Fuzzer::Tardis);
+        assert_eq!(by("OpenWRT-armvirt").fuzzer, Fuzzer::Syzkaller);
+        // Six Syzkaller targets (all OpenWRT), five Tardis targets.
+        assert_eq!(FIRMWARE.iter().filter(|f| f.fuzzer == Fuzzer::Syzkaller).count(), 6);
+    }
+
+    #[test]
+    fn latent_bug_distribution() {
+        let total: usize = FIRMWARE.iter().map(|f| f.latent_bugs().len()).sum();
+        assert_eq!(total, 41);
+        assert_eq!(firmware_by_name("OpenWRT-armvirt").unwrap().latent_bugs().len(), 6);
+        assert_eq!(firmware_by_name("TP-Link WDR-7660").unwrap().latent_bugs().len(), 2);
+        assert!(firmware_by_name("OpenWRT-x86_64").unwrap().needs_smp());
+        assert!(!firmware_by_name("InfiniTime").unwrap().needs_smp());
+    }
+
+    #[test]
+    fn closed_firmware_builds_stripped() {
+        let spec = firmware_by_name("TP-Link WDR-7660").unwrap();
+        let image = spec.build(spec.default_san_mode()).unwrap();
+        assert!(!image.has_symbols());
+    }
+
+    #[test]
+    fn every_firmware_builds_in_its_default_mode() {
+        for spec in &FIRMWARE {
+            let image = spec.build(spec.default_san_mode()).unwrap();
+            assert_eq!(image.arch, spec.arch, "{}", spec.name);
+        }
+    }
+}

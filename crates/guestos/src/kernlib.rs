@@ -1,0 +1,259 @@
+//! Shared guest kernel runtime: boot, console, memory utilities, spinlocks,
+//! and the SMP background task.
+//!
+//! Every OS flavour links this library. The boot protocol:
+//!
+//! 1. each vCPU computes its own stack from `__stack_top`;
+//! 2. secondaries spin (with `wfi`) on the `boot_release` flag;
+//! 3. the primary runs `__san_register_globals` (instrumented builds), the
+//!    OS-specific `os_init`, prints the ready banner, signals the sanitizer
+//!    (`__san_ready` on instrumented builds), passes the exported
+//!    `kernel_ready` symbol, releases the secondaries and enters the
+//!    executor loop.
+
+use embsan_asm::builder::Asm;
+use embsan_asm::ir::GlobalDef;
+use embsan_asm::sanabi::stubs;
+use embsan_emu::device;
+use embsan_emu::isa::Reg;
+use embsan_emu::profile::ArchProfile;
+
+use crate::opts::{BuildOptions, SanMode, STACK_SIZE};
+
+/// Ready-banner text printed by every firmware (the closed-firmware prober
+/// uses it as one of its ready signals).
+pub const READY_BANNER: &str = "embsan guest ready\n";
+
+/// Names of kernlib functions that must never be instrumented.
+pub const NO_INSTRUMENT: [&str; 3] = ["boot", "lock_acquire", "lock_release"];
+
+/// Emits the common runtime. The caller provides `os_init`, `os_secondary`
+/// and `executor_loop`.
+pub fn emit(opts: &BuildOptions, with_racy_bg: bool) -> (Asm, Vec<GlobalDef>) {
+    let profile = ArchProfile::for_arch(opts.arch);
+    let uart_tx = i64::from(profile.mmio_base + device::UART_BASE);
+    let power = i64::from(profile.mmio_base + device::POWER_BASE);
+    let mut asm = Asm::new();
+
+    // --- boot ---------------------------------------------------------
+    asm.func("boot");
+    asm.csrr(Reg::R1, embsan_emu::cpu::Csr::Cpuid as u16);
+    asm.li(Reg::R2, i64::from(STACK_SIZE));
+    asm.mul(Reg::R2, Reg::R1, Reg::R2);
+    asm.la(Reg::SP, "__stack_top");
+    asm.sub(Reg::SP, Reg::SP, Reg::R2);
+    asm.bne(Reg::R1, Reg::R0, "boot.secondary");
+    if opts.san.is_instrumented() {
+        if opts.san == SanMode::NativeKasan || opts.san == SanMode::NativeKcsan {
+            asm.call("__san_init");
+        }
+        asm.call(stubs::REGISTER_GLOBALS);
+    }
+    asm.call("os_init");
+    asm.la(Reg::A0, "banner_str");
+    asm.call("uart_puts");
+    if opts.san.is_instrumented() {
+        asm.call(stubs::READY);
+    }
+    // The exported ready-to-run point.
+    asm.func("kernel_ready");
+    asm.li(Reg::R1, 1);
+    asm.la(Reg::R2, "boot_release");
+    asm.sw(Reg::R1, Reg::R2, 0);
+    asm.call("executor_loop");
+    // executor_loop never returns; halt defensively.
+    asm.halt(0xDEAD);
+    asm.label("boot.secondary");
+    asm.la(Reg::R2, "boot_release");
+    asm.label("boot.spin");
+    asm.lw(Reg::R3, Reg::R2, 0);
+    asm.bne(Reg::R3, Reg::R0, "boot.go");
+    asm.wfi();
+    asm.jump("boot.spin");
+    asm.label("boot.go");
+    asm.call("os_secondary");
+    asm.label("boot.idle");
+    asm.wfi();
+    asm.jump("boot.idle");
+
+    // --- console ------------------------------------------------------
+    // uart_putc(a0 = byte); clobbers a1.
+    asm.func("uart_putc");
+    asm.li(Reg::A1, uart_tx);
+    asm.sw(Reg::A0, Reg::A1, 0);
+    asm.ret();
+
+    // uart_puts(a0 = NUL-terminated string); clobbers a0-a2.
+    asm.func("uart_puts");
+    asm.li(Reg::A2, uart_tx);
+    asm.label("uart_puts.loop");
+    asm.lbu(Reg::A1, Reg::A0, 0);
+    asm.beq(Reg::A1, Reg::R0, "uart_puts.done");
+    asm.sw(Reg::A1, Reg::A2, 0);
+    asm.addi(Reg::A0, Reg::A0, 1);
+    asm.jump("uart_puts.loop");
+    asm.label("uart_puts.done");
+    asm.ret();
+
+    // uart_put_hex(a0 = value): prints 8 lowercase hex digits; clobbers a1-a4.
+    asm.func("uart_put_hex");
+    asm.li(Reg::A4, uart_tx);
+    asm.li(Reg::A3, 28);
+    asm.label("uart_put_hex.loop");
+    asm.srl(Reg::A1, Reg::A0, Reg::A3);
+    asm.andi(Reg::A1, Reg::A1, 0xF);
+    asm.slti(Reg::A2, Reg::A1, 10);
+    asm.bne(Reg::A2, Reg::R0, "uart_put_hex.digit");
+    asm.addi(Reg::A1, Reg::A1, i32::from(b'a') - 10);
+    asm.jump("uart_put_hex.emit");
+    asm.label("uart_put_hex.digit");
+    asm.addi(Reg::A1, Reg::A1, i32::from(b'0'));
+    asm.label("uart_put_hex.emit");
+    asm.sw(Reg::A1, Reg::A4, 0);
+    asm.addi(Reg::A3, Reg::A3, -4);
+    asm.bge(Reg::A3, Reg::R0, "uart_put_hex.loop");
+    asm.ret();
+
+    // --- memory utilities ----------------------------------------------
+    // memset(a0 = dst, a1 = byte, a2 = len); returns a0 = dst.
+    asm.func("memset");
+    asm.mv(Reg::A3, Reg::A0);
+    asm.label("memset.loop");
+    asm.beq(Reg::A2, Reg::R0, "memset.done");
+    asm.sb(Reg::A1, Reg::A3, 0);
+    asm.addi(Reg::A3, Reg::A3, 1);
+    asm.addi(Reg::A2, Reg::A2, -1);
+    asm.jump("memset.loop");
+    asm.label("memset.done");
+    asm.ret();
+
+    // memcpy(a0 = dst, a1 = src, a2 = len); returns a0 = dst.
+    asm.func("memcpy");
+    asm.mv(Reg::A3, Reg::A0);
+    asm.label("memcpy.loop");
+    asm.beq(Reg::A2, Reg::R0, "memcpy.done");
+    asm.lbu(Reg::A4, Reg::A1, 0);
+    asm.sb(Reg::A4, Reg::A3, 0);
+    asm.addi(Reg::A1, Reg::A1, 1);
+    asm.addi(Reg::A3, Reg::A3, 1);
+    asm.addi(Reg::A2, Reg::A2, -1);
+    asm.jump("memcpy.loop");
+    asm.label("memcpy.done");
+    asm.ret();
+
+    // --- panic ----------------------------------------------------------
+    // panic(a0 = code): prints and powers off with that code.
+    asm.func("panic");
+    asm.mv(Reg::R7, Reg::A0);
+    asm.la(Reg::A0, "panic_str");
+    asm.call("uart_puts");
+    asm.li(Reg::A1, power);
+    asm.sw(Reg::R7, Reg::A1, 0);
+    asm.label("panic.spin");
+    asm.wfi();
+    asm.jump("panic.spin");
+
+    // --- spinlocks -------------------------------------------------------
+    // lock_acquire(a0 = &lock); clobbers a1.
+    asm.func("lock_acquire");
+    asm.label("lock_acquire.retry");
+    asm.li(Reg::A1, 1);
+    asm.amoswp(Reg::A1, Reg::A0, Reg::A1);
+    asm.bne(Reg::A1, Reg::R0, "lock_acquire.retry");
+    asm.ret();
+
+    // lock_release(a0 = &lock); clobbers a1.
+    asm.func("lock_release");
+    asm.amoswp(Reg::A1, Reg::A0, Reg::R0);
+    asm.ret();
+
+    // --- background task (secondary CPU) ---------------------------------
+    // Locked stats heartbeat; firmware with seeded race bugs also touches
+    // `racy_counter` without synchronization (the other half of the race).
+    asm.func("bg_task");
+    asm.la(Reg::R7, "shared_stats");
+    asm.la(Reg::R8, "stats_lock");
+    asm.la(Reg::R9, "racy_counter");
+    asm.label("bg_task.loop");
+    asm.mv(Reg::A0, Reg::R8);
+    asm.call("lock_acquire");
+    asm.lw(Reg::A1, Reg::R7, 0);
+    asm.addi(Reg::A1, Reg::A1, 1);
+    asm.sw(Reg::A1, Reg::R7, 0);
+    asm.mv(Reg::A0, Reg::R8);
+    asm.call("lock_release");
+    if with_racy_bg {
+        asm.lw(Reg::A1, Reg::R9, 0);
+        asm.addi(Reg::A1, Reg::A1, 1);
+        asm.sw(Reg::A1, Reg::R9, 0);
+    }
+    asm.jump("bg_task.loop");
+
+    let globals = vec![
+        GlobalDef::plain("banner_str", format!("{READY_BANNER}\0").into_bytes()),
+        GlobalDef::plain("panic_str", b"guest panic\n\0".to_vec()),
+        GlobalDef::plain("boot_release", vec![0; 4]),
+        GlobalDef::zeroed("shared_stats", 4),
+        GlobalDef::plain("stats_lock", vec![0; 4]),
+        GlobalDef::zeroed("racy_counter", 4),
+    ];
+    (asm, globals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embsan_emu::profile::Arch;
+
+    #[test]
+    fn emits_all_runtime_functions() {
+        let opts = BuildOptions::new(Arch::Armv);
+        let (asm, globals) = emit(&opts, true);
+        let mut program = embsan_asm::ir::Program::new();
+        program.text = asm.into_items();
+        for name in [
+            "boot",
+            "kernel_ready",
+            "uart_putc",
+            "uart_puts",
+            "uart_put_hex",
+            "memset",
+            "memcpy",
+            "panic",
+            "lock_acquire",
+            "lock_release",
+            "bg_task",
+        ] {
+            assert!(program.defines_function(name), "missing {name}");
+        }
+        assert!(globals.iter().any(|g| g.name == "banner_str"));
+    }
+
+    #[test]
+    fn instrumented_boot_calls_sanitizer_hooks() {
+        let opts = BuildOptions::new(Arch::Armv).san(SanMode::SanCall);
+        let (asm, _) = emit(&opts, false);
+        let calls: Vec<String> = asm
+            .items()
+            .iter()
+            .filter_map(|i| match i {
+                embsan_asm::ir::TextItem::Insn(embsan_asm::ir::AInsn::Call { target }) => {
+                    Some(target.clone())
+                }
+                _ => None,
+            })
+            .collect();
+        assert!(calls.contains(&stubs::REGISTER_GLOBALS.to_string()));
+        assert!(calls.contains(&stubs::READY.to_string()));
+        // SanCall links the dummy library, not a guest-native init.
+        assert!(!calls.contains(&"__san_init".to_string()));
+    }
+
+    #[test]
+    fn racy_background_writes_only_when_requested() {
+        let opts = BuildOptions::new(Arch::Armv);
+        let (with_race, _) = emit(&opts, true);
+        let (without, _) = emit(&opts, false);
+        assert!(with_race.items().len() > without.items().len());
+    }
+}

@@ -1,0 +1,37 @@
+//! Synthetic embedded operating systems for the EMBSAN reproduction.
+//!
+//! The EMBSAN paper evaluates on firmware built from four embedded OS
+//! families — Embedded Linux (OpenWRT, OpenHarmony-rk3566), LiteOS
+//! (OpenHarmony-stm32*), FreeRTOS (InfiniTime) and VxWorks (TP-Link
+//! WDR-7660). None of those is redistributable here, so this crate builds
+//! behavioural stand-ins as real EV32 guest firmware:
+//!
+//! - a shared kernel runtime ([`kernlib`]): boot, console, memory utilities,
+//!   spinlocks, a background task for SMP firmware;
+//! - four OS flavours ([`os`]) with genuinely different heap allocators
+//!   ([`alloc`]): a slab allocator (Embedded Linux), a heap_4-style
+//!   first-fit allocator (FreeRTOS), a fixed-block membox pool (LiteOS), and
+//!   a memPartLib-style allocator (VxWorks, shipped **stripped** of symbols
+//!   to model closed-source firmware);
+//! - a mailbox-driven syscall [`executor`] used by the fuzzers;
+//! - the seeded [`bugs`] corpus: the 25 syzbot-style known bugs of Table 2
+//!   (each with a reproducer) and the 41 latent bugs of Tables 3/4;
+//! - guest-resident [`native`] KASAN/KCSAN runtimes (the paper's baseline
+//!   sanitizers, which run as translated guest code);
+//! - the Table-1 [`firmware`] registry and deterministic [`workload`]
+//!   generators for the overhead study (Figure 2).
+
+pub mod alloc;
+pub mod bugs;
+pub mod executor;
+pub mod firmware;
+pub mod kernlib;
+pub mod native;
+pub mod opts;
+pub mod os;
+pub mod workload;
+
+pub use bugs::{BugKind, BugSpec, KNOWN_BUGS, LATENT_BUGS};
+pub use executor::{ExecCall, ExecProgram};
+pub use firmware::{firmware_by_name, FirmwareSpec, FIRMWARE};
+pub use opts::{BaseOs, BuildOptions, SanMode};

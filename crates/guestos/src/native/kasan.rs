@@ -1,0 +1,267 @@
+//! Guest-native KASAN.
+//!
+//! A byte-per-8-bytes shadow of all of RAM lives in the guest global
+//! `__kasan_shadow`. Shadow encoding (matching real KASAN's scheme):
+//! `0` fully addressable, `1..7` first N bytes addressable,
+//! `≥ 0x80` poisoned (`0xFF` unallocated heap, `0xFD` freed,
+//! `0xF9` global redzone).
+//!
+//! `__san_free` poisons by *scanning forward until the first poisoned
+//! granule* — correct here because every shipped allocator keeps at least an
+//! 8-byte (never unpoisoned) header between user areas. A freed-shadow first
+//! granule at free time is reported as a double free.
+
+use embsan_asm::builder::Asm;
+use embsan_asm::ir::GlobalDef;
+use embsan_emu::device;
+use embsan_emu::isa::Reg;
+use embsan_emu::profile::ArchProfile;
+
+use super::{KASAN_DF_MARKER, KASAN_EXIT, KASAN_MARKER};
+use crate::opts::BuildOptions;
+
+/// Shadow byte for freed memory.
+pub const SHADOW_FREED: u8 = 0xFD;
+/// Shadow byte for unallocated heap.
+pub const SHADOW_HEAP: u8 = 0xFF;
+/// Shadow byte for global redzones.
+pub const SHADOW_GLOBAL_RZ: u8 = 0xF9;
+
+/// Emits the guest-native KASAN runtime.
+pub fn emit(opts: &BuildOptions) -> (Asm, Vec<GlobalDef>) {
+    let profile = ArchProfile::for_arch(opts.arch);
+    let power = i64::from(profile.mmio_base + device::POWER_BASE);
+    let mut asm = Asm::new();
+
+    // __kasan_shad(a3 = guest addr) -> a3 = shadow byte address; clobbers a2.
+    // Helper convention: called with `call_via r10` from within the runtime.
+    asm.func("__kasan_shad");
+    asm.la(Reg::A2, "__ram_start");
+    asm.sub(Reg::A3, Reg::A3, Reg::A2);
+    asm.srli(Reg::A3, Reg::A3, 3);
+    asm.la(Reg::A2, "__kasan_shadow");
+    asm.add(Reg::A3, Reg::A3, Reg::A2);
+    asm.ret_via(Reg::R10);
+
+    // __san_init(): poison the heap's shadow.
+    asm.func("__san_init");
+    asm.la(Reg::A0, "__heap_start");
+    asm.la(Reg::A1, "__heap_end");
+    asm.la(Reg::A2, "__ram_start");
+    asm.sub(Reg::A0, Reg::A0, Reg::A2);
+    asm.srli(Reg::A0, Reg::A0, 3);
+    asm.sub(Reg::A1, Reg::A1, Reg::A2);
+    asm.srli(Reg::A1, Reg::A1, 3);
+    asm.la(Reg::A2, "__kasan_shadow");
+    asm.add(Reg::A0, Reg::A0, Reg::A2);
+    asm.add(Reg::A1, Reg::A1, Reg::A2);
+    asm.li(Reg::A3, i64::from(u32::MAX)); // 0xFFFFFFFF = four SHADOW_HEAP bytes
+    asm.label("__san_init.loop");
+    asm.bgeu(Reg::A0, Reg::A1, "__san_init.done");
+    asm.sw(Reg::A3, Reg::A0, 0);
+    asm.addi(Reg::A0, Reg::A0, 4);
+    asm.jump("__san_init.loop");
+    asm.label("__san_init.done");
+    asm.ret();
+
+    // Check stubs: address in r12, return via r11. Fast path preserves
+    // a0-a2 via the stack; the report path is terminal.
+    for &(size, name) in &[
+        (1i64, "__san_load1"),
+        (2, "__san_load2"),
+        (4, "__san_load4"),
+        (1, "__san_store1"),
+        (2, "__san_store2"),
+        (4, "__san_store4"),
+        (4, "__san_atomic4"),
+    ] {
+        let ok = format!("{name}.ok");
+        let bad = format!("{name}.bad");
+        asm.func(name);
+        asm.addi(Reg::SP, Reg::SP, -12);
+        asm.sw(Reg::A0, Reg::SP, 0);
+        asm.sw(Reg::A1, Reg::SP, 4);
+        asm.sw(Reg::A2, Reg::SP, 8);
+        asm.la(Reg::A0, "__ram_start");
+        asm.bltu(Reg::R12, Reg::A0, &ok); // below RAM (ROM/MMIO): skip
+        asm.la(Reg::A1, "__ram_end");
+        asm.bgeu(Reg::R12, Reg::A1, &ok);
+        asm.sub(Reg::A0, Reg::R12, Reg::A0);
+        asm.srli(Reg::A0, Reg::A0, 3);
+        asm.la(Reg::A1, "__kasan_shadow");
+        asm.add(Reg::A1, Reg::A1, Reg::A0);
+        asm.lbu(Reg::A0, Reg::A1, 0);
+        asm.beq(Reg::A0, Reg::R0, &ok);
+        asm.li(Reg::A1, 0x80);
+        asm.bgeu(Reg::A0, Reg::A1, &bad); // poisoned
+        // Partial granule: last accessed byte must fall below the watermark.
+        asm.andi(Reg::A2, Reg::R12, 7);
+        asm.addi(Reg::A2, Reg::A2, (size - 1) as i32);
+        asm.blt(Reg::A2, Reg::A0, &ok);
+        asm.label(&bad);
+        asm.la(Reg::A0, "kasan_msg");
+        asm.call("uart_puts");
+        asm.mv(Reg::A0, Reg::R12);
+        asm.call("uart_put_hex");
+        asm.li(Reg::A0, i64::from(b'\n'));
+        asm.call("uart_putc");
+        asm.li(Reg::A0, i64::from(KASAN_EXIT));
+        asm.li(Reg::A1, power);
+        asm.sw(Reg::A0, Reg::A1, 0);
+        asm.label(format!("{name}.halt").as_str());
+        asm.wfi();
+        asm.jump(format!("{name}.halt").as_str());
+        asm.label(&ok);
+        asm.lw(Reg::A0, Reg::SP, 0);
+        asm.lw(Reg::A1, Reg::SP, 4);
+        asm.lw(Reg::A2, Reg::SP, 8);
+        asm.addi(Reg::SP, Reg::SP, 12);
+        asm.ret_via(Reg::R11);
+    }
+
+    // __san_alloc(a0 = addr, a1 = size): unpoison [addr, addr+size).
+    asm.func("__san_alloc");
+    asm.mv(Reg::A3, Reg::A0);
+    asm.call_via(Reg::R10, "__kasan_shad");
+    asm.mv(Reg::A4, Reg::A1); // remaining bytes
+    asm.li(Reg::A5, 8);
+    asm.label("__san_alloc.loop");
+    asm.bltu(Reg::A4, Reg::A5, "__san_alloc.tail");
+    asm.sb(Reg::R0, Reg::A3, 0);
+    asm.addi(Reg::A3, Reg::A3, 1);
+    asm.addi(Reg::A4, Reg::A4, -8);
+    asm.jump("__san_alloc.loop");
+    asm.label("__san_alloc.tail");
+    asm.beq(Reg::A4, Reg::R0, "__san_alloc.done");
+    asm.sb(Reg::A4, Reg::A3, 0);
+    asm.label("__san_alloc.done");
+    asm.ret();
+
+    // __san_free(a0 = addr): double-free check, then poison forward until
+    // the first already-poisoned granule (the next chunk header).
+    asm.func("__san_free");
+    asm.mv(Reg::A3, Reg::A0);
+    asm.call_via(Reg::R10, "__kasan_shad");
+    asm.lbu(Reg::A1, Reg::A3, 0);
+    asm.li(Reg::A2, 0x80);
+    asm.bgeu(Reg::A1, Reg::A2, "__san_free.double");
+    asm.li(Reg::A4, i64::from(SHADOW_FREED));
+    asm.label("__san_free.loop");
+    asm.lbu(Reg::A1, Reg::A3, 0);
+    asm.bgeu(Reg::A1, Reg::A2, "__san_free.done");
+    asm.sb(Reg::A4, Reg::A3, 0);
+    asm.addi(Reg::A3, Reg::A3, 1);
+    asm.jump("__san_free.loop");
+    asm.label("__san_free.done");
+    asm.ret();
+    asm.label("__san_free.double");
+    asm.mv(Reg::R7, Reg::A0);
+    asm.la(Reg::A0, "kasan_df_msg");
+    asm.call("uart_puts");
+    asm.mv(Reg::A0, Reg::R7);
+    asm.call("uart_put_hex");
+    asm.li(Reg::A0, i64::from(b'\n'));
+    asm.call("uart_putc");
+    asm.li(Reg::A0, i64::from(KASAN_EXIT));
+    asm.li(Reg::A1, power);
+    asm.sw(Reg::A0, Reg::A1, 0);
+    asm.label("__san_free.halt");
+    asm.wfi();
+    asm.jump("__san_free.halt");
+
+    // __san_global(a0 = addr, a1 = size, a2 = redzone): poison both
+    // redzones and the trailing partial granule.
+    //
+    // Register discipline: __kasan_shad clobbers a2, so the redzone width
+    // lives in a5 for the whole function and the poison code is reloaded
+    // into a2 after each shad call.
+    asm.func("__san_global");
+    asm.mv(Reg::A5, Reg::A2); // a5 = redzone width
+    // Left redzone: [addr - redzone, addr)
+    asm.sub(Reg::A3, Reg::A0, Reg::A5);
+    asm.call_via(Reg::R10, "__kasan_shad");
+    asm.srli(Reg::A4, Reg::A5, 3); // redzone granules
+    asm.li(Reg::A2, i64::from(SHADOW_GLOBAL_RZ));
+    asm.label("__san_global.left");
+    asm.beq(Reg::A4, Reg::R0, "__san_global.mid");
+    asm.sb(Reg::A2, Reg::A3, 0);
+    asm.addi(Reg::A3, Reg::A3, 1);
+    asm.addi(Reg::A4, Reg::A4, -1);
+    asm.jump("__san_global.left");
+    asm.label("__san_global.mid");
+    // Right redzone, starting at shadow(addr + size rounded up to 8).
+    asm.add(Reg::A3, Reg::A0, Reg::A1);
+    asm.addi(Reg::A3, Reg::A3, 7);
+    asm.li(Reg::A4, i64::from(0xFFFF_FFF8u32));
+    asm.and(Reg::A3, Reg::A3, Reg::A4);
+    asm.call_via(Reg::R10, "__kasan_shad");
+    asm.srli(Reg::A4, Reg::A5, 3);
+    asm.li(Reg::A2, i64::from(SHADOW_GLOBAL_RZ));
+    asm.label("__san_global.right");
+    asm.beq(Reg::A4, Reg::R0, "__san_global.tail");
+    asm.sb(Reg::A2, Reg::A3, 0);
+    asm.addi(Reg::A3, Reg::A3, 1);
+    asm.addi(Reg::A4, Reg::A4, -1);
+    asm.jump("__san_global.right");
+    asm.label("__san_global.tail");
+    // Partial watermark: shadow(addr + size&~7) = size&7 (if nonzero).
+    asm.andi(Reg::A4, Reg::A1, 7);
+    asm.beq(Reg::A4, Reg::R0, "__san_global.done");
+    asm.add(Reg::A3, Reg::A0, Reg::A1);
+    asm.sub(Reg::A3, Reg::A3, Reg::A4);
+    asm.call_via(Reg::R10, "__kasan_shad");
+    asm.sb(Reg::A4, Reg::A3, 0);
+    asm.label("__san_global.done");
+    asm.ret();
+
+    // __san_ready(): nothing to do natively.
+    asm.func("__san_ready");
+    asm.ret();
+
+    let shadow_size = opts.ram_size / 8;
+    let globals = vec![
+        // The shadow itself must never carry redzones (it is plain data).
+        GlobalDef {
+            name: "__kasan_shadow".to_string(),
+            size: shadow_size,
+            init: None,
+            align: 8,
+            sanitize: false,
+        },
+        GlobalDef::plain("kasan_msg", format!("{KASAN_MARKER}\0").into_bytes()),
+        GlobalDef::plain("kasan_df_msg", format!("{KASAN_DF_MARKER}\0").into_bytes()),
+    ];
+    (asm, globals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embsan_emu::profile::Arch;
+
+    #[test]
+    fn emits_full_symbol_set() {
+        let (asm, globals) = emit(&BuildOptions::new(Arch::Armv));
+        let mut p = embsan_asm::ir::Program::new();
+        p.text = asm.into_items();
+        for name in [
+            "__san_init",
+            "__san_load1",
+            "__san_load2",
+            "__san_load4",
+            "__san_store1",
+            "__san_store2",
+            "__san_store4",
+            "__san_atomic4",
+            "__san_alloc",
+            "__san_free",
+            "__san_global",
+            "__san_ready",
+        ] {
+            assert!(p.defines_function(name), "missing {name}");
+        }
+        let shadow = globals.iter().find(|g| g.name == "__kasan_shadow").unwrap();
+        assert_eq!(shadow.size, 4 * 1024 * 1024 / 8);
+        assert!(!shadow.sanitize);
+    }
+}

@@ -1,0 +1,174 @@
+//! Guest-native KCSAN.
+//!
+//! A watchpoint-based race detector executing entirely as guest code, per
+//! the real KCSAN's design: every instrumented access *scans* the watchpoint
+//! table for a conflicting entry installed by another CPU; every `SAMPLE`-th
+//! access additionally *installs* a watchpoint on its own address and spins
+//! for a delay window, giving other CPUs a chance to collide with it.
+//! Atomic accesses neither scan nor install (atomics don't race).
+//!
+//! Watchpoint slots are per-CPU (`kcsan_wp[cpuid]`), each two words:
+//! `[granule-aligned address | info]` with `info = cpu*2 + is_write + 1`
+//! (0 = empty). Conflicts compare 8-byte granules, a slightly coarser
+//! overlap test than the real KCSAN's byte ranges.
+
+use embsan_asm::builder::Asm;
+use embsan_asm::ir::GlobalDef;
+use embsan_emu::cpu::Csr;
+use embsan_emu::device;
+use embsan_emu::isa::Reg;
+use embsan_emu::profile::ArchProfile;
+
+use super::{KCSAN_EXIT, KCSAN_MARKER};
+use crate::opts::BuildOptions;
+
+/// Number of watchpoint slots (maximum vCPUs).
+pub const WP_SLOTS: usize = 4;
+/// One in `SAMPLE` accesses installs a watchpoint.
+pub const SAMPLE: i64 = 64;
+/// Spin iterations of the watch window (≈ 3 instructions each).
+pub const DELAY_ITERS: i64 = 80;
+
+/// Emits the guest-native KCSAN runtime.
+pub fn emit(opts: &BuildOptions) -> (Asm, Vec<GlobalDef>) {
+    let profile = ArchProfile::for_arch(opts.arch);
+    let power = i64::from(profile.mmio_base + device::POWER_BASE);
+    let mut asm = Asm::new();
+
+    // __san_init(): table starts zeroed (bss); nothing to do.
+    asm.func("__san_init");
+    asm.ret();
+
+    for &(is_write, name) in &[
+        (false, "__san_load1"),
+        (false, "__san_load2"),
+        (false, "__san_load4"),
+        (true, "__san_store1"),
+        (true, "__san_store2"),
+        (true, "__san_store4"),
+    ] {
+        let ok = format!("{name}.ok");
+        let report = format!("{name}.report");
+        let scan_next = |i: usize| format!("{name}.scan{i}");
+        asm.func(name);
+        asm.addi(Reg::SP, Reg::SP, -20);
+        asm.sw(Reg::A0, Reg::SP, 0);
+        asm.sw(Reg::A1, Reg::SP, 4);
+        asm.sw(Reg::A2, Reg::SP, 8);
+        asm.sw(Reg::A3, Reg::SP, 12);
+        asm.sw(Reg::A4, Reg::SP, 16);
+        // a3 = our granule, a2 = our cpu.
+        asm.srli(Reg::A3, Reg::R12, 3);
+        asm.csrr(Reg::A2, Csr::Cpuid as u16);
+        // Scan all slots for a conflicting watchpoint from another CPU.
+        asm.la(Reg::A0, "kcsan_wp");
+        for i in 0..WP_SLOTS {
+            let next = scan_next(i);
+            let off = (i * 8) as i32;
+            asm.lw(Reg::A1, Reg::A0, off); // granule address
+            asm.bne(Reg::A1, Reg::A3, &next);
+            asm.lw(Reg::A1, Reg::A0, off + 4); // info
+            asm.beq(Reg::A1, Reg::R0, &next); // empty slot
+            // Same CPU never conflicts with itself.
+            asm.addi(Reg::A1, Reg::A1, -1); // info-1 = cpu*2 + is_write
+            asm.srli(Reg::A4, Reg::A1, 1);
+            asm.beq(Reg::A4, Reg::A2, &next);
+            if !is_write {
+                // Read vs read is fine: require the watcher to be a writer.
+                asm.andi(Reg::A1, Reg::A1, 1);
+                asm.beq(Reg::A1, Reg::R0, &next);
+            }
+            asm.jump(&report);
+            asm.label(&next);
+        }
+        // Sampling: one in SAMPLE accesses installs a watchpoint and spins.
+        asm.la(Reg::A0, "kcsan_ctr");
+        asm.li(Reg::A1, 1);
+        asm.amoadd(Reg::A1, Reg::A0, Reg::A1); // old counter
+        asm.li(Reg::A4, SAMPLE - 1);
+        asm.and(Reg::A1, Reg::A1, Reg::A4);
+        asm.bne(Reg::A1, Reg::R0, &ok);
+        // Install: kcsan_wp[cpu] = (granule, cpu*2 + is_write + 1).
+        asm.la(Reg::A0, "kcsan_wp");
+        asm.slli(Reg::A1, Reg::A2, 3);
+        asm.add(Reg::A0, Reg::A0, Reg::A1);
+        asm.sw(Reg::A3, Reg::A0, 0);
+        asm.slli(Reg::A1, Reg::A2, 1);
+        asm.addi(Reg::A1, Reg::A1, if is_write { 2 } else { 1 });
+        asm.sw(Reg::A1, Reg::A0, 4);
+        // Watch window: spin so other CPUs can run into the watchpoint.
+        asm.li(Reg::A1, DELAY_ITERS);
+        asm.label(format!("{name}.spin").as_str());
+        asm.addi(Reg::A1, Reg::A1, -1);
+        asm.bne(Reg::A1, Reg::R0, format!("{name}.spin").as_str());
+        // Retire the watchpoint.
+        asm.sw(Reg::R0, Reg::A0, 4);
+        asm.sw(Reg::R0, Reg::A0, 0);
+        asm.jump(&ok);
+        // Terminal report path.
+        asm.label(&report);
+        asm.la(Reg::A0, "kcsan_msg");
+        asm.call("uart_puts");
+        asm.mv(Reg::A0, Reg::R12);
+        asm.call("uart_put_hex");
+        asm.li(Reg::A0, i64::from(b'\n'));
+        asm.call("uart_putc");
+        asm.li(Reg::A0, i64::from(KCSAN_EXIT));
+        asm.li(Reg::A1, power);
+        asm.sw(Reg::A0, Reg::A1, 0);
+        asm.label(format!("{name}.halt").as_str());
+        asm.wfi();
+        asm.jump(format!("{name}.halt").as_str());
+        asm.label(&ok);
+        asm.lw(Reg::A0, Reg::SP, 0);
+        asm.lw(Reg::A1, Reg::SP, 4);
+        asm.lw(Reg::A2, Reg::SP, 8);
+        asm.lw(Reg::A3, Reg::SP, 12);
+        asm.lw(Reg::A4, Reg::SP, 16);
+        asm.addi(Reg::SP, Reg::SP, 20);
+        asm.ret_via(Reg::R11);
+    }
+
+    // Atomics neither scan nor install.
+    asm.func("__san_atomic4");
+    asm.ret_via(Reg::R11);
+
+    // KCSAN has no allocator or global state to maintain.
+    for name in ["__san_alloc", "__san_free", "__san_global", "__san_ready"] {
+        asm.func(name);
+        asm.ret();
+    }
+
+    let globals = vec![
+        GlobalDef::plain("kcsan_wp", vec![0; WP_SLOTS * 8]),
+        GlobalDef::plain("kcsan_ctr", vec![0; 4]),
+        GlobalDef::plain("kcsan_msg", format!("{KCSAN_MARKER}\0").into_bytes()),
+    ];
+    (asm, globals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embsan_emu::profile::Arch;
+
+    #[test]
+    fn emits_full_symbol_set() {
+        let (asm, globals) = emit(&BuildOptions::new(Arch::X86v));
+        let mut p = embsan_asm::ir::Program::new();
+        p.text = asm.into_items();
+        for name in [
+            "__san_init",
+            "__san_load4",
+            "__san_store1",
+            "__san_atomic4",
+            "__san_alloc",
+            "__san_free",
+            "__san_global",
+            "__san_ready",
+        ] {
+            assert!(p.defines_function(name), "missing {name}");
+        }
+        assert!(globals.iter().any(|g| g.name == "kcsan_wp"));
+    }
+}

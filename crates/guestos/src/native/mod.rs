@@ -1,0 +1,26 @@
+//! Guest-resident ("native") sanitizer runtimes.
+//!
+//! These are the paper's comparison baselines: KASAN/KCSAN built *into* the
+//! firmware, so that every check executes as translated guest code. The
+//! compile-time pass runs with
+//! [`InstrumentOptions::native`](embsan_asm::instrument::InstrumentOptions::native),
+//! and instead of the dummy hypercall library these modules supply real
+//! `__san_*` bodies.
+//!
+//! Both runtimes report through the console (a `KASAN:`/`KCSAN:` banner the
+//! harness greps for, as one greps a serial log for real sanitizer splats)
+//! and then power the machine off with a distinctive exit code.
+
+pub mod kasan;
+pub mod kcsan;
+
+/// Power-off exit code of a native KASAN report.
+pub const KASAN_EXIT: u16 = 0x5A;
+/// Power-off exit code of a native KCSAN report.
+pub const KCSAN_EXIT: u16 = 0x5B;
+/// Console marker emitted by native KASAN reports.
+pub const KASAN_MARKER: &str = "KASAN: invalid access at ";
+/// Console marker emitted by native KCSAN reports.
+pub const KCSAN_MARKER: &str = "KCSAN: data-race at ";
+/// Console marker for native double-free reports.
+pub const KASAN_DF_MARKER: &str = "KASAN: double-free at ";

@@ -1,0 +1,153 @@
+//! Firmware build options.
+
+use embsan_emu::profile::Arch;
+
+/// The base operating system family of a firmware build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BaseOs {
+    /// Embedded Linux (slab allocator, rich syscall surface, SMP).
+    EmbeddedLinux,
+    /// FreeRTOS (heap_4 first-fit allocator, tasks and queues).
+    FreeRtos,
+    /// LiteOS (membox fixed-block pools).
+    LiteOs,
+    /// VxWorks (memPartLib allocator; firmware ships stripped).
+    VxWorks,
+}
+
+impl BaseOs {
+    /// The display name used in the paper's tables.
+    pub fn display_name(self) -> &'static str {
+        match self {
+            BaseOs::EmbeddedLinux => "Embedded Linux",
+            BaseOs::FreeRtos => "FreeRTOS",
+            BaseOs::LiteOs => "LiteOS",
+            BaseOs::VxWorks => "VxWorks",
+        }
+    }
+
+    /// The allocator entry points `(alloc_name, free_name)` of this OS — the
+    /// `Xalloc()` signatures the paper's Prober looks for.
+    pub fn allocator_symbols(self) -> (&'static str, &'static str) {
+        match self {
+            BaseOs::EmbeddedLinux => ("kmalloc", "kfree"),
+            BaseOs::FreeRtos => ("pvPortMalloc", "vPortFree"),
+            BaseOs::LiteOs => ("LOS_MemAlloc", "LOS_MemFree"),
+            BaseOs::VxWorks => ("memPartAlloc", "memPartFree"),
+        }
+    }
+}
+
+impl std::fmt::Display for BaseOs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.display_name())
+    }
+}
+
+/// Sanitizer build mode of a firmware image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SanMode {
+    /// No instrumentation: EMBSAN-D intercepts everything dynamically.
+    None,
+    /// EMBSAN-C: compile-time checks calling the dummy (hypercall) library.
+    SanCall,
+    /// Guest-native KASAN: checks run as translated guest code.
+    NativeKasan,
+    /// Guest-native KCSAN.
+    NativeKcsan,
+}
+
+impl SanMode {
+    /// Whether the build runs the compile-time instrumentation pass.
+    pub fn is_instrumented(self) -> bool {
+        !matches!(self, SanMode::None)
+    }
+
+    /// Whether the `__san_*` symbols come from a guest-resident runtime.
+    pub fn is_native(self) -> bool {
+        matches!(self, SanMode::NativeKasan | SanMode::NativeKcsan)
+    }
+}
+
+/// Options controlling a firmware build.
+#[derive(Debug, Clone, Copy)]
+pub struct BuildOptions {
+    /// Target architecture.
+    pub arch: Arch,
+    /// Sanitizer build mode.
+    pub san: SanMode,
+    /// Total RAM in bytes.
+    pub ram_size: u32,
+    /// Heap bytes.
+    pub heap_size: u32,
+    /// Number of vCPUs the firmware expects (≥2 enables the background task).
+    pub cpus: usize,
+    /// Build with kcov-style guest coverage beacons (function-entry writes
+    /// to the coverage port).
+    pub kcov: bool,
+}
+
+impl BuildOptions {
+    /// Defaults: 4 MiB RAM, 1 MiB heap, one vCPU, no instrumentation.
+    pub fn new(arch: Arch) -> BuildOptions {
+        BuildOptions {
+            arch,
+            san: SanMode::None,
+            ram_size: 4 * 1024 * 1024,
+            heap_size: 1024 * 1024,
+            cpus: 1,
+            kcov: false,
+        }
+    }
+
+    /// Sets the sanitizer mode.
+    pub fn san(mut self, san: SanMode) -> BuildOptions {
+        self.san = san;
+        self
+    }
+
+    /// Sets the vCPU count.
+    pub fn cpus(mut self, cpus: usize) -> BuildOptions {
+        self.cpus = cpus;
+        self
+    }
+
+    /// Enables kcov-style guest coverage beacons.
+    pub fn kcov(mut self, kcov: bool) -> BuildOptions {
+        self.kcov = kcov;
+        self
+    }
+}
+
+/// Per-task stack size in bytes (stacks are carved down from `__stack_top`,
+/// one per vCPU).
+pub const STACK_SIZE: u32 = 16 * 1024;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_predicates() {
+        assert!(!SanMode::None.is_instrumented());
+        assert!(SanMode::SanCall.is_instrumented());
+        assert!(!SanMode::SanCall.is_native());
+        assert!(SanMode::NativeKasan.is_native());
+        assert!(SanMode::NativeKcsan.is_instrumented());
+    }
+
+    #[test]
+    fn allocator_symbols_differ_per_os() {
+        let mut names: Vec<_> = [
+            BaseOs::EmbeddedLinux,
+            BaseOs::FreeRtos,
+            BaseOs::LiteOs,
+            BaseOs::VxWorks,
+        ]
+        .iter()
+        .map(|os| os.allocator_symbols().0)
+        .collect();
+        names.dedup();
+        assert_eq!(names.len(), 4);
+    }
+}

@@ -1,0 +1,47 @@
+//! FreeRTOS flavour (InfiniTime-class firmware).
+
+use embsan_asm::image::FirmwareImage;
+use embsan_asm::link::LinkError;
+
+use crate::bugs::BugSpec;
+use crate::opts::{BaseOs, BuildOptions};
+
+/// Builds a FreeRTOS firmware image with the given seeded bugs.
+///
+/// # Errors
+///
+/// Propagates linker errors.
+pub fn build(opts: &BuildOptions, bugs: &[BugSpec]) -> Result<FirmwareImage, LinkError> {
+    super::build_firmware(BaseOs::FreeRtos, opts, bugs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{sys, ExecProgram};
+    use embsan_emu::hook::NullHook;
+    use embsan_emu::machine::RunExit;
+    use embsan_emu::profile::Arch;
+
+    /// heap_4 first-fit: allocations work, splitting leaves room for more.
+    #[test]
+    fn heap4_allocates_and_frees() {
+        let opts = BuildOptions::new(Arch::Armv);
+        let image = build(&opts, &[]).unwrap();
+        let mut machine = image.boot_machine(1).unwrap();
+        assert_eq!(machine.run(&mut NullHook, 2_000_000).unwrap(), RunExit::AllIdle);
+        let mut program = ExecProgram::new();
+        for slot in 0..4u32 {
+            program.push(sys::ALLOC, &[100 + slot * 32, slot]);
+        }
+        program.push(sys::WRITE, &[2, 11, 0x5C]);
+        program.push(sys::READ, &[2, 11]);
+        program.push(sys::FREE, &[1]);
+        program.push(sys::ALLOC, &[100, 1]); // refill from the freed block
+        machine.bus_mut().devices.mailbox.host_load(&program.encode());
+        assert_eq!(machine.run(&mut NullHook, 2_000_000).unwrap(), RunExit::AllIdle);
+        let results = machine.bus_mut().devices.mailbox.host_take_results();
+        assert_eq!(results[5], 0x5C);
+        assert_ne!(results[7], 0);
+    }
+}

@@ -1,0 +1,49 @@
+//! LiteOS flavour (OpenHarmony-stm32 class firmware).
+
+use embsan_asm::image::FirmwareImage;
+use embsan_asm::link::LinkError;
+
+use crate::bugs::BugSpec;
+use crate::opts::{BaseOs, BuildOptions};
+
+/// Builds a LiteOS firmware image with the given seeded bugs.
+///
+/// # Errors
+///
+/// Propagates linker errors.
+pub fn build(opts: &BuildOptions, bugs: &[BugSpec]) -> Result<FirmwareImage, LinkError> {
+    super::build_firmware(BaseOs::LiteOs, opts, bugs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{sys, ExecProgram};
+    use embsan_emu::hook::NullHook;
+    use embsan_emu::machine::RunExit;
+    use embsan_emu::profile::Arch;
+
+    /// Membox pool blocks serve small requests; large ones take the bump
+    /// fallback; both are writable.
+    #[test]
+    fn membox_pool_and_fallback() {
+        let opts = BuildOptions::new(Arch::Mipsv);
+        let image = build(&opts, &[]).unwrap();
+        let mut machine = image.boot_machine(1).unwrap();
+        assert_eq!(machine.run(&mut NullHook, 2_000_000).unwrap(), RunExit::AllIdle);
+        let mut program = ExecProgram::new();
+        program.push(sys::ALLOC, &[64, 0]); // pool block
+        program.push(sys::ALLOC, &[512, 1]); // bump fallback
+        program.push(sys::WRITE, &[0, 3, 1]);
+        program.push(sys::WRITE, &[1, 400, 2]);
+        program.push(sys::READ, &[1, 400]);
+        program.push(sys::FREE, &[0]);
+        program.push(sys::FREE, &[1]); // bump block: leak-free no-op
+        machine.bus_mut().devices.mailbox.host_load(&program.encode());
+        assert_eq!(machine.run(&mut NullHook, 2_000_000).unwrap(), RunExit::AllIdle);
+        let results = machine.bus_mut().devices.mailbox.host_take_results();
+        assert_ne!(results[0], 0);
+        assert_ne!(results[1], 0);
+        assert_eq!(results[4], 2);
+    }
+}

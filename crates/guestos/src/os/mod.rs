@@ -1,0 +1,233 @@
+//! OS flavour assembly: combine kernlib, an allocator, the executor, the
+//! bug corpus and (optionally) a native sanitizer runtime into a linkable
+//! [`Program`], then build a [`FirmwareImage`].
+
+pub mod emblinux;
+pub mod freertos;
+pub mod liteos;
+pub mod vxworks;
+
+use embsan_asm::builder::Asm;
+use embsan_asm::image::{FirmwareImage, InstrMode};
+use embsan_asm::instrument::{instrument, InstrumentOptions};
+use embsan_asm::ir::Program;
+use embsan_asm::link::{link, LinkError, LinkOptions};
+use embsan_emu::isa::Reg;
+
+use crate::alloc::{emit_for, AllocatorPieces};
+use crate::bugs::{emit_bug_handler, BugKind, BugSpec};
+use crate::executor::{self, sys};
+use crate::kernlib;
+use crate::native;
+use crate::opts::{BaseOs, BuildOptions, SanMode};
+
+/// Builds the [`Program`] for an OS flavour with the given seeded bugs.
+///
+/// Bug `i` becomes syscall `sys::BUG_BASE + i`.
+pub fn build_program(os: BaseOs, opts: &BuildOptions, bug_specs: &[BugSpec]) -> Program {
+    let (alloc_name, free_name) = os.allocator_symbols();
+    let mut program = Program::new();
+    program.entry = "boot".to_string();
+    program.ready = Some("kernel_ready".to_string());
+    program.heap_size = opts.heap_size;
+
+    let has_race = bug_specs.iter().any(|b| b.kind == BugKind::Race);
+    let (kern_asm, kern_globals) = kernlib::emit(opts, has_race);
+    program.text.extend(kern_asm.into_items());
+    program.globals.extend(kern_globals);
+    for name in kernlib::NO_INSTRUMENT {
+        program.no_instrument.insert(name.to_string());
+    }
+
+    let AllocatorPieces { asm, globals, no_instrument, init_fn } = emit_for(os, opts);
+    program.text.extend(asm.into_items());
+    program.globals.extend(globals);
+    program.no_instrument.extend(no_instrument);
+
+    // Bug syscalls.
+    let mut bug_asm = Asm::new();
+    let mut bug_globals = Vec::new();
+    let mut extra = Vec::new();
+    for (i, spec) in bug_specs.iter().enumerate() {
+        let handler =
+            emit_bug_handler(&mut bug_asm, &mut bug_globals, i, spec, alloc_name, free_name);
+        extra.push((sys::BUG_BASE + i as u8, handler));
+    }
+    program.text.extend(bug_asm.into_items());
+    program.globals.extend(bug_globals);
+
+    let (exec_asm, exec_globals, exec_no_instrument) =
+        executor::emit(opts, alloc_name, free_name, &extra);
+    program.text.extend(exec_asm.into_items());
+    program.globals.extend(exec_globals);
+    program.no_instrument.extend(exec_no_instrument);
+
+    // os_init(): allocator init, syscall table, and a couple of boot-time
+    // allocations (state the Prober's dry run must capture and replay).
+    let mut asm = Asm::new();
+    asm.func("os_init");
+    asm.prologue(&[Reg::R7]);
+    asm.call(init_fn);
+    asm.call("syscalls_init");
+    // One long-lived boot allocation…
+    asm.li(Reg::A0, 96);
+    asm.call(alloc_name);
+    asm.la(Reg::A1, "boot_obj");
+    asm.sw(Reg::A0, Reg::A1, 0);
+    // …and one transient one (alloc + free), so the init routine the Prober
+    // compiles contains both kinds of action.
+    asm.li(Reg::A0, 48);
+    asm.call(alloc_name);
+    asm.mv(Reg::R7, Reg::A0);
+    asm.beq(Reg::A0, Reg::R0, "os_init.done");
+    asm.mv(Reg::A0, Reg::R7);
+    asm.call(free_name);
+    asm.label("os_init.done");
+    asm.epilogue(&[Reg::R7]);
+
+    // os_secondary(): background task on SMP builds, idle otherwise.
+    asm.func("os_secondary");
+    if opts.cpus > 1 {
+        asm.jump("bg_task");
+    } else {
+        asm.ret();
+    }
+    program.text.extend(asm.into_items());
+    program
+        .globals
+        .push(embsan_asm::ir::GlobalDef::plain("boot_obj", vec![0; 4]));
+    program.no_instrument.insert("os_init".to_string());
+    program.no_instrument.insert("os_secondary".to_string());
+
+    // Native sanitizer runtime, if requested.
+    match opts.san {
+        SanMode::NativeKasan => {
+            let (san_asm, san_globals) = native::kasan::emit(opts);
+            program.text.extend(san_asm.into_items());
+            program.globals.extend(san_globals);
+        }
+        SanMode::NativeKcsan => {
+            let (san_asm, san_globals) = native::kcsan::emit(opts);
+            program.text.extend(san_asm.into_items());
+            program.globals.extend(san_globals);
+        }
+        SanMode::None | SanMode::SanCall => {}
+    }
+    program
+}
+
+/// Builds and links a firmware image for an OS flavour.
+///
+/// # Errors
+///
+/// Propagates linker errors (the shipped programs link; errors indicate a
+/// misconfigured build, e.g. an oversized heap).
+pub fn build_firmware(
+    os: BaseOs,
+    opts: &BuildOptions,
+    bug_specs: &[BugSpec],
+) -> Result<FirmwareImage, LinkError> {
+    let mut program = build_program(os, opts, bug_specs);
+    let instr_mode = match opts.san {
+        SanMode::None => InstrMode::None,
+        SanMode::SanCall => InstrMode::SanCall,
+        SanMode::NativeKasan | SanMode::NativeKcsan => InstrMode::Native,
+    };
+    match opts.san {
+        SanMode::None if opts.kcov => {
+            // kcov-only build: coverage beacons without sanitizer checks.
+            instrument(
+                &mut program,
+                &InstrumentOptions {
+                    arch: opts.arch,
+                    checks: false,
+                    link_dummy_lib: false,
+                    global_redzones: false,
+                    guest_coverage: true,
+                },
+            );
+        }
+        SanMode::None => {}
+        SanMode::SanCall => {
+            let mut options = InstrumentOptions::embsan_c(opts.arch);
+            options.guest_coverage = opts.kcov;
+            instrument(&mut program, &options);
+        }
+        SanMode::NativeKasan | SanMode::NativeKcsan => {
+            let mut options = InstrumentOptions::native(opts.arch);
+            options.guest_coverage = opts.kcov;
+            instrument(&mut program, &options);
+        }
+    }
+    let mut link_opts = LinkOptions::new(opts.arch);
+    link_opts.ram_size = opts.ram_size;
+    link_opts.instr = instr_mode;
+    link(&program, &link_opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embsan_emu::hook::NullHook;
+    use embsan_emu::machine::RunExit;
+    use embsan_emu::profile::Arch;
+
+    /// Boot every OS flavour on every architecture to the idle state and
+    /// check the ready banner came out — the foundational smoke test.
+    #[test]
+    fn all_flavours_boot_on_all_arches() {
+        for os in [BaseOs::EmbeddedLinux, BaseOs::FreeRtos, BaseOs::LiteOs, BaseOs::VxWorks] {
+            for arch in Arch::ALL {
+                let opts = BuildOptions::new(arch);
+                let image = build_firmware(os, &opts, &[]).unwrap();
+                let mut machine = image.boot_machine(1).unwrap();
+                let exit = machine.run(&mut NullHook, 2_000_000).unwrap();
+                assert_eq!(exit, RunExit::AllIdle, "{os:?} on {arch:?}: {exit:?}");
+                let console = String::from_utf8_lossy(&machine.take_console()).to_string();
+                assert!(
+                    console.contains(kernlib::READY_BANNER.trim_end()),
+                    "{os:?} on {arch:?}: console was {console:?}"
+                );
+            }
+        }
+    }
+
+    /// Instrumented (EMBSAN-C) builds must also boot: the dummy sanitizer
+    /// library's hypercalls are no-ops without a runtime attached.
+    #[test]
+    fn instrumented_builds_boot_without_a_runtime() {
+        let opts = BuildOptions::new(Arch::Armv).san(SanMode::SanCall);
+        let image = build_firmware(BaseOs::EmbeddedLinux, &opts, &[]).unwrap();
+        let mut machine = image.boot_machine(1).unwrap();
+        let exit = machine.run(&mut NullHook, 4_000_000).unwrap();
+        assert_eq!(exit, RunExit::AllIdle, "{exit:?}");
+    }
+
+    /// Native-KASAN builds execute their guest-resident checks on every
+    /// memory access and must still boot cleanly (no false positives).
+    #[test]
+    fn native_kasan_build_boots_cleanly() {
+        let opts = BuildOptions::new(Arch::Armv).san(SanMode::NativeKasan);
+        let image = build_firmware(BaseOs::EmbeddedLinux, &opts, &[]).unwrap();
+        let mut machine = image.boot_machine(1).unwrap();
+        let exit = machine.run(&mut NullHook, 30_000_000).unwrap();
+        assert_eq!(exit, RunExit::AllIdle, "{exit:?}");
+        let console = String::from_utf8_lossy(&machine.take_console()).to_string();
+        assert!(!console.contains("KASAN"), "false positive: {console}");
+    }
+
+    /// SMP boot: both CPUs come up, the secondary parks in the background
+    /// task, the executor idles.
+    #[test]
+    fn smp_boot_with_background_task() {
+        let opts = BuildOptions::new(Arch::Armv).cpus(2);
+        let image = build_firmware(BaseOs::EmbeddedLinux, &opts, &[]).unwrap();
+        let mut machine = image.boot_machine(2).unwrap();
+        // The bg task never sleeps, so the run ends on budget, not idle.
+        let exit = machine.run(&mut NullHook, 2_000_000).unwrap();
+        assert_eq!(exit, RunExit::BudgetExhausted);
+        // The background task made progress on the shared counter.
+        let stats = image.symbol("shared_stats").unwrap();
+        assert!(machine.read_mem(stats, 4).unwrap() > 0);
+    }
+}

@@ -1,0 +1,79 @@
+//! VxWorks flavour (TP-Link WDR-7660 class firmware).
+//!
+//! The build path is identical to the other flavours, but the public
+//! constructor returns a **stripped** image — no symbols, no global-object
+//! table, no ready annotation — modelling the closed-source binary-only
+//! firmware of the paper's category 3. Tests and the prober's ground-truth
+//! validation can still reach the unstripped image via [`build_unstripped`].
+
+use embsan_asm::image::FirmwareImage;
+use embsan_asm::link::LinkError;
+
+use crate::bugs::BugSpec;
+use crate::opts::{BaseOs, BuildOptions};
+
+/// Builds the closed-source firmware image (stripped).
+///
+/// # Errors
+///
+/// Propagates linker errors.
+pub fn build(opts: &BuildOptions, bugs: &[BugSpec]) -> Result<FirmwareImage, LinkError> {
+    Ok(build_unstripped(opts, bugs)?.strip())
+}
+
+/// Builds the same firmware with symbols intact (ground truth for tests).
+///
+/// # Errors
+///
+/// Propagates linker errors.
+pub fn build_unstripped(
+    opts: &BuildOptions,
+    bugs: &[BugSpec],
+) -> Result<FirmwareImage, LinkError> {
+    super::build_firmware(BaseOs::VxWorks, opts, bugs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{sys, ExecProgram};
+    use embsan_emu::hook::NullHook;
+    use embsan_emu::machine::RunExit;
+    use embsan_emu::profile::Arch;
+
+    #[test]
+    fn stripped_image_has_no_analysis_surface_but_runs() {
+        let opts = BuildOptions::new(Arch::Armv);
+        let image = build(&opts, &[]).unwrap();
+        assert!(!image.has_symbols());
+        assert!(image.ready.is_none());
+        let mut machine = image.boot_machine(1).unwrap();
+        assert_eq!(machine.run(&mut NullHook, 2_000_000).unwrap(), RunExit::AllIdle);
+        let mut program = ExecProgram::new();
+        program.push(sys::ALLOC, &[40, 0]);
+        program.push(sys::WRITE, &[0, 1, 9]);
+        program.push(sys::READ, &[0, 1]);
+        machine.bus_mut().devices.mailbox.host_load(&program.encode());
+        assert_eq!(machine.run(&mut NullHook, 2_000_000).unwrap(), RunExit::AllIdle);
+        let results = machine.bus_mut().devices.mailbox.host_take_results();
+        assert_eq!(results[2], 9);
+    }
+
+    #[test]
+    fn mempart_exact_fit_reuse() {
+        let opts = BuildOptions::new(Arch::Armv);
+        let image = build_unstripped(&opts, &[]).unwrap();
+        let mut machine = image.boot_machine(1).unwrap();
+        machine.run(&mut NullHook, 2_000_000).unwrap();
+        let mut program = ExecProgram::new();
+        program.push(sys::ALLOC, &[48, 0]);
+        program.push(sys::WRITE, &[0, 20, 0x33]);
+        program.push(sys::FREE, &[0]);
+        program.push(sys::ALLOC, &[48, 1]); // exact-fit: same block back
+        program.push(sys::READ, &[1, 20]);
+        machine.bus_mut().devices.mailbox.host_load(&program.encode());
+        machine.run(&mut NullHook, 2_000_000).unwrap();
+        let results = machine.bus_mut().devices.mailbox.host_take_results();
+        assert_eq!(results[4], 0x33);
+    }
+}

@@ -1,0 +1,139 @@
+//! Deterministic workloads for the overhead study (Figure 2).
+//!
+//! The paper measures slowdown while replaying "the merged corpus acquired
+//! after completing the previous experiment". This module generates the
+//! equivalent: a deterministic mix of allocator churn, bounded object I/O,
+//! bulk memory operations and CPU-bound work, seeded so every sanitizer
+//! configuration replays byte-identical programs.
+
+use crate::executor::{sys, ExecProgram};
+
+/// A simple deterministic PRNG (xorshift32), independent of the `rand`
+/// crate so the workload definition is self-contained and stable.
+#[derive(Debug, Clone)]
+pub struct WorkloadRng(u32);
+
+impl WorkloadRng {
+    /// Creates a generator (zero seeds are remapped).
+    pub fn new(seed: u32) -> WorkloadRng {
+        WorkloadRng(if seed == 0 { 0xBADC_0FFE } else { seed })
+    }
+
+    /// Next pseudo-random value.
+    pub fn next_u32(&mut self) -> u32 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, bound: u32) -> u32 {
+        self.next_u32() % bound
+    }
+}
+
+/// Generates one corpus-replay program of `calls` syscalls.
+///
+/// The mix models a syscall-fuzzing corpus on an I/O-ish kernel: all four
+/// object slots stay live (a free is immediately followed by a
+/// re-allocation), bulk fill/copy and bounded reads/writes dominate, with
+/// a modest share of CPU-bound and bookkeeping calls. The resulting
+/// instruction stream is roughly 25–35% memory accesses — the regime where
+/// sanitizer check costs are visible, as in the paper's workloads.
+pub fn corpus_program(rng: &mut WorkloadRng, calls: usize) -> ExecProgram {
+    let calls = calls.min(crate::executor::MAX_CALLS);
+    let mut program = ExecProgram::new();
+    // Keep every slot live so object operations do real work.
+    for slot in 0..4 {
+        program.push(sys::ALLOC, &[128 + rng.below(640), slot]);
+    }
+    for _ in 0..calls.saturating_sub(4) {
+        match rng.below(100) {
+            // Allocator churn that keeps slots live.
+            0..=11 => {
+                let slot = rng.below(4);
+                program.push(sys::FREE, &[slot]);
+                program.push(sys::ALLOC, &[64 + rng.below(700), slot]);
+            }
+            // Bounded object reads/writes.
+            12..=41 => {
+                let slot = rng.below(4);
+                if rng.below(2) == 0 {
+                    program.push(sys::WRITE, &[slot, rng.below(768), rng.below(256)]);
+                } else {
+                    program.push(sys::READ, &[slot, rng.below(768)]);
+                }
+            }
+            // Bulk memory operations (the memset/memcpy of driver paths).
+            42..=76 => {
+                if rng.below(2) == 0 {
+                    program.push(sys::FILL, &[rng.below(4), rng.below(256)]);
+                } else {
+                    program.push(sys::COPY, &[rng.below(4), rng.below(4)]);
+                }
+            }
+            // CPU-bound work.
+            77..=86 => {
+                program.push(sys::HASH, &[100 + rng.below(200)]);
+            }
+            _ => {
+                if rng.below(2) == 0 {
+                    program.push(sys::STAT, &[]);
+                } else {
+                    program.push(sys::ECHO, &[rng.next_u32()]);
+                }
+            }
+        }
+        if program.calls.len() + 2 > crate::executor::MAX_CALLS {
+            break;
+        }
+    }
+    program
+}
+
+/// Generates the merged corpus: `programs` programs of `calls` calls each.
+pub fn merged_corpus(seed: u32, programs: usize, calls: usize) -> Vec<ExecProgram> {
+    let mut rng = WorkloadRng::new(seed);
+    (0..programs).map(|_| corpus_program(&mut rng, calls)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a = merged_corpus(7, 5, 40);
+        let b = merged_corpus(7, 5, 40);
+        assert_eq!(a, b);
+        let c = merged_corpus(8, 5, 40);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn corpus_respects_limits() {
+        for program in merged_corpus(3, 10, 60) {
+            assert!(program.calls.len() <= crate::executor::MAX_CALLS);
+            assert!(!program.calls.is_empty());
+            for call in &program.calls {
+                assert!(call.args.len() <= crate::executor::MAX_ARGS);
+                // Workload programs never invoke bug syscalls.
+                assert!(call.nr < sys::BUG_BASE);
+            }
+            // Round-trips through the wire format.
+            assert_eq!(ExecProgram::decode(&program.encode()), Some(program));
+        }
+    }
+
+    #[test]
+    fn corpus_has_a_mix_of_call_kinds() {
+        let corpus = merged_corpus(42, 4, 100);
+        let all: Vec<u8> =
+            corpus.iter().flat_map(|p| p.calls.iter().map(|c| c.nr)).collect();
+        for nr in [sys::ALLOC, sys::WRITE, sys::READ, sys::HASH] {
+            assert!(all.contains(&nr), "missing syscall {nr}");
+        }
+    }
+}

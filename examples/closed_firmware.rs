@@ -1,0 +1,75 @@
+//! Probing and sanitizing closed-source binary-only firmware — the
+//! paper's category 3 (the TP-Link VxWorks case).
+//!
+//! The firmware arrives *stripped*: no symbols, no global table, no ready
+//! annotation. The prober's binary mode identifies the allocator pair
+//! purely from call/return dataflow observed during a dry run, then
+//! EMBSAN-D sanitizes the firmware through dynamic interception — no
+//! recompilation, no source.
+//!
+//! Run with `cargo run --example closed_firmware`.
+
+use embsan::core::probe::{probe, ProbeMode};
+use embsan::core::session::Session;
+use embsan::core::reference_specs;
+use embsan::dsl::FuncRole;
+use embsan::emu::profile::Arch;
+use embsan::guestos::bugs::{trigger_key, BugKind, BugSpec};
+use embsan::guestos::executor::{sys, ExecProgram};
+use embsan::guestos::{os, BuildOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The "vendor" builds firmware with two service bugs and ships only
+    // the stripped image (we never look at the unstripped ground truth).
+    let bugs = [
+        BugSpec::new("pppoed", BugKind::OobWrite),
+        BugSpec::new("dhcpsd", BugKind::Uaf),
+    ];
+    let opts = BuildOptions::new(Arch::Armv);
+    let image = os::vxworks::build(&opts, &bugs)?;
+    assert!(!image.has_symbols(), "closed firmware has no symbol table");
+    println!(
+        "received closed firmware: {} bytes of text, 0 symbols\n",
+        image.text.len()
+    );
+
+    // Binary-mode probing: multi-pass dry run + dataflow heuristics.
+    let artifacts = probe(&image, ProbeMode::DynamicBinary, None)?;
+    let alloc = artifacts
+        .platform
+        .func_by_role(FuncRole::Alloc)
+        .expect("allocator identified by signature");
+    let free = artifacts
+        .platform
+        .func_by_role(FuncRole::Free)
+        .expect("free identified by dataflow");
+    println!(
+        "prober identified allocator pair without symbols:\n  alloc: {} @ {:#x}\n  free:  {} @ {:#x}\n",
+        alloc.symbol, alloc.addr, free.symbol, free.addr
+    );
+    println!("generated platform spec:\n{}\n", artifacts.platform);
+
+    // EMBSAN-D testing phase over the stripped binary.
+    let specs = reference_specs()?;
+    let mut session = Session::new(&image, &specs, &artifacts)?;
+    session.run_to_ready(100_000_000)?;
+
+    for (i, bug) in bugs.iter().enumerate() {
+        let mut program = ExecProgram::new();
+        program.push(sys::BUG_BASE + i as u8, &[trigger_key(&bug.location)]);
+        let outcome = session.run_program(&program, 10_000_000)?;
+        println!(
+            "service `{}`: {} report(s)",
+            bug.location,
+            outcome.reports.len()
+        );
+        for report in &outcome.reports {
+            print!("{}", session.render_report(report));
+        }
+        assert!(
+            !outcome.reports.is_empty(),
+            "EMBSAN-D detects heap bugs in binary-only firmware"
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,194 @@
+//! Bring-your-own firmware: write a small kernel in EV32 *text assembly*,
+//! assemble and link it in-process, and sanitize it with EMBSAN-D.
+//!
+//! This exercises the full toolchain surface a downstream user would touch
+//! to port EMBSAN to their own firmware: the text assembler, the linker,
+//! allocator-signature probing over code EMBSAN has never seen, and
+//! dynamic-mode sanitizing — no instrumentation, no guest cooperation.
+//!
+//! Run with `cargo run --example custom_firmware`.
+
+use embsan::asm::{assemble, link, LinkOptions};
+use embsan::core::probe::{probe, ProbeMode};
+use embsan::core::report::BugClass;
+use embsan::core::session::Session;
+use embsan::core::reference_specs;
+use embsan::dsl::FuncRole;
+use embsan::emu::profile::Arch;
+use embsan::guestos::executor::ExecProgram;
+
+/// A minimal hand-written kernel: bump allocator with a freelist-less
+/// `my_alloc`/`my_free` pair, a mailbox executor with three syscalls, and
+/// a use-after-free lurking in syscall 2.
+const KERNEL_SOURCE: &str = r#"
+    .entry main
+    .ready ready_point
+    .heap 65536
+    .global bump_ptr, 4
+    .global saved_ptr, 4
+
+main:
+    la sp, __stack_top
+    ; init allocator
+    la r1, __heap_start
+    la r2, bump_ptr
+    sw r1, [r2]
+    ; two boot allocations so the prober can observe the signature
+    li a0, 64
+    call my_alloc
+    li a0, 32
+    call my_alloc
+    mv a0, a0
+    call my_free
+ready_point:
+    call executor
+    halt 0
+
+; my_alloc(a0 = size) -> a0: bump allocation, 8-byte header with the size.
+my_alloc:
+    la a2, bump_ptr
+    lw a1, [a2]
+    sw a0, [a1]            ; header: size
+    addi a3, a0, 15
+    li a4, 0xFF8
+    la a5, mask
+    lw a5, [a5]
+    and a3, a3, a5
+    add a3, a1, a3
+    sw a3, [a2]
+    addi a0, a1, 8
+    ret
+
+; my_free(a0 = ptr): this toy allocator never recycles; it only tags the
+; header so the prober sees alloc-result pointers flowing back in.
+my_free:
+    li a1, 0
+    sw a1, [a0-8]
+    ret
+
+; executor: mailbox protocol (count, then [nr, argc, args...] per call).
+executor:
+    addi sp, sp, -8
+    sw lr, [sp+4]
+.wait:
+    la r7, mb_status
+    lw r7, [r7]
+    lw a0, [r7]
+    bne a0, r0, .go
+    wfi
+    j .wait
+.go:
+    call rdbyte
+    mv r8, a0
+.calls:
+    beq r8, r0, .wait
+    call rdbyte            ; nr
+    mv r9, a0
+    call rdbyte            ; argc
+    mv a4, a0
+    li a5, 0
+    li a3, 0
+.args:
+    bgeu a5, a4, .dispatch
+    call rdword
+    mv a3, a0              ; keep only the last argument (enough here)
+    addi a5, a5, 1
+    j .args
+.dispatch:
+    mv a0, a3
+    li a1, 1
+    beq r9, a1, .do_alloc
+    li a1, 2
+    beq r9, a1, .do_uaf
+    li a0, 0
+    j .result
+.do_alloc:
+    call my_alloc
+    la a1, saved_ptr
+    sw a0, [a1]
+    j .result
+.do_uaf:
+    ; free the saved object, then read through the stale pointer
+    la a1, saved_ptr
+    lw a0, [a1]
+    beq a0, r0, .result
+    call my_free
+    la a1, saved_ptr
+    lw a2, [a1]
+    lw a0, [a2+4]          ; use after free
+.result:
+    la a1, mb_result
+    lw a1, [a1]
+    sw a0, [a1]
+    addi r8, r8, -1
+    j .calls
+
+; rdbyte() -> a0
+rdbyte:
+    la a1, mb_next
+    lw a1, [a1]
+    lw a0, [a1]
+    ret
+
+; rdword() -> a0 (little-endian)
+rdword:
+    addi sp, sp, -8
+    sw lr, [sp+4]
+    li a2, 0
+    li a3, 0
+.lp:
+    call rdbyte
+    sll a0, a0, a3
+    or a2, a2, a0
+    addi a3, a3, 8
+    slti a1, a3, 32
+    bne a1, r0, .lp
+    mv a0, a2
+    lw lr, [sp+4]
+    addi sp, sp, 8
+    ret
+
+    ; constants (MMIO addresses for the Armv profile)
+    .data mask, [248, 255, 255, 255]
+    .data mb_status, [0, 4, 0, 240]
+    .data mb_next,   [8, 4, 0, 240]
+    .data mb_result, [12, 4, 0, 240]
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Assemble + link the hand-written kernel.
+    let program = assemble(KERNEL_SOURCE)?;
+    let image = link(&program, &LinkOptions::new(Arch::Armv))?;
+    println!(
+        "assembled custom kernel: {} instructions, entry {:#x}",
+        image.text.len() / 4,
+        image.entry
+    );
+
+    // Probe it like any source-available, uninstrumented firmware.
+    let artifacts = probe(&image, ProbeMode::DynamicSource, None)?;
+    let alloc = artifacts.platform.func_by_role(FuncRole::Alloc).expect("alloc found");
+    let free = artifacts.platform.func_by_role(FuncRole::Free).expect("free found");
+    println!("prober identified: alloc=`{}`, free=`{}`", alloc.symbol, free.symbol);
+    assert_eq!(alloc.symbol, "my_alloc");
+    assert_eq!(free.symbol, "my_free");
+
+    // Sanitize with EMBSAN-D and trigger the lurking use-after-free.
+    let specs = reference_specs()?;
+    let mut session = Session::new(&image, &specs, &artifacts)?;
+    session.run_to_ready(10_000_000)?;
+    let mut program = ExecProgram::new();
+    program.push(1, &[64]); // my_alloc(64)
+    program.push(2, &[0]); // free + stale read
+    let outcome = session.run_program(&program, 10_000_000)?;
+    for report in &outcome.reports {
+        print!("{}", session.render_report(report));
+    }
+    assert!(
+        outcome.reports.iter().any(|r| r.class == BugClass::Uaf),
+        "EMBSAN-D catches the UAF in the hand-written kernel: {:?}",
+        outcome.reports
+    );
+    println!("use-after-free in the custom kernel detected.");
+    Ok(())
+}

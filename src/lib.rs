@@ -1,0 +1,26 @@
+//! EMBSAN — a reproduction of "Effectively Sanitizing Embedded Operating
+//! Systems" (DAC 2024) as a Rust workspace.
+//!
+//! This meta-crate re-exports the workspace's public API:
+//!
+//! - [`emu`]: the EV32 full-system emulator (QEMU/TCG substitute) whose
+//!   translation templates accept sanitizer probes;
+//! - [`asm`]: the firmware toolchain — assembler, linker, image format and
+//!   the EMBSAN-C compile-time instrumentation pass;
+//! - [`dsl`]: the in-house DSL for sanitizer specs, platform specs and
+//!   init routines, with the §3.1 merge rules;
+//! - [`guestos`]: four synthetic embedded OS families with the seeded bug
+//!   corpus of the paper's evaluation;
+//! - [`core`]: EMBSAN itself — Distiller, Prober and the Common Sanitizer
+//!   Runtime (KASAN + KCSAN engines over a unified shadow memory);
+//! - [`fuzz`]: Syzkaller- and Tardis-style fuzzers with the campaign
+//!   driver behind Tables 3 and 4.
+//!
+//! Start with the `quickstart` example or [`core::session::Session`].
+
+pub use embsan_asm as asm;
+pub use embsan_core as core;
+pub use embsan_dsl as dsl;
+pub use embsan_emu as emu;
+pub use embsan_fuzz as fuzz;
+pub use embsan_guestos as guestos;

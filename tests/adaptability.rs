@@ -1,0 +1,93 @@
+//! Integration test for the paper's §5 adaptability claim: a *new*
+//! sanitizer functionality (UMSAN, an uninitialized-read detector) joins
+//! EMBSAN through the standard pipeline — a reference header extraction,
+//! a host engine, and nothing else. The Distiller merges it with
+//! KASAN/KCSAN under the same §3.1 rules, and the runtime dispatches to it
+//! in both attach modes.
+
+use embsan::core::distill::{distill, KASAN_HEADER, UMSAN_HEADER};
+use embsan::core::probe::{probe, ProbeMode};
+use embsan::core::report::BugClass;
+use embsan::core::session::Session;
+use embsan::dsl::{merge, PointKind};
+use embsan::emu::profile::Arch;
+use embsan::guestos::bugs::{trigger_key, BugKind, BugSpec};
+use embsan::guestos::executor::{sys, ExecProgram};
+use embsan::guestos::{os, BuildOptions, SanMode};
+
+#[test]
+fn umsan_distills_and_merges_like_any_sanitizer() {
+    let umsan = distill(UMSAN_HEADER).unwrap();
+    assert_eq!(umsan.name, "umsan");
+    assert!(umsan.point(PointKind::Insn, "load").is_some());
+    assert!(umsan.point(PointKind::Call, "alloc").is_some());
+
+    let kasan = distill(KASAN_HEADER).unwrap();
+    let merged = merge(&[kasan, umsan]);
+    assert_eq!(merged.name, "kasan_umsan");
+    // The shared load point is annotated with both sources.
+    let load = merged.point(PointKind::Insn, "load").unwrap();
+    let addr = load.args.iter().find(|a| a.name == "addr").unwrap();
+    assert_eq!(addr.sources, vec!["kasan", "umsan"]);
+}
+
+fn detect_uninit(san: SanMode, mode: ProbeMode, with_umsan: bool) -> Vec<BugClass> {
+    let bug = BugSpec::new("adapt/uninit", BugKind::UninitRead);
+    let opts = BuildOptions::new(Arch::Armv).san(san);
+    let image = os::emblinux::build(&opts, std::slice::from_ref(&bug)).unwrap();
+    let mut specs = embsan::core::reference_specs().unwrap();
+    if with_umsan {
+        specs.push(distill(UMSAN_HEADER).unwrap());
+    }
+    let artifacts = probe(&image, mode, None).unwrap();
+    let mut session = Session::new(&image, &specs, &artifacts).unwrap();
+    session.run_to_ready(200_000_000).unwrap();
+    let mut program = ExecProgram::new();
+    program.push(sys::BUG_BASE, &[trigger_key("adapt/uninit")]);
+    let outcome = session.run_program(&program, 20_000_000).unwrap();
+    outcome.reports.iter().map(|r| r.class).collect()
+}
+
+/// The uninitialized read is invisible to KASAN+KCSAN (the memory is
+/// addressable and single-threaded) but detected once UMSAN is merged in —
+/// in both attach modes.
+#[test]
+fn uninit_read_needs_the_new_engine() {
+    let without = detect_uninit(SanMode::SanCall, ProbeMode::CompileTime, false);
+    assert!(without.is_empty(), "KASAN/KCSAN alone: {without:?}");
+
+    let with_c = detect_uninit(SanMode::SanCall, ProbeMode::CompileTime, true);
+    assert_eq!(with_c, vec![BugClass::UninitRead], "EMBSAN-C + UMSAN");
+
+    let with_d = detect_uninit(SanMode::None, ProbeMode::DynamicSource, true);
+    assert!(
+        with_d.contains(&BugClass::UninitRead),
+        "EMBSAN-D + UMSAN: {with_d:?}"
+    );
+}
+
+/// The merged three-sanitizer session stays clean on a workload that
+/// initializes before reading (no UMSAN false positives).
+#[test]
+fn three_engine_session_is_clean_on_disciplined_workload() {
+    let opts = BuildOptions::new(Arch::Armv).san(SanMode::SanCall);
+    let image = os::emblinux::build(&opts, &[]).unwrap();
+    let mut specs = embsan::core::reference_specs().unwrap();
+    specs.push(distill(UMSAN_HEADER).unwrap());
+    let artifacts = probe(&image, ProbeMode::CompileTime, None).unwrap();
+    let mut session = Session::new(&image, &specs, &artifacts).unwrap();
+    session.run_to_ready(200_000_000).unwrap();
+    // Discipline: every object is filled before any read of it.
+    let mut program = ExecProgram::new();
+    program.push(sys::ALLOC, &[96, 0]);
+    program.push(sys::FILL, &[0, 0xAA]);
+    program.push(sys::READ, &[0, 17]);
+    program.push(sys::ALLOC, &[48, 1]);
+    program.push(sys::FILL, &[1, 0x55]);
+    program.push(sys::COPY, &[0, 1]);
+    program.push(sys::FREE, &[0]);
+    program.push(sys::FREE, &[1]);
+    let outcome = session.run_program(&program, 20_000_000).unwrap();
+    assert!(outcome.reports.is_empty(), "{:?}", outcome.reports);
+    assert_eq!(outcome.results[2], 0xAA, "the read saw the fill");
+}

@@ -1,0 +1,157 @@
+//! Failure-injection integration tests: corrupted firmware, misuse of the
+//! session API, hook misconfiguration, and malformed inputs must produce
+//! errors, not panics or silent misbehaviour.
+
+use embsan::asm::image::FirmwareImage;
+use embsan::core::probe::{probe, ProbeError, ProbeMode};
+use embsan::core::session::{Session, SessionError};
+use embsan::core::reference_specs;
+use embsan::emu::profile::Arch;
+use embsan::guestos::executor::{sys, ExecProgram};
+use embsan::guestos::{os, BuildOptions, SanMode};
+
+fn clean_image(san: SanMode) -> FirmwareImage {
+    let opts = BuildOptions::new(Arch::Armv).san(san);
+    os::emblinux::build(&opts, &[]).expect("firmware builds")
+}
+
+/// Truncated or corrupted serialized images are rejected with typed errors.
+#[test]
+fn corrupted_images_are_rejected() {
+    let bytes = clean_image(SanMode::None).to_bytes();
+    // Every truncation point fails cleanly.
+    for cut in [0, 1, 7, 16, bytes.len() / 2, bytes.len() - 1] {
+        assert!(
+            FirmwareImage::parse(&bytes[..cut]).is_err(),
+            "truncation at {cut} must fail"
+        );
+    }
+    // Corrupt the magic.
+    let mut bad = bytes.clone();
+    bad[0] ^= 0xFF;
+    assert!(FirmwareImage::parse(&bad).is_err());
+}
+
+/// A firmware whose ROM is garbage faults on its first fetch instead of
+/// hanging or panicking the emulator.
+#[test]
+fn garbage_rom_faults_cleanly() {
+    let mut image = clean_image(SanMode::None);
+    for byte in image.text.iter_mut() {
+        *byte = 0xEE;
+    }
+    let mut machine = image.boot_machine(1).expect("machine builds");
+    let exit = machine
+        .run(&mut embsan::emu::NullHook, 1000)
+        .expect("run returns");
+    assert!(
+        matches!(exit, embsan::emu::machine::RunExit::Faulted { .. }),
+        "{exit:?}"
+    );
+}
+
+/// Probing mismatched categories produces the right errors.
+#[test]
+fn probe_mode_mismatches() {
+    // Compile-time probing of an uninstrumented image.
+    let image = clean_image(SanMode::None);
+    assert_eq!(
+        probe(&image, ProbeMode::CompileTime, None).unwrap_err(),
+        ProbeError::NotInstrumented
+    );
+    // Source probing of a stripped image.
+    let stripped = image.strip();
+    assert_eq!(
+        probe(&stripped, ProbeMode::DynamicSource, None).unwrap_err(),
+        ProbeError::NoSymbols
+    );
+    // Binary probing of a firmware that never boots (garbage ROM).
+    let mut garbage = clean_image(SanMode::None).strip();
+    for byte in garbage.text.iter_mut() {
+        *byte = 0xEE;
+    }
+    assert!(matches!(
+        probe(&garbage, ProbeMode::DynamicBinary, None),
+        Err(ProbeError::BootFailed(_))
+    ));
+}
+
+/// Session API misuse: running programs before ready is a typed error, and
+/// an undersized ready budget reports a timeout.
+#[test]
+fn session_misuse_is_typed() {
+    let image = clean_image(SanMode::SanCall);
+    let specs = reference_specs().unwrap();
+    let artifacts = probe(&image, ProbeMode::CompileTime, None).unwrap();
+    let mut session = Session::new(&image, &specs, &artifacts).unwrap();
+
+    let mut program = ExecProgram::new();
+    program.push(sys::NOP, &[]);
+    assert!(matches!(
+        session.run_program(&program, 1000),
+        Err(SessionError::NotReady)
+    ));
+    assert!(matches!(session.reset(), Err(SessionError::NotReady)));
+
+    // A tiny budget cannot reach the ready point.
+    assert!(matches!(
+        session.run_to_ready(100),
+        Err(SessionError::ReadyTimeout(_))
+    ));
+}
+
+/// Sanitizer specs without load/store interception points are rejected at
+/// runtime construction (the merged spec drives what gets intercepted).
+#[test]
+fn empty_sanitizer_spec_is_rejected() {
+    let image = clean_image(SanMode::SanCall);
+    let artifacts = probe(&image, ProbeMode::CompileTime, None).unwrap();
+    let empty = embsan::dsl::SanitizerSpec {
+        name: "kasan".to_string(),
+        ..Default::default()
+    };
+    assert!(matches!(
+        Session::new(&image, &[empty], &artifacts),
+        Err(SessionError::Runtime(_))
+    ));
+}
+
+/// An executor program exceeding the wire-format's call budget is rejected
+/// host-side before it can desynchronize the guest.
+#[test]
+#[should_panic(expected = "at most")]
+fn oversized_programs_rejected_host_side() {
+    let mut program = ExecProgram::new();
+    for _ in 0..=embsan::guestos::executor::MAX_CALLS {
+        program.push(sys::NOP, &[]);
+    }
+}
+
+/// Malformed mailbox bytes (not produced by `ExecProgram::encode`) do not
+/// crash the guest executor: it consumes what it can and returns to idle.
+#[test]
+fn guest_executor_survives_malformed_programs() {
+    let image = clean_image(SanMode::None);
+    let mut machine = image.boot_machine(1).unwrap();
+    machine.run(&mut embsan::emu::NullHook, 10_000_000).unwrap();
+    for garbage in [
+        vec![0xFF],                      // promises 255 calls, delivers none
+        vec![1],                         // promises a call, no header
+        vec![2, 99, 200],                // bad syscall, absurd argc
+        vec![0, 0, 0, 0],                // zero calls + trailing junk
+    ] {
+        machine.bus_mut().devices.mailbox.host_load(&garbage);
+        let exit = machine.run(&mut embsan::emu::NullHook, 10_000_000).unwrap();
+        assert_eq!(
+            exit,
+            embsan::emu::machine::RunExit::AllIdle,
+            "garbage {garbage:?} must not wedge the executor"
+        );
+    }
+    // And the machine still executes well-formed programs afterwards.
+    let mut ok = ExecProgram::new();
+    ok.push(sys::ECHO, &[7]);
+    machine.bus_mut().devices.mailbox.host_load(&ok.encode());
+    machine.run(&mut embsan::emu::NullHook, 10_000_000).unwrap();
+    assert_eq!(machine.bus_mut().devices.mailbox.host_take_results(), vec![7]);
+}

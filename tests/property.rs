@@ -1,0 +1,258 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants: instruction codec, image serialization, the executor wire
+//! format, shadow-memory soundness, and the DSL merge rules.
+
+use proptest::prelude::*;
+
+use embsan::core::runtime::kasan::{KasanConfig, KasanEngine};
+use embsan::core::runtime::shadow::{code, ShadowMemory};
+use embsan::dsl::{merge, ArgSpec, ArgType, InterceptPoint, PointKind, SanitizerSpec};
+use embsan::emu::isa::{Insn, Reg, Word};
+use embsan::guestos::executor::{ExecCall, ExecProgram};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(Reg::from_index)
+}
+
+fn arb_insn() -> impl Strategy<Value = Insn> {
+    prop_oneof![
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs1, rs2)| Insn::Add { rd, rs1, rs2 }),
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs1, rs2)| Insn::Mulh { rd, rs1, rs2 }),
+        (arb_reg(), arb_reg(), -2048i32..2048)
+            .prop_map(|(rd, rs1, imm)| Insn::Addi { rd, rs1, imm }),
+        (arb_reg(), arb_reg(), 0i32..4096).prop_map(|(rd, rs1, imm)| Insn::Ori { rd, rs1, imm }),
+        (arb_reg(), arb_reg(), 0u8..32).prop_map(|(rd, rs1, shamt)| Insn::Slli { rd, rs1, shamt }),
+        (arb_reg(), 0u32..(1 << 20)).prop_map(|(rd, imm)| Insn::Lui { rd, imm: imm << 12 }),
+        (arb_reg(), arb_reg(), -2048i32..2048)
+            .prop_map(|(rd, rs1, imm)| Insn::Lw { rd, rs1, imm }),
+        (arb_reg(), arb_reg(), -2048i32..2048)
+            .prop_map(|(rs2, rs1, imm)| Insn::Sb { rs2, rs1, imm }),
+        (arb_reg(), arb_reg(), -2048i32..2048)
+            .prop_map(|(rs1, rs2, off)| Insn::Beq { rs1, rs2, offset: off * 4 }),
+        (arb_reg(), -(1i32 << 19)..(1 << 19))
+            .prop_map(|(rd, off)| Insn::Jal { rd, offset: off * 4 }),
+        (0u32..(1 << 20)).prop_map(|nr| Insn::Hyper { nr }),
+        (0u16..u16::MAX).prop_map(|code| Insn::Halt { code }),
+        Just(Insn::Wfi),
+        Just(Insn::Eret),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Every encodable instruction decodes back to itself, and its byte
+    /// serialization round-trips in both endiannesses.
+    #[test]
+    fn insn_codec_roundtrip(insn in arb_insn()) {
+        let word = insn.encode();
+        prop_assert_eq!(Insn::decode(word), Ok(insn));
+        for endian in [embsan::emu::Endian::Little, embsan::emu::Endian::Big] {
+            let bytes = word.to_bytes(endian);
+            prop_assert_eq!(Word::from_bytes(bytes, endian), word);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The executor wire format round-trips arbitrary well-formed programs.
+    #[test]
+    fn exec_program_roundtrip(
+        calls in prop::collection::vec(
+            (0u8..64, prop::collection::vec(any::<u32>(), 0..=4)),
+            0..32
+        )
+    ) {
+        let program = ExecProgram {
+            calls: calls
+                .into_iter()
+                .map(|(nr, args)| ExecCall { nr, args })
+                .collect(),
+        };
+        prop_assert_eq!(ExecProgram::decode(&program.encode()), Some(program));
+    }
+
+    /// Decoding never panics on arbitrary bytes (it may reject them).
+    #[test]
+    fn exec_program_decode_total(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let _ = ExecProgram::decode(&bytes);
+    }
+}
+
+/// Abstract allocator events over a shadow memory.
+#[derive(Debug, Clone)]
+enum AllocEvent {
+    Alloc { slot: usize, size: u32 },
+    Free { slot: usize },
+}
+
+fn arb_events() -> impl Strategy<Value = Vec<AllocEvent>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0usize..6, 1u32..200).prop_map(|(slot, size)| AllocEvent::Alloc { slot, size }),
+            (0usize..6).prop_map(|slot| AllocEvent::Free { slot }),
+        ],
+        0..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Shadow soundness under arbitrary allocator histories: every byte of
+    /// every *live* object is addressable; the first byte past a live
+    /// object is not; freed objects are poisoned. This is the sanitizer's
+    /// no-false-positive / no-false-negative core invariant.
+    #[test]
+    fn shadow_tracks_arbitrary_alloc_histories(events in arb_events()) {
+        let ram_base = 0x10_0000u32;
+        let heap_base = 0x10_1000u32;
+        let mut shadow = ShadowMemory::new(ram_base, 0x4_0000);
+        shadow.poison(heap_base, ram_base + 0x4_0000, code::HEAP);
+        let mut engine = KasanEngine::new(KasanConfig::default());
+
+        // A slab-like allocator model: slots at fixed, disjoint addresses
+        // with an 8-byte header gap (as all the guest allocators keep).
+        let slot_addr = |slot: usize| heap_base + (slot as u32) * 0x200 + 8;
+        let mut live: [Option<u32>; 6] = [None; 6];
+
+        for event in events {
+            match event {
+                AllocEvent::Alloc { slot, size } => {
+                    // (Re)allocate the slot; a still-live slot is freed
+                    // first, as a real freelist would.
+                    if live[slot].is_some() {
+                        let report =
+                            engine.on_free(&mut shadow, slot_addr(slot), 0x100, 0);
+                        prop_assert!(report.is_none());
+                    }
+                    engine.on_alloc(&mut shadow, slot_addr(slot), size, 0x200);
+                    live[slot] = Some(size);
+                }
+                AllocEvent::Free { slot } => {
+                    if live[slot].take().is_some() {
+                        let report =
+                            engine.on_free(&mut shadow, slot_addr(slot), 0x300, 0);
+                        prop_assert!(report.is_none(), "live free must not report");
+                    }
+                }
+            }
+            // Invariants over all slots after every event.
+            for (slot, state) in live.iter().enumerate() {
+                let addr = slot_addr(slot);
+                match state {
+                    Some(size) => {
+                        prop_assert!(
+                            shadow.check(addr, 1).is_ok(),
+                            "first byte of live object"
+                        );
+                        prop_assert!(
+                            shadow.check(addr + size - 1, 1).is_ok(),
+                            "last byte of live object (size {size})"
+                        );
+                        prop_assert!(
+                            shadow.check(addr + size, 1).is_err(),
+                            "one past a live object of size {size}"
+                        );
+                    }
+                    None => {
+                        prop_assert!(
+                            shadow.check(addr, 1).is_err(),
+                            "freed/unallocated slot is poisoned"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Double frees are always reported, regardless of history.
+    #[test]
+    fn double_free_always_reported(size in 1u32..200) {
+        let mut shadow = ShadowMemory::new(0x10_0000, 0x1_0000);
+        shadow.poison(0x10_1000, 0x10_8000, code::HEAP);
+        let mut engine = KasanEngine::new(KasanConfig::default());
+        engine.on_alloc(&mut shadow, 0x10_1008, size, 0x1);
+        prop_assert!(engine.on_free(&mut shadow, 0x10_1008, 0x2, 0).is_none());
+        let report = engine.on_free(&mut shadow, 0x10_1008, 0x3, 0);
+        prop_assert!(report.is_some());
+    }
+}
+
+fn arb_spec(name: &'static str) -> impl Strategy<Value = SanitizerSpec> {
+    let arb_ty = prop_oneof![
+        Just(ArgType::U8),
+        Just(ArgType::U16),
+        Just(ArgType::U32),
+        Just(ArgType::Usize),
+        Just(ArgType::Ptr),
+    ];
+    let arg_names = prop::sample::select(vec!["addr", "size", "value", "cpu", "flags"]);
+    let point = (
+        prop_oneof![Just(PointKind::Insn), Just(PointKind::Call), Just(PointKind::Event)],
+        prop::sample::select(vec!["load", "store", "atomic", "alloc", "free", "ready"]),
+        prop::collection::btree_map(arg_names, arb_ty, 0..4),
+    )
+        .prop_map(|(kind, pname, args)| InterceptPoint {
+            kind,
+            name: pname.to_string(),
+            args: args
+                .into_iter()
+                .map(|(n, ty)| ArgSpec { name: n.to_string(), ty, sources: Vec::new() })
+                .collect(),
+        });
+    prop::collection::vec(point, 0..6).prop_map(move |points| {
+        // Deduplicate (kind, name) pairs: a single spec lists each point once.
+        let mut seen = std::collections::BTreeSet::new();
+        let points = points
+            .into_iter()
+            .filter(|p| seen.insert((p.kind, p.name.clone())))
+            .collect();
+        SanitizerSpec { name: name.to_string(), resources: Default::default(), points }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// §3.1 merge laws: the merged point set is the union (order-insensitive
+    /// as a set), every argument is annotated with at least one source, and
+    /// merged argument types are at least as wide as every source's.
+    #[test]
+    fn merge_laws(a in arb_spec("kasan"), b in arb_spec("kcsan")) {
+        let merged = merge(&[a.clone(), b.clone()]);
+        let key = |p: &InterceptPoint| (p.kind, p.name.clone());
+        let merged_keys: std::collections::BTreeSet<_> =
+            merged.points.iter().map(key).collect();
+        let union_keys: std::collections::BTreeSet<_> =
+            a.points.iter().chain(&b.points).map(key).collect();
+        prop_assert_eq!(&merged_keys, &union_keys);
+
+        let flipped = merge(&[b.clone(), a.clone()]);
+        let flipped_keys: std::collections::BTreeSet<_> =
+            flipped.points.iter().map(key).collect();
+        prop_assert_eq!(&merged_keys, &flipped_keys);
+
+        for point in &merged.points {
+            for arg in &point.args {
+                prop_assert!(!arg.sources.is_empty(), "annotations identify sources");
+                for source in [&a, &b] {
+                    if let Some(p) = source.point(point.kind, &point.name) {
+                        if let Some(src_arg) = p.args.iter().find(|x| x.name == arg.name) {
+                            prop_assert!(
+                                arg.ty >= src_arg.ty,
+                                "merged type is the largest union"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        // The merged spec is printable, parseable DSL.
+        let reparsed = embsan::dsl::parse(&merged.to_string()).unwrap();
+        prop_assert_eq!(reparsed.len(), 1);
+    }
+}
