@@ -1,0 +1,150 @@
+//! Static allocator-signature detection.
+//!
+//! The D-binary Prober (§3.2, category-3 firmware) normally needs a
+//! *discovery* dry run to propose allocator candidates from runtime call
+//! traces, then a second pass to verify them. This pass produces the same
+//! candidate shape **statically**: an allocator maintains private state, so
+//! it both loads and stores some statically addressed RAM global (a
+//! freelist head, a bump pointer) *and* produces a pointer in `a0`; a free
+//! routine pushes onto that same state but returns nothing. Exported as
+//! ranked [`PriorKnowledge`] candidate lists, the prober verifies them
+//! against a single recorded boot trace — cutting the dry-run passes from
+//! two to one. Precision is secondary to recall: an impostor candidate
+//! merely costs one cheap trace check, while a missing true pair forces the
+//! full discovery pass.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use embsan_asm::image::FirmwareImage;
+use embsan_core::probe::PriorKnowledge;
+use embsan_emu::isa::Reg;
+
+use crate::cfg::Cfg;
+
+/// Per-function evidence the signature matcher scores.
+#[derive(Debug, Clone, Default)]
+pub struct FnSignature {
+    /// Function entry address.
+    pub entry: u32,
+    /// Symbol name, when available.
+    pub name: Option<String>,
+    /// Static RAM addresses the function loads.
+    pub loaded_globals: BTreeSet<u32>,
+    /// Static RAM addresses the function stores.
+    pub stored_globals: BTreeSet<u32>,
+    /// Addresses both loaded and stored — allocator-state shaped.
+    pub rw_globals: BTreeSet<u32>,
+    /// Whether any instruction writes `a0` (produces a return value).
+    pub writes_a0: bool,
+    /// Whether the function loops (freelist walk, spin, …).
+    pub has_loop: bool,
+    /// Number of distinct direct callers.
+    pub fan_in: usize,
+}
+
+/// Collects the evidence for every recovered function.
+pub fn function_signatures(cfg: &Cfg, image: &FirmwareImage) -> BTreeMap<u32, FnSignature> {
+    let ram = image.ram_base..image.ram_base.wrapping_add(image.ram_size);
+    let mut signatures: BTreeMap<u32, FnSignature> = cfg
+        .functions
+        .values()
+        .map(|f| {
+            (
+                f.entry,
+                FnSignature {
+                    entry: f.entry,
+                    name: f.name.clone(),
+                    has_loop: f.has_loop,
+                    ..FnSignature::default()
+                },
+            )
+        })
+        .collect();
+
+    for site in cfg.memory_sites() {
+        let Some(addr) = site.addr else { continue };
+        if !ram.contains(&addr) || site.is_atomic {
+            continue;
+        }
+        let Some(sig) = signatures.get_mut(&site.function) else { continue };
+        if site.is_write {
+            sig.stored_globals.insert(addr);
+        } else {
+            sig.loaded_globals.insert(addr);
+        }
+    }
+    for function in cfg.functions.values() {
+        let writes_a0 = function.blocks.iter().any(|b| {
+            cfg.blocks[b].insns.iter().any(|(_, insn)| crate::cfg::insn_dest(insn) == Some(Reg::A0))
+        });
+        let Some(sig) = signatures.get_mut(&function.entry) else { continue };
+        sig.writes_a0 = writes_a0;
+        sig.rw_globals = sig.loaded_globals.intersection(&sig.stored_globals).copied().collect();
+    }
+    // Fan-in over the direct call graph.
+    let mut fan_in: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
+    for function in cfg.functions.values() {
+        for &callee in &function.callees {
+            fan_in.entry(callee).or_default().insert(function.entry);
+        }
+    }
+    for (entry, callers) in fan_in {
+        if let Some(sig) = signatures.get_mut(&entry) {
+            sig.fan_in = callers.len();
+        }
+    }
+    signatures
+}
+
+/// Maximum candidates exported per role, bounding the prober's
+/// verification cross-product.
+const MAX_CANDIDATES: usize = 6;
+
+/// Runs the signature matcher and exports ranked [`PriorKnowledge`] for
+/// [`probe`](embsan_core::probe::probe) in `DynamicBinary` mode.
+pub fn static_priors(image: &FirmwareImage) -> PriorKnowledge {
+    let cfg = Cfg::build(image);
+    static_priors_from_cfg(&cfg, image)
+}
+
+/// [`static_priors`] over an already recovered CFG.
+pub fn static_priors_from_cfg(cfg: &Cfg, image: &FirmwareImage) -> PriorKnowledge {
+    let signatures = function_signatures(cfg, image);
+
+    let alloc_pool: Vec<&FnSignature> =
+        signatures.values().filter(|s| !s.rw_globals.is_empty() && s.writes_a0).collect();
+    let free_pool: Vec<&FnSignature> =
+        signatures.values().filter(|s| !s.stored_globals.is_empty() && !s.writes_a0).collect();
+
+    let shares =
+        |a: &BTreeSet<u32>, pool: &[&FnSignature], of: fn(&FnSignature) -> &BTreeSet<u32>| {
+            pool.iter().any(|other| of(other).intersection(a).next().is_some())
+        };
+
+    let mut alloc_ranked: Vec<(i32, u32)> = alloc_pool
+        .iter()
+        .map(|s| {
+            let score = 4 * i32::from(shares(&s.rw_globals, &free_pool, |f| &f.stored_globals))
+                + 2 * i32::from(s.has_loop)
+                + (s.fan_in.min(3) as i32);
+            (score, s.entry)
+        })
+        .collect();
+    let mut free_ranked: Vec<(i32, u32)> = free_pool
+        .iter()
+        .map(|s| {
+            let score = 4 * i32::from(shares(&s.stored_globals, &alloc_pool, |f| &f.rw_globals))
+                + i32::from(!s.rw_globals.is_empty())
+                + (s.fan_in.min(3) as i32);
+            (score, s.entry)
+        })
+        .collect();
+    alloc_ranked.sort_by_key(|&(score, entry)| (std::cmp::Reverse(score), entry));
+    free_ranked.sort_by_key(|&(score, entry)| (std::cmp::Reverse(score), entry));
+
+    PriorKnowledge {
+        alloc_candidates: alloc_ranked.into_iter().take(MAX_CANDIDATES).map(|(_, e)| e).collect(),
+        free_candidates: free_ranked.into_iter().take(MAX_CANDIDATES).map(|(_, e)| e).collect(),
+        ..PriorKnowledge::default()
+    }
+}

@@ -1,0 +1,198 @@
+//! Probe-coverage auditing.
+//!
+//! The whole EMBSAN design rests on one invariant: when the runtime arms
+//! memory probes, **every** guest load/store/atomic that can execute does so
+//! through a translated op carrying a spliced probe. A translator bug that
+//! skips one op kind would silently blind the sanitizers. This module
+//! audits that invariant statically: it enumerates every reachable memory
+//! site from the recovered [`Cfg`](crate::cfg::Cfg), translates every
+//! reachable block with the *real* block translator, and cross-checks the
+//! two — in both directions (no missing probe, no spurious probe) — using
+//! an instruction classifier deliberately independent of
+//! [`Insn::is_mem_access`].
+
+use std::collections::BTreeMap;
+
+use embsan_asm::image::FirmwareImage;
+use embsan_emu::bus::Bus;
+use embsan_emu::error::Fault;
+use embsan_emu::hook::HookConfig;
+use embsan_emu::isa::Insn;
+use embsan_emu::translate::{translate_block_at, Block};
+
+use crate::cfg::Cfg;
+
+/// Outcome of a probe-coverage audit.
+#[derive(Debug, Clone)]
+pub struct AuditReport {
+    /// Configuration the blocks were translated under.
+    pub config: HookConfig,
+    /// Reachable basic blocks whose translations were inspected.
+    pub blocks_audited: usize,
+    /// Statically enumerated memory sites cross-checked.
+    pub checked_sites: usize,
+    /// Translated ops that carried a memory probe.
+    pub probed_sites: usize,
+    /// Memory ops that would execute **without** a probe (pc, instruction).
+    pub missing: Vec<(u32, Insn)>,
+    /// Ops carrying a probe that are not memory accesses (pc, instruction).
+    pub spurious: Vec<(u32, Insn)>,
+    /// Static memory sites never covered by any translated block.
+    pub uncovered: Vec<u32>,
+}
+
+impl AuditReport {
+    /// Whether the translator's probe splicing is exactly right.
+    pub fn is_clean(&self) -> bool {
+        self.missing.is_empty() && self.spurious.is_empty() && self.uncovered.is_empty()
+    }
+}
+
+/// Audit failures (the audit itself, not probe verdicts).
+#[derive(Debug, Clone)]
+pub enum AuditError {
+    /// The image could not be loaded into a machine.
+    Boot(String),
+    /// A reachable block start failed to translate.
+    Translate {
+        /// Block start address.
+        pc: u32,
+        /// The fault raised by the translator.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for AuditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AuditError::Boot(e) => write!(f, "cannot load image: {e}"),
+            AuditError::Translate { pc, message } => {
+                write!(f, "block at {pc:#010x} failed to translate: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AuditError {}
+
+/// Memory-access classification independent of the translator's own
+/// [`Insn::is_mem_access`], so a drift in either shows up as an audit
+/// violation instead of cancelling out.
+fn is_memory_op(insn: &Insn) -> bool {
+    matches!(
+        insn,
+        Insn::Lb { .. }
+            | Insn::Lbu { .. }
+            | Insn::Lh { .. }
+            | Insn::Lhu { .. }
+            | Insn::Lw { .. }
+            | Insn::Sb { .. }
+            | Insn::Sh { .. }
+            | Insn::Sw { .. }
+            | Insn::AmoAddW { .. }
+            | Insn::AmoSwpW { .. }
+    )
+}
+
+/// Audits the real block translator over every reachable block of `image`.
+///
+/// # Errors
+///
+/// Returns [`AuditError`] if the image cannot boot a machine or a reachable
+/// block fails to translate.
+pub fn audit(image: &FirmwareImage, config: HookConfig) -> Result<AuditReport, AuditError> {
+    audit_with(image, config, translate_block_at)
+}
+
+/// Audits an arbitrary translation function — the test seam that lets the
+/// suite prove the audit *fails* when probe splicing is deliberately broken.
+///
+/// # Errors
+///
+/// Returns [`AuditError`] if the image cannot boot a machine or a reachable
+/// block fails to translate.
+pub fn audit_with<F>(
+    image: &FirmwareImage,
+    config: HookConfig,
+    translate: F,
+) -> Result<AuditReport, AuditError>
+where
+    F: Fn(&Bus, u32, HookConfig) -> Result<Block, Fault>,
+{
+    let machine = image.boot_machine(1).map_err(|e| AuditError::Boot(format!("{e:?}")))?;
+    let bus = machine.bus();
+    let cfg = Cfg::build(image);
+
+    // pc -> probe_mem flag of the translated op covering it.
+    let mut covered: BTreeMap<u32, bool> = BTreeMap::new();
+    let mut report = AuditReport {
+        config,
+        blocks_audited: 0,
+        checked_sites: 0,
+        probed_sites: 0,
+        missing: Vec::new(),
+        spurious: Vec::new(),
+        uncovered: Vec::new(),
+    };
+
+    for &start in cfg.blocks.keys() {
+        report.blocks_audited += 1;
+        // Translated blocks are capped at MAX_BLOCK_LEN ops; a longer
+        // straight-line run continues in a follow-on block at runtime, so
+        // the audit chains translations the same way.
+        let mut pc = start;
+        loop {
+            if covered.contains_key(&pc) {
+                break; // chained into a stretch already audited
+            }
+            let block = match translate(bus, pc, config) {
+                Ok(block) => block,
+                Err(fault) if pc != start => {
+                    // The translator stopped at a text boundary mid-chain;
+                    // nothing executable remains.
+                    let _ = fault;
+                    break;
+                }
+                Err(fault) => {
+                    return Err(AuditError::Translate { pc, message: format!("{fault:?}") });
+                }
+            };
+            let Some(last) = block.ops.last().copied() else { break };
+            for op in &block.ops {
+                covered.insert(op.pc, op.probe_mem);
+                let is_mem = is_memory_op(&op.insn);
+                if op.probe_mem {
+                    report.probed_sites += 1;
+                    if !is_mem || !config.mem {
+                        report.spurious.push((op.pc, op.insn));
+                    }
+                } else if is_mem && config.mem {
+                    report.missing.push((op.pc, op.insn));
+                }
+            }
+            if last.insn.ends_block() {
+                break;
+            }
+            pc = last.pc.wrapping_add(4);
+        }
+    }
+
+    // Every statically enumerated memory site must be covered by some
+    // translated op (when probes are armed at all).
+    if config.mem {
+        for (pc, insn) in &cfg.insns {
+            if is_memory_op(insn) {
+                report.checked_sites += 1;
+                if !covered.contains_key(pc) {
+                    report.uncovered.push(*pc);
+                }
+            }
+        }
+    }
+
+    report.missing.sort_unstable_by_key(|(pc, _)| *pc);
+    report.missing.dedup_by_key(|(pc, _)| *pc);
+    report.spurious.sort_unstable_by_key(|(pc, _)| *pc);
+    report.spurious.dedup_by_key(|(pc, _)| *pc);
+    Ok(report)
+}

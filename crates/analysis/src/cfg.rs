@@ -1,0 +1,749 @@
+//! Control-flow recovery over firmware images.
+//!
+//! Rebuilds a basic-block CFG directly from a [`FirmwareImage`]'s text
+//! section using the emulator's own decoder — a combined linear-sweep /
+//! recursive-descent pass. Roots are the entry point, the ready point, any
+//! `Func` symbols (absent on stripped images) and every address-taken text
+//! constant materialized by a `lui`+`ori` pair (how `la` lowers large
+//! constants), which is what makes indirect dispatch through function-
+//! pointer tables — the executor's `sys_table` — statically reachable.
+//!
+//! On top of the block graph the module derives a call graph, an iterative
+//! dominator tree (Cooper–Harvey–Kennedy over a virtual root), per-function
+//! loop facts, and a constant-propagating memory-site enumeration shared by
+//! the allocator-signature and lockset passes.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use embsan_asm::image::{FirmwareImage, SymbolKind};
+use embsan_emu::isa::{Insn, Reg, Word};
+use embsan_emu::profile::{Arch, ArchProfile, Endian};
+
+/// Sentinel dominator-tree parent of root blocks.
+pub const VIRTUAL_ROOT: u32 = u32::MAX;
+
+/// A recovered basic block.
+#[derive(Debug, Clone)]
+pub struct BasicBlock {
+    /// Address of the first instruction.
+    pub start: u32,
+    /// Instructions with their addresses, in program order.
+    pub insns: Vec<(u32, Insn)>,
+    /// Intra-procedural successors (branch target, fall-through, resume
+    /// point after a call/trap). Call *targets* are not successors.
+    pub succs: Vec<u32>,
+    /// Direct call target if the block ends in `jal rd≠r0`.
+    pub call_target: Option<u32>,
+    /// Whether the block ends in an indirect call (`jalr rd≠r0`).
+    pub indirect_call: bool,
+}
+
+/// A recovered function: an entry point plus the blocks assigned to it.
+#[derive(Debug, Clone)]
+pub struct Function {
+    /// Entry address.
+    pub entry: u32,
+    /// Symbol name, when the image carries symbols.
+    pub name: Option<String>,
+    /// Member block start addresses, ascending.
+    pub blocks: Vec<u32>,
+    /// Direct callees (function entry addresses).
+    pub callees: BTreeSet<u32>,
+    /// Whether the function contains a back edge (a loop).
+    pub has_loop: bool,
+}
+
+/// A statically enumerated memory access site.
+#[derive(Debug, Clone, Copy)]
+pub struct MemSite {
+    /// Address of the load/store/atomic instruction.
+    pub pc: u32,
+    /// Start of the containing block.
+    pub block: u32,
+    /// Entry of the containing function.
+    pub function: u32,
+    /// Effective address when constant propagation resolves it.
+    pub addr: Option<u32>,
+    /// Access width in bytes.
+    pub size: u8,
+    /// Whether the access writes memory.
+    pub is_write: bool,
+    /// Whether the access is atomic (`amoadd.w`/`amoswp.w`).
+    pub is_atomic: bool,
+}
+
+/// The recovered control-flow graph.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Architecture the image targets.
+    pub arch: Arch,
+    /// Image entry point.
+    pub entry: u32,
+    /// Text base address.
+    pub text_base: u32,
+    /// Text length in bytes (truncated to whole words).
+    pub text_len: u32,
+    /// Every reachable decoded instruction, keyed by address.
+    pub insns: BTreeMap<u32, Insn>,
+    /// Basic blocks keyed by start address.
+    pub blocks: BTreeMap<u32, BasicBlock>,
+    /// Functions keyed by entry address.
+    pub functions: BTreeMap<u32, Function>,
+    /// Text addresses materialized as constants (address-taken targets).
+    pub address_taken: BTreeSet<u32>,
+    /// Immediate dominator of each block ([`VIRTUAL_ROOT`] for roots).
+    pub idom: BTreeMap<u32, u32>,
+}
+
+/// How an instruction leaves a block.
+enum Flow {
+    /// Straight-line; not a block end.
+    Fall,
+    /// Conditional branch to the target, falling through otherwise.
+    Branch(u32),
+    /// Unconditional direct jump.
+    Jump(u32),
+    /// Direct call; execution resumes at `pc + 4`.
+    Call(u32),
+    /// Indirect call (`jalr rd≠r0`); resumes at `pc + 4`.
+    IndirectCall,
+    /// Indirect jump or return; successors unknown.
+    IndirectJump,
+    /// Ends the block but execution resumes at `pc + 4` (trap, idle).
+    Resume,
+    /// Execution does not continue past this instruction.
+    Stop,
+}
+
+fn flow(insn: &Insn, pc: u32) -> Flow {
+    match *insn {
+        Insn::Beq { offset, .. }
+        | Insn::Bne { offset, .. }
+        | Insn::Blt { offset, .. }
+        | Insn::Bltu { offset, .. }
+        | Insn::Bge { offset, .. }
+        | Insn::Bgeu { offset, .. } => Flow::Branch(pc.wrapping_add(offset as u32)),
+        Insn::Jal { rd: Reg::R0, offset } => Flow::Jump(pc.wrapping_add(offset as u32)),
+        Insn::Jal { offset, .. } => Flow::Call(pc.wrapping_add(offset as u32)),
+        Insn::Jalr { rd: Reg::R0, .. } => Flow::IndirectJump,
+        Insn::Jalr { .. } => Flow::IndirectCall,
+        Insn::Ecall { .. } | Insn::Wfi => Flow::Resume,
+        Insn::Eret | Insn::Halt { .. } | Insn::Brk => Flow::Stop,
+        _ => Flow::Fall,
+    }
+}
+
+/// Register destination of an instruction, if any.
+pub(crate) fn insn_dest(insn: &Insn) -> Option<Reg> {
+    match *insn {
+        Insn::Add { rd, .. }
+        | Insn::Sub { rd, .. }
+        | Insn::And { rd, .. }
+        | Insn::Or { rd, .. }
+        | Insn::Xor { rd, .. }
+        | Insn::Sll { rd, .. }
+        | Insn::Srl { rd, .. }
+        | Insn::Sra { rd, .. }
+        | Insn::Mul { rd, .. }
+        | Insn::Mulh { rd, .. }
+        | Insn::Divu { rd, .. }
+        | Insn::Remu { rd, .. }
+        | Insn::Slt { rd, .. }
+        | Insn::Sltu { rd, .. }
+        | Insn::Addi { rd, .. }
+        | Insn::Andi { rd, .. }
+        | Insn::Ori { rd, .. }
+        | Insn::Xori { rd, .. }
+        | Insn::Slli { rd, .. }
+        | Insn::Srli { rd, .. }
+        | Insn::Srai { rd, .. }
+        | Insn::Slti { rd, .. }
+        | Insn::Sltiu { rd, .. }
+        | Insn::Lui { rd, .. }
+        | Insn::Auipc { rd, .. }
+        | Insn::Lb { rd, .. }
+        | Insn::Lbu { rd, .. }
+        | Insn::Lh { rd, .. }
+        | Insn::Lhu { rd, .. }
+        | Insn::Lw { rd, .. }
+        | Insn::AmoAddW { rd, .. }
+        | Insn::AmoSwpW { rd, .. }
+        | Insn::Jal { rd, .. }
+        | Insn::Jalr { rd, .. }
+        | Insn::Csrr { rd, .. } => Some(rd),
+        _ => None,
+    }
+}
+
+/// A constant-propagation register file: `Some(v)` when the register
+/// provably holds `v` on every path reaching this point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct RegState([Option<u32>; 16]);
+
+impl RegState {
+    pub(crate) fn unknown() -> RegState {
+        let mut regs = [None; 16];
+        regs[0] = Some(0);
+        RegState(regs)
+    }
+
+    pub(crate) fn get(&self, reg: Reg) -> Option<u32> {
+        self.0[reg.index()]
+    }
+
+    fn set(&mut self, reg: Reg, value: Option<u32>) {
+        if reg != Reg::R0 {
+            self.0[reg.index()] = value;
+        }
+    }
+
+    /// Pointwise meet; returns whether `self` changed.
+    fn meet(&mut self, other: &RegState) -> bool {
+        let mut changed = false;
+        for (mine, theirs) in self.0.iter_mut().zip(other.0.iter()) {
+            if *mine != *theirs && mine.is_some() {
+                *mine = None;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Invalidates registers a callee may overwrite (the argument registers,
+    /// the scratch register and the link register; `r7`–`r11` are preserved
+    /// by the prologue/epilogue convention).
+    fn clobber_caller_saved(&mut self) {
+        for reg in [Reg::A0, Reg::A1, Reg::A2, Reg::A3, Reg::A4, Reg::A5, Reg::SCRATCH, Reg::LR] {
+            self.set(reg, None);
+        }
+    }
+
+    /// Applies one instruction's effect on the register file.
+    pub(crate) fn step(&mut self, insn: &Insn) {
+        let value = match *insn {
+            Insn::Lui { imm, .. } => Some(imm),
+            Insn::Addi { rs1, imm, .. } => self.get(rs1).map(|v| v.wrapping_add(imm as u32)),
+            Insn::Ori { rs1, imm, .. } => self.get(rs1).map(|v| v | imm as u32),
+            Insn::Andi { rs1, imm, .. } => self.get(rs1).map(|v| v & imm as u32),
+            Insn::Xori { rs1, imm, .. } => self.get(rs1).map(|v| v ^ imm as u32),
+            Insn::Slli { rs1, shamt, .. } => self.get(rs1).map(|v| v << shamt),
+            Insn::Srli { rs1, shamt, .. } => self.get(rs1).map(|v| v >> shamt),
+            Insn::Add { rs1, rs2, .. } => binop(self, rs1, rs2, u32::wrapping_add),
+            Insn::Sub { rs1, rs2, .. } => binop(self, rs1, rs2, u32::wrapping_sub),
+            Insn::Or { rs1, rs2, .. } => binop(self, rs1, rs2, |a, b| a | b),
+            Insn::And { rs1, rs2, .. } => binop(self, rs1, rs2, |a, b| a & b),
+            Insn::Xor { rs1, rs2, .. } => binop(self, rs1, rs2, |a, b| a ^ b),
+            _ => None,
+        };
+        if let Some(rd) = insn_dest(insn) {
+            self.set(rd, value);
+        }
+    }
+}
+
+fn binop(state: &RegState, rs1: Reg, rs2: Reg, op: fn(u32, u32) -> u32) -> Option<u32> {
+    Some(op(state.get(rs1)?, state.get(rs2)?))
+}
+
+/// Memory-access shape of an instruction, as `(base, offset, size, write,
+/// atomic)`.
+fn mem_shape(insn: &Insn) -> Option<(Reg, i32, u8, bool, bool)> {
+    match *insn {
+        Insn::Lb { rs1, imm, .. } | Insn::Lbu { rs1, imm, .. } => Some((rs1, imm, 1, false, false)),
+        Insn::Lh { rs1, imm, .. } | Insn::Lhu { rs1, imm, .. } => Some((rs1, imm, 2, false, false)),
+        Insn::Lw { rs1, imm, .. } => Some((rs1, imm, 4, false, false)),
+        Insn::Sb { rs1, imm, .. } => Some((rs1, imm, 1, true, false)),
+        Insn::Sh { rs1, imm, .. } => Some((rs1, imm, 2, true, false)),
+        Insn::Sw { rs1, imm, .. } => Some((rs1, imm, 4, true, false)),
+        Insn::AmoAddW { rs1, .. } | Insn::AmoSwpW { rs1, .. } => Some((rs1, 0, 4, true, true)),
+        _ => None,
+    }
+}
+
+impl Cfg {
+    /// Recovers the CFG of an image.
+    pub fn build(image: &FirmwareImage) -> Cfg {
+        let profile = ArchProfile::for_arch(image.arch);
+        let text_base = image.rom_base;
+        let text_len = (image.text.len() as u32) & !3;
+        let decode_at = |addr: u32| -> Option<Insn> {
+            if addr < text_base || addr >= text_base + text_len || !addr.is_multiple_of(4) {
+                return None;
+            }
+            let off = (addr - text_base) as usize;
+            let bytes: [u8; 4] = image.text[off..off + 4].try_into().ok()?;
+            Insn::decode(Word::from_bytes(bytes, profile.endian)).ok()
+        };
+
+        let address_taken = scan_address_taken(image, profile.endian, text_base, text_len);
+
+        // Roots: entry, ready, function symbols and address-taken targets.
+        let mut roots: BTreeSet<u32> = BTreeSet::new();
+        roots.insert(image.entry);
+        roots.extend(image.ready);
+        roots.extend(image.symbols.iter().filter(|s| s.kind == SymbolKind::Func).map(|s| s.addr));
+        roots.extend(address_taken.iter().copied());
+        roots.retain(|&a| decode_at(a).is_some());
+
+        // Recursive-descent walk: mark reachable instructions and leaders.
+        let mut insns: BTreeMap<u32, Insn> = BTreeMap::new();
+        let mut leaders: BTreeSet<u32> = roots.clone();
+        let mut fn_entries: BTreeSet<u32> = roots.clone();
+        let mut queue: VecDeque<u32> = roots.iter().copied().collect();
+        let mut walked: BTreeSet<u32> = BTreeSet::new();
+        while let Some(leader) = queue.pop_front() {
+            if !walked.insert(leader) {
+                continue;
+            }
+            let mut pc = leader;
+            while let Some(insn) = decode_at(pc) {
+                insns.insert(pc, insn);
+                let mut enqueue = |target: u32, leaders: &mut BTreeSet<u32>| {
+                    if decode_at(target).is_some() && leaders.insert(target) {
+                        queue.push_back(target);
+                    }
+                };
+                match flow(&insn, pc) {
+                    Flow::Fall => {
+                        pc = pc.wrapping_add(4);
+                        if leaders.contains(&pc) {
+                            break; // falls into a block already queued
+                        }
+                        continue;
+                    }
+                    Flow::Branch(target) => {
+                        enqueue(target, &mut leaders);
+                        enqueue(pc.wrapping_add(4), &mut leaders);
+                    }
+                    Flow::Jump(target) => enqueue(target, &mut leaders),
+                    Flow::Call(target) => {
+                        fn_entries.insert(target);
+                        enqueue(target, &mut leaders);
+                        enqueue(pc.wrapping_add(4), &mut leaders);
+                    }
+                    Flow::IndirectCall | Flow::Resume => enqueue(pc.wrapping_add(4), &mut leaders),
+                    Flow::IndirectJump | Flow::Stop => {}
+                }
+                break;
+            }
+        }
+
+        // Block construction: split the walked instructions at leaders.
+        let mut blocks: BTreeMap<u32, BasicBlock> = BTreeMap::new();
+        for &leader in &leaders {
+            if !insns.contains_key(&leader) {
+                continue;
+            }
+            let mut block = BasicBlock {
+                start: leader,
+                insns: Vec::new(),
+                succs: Vec::new(),
+                call_target: None,
+                indirect_call: false,
+            };
+            let mut pc = leader;
+            loop {
+                let insn = insns[&pc];
+                block.insns.push((pc, insn));
+                let next = pc.wrapping_add(4);
+                let succ = |target: u32, block: &mut BasicBlock| {
+                    if insns.contains_key(&target) {
+                        block.succs.push(target);
+                    }
+                };
+                match flow(&insn, pc) {
+                    Flow::Fall => {
+                        if leaders.contains(&next) {
+                            succ(next, &mut block);
+                            break;
+                        }
+                        if !insns.contains_key(&next) {
+                            break;
+                        }
+                        pc = next;
+                        continue;
+                    }
+                    Flow::Branch(target) => {
+                        succ(target, &mut block);
+                        succ(next, &mut block);
+                    }
+                    Flow::Jump(target) => succ(target, &mut block),
+                    Flow::Call(target) => {
+                        block.call_target = Some(target);
+                        succ(next, &mut block);
+                    }
+                    Flow::IndirectCall => {
+                        block.indirect_call = true;
+                        succ(next, &mut block);
+                    }
+                    Flow::Resume => succ(next, &mut block),
+                    Flow::IndirectJump | Flow::Stop => {}
+                }
+                break;
+            }
+            blocks.insert(leader, block);
+        }
+
+        // Functions: contiguous assignment over the entry set.
+        fn_entries.retain(|e| blocks.contains_key(e));
+        let entries: Vec<u32> = fn_entries.iter().copied().collect();
+        let owner = |block_start: u32| -> u32 {
+            match entries.binary_search(&block_start) {
+                Ok(i) => entries[i],
+                Err(0) => entries.first().copied().unwrap_or(block_start),
+                Err(i) => entries[i - 1],
+            }
+        };
+        let mut functions: BTreeMap<u32, Function> = entries
+            .iter()
+            .map(|&entry| {
+                (
+                    entry,
+                    Function {
+                        entry,
+                        name: image
+                            .symbols
+                            .iter()
+                            .find(|s| s.kind == SymbolKind::Func && s.addr == entry)
+                            .map(|s| s.name.clone()),
+                        blocks: Vec::new(),
+                        callees: BTreeSet::new(),
+                        has_loop: false,
+                    },
+                )
+            })
+            .collect();
+        for block in blocks.values() {
+            if let Some(function) = functions.get_mut(&owner(block.start)) {
+                function.blocks.push(block.start);
+                function.callees.extend(block.call_target);
+            }
+        }
+
+        let mut cfg = Cfg {
+            arch: image.arch,
+            entry: image.entry,
+            text_base,
+            text_len,
+            insns,
+            blocks,
+            functions,
+            address_taken,
+            idom: BTreeMap::new(),
+        };
+        cfg.idom = cfg.compute_dominators(&fn_entries);
+        let loops: Vec<u32> = cfg
+            .functions
+            .values()
+            .filter(|f| {
+                f.blocks.iter().any(|&b| {
+                    cfg.blocks[&b]
+                        .succs
+                        .iter()
+                        .any(|&s| cfg.owner_of(s) == f.entry && cfg.dominates(s, b))
+                })
+            })
+            .map(|f| f.entry)
+            .collect();
+        for entry in loops {
+            if let Some(function) = cfg.functions.get_mut(&entry) {
+                function.has_loop = true;
+            }
+        }
+        cfg
+    }
+
+    /// Entry of the function owning the block starting at `block_start`.
+    pub fn owner_of(&self, block_start: u32) -> u32 {
+        let entries: Vec<u32> = self.functions.keys().copied().collect();
+        match entries.binary_search(&block_start) {
+            Ok(i) => entries[i],
+            Err(0) => entries.first().copied().unwrap_or(block_start),
+            Err(i) => entries[i - 1],
+        }
+    }
+
+    /// Whether block `a` dominates block `b`.
+    pub fn dominates(&self, a: u32, b: u32) -> bool {
+        let mut cursor = b;
+        loop {
+            if cursor == a {
+                return true;
+            }
+            match self.idom.get(&cursor) {
+                Some(&parent) if parent != VIRTUAL_ROOT && parent != cursor => cursor = parent,
+                _ => return a == VIRTUAL_ROOT,
+            }
+        }
+    }
+
+    /// Iterative dominator computation over the block graph, with a virtual
+    /// root fronting every function entry (so call-reached code has a
+    /// dominator chain even though call edges are not block successors).
+    fn compute_dominators(&self, fn_entries: &BTreeSet<u32>) -> BTreeMap<u32, u32> {
+        let starts: Vec<u32> = self.blocks.keys().copied().collect();
+        let index: BTreeMap<u32, usize> = starts.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        let n = starts.len();
+        // Virtual-root children: function entries plus orphan blocks.
+        let mut root_children: BTreeSet<usize> = fn_entries.iter().map(|e| index[e]).collect();
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (s, block) in &self.blocks {
+            for succ in &block.succs {
+                preds[index[succ]].push(index[s]);
+            }
+        }
+        for (i, p) in preds.iter().enumerate() {
+            if p.is_empty() {
+                root_children.insert(i);
+            }
+        }
+
+        // Reverse postorder from the virtual root.
+        let mut order: Vec<usize> = Vec::with_capacity(n);
+        let mut seen = vec![false; n];
+        let mut stack: Vec<(usize, usize)> = Vec::new();
+        for &child in &root_children {
+            if seen[child] {
+                continue;
+            }
+            seen[child] = true;
+            stack.push((child, 0));
+            while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+                let succs = &self.blocks[&starts[node]].succs;
+                if *next < succs.len() {
+                    let succ = index[&succs[*next]];
+                    *next += 1;
+                    if !seen[succ] {
+                        seen[succ] = true;
+                        stack.push((succ, 0));
+                    }
+                } else {
+                    order.push(node);
+                    stack.pop();
+                }
+            }
+        }
+        order.reverse();
+        let mut rpo = vec![usize::MAX; n];
+        for (i, &node) in order.iter().enumerate() {
+            rpo[node] = i;
+        }
+
+        const ROOT: usize = usize::MAX;
+        let mut idom: Vec<Option<usize>> = vec![None; n];
+        let intersect = |idom: &[Option<usize>], mut a: usize, mut b: usize| -> usize {
+            loop {
+                if a == b {
+                    return a;
+                }
+                if a == ROOT || b == ROOT {
+                    return ROOT;
+                }
+                while a != ROOT && b != ROOT && rpo[a] > rpo[b] {
+                    a = idom[a].unwrap_or(ROOT);
+                }
+                while b != ROOT && a != ROOT && rpo[b] > rpo[a] {
+                    b = idom[b].unwrap_or(ROOT);
+                }
+            }
+        };
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &node in &order {
+                let mut new_idom = if root_children.contains(&node) { Some(ROOT) } else { None };
+                for &pred in &preds[node] {
+                    if rpo[pred] == usize::MAX {
+                        continue; // unreachable predecessor
+                    }
+                    if idom[pred].is_none() && !root_children.contains(&pred) {
+                        continue; // not yet processed
+                    }
+                    new_idom = Some(match new_idom {
+                        None => pred,
+                        Some(current) => intersect(&idom, pred, current),
+                    });
+                }
+                if new_idom != idom[node] {
+                    idom[node] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+
+        starts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &start)| {
+                idom[i].map(|parent| {
+                    (start, if parent == ROOT { VIRTUAL_ROOT } else { starts[parent] })
+                })
+            })
+            .collect()
+    }
+
+    /// Fixpoint constant-propagation register states at each block entry of
+    /// `function`, keyed by block start.
+    pub(crate) fn reg_states(&self, function: &Function) -> BTreeMap<u32, RegState> {
+        let mut states: BTreeMap<u32, RegState> = BTreeMap::new();
+        states.insert(function.entry, RegState::unknown());
+        let mut queue: VecDeque<u32> = function.blocks.iter().copied().collect();
+        while let Some(start) = queue.pop_front() {
+            let Some(&in_state) = states.get(&start) else { continue };
+            let block = &self.blocks[&start];
+            let mut state = in_state;
+            for (_, insn) in &block.insns {
+                state.step(insn);
+            }
+            if block.call_target.is_some() || block.indirect_call {
+                state.clobber_caller_saved();
+            }
+            for &succ in &block.succs {
+                if self.owner_of(succ) != function.entry {
+                    continue;
+                }
+                let changed = match states.get_mut(&succ) {
+                    Some(existing) => existing.meet(&state),
+                    None => {
+                        states.insert(succ, state);
+                        true
+                    }
+                };
+                if changed {
+                    queue.push_back(succ);
+                }
+            }
+        }
+        states
+    }
+
+    /// Statically enumerates every reachable memory-access site, resolving
+    /// effective addresses by constant propagation where possible.
+    pub fn memory_sites(&self) -> Vec<MemSite> {
+        let mut sites = Vec::new();
+        for function in self.functions.values() {
+            let states = self.reg_states(function);
+            for &start in &function.blocks {
+                let Some(&in_state) = states.get(&start) else { continue };
+                let mut state = in_state;
+                for (pc, insn) in &self.blocks[&start].insns {
+                    if let Some((base, offset, size, is_write, is_atomic)) = mem_shape(insn) {
+                        sites.push(MemSite {
+                            pc: *pc,
+                            block: start,
+                            function: function.entry,
+                            addr: state.get(base).map(|b| b.wrapping_add(offset as u32)),
+                            size,
+                            is_write,
+                            is_atomic,
+                        });
+                    }
+                    state.step(insn);
+                }
+            }
+        }
+        sites
+    }
+
+    /// Number of reachable instructions.
+    pub fn reachable_insns(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// Fraction of the text section that is reachable code, in `[0, 1]`.
+    pub fn reachable_fraction(&self) -> f64 {
+        if self.text_len == 0 {
+            return 0.0;
+        }
+        (self.insns.len() as f64) * 4.0 / f64::from(self.text_len)
+    }
+}
+
+/// Linear sweep for address-taken text constants: tracks `lui`/`ori`/`addi`
+/// constant formation (the `la` lowering) and records any materialized value
+/// that lands word-aligned inside the text section.
+fn scan_address_taken(
+    image: &FirmwareImage,
+    endian: Endian,
+    text_base: u32,
+    text_len: u32,
+) -> BTreeSet<u32> {
+    let mut taken = BTreeSet::new();
+    let mut state = RegState::unknown();
+    let mut addr = text_base;
+    while addr < text_base + text_len {
+        let off = (addr - text_base) as usize;
+        let bytes: [u8; 4] = image.text[off..off + 4].try_into().unwrap();
+        match Insn::decode(Word::from_bytes(bytes, endian)) {
+            Ok(insn) => {
+                state.step(&insn);
+                if matches!(insn, Insn::Ori { .. } | Insn::Addi { .. }) {
+                    if let Some(value) = insn_dest(&insn).and_then(|rd| state.get(rd)) {
+                        if value % 4 == 0
+                            && value >= text_base
+                            && value < text_base + text_len
+                            && value != 0
+                        {
+                            taken.insert(value);
+                        }
+                    }
+                }
+                if insn.ends_block() {
+                    state = RegState::unknown();
+                }
+            }
+            Err(_) => state = RegState::unknown(),
+        }
+        addr += 4;
+    }
+    taken
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_classifies_calls_and_returns() {
+        assert!(matches!(flow(&Insn::Jal { rd: Reg::LR, offset: 16 }, 0x100), Flow::Call(0x110)));
+        assert!(matches!(flow(&Insn::Jal { rd: Reg::R0, offset: -8 }, 0x100), Flow::Jump(0xF8)));
+        assert!(matches!(
+            flow(&Insn::Jalr { rd: Reg::R0, rs1: Reg::LR, imm: 0 }, 0x100),
+            Flow::IndirectJump
+        ));
+        assert!(matches!(
+            flow(&Insn::Jalr { rd: Reg::LR, rs1: Reg::R9, imm: 0 }, 0x100),
+            Flow::IndirectCall
+        ));
+    }
+
+    #[test]
+    fn reg_state_tracks_la_pairs() {
+        let mut state = RegState::unknown();
+        state.step(&Insn::Lui { rd: Reg::R7, imm: 0x0010_1000 });
+        state.step(&Insn::Ori { rd: Reg::R7, rs1: Reg::R7, imm: 0x234 });
+        assert_eq!(state.get(Reg::R7), Some(0x0010_1234));
+        state.step(&Insn::Addi { rd: Reg::R8, rs1: Reg::R7, imm: -4 });
+        assert_eq!(state.get(Reg::R8), Some(0x0010_1230));
+        // A load makes the destination unknown.
+        state.step(&Insn::Lw { rd: Reg::R7, rs1: Reg::R8, imm: 0 });
+        assert_eq!(state.get(Reg::R7), None);
+        // R0 is always zero.
+        state.step(&Insn::Addi { rd: Reg::R0, rs1: Reg::R0, imm: 5 });
+        assert_eq!(state.get(Reg::R0), Some(0));
+    }
+
+    #[test]
+    fn meet_keeps_agreeing_constants_only() {
+        let mut a = RegState::unknown();
+        a.step(&Insn::Lui { rd: Reg::R7, imm: 0x1000 });
+        a.step(&Insn::Lui { rd: Reg::R8, imm: 0x2000 });
+        let mut b = RegState::unknown();
+        b.step(&Insn::Lui { rd: Reg::R7, imm: 0x1000 });
+        b.step(&Insn::Lui { rd: Reg::R8, imm: 0x3000 });
+        assert!(a.meet(&b));
+        assert_eq!(a.get(Reg::R7), Some(0x1000));
+        assert_eq!(a.get(Reg::R8), None);
+        assert!(!a.meet(&b));
+    }
+}

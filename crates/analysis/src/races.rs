@@ -1,0 +1,198 @@
+//! Lockset-based static race candidates.
+//!
+//! The guest kernels synchronize with AMO spinlocks (`lock_acquire` spins
+//! on `amoswp.w` with a non-zero source; `lock_release` swaps zero back
+//! in). This pass recognizes those primitives *structurally* — no symbol
+//! names needed, so it works on stripped images — then runs a must-hold
+//! lock dataflow over each function's blocks: a call to an acquire function
+//! generates "lock held" on the fall-through edge, a call to a release
+//! function kills it, and the meet over predecessors is intersection
+//! (must-hold, not may-hold).
+//!
+//! A shared static RAM address accessed on a path where the lock is not
+//! provably held, with at least one write and more than one access site, is
+//! a race candidate. The ranked candidate list feeds the KCSAN engine's
+//! watchpoint prioritization (`KcsanEngine::set_priorities`), concentrating
+//! the sampled stall windows on the addresses most likely to race.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use embsan_asm::image::{FirmwareImage, SymbolKind};
+use embsan_emu::isa::{Insn, Reg};
+
+use crate::cfg::Cfg;
+
+/// A statically suspected data race on a shared address.
+#[derive(Debug, Clone)]
+pub struct RaceCandidate {
+    /// The shared RAM address.
+    pub addr: u32,
+    /// Covering data symbol, when the image has symbols.
+    pub symbol: Option<String>,
+    /// Total resolved access sites.
+    pub sites: usize,
+    /// Sites that write.
+    pub writes: usize,
+    /// Sites on paths where no spinlock is provably held.
+    pub unlocked_sites: usize,
+    /// Writing sites with no spinlock held — the strongest signal.
+    pub unlocked_writes: usize,
+    /// Program counters of the unlocked sites (diagnostics).
+    pub unlocked_pcs: Vec<u32>,
+}
+
+/// Partition of functions into spinlock acquire / release primitives, found
+/// by their `amoswp.w` usage.
+#[derive(Debug, Clone, Default)]
+pub struct LockFunctions {
+    /// Functions that swap a non-zero value into a lock word.
+    pub acquire: BTreeSet<u32>,
+    /// Functions that swap zero into a lock word.
+    pub release: BTreeSet<u32>,
+}
+
+/// Classifies lock primitives by structure: an `amoswp.w` with `rs2 ≠ r0`
+/// marks an acquire, `rs2 = r0` a release. A function doing both is
+/// ambiguous and treated as neither.
+pub fn lock_functions(cfg: &Cfg) -> LockFunctions {
+    let mut lockfns = LockFunctions::default();
+    for function in cfg.functions.values() {
+        let mut swaps_nonzero = false;
+        let mut swaps_zero = false;
+        for &start in &function.blocks {
+            for (_, insn) in &cfg.blocks[&start].insns {
+                if let Insn::AmoSwpW { rs2, .. } = insn {
+                    if *rs2 == Reg::R0 {
+                        swaps_zero = true;
+                    } else {
+                        swaps_nonzero = true;
+                    }
+                }
+            }
+        }
+        match (swaps_nonzero, swaps_zero) {
+            (true, false) => {
+                lockfns.acquire.insert(function.entry);
+            }
+            (false, true) => {
+                lockfns.release.insert(function.entry);
+            }
+            _ => {}
+        }
+    }
+    lockfns
+}
+
+/// Must-hold lock state at each block entry of every function: `true` when a
+/// spinlock is provably held on every path reaching the block.
+fn lock_states(cfg: &Cfg, lockfns: &LockFunctions) -> BTreeMap<u32, bool> {
+    let mut states: BTreeMap<u32, bool> = BTreeMap::new();
+    for function in cfg.functions.values() {
+        states.insert(function.entry, false);
+        let mut queue: VecDeque<u32> = function.blocks.iter().copied().collect();
+        while let Some(start) = queue.pop_front() {
+            let Some(&held_in) = states.get(&start) else { continue };
+            let block = &cfg.blocks[&start];
+            let held_out = match block.call_target {
+                Some(target) if lockfns.acquire.contains(&target) => true,
+                Some(target) if lockfns.release.contains(&target) => false,
+                // An unknown (indirect) callee may release; stay conservative.
+                _ if block.indirect_call => false,
+                _ => held_in,
+            };
+            for &succ in &block.succs {
+                if cfg.owner_of(succ) != function.entry {
+                    continue;
+                }
+                let merged = match states.get(&succ) {
+                    Some(&existing) => existing && held_out,
+                    None => held_out,
+                };
+                if states.insert(succ, merged) != Some(merged) {
+                    queue.push_back(succ);
+                }
+            }
+        }
+    }
+    states
+}
+
+/// Runs the lockset pass over a recovered CFG.
+///
+/// Candidates are ranked by unlocked writes, then total sites — the order
+/// in which KCSAN watchpoints should be prioritized.
+pub fn race_candidates(cfg: &Cfg, image: &FirmwareImage) -> Vec<RaceCandidate> {
+    let lockfns = lock_functions(cfg);
+    let locked_at = lock_states(cfg, &lockfns);
+    let ram = image.ram_base..image.ram_base.wrapping_add(image.ram_size);
+
+    #[derive(Default)]
+    struct AddrFacts {
+        sites: usize,
+        writes: usize,
+        unlocked_sites: usize,
+        unlocked_writes: usize,
+        unlocked_pcs: Vec<u32>,
+    }
+    let mut by_addr: BTreeMap<u32, AddrFacts> = BTreeMap::new();
+    for site in cfg.memory_sites() {
+        let Some(addr) = site.addr else { continue };
+        if !ram.contains(&addr) || site.is_atomic {
+            continue;
+        }
+        // Accesses inside the lock primitives themselves are the lock
+        // protocol, not shared-data use.
+        if lockfns.acquire.contains(&site.function) || lockfns.release.contains(&site.function) {
+            continue;
+        }
+        let locked = locked_at.get(&site.block).copied().unwrap_or(false);
+        let facts = by_addr.entry(addr).or_default();
+        facts.sites += 1;
+        if site.is_write {
+            facts.writes += 1;
+        }
+        if !locked {
+            facts.unlocked_sites += 1;
+            facts.unlocked_pcs.push(site.pc);
+            if site.is_write {
+                facts.unlocked_writes += 1;
+            }
+        }
+    }
+
+    let symbol_for = |addr: u32| -> Option<String> {
+        image
+            .symbols
+            .iter()
+            .find(|s| {
+                s.kind == SymbolKind::Object && addr >= s.addr && addr < s.addr + s.size.max(1)
+            })
+            .map(|s| s.name.clone())
+    };
+
+    let mut candidates: Vec<RaceCandidate> = by_addr
+        .into_iter()
+        .filter(|(_, f)| f.sites >= 2 && f.writes >= 1 && f.unlocked_sites >= 1)
+        .map(|(addr, f)| RaceCandidate {
+            addr,
+            symbol: symbol_for(addr),
+            sites: f.sites,
+            writes: f.writes,
+            unlocked_sites: f.unlocked_sites,
+            unlocked_writes: f.unlocked_writes,
+            unlocked_pcs: f.unlocked_pcs,
+        })
+        .collect();
+    candidates.sort_by(|a, b| {
+        b.unlocked_writes
+            .cmp(&a.unlocked_writes)
+            .then(b.sites.cmp(&a.sites))
+            .then(a.addr.cmp(&b.addr))
+    });
+    candidates
+}
+
+/// The ranked watchpoint-priority address list for the KCSAN engine.
+pub fn watchpoint_priorities(cfg: &Cfg, image: &FirmwareImage) -> Vec<u32> {
+    race_candidates(cfg, image).into_iter().map(|c| c.addr).collect()
+}

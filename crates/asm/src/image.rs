@@ -184,12 +184,7 @@ impl FirmwareImage {
     /// Returns a copy with all symbol information, the global-object table
     /// and the ready annotation removed — a closed-source binary-only image.
     pub fn strip(&self) -> FirmwareImage {
-        FirmwareImage {
-            symbols: Vec::new(),
-            globals: Vec::new(),
-            ready: None,
-            ..self.clone()
-        }
+        FirmwareImage { symbols: Vec::new(), globals: Vec::new(), ready: None, ..self.clone() }
     }
 
     /// Boots a machine from this image: builds a [`Machine`] for the image's
@@ -397,12 +392,7 @@ mod tests {
             ready: Some(0x2_0040),
             symbols: vec![
                 Symbol { name: "main".into(), addr: 0x2_0000, size: 32, kind: SymbolKind::Func },
-                Symbol {
-                    name: "kmalloc".into(),
-                    addr: 0x2_0020,
-                    size: 64,
-                    kind: SymbolKind::Func,
-                },
+                Symbol { name: "kmalloc".into(), addr: 0x2_0020, size: 64, kind: SymbolKind::Func },
                 Symbol {
                     name: "__heap_start".into(),
                     addr: 0x20_1000,

@@ -260,7 +260,7 @@ mod tests {
         let mut p = base_program();
         let n = instrument(&mut p, &InstrumentOptions::embsan_c(Arch::Armv));
         assert_eq!(n, 3); // lw, sw, lbu
-        // Find the lw in main and verify the two preceding items.
+                          // Find the lw in main and verify the two preceding items.
         let items = &p.text;
         let lw_pos = items
             .iter()

@@ -83,7 +83,10 @@ impl AInsn {
     /// Number of machine words this pseudo-instruction expands to.
     pub fn expansion_len(&self) -> u32 {
         match self {
-            AInsn::Raw(_) | AInsn::Branch { .. } | AInsn::Jump { .. } | AInsn::Call { .. }
+            AInsn::Raw(_)
+            | AInsn::Branch { .. }
+            | AInsn::Jump { .. }
+            | AInsn::Call { .. }
             | AInsn::CallVia { .. } => 1,
             AInsn::Li { value, .. } => {
                 if (-2048..2048).contains(value) {
@@ -179,11 +182,7 @@ pub struct Program {
 impl Program {
     /// Creates an empty program with a 64 KiB heap and entry `main`.
     pub fn new() -> Program {
-        Program {
-            entry: "main".to_string(),
-            heap_size: 64 * 1024,
-            ..Program::default()
-        }
+        Program { entry: "main".to_string(), heap_size: 64 * 1024, ..Program::default() }
     }
 
     /// Iterates over the function names defined in the text stream.
@@ -221,10 +220,7 @@ mod tests {
         assert_eq!(AInsn::Li { rd: Reg::R1, value: -2048 }.expansion_len(), 1);
         assert_eq!(AInsn::Li { rd: Reg::R1, value: 2048 }.expansion_len(), 2);
         assert_eq!(AInsn::Li { rd: Reg::R1, value: 0xDEAD_BEEF }.expansion_len(), 2);
-        assert_eq!(
-            AInsn::La { rd: Reg::R1, sym: "x".into(), offset: 0 }.expansion_len(),
-            2
-        );
+        assert_eq!(AInsn::La { rd: Reg::R1, sym: "x".into(), offset: 0 }.expansion_len(), 2);
         assert_eq!(AInsn::Raw(Insn::Nop).expansion_len(), 1);
     }
 

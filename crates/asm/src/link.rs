@@ -197,10 +197,7 @@ pub fn link(program: &Program, options: &LinkOptions) -> Result<FirmwareImage, L
 
     // Pass 2: encode.
     let resolve = |name: &str| -> Result<u32, LinkError> {
-        labels
-            .get(name)
-            .copied()
-            .ok_or_else(|| LinkError::UndefinedSymbol(name.to_string()))
+        labels.get(name).copied().ok_or_else(|| LinkError::UndefinedSymbol(name.to_string()))
     };
     let mut words: Vec<Insn> = Vec::new();
     let mut pc = profile.rom_base;
@@ -285,9 +282,7 @@ pub fn link(program: &Program, options: &LinkOptions) -> Result<FirmwareImage, L
 
     let entry = resolve(&program.entry).map_err(|_| LinkError::NoEntry(program.entry.clone()))?;
     let ready = match &program.ready {
-        Some(name) => {
-            Some(resolve(name).map_err(|_| LinkError::NoEntry(name.clone()))?)
-        }
+        Some(name) => Some(resolve(name).map_err(|_| LinkError::NoEntry(name.clone()))?),
         None => None,
     };
 

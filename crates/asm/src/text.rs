@@ -84,9 +84,7 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
                 if current_fn.is_empty() {
                     return Err(err(line_no, "local label outside a function"));
                 }
-                program
-                    .text
-                    .push(TextItem::Label(format!("{current_fn}{name}")));
+                program.text.push(TextItem::Label(format!("{current_fn}{name}")));
                 continue;
             }
             parse_directive(&mut program, rest, line_no)?;
@@ -141,9 +139,8 @@ fn parse_directive(program: &mut Program, rest: &str, line: usize) -> Result<(),
             let init = init.trim();
             let sanitize = name == "global";
             let def = if let Some(stripped) = init.strip_prefix('"') {
-                let text = stripped
-                    .strip_suffix('"')
-                    .ok_or_else(|| err(line, "unterminated string"))?;
+                let text =
+                    stripped.strip_suffix('"').ok_or_else(|| err(line, "unterminated string"))?;
                 let bytes = unescape(text, line)?;
                 GlobalDef {
                     name: sym.to_string(),
@@ -153,15 +150,12 @@ fn parse_directive(program: &mut Program, rest: &str, line: usize) -> Result<(),
                     sanitize,
                 }
             } else if let Some(list) = init.strip_prefix('[') {
-                let list = list
-                    .strip_suffix(']')
-                    .ok_or_else(|| err(line, "unterminated byte list"))?;
+                let list =
+                    list.strip_suffix(']').ok_or_else(|| err(line, "unterminated byte list"))?;
                 let mut bytes = Vec::new();
                 for piece in list.split(',') {
                     let v = parse_int(piece.trim(), line)?;
-                    bytes.push(
-                        u8::try_from(v).map_err(|_| err(line, "byte value out of range"))?,
-                    );
+                    bytes.push(u8::try_from(v).map_err(|_| err(line, "byte value out of range"))?);
                 }
                 GlobalDef {
                     name: sym.to_string(),
@@ -171,9 +165,8 @@ fn parse_directive(program: &mut Program, rest: &str, line: usize) -> Result<(),
                     sanitize,
                 }
             } else {
-                let size = parse_int(init, line)?
-                    .try_into()
-                    .map_err(|_| err(line, "bad global size"))?;
+                let size =
+                    parse_int(init, line)?.try_into().map_err(|_| err(line, "bad global size"))?;
                 GlobalDef { name: sym.to_string(), size, init: None, align: 4, sanitize }
             };
             program.globals.push(def);
@@ -223,6 +216,12 @@ fn parse_reg(text: &str, line: usize) -> Result<Reg, AsmError> {
     Reg::parse(text.trim()).ok_or_else(|| err(line, format!("unknown register `{text}`")))
 }
 
+/// A branch/jump target that is a numeric offset rather than a label.
+fn is_numeric(text: &str) -> bool {
+    let body = text.strip_prefix(['+', '-']).unwrap_or(text);
+    body.starts_with(|c: char| c.is_ascii_digit())
+}
+
 /// Resolves a possibly-local label reference.
 fn label_ref(text: &str, current_fn: &str) -> String {
     if let Some(local) = text.strip_prefix('.') {
@@ -251,14 +250,8 @@ fn parse_mem(text: &str, line: usize) -> Result<(Reg, i32), AsmError> {
 }
 
 fn parse_insn(line_text: &str, current_fn: &str, line: usize) -> Result<AInsn, AsmError> {
-    let (mnemonic, rest) = line_text
-        .split_once(char::is_whitespace)
-        .unwrap_or((line_text, ""));
-    let ops: Vec<&str> = if rest.trim().is_empty() {
-        Vec::new()
-    } else {
-        split_operands(rest)
-    };
+    let (mnemonic, rest) = line_text.split_once(char::is_whitespace).unwrap_or((line_text, ""));
+    let ops: Vec<&str> = if rest.trim().is_empty() { Vec::new() } else { split_operands(rest) };
     let want = |n: usize| -> Result<(), AsmError> {
         if ops.len() == n {
             Ok(())
@@ -311,14 +304,19 @@ fn parse_insn(line_text: &str, current_fn: &str, line: usize) -> Result<AInsn, A
             AInsn::Raw(Insn::$variant { rs2: parse_reg(ops[0], line)?, rs1, imm })
         }};
     }
+    // Branches take either a label or a numeric byte offset (`+8`, `-12`)
+    // — the latter is what the disassembler prints, so `disasm → assemble`
+    // round-trips without symbolizing targets.
     macro_rules! branch {
-        ($cond:ident) => {{
+        ($cond:ident, $variant:ident) => {{
             want(3)?;
-            AInsn::Branch {
-                cond: Cond::$cond,
-                rs1: parse_reg(ops[0], line)?,
-                rs2: parse_reg(ops[1], line)?,
-                target: label_ref(ops[2], current_fn),
+            let rs1 = parse_reg(ops[0], line)?;
+            let rs2 = parse_reg(ops[1], line)?;
+            let target = ops[2];
+            if is_numeric(target) {
+                AInsn::Raw(Insn::$variant { rs1, rs2, offset: parse_int(target, line)? as i32 })
+            } else {
+                AInsn::Branch { cond: Cond::$cond, rs1, rs2, target: label_ref(target, current_fn) }
             }
         }};
     }
@@ -379,12 +377,33 @@ fn parse_insn(line_text: &str, current_fn: &str, line: usize) -> Result<AInsn, A
                 rs2: parse_reg(ops[2], line)?,
             })
         }
-        "beq" => branch!(Eq),
-        "bne" => branch!(Ne),
-        "blt" => branch!(Lt),
-        "bltu" => branch!(Ltu),
-        "bge" => branch!(Ge),
-        "bgeu" => branch!(Geu),
+        "lui" => {
+            want(2)?;
+            AInsn::Raw(Insn::Lui {
+                rd: parse_reg(ops[0], line)?,
+                imm: parse_int(ops[1], line)? as u32,
+            })
+        }
+        "auipc" => {
+            want(2)?;
+            AInsn::Raw(Insn::Auipc {
+                rd: parse_reg(ops[0], line)?,
+                imm: parse_int(ops[1], line)? as u32,
+            })
+        }
+        "jal" => {
+            want(2)?;
+            AInsn::Raw(Insn::Jal {
+                rd: parse_reg(ops[0], line)?,
+                offset: parse_int(ops[1], line)? as i32,
+            })
+        }
+        "beq" => branch!(Eq, Beq),
+        "bne" => branch!(Ne, Bne),
+        "blt" => branch!(Lt, Blt),
+        "bltu" => branch!(Ltu, Bltu),
+        "bge" => branch!(Ge, Bge),
+        "bgeu" => branch!(Geu, Bgeu),
         "li" => {
             want(2)?;
             AInsn::Li { rd: parse_reg(ops[0], line)?, value: parse_int(ops[1], line)? }
@@ -414,10 +433,7 @@ fn parse_insn(line_text: &str, current_fn: &str, line: usize) -> Result<AInsn, A
         }
         "callvia" => {
             want(2)?;
-            AInsn::CallVia {
-                link: parse_reg(ops[0], line)?,
-                target: label_ref(ops[1], current_fn),
-            }
+            AInsn::CallVia { link: parse_reg(ops[0], line)?, target: label_ref(ops[1], current_fn) }
         }
         "callr" => {
             want(1)?;

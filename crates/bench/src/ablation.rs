@@ -25,10 +25,10 @@ use embsan_core::runtime::shadow::{code, ShadowMemory};
 use embsan_core::session::Session;
 use embsan_dsl::SanitizerSpec;
 use embsan_emu::profile::Arch;
+use embsan_fuzz::{descriptions_for, CoverageSource, Dictionary, Fuzzer, FuzzerConfig, Strategy};
 use embsan_guestos::bugs::{trigger_key, BugKind, BugSpec};
 use embsan_guestos::executor::{sys, ExecProgram};
 use embsan_guestos::{os, BuildOptions, SanMode};
-use embsan_fuzz::{descriptions_for, CoverageSource, Dictionary, Fuzzer, FuzzerConfig, Strategy};
 
 /// Outcome of one quarantine configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,10 +51,8 @@ pub fn quarantine_ablation(capacity: u64) -> QuarantineRow {
     let churn_per_victim = 16 * 1024u32; // bytes of other frees in between
     let mut shadow = ShadowMemory::new(0x10_0000, 0x80_0000);
     shadow.poison(0x10_1000, 0x80_0000, code::HEAP);
-    let mut engine = KasanEngine::new(KasanConfig {
-        quarantine_bytes: capacity,
-        heap_prepoison: true,
-    });
+    let mut engine =
+        KasanEngine::new(KasanConfig { quarantine_bytes: capacity, heap_prepoison: true });
 
     let victim = |i: usize| 0x10_1000 + 0x40 + (i as u32) * 0x10_000;
     let mut uaf = 0;
@@ -84,12 +82,7 @@ pub fn quarantine_ablation(capacity: u64) -> QuarantineRow {
             }
         }
     }
-    QuarantineRow {
-        capacity,
-        uaf_classified: uaf,
-        double_free_classified: dfree,
-        trials,
-    }
+    QuarantineRow { capacity, uaf_classified: uaf, double_free_classified: dfree, trials }
 }
 
 /// Outcome of one KCSAN parameter configuration.
@@ -125,9 +118,8 @@ pub fn kcsan_ablation(sample: u64, window: u64, trials: usize) -> KcsanRow {
         let opts = BuildOptions::new(Arch::X86v).san(SanMode::SanCall).cpus(2);
         let image = os::emblinux::build(&opts, std::slice::from_ref(&bug)).expect("build");
         let artifacts = probe(&image, ProbeMode::CompileTime, None).expect("probe");
-        let mut session =
-            Session::with_cpus(&image, &[kcsan_spec(sample, window)], &artifacts, 2)
-                .expect("session");
+        let mut session = Session::with_cpus(&image, &[kcsan_spec(sample, window)], &artifacts, 2)
+            .expect("session");
         session.run_to_ready(400_000_000).expect("ready");
         let retired_start = session.machine().retired();
         let mut detected = 0;
@@ -136,13 +128,10 @@ pub fn kcsan_ablation(sample: u64, window: u64, trials: usize) -> KcsanRow {
             for _ in 0..4 {
                 program.push(sys::BUG_BASE, &[trigger_key("ablation/race")]);
             }
-            let outcome = session
-                .run_program_fresh(&program, 50_000_000)
-                .expect("program");
+            let outcome = session.run_program_fresh(&program, 50_000_000).expect("program");
             // Dedup would hide repeat detections across trials.
             if outcome.reports.iter().any(|r| r.class == BugClass::Race)
-                || (trial > 0
-                    && session.reports().iter().any(|r| r.class == BugClass::Race))
+                || (trial > 0 && session.reports().iter().any(|r| r.class == BugClass::Race))
             {
                 detected += 1;
             }
@@ -181,40 +170,24 @@ pub fn fuzzer_ablation(
     deterministic_stage: bool,
     iterations: u64,
 ) -> FuzzerAblationRow {
-    let spec = embsan_guestos::firmware_by_name("OpenHarmony-stm32f407")
-        .expect("registered firmware");
+    let spec =
+        embsan_guestos::firmware_by_name("OpenHarmony-stm32f407").expect("registered firmware");
     let image = spec.build(spec.default_san_mode()).expect("build");
-    let artifacts = probe(
-        &image,
-        embsan_fuzz::campaign::probe_mode_for(spec),
-        None,
-    )
-    .expect("probe");
+    let artifacts =
+        probe(&image, embsan_fuzz::campaign::probe_mode_for(spec), None).expect("probe");
     let sanitizers = embsan_core::reference_specs().expect("specs");
     let mut session = Session::new(&image, &sanitizers, &artifacts).expect("session");
     session.run_to_ready(400_000_000).expect("ready");
-    let dict = if dictionary {
-        Dictionary::extract(&image)
-    } else {
-        Dictionary::default()
-    };
+    let dict = if dictionary { Dictionary::extract(&image) } else { Dictionary::default() };
     let mut config = FuzzerConfig::new(Strategy::Tardis, 0xAB1A);
     config.deterministic_stage = deterministic_stage;
     let mut fuzzer = Fuzzer::new(&mut session, descriptions_for(spec), dict, config);
     fuzzer.run(iterations).expect("fuzzing runs");
-    let mut nrs: Vec<u8> = fuzzer
-        .findings()
-        .iter()
-        .flat_map(|f| f.bug_syscalls.iter().copied())
-        .collect();
+    let mut nrs: Vec<u8> =
+        fuzzer.findings().iter().flat_map(|f| f.bug_syscalls.iter().copied()).collect();
     nrs.sort_unstable();
     nrs.dedup();
-    FuzzerAblationRow {
-        dictionary,
-        deterministic_stage,
-        bugs_found: nrs.len(),
-        iterations,
-    }
+    FuzzerAblationRow { dictionary, deterministic_stage, bugs_found: nrs.len(), iterations }
 }
 
 /// Outcome of the heap pre-poisoning ablation.
@@ -238,10 +211,7 @@ pub fn prepoison_ablation(prepoisoned: bool) -> PrepoisonRow {
     ];
     let opts = BuildOptions::new(Arch::Armv);
     let (image, mode) = if prepoisoned {
-        (
-            os::vxworks::build_unstripped(&opts, &bugs).expect("build"),
-            ProbeMode::DynamicSource,
-        )
+        (os::vxworks::build_unstripped(&opts, &bugs).expect("build"), ProbeMode::DynamicSource)
     } else {
         (os::vxworks::build(&opts, &bugs).expect("build"), ProbeMode::DynamicBinary)
     };
@@ -252,9 +222,7 @@ pub fn prepoison_ablation(prepoisoned: bool) -> PrepoisonRow {
     let mut detect = |nr: u8, location: &str| -> bool {
         let mut program = ExecProgram::new();
         program.push(nr, &[trigger_key(location)]);
-        let outcome = session
-            .run_program_fresh(&program, 20_000_000)
-            .expect("program");
+        let outcome = session.run_program_fresh(&program, 20_000_000).expect("program");
         outcome.reports.iter().any(|r| r.class == BugClass::HeapOob)
     };
     PrepoisonRow {
@@ -283,14 +251,10 @@ pub struct CoverageSourceRow {
 /// with guest kcov-style function coverage. The staged byte gates are
 /// intra-function branches — invisible to function-granular coverage, so
 /// the guest source cannot retain stage-1 progress.
-pub fn coverage_source_ablation(
-    source: CoverageSource,
-    iterations: u64,
-) -> CoverageSourceRow {
+pub fn coverage_source_ablation(source: CoverageSource, iterations: u64) -> CoverageSourceRow {
     let bug = BugSpec::new("ablation/covsrc", BugKind::OobWrite);
     let opts = BuildOptions::new(Arch::Armv).san(SanMode::SanCall).kcov(true);
-    let image =
-        os::emblinux::build(&opts, std::slice::from_ref(&bug)).expect("build");
+    let image = os::emblinux::build(&opts, std::slice::from_ref(&bug)).expect("build");
     let sanitizers = embsan_core::reference_specs().expect("specs");
     let artifacts = probe(&image, ProbeMode::CompileTime, None).expect("probe");
     let mut session = Session::new(&image, &sanitizers, &artifacts).expect("session");
@@ -363,9 +327,6 @@ mod tests {
         let full = fuzzer_ablation(true, true, 2500);
         let no_dict = fuzzer_ablation(false, true, 2500);
         assert!(full.bugs_found >= 1, "{full:?}");
-        assert!(
-            full.bugs_found > no_dict.bugs_found,
-            "full {full:?} vs no-dict {no_dict:?}"
-        );
+        assert!(full.bugs_found > no_dict.bugs_found, "full {full:?} vs no-dict {no_dict:?}");
     }
 }

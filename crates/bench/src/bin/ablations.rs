@@ -11,10 +11,7 @@ use embsan_fuzz::CoverageSource;
 
 fn main() {
     println!("Ablation 1: quarantine capacity vs report-classification quality");
-    println!(
-        "{:>14}{:>18}{:>22}",
-        "capacity", "UAF classified", "double-free classified"
-    );
+    println!("{:>14}{:>18}{:>22}", "capacity", "UAF classified", "double-free classified");
     for capacity in [0u64, 1 << 10, 1 << 14, 1 << 18, 1 << 22] {
         let row = quarantine_ablation(capacity);
         println!(
@@ -24,10 +21,7 @@ fn main() {
     }
 
     println!("\nAblation 2: KCSAN sampling interval / watch window");
-    println!(
-        "{:>8}{:>8}{:>12}{:>12}",
-        "sample", "window", "detected", "virt cost"
-    );
+    println!("{:>8}{:>8}{:>12}{:>12}", "sample", "window", "detected", "virt cost");
     for (sample, window) in [(500, 900), (120, 900), (47, 900), (47, 200), (47, 2400)] {
         let row = kcsan_ablation(sample, window, 6);
         println!(
@@ -37,10 +31,7 @@ fn main() {
     }
 
     println!("\nAblation 3: fuzzer dictionary and deterministic stage (fixed budget)");
-    println!(
-        "{:>12}{:>12}{:>12}{:>12}",
-        "dictionary", "det stage", "bugs found", "iterations"
-    );
+    println!("{:>12}{:>12}{:>12}{:>12}", "dictionary", "det stage", "bugs found", "iterations");
     for (dict, det) in [(true, true), (true, false), (false, true), (false, false)] {
         let row = fuzzer_ablation(dict, det, 4000);
         println!(

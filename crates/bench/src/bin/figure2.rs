@@ -136,14 +136,8 @@ fn main() {
     show("EmbSan-C KCSAN (virt)", collect(3, false, &|_| true));
     show("EmbSan-D KCSAN (virt)", collect(4, false, &|_| true));
     show("native KCSAN (virt)", collect(5, false, &|_| true));
-    show(
-        "KASAN wall, Embedded Linux",
-        collect(0, true, &|fw| fw.base_os == BaseOs::EmbeddedLinux),
-    );
-    show(
-        "KASAN wall, other RTOS",
-        collect(0, true, &|fw| fw.base_os != BaseOs::EmbeddedLinux),
-    );
+    show("KASAN wall, Embedded Linux", collect(0, true, &|fw| fw.base_os == BaseOs::EmbeddedLinux));
+    show("KASAN wall, other RTOS", collect(0, true, &|fw| fw.base_os != BaseOs::EmbeddedLinux));
     for (label, arch) in [
         ("KASAN wall, ARM", embsan_emu::profile::Arch::Armv),
         ("KASAN wall, MIPS", embsan_emu::profile::Arch::Mipsv),
@@ -152,9 +146,7 @@ fn main() {
         show(label, collect(0, true, &|fw| fw.arch == arch));
     }
 
-    println!(
-        "\nPaper reference (wall on QEMU/SMP): EmbSan-C KASAN 2.2-2.5x, EmbSan-D 2.7-2.8x,"
-    );
+    println!("\nPaper reference (wall on QEMU/SMP): EmbSan-C KASAN 2.2-2.5x, EmbSan-D 2.7-2.8x,");
     println!("native KASAN 2.2-2.7x, EmbSan KCSAN 5.2-5.7x, native KCSAN 5.4-6.1x,");
     println!("non-Linux KASAN 2.5-3.2x. Compare shapes/orderings per metric, not absolutes.");
 }

@@ -5,9 +5,7 @@
 use embsan_guestos::firmware::FIRMWARE;
 
 fn main() {
-    println!(
-        "Table 1: List of embedded firmware used in EMBSAN's evaluation process."
-    );
+    println!("Table 1: List of embedded firmware used in EMBSAN's evaluation process.");
     println!(
         "{:<24}{:<16}{:<14}{:<12}{:<8}Fuzzer",
         "Firmware", "Base OS", "Architecture", "Inst. Mode", "Source"

@@ -5,8 +5,8 @@
 //! `EMBSAN_CAMPAIGN_ITERS` fuzzing iterations per firmware (default
 //! 12000). Run with `cargo run --release -p embsan-bench --bin table3`.
 
-use embsan_bench::table34::{render_table3, run_all_campaigns};
 use embsan_bench::env_budget;
+use embsan_bench::table34::{render_table3, run_all_campaigns};
 
 fn main() {
     let iterations = env_budget("EMBSAN_CAMPAIGN_ITERS", 12_000);

@@ -28,10 +28,7 @@ pub use table34::{run_all_campaigns, CampaignSummary};
 /// Reads an environment-variable budget with a default (used to scale the
 /// campaign and overhead benches without recompiling).
 pub fn env_budget(name: &str, default: u64) -> u64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
 #[cfg(test)]

@@ -139,11 +139,7 @@ fn run_corpus_raw(
     let retired_before = machine.retired();
     let start = Instant::now();
     for program in corpus.iter().cycle().take(corpus.len() * repeats) {
-        machine
-            .bus_mut()
-            .devices
-            .mailbox
-            .host_load(&program.encode());
+        machine.bus_mut().devices.mailbox.host_load(&program.encode());
         let total = program.calls.len();
         let mut spent = 0u64;
         loop {
@@ -174,9 +170,7 @@ fn run_corpus_session(
     let retired_before = session.machine().retired();
     let start = Instant::now();
     for program in corpus.iter().cycle().take(corpus.len() * repeats) {
-        session
-            .run_program(program, PROGRAM_BUDGET)
-            .expect("workload program runs");
+        session.run_program(program, PROGRAM_BUDGET).expect("workload program runs");
     }
     (start.elapsed(), session.machine().retired() - retired_before)
 }
@@ -232,8 +226,8 @@ pub fn measure_configuration(
                 ProbeMode::DynamicBinary
             };
             let artifacts = probe(&image, mode, None).expect("probing");
-            let mut session = Session::new(&image, &choice.specs(), &artifacts)
-                .expect("session constructs");
+            let mut session =
+                Session::new(&image, &choice.specs(), &artifacts).expect("session constructs");
             session.run_to_ready(READY_BUDGET).expect("ready");
             let (wall, retired) = run_corpus_session(&mut session, &corpus, workload.repeats);
             assert!(
@@ -260,23 +254,13 @@ mod tests {
     fn overhead_shape_on_one_firmware() {
         let spec = firmware_by_name("OpenWRT-armvirt").unwrap();
         let workload = OverheadWorkload { seed: 9, programs: 4, calls: 30, repeats: 1 };
-        let baseline =
-            measure_configuration(spec, OverheadConfig::Baseline, &workload);
-        let c = measure_configuration(
-            spec,
-            OverheadConfig::EmbsanC(SanitizerChoice::Kasan),
-            &workload,
-        );
-        let d = measure_configuration(
-            spec,
-            OverheadConfig::EmbsanD(SanitizerChoice::Kasan),
-            &workload,
-        );
-        let native = measure_configuration(
-            spec,
-            OverheadConfig::Native(SanitizerChoice::Kasan),
-            &workload,
-        );
+        let baseline = measure_configuration(spec, OverheadConfig::Baseline, &workload);
+        let c =
+            measure_configuration(spec, OverheadConfig::EmbsanC(SanitizerChoice::Kasan), &workload);
+        let d =
+            measure_configuration(spec, OverheadConfig::EmbsanD(SanitizerChoice::Kasan), &workload);
+        let native =
+            measure_configuration(spec, OverheadConfig::Native(SanitizerChoice::Kasan), &workload);
         // Guest-instruction shape: instrumented builds retire more
         // instructions than the uninstrumented ones; native (in-guest
         // checks) retires the most by far.

@@ -59,16 +59,13 @@ const RUN_BUDGET: u64 = 20_000_000;
 fn replay_embsan(bug: &KnownBug, san: SanMode, mode: ProbeMode) -> bool {
     let spec = BugSpec::new(bug.location, bug.kind);
     let opts = BuildOptions::new(Arch::Armv).san(san);
-    let image = os::emblinux::build(&opts, std::slice::from_ref(&spec))
-        .expect("known-bug kernel builds");
+    let image =
+        os::emblinux::build(&opts, std::slice::from_ref(&spec)).expect("known-bug kernel builds");
     let sanitizers = embsan_core::reference_specs().expect("reference specs distill");
     let artifacts = probe(&image, mode, None).expect("probing succeeds");
-    let mut session =
-        Session::new(&image, &sanitizers, &artifacts).expect("session constructs");
+    let mut session = Session::new(&image, &sanitizers, &artifacts).expect("session constructs");
     session.run_to_ready(READY_BUDGET).expect("firmware becomes ready");
-    let outcome = session
-        .run_program(&reproducer(bug), RUN_BUDGET)
-        .expect("reproducer runs");
+    let outcome = session.run_program(&reproducer(bug), RUN_BUDGET).expect("reproducer runs");
     let expected = expected_classes(bug.kind);
     outcome.reports.iter().any(|r| expected.contains(&r.class))
 }
@@ -84,11 +81,7 @@ fn replay_native_kasan(bug: &KnownBug) -> bool {
     let exit = machine.run(&mut NullHook, READY_BUDGET).expect("boot runs");
     assert_eq!(exit, RunExit::AllIdle, "native build boots to idle");
     machine.take_console();
-    machine
-        .bus_mut()
-        .devices
-        .mailbox
-        .host_load(&reproducer(bug).encode());
+    machine.bus_mut().devices.mailbox.host_load(&reproducer(bug).encode());
     let exit = machine.run(&mut NullHook, RUN_BUDGET).expect("reproducer runs");
     let console = String::from_utf8_lossy(&machine.take_console()).to_string();
     // Native KASAN reports on its console and powers off; a null deref
@@ -97,10 +90,7 @@ fn replay_native_kasan(bug: &KnownBug) -> bool {
     console.contains(KASAN_MARKER.trim_end())
         || console.contains("KASAN:")
         || exit == RunExit::Halted { code: KASAN_EXIT }
-        || matches!(
-            exit,
-            RunExit::Faulted { fault: embsan_emu::Fault::NullPage { .. }, .. }
-        )
+        || matches!(exit, RunExit::Faulted { fault: embsan_emu::Fault::NullPage { .. }, .. })
 }
 
 /// Replays one known bug under all three sanitizer configurations.

@@ -44,9 +44,12 @@ pub fn run_all_campaigns(iterations: u64, seed: u64) -> CampaignSummary {
         .map(|spec| {
             let config = CampaignConfig {
                 iterations,
-                seed: seed ^ u64::from(spec.name.bytes().fold(0u32, |h, b| {
-                    h.wrapping_mul(31).wrapping_add(u32::from(b))
-                })),
+                seed: seed
+                    ^ u64::from(
+                        spec.name
+                            .bytes()
+                            .fold(0u32, |h, b| h.wrapping_mul(31).wrapping_add(u32::from(b))),
+                    ),
                 ..CampaignConfig::default()
             };
             run_campaign(spec, &config)
@@ -127,13 +130,11 @@ mod tests {
                 let mut program = ExecProgram::new();
                 let key = trigger_key(&bug.location);
                 // Races need repetition for the sampling window.
-                let repeats =
-                    if bug.kind == embsan_guestos::BugKind::Race { 8 } else { 1 };
+                let repeats = if bug.kind == embsan_guestos::BugKind::Race { 8 } else { 1 };
                 for _ in 0..repeats {
                     program.push(sys::BUG_BASE + i as u8, &[key]);
                 }
-                let outcome: ExecOutcome =
-                    session.run_program_fresh(&program, 50_000_000).unwrap();
+                let outcome: ExecOutcome = session.run_program_fresh(&program, 50_000_000).unwrap();
                 assert!(
                     !outcome.reports.is_empty(),
                     "{}: `{}` ({:?}) not detected",

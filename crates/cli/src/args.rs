@@ -13,9 +13,8 @@ pub struct Parsed {
 }
 
 /// Option keys that take a value (everything else after `--` is a flag).
-const VALUED: &[&str] = &[
-    "arch", "san", "bug", "o", "mode", "call", "iters", "seed", "syscalls", "cpus", "budget",
-];
+const VALUED: &[&str] =
+    &["arch", "san", "bug", "o", "mode", "call", "iters", "seed", "syscalls", "cpus", "budget"];
 
 /// Parses `argv` (without the subcommand itself).
 ///
@@ -28,9 +27,7 @@ pub fn parse(argv: &[String]) -> Result<Parsed, String> {
     while let Some(arg) = iter.next() {
         if let Some(key) = arg.strip_prefix("--").or_else(|| arg.strip_prefix('-')) {
             if VALUED.contains(&key) {
-                let value = iter
-                    .next()
-                    .ok_or_else(|| format!("option --{key} needs a value"))?;
+                let value = iter.next().ok_or_else(|| format!("option --{key} needs a value"))?;
                 parsed.options.push((key.to_string(), value.clone()));
             } else {
                 parsed.flags.push(key.to_string());
@@ -45,20 +42,12 @@ pub fn parse(argv: &[String]) -> Result<Parsed, String> {
 impl Parsed {
     /// The last value given for `key`.
     pub fn option(&self, key: &str) -> Option<&str> {
-        self.options
-            .iter()
-            .rev()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v.as_str())
+        self.options.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
     }
 
     /// Every value given for `key`, in order.
     pub fn option_all(&self, key: &str) -> Vec<&str> {
-        self.options
-            .iter()
-            .filter(|(k, _)| k == key)
-            .map(|(_, v)| v.as_str())
-            .collect()
+        self.options.iter().filter(|(k, _)| k == key).map(|(_, v)| v.as_str()).collect()
     }
 
     /// Parses an integer option with a default.
@@ -69,9 +58,9 @@ impl Parsed {
     pub fn option_u64(&self, key: &str, default: u64) -> Result<u64, String> {
         match self.option(key) {
             None => Ok(default),
-            Some(text) => text
-                .parse()
-                .map_err(|_| format!("--{key} expects an integer, got `{text}`")),
+            Some(text) => {
+                text.parse().map_err(|_| format!("--{key} expects an integer, got `{text}`"))
+            }
         }
     }
 }
@@ -87,7 +76,14 @@ mod tests {
     #[test]
     fn mixes_positionals_options_and_flags() {
         let parsed = parse(&argv(&[
-            "emblinux", "--arch", "mips", "--bug", "a:uaf", "--bug", "b:oob-write", "--verbose",
+            "emblinux",
+            "--arch",
+            "mips",
+            "--bug",
+            "a:uaf",
+            "--bug",
+            "b:oob-write",
+            "--verbose",
         ]))
         .unwrap();
         assert_eq!(parsed.positional, vec!["emblinux"]);

@@ -2,10 +2,15 @@
 
 use std::fs;
 
+use embsan_analysis::audit::audit;
+use embsan_analysis::cfg::Cfg;
+use embsan_analysis::races::race_candidates;
+use embsan_analysis::static_priors_from_cfg;
 use embsan_asm::image::{FirmwareImage, InstrMode};
 use embsan_core::probe::{probe, ProbeMode};
 use embsan_core::session::Session;
 use embsan_dsl::merge;
+use embsan_emu::hook::HookConfig;
 use embsan_emu::isa::{Insn, Word};
 use embsan_emu::profile::{Arch, ArchProfile};
 use embsan_guestos::bugs::{BugKind, BugSpec};
@@ -28,6 +33,8 @@ USAGE:
       --strip                    strip symbols (closed-source image)
       -o FILE                    output path (default firmware.evfw)
   embsan inspect <image>         show image header, symbols, globals
+  embsan analyze <image>         static analysis: CFG stats, probe-coverage
+                                 audit, allocator candidates, race candidates
   embsan disasm <image>          disassemble the text section
   embsan distill [headers...]    distill sanitizer headers to merged DSL
                                  (defaults to the bundled KASAN+KCSAN)
@@ -58,6 +65,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         }
         "build" => cmd_build(&parsed),
         "inspect" => cmd_inspect(&parsed),
+        "analyze" => cmd_analyze(&parsed),
         "disasm" => cmd_disasm(&parsed),
         "distill" => cmd_distill(&parsed),
         "probe" => cmd_probe(&parsed),
@@ -96,10 +104,7 @@ fn parse_bug(text: &str) -> Result<BugSpec, String> {
 }
 
 fn load_image(parsed: &Parsed) -> Result<FirmwareImage, String> {
-    let path = parsed
-        .positional
-        .first()
-        .ok_or("expected an image path")?;
+    let path = parsed.positional.first().ok_or("expected an image path")?;
     let bytes = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     FirmwareImage::parse(&bytes).map_err(|e| format!("{path}: {e}"))
 }
@@ -117,15 +122,10 @@ fn cmd_build(parsed: &Parsed) -> Result<(), String> {
         "native-kcsan" => SanMode::NativeKcsan,
         other => return Err(format!("unknown sanitizer mode `{other}`")),
     };
-    let bugs: Vec<BugSpec> = parsed
-        .option_all("bug")
-        .into_iter()
-        .map(parse_bug)
-        .collect::<Result<_, _>>()?;
+    let bugs: Vec<BugSpec> =
+        parsed.option_all("bug").into_iter().map(parse_bug).collect::<Result<_, _>>()?;
     let needs_smp = bugs.iter().any(|b| b.kind == BugKind::Race);
-    let opts = BuildOptions::new(arch)
-        .san(san)
-        .cpus(if needs_smp { 2 } else { 1 });
+    let opts = BuildOptions::new(arch).san(san).cpus(if needs_smp { 2 } else { 1 });
     let image = match os_name.as_str() {
         "emblinux" => os::emblinux::build(&opts, &bugs),
         "freertos" => os::freertos::build(&opts, &bugs),
@@ -134,11 +134,7 @@ fn cmd_build(parsed: &Parsed) -> Result<(), String> {
         other => return Err(format!("unknown OS flavour `{other}`")),
     }
     .map_err(|e| format!("build failed: {e}"))?;
-    let image = if parsed.flags.iter().any(|f| f == "strip") {
-        image.strip()
-    } else {
-        image
-    };
+    let image = if parsed.flags.iter().any(|f| f == "strip") { image.strip() } else { image };
     let out = parsed.option("o").unwrap_or("firmware.evfw");
     fs::write(out, image.to_bytes()).map_err(|e| format!("cannot write {out}: {e}"))?;
     println!(
@@ -158,31 +154,91 @@ fn cmd_inspect(parsed: &Parsed) -> Result<(), String> {
     println!("arch:         {}", image.arch);
     println!("instrumented: {:?}", image.instr);
     println!("entry:        {:#010x}", image.entry);
-    println!(
-        "rom:          {:#010x} ({} bytes)",
-        image.rom_base,
-        image.text.len()
-    );
-    println!(
-        "ram:          {:#010x} ({} bytes)",
-        image.ram_base, image.ram_size
-    );
+    println!("rom:          {:#010x} ({} bytes)", image.rom_base, image.text.len());
+    println!("ram:          {:#010x} ({} bytes)", image.ram_base, image.ram_size);
     match image.ready {
         Some(addr) => println!("ready:        {addr:#010x}"),
         None => println!("ready:        (unknown)"),
     }
     println!("symbols:      {}", image.symbols.len());
     for sym in &image.symbols {
-        println!(
-            "  {:#010x} {:>7} {:?} {}",
-            sym.addr, sym.size, sym.kind, sym.name
-        );
+        println!("  {:#010x} {:>7} {:?} {}", sym.addr, sym.size, sym.kind, sym.name);
     }
     println!("sanitized globals: {}", image.globals.len());
     for g in &image.globals {
         println!(
             "  {:#010x} size {:>5} redzones {}/{} {}",
             g.addr, g.size, g.redzone_before, g.redzone_after, g.name
+        );
+    }
+    Ok(())
+}
+
+fn cmd_analyze(parsed: &Parsed) -> Result<(), String> {
+    let image = load_image(parsed)?;
+    let cfg = Cfg::build(&image);
+    println!("== control-flow recovery ==");
+    println!(
+        "text:       {} bytes, {} reachable instructions ({:.1}% of text)",
+        image.text.len(),
+        cfg.reachable_insns(),
+        100.0 * cfg.reachable_fraction()
+    );
+    println!(
+        "blocks:     {}   functions: {}   address-taken targets: {}",
+        cfg.blocks.len(),
+        cfg.functions.len(),
+        cfg.address_taken.len()
+    );
+
+    println!("\n== probe-coverage audit (memory probes armed) ==");
+    let report = audit(&image, HookConfig::all()).map_err(|e| e.to_string())?;
+    println!(
+        "{} blocks audited, {} memory sites checked, {} probed ops",
+        report.blocks_audited, report.checked_sites, report.probed_sites
+    );
+    if report.is_clean() {
+        println!("verdict:    CLEAN — every reachable memory op carries a probe");
+    } else {
+        println!(
+            "verdict:    VIOLATIONS — {} missing, {} spurious, {} uncovered",
+            report.missing.len(),
+            report.spurious.len(),
+            report.uncovered.len()
+        );
+        for (pc, insn) in report.missing.iter().take(8) {
+            println!("  missing probe at {pc:#010x}: {insn}");
+        }
+    }
+
+    println!("\n== allocator-signature candidates (ranked) ==");
+    let priors = static_priors_from_cfg(&cfg, &image);
+    let name_of =
+        |addr: u32| image.function_at(addr).map_or_else(String::new, |s| format!("  {}", s.name));
+    for &addr in &priors.alloc_candidates {
+        println!("  alloc {:#010x}{}", addr, name_of(addr));
+    }
+    for &addr in &priors.free_candidates {
+        println!("  free  {:#010x}{}", addr, name_of(addr));
+    }
+    if priors.alloc_candidates.is_empty() && priors.free_candidates.is_empty() {
+        println!("  (none)");
+    }
+
+    println!("\n== lockset race candidates (KCSAN watchpoint priority order) ==");
+    let candidates = race_candidates(&cfg, &image);
+    if candidates.is_empty() {
+        println!("  (none)");
+    }
+    for c in candidates.iter().take(10) {
+        println!(
+            "  {:#010x}{} sites={} writes={} unlocked={} unlocked-writes={}",
+            c.addr,
+            c.symbol.as_ref().map_or_else(String::new, |s| format!(" ({s})")),
+            c.sites,
+            c.writes,
+            c.unlocked_sites,
+            c.unlocked_writes
         );
     }
     Ok(())
@@ -256,9 +312,8 @@ fn parse_call(text: &str) -> Result<(u8, Vec<u32>), String> {
         Some((nr, args)) => (nr, args),
         None => (text, ""),
     };
-    let nr: u8 = nr
-        .parse()
-        .map_err(|_| format!("--call expects NR:ARG,...; bad syscall `{nr}`"))?;
+    let nr: u8 =
+        nr.parse().map_err(|_| format!("--call expects NR:ARG,...; bad syscall `{nr}`"))?;
     let args = if args.is_empty() {
         Vec::new()
     } else {
@@ -285,9 +340,7 @@ fn ready_session(parsed: &Parsed) -> Result<(Session, FirmwareImage), String> {
     let cpus = parsed.option_u64("cpus", 1)? as usize;
     let mut session =
         Session::with_cpus(&image, &specs, &artifacts, cpus).map_err(|e| e.to_string())?;
-    session
-        .run_to_ready(parsed.option_u64("budget", 400_000_000)?)
-        .map_err(|e| e.to_string())?;
+    session.run_to_ready(parsed.option_u64("budget", 400_000_000)?).map_err(|e| e.to_string())?;
     Ok((session, image))
 }
 
@@ -301,9 +354,7 @@ fn cmd_run(parsed: &Parsed) -> Result<(), String> {
     if program.calls.is_empty() {
         program.push(0, &[]);
     }
-    let outcome = session
-        .run_program(&program, 50_000_000)
-        .map_err(|e| e.to_string())?;
+    let outcome = session.run_program(&program, 50_000_000).map_err(|e| e.to_string())?;
     println!("exit:    {:?}", outcome.exit);
     println!("results: {:?}", outcome.results);
     if !outcome.console.is_empty() {
@@ -335,10 +386,7 @@ fn cmd_fuzz(parsed: &Parsed) -> Result<(), String> {
         });
     }
     let dict = Dictionary::extract(&image);
-    println!(
-        "fuzzing: {iters} iterations, seed {seed}, dictionary {} entries",
-        dict.len()
-    );
+    println!("fuzzing: {iters} iterations, seed {seed}, dictionary {} entries", dict.len());
     let config = FuzzerConfig::new(Strategy::Tardis, seed);
     let mut fuzzer = Fuzzer::new(&mut session, syscall_descs, dict, config);
     fuzzer.run(iters).map_err(|e| e.to_string())?;
@@ -353,12 +401,7 @@ fn cmd_fuzz(parsed: &Parsed) -> Result<(), String> {
             "[{}] pc={:#010x} reproducer calls {:?}",
             finding.report.class,
             finding.report.pc,
-            finding
-                .program
-                .calls
-                .iter()
-                .map(|c| c.nr)
-                .collect::<Vec<_>>()
+            finding.program.calls.iter().map(|c| c.nr).collect::<Vec<_>>()
         );
     }
     Ok(())

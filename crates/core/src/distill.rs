@@ -95,12 +95,7 @@ fn map_type(c_type: &str) -> ArgType {
 fn macro_args(line: &str) -> Option<Vec<String>> {
     let open = line.find('(')?;
     let close = line.rfind(')')?;
-    Some(
-        line[open + 1..close]
-            .split(',')
-            .map(|s| s.trim().to_string())
-            .collect(),
-    )
+    Some(line[open + 1..close].split(',').map(|s| s.trim().to_string()).collect())
 }
 
 /// Distills one annotated header into a [`SanitizerSpec`].
@@ -149,13 +144,9 @@ pub fn distill(header: &str) -> Result<SanitizerSpec, DistillError> {
             if args.len() != 3 {
                 return Err(DistillError::BadAnnotation { line: line_no });
             }
-            let value: u64 = args[2]
-                .parse()
-                .map_err(|_| DistillError::BadAnnotation { line: line_no })?;
-            spec.resources
-                .entry(args[0].clone())
-                .or_default()
-                .insert(args[1].clone(), value);
+            let value: u64 =
+                args[2].parse().map_err(|_| DistillError::BadAnnotation { line: line_no })?;
+            spec.resources.entry(args[0].clone()).or_default().insert(args[1].clone(), value);
         } else if line.starts_with("EMBSAN_INTERCEPT") {
             if let Some((line, _, _)) = pending {
                 return Err(DistillError::MissingPrototype { line });
@@ -164,10 +155,8 @@ pub fn distill(header: &str) -> Result<SanitizerSpec, DistillError> {
             if args.len() != 2 {
                 return Err(DistillError::BadAnnotation { line: line_no });
             }
-            let kind = PointKind::parse(&args[0]).ok_or_else(|| DistillError::BadKind {
-                line: line_no,
-                kind: args[0].clone(),
-            })?;
+            let kind = PointKind::parse(&args[0])
+                .ok_or_else(|| DistillError::BadKind { line: line_no, kind: args[0].clone() })?;
             pending = Some((line_no, kind, args[1].clone()));
         } else if let Some((_, kind, point_name)) = pending.take() {
             // The prototype line for the pending annotation.
@@ -206,10 +195,7 @@ fn parse_prototype_args(line: &str, line_no: usize) -> Result<Vec<ArgSpec>, Dist
         let name = &param[name_start..];
         let c_type = &param[..name_start];
         if name.is_empty() || c_type.trim().is_empty() {
-            return Err(DistillError::BadParameter {
-                line: line_no,
-                param: param.to_string(),
-            });
+            return Err(DistillError::BadParameter { line: line_no, param: param.to_string() });
         }
         args.push(ArgSpec { name: name.to_string(), ty: map_type(c_type), sources: Vec::new() });
     }
@@ -308,10 +294,7 @@ mod tests {
 
     #[test]
     fn error_cases() {
-        assert_eq!(
-            distill("void f(void);"),
-            Err(DistillError::MissingSanitizerName)
-        );
+        assert_eq!(distill("void f(void);"), Err(DistillError::MissingSanitizerName));
         assert!(matches!(
             distill("EMBSAN_SANITIZER(x)\nEMBSAN_INTERCEPT(bogus, load)\nvoid f(void);"),
             Err(DistillError::BadKind { .. })

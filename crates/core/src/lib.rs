@@ -57,7 +57,7 @@ pub mod runtime;
 pub mod session;
 
 pub use distill::{distill, distill_sources, reference_specs, DistillError};
-pub use probe::{probe, PriorKnowledge, ProbeArtifacts, ProbeError, ProbeMode};
+pub use probe::{probe, PriorKnowledge, ProbeArtifacts, ProbeError, ProbeMode, ProbeStats};
 pub use report::{BugClass, Report};
 pub use runtime::EmbsanRuntime;
 pub use session::{ExecOutcome, Session, SessionError};

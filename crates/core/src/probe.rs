@@ -43,7 +43,13 @@ pub enum ProbeMode {
 
 /// Tester-provided prior knowledge for binary-only probing ("with some
 /// manual intervention", §3.2).
-#[derive(Debug, Clone, Copy, Default)]
+///
+/// Exact addresses (`alloc_addr`/`free_addr`) are trusted outright. The
+/// *candidate* lists are ranked guesses — typically produced by
+/// `embsan-analysis`' static allocator-signature pass — that the prober
+/// verifies dynamically, letting it skip the discovery dry-run pass
+/// entirely.
+#[derive(Debug, Clone, Default)]
 pub struct PriorKnowledge {
     /// Known allocator entry point.
     pub alloc_addr: Option<u32>,
@@ -53,6 +59,17 @@ pub struct PriorKnowledge {
     pub heap: Option<(u32, u32)>,
     /// Known ready-point address.
     pub ready_addr: Option<u32>,
+    /// Ranked allocator-entry candidates (best first), verified dynamically.
+    pub alloc_candidates: Vec<u32>,
+    /// Ranked free-entry candidates (best first), verified dynamically.
+    pub free_candidates: Vec<u32>,
+}
+
+/// How much dynamic work a probe run performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeStats {
+    /// Number of full boot dry runs executed.
+    pub dry_run_passes: u32,
 }
 
 /// The prober's output: the two DSL documents the runtime consumes.
@@ -62,6 +79,8 @@ pub struct ProbeArtifacts {
     pub platform: PlatformSpec,
     /// Sanitizer initialization routine.
     pub init: InitProgram,
+    /// Dry-run accounting (how many boot passes the probe cost).
+    pub stats: ProbeStats,
 }
 
 impl ProbeArtifacts {
@@ -123,10 +142,7 @@ fn platform_skeleton(image: &FirmwareImage) -> PlatformSpec {
         }
         .to_string(),
         endian_big: profile.endian == Endian::Big,
-        ram: (
-            u64::from(image.ram_base),
-            u64::from(image.ram_base) + u64::from(image.ram_size),
-        ),
+        ram: (u64::from(image.ram_base), u64::from(image.ram_base) + u64::from(image.ram_size)),
         mmio: (
             u64::from(profile.mmio_base),
             u64::from(profile.mmio_base) + u64::from(profile.mmio_size),
@@ -188,8 +204,7 @@ impl ExecHook for HypercallRecorder {
         let arg = |cpu: &CpuView<'_>, i: usize| cpu.reg(profile.hypercall.args[i]);
         match nr {
             hyper::ALLOC | hyper::FREE | hyper::REGISTER_GLOBAL => {
-                self.events
-                    .push((nr, [arg(cpu, 0), arg(cpu, 1), arg(cpu, 2)]));
+                self.events.push((nr, [arg(cpu, 0), arg(cpu, 1), arg(cpu, 2)]));
                 HookAction::Continue
             }
             hyper::READY => {
@@ -216,18 +231,14 @@ fn probe_compile_time(image: &FirmwareImage) -> Result<ProbeArtifacts, ProbeErro
     if image.instr != InstrMode::SanCall {
         return Err(ProbeError::NotInstrumented);
     }
-    let mut machine = image
-        .boot_machine(1)
-        .map_err(|e| ProbeError::BootFailed(e.to_string()))?;
+    let mut machine = image.boot_machine(1).map_err(|e| ProbeError::BootFailed(e.to_string()))?;
     let mut recorder = HypercallRecorder::default();
     machine.set_hook_config(HookConfig { hypercalls: true, ..HookConfig::none() });
     let exit = machine
         .run(&mut recorder, DRY_RUN_BUDGET)
         .map_err(|e| ProbeError::BootFailed(e.to_string()))?;
     if !recorder.ready {
-        return Err(ProbeError::BootFailed(format!(
-            "no READY trap before {exit:?}"
-        )));
+        return Err(ProbeError::BootFailed(format!("no READY trap before {exit:?}")));
     }
 
     let mut init = InitProgram::default();
@@ -243,10 +254,9 @@ fn probe_compile_time(image: &FirmwareImage) -> Result<ProbeArtifacts, ProbeErro
     let mut globals = Vec::new();
     for (nr, args) in &recorder.events {
         match *nr {
-            hyper::ALLOC
-                if args[0] != 0 => {
-                    live.insert(args[0], (args[1], 0));
-                }
+            hyper::ALLOC if args[0] != 0 => {
+                live.insert(args[0], (args[1], 0));
+            }
             hyper::FREE => {
                 live.remove(&args[0]);
             }
@@ -264,7 +274,7 @@ fn probe_compile_time(image: &FirmwareImage) -> Result<ProbeArtifacts, ProbeErro
 
     let mut platform = platform_skeleton(image);
     platform.ready = Some(ReadyPoint::Hypercall);
-    Ok(ProbeArtifacts { platform, init })
+    Ok(ProbeArtifacts { platform, init, stats: ProbeStats { dry_run_passes: 1 } })
 }
 
 // --- Call/return recording shared by the dynamic modes -------------------
@@ -316,9 +326,7 @@ fn dry_run_calls(
     image: &FirmwareImage,
     ready_addr: Option<u32>,
 ) -> Result<Vec<CompletedCall>, ProbeError> {
-    let mut machine = image
-        .boot_machine(1)
-        .map_err(|e| ProbeError::BootFailed(e.to_string()))?;
+    let mut machine = image.boot_machine(1).map_err(|e| ProbeError::BootFailed(e.to_string()))?;
     let mut recorder = CallRecorder::new(1);
     machine.set_hook_config(HookConfig { calls: true, ..HookConfig::none() });
     if let Some(addr) = ready_addr {
@@ -391,19 +399,14 @@ fn probe_dynamic_source(image: &FirmwareImage) -> Result<ProbeArtifacts, ProbeEr
             lower.contains("alloc") && !lower.contains("free") && verify_alloc(s.addr)
         })
         .ok_or(ProbeError::AllocatorNotFound)?;
-    let alloc_rets: Vec<u32> = calls
-        .iter()
-        .filter(|c| c.target == alloc_sym.addr)
-        .map(|c| c.ret_value)
-        .collect();
+    let alloc_rets: Vec<u32> =
+        calls.iter().filter(|c| c.target == alloc_sym.addr).map(|c| c.ret_value).collect();
     let free_sym = funcs
         .iter()
         .find(|s| {
             let lower = s.name.to_lowercase();
             lower.contains("free")
-                && calls
-                    .iter()
-                    .any(|c| c.target == s.addr && alloc_rets.contains(&c.arg0))
+                && calls.iter().any(|c| c.target == s.addr && alloc_rets.contains(&c.arg0))
         })
         .ok_or(ProbeError::AllocatorNotFound)?;
 
@@ -434,71 +437,117 @@ fn probe_dynamic_source(image: &FirmwareImage) -> Result<ProbeArtifacts, ProbeEr
             kind: embsan_dsl::PoisonKind::HeapRedzone,
         });
     }
-    init.steps
-        .extend(alloc_steps(&live_allocations(&calls, alloc_sym.addr, free_sym.addr)));
+    init.steps.extend(alloc_steps(&live_allocations(&calls, alloc_sym.addr, free_sym.addr)));
     init.steps.push(InitStep::Ready);
-    Ok(ProbeArtifacts { platform, init })
+    Ok(ProbeArtifacts { platform, init, stats: ProbeStats { dry_run_passes: 1 } })
 }
 
 // --- Category 3: closed-source binary-only -------------------------------
+
+/// Allocator signature over a recorded call trace: called at least twice,
+/// all arguments look like sizes (small positive integers), all returns are
+/// distinct RAM pointers — and `free` is fed pointers the allocator
+/// returned.
+fn verify_pair(image: &FirmwareImage, calls: &[CompletedCall], alloc: u32, free: u32) -> bool {
+    if alloc == free {
+        return false;
+    }
+    let alloc_calls: Vec<&CompletedCall> = calls.iter().filter(|c| c.target == alloc).collect();
+    if alloc_calls.len() < 2
+        || !alloc_calls
+            .iter()
+            .all(|c| c.arg0 > 0 && c.arg0 < MAX_SIZE_ARG && ram_contains(image, c.ret_value))
+    {
+        return false;
+    }
+    let mut rets: Vec<u32> = alloc_calls.iter().map(|c| c.ret_value).collect();
+    rets.sort_unstable();
+    if rets.windows(2).any(|w| w[0] == w[1]) {
+        return false;
+    }
+    calls.iter().any(|c| c.target == free && rets.binary_search(&c.arg0).is_ok())
+}
+
+/// Enumerates ranked `(alloc, free)` candidate pairs from an observed call
+/// trace (the discovery half of the multi-pass dry run).
+fn discover_pairs(image: &FirmwareImage, calls: &[CompletedCall]) -> Vec<(u32, u32)> {
+    let mut by_target: BTreeMap<u32, Vec<&CompletedCall>> = BTreeMap::new();
+    for call in calls {
+        by_target.entry(call.target).or_default().push(call);
+    }
+    let mut alloc_candidates: Vec<(u32, usize)> = by_target
+        .iter()
+        .filter(|(_, calls)| {
+            calls.len() >= 2
+                && calls.iter().all(|c| {
+                    c.arg0 > 0 && c.arg0 < MAX_SIZE_ARG && ram_contains(image, c.ret_value)
+                })
+                && {
+                    let mut rets: Vec<u32> = calls.iter().map(|c| c.ret_value).collect();
+                    rets.sort_unstable();
+                    rets.windows(2).all(|w| w[0] != w[1])
+                }
+        })
+        .map(|(&target, calls)| (target, calls.len()))
+        .collect();
+    alloc_candidates.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+
+    let mut pairs = Vec::new();
+    for &(alloc, _) in &alloc_candidates {
+        let rets: Vec<u32> = by_target[&alloc].iter().map(|c| c.ret_value).collect();
+        for (&target, calls) in &by_target {
+            if target != alloc && calls.iter().any(|c| rets.contains(&c.arg0)) {
+                pairs.push((alloc, target));
+            }
+        }
+    }
+    pairs
+}
 
 fn probe_dynamic_binary(
     image: &FirmwareImage,
     prior: Option<&PriorKnowledge>,
 ) -> Result<ProbeArtifacts, ProbeError> {
-    let prior = prior.copied().unwrap_or_default();
-    let calls = dry_run_calls(image, prior.ready_addr)?;
+    let prior = prior.cloned().unwrap_or_default();
+    let mut passes = 0u32;
 
-    // Group completed calls by target.
-    let mut by_target: BTreeMap<u32, Vec<&CompletedCall>> = BTreeMap::new();
-    for call in &calls {
-        by_target.entry(call.target).or_default().push(call);
-    }
-
-    // Allocator signature: called at least twice, all arguments look like
-    // sizes (small positive integers), all returns are distinct RAM
-    // pointers.
-    let alloc_addr = match prior.alloc_addr {
-        Some(addr) => addr,
-        None => {
-            let mut candidates: Vec<(u32, usize)> = by_target
-                .iter()
-                .filter(|(_, calls)| {
-                    calls.len() >= 2
-                        && calls.iter().all(|c| {
-                            c.arg0 > 0
-                                && c.arg0 < MAX_SIZE_ARG
-                                && ram_contains(image, c.ret_value)
-                        })
-                        && {
-                            let mut rets: Vec<u32> =
-                                calls.iter().map(|c| c.ret_value).collect();
-                            rets.sort_unstable();
-                            rets.windows(2).all(|w| w[0] != w[1])
-                        }
-                })
-                .map(|(&target, calls)| (target, calls.len()))
-                .collect();
-            candidates.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
-            candidates.first().map(|&(t, _)| t).ok_or(ProbeError::AllocatorNotFound)?
-        }
-    };
-    let alloc_rets: Vec<u32> = by_target
-        .get(&alloc_addr)
-        .map(|calls| calls.iter().map(|c| c.ret_value).collect())
-        .unwrap_or_default();
-
-    // Free signature: called with pointers previously returned by the
-    // allocator.
-    let free_addr = match prior.free_addr {
-        Some(addr) => addr,
-        None => by_target
+    let (pair, calls) = if let (Some(alloc), Some(free)) = (prior.alloc_addr, prior.free_addr) {
+        // Exact tester-supplied addresses are trusted outright: one pass,
+        // recording boot allocations only.
+        passes += 1;
+        ((alloc, free), dry_run_calls(image, prior.ready_addr)?)
+    } else if !prior.alloc_candidates.is_empty() && !prior.free_candidates.is_empty() {
+        // Ranked static candidates (from `embsan-analysis`): discovery is
+        // already done, so a single combined record+verify pass suffices.
+        passes += 1;
+        let calls = dry_run_calls(image, prior.ready_addr)?;
+        let pair = prior
+            .alloc_candidates
             .iter()
-            .filter(|(&target, _)| target != alloc_addr)
-            .find(|(_, calls)| calls.iter().any(|c| alloc_rets.contains(&c.arg0)))
-            .map(|(&target, _)| target)
-            .ok_or(ProbeError::AllocatorNotFound)?,
+            .flat_map(|&alloc| prior.free_candidates.iter().map(move |&free| (alloc, free)))
+            .find(|&(alloc, free)| verify_pair(image, &calls, alloc, free))
+            .ok_or(ProbeError::AllocatorNotFound)?;
+        (pair, calls)
+    } else {
+        // No priors: discovery pass enumerates candidates from observed
+        // dataflow, then a second pass re-records and verifies that the
+        // top-ranked pair holds on fresh recordings (multi-pass dry run).
+        passes += 1;
+        let discovery = dry_run_calls(image, prior.ready_addr)?;
+        let ranked = discover_pairs(image, &discovery);
+        if ranked.is_empty() {
+            return Err(ProbeError::AllocatorNotFound);
+        }
+        passes += 1;
+        let calls = dry_run_calls(image, prior.ready_addr)?;
+        let pair = ranked
+            .iter()
+            .copied()
+            .find(|&(alloc, free)| verify_pair(image, &calls, alloc, free))
+            .ok_or(ProbeError::AllocatorNotFound)?;
+        (pair, calls)
     };
+    let (alloc_addr, free_addr) = pair;
 
     let mut platform = platform_skeleton(image);
     platform.ready = prior.ready_addr.map(|a| ReadyPoint::Addr(u64::from(a)));
@@ -529,10 +578,9 @@ fn probe_dynamic_binary(
             kind: embsan_dsl::PoisonKind::HeapRedzone,
         });
     }
-    init.steps
-        .extend(alloc_steps(&live_allocations(&calls, alloc_addr, free_addr)));
+    init.steps.extend(alloc_steps(&live_allocations(&calls, alloc_addr, free_addr)));
     init.steps.push(InitStep::Ready);
-    Ok(ProbeArtifacts { platform, init })
+    Ok(ProbeArtifacts { platform, init, stats: ProbeStats { dry_run_passes: passes } })
 }
 
 #[cfg(test)]
@@ -552,10 +600,7 @@ mod tests {
         let steps = &artifacts.init.steps;
         // Heap poison first, globals registered, net-live boot alloc
         // (boot_obj: 96 bytes), ready last.
-        assert!(matches!(
-            steps[0],
-            InitStep::Poison { kind: PoisonKind::HeapRedzone, .. }
-        ));
+        assert!(matches!(steps[0], InitStep::Poison { kind: PoisonKind::HeapRedzone, .. }));
         assert!(steps.iter().any(|s| matches!(s, InitStep::Global { redzone: 32, .. })));
         let allocs: Vec<_> = steps
             .iter()
@@ -583,8 +628,7 @@ mod tests {
         type BuildFn = fn(
             &BuildOptions,
             &[embsan_guestos::BugSpec],
-        )
-            -> Result<embsan_asm::FirmwareImage, embsan_asm::LinkError>;
+        ) -> Result<embsan_asm::FirmwareImage, embsan_asm::LinkError>;
         let cases: [(BuildFn, &str, &str); 3] = [
             (os::emblinux::build, "kmalloc", "kfree"),
             (os::freertos::build, "pvPortMalloc", "vPortFree"),
@@ -626,11 +670,9 @@ mod tests {
         assert_eq!(alloc_hook.addr as u32, truth.symbol("memPartAlloc").unwrap());
         assert_eq!(free_hook.addr as u32, truth.symbol("memPartFree").unwrap());
         // Boot's net-live allocation is replayed.
-        assert!(artifacts
-            .init
-            .steps
-            .iter()
-            .any(|s| matches!(s, InitStep::Alloc { size: 96, .. })));
+        assert!(artifacts.init.steps.iter().any(|s| matches!(s, InitStep::Alloc { size: 96, .. })));
+        // Blind probing costs a discovery pass plus a verification pass.
+        assert_eq!(artifacts.stats.dry_run_passes, 2);
     }
 
     #[test]
@@ -646,6 +688,7 @@ mod tests {
                 truth.symbol("__heap_end").unwrap(),
             )),
             ready_addr: truth.symbol("kernel_ready"),
+            ..Default::default()
         };
         let artifacts = probe(&stripped, ProbeMode::DynamicBinary, Some(&prior)).unwrap();
         assert!(matches!(
@@ -653,6 +696,8 @@ mod tests {
             InitStep::Poison { kind: PoisonKind::HeapRedzone, .. }
         ));
         assert!(matches!(artifacts.platform.ready, Some(ReadyPoint::Addr(_))));
+        // Exact priors skip both discovery and verification dry runs.
+        assert_eq!(artifacts.stats.dry_run_passes, 1);
     }
 
     #[test]

@@ -126,11 +126,7 @@ impl Report {
         };
         let mut out = String::new();
         out.push_str("==================================================================\n");
-        out.push_str(&format!(
-            "BUG: EMBSAN: {} in {}\n",
-            self.class,
-            sym(self.pc)
-        ));
+        out.push_str(&format!("BUG: EMBSAN: {} in {}\n", self.class, sym(self.pc)));
         out.push_str(&format!(
             "{} of size {} at addr {:#010x} on cpu {}\n",
             if self.is_write { "Write" } else { "Read" },

@@ -136,10 +136,8 @@ impl KasanEngine {
             });
         };
         shadow.poison(addr, addr + live.size.max(1), code::FREED);
-        self.freed.insert(
-            addr,
-            FreedChunk { size: live.size, alloc_pc: live.alloc_pc, free_pc: pc },
-        );
+        self.freed
+            .insert(addr, FreedChunk { size: live.size, alloc_pc: live.alloc_pc, free_pc: pc });
         self.quarantine.push_back(addr);
         self.quarantine_used += u64::from(live.size);
         while self.quarantine_used > self.config.quarantine_bytes {
@@ -184,7 +182,9 @@ impl KasanEngine {
                 (BugClass::Uaf, chunk)
             }
             code::GLOBAL_REDZONE => (BugClass::GlobalOob, None),
-            code::HEAP | code::HEAP_REDZONE => (BugClass::HeapOob, self.live_chunk_before(bad_addr)),
+            code::HEAP | code::HEAP_REDZONE => {
+                (BugClass::HeapOob, self.live_chunk_before(bad_addr))
+            }
             1..=7 => (BugClass::HeapOob, self.live_chunk_before(bad_addr)),
             _ => (BugClass::WildAccess, None),
         };

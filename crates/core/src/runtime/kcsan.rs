@@ -62,6 +62,10 @@ pub struct KcsanEngine {
     slots: Vec<Option<Watchpoint>>,
     counter: u64,
     next_token: u64,
+    /// Priority addresses (static race candidates): accesses overlapping
+    /// one bypass the sampling interval and install a watchpoint as soon as
+    /// a slot is free.
+    priority: Vec<u32>,
 }
 
 impl KcsanEngine {
@@ -72,12 +76,32 @@ impl KcsanEngine {
             config,
             counter: 0,
             next_token: 0,
+            priority: Vec::new(),
         }
     }
 
     /// Number of active watchpoints.
     pub fn active_watchpoints(&self) -> usize {
         self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Installs the watchpoint-priority address list (word-granular), as
+    /// produced by the `embsan-analysis` lockset pass. Accesses touching a
+    /// priority word skip the `1/sample` gate, so statically suspected
+    /// races get stall windows orders of magnitude sooner.
+    pub fn set_priorities(&mut self, addrs: impl IntoIterator<Item = u32>) {
+        self.priority = addrs.into_iter().collect();
+        self.priority.sort_unstable();
+        self.priority.dedup();
+    }
+
+    /// The installed priority addresses.
+    pub fn priorities(&self) -> &[u32] {
+        &self.priority
+    }
+
+    fn is_priority(&self, addr: u32, size: u8) -> bool {
+        self.priority.iter().any(|&p| Self::overlap(addr, size, p, 4))
     }
 
     fn overlap(a_addr: u32, a_size: u8, b_addr: u32, b_size: u8) -> bool {
@@ -112,30 +136,21 @@ impl KcsanEngine {
                     pc,
                     cpu,
                     chunk: None,
-                    other: Some(RaceOther {
-                        pc: slot.pc,
-                        cpu: slot.cpu,
-                        is_write: slot.is_write,
-                    }),
+                    other: Some(RaceOther { pc: slot.pc, cpu: slot.cpu, is_write: slot.is_write }),
                 });
             }
         }
         // 2. Sampling: install a watchpoint for one in `sample` accesses.
+        // Statically prioritized addresses bypass the sampling gate.
         self.counter += 1;
-        if !self.counter.is_multiple_of(self.config.sample) {
+        if !self.is_priority(addr, size) && !self.counter.is_multiple_of(self.config.sample) {
             return KcsanOutcome::Pass;
         }
         let Some(free) = self.slots.iter().position(|s| s.is_none()) else {
             return KcsanOutcome::Pass;
         };
-        self.slots[free] = Some(Watchpoint {
-            addr,
-            size,
-            is_write,
-            cpu,
-            pc,
-            value_before: value_now,
-        });
+        self.slots[free] =
+            Some(Watchpoint { addr, size, is_write, cpu, pc, value_before: value_now });
         let token = self.next_token << 8 | free as u64;
         self.next_token += 1;
         KcsanOutcome::Watch { token, window: self.config.window }
@@ -249,6 +264,23 @@ mod tests {
             }
         }
         assert_eq!(watches, 10);
+    }
+
+    #[test]
+    fn priority_addresses_bypass_sampling() {
+        // Sampling interval so sparse that nothing would be watched.
+        let mut engine = KcsanEngine::new(KcsanConfig { slots: 4, window: 100, sample: 1 << 20 });
+        engine.set_priorities([0x3000]);
+        // Non-priority access: passes (counter far from the interval).
+        assert_eq!(engine.on_access(0x1000, 4, true, 0, 0x100, 0), KcsanOutcome::Pass);
+        // Priority access: watched immediately despite the interval,
+        // including partial overlaps of the priority word.
+        assert!(matches!(
+            engine.on_access(0x3002, 2, true, 0, 0x104, 0),
+            KcsanOutcome::Watch { .. }
+        ));
+        // A second CPU hitting the watched word races as usual.
+        assert!(matches!(engine.on_access(0x3000, 4, true, 1, 0x200, 0), KcsanOutcome::Race(_)));
     }
 
     #[test]

@@ -21,8 +21,7 @@ pub mod umsan;
 use std::collections::{HashMap, HashSet};
 
 use embsan_dsl::{
-    FuncRole, InitProgram, InitStep, PlatformSpec, PointKind, PoisonKind, ReadyPoint,
-    SanitizerSpec,
+    FuncRole, InitProgram, InitStep, PlatformSpec, PointKind, PoisonKind, ReadyPoint, SanitizerSpec,
 };
 use embsan_emu::bus::{MemAccess, MemKind};
 use embsan_emu::cpu::CpuView;
@@ -34,8 +33,8 @@ use embsan_emu::Fault;
 use crate::report::{BugClass, Report};
 use kasan::{KasanConfig, KasanEngine};
 use kcsan::{KcsanConfig, KcsanEngine, KcsanOutcome};
-use umsan::UmsanEngine;
 use shadow::{code, ShadowMemory};
+use umsan::UmsanEngine;
 
 /// How the runtime attaches to the firmware.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,24 +101,16 @@ impl ResolvedPlatform {
             "armv" => Arch::Armv,
             "mipsv" => Arch::Mipsv,
             "x86v" => Arch::X86v,
-            other => {
-                return Err(RuntimeError::BadPlatform(format!("unknown arch `{other}`")))
-            }
+            other => return Err(RuntimeError::BadPlatform(format!("unknown arch `{other}`"))),
         };
         let reg = |name: &str| -> Result<Reg, RuntimeError> {
             Reg::parse(name)
                 .ok_or_else(|| RuntimeError::BadPlatform(format!("unknown register `{name}`")))
         };
-        let hypercall_args = spec
-            .hypercall_args
-            .iter()
-            .map(|n| reg(n))
-            .collect::<Result<Vec<_>, _>>()?;
-        let check_reg = if spec.check_reg.is_empty() {
-            Reg::SCRATCH
-        } else {
-            reg(&spec.check_reg)?
-        };
+        let hypercall_args =
+            spec.hypercall_args.iter().map(|n| reg(n)).collect::<Result<Vec<_>, _>>()?;
+        let check_reg =
+            if spec.check_reg.is_empty() { Reg::SCRATCH } else { reg(&spec.check_reg)? };
         let hooks = spec
             .funcs
             .iter()
@@ -264,9 +255,7 @@ impl EmbsanRuntime {
             shadow: ShadowMemory::new(platform.ram.0, platform.ram.1),
             kasan: selection.kasan.map(KasanEngine::new),
             kcsan: selection.kcsan.map(KcsanEngine::new),
-            umsan: selection
-                .umsan
-                .then(|| UmsanEngine::new(platform.ram.0, platform.ram.1)),
+            umsan: selection.umsan.then(|| UmsanEngine::new(platform.ram.0, platform.ram.1)),
             platform,
             mode,
             active: false,
@@ -292,18 +281,12 @@ impl EmbsanRuntime {
     /// this is what regenerates the translation templates (§3.3).
     pub fn hook_config(&self) -> HookConfig {
         match self.mode {
-            AttachMode::CompileTime => HookConfig {
-                hypercalls: true,
-                mem: false,
-                calls: false,
-                blocks: false,
-            },
-            AttachMode::Dynamic => HookConfig {
-                hypercalls: false,
-                mem: true,
-                calls: true,
-                blocks: false,
-            },
+            AttachMode::CompileTime => {
+                HookConfig { hypercalls: true, mem: false, calls: false, blocks: false }
+            }
+            AttachMode::Dynamic => {
+                HookConfig { hypercalls: false, mem: true, calls: true, blocks: false }
+            }
         }
     }
 
@@ -330,6 +313,20 @@ impl EmbsanRuntime {
     /// All reports so far (deduplicated).
     pub fn reports(&self) -> &[Report] {
         &self.reports
+    }
+
+    /// Feeds statically ranked race-candidate addresses (the
+    /// `embsan-analysis` lockset pass) to the KCSAN engine's watchpoint
+    /// prioritization. No-op when KCSAN is not selected.
+    pub fn set_race_priorities(&mut self, addrs: &[u32]) {
+        if let Some(kcsan) = &mut self.kcsan {
+            kcsan.set_priorities(addrs.iter().copied());
+        }
+    }
+
+    /// Number of installed KCSAN priority addresses.
+    pub fn race_priority_count(&self) -> usize {
+        self.kcsan.as_ref().map_or(0, |k| k.priorities().len())
     }
 
     /// Takes the reports recorded since the last call.
@@ -369,12 +366,7 @@ impl EmbsanRuntime {
                 }
                 InitStep::Global { addr, size, redzone } => {
                     if let Some(kasan) = &mut self.kasan {
-                        kasan.on_global(
-                            &mut self.shadow,
-                            addr as u32,
-                            size as u32,
-                            redzone as u32,
-                        );
+                        kasan.on_global(&mut self.shadow, addr as u32, size as u32, redzone as u32);
                     }
                 }
                 InitStep::Ready => self.activate(),
@@ -488,8 +480,8 @@ impl EmbsanRuntime {
         }
         if !atomic {
             if let Some(kcsan) = &mut self.kcsan {
-                let value_now = written_value
-                    .unwrap_or_else(|| cpu.read_mem(addr, size.min(4)).unwrap_or(0));
+                let value_now =
+                    written_value.unwrap_or_else(|| cpu.read_mem(addr, size.min(4)).unwrap_or(0));
                 match kcsan.on_access(addr, size, is_write, cpu_index, pc, value_now) {
                     KcsanOutcome::Pass => {}
                     KcsanOutcome::Watch { token, window } => {
@@ -550,11 +542,7 @@ impl ExecHook for EmbsanRuntime {
             );
         }
         let arg = |cpu: &CpuView<'_>, i: usize| {
-            self.platform
-                .hypercall_args
-                .get(i)
-                .map(|&r| cpu.reg(r))
-                .unwrap_or(0)
+            self.platform.hypercall_args.get(i).map(|&r| cpu.reg(r)).unwrap_or(0)
         };
         match nr {
             hyper::ALLOC if self.active => {
@@ -607,18 +595,11 @@ impl ExecHook for EmbsanRuntime {
     }
 
     fn call(&mut self, cpu: &mut CpuView<'_>, target: u32, ret_to: u32) {
-        let Some(hook_index) =
-            self.platform.hooks.iter().position(|h| h.addr == target)
-        else {
+        let Some(hook_index) = self.platform.hooks.iter().position(|h| h.addr == target) else {
             return;
         };
         let cpu_index = cpu.cpu_index();
-        let args = [
-            cpu.reg(Reg::A0),
-            cpu.reg(Reg::A1),
-            cpu.reg(Reg::A2),
-            cpu.reg(Reg::A3),
-        ];
+        let args = [cpu.reg(Reg::A0), cpu.reg(Reg::A1), cpu.reg(Reg::A2), cpu.reg(Reg::A3)];
         self.pending[cpu_index].push(PendingCall { hook_index, ret_to, args });
         // Allocator internals legitimately touch free memory: suppress
         // checks on this vCPU until the function returns.
@@ -686,10 +667,7 @@ impl ExecHook for EmbsanRuntime {
     fn stall_expired(&mut self, cpu: &mut CpuView<'_>, token: u64) {
         let Some((addr, size)) = self.stall_watch.remove(&token) else { return };
         let value_now = cpu.read_mem(addr, size.min(4)).unwrap_or(0);
-        let report = self
-            .kcsan
-            .as_mut()
-            .and_then(|k| k.on_stall_expired(token, value_now));
+        let report = self.kcsan.as_mut().and_then(|k| k.on_stall_expired(token, value_now));
         if let Some(report) = report {
             self.record(report);
         }
@@ -807,10 +785,7 @@ platform test {
         let merged = reference_merged().unwrap();
         let mut spec = platform_spec();
         spec.arch = "sparc".to_string();
-        assert!(matches!(
-            EmbsanRuntime::new(&merged, &spec, 1),
-            Err(RuntimeError::BadPlatform(_))
-        ));
+        assert!(matches!(EmbsanRuntime::new(&merged, &spec, 1), Err(RuntimeError::BadPlatform(_))));
         let mut spec = platform_spec();
         spec.hypercall_args = vec!["r99".to_string()];
         assert!(EmbsanRuntime::new(&merged, &spec, 1).is_err());

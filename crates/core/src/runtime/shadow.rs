@@ -48,8 +48,7 @@ impl ShadowMemory {
 
     /// Whether `addr` is covered by the shadow (i.e. inside RAM).
     pub fn covers(&self, addr: u32) -> bool {
-        addr >= self.ram_base
-            && ((addr - self.ram_base) / GRANULE) < self.bytes.len() as u32
+        addr >= self.ram_base && ((addr - self.ram_base) / GRANULE) < self.bytes.len() as u32
     }
 
     fn index(&self, addr: u32) -> usize {
@@ -165,10 +164,7 @@ mod tests {
         );
         assert!(s.check(0x10_00F8, 8).is_ok());
         // Access straddling into the poison is caught at the first bad byte.
-        assert_eq!(
-            s.check(0x10_00FE, 4).unwrap_err().bad_addr,
-            0x10_0100
-        );
+        assert_eq!(s.check(0x10_00FE, 4).unwrap_err().bad_addr, 0x10_0100);
         assert!(s.check(0x10_0140, 4).is_ok());
     }
 
@@ -179,7 +175,7 @@ mod tests {
         s.unpoison_object(0x10_0200, 20); // 2 full granules + 4-byte tail
         assert!(s.check(0x10_0200, 4).is_ok());
         assert!(s.check(0x10_0210, 4).is_ok()); // bytes 16..20
-        // Byte 20 is past the watermark (tail granule allows 4 bytes).
+                                                // Byte 20 is past the watermark (tail granule allows 4 bytes).
         let err = s.check(0x10_0214, 1).unwrap_err();
         assert_eq!(err.code, 4);
         // And byte 24 hits the fully poisoned next granule.

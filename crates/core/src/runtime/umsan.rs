@@ -36,8 +36,7 @@ impl UmsanEngine {
     }
 
     fn in_range(&self, addr: u32) -> bool {
-        addr >= self.ram_base
-            && ((addr - self.ram_base) as usize) < self.uninit.len() * 8
+        addr >= self.ram_base && ((addr - self.ram_base) as usize) < self.uninit.len() * 8
     }
 
     fn set_uninit(&mut self, addr: u32, value: bool) {
@@ -93,28 +92,21 @@ impl UmsanEngine {
     }
 
     /// A load of uninitialized bytes reports.
-    pub fn on_load(
-        &mut self,
-        addr: u32,
-        size: u8,
-        pc: u32,
-        cpu: usize,
-    ) -> Option<Report> {
+    pub fn on_load(&mut self, addr: u32, size: u8, pc: u32, cpu: usize) -> Option<Report> {
         let bad = (addr..addr.saturating_add(u32::from(size))).find(|&a| self.is_uninit(a))?;
         // Report once per byte range: further reads of the same bytes stay
         // noisy otherwise (real MSAN marks the value initialized after the
         // first report as well).
         self.on_store(addr, size);
-        let chunk = self
-            .chunks
-            .iter()
-            .find(|(&base, &(size, _))| base <= bad && bad < base + size)
-            .map(|(&base, &(size, alloc_pc))| ChunkInfo {
-                addr: base,
-                size,
-                alloc_pc,
-                free_pc: None,
-            });
+        let chunk =
+            self.chunks.iter().find(|(&base, &(size, _))| base <= bad && bad < base + size).map(
+                |(&base, &(size, alloc_pc))| ChunkInfo {
+                    addr: base,
+                    size,
+                    alloc_pc,
+                    free_pc: None,
+                },
+            );
         Some(Report {
             class: BugClass::UninitRead,
             addr: bad,

@@ -161,6 +161,14 @@ impl Session {
         self.runtime.reports()
     }
 
+    /// Prioritizes KCSAN watchpoints on statically suspected race
+    /// addresses (from `embsan-analysis`). Call before
+    /// [`run_to_ready`](Session::run_to_ready) so the priorities are part
+    /// of the reset snapshot.
+    pub fn set_race_priorities(&mut self, addrs: &[u32]) {
+        self.runtime.set_race_priorities(addrs);
+    }
+
     /// Renders a report against this session's firmware symbols.
     pub fn render_report(&self, report: &Report) -> String {
         report.render(if self.image.has_symbols() { Some(&self.image) } else { None })
@@ -262,11 +270,7 @@ impl Session {
         }
         self.machine.take_console();
         self.runtime.take_new_reports();
-        self.machine
-            .bus_mut()
-            .devices
-            .mailbox
-            .host_load(&program.encode());
+        self.machine.bus_mut().devices.mailbox.host_load(&program.encode());
         // Run in slices, waking parked vCPUs at each slice boundary (`wfi`
         // waits for an event; host slicing is one). The completion signal is
         // the executor's per-call result bytes — `AllIdle` alone is not
@@ -281,8 +285,7 @@ impl Session {
                 embsan_emu::hook::CombinedHook { primary: runtime, observer: &mut *observer };
             exit = machine.run(&mut combined, slice)?;
             spent += slice;
-            let done =
-                self.machine.bus().devices.mailbox.result_count() >= total_calls;
+            let done = self.machine.bus().devices.mailbox.result_count() >= total_calls;
             match exit {
                 RunExit::Faulted { .. } | RunExit::Halted { .. } => break,
                 RunExit::Stopped if self.runtime.stop_on_report => break,
@@ -327,11 +330,7 @@ mod tests {
     use embsan_guestos::executor::sys;
     use embsan_guestos::{os, BuildOptions, SanMode};
 
-    fn session_for(
-        san: SanMode,
-        mode: ProbeMode,
-        bugs: &[BugSpec],
-    ) -> Session {
+    fn session_for(san: SanMode, mode: ProbeMode, bugs: &[BugSpec]) -> Session {
         let opts = BuildOptions::new(Arch::Armv).san(san);
         let image = os::emblinux::build(&opts, bugs).unwrap();
         let specs = reference_specs().unwrap();
@@ -375,10 +374,9 @@ mod tests {
 
     #[test]
     fn no_false_positives_on_clean_workload() {
-        for (san, mode) in [
-            (SanMode::SanCall, ProbeMode::CompileTime),
-            (SanMode::None, ProbeMode::DynamicSource),
-        ] {
+        for (san, mode) in
+            [(SanMode::SanCall, ProbeMode::CompileTime), (SanMode::None, ProbeMode::DynamicSource)]
+        {
             let mut session = session_for(san, mode, &[]);
             let corpus = embsan_guestos::workload::merged_corpus(11, 3, 30);
             for program in &corpus {
@@ -418,10 +416,9 @@ mod tests {
     #[test]
     fn double_free_detected_in_both_modes() {
         let bug = BugSpec::new("t/df", BugKind::DoubleFree);
-        for (san, mode) in [
-            (SanMode::SanCall, ProbeMode::CompileTime),
-            (SanMode::None, ProbeMode::DynamicSource),
-        ] {
+        for (san, mode) in
+            [(SanMode::SanCall, ProbeMode::CompileTime), (SanMode::None, ProbeMode::DynamicSource)]
+        {
             let mut session = session_for(san, mode, std::slice::from_ref(&bug));
             let mut program = ExecProgram::new();
             program.push(sys::BUG_BASE, &[trigger_key("t/df")]);
@@ -469,11 +466,7 @@ mod tests {
         let mut session =
             session_for(SanMode::None, ProbeMode::DynamicSource, std::slice::from_ref(&bug));
         let outcome = session.run_program(&program, 10_000_000).unwrap();
-        assert!(
-            outcome.reports.is_empty(),
-            "EMBSAN-D must miss global OOB: {:?}",
-            outcome.reports
-        );
+        assert!(outcome.reports.is_empty(), "EMBSAN-D must miss global OOB: {:?}", outcome.reports);
     }
 
     #[test]

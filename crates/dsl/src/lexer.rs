@@ -170,7 +170,9 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, LexError> {
                     }
                 }
                 let text = text.replace('_', "");
-                let value = if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+                let value = if let Some(hex) =
+                    text.strip_prefix("0x").or_else(|| text.strip_prefix("0X"))
+                {
                     u64::from_str_radix(hex, 16)
                 } else {
                     text.parse()

@@ -31,9 +31,7 @@ pub fn merge(specs: &[SanitizerSpec]) -> SanitizerSpec {
         for (group, params) in &spec.resources {
             let out = merged.resources.entry(group.clone()).or_default();
             for (key, value) in params {
-                out.entry(key.clone())
-                    .and_modify(|v| *v = (*v).max(*value))
-                    .or_insert(*value);
+                out.entry(key.clone()).and_modify(|v| *v = (*v).max(*value)).or_insert(*value);
             }
         }
     }

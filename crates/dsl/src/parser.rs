@@ -58,7 +58,6 @@ impl Parser {
         self.tokens.get(self.pos).map_or(0, |t| t.line)
     }
 
-
     fn peek(&self) -> Option<&Token> {
         self.tokens.get(self.pos).map(|t| &t.token)
     }
@@ -88,7 +87,9 @@ impl Parser {
         let line = self.line();
         match self.next()? {
             Token::Ident(name) => Ok(name),
-            other => Err(ParseError { line, message: format!("expected identifier, found {other}") }),
+            other => {
+                Err(ParseError { line, message: format!("expected identifier, found {other}") })
+            }
         }
     }
 
@@ -365,7 +366,10 @@ impl Parser {
                     program.steps.push(InitStep::Ready);
                 }
                 other => {
-                    return Err(ParseError { line, message: format!("unknown init step `{other}`") })
+                    return Err(ParseError {
+                        line,
+                        message: format!("unknown init step `{other}`"),
+                    })
                 }
             }
         }
@@ -440,8 +444,7 @@ init {
     #[test]
     fn display_roundtrips() {
         let items = parse(FULL_DOC).unwrap();
-        let printed: String =
-            items.iter().map(|i| i.to_string()).collect::<Vec<_>>().join("\n");
+        let printed: String = items.iter().map(|i| i.to_string()).collect::<Vec<_>>().join("\n");
         let reparsed = parse(&printed).unwrap();
         assert_eq!(items, reparsed);
     }

@@ -61,7 +61,8 @@ struct Region {
 
 impl Region {
     fn contains(&self, addr: u32, size: u32) -> bool {
-        addr >= self.base && u64::from(addr) + u64::from(size) <= u64::from(self.base) + self.data.len() as u64
+        addr >= self.base
+            && u64::from(addr) + u64::from(size) <= u64::from(self.base) + self.data.len() as u64
     }
 }
 
@@ -310,14 +311,8 @@ mod tests {
     #[test]
     fn null_page_faults() {
         let mut bus = test_bus(Endian::Little);
-        assert_eq!(
-            bus.read(0x10, 4),
-            Err(Fault::NullPage { addr: 0x10, is_write: false })
-        );
-        assert_eq!(
-            bus.write(0x0, 4, 1),
-            Err(Fault::NullPage { addr: 0x0, is_write: true })
-        );
+        assert_eq!(bus.read(0x10, 4), Err(Fault::NullPage { addr: 0x10, is_write: false }));
+        assert_eq!(bus.write(0x0, 4, 1), Err(Fault::NullPage { addr: 0x0, is_write: true }));
     }
 
     #[test]
@@ -330,14 +325,8 @@ mod tests {
     #[test]
     fn misaligned_access_faults() {
         let mut bus = test_bus(Endian::Little);
-        assert_eq!(
-            bus.read(0x10_0001, 4),
-            Err(Fault::Misaligned { addr: 0x10_0001, size: 4 })
-        );
-        assert_eq!(
-            bus.read(0x10_0001, 2),
-            Err(Fault::Misaligned { addr: 0x10_0001, size: 2 })
-        );
+        assert_eq!(bus.read(0x10_0001, 4), Err(Fault::Misaligned { addr: 0x10_0001, size: 4 }));
+        assert_eq!(bus.read(0x10_0001, 2), Err(Fault::Misaligned { addr: 0x10_0001, size: 2 }));
         // Byte accesses are never misaligned.
         assert!(bus.read(0x10_0001, 1).is_ok());
     }

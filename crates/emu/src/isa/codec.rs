@@ -96,29 +96,20 @@ mod op {
 
 /// Signed 12-bit immediate range check.
 fn imm12(value: i32) -> u32 {
-    assert!(
-        (-2048..2048).contains(&value),
-        "immediate {value} does not fit in 12 bits"
-    );
+    assert!((-2048..2048).contains(&value), "immediate {value} does not fit in 12 bits");
     (value as u32) & 0xFFF
 }
 
 /// Unsigned 12-bit immediate range check (logical immediates are
 /// zero-extended so `lui + ori` can synthesize any 32-bit constant).
 fn uimm12(value: i32) -> u32 {
-    assert!(
-        (0..4096).contains(&value),
-        "unsigned immediate {value} does not fit in 12 bits"
-    );
+    assert!((0..4096).contains(&value), "unsigned immediate {value} does not fit in 12 bits");
     value as u32
 }
 
 /// Signed 20-bit immediate range check.
 fn imm20(value: i32) -> u32 {
-    assert!(
-        (-(1 << 19)..(1 << 19)).contains(&value),
-        "immediate {value} does not fit in 20 bits"
-    );
+    assert!((-(1 << 19)..(1 << 19)).contains(&value), "immediate {value} does not fit in 20 bits");
     (value as u32) & 0xF_FFFF
 }
 

@@ -76,14 +76,8 @@ mod tests {
             Insn::Add { rd: Reg::R1, rs1: Reg::R2, rs2: Reg::R3 }.to_string(),
             "add r1, r2, r3"
         );
-        assert_eq!(
-            Insn::Lw { rd: Reg::R1, rs1: Reg::SP, imm: -4 }.to_string(),
-            "lw r1, [r13-4]"
-        );
-        assert_eq!(
-            Insn::Sw { rs2: Reg::R2, rs1: Reg::R3, imm: 8 }.to_string(),
-            "sw r2, [r3+8]"
-        );
+        assert_eq!(Insn::Lw { rd: Reg::R1, rs1: Reg::SP, imm: -4 }.to_string(), "lw r1, [r13-4]");
+        assert_eq!(Insn::Sw { rs2: Reg::R2, rs1: Reg::R3, imm: 8 }.to_string(), "sw r2, [r3+8]");
         assert_eq!(Insn::Hyper { nr: 3 }.to_string(), "hyper 3");
     }
 }

@@ -22,73 +22,244 @@ use super::Reg;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Insn {
     // Register-register ALU.
-    Add { rd: Reg, rs1: Reg, rs2: Reg },
-    Sub { rd: Reg, rs1: Reg, rs2: Reg },
-    And { rd: Reg, rs1: Reg, rs2: Reg },
-    Or { rd: Reg, rs1: Reg, rs2: Reg },
-    Xor { rd: Reg, rs1: Reg, rs2: Reg },
-    Sll { rd: Reg, rs1: Reg, rs2: Reg },
-    Srl { rd: Reg, rs1: Reg, rs2: Reg },
-    Sra { rd: Reg, rs1: Reg, rs2: Reg },
-    Mul { rd: Reg, rs1: Reg, rs2: Reg },
-    Mulh { rd: Reg, rs1: Reg, rs2: Reg },
-    Divu { rd: Reg, rs1: Reg, rs2: Reg },
-    Remu { rd: Reg, rs1: Reg, rs2: Reg },
-    Slt { rd: Reg, rs1: Reg, rs2: Reg },
-    Sltu { rd: Reg, rs1: Reg, rs2: Reg },
+    Add {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Sub {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    And {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Or {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Xor {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Sll {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Srl {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Sra {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Mul {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Mulh {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Divu {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Remu {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Slt {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Sltu {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
 
     // Register-immediate ALU (12-bit signed immediate unless noted).
-    Addi { rd: Reg, rs1: Reg, imm: i32 },
-    Andi { rd: Reg, rs1: Reg, imm: i32 },
-    Ori { rd: Reg, rs1: Reg, imm: i32 },
-    Xori { rd: Reg, rs1: Reg, imm: i32 },
+    Addi {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Andi {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Ori {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Xori {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
     /// Shift left logical by constant (`0..32`).
-    Slli { rd: Reg, rs1: Reg, shamt: u8 },
+    Slli {
+        rd: Reg,
+        rs1: Reg,
+        shamt: u8,
+    },
     /// Shift right logical by constant (`0..32`).
-    Srli { rd: Reg, rs1: Reg, shamt: u8 },
+    Srli {
+        rd: Reg,
+        rs1: Reg,
+        shamt: u8,
+    },
     /// Shift right arithmetic by constant (`0..32`).
-    Srai { rd: Reg, rs1: Reg, shamt: u8 },
-    Slti { rd: Reg, rs1: Reg, imm: i32 },
-    Sltiu { rd: Reg, rs1: Reg, imm: i32 },
+    Srai {
+        rd: Reg,
+        rs1: Reg,
+        shamt: u8,
+    },
+    Slti {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Sltiu {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
 
     /// `rd = imm` where `imm` has its low 12 bits clear (20-bit upper value).
-    Lui { rd: Reg, imm: u32 },
+    Lui {
+        rd: Reg,
+        imm: u32,
+    },
     /// `rd = pc + imm` where `imm` has its low 12 bits clear.
-    Auipc { rd: Reg, imm: u32 },
+    Auipc {
+        rd: Reg,
+        imm: u32,
+    },
 
     // Loads: `rd = mem[rs1 + imm]`.
-    Lb { rd: Reg, rs1: Reg, imm: i32 },
-    Lbu { rd: Reg, rs1: Reg, imm: i32 },
-    Lh { rd: Reg, rs1: Reg, imm: i32 },
-    Lhu { rd: Reg, rs1: Reg, imm: i32 },
-    Lw { rd: Reg, rs1: Reg, imm: i32 },
+    Lb {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Lbu {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Lh {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Lhu {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Lw {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
 
     // Stores: `mem[rs1 + imm] = rs2`.
-    Sb { rs2: Reg, rs1: Reg, imm: i32 },
-    Sh { rs2: Reg, rs1: Reg, imm: i32 },
-    Sw { rs2: Reg, rs1: Reg, imm: i32 },
+    Sb {
+        rs2: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Sh {
+        rs2: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Sw {
+        rs2: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
 
     /// Atomic fetch-add on a word: `rd = mem[rs1]; mem[rs1] += rs2`.
-    AmoAddW { rd: Reg, rs1: Reg, rs2: Reg },
+    AmoAddW {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// Atomic swap on a word: `rd = mem[rs1]; mem[rs1] = rs2`.
-    AmoSwpW { rd: Reg, rs1: Reg, rs2: Reg },
+    AmoSwpW {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
 
     // Conditional branches: pc-relative byte offset, multiple of 4.
-    Beq { rs1: Reg, rs2: Reg, offset: i32 },
-    Bne { rs1: Reg, rs2: Reg, offset: i32 },
-    Blt { rs1: Reg, rs2: Reg, offset: i32 },
-    Bltu { rs1: Reg, rs2: Reg, offset: i32 },
-    Bge { rs1: Reg, rs2: Reg, offset: i32 },
-    Bgeu { rs1: Reg, rs2: Reg, offset: i32 },
+    Beq {
+        rs1: Reg,
+        rs2: Reg,
+        offset: i32,
+    },
+    Bne {
+        rs1: Reg,
+        rs2: Reg,
+        offset: i32,
+    },
+    Blt {
+        rs1: Reg,
+        rs2: Reg,
+        offset: i32,
+    },
+    Bltu {
+        rs1: Reg,
+        rs2: Reg,
+        offset: i32,
+    },
+    Bge {
+        rs1: Reg,
+        rs2: Reg,
+        offset: i32,
+    },
+    Bgeu {
+        rs1: Reg,
+        rs2: Reg,
+        offset: i32,
+    },
 
     /// Jump and link: `rd = pc + 4; pc += offset` (byte offset, multiple of 4).
-    Jal { rd: Reg, offset: i32 },
+    Jal {
+        rd: Reg,
+        offset: i32,
+    },
     /// Indirect jump and link: `rd = pc + 4; pc = (rs1 + imm) & !3`.
-    Jalr { rd: Reg, rs1: Reg, imm: i32 },
+    Jalr {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
 
     /// Software trap into the guest kernel: `EPC = pc + 4; pc = TVEC`,
     /// with the trap cause CSR set to `code`.
-    Ecall { code: u16 },
+    Ecall {
+        code: u16,
+    },
     /// Return from trap: `pc = EPC`.
     Eret,
 
@@ -96,15 +267,25 @@ pub enum Insn {
     /// host-side function; argument passing is an architecture-profile
     /// convention. Executes as a no-op when no hypercall hook is installed,
     /// which is exactly the "dummy sanitizer library" behaviour of §3.2.
-    Hyper { nr: u32 },
+    Hyper {
+        nr: u32,
+    },
 
     /// Read a control/status register: `rd = csr[idx]`.
-    Csrr { rd: Reg, idx: u16 },
+    Csrr {
+        rd: Reg,
+        idx: u16,
+    },
     /// Write a control/status register: `csr[idx] = rs1`.
-    Csrw { rs1: Reg, idx: u16 },
+    Csrw {
+        rs1: Reg,
+        idx: u16,
+    },
 
     /// Stop the whole machine with an exit code.
-    Halt { code: u16 },
+    Halt {
+        code: u16,
+    },
     /// Idle hint: relinquish the remainder of this vCPU's scheduling quantum.
     Wfi,
     Nop,

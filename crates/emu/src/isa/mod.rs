@@ -111,8 +111,8 @@ impl Reg {
     /// The canonical assembly name (`r0`–`r15`).
     pub fn name(self) -> &'static str {
         const NAMES: [&str; 16] = [
-            "r0", "r1", "r2", "r3", "r4", "r5", "r6", "r7", "r8", "r9", "r10", "r11", "r12",
-            "r13", "r14", "r15",
+            "r0", "r1", "r2", "r3", "r4", "r5", "r6", "r7", "r8", "r9", "r10", "r11", "r12", "r13",
+            "r14", "r15",
         ];
         NAMES[self.index()]
     }
@@ -215,9 +215,6 @@ mod tests {
         assert_eq!(w.to_bytes(Endian::Little), [0x78, 0x56, 0x34, 0x12]);
         assert_eq!(w.to_bytes(Endian::Big), [0x12, 0x34, 0x56, 0x78]);
         assert_eq!(Word::from_bytes(w.to_bytes(Endian::Big), Endian::Big), w);
-        assert_eq!(
-            Word::from_bytes(w.to_bytes(Endian::Little), Endian::Little),
-            w
-        );
+        assert_eq!(Word::from_bytes(w.to_bytes(Endian::Little), Endian::Little), w);
     }
 }

@@ -114,12 +114,10 @@ impl MachineBuilder {
     /// overlap each other / the MMIO window / the null guard page, or the
     /// vCPU count or quantum is zero.
     pub fn build(self) -> Result<Machine, EmuError> {
-        let (rom_base, rom) = self
-            .rom
-            .ok_or_else(|| EmuError::InvalidConfig("no ROM image".into()))?;
-        let (ram_base, ram_size) = self
-            .ram
-            .ok_or_else(|| EmuError::InvalidConfig("no RAM region".into()))?;
+        let (rom_base, rom) =
+            self.rom.ok_or_else(|| EmuError::InvalidConfig("no ROM image".into()))?;
+        let (ram_base, ram_size) =
+            self.ram.ok_or_else(|| EmuError::InvalidConfig("no RAM region".into()))?;
         if self.cpus == 0 {
             return Err(EmuError::InvalidConfig("machine needs at least one vCPU".into()));
         }
@@ -129,11 +127,7 @@ impl MachineBuilder {
         let regions = [
             ("rom", u64::from(rom_base), rom.len() as u64),
             ("ram", u64::from(ram_base), u64::from(ram_size)),
-            (
-                "mmio",
-                u64::from(self.profile.mmio_base),
-                u64::from(self.profile.mmio_size),
-            ),
+            ("mmio", u64::from(self.profile.mmio_base), u64::from(self.profile.mmio_size)),
             ("null-guard", 0, u64::from(crate::bus::NULL_GUARD_END)),
         ];
         for (i, a) in regions.iter().enumerate() {
@@ -148,9 +142,7 @@ impl MachineBuilder {
         }
         let entry = self.entry.unwrap_or(rom_base);
         let bus = Bus::new(&self.profile, rom_base, rom, ram_base, ram_size, self.rng_seed);
-        let cpus = (0..self.cpus)
-            .map(|i| Cpu::new(i, self.cpus, entry))
-            .collect();
+        let cpus = (0..self.cpus).map(|i| Cpu::new(i, self.cpus, entry)).collect();
         Ok(Machine {
             profile: self.profile,
             bus,
@@ -365,10 +357,7 @@ impl Machine {
             // vCPUs receive spurious wakes (matching real hardware, where
             // WFI may return at any time). Parking is only binding when the
             // whole machine is idle.
-            let any_runnable = self
-                .cpus
-                .iter()
-                .any(|c| !c.parked && c.stalled_until.is_none());
+            let any_runnable = self.cpus.iter().any(|c| !c.parked && c.stalled_until.is_none());
             if any_runnable {
                 for cpu in &mut self.cpus {
                     if cpu.stalled_until.is_none() {
@@ -386,21 +375,14 @@ impl Machine {
                 None => {
                     // Everyone is parked or stalled. If someone is stalled,
                     // fast-forward time to the earliest stall end.
-                    if let Some(min_until) = self
-                        .cpus
-                        .iter()
-                        .filter_map(|c| c.stalled_until)
-                        .min()
+                    if let Some(min_until) = self.cpus.iter().filter_map(|c| c.stalled_until).min()
                     {
                         self.global_retired = self.global_retired.max(min_until);
                         continue;
                     }
                     // All parked: only a timer interrupt can wake them.
                     let timer_live = self.bus.devices.timer.tick(u64::MAX / 2)
-                        && self
-                            .cpus
-                            .iter()
-                            .any(|c| c.csr(Csr::Ie) != 0 && c.csr(Csr::Tvec) != 0);
+                        && self.cpus.iter().any(|c| c.csr(Csr::Ie) != 0 && c.csr(Csr::Tvec) != 0);
                     if timer_live {
                         for cpu in &mut self.cpus {
                             cpu.irq_pending = true;
@@ -486,7 +468,8 @@ impl Machine {
                         return QuantumExit::Breakpoint(op.pc);
                     }
                 }
-                let step = self.exec_op(idx, hook, cfg, op.insn, op.pc, op.probe_mem, op.probe_call);
+                let step =
+                    self.exec_op(idx, hook, cfg, op.insn, op.pc, op.probe_mem, op.probe_call);
                 executed += 1;
                 self.cpus[idx].retired += 1;
                 self.global_retired += 1;
@@ -575,11 +558,9 @@ impl Machine {
                 alu!(cpu, rd, ((r(cpu, rs1) as i32) >> (r(cpu, rs2) & 31)) as u32)
             }
             Insn::Mul { rd, rs1, rs2 } => alu!(cpu, rd, r(cpu, rs1).wrapping_mul(r(cpu, rs2))),
-            Insn::Mulh { rd, rs1, rs2 } => alu!(
-                cpu,
-                rd,
-                ((u64::from(r(cpu, rs1)) * u64::from(r(cpu, rs2))) >> 32) as u32
-            ),
+            Insn::Mulh { rd, rs1, rs2 } => {
+                alu!(cpu, rd, ((u64::from(r(cpu, rs1)) * u64::from(r(cpu, rs2))) >> 32) as u32)
+            }
             Insn::Divu { rd, rs1, rs2 } => {
                 alu!(cpu, rd, r(cpu, rs1).checked_div(r(cpu, rs2)).unwrap_or(u32::MAX))
             }
@@ -627,14 +608,8 @@ impl Machine {
                     _ => (4, false),
                 };
                 if probe_mem {
-                    let access = MemAccess {
-                        addr,
-                        size,
-                        kind: MemKind::Read,
-                        value: 0,
-                        pc,
-                        cpu: idx,
-                    };
+                    let access =
+                        MemAccess { addr, size, kind: MemKind::Read, value: 0, pc, cpu: idx };
                     let mut view = CpuView { cpu, bus, global_retired: *global_retired };
                     match hook.mem_access(&mut view, &access) {
                         HookAction::Continue => {}
@@ -657,7 +632,9 @@ impl Machine {
                 }
             }
 
-            Insn::Sb { rs2, rs1, imm } | Insn::Sh { rs2, rs1, imm } | Insn::Sw { rs2, rs1, imm } => {
+            Insn::Sb { rs2, rs1, imm }
+            | Insn::Sh { rs2, rs1, imm }
+            | Insn::Sw { rs2, rs1, imm } => {
                 let addr = r(cpu, rs1).wrapping_add(imm as u32);
                 let size = match insn {
                     Insn::Sb { .. } => 1u8,
@@ -672,14 +649,8 @@ impl Machine {
                     };
                 let mut stall: Option<(u64, u64)> = None;
                 if probe_mem {
-                    let access = MemAccess {
-                        addr,
-                        size,
-                        kind: MemKind::Write,
-                        value,
-                        pc,
-                        cpu: idx,
-                    };
+                    let access =
+                        MemAccess { addr, size, kind: MemKind::Write, value, pc, cpu: idx };
                     let mut view = CpuView { cpu, bus, global_retired: *global_retired };
                     match hook.mem_access(&mut view, &access) {
                         HookAction::Continue => {}
@@ -733,24 +704,14 @@ impl Machine {
 
             Insn::Beq { rs1, rs2, offset } => branch(cpu, pc, offset, r(cpu, rs1) == r(cpu, rs2)),
             Insn::Bne { rs1, rs2, offset } => branch(cpu, pc, offset, r(cpu, rs1) != r(cpu, rs2)),
-            Insn::Blt { rs1, rs2, offset } => branch(
-                cpu,
-                pc,
-                offset,
-                (r(cpu, rs1) as i32) < (r(cpu, rs2) as i32),
-            ),
-            Insn::Bltu { rs1, rs2, offset } => {
-                branch(cpu, pc, offset, r(cpu, rs1) < r(cpu, rs2))
+            Insn::Blt { rs1, rs2, offset } => {
+                branch(cpu, pc, offset, (r(cpu, rs1) as i32) < (r(cpu, rs2) as i32))
             }
-            Insn::Bge { rs1, rs2, offset } => branch(
-                cpu,
-                pc,
-                offset,
-                (r(cpu, rs1) as i32) >= (r(cpu, rs2) as i32),
-            ),
-            Insn::Bgeu { rs1, rs2, offset } => {
-                branch(cpu, pc, offset, r(cpu, rs1) >= r(cpu, rs2))
+            Insn::Bltu { rs1, rs2, offset } => branch(cpu, pc, offset, r(cpu, rs1) < r(cpu, rs2)),
+            Insn::Bge { rs1, rs2, offset } => {
+                branch(cpu, pc, offset, (r(cpu, rs1) as i32) >= (r(cpu, rs2) as i32))
             }
+            Insn::Bgeu { rs1, rs2, offset } => branch(cpu, pc, offset, r(cpu, rs1) >= r(cpu, rs2)),
 
             Insn::Jal { rd, offset } => {
                 let target = pc.wrapping_add(offset as u32);
@@ -1112,10 +1073,7 @@ mod tests {
     fn ecall_without_vector_faults() {
         let mut m = machine_with(&[Insn::Ecall { code: 1 }]);
         let exit = m.run(&mut NullHook, 100).unwrap();
-        assert!(matches!(
-            exit,
-            RunExit::Faulted { fault: Fault::NoTrapVector { .. }, .. }
-        ));
+        assert!(matches!(exit, RunExit::Faulted { fault: Fault::NoTrapVector { .. }, .. }));
     }
 
     #[test]
@@ -1164,10 +1122,7 @@ mod tests {
                 .build()
                 .unwrap();
             m.run(&mut NullHook, 5000).unwrap();
-            (
-                m.read_mem(ram, 4).unwrap(),
-                m.read_mem(ram + 4, 4).unwrap(),
-            )
+            (m.read_mem(ram, 4).unwrap(), m.read_mem(ram + 4, 4).unwrap())
         };
         let (a1, b1) = run_once();
         let (a2, b2) = run_once();

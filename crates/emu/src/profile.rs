@@ -95,10 +95,7 @@ impl ArchProfile {
             ram_base: 0x0010_0000,
             mmio_base: 0xF000_0000,
             mmio_size: 0x1000,
-            hypercall: HypercallAbi {
-                args: [Reg::R1, Reg::R2, Reg::R3, Reg::R4],
-                ret: Reg::R1,
-            },
+            hypercall: HypercallAbi { args: [Reg::R1, Reg::R2, Reg::R3, Reg::R4], ret: Reg::R1 },
         }
     }
 
@@ -111,10 +108,7 @@ impl ArchProfile {
             ram_base: 0x0020_0000,
             mmio_base: 0xBF00_0000,
             mmio_size: 0x1000,
-            hypercall: HypercallAbi {
-                args: [Reg::R4, Reg::R5, Reg::R6, Reg::R7],
-                ret: Reg::R2,
-            },
+            hypercall: HypercallAbi { args: [Reg::R4, Reg::R5, Reg::R6, Reg::R7], ret: Reg::R2 },
         }
     }
 
@@ -127,10 +121,7 @@ impl ArchProfile {
             ram_base: 0x0040_0000,
             mmio_base: 0xE000_0000,
             mmio_size: 0x1000,
-            hypercall: HypercallAbi {
-                args: [Reg::R2, Reg::R3, Reg::R4, Reg::R5],
-                ret: Reg::R1,
-            },
+            hypercall: HypercallAbi { args: [Reg::R2, Reg::R3, Reg::R4, Reg::R5], ret: Reg::R1 },
         }
     }
 

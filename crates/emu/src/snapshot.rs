@@ -86,11 +86,7 @@ mod tests {
         for insn in &insns {
             text.extend_from_slice(&insn.encode().to_bytes(profile.endian));
         }
-        Machine::builder(profile)
-            .rom(profile.rom_base, &text)
-            .ram(ram, 0x1000)
-            .build()
-            .unwrap()
+        Machine::builder(profile).rom(profile.rom_base, &text).ram(ram, 0x1000).build().unwrap()
     }
 
     #[test]

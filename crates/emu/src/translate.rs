@@ -135,7 +135,7 @@ impl BlockCache {
 }
 
 /// Whether an instruction is a call (writes a link register other than `r0`).
-fn is_call(insn: &Insn) -> bool {
+pub fn is_call(insn: &Insn) -> bool {
     match insn {
         Insn::Jal { rd, .. } | Insn::Jalr { rd, .. } => *rd != Reg::ZERO,
         _ => false,
@@ -143,8 +143,22 @@ fn is_call(insn: &Insn) -> bool {
 }
 
 /// Whether an instruction is a return (`jalr r0, lr, 0` by ABI convention).
-fn is_ret(insn: &Insn) -> bool {
+pub fn is_ret(insn: &Insn) -> bool {
     matches!(insn, Insn::Jalr { rd: Reg::R0, rs1: Reg::LR, .. })
+}
+
+/// Translates the block starting at `pc` without going through a cache —
+/// exactly the ops [`BlockCache::lookup`] would produce under `config`.
+///
+/// This is the hook for static tooling (the `embsan-analysis` probe-coverage
+/// auditor) that needs to cross-check the translator's probe splicing
+/// against an independent enumeration of memory-op sites.
+///
+/// # Errors
+///
+/// Returns a fetch or decode fault if `pc` does not point at valid code.
+pub fn translate_block_at(bus: &Bus, pc: u32, config: HookConfig) -> Result<Block, Fault> {
+    translate_block(bus, pc, config)
 }
 
 /// Decodes a block starting at `pc`, splicing probes per `config`.
@@ -270,32 +284,16 @@ mod tests {
     #[test]
     fn call_and_ret_classification() {
         assert_eq!(call_kind(&Insn::Jal { rd: Reg::LR, offset: 16 }), CallKind::Call);
-        assert_eq!(
-            call_kind(&Insn::Jalr { rd: Reg::LR, rs1: Reg::R3, imm: 0 }),
-            CallKind::Call
-        );
-        assert_eq!(
-            call_kind(&Insn::Jalr { rd: Reg::R0, rs1: Reg::LR, imm: 0 }),
-            CallKind::Ret
-        );
+        assert_eq!(call_kind(&Insn::Jalr { rd: Reg::LR, rs1: Reg::R3, imm: 0 }), CallKind::Call);
+        assert_eq!(call_kind(&Insn::Jalr { rd: Reg::R0, rs1: Reg::LR, imm: 0 }), CallKind::Ret);
         // A plain computed goto is neither.
-        assert_eq!(
-            call_kind(&Insn::Jalr { rd: Reg::R0, rs1: Reg::R3, imm: 0 }),
-            CallKind::Neither
-        );
+        assert_eq!(call_kind(&Insn::Jalr { rd: Reg::R0, rs1: Reg::R3, imm: 0 }), CallKind::Neither);
     }
 
     #[test]
     fn illegal_instruction_reports_pc() {
         let profile = ArchProfile::armv();
-        let bus = Bus::new(
-            &profile,
-            profile.rom_base,
-            vec![0xFF; 8],
-            profile.ram_base,
-            0x1000,
-            1,
-        );
+        let bus = Bus::new(&profile, profile.rom_base, vec![0xFF; 8], profile.ram_base, 0x1000, 1);
         let mut cache = BlockCache::new();
         let err = cache.lookup(&bus, profile.rom_base).unwrap_err();
         assert_eq!(err, Fault::IllegalInsn { pc: profile.rom_base, word: 0xFFFF_FFFF });

@@ -73,11 +73,7 @@ impl Dictionary {
     /// and the deterministic dictionary stage. Single-byte comparisons —
     /// staged magic gates — always draw from this set.
     pub fn bytes(&self) -> Vec<u8> {
-        self.values
-            .iter()
-            .filter(|&&v| v < 256)
-            .map(|&v| v as u8)
-            .collect()
+        self.values.iter().filter(|&&v| v < 256).map(|&v| v as u8).collect()
     }
 }
 

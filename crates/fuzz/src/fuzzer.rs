@@ -3,14 +3,13 @@
 use embsan_core::report::Report;
 use embsan_core::session::{Session, SessionError};
 use embsan_guestos::executor::{sys, ExecProgram};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::corpus::Corpus;
 use crate::cover::CoverageMap;
 use crate::descs::SyscallDesc;
 use crate::dictionary::Dictionary;
 use crate::mutate::Mutator;
+use crate::rng::SplitMix64;
 
 /// Where execution coverage comes from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,7 +95,7 @@ pub struct Fuzzer<'s> {
     mutator: Mutator,
     corpus: Corpus,
     coverage: CoverageMap,
-    rng: StdRng,
+    rng: SplitMix64,
     config: FuzzerConfig,
     findings: Vec<Finding>,
     execs: u64,
@@ -134,12 +133,7 @@ impl<'s> Fuzzer<'s> {
         match config.coverage_source {
             CoverageSource::Emulator => session.enable_block_coverage(),
             CoverageSource::Guest => {
-                session
-                    .machine_mut()
-                    .bus_mut()
-                    .devices
-                    .cov
-                    .set_enabled(true);
+                session.machine_mut().bus_mut().devices.cov.set_enabled(true);
             }
         }
         let dict_bytes = dict.bytes();
@@ -153,7 +147,7 @@ impl<'s> Fuzzer<'s> {
             mutator: Mutator::new(descs, dict, config.strategy, config.max_calls),
             corpus: Corpus::new(),
             coverage: CoverageMap::new(),
-            rng: StdRng::seed_from_u64(config.seed),
+            rng: SplitMix64::seed_from_u64(config.seed),
             config,
             findings: Vec::new(),
             execs: 0,
@@ -200,7 +194,7 @@ impl<'s> Fuzzer<'s> {
             } else if self.corpus.is_empty() || self.rng.gen_bool(0.2) {
                 self.mutator.generate(&mut self.rng)
             } else {
-                let pick: usize = self.rng.gen();
+                let pick = self.rng.gen_usize();
                 let seed = self.corpus.pick(pick).expect("non-empty corpus").clone();
                 self.mutator.mutate(&seed, &mut self.rng)
             };
@@ -220,10 +214,7 @@ impl<'s> Fuzzer<'s> {
                 continue;
             }
             for arg_index in 0..call.args.len() {
-                if !self
-                    .det_seen
-                    .insert((call.nr, arg_index, call.args[arg_index]))
-                {
+                if !self.det_seen.insert((call.nr, arg_index, call.args[arg_index])) {
                     continue; // this site/value was already enumerated
                 }
                 for shift in [0u32, 8] {
@@ -252,37 +243,29 @@ impl<'s> Fuzzer<'s> {
         let outcome =
             session.run_program_observed(program, self.config.program_budget, coverage)?;
         if self.config.coverage_source == CoverageSource::Guest {
-            for id in self
-                .session
-                .machine_mut()
-                .bus_mut()
-                .devices
-                .cov
-                .take_edges()
-            {
+            for id in self.session.machine_mut().bus_mut().devices.cov.take_edges() {
                 self.coverage.record_id(id);
             }
         }
         self.execs += 1;
-        if self.corpus.add_if_novel(program, &self.coverage) && self.config.deterministic_stage
-        {
+        if self.corpus.add_if_novel(program, &self.coverage) && self.config.deterministic_stage {
             self.expand_deterministic(program);
         }
         for report in outcome.reports {
             let minimized = self.minimize(program, &report)?;
-            let bug_syscalls = minimized
-                .calls
-                .iter()
-                .map(|c| c.nr)
-                .filter(|&nr| nr >= sys::BUG_BASE)
-                .collect();
+            let bug_syscalls =
+                minimized.calls.iter().map(|c| c.nr).filter(|&nr| nr >= sys::BUG_BASE).collect();
             self.findings.push(Finding { report, program: minimized, bug_syscalls });
         }
         Ok(())
     }
 
     /// Checks whether `candidate` still reproduces `report`'s bug class.
-    fn reproduces(&mut self, candidate: &ExecProgram, report: &Report) -> Result<bool, SessionError> {
+    fn reproduces(
+        &mut self,
+        candidate: &ExecProgram,
+        report: &Report,
+    ) -> Result<bool, SessionError> {
         self.session.runtime_mut().dedup_enabled = false;
         self.session.reset()?;
         let outcome = self.session.run_program(candidate, self.config.program_budget);
@@ -318,8 +301,8 @@ impl<'s> Fuzzer<'s> {
 mod tests {
     use super::*;
     use embsan_core::probe::{probe, ProbeMode};
-    use embsan_core::report::BugClass;
     use embsan_core::reference_specs;
+    use embsan_core::report::BugClass;
     use embsan_emu::profile::Arch;
     use embsan_guestos::bugs::{BugKind, BugSpec};
     use embsan_guestos::{os, BuildOptions, SanMode};

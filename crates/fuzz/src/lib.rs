@@ -24,6 +24,7 @@ pub mod descs;
 pub mod dictionary;
 pub mod fuzzer;
 pub mod mutate;
+pub mod rng;
 
 pub use campaign::{run_campaign, CampaignConfig, CampaignError, CampaignResult, FoundBug};
 pub use corpus::Corpus;
@@ -31,3 +32,4 @@ pub use cover::CoverageMap;
 pub use descs::{descriptions_for, ArgKind, SyscallDesc};
 pub use dictionary::Dictionary;
 pub use fuzzer::{CoverageSource, Finding, Fuzzer, FuzzerConfig, FuzzerStats, Strategy};
+pub use rng::SplitMix64;

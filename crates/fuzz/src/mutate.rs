@@ -13,12 +13,11 @@
 //! gates one comparison at a time.
 
 use embsan_guestos::executor::{ExecProgram, MAX_ARGS};
-use rand::rngs::StdRng;
-use rand::Rng;
 
 use crate::descs::{ArgKind, SyscallDesc};
 use crate::dictionary::Dictionary;
 use crate::fuzzer::Strategy;
+use crate::rng::SplitMix64;
 
 /// Interesting boundary values mixed into numeric arguments.
 const INTERESTING: [u32; 8] = [0, 1, 7, 8, 0xFF, 0x100, 0xFFFF, u32::MAX];
@@ -48,44 +47,44 @@ impl Mutator {
         Mutator { descs, dict, strategy, max_calls }
     }
 
-    fn gen_value(&self, rng: &mut StdRng) -> u32 {
-        match rng.gen_range(0..4) {
-            0 => INTERESTING[rng.gen_range(0..INTERESTING.len())],
-            1 => self.dict.pick(rng.gen()).unwrap_or_else(|| rng.gen()),
-            2 => rng.gen_range(0..1024),
-            _ => rng.gen(),
+    fn gen_value(&self, rng: &mut SplitMix64) -> u32 {
+        match rng.range_u32(0, 4) {
+            0 => INTERESTING[rng.range_usize(0, INTERESTING.len())],
+            1 => self.dict.pick(rng.gen_usize()).unwrap_or_else(|| rng.gen_u32()),
+            2 => rng.range_u32(0, 1024),
+            _ => rng.gen_u32(),
         }
     }
 
     /// Generates one argument appropriate for `kind`.
-    fn gen_arg(&self, kind: ArgKind, rng: &mut StdRng) -> u32 {
+    fn gen_arg(&self, kind: ArgKind, rng: &mut SplitMix64) -> u32 {
         if self.strategy == Strategy::Tardis {
             // Shape-only: no kind knowledge.
             return self.gen_value(rng);
         }
         match kind {
-            ArgKind::Slot => rng.gen_range(0..8),
-            ArgKind::Size => match rng.gen_range(0..3) {
-                0 => rng.gen_range(1..64),
-                1 => rng.gen_range(1..1024),
-                _ => INTERESTING[rng.gen_range(0..INTERESTING.len())],
+            ArgKind::Slot => rng.range_u32(0, 8),
+            ArgKind::Size => match rng.range_u32(0, 3) {
+                0 => rng.range_u32(1, 64),
+                1 => rng.range_u32(1, 1024),
+                _ => INTERESTING[rng.range_usize(0, INTERESTING.len())],
             },
-            ArgKind::Offset => rng.gen_range(0..1100),
+            ArgKind::Offset => rng.range_u32(0, 1100),
             ArgKind::Value | ArgKind::Key => self.gen_value(rng),
         }
     }
 
     /// Generates a call from a random description.
-    fn gen_call(&self, rng: &mut StdRng) -> (u8, Vec<u32>) {
-        let desc = &self.descs[rng.gen_range(0..self.descs.len())];
+    fn gen_call(&self, rng: &mut SplitMix64) -> (u8, Vec<u32>) {
+        let desc = &self.descs[rng.range_usize(0, self.descs.len())];
         let args = desc.args.iter().map(|&k| self.gen_arg(k, rng)).collect();
         (desc.nr, args)
     }
 
     /// Generates a fresh program of 1–8 calls.
-    pub fn generate(&self, rng: &mut StdRng) -> ExecProgram {
+    pub fn generate(&self, rng: &mut SplitMix64) -> ExecProgram {
         let mut program = ExecProgram::new();
-        for _ in 0..rng.gen_range(1..=8usize.min(self.max_calls)) {
+        for _ in 0..rng.range_usize_incl(1, 8usize.min(self.max_calls)) {
             let (nr, args) = self.gen_call(rng);
             program.push(nr, &args);
         }
@@ -93,24 +92,24 @@ impl Mutator {
     }
 
     /// Mutates one argument value in place.
-    fn mutate_value(&self, value: u32, rng: &mut StdRng) -> u32 {
-        match rng.gen_range(0..6) {
-            0 => value ^ (1 << rng.gen_range(0..32)), // bit flip
+    fn mutate_value(&self, value: u32, rng: &mut SplitMix64) -> u32 {
+        match rng.range_u32(0, 6) {
+            0 => value ^ (1 << rng.range_u32(0, 32)), // bit flip
             1 => {
                 // Replace one byte with a random byte.
-                let shift = 8 * rng.gen_range(0..4);
-                (value & !(0xFF << shift)) | (u32::from(rng.gen::<u8>()) << shift)
+                let shift = 8 * rng.range_u32(0, 4);
+                (value & !(0xFF << shift)) | (u32::from(rng.gen_u8()) << shift)
             }
             2 => {
                 // Splice a dictionary byte into one byte position — the
                 // stage-climbing move for byte-compared gates.
-                let byte = self.dict.pick(rng.gen()).unwrap_or_else(|| rng.gen()) & 0xFF;
-                let shift = 8 * rng.gen_range(0..4);
+                let byte = self.dict.pick(rng.gen_usize()).unwrap_or_else(|| rng.gen_u32()) & 0xFF;
+                let shift = 8 * rng.range_u32(0, 4);
                 (value & !(0xFF << shift)) | (byte << shift)
             }
-            3 => self.dict.pick(rng.gen()).unwrap_or_else(|| rng.gen()),
-            4 => value.wrapping_add(rng.gen_range(0..8)).wrapping_sub(4),
-            _ => INTERESTING[rng.gen_range(0..INTERESTING.len())],
+            3 => self.dict.pick(rng.gen_usize()).unwrap_or_else(|| rng.gen_u32()),
+            4 => value.wrapping_add(rng.range_u32(0, 8)).wrapping_sub(4),
+            _ => INTERESTING[rng.range_usize(0, INTERESTING.len())],
         }
     }
 
@@ -124,34 +123,31 @@ impl Mutator {
     }
 
     /// Produces a mutated copy of `program` (1–3 stacked mutations).
-    pub fn mutate(&self, program: &ExecProgram, rng: &mut StdRng) -> ExecProgram {
+    pub fn mutate(&self, program: &ExecProgram, rng: &mut SplitMix64) -> ExecProgram {
         let mut out = program.clone();
-        for _ in 0..rng.gen_range(1..=3) {
-            let choice = rng.gen_range(0..100);
+        for _ in 0..rng.range_usize_incl(1, 3) {
+            let choice = rng.range_u32(0, 100);
             match choice {
                 // Insert a generated call at a random position.
                 0..=19 if out.calls.len() < self.max_calls => {
                     let (nr, args) = self.gen_call(rng);
-                    let at = rng.gen_range(0..=out.calls.len());
-                    out.calls.insert(
-                        at,
-                        embsan_guestos::executor::ExecCall::new(nr, &args),
-                    );
+                    let at = rng.range_usize_incl(0, out.calls.len());
+                    out.calls.insert(at, embsan_guestos::executor::ExecCall::new(nr, &args));
                 }
                 // Remove a call.
                 20..=29 if out.calls.len() > 1 => {
-                    let at = rng.gen_range(0..out.calls.len());
+                    let at = rng.range_usize(0, out.calls.len());
                     out.calls.remove(at);
                 }
                 // Duplicate a call (races often need repetition).
                 30..=39 if !out.calls.is_empty() && out.calls.len() < self.max_calls => {
-                    let at = rng.gen_range(0..out.calls.len());
+                    let at = rng.range_usize(0, out.calls.len());
                     let call = out.calls[at].clone();
                     out.calls.insert(at, call);
                 }
                 // Mutate one argument.
                 _ if !out.calls.is_empty() => {
-                    let at = rng.gen_range(0..out.calls.len());
+                    let at = rng.range_usize(0, out.calls.len());
                     let call = &mut out.calls[at];
                     if call.args.is_empty() {
                         if call.args.len() < MAX_ARGS && rng.gen_bool(0.3) {
@@ -159,7 +155,7 @@ impl Mutator {
                         }
                         continue;
                     }
-                    let arg_at = rng.gen_range(0..call.args.len());
+                    let arg_at = rng.range_usize(0, call.args.len());
                     let nr = call.nr;
                     if self.strategy == Strategy::Syz && rng.gen_bool(0.5) {
                         // Regenerate by kind.
@@ -182,7 +178,6 @@ impl Mutator {
 mod tests {
     use super::*;
     use crate::descs::base_descriptions;
-    use rand::SeedableRng;
 
     fn mutator(strategy: Strategy) -> Mutator {
         Mutator::new(base_descriptions(), Dictionary::default(), strategy, 12)
@@ -191,7 +186,7 @@ mod tests {
     #[test]
     fn generation_respects_limits() {
         let m = mutator(Strategy::Syz);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SplitMix64::seed_from_u64(1);
         for _ in 0..200 {
             let program = m.generate(&mut rng);
             assert!(!program.calls.is_empty());
@@ -207,7 +202,7 @@ mod tests {
     #[test]
     fn mutation_preserves_validity_and_changes_programs() {
         let m = mutator(Strategy::Syz);
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = SplitMix64::seed_from_u64(2);
         let base = m.generate(&mut rng);
         let mut changed = 0;
         for _ in 0..100 {
@@ -224,8 +219,8 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let m = mutator(Strategy::Tardis);
-        let mut a = StdRng::seed_from_u64(7);
-        let mut b = StdRng::seed_from_u64(7);
+        let mut a = SplitMix64::seed_from_u64(7);
+        let mut b = SplitMix64::seed_from_u64(7);
         for _ in 0..50 {
             assert_eq!(m.generate(&mut a), m.generate(&mut b));
         }
@@ -234,7 +229,7 @@ mod tests {
     #[test]
     fn syz_keeps_slots_in_range() {
         let m = mutator(Strategy::Syz);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SplitMix64::seed_from_u64(3);
         for _ in 0..500 {
             let program = m.generate(&mut rng);
             for call in &program.calls {

@@ -41,7 +41,7 @@ pub fn emit(opts: &BuildOptions) -> AllocatorPieces {
     asm.prologue(&[Reg::R7, Reg::R8]);
     asm.beq(Reg::A0, Reg::R0, "pvPortMalloc.fail");
     asm.mv(Reg::R7, Reg::A0); // r7 = requested size
-    // a5 = total block size needed: header + size rounded up to 8.
+                              // a5 = total block size needed: header + size rounded up to 8.
     asm.addi(Reg::A5, Reg::A0, (HEADER + 7) as i32);
     asm.li(Reg::A1, i64::from(0xFFFF_FFF8u32));
     asm.and(Reg::A5, Reg::A5, Reg::A1);
@@ -98,7 +98,7 @@ pub fn emit(opts: &BuildOptions) -> AllocatorPieces {
         asm.call(stubs::FREE);
     }
     asm.addi(Reg::A4, Reg::R7, -(HEADER as i32)); // block header
-    // Clear the allocated bit.
+                                                  // Clear the allocated bit.
     asm.lw(Reg::A1, Reg::A4, 0);
     asm.li(Reg::A2, ALLOC_BIT);
     asm.xor(Reg::A1, Reg::A1, Reg::A2);

@@ -98,11 +98,7 @@ pub fn emit(opts: &BuildOptions) -> AllocatorPieces {
             GlobalDef::plain("mempart_free_head", vec![0; 4]),
             GlobalDef::plain("mempart_brk", vec![0; 4]),
         ],
-        no_instrument: vec![
-            "mempart_init".into(),
-            "memPartAlloc".into(),
-            "memPartFree".into(),
-        ],
+        no_instrument: vec!["mempart_init".into(), "memPartAlloc".into(), "memPartFree".into()],
         init_fn: "mempart_init",
     }
 }

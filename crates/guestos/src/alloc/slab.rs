@@ -39,7 +39,7 @@ pub fn emit(opts: &BuildOptions) -> AllocatorPieces {
     asm.func("kmalloc");
     asm.prologue(&[Reg::R7, Reg::R8]);
     asm.mv(Reg::R7, Reg::A0); // r7 = requested size
-    // Class selection: a2 = index, a3 = class size.
+                              // Class selection: a2 = index, a3 = class size.
     asm.beq(Reg::A0, Reg::R0, "kmalloc.fail"); // zero-size alloc fails
     asm.li(Reg::A2, 0);
     asm.li(Reg::A3, i64::from(MIN_CLASS));
@@ -136,9 +136,9 @@ mod tests {
     #[test]
     fn san_hooks_only_in_instrumented_builds() {
         let has_alloc_hook = |opts: &BuildOptions| {
-            emit(opts).asm.items().iter().any(|i| {
-                matches!(i, TextItem::Insn(AInsn::Call { target }) if target == stubs::ALLOC)
-            })
+            emit(opts).asm.items().iter().any(
+                |i| matches!(i, TextItem::Insn(AInsn::Call { target }) if target == stubs::ALLOC),
+            )
         };
         assert!(!has_alloc_hook(&BuildOptions::new(Arch::Armv)));
         assert!(has_alloc_hook(&BuildOptions::new(Arch::Armv).san(SanMode::SanCall)));

@@ -77,13 +77,29 @@ pub struct KnownBug {
 pub const KNOWN_BUGS: [KnownBug; 25] = [
     KnownBug { kernel_version: "5.17-rc2", location: "ringbuf_map_alloc", kind: BugKind::OobWrite },
     KnownBug { kernel_version: "5.19", location: "ieee80211_scan_rx", kind: BugKind::Uaf },
-    KnownBug { kernel_version: "5.17-rc1", location: "bpf_prog_test_run_xdp", kind: BugKind::OobRead },
+    KnownBug {
+        kernel_version: "5.17-rc1",
+        location: "bpf_prog_test_run_xdp",
+        kind: BugKind::OobRead,
+    },
     KnownBug { kernel_version: "5.17", location: "btrfs_scan_one_device", kind: BugKind::Uaf },
     KnownBug { kernel_version: "5.19-rc1", location: "post_one_notification", kind: BugKind::Uaf },
-    KnownBug { kernel_version: "5.19-rc1", location: "post_watch_notification", kind: BugKind::Uaf },
-    KnownBug { kernel_version: "5.17-rc6", location: "watch_queue_set_filter", kind: BugKind::OobWrite },
+    KnownBug {
+        kernel_version: "5.19-rc1",
+        location: "post_watch_notification",
+        kind: BugKind::Uaf,
+    },
+    KnownBug {
+        kernel_version: "5.17-rc6",
+        location: "watch_queue_set_filter",
+        kind: BugKind::OobWrite,
+    },
     KnownBug { kernel_version: "5.17-rc8", location: "free_pages", kind: BugKind::NullDeref },
-    KnownBug { kernel_version: "5.17", location: "vxlan_vnifilter_dump_dev", kind: BugKind::OobRead },
+    KnownBug {
+        kernel_version: "5.17",
+        location: "vxlan_vnifilter_dump_dev",
+        kind: BugKind::OobRead,
+    },
     KnownBug { kernel_version: "5.19", location: "imageblit", kind: BugKind::OobWrite },
     KnownBug { kernel_version: "5.19-rc4", location: "bpf_jit_free", kind: BugKind::OobRead },
     KnownBug { kernel_version: "5.17-rc6", location: "null_skcipher_crypt", kind: BugKind::Uaf },
@@ -120,31 +136,103 @@ pub const LATENT_BUGS: [LatentBug; 41] = [
     LatentBug { firmware: "OpenWRT-armvirt", location: "fs/nfs_common", kind: BugKind::OobWrite },
     LatentBug { firmware: "OpenWRT-armvirt", location: "net/netfilter", kind: BugKind::OobRead },
     LatentBug { firmware: "OpenWRT-armvirt", location: "net/wireless", kind: BugKind::OobWrite },
-    LatentBug { firmware: "OpenWRT-armvirt", location: "drivers/net/ethernet/marvell", kind: BugKind::OobRead },
-    LatentBug { firmware: "OpenWRT-armvirt", location: "drivers/net/ethernet/realtek", kind: BugKind::OobWrite },
-    LatentBug { firmware: "OpenWRT-armvirt", location: "drivers/net/ethernet/atheros", kind: BugKind::DoubleFree },
-    LatentBug { firmware: "OpenWRT-bcm63xx", location: "drivers/bluetooth", kind: BugKind::OobWrite },
-    LatentBug { firmware: "OpenWRT-bcm63xx", location: "drivers/dma/bcm2835-dma", kind: BugKind::OobRead },
-    LatentBug { firmware: "OpenWRT-bcm63xx", location: "drivers/scsi/aic7xxx", kind: BugKind::OobWrite },
+    LatentBug {
+        firmware: "OpenWRT-armvirt",
+        location: "drivers/net/ethernet/marvell",
+        kind: BugKind::OobRead,
+    },
+    LatentBug {
+        firmware: "OpenWRT-armvirt",
+        location: "drivers/net/ethernet/realtek",
+        kind: BugKind::OobWrite,
+    },
+    LatentBug {
+        firmware: "OpenWRT-armvirt",
+        location: "drivers/net/ethernet/atheros",
+        kind: BugKind::DoubleFree,
+    },
+    LatentBug {
+        firmware: "OpenWRT-bcm63xx",
+        location: "drivers/bluetooth",
+        kind: BugKind::OobWrite,
+    },
+    LatentBug {
+        firmware: "OpenWRT-bcm63xx",
+        location: "drivers/dma/bcm2835-dma",
+        kind: BugKind::OobRead,
+    },
+    LatentBug {
+        firmware: "OpenWRT-bcm63xx",
+        location: "drivers/scsi/aic7xxx",
+        kind: BugKind::OobWrite,
+    },
     LatentBug { firmware: "OpenWRT-bcm63xx", location: "fs/btrfs", kind: BugKind::Uaf },
-    LatentBug { firmware: "OpenWRT-bcm63xx", location: "drivers/net/wireless/broadcom", kind: BugKind::Uaf },
-    LatentBug { firmware: "OpenWRT-ipq807x", location: "drivers/net/ethernet/broadcom", kind: BugKind::OobWrite },
-    LatentBug { firmware: "OpenWRT-ipq807x", location: "drivers/net/ethernet/broadcom#2", kind: BugKind::OobRead },
+    LatentBug {
+        firmware: "OpenWRT-bcm63xx",
+        location: "drivers/net/wireless/broadcom",
+        kind: BugKind::Uaf,
+    },
+    LatentBug {
+        firmware: "OpenWRT-ipq807x",
+        location: "drivers/net/ethernet/broadcom",
+        kind: BugKind::OobWrite,
+    },
+    LatentBug {
+        firmware: "OpenWRT-ipq807x",
+        location: "drivers/net/ethernet/broadcom#2",
+        kind: BugKind::OobRead,
+    },
     LatentBug { firmware: "OpenWRT-ipq807x", location: "net/sched", kind: BugKind::OobWrite },
-    LatentBug { firmware: "OpenWRT-ipq807x", location: "drivers/net/wireless/ath", kind: BugKind::Uaf },
+    LatentBug {
+        firmware: "OpenWRT-ipq807x",
+        location: "drivers/net/wireless/ath",
+        kind: BugKind::Uaf,
+    },
     LatentBug { firmware: "OpenWRT-ipq807x", location: "fs/fuse", kind: BugKind::DoubleFree },
-    LatentBug { firmware: "OpenWRT-mt7629", location: "drivers/net/ethernet/mediatek", kind: BugKind::OobWrite },
+    LatentBug {
+        firmware: "OpenWRT-mt7629",
+        location: "drivers/net/ethernet/mediatek",
+        kind: BugKind::OobWrite,
+    },
     LatentBug { firmware: "OpenWRT-mt7629", location: "fs/nfs", kind: BugKind::OobRead },
     LatentBug { firmware: "OpenWRT-mt7629", location: "net/core", kind: BugKind::DoubleFree },
-    LatentBug { firmware: "OpenWRT-mt7629", location: "drivers/dma/mediatek", kind: BugKind::DoubleFree },
-    LatentBug { firmware: "OpenWRT-rtl839x", location: "drivers/net/ethernet/realtek", kind: BugKind::OobWrite },
-    LatentBug { firmware: "OpenWRT-rtl839x", location: "drivers/net/bluetooth/realtek", kind: BugKind::Uaf },
+    LatentBug {
+        firmware: "OpenWRT-mt7629",
+        location: "drivers/dma/mediatek",
+        kind: BugKind::DoubleFree,
+    },
+    LatentBug {
+        firmware: "OpenWRT-rtl839x",
+        location: "drivers/net/ethernet/realtek",
+        kind: BugKind::OobWrite,
+    },
+    LatentBug {
+        firmware: "OpenWRT-rtl839x",
+        location: "drivers/net/bluetooth/realtek",
+        kind: BugKind::Uaf,
+    },
     LatentBug { firmware: "OpenWRT-rtl839x", location: "fs/netrom", kind: BugKind::DoubleFree },
     LatentBug { firmware: "OpenWRT-x86_64", location: "drivers/iommu", kind: BugKind::OobWrite },
-    LatentBug { firmware: "OpenWRT-x86_64", location: "drivers/net/ethernet/realtek", kind: BugKind::OobRead },
-    LatentBug { firmware: "OpenWRT-x86_64", location: "drivers/net/ethernet/stmicro", kind: BugKind::OobWrite },
-    LatentBug { firmware: "OpenWRT-x86_64", location: "drivers/net/wireless/intel/iwlwifi", kind: BugKind::OobRead },
-    LatentBug { firmware: "OpenWRT-x86_64", location: "drivers/net/wireless/broadcom/b43", kind: BugKind::OobWrite },
+    LatentBug {
+        firmware: "OpenWRT-x86_64",
+        location: "drivers/net/ethernet/realtek",
+        kind: BugKind::OobRead,
+    },
+    LatentBug {
+        firmware: "OpenWRT-x86_64",
+        location: "drivers/net/ethernet/stmicro",
+        kind: BugKind::OobWrite,
+    },
+    LatentBug {
+        firmware: "OpenWRT-x86_64",
+        location: "drivers/net/wireless/intel/iwlwifi",
+        kind: BugKind::OobRead,
+    },
+    LatentBug {
+        firmware: "OpenWRT-x86_64",
+        location: "drivers/net/wireless/broadcom/b43",
+        kind: BugKind::OobWrite,
+    },
     LatentBug { firmware: "OpenWRT-x86_64", location: "fs/btrfs", kind: BugKind::Race },
     LatentBug { firmware: "OpenWRT-x86_64", location: "fs/btrfs#2", kind: BugKind::Race },
     LatentBug { firmware: "OpenHarmony-rk3566", location: "fs/nfs", kind: BugKind::OobWrite },
@@ -200,10 +288,7 @@ pub fn trigger_key(location: &str) -> u32 {
 
 /// Turns a location string into a symbol-safe suffix.
 pub fn symbolize(location: &str) -> String {
-    location
-        .chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-        .collect()
+    location.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
 }
 
 /// Size of the heap object allocated by heap-bug bodies.
@@ -334,8 +419,7 @@ mod tests {
         assert_eq!(KNOWN_BUGS[24].kind, BugKind::GlobalOob);
         assert_eq!(KNOWN_BUGS[24].location, "string");
         // Exactly one null-deref (free_pages).
-        let npd: Vec<_> =
-            KNOWN_BUGS.iter().filter(|b| b.kind == BugKind::NullDeref).collect();
+        let npd: Vec<_> = KNOWN_BUGS.iter().filter(|b| b.kind == BugKind::NullDeref).collect();
         assert_eq!(npd.len(), 1);
         assert_eq!(npd[0].location, "free_pages");
     }
@@ -344,10 +428,7 @@ mod tests {
     fn table4_counts_match_table3() {
         assert_eq!(LATENT_BUGS.len(), 41);
         let count = |fw: &str, class: &str| {
-            LATENT_BUGS
-                .iter()
-                .filter(|b| b.firmware == fw && b.kind.paper_class() == class)
-                .count()
+            LATENT_BUGS.iter().filter(|b| b.firmware == fw && b.kind.paper_class() == class).count()
         };
         // Table 3's classification rows.
         assert_eq!(count("OpenWRT-armvirt", "OOB Access"), 5);

@@ -193,7 +193,7 @@ pub fn emit(
     asm.mv(Reg::R9, Reg::A0); // syscall nr
     asm.call("mb_read_byte");
     asm.mv(Reg::A4, Reg::A0); // argc
-    // Argument slots on the stack, zeroed.
+                              // Argument slots on the stack, zeroed.
     asm.addi(Reg::SP, Reg::SP, -16);
     for slot in 0..4 {
         asm.sw(Reg::R0, Reg::SP, slot * 4);
@@ -250,10 +250,7 @@ pub fn emit(
     ];
     entries.extend(extra.iter().cloned());
     let max_nr = entries.iter().map(|(nr, _)| *nr).max().unwrap_or(0);
-    assert!(
-        usize::from(max_nr) < SYS_TABLE_CAP,
-        "syscall table capacity exceeded"
-    );
+    assert!(usize::from(max_nr) < SYS_TABLE_CAP, "syscall table capacity exceeded");
     asm.func("syscalls_init");
     asm.la(Reg::A1, "sys_table");
     for (nr, handler) in &entries {
@@ -272,8 +269,12 @@ pub fn emit(
     ];
     // The executor machinery itself is OS plumbing, not workload code; the
     // base syscalls and handlers stay instrumented.
-    let no_instrument =
-        vec!["mb_read_byte".into(), "mb_read_word".into(), "executor_loop".into(), "syscalls_init".into()];
+    let no_instrument = vec![
+        "mb_read_byte".into(),
+        "mb_read_word".into(),
+        "executor_loop".into(),
+        "syscalls_init".into(),
+    ];
     (asm, globals, no_instrument)
 }
 

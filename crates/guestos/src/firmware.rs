@@ -50,17 +50,94 @@ pub struct FirmwareSpec {
 
 /// The eleven evaluated firmware, in Table 1's row order.
 pub const FIRMWARE: [FirmwareSpec; 11] = [
-    FirmwareSpec { name: "OpenWRT-armvirt", base_os: BaseOs::EmbeddedLinux, arch: Arch::Armv, embsan_c: true, open_source: true, fuzzer: Fuzzer::Syzkaller },
-    FirmwareSpec { name: "OpenWRT-bcm63xx", base_os: BaseOs::EmbeddedLinux, arch: Arch::Mipsv, embsan_c: false, open_source: true, fuzzer: Fuzzer::Syzkaller },
-    FirmwareSpec { name: "OpenWRT-ipq807x", base_os: BaseOs::EmbeddedLinux, arch: Arch::Armv, embsan_c: true, open_source: true, fuzzer: Fuzzer::Syzkaller },
-    FirmwareSpec { name: "OpenWRT-mt7629", base_os: BaseOs::EmbeddedLinux, arch: Arch::Armv, embsan_c: true, open_source: true, fuzzer: Fuzzer::Syzkaller },
-    FirmwareSpec { name: "OpenWRT-rtl839x", base_os: BaseOs::EmbeddedLinux, arch: Arch::Mipsv, embsan_c: false, open_source: true, fuzzer: Fuzzer::Syzkaller },
-    FirmwareSpec { name: "OpenWRT-x86_64", base_os: BaseOs::EmbeddedLinux, arch: Arch::X86v, embsan_c: true, open_source: true, fuzzer: Fuzzer::Syzkaller },
-    FirmwareSpec { name: "OpenHarmony-rk3566", base_os: BaseOs::EmbeddedLinux, arch: Arch::Armv, embsan_c: true, open_source: true, fuzzer: Fuzzer::Tardis },
-    FirmwareSpec { name: "OpenHarmony-stm32mp1", base_os: BaseOs::LiteOs, arch: Arch::Armv, embsan_c: false, open_source: true, fuzzer: Fuzzer::Tardis },
-    FirmwareSpec { name: "OpenHarmony-stm32f407", base_os: BaseOs::LiteOs, arch: Arch::Mipsv, embsan_c: false, open_source: true, fuzzer: Fuzzer::Tardis },
-    FirmwareSpec { name: "InfiniTime", base_os: BaseOs::FreeRtos, arch: Arch::Armv, embsan_c: false, open_source: true, fuzzer: Fuzzer::Tardis },
-    FirmwareSpec { name: "TP-Link WDR-7660", base_os: BaseOs::VxWorks, arch: Arch::Armv, embsan_c: false, open_source: false, fuzzer: Fuzzer::Tardis },
+    FirmwareSpec {
+        name: "OpenWRT-armvirt",
+        base_os: BaseOs::EmbeddedLinux,
+        arch: Arch::Armv,
+        embsan_c: true,
+        open_source: true,
+        fuzzer: Fuzzer::Syzkaller,
+    },
+    FirmwareSpec {
+        name: "OpenWRT-bcm63xx",
+        base_os: BaseOs::EmbeddedLinux,
+        arch: Arch::Mipsv,
+        embsan_c: false,
+        open_source: true,
+        fuzzer: Fuzzer::Syzkaller,
+    },
+    FirmwareSpec {
+        name: "OpenWRT-ipq807x",
+        base_os: BaseOs::EmbeddedLinux,
+        arch: Arch::Armv,
+        embsan_c: true,
+        open_source: true,
+        fuzzer: Fuzzer::Syzkaller,
+    },
+    FirmwareSpec {
+        name: "OpenWRT-mt7629",
+        base_os: BaseOs::EmbeddedLinux,
+        arch: Arch::Armv,
+        embsan_c: true,
+        open_source: true,
+        fuzzer: Fuzzer::Syzkaller,
+    },
+    FirmwareSpec {
+        name: "OpenWRT-rtl839x",
+        base_os: BaseOs::EmbeddedLinux,
+        arch: Arch::Mipsv,
+        embsan_c: false,
+        open_source: true,
+        fuzzer: Fuzzer::Syzkaller,
+    },
+    FirmwareSpec {
+        name: "OpenWRT-x86_64",
+        base_os: BaseOs::EmbeddedLinux,
+        arch: Arch::X86v,
+        embsan_c: true,
+        open_source: true,
+        fuzzer: Fuzzer::Syzkaller,
+    },
+    FirmwareSpec {
+        name: "OpenHarmony-rk3566",
+        base_os: BaseOs::EmbeddedLinux,
+        arch: Arch::Armv,
+        embsan_c: true,
+        open_source: true,
+        fuzzer: Fuzzer::Tardis,
+    },
+    FirmwareSpec {
+        name: "OpenHarmony-stm32mp1",
+        base_os: BaseOs::LiteOs,
+        arch: Arch::Armv,
+        embsan_c: false,
+        open_source: true,
+        fuzzer: Fuzzer::Tardis,
+    },
+    FirmwareSpec {
+        name: "OpenHarmony-stm32f407",
+        base_os: BaseOs::LiteOs,
+        arch: Arch::Mipsv,
+        embsan_c: false,
+        open_source: true,
+        fuzzer: Fuzzer::Tardis,
+    },
+    FirmwareSpec {
+        name: "InfiniTime",
+        base_os: BaseOs::FreeRtos,
+        arch: Arch::Armv,
+        embsan_c: false,
+        open_source: true,
+        fuzzer: Fuzzer::Tardis,
+    },
+    FirmwareSpec {
+        name: "TP-Link WDR-7660",
+        base_os: BaseOs::VxWorks,
+        arch: Arch::Armv,
+        embsan_c: false,
+        open_source: false,
+        fuzzer: Fuzzer::Tardis,
+    },
 ];
 
 /// Looks up a firmware spec by name.
@@ -95,9 +172,7 @@ impl FirmwareSpec {
     /// Default build options for this firmware under the given sanitizer
     /// mode.
     pub fn build_options(&self, san: SanMode) -> BuildOptions {
-        BuildOptions::new(self.arch)
-            .san(san)
-            .cpus(if self.needs_smp() { 2 } else { 1 })
+        BuildOptions::new(self.arch).san(san).cpus(if self.needs_smp() { 2 } else { 1 })
     }
 
     /// The sanitizer mode matching the firmware's Table-1 instrumentation

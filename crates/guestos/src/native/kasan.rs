@@ -94,7 +94,7 @@ pub fn emit(opts: &BuildOptions) -> (Asm, Vec<GlobalDef>) {
         asm.beq(Reg::A0, Reg::R0, &ok);
         asm.li(Reg::A1, 0x80);
         asm.bgeu(Reg::A0, Reg::A1, &bad); // poisoned
-        // Partial granule: last accessed byte must fall below the watermark.
+                                          // Partial granule: last accessed byte must fall below the watermark.
         asm.andi(Reg::A2, Reg::R12, 7);
         asm.addi(Reg::A2, Reg::A2, (size - 1) as i32);
         asm.blt(Reg::A2, Reg::A0, &ok);
@@ -177,7 +177,7 @@ pub fn emit(opts: &BuildOptions) -> (Asm, Vec<GlobalDef>) {
     // into a2 after each shad call.
     asm.func("__san_global");
     asm.mv(Reg::A5, Reg::A2); // a5 = redzone width
-    // Left redzone: [addr - redzone, addr)
+                              // Left redzone: [addr - redzone, addr)
     asm.sub(Reg::A3, Reg::A0, Reg::A5);
     asm.call_via(Reg::R10, "__kasan_shad");
     asm.srli(Reg::A4, Reg::A5, 3); // redzone granules

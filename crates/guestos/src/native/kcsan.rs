@@ -69,7 +69,7 @@ pub fn emit(opts: &BuildOptions) -> (Asm, Vec<GlobalDef>) {
             asm.bne(Reg::A1, Reg::A3, &next);
             asm.lw(Reg::A1, Reg::A0, off + 4); // info
             asm.beq(Reg::A1, Reg::R0, &next); // empty slot
-            // Same CPU never conflicts with itself.
+                                              // Same CPU never conflicts with itself.
             asm.addi(Reg::A1, Reg::A1, -1); // info-1 = cpu*2 + is_write
             asm.srli(Reg::A4, Reg::A1, 1);
             asm.beq(Reg::A4, Reg::A2, &next);

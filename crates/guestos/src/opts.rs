@@ -138,15 +138,11 @@ mod tests {
 
     #[test]
     fn allocator_symbols_differ_per_os() {
-        let mut names: Vec<_> = [
-            BaseOs::EmbeddedLinux,
-            BaseOs::FreeRtos,
-            BaseOs::LiteOs,
-            BaseOs::VxWorks,
-        ]
-        .iter()
-        .map(|os| os.allocator_symbols().0)
-        .collect();
+        let mut names: Vec<_> =
+            [BaseOs::EmbeddedLinux, BaseOs::FreeRtos, BaseOs::LiteOs, BaseOs::VxWorks]
+                .iter()
+                .map(|os| os.allocator_symbols().0)
+                .collect();
         names.dedup();
         assert_eq!(names.len(), 4);
     }

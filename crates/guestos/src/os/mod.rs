@@ -93,9 +93,7 @@ pub fn build_program(os: BaseOs, opts: &BuildOptions, bug_specs: &[BugSpec]) -> 
         asm.ret();
     }
     program.text.extend(asm.into_items());
-    program
-        .globals
-        .push(embsan_asm::ir::GlobalDef::plain("boot_obj", vec![0; 4]));
+    program.globals.push(embsan_asm::ir::GlobalDef::plain("boot_obj", vec![0; 4]));
     program.no_instrument.insert("os_init".to_string());
     program.no_instrument.insert("os_secondary".to_string());
 

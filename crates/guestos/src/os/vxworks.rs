@@ -26,10 +26,7 @@ pub fn build(opts: &BuildOptions, bugs: &[BugSpec]) -> Result<FirmwareImage, Lin
 /// # Errors
 ///
 /// Propagates linker errors.
-pub fn build_unstripped(
-    opts: &BuildOptions,
-    bugs: &[BugSpec],
-) -> Result<FirmwareImage, LinkError> {
+pub fn build_unstripped(opts: &BuildOptions, bugs: &[BugSpec]) -> Result<FirmwareImage, LinkError> {
     super::build_firmware(BaseOs::VxWorks, opts, bugs)
 }
 

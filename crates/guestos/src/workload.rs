@@ -130,8 +130,7 @@ mod tests {
     #[test]
     fn corpus_has_a_mix_of_call_kinds() {
         let corpus = merged_corpus(42, 4, 100);
-        let all: Vec<u8> =
-            corpus.iter().flat_map(|p| p.calls.iter().map(|c| c.nr)).collect();
+        let all: Vec<u8> = corpus.iter().flat_map(|p| p.calls.iter().map(|c| c.nr)).collect();
         for nr in [sys::ALLOC, sys::WRITE, sys::READ, sys::HASH] {
             assert!(all.contains(&nr), "missing syscall {nr}");
         }

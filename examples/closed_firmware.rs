@@ -10,8 +10,8 @@
 //! Run with `cargo run --example closed_firmware`.
 
 use embsan::core::probe::{probe, ProbeMode};
-use embsan::core::session::Session;
 use embsan::core::reference_specs;
+use embsan::core::session::Session;
 use embsan::dsl::FuncRole;
 use embsan::emu::profile::Arch;
 use embsan::guestos::bugs::{trigger_key, BugKind, BugSpec};
@@ -21,17 +21,11 @@ use embsan::guestos::{os, BuildOptions};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The "vendor" builds firmware with two service bugs and ships only
     // the stripped image (we never look at the unstripped ground truth).
-    let bugs = [
-        BugSpec::new("pppoed", BugKind::OobWrite),
-        BugSpec::new("dhcpsd", BugKind::Uaf),
-    ];
+    let bugs = [BugSpec::new("pppoed", BugKind::OobWrite), BugSpec::new("dhcpsd", BugKind::Uaf)];
     let opts = BuildOptions::new(Arch::Armv);
     let image = os::vxworks::build(&opts, &bugs)?;
     assert!(!image.has_symbols(), "closed firmware has no symbol table");
-    println!(
-        "received closed firmware: {} bytes of text, 0 symbols\n",
-        image.text.len()
-    );
+    println!("received closed firmware: {} bytes of text, 0 symbols\n", image.text.len());
 
     // Binary-mode probing: multi-pass dry run + dataflow heuristics.
     let artifacts = probe(&image, ProbeMode::DynamicBinary, None)?;
@@ -39,10 +33,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .platform
         .func_by_role(FuncRole::Alloc)
         .expect("allocator identified by signature");
-    let free = artifacts
-        .platform
-        .func_by_role(FuncRole::Free)
-        .expect("free identified by dataflow");
+    let free =
+        artifacts.platform.func_by_role(FuncRole::Free).expect("free identified by dataflow");
     println!(
         "prober identified allocator pair without symbols:\n  alloc: {} @ {:#x}\n  free:  {} @ {:#x}\n",
         alloc.symbol, alloc.addr, free.symbol, free.addr
@@ -58,18 +50,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut program = ExecProgram::new();
         program.push(sys::BUG_BASE + i as u8, &[trigger_key(&bug.location)]);
         let outcome = session.run_program(&program, 10_000_000)?;
-        println!(
-            "service `{}`: {} report(s)",
-            bug.location,
-            outcome.reports.len()
-        );
+        println!("service `{}`: {} report(s)", bug.location, outcome.reports.len());
         for report in &outcome.reports {
             print!("{}", session.render_report(report));
         }
-        assert!(
-            !outcome.reports.is_empty(),
-            "EMBSAN-D detects heap bugs in binary-only firmware"
-        );
+        assert!(!outcome.reports.is_empty(), "EMBSAN-D detects heap bugs in binary-only firmware");
     }
     Ok(())
 }

@@ -10,9 +10,9 @@
 
 use embsan::asm::{assemble, link, LinkOptions};
 use embsan::core::probe::{probe, ProbeMode};
+use embsan::core::reference_specs;
 use embsan::core::report::BugClass;
 use embsan::core::session::Session;
-use embsan::core::reference_specs;
 use embsan::dsl::FuncRole;
 use embsan::emu::profile::Arch;
 use embsan::guestos::executor::ExecProgram;

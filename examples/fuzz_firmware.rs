@@ -13,18 +13,12 @@ use embsan::fuzz::campaign::{run_campaign, CampaignConfig};
 use embsan::guestos::firmware_by_name;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let iterations = std::env::var("EMBSAN_EXAMPLE_ITERS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(4_000);
+    let iterations =
+        std::env::var("EMBSAN_EXAMPLE_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(4_000);
     let spec = firmware_by_name("OpenWRT-armvirt").expect("registered firmware");
     println!(
         "campaign: {} ({} on {}, {} fuzzer), {} iterations",
-        spec.name,
-        spec.base_os,
-        spec.arch,
-        spec.fuzzer,
-        iterations
+        spec.name, spec.base_os, spec.arch, spec.fuzzer, iterations
     );
 
     let config = CampaignConfig { iterations, seed: 0xD15EA5E, ..CampaignConfig::default() };
@@ -41,11 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             bug.class,
             bug.location,
             bug.reproducer.calls.len(),
-            bug.reproducer
-                .calls
-                .iter()
-                .map(|c| c.nr)
-                .collect::<Vec<_>>()
+            bug.reproducer.calls.iter().map(|c| c.nr).collect::<Vec<_>>()
         );
     }
     if result.found.is_empty() {

@@ -3,10 +3,10 @@
 //!
 //! Run with `cargo run --release --example overhead`.
 
-use embsan::emu::hook::NullHook;
-use embsan::emu::machine::RunExit;
 use embsan::core::probe::{probe, ProbeMode};
 use embsan::core::session::Session;
+use embsan::emu::hook::NullHook;
+use embsan::emu::machine::RunExit;
 use embsan::guestos::firmware_by_name;
 use embsan::guestos::workload::merged_corpus;
 use embsan::guestos::SanMode;

@@ -1,0 +1,71 @@
+//! Static analysis composing with the dynamic pipeline.
+//!
+//! Three handoffs from `embsan::analysis` into the rest of the stack:
+//!
+//! 1. CFG recovery + probe-coverage audit: prove the block translator
+//!    splices a sanitizer probe on every statically reachable memory op.
+//! 2. Allocator-signature priors: rank candidate alloc/free entry points
+//!    of a *stripped* image so the D-binary prober verifies them against
+//!    one recorded boot trace instead of running a discovery pass.
+//! 3. Lockset race candidates: prioritize KCSAN watchpoints on addresses
+//!    reached without a provably held spinlock.
+//!
+//! Run with `cargo run --example static_analysis`.
+
+use embsan::analysis::audit::audit;
+use embsan::analysis::cfg::Cfg;
+use embsan::analysis::races::watchpoint_priorities;
+use embsan::analysis::static_priors;
+use embsan::core::probe::{probe, ProbeMode};
+use embsan::core::reference_specs;
+use embsan::core::session::Session;
+use embsan::emu::hook::HookConfig;
+use embsan::emu::profile::Arch;
+use embsan::guestos::bugs::{BugKind, BugSpec, LATENT_BUGS};
+use embsan::guestos::{os, BuildOptions, SanMode};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Audit probe coverage of a stripped closed-source image.
+    let opts = BuildOptions::new(Arch::Armv);
+    let stripped = os::vxworks::build(&opts, &[])?;
+    let cfg = Cfg::build(&stripped);
+    println!(
+        "cfg: {} blocks, {} functions, {:.1}% of text reachable",
+        cfg.blocks.len(),
+        cfg.functions.len(),
+        cfg.reachable_fraction() * 100.0
+    );
+    let report = audit(&stripped, HookConfig::all())?;
+    println!("audit: {} sites checked, clean = {}", report.checked_sites, report.is_clean());
+
+    // 2. Static priors cut the D-binary prober's dry-run passes.
+    let baseline = probe(&stripped, ProbeMode::DynamicBinary, None)?;
+    let prior = static_priors(&stripped);
+    let assisted = probe(&stripped, ProbeMode::DynamicBinary, Some(&prior))?;
+    println!(
+        "prober dry-run passes: {} unassisted, {} with static priors",
+        baseline.stats.dry_run_passes, assisted.stats.dry_run_passes
+    );
+    assert!(assisted.stats.dry_run_passes < baseline.stats.dry_run_passes);
+    assert_eq!(assisted.to_dsl(), baseline.to_dsl());
+
+    // 3. Race candidates feed KCSAN watchpoint prioritization.
+    let race_bug = LATENT_BUGS
+        .iter()
+        .find(|b| b.kind == BugKind::Race)
+        .map(|b| BugSpec::new(b.location, b.kind))
+        .expect("the bug corpus seeds a race");
+    let mut opts = BuildOptions::new(Arch::Armv);
+    opts.cpus = 2;
+    opts.san = SanMode::SanCall;
+    let image = os::emblinux::build(&opts, &[race_bug])?;
+    let priorities = watchpoint_priorities(&Cfg::build(&image), &image);
+    println!("race candidates prioritized for KCSAN: {} addresses", priorities.len());
+
+    let specs = reference_specs()?;
+    let artifacts = probe(&image, ProbeMode::CompileTime, None)?;
+    let mut session = Session::new(&image, &specs, &artifacts)?;
+    session.set_race_priorities(&priorities);
+    println!("session armed with {} priority watchwords", session.runtime().race_priority_count());
+    Ok(())
+}

@@ -14,10 +14,14 @@
 //! - [`core`]: EMBSAN itself — Distiller, Prober and the Common Sanitizer
 //!   Runtime (KASAN + KCSAN engines over a unified shadow memory);
 //! - [`fuzz`]: Syzkaller- and Tardis-style fuzzers with the campaign
-//!   driver behind Tables 3 and 4.
+//!   driver behind Tables 3 and 4;
+//! - [`analysis`]: static analysis over firmware images — CFG recovery,
+//!   probe-coverage auditing, allocator-signature priors for the D-binary
+//!   Prober, and lockset race candidates for KCSAN watchpoint priority.
 //!
 //! Start with the `quickstart` example or [`core::session::Session`].
 
+pub use embsan_analysis as analysis;
 pub use embsan_asm as asm;
 pub use embsan_core as core;
 pub use embsan_dsl as dsl;

@@ -60,10 +60,7 @@ fn uninit_read_needs_the_new_engine() {
     assert_eq!(with_c, vec![BugClass::UninitRead], "EMBSAN-C + UMSAN");
 
     let with_d = detect_uninit(SanMode::None, ProbeMode::DynamicSource, true);
-    assert!(
-        with_d.contains(&BugClass::UninitRead),
-        "EMBSAN-D + UMSAN: {with_d:?}"
-    );
+    assert!(with_d.contains(&BugClass::UninitRead), "EMBSAN-D + UMSAN: {with_d:?}");
 }
 
 /// The merged three-sanitizer session stays clean on a workload that

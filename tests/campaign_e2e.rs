@@ -21,11 +21,8 @@ fn infinitime_campaign_finds_and_reproduces_its_bugs() {
     let result = run_campaign(spec, &config).unwrap();
 
     // All three Table-4 rows for this firmware.
-    let expected: Vec<&str> = LATENT_BUGS
-        .iter()
-        .filter(|b| b.firmware == spec.name)
-        .map(|b| b.location)
-        .collect();
+    let expected: Vec<&str> =
+        LATENT_BUGS.iter().filter(|b| b.firmware == spec.name).map(|b| b.location).collect();
     assert_eq!(expected.len(), 3);
     let mut found: Vec<&str> = result.found.iter().map(|b| b.location).collect();
     found.sort_unstable();
@@ -37,14 +34,9 @@ fn infinitime_campaign_finds_and_reproduces_its_bugs() {
     // bug of the same paper class.
     let (mut session, _) = prepare_session(spec, &config).unwrap();
     for bug in &result.found {
-        let outcome = session
-            .run_program_fresh(&bug.reproducer, 20_000_000)
-            .unwrap();
+        let outcome = session.run_program_fresh(&bug.reproducer, 20_000_000).unwrap();
         assert!(
-            outcome
-                .reports
-                .iter()
-                .any(|r| r.class.paper_class() == bug.class.paper_class()),
+            outcome.reports.iter().any(|r| r.class.paper_class() == bug.class.paper_class()),
             "reproducer for `{}` did not replay: {:?}",
             bug.location,
             outcome.reports
@@ -88,11 +80,7 @@ fn race_campaign_on_x86_64() {
     let spec = firmware_by_name("OpenWRT-x86_64").unwrap();
     let config = CampaignConfig { iterations: 8_000, seed: 4, ..CampaignConfig::default() };
     let result = run_campaign(spec, &config).unwrap();
-    let races: Vec<_> = result
-        .found
-        .iter()
-        .filter(|b| b.class == BugClass::Race)
-        .collect();
+    let races: Vec<_> = result.found.iter().filter(|b| b.class == BugClass::Race).collect();
     assert!(!races.is_empty(), "found: {:?}", result.found);
     for race in races {
         assert!(LATENT_BUGS[race.latent_index].kind == embsan::guestos::BugKind::Race);

