@@ -13,8 +13,24 @@ pub struct Parsed {
 }
 
 /// Option keys that take a value (everything else after `--` is a flag).
-const VALUED: &[&str] =
-    &["arch", "san", "bug", "o", "mode", "call", "iters", "seed", "syscalls", "cpus", "budget"];
+const VALUED: &[&str] = &[
+    "arch",
+    "san",
+    "bug",
+    "o",
+    "mode",
+    "call",
+    "iters",
+    "seed",
+    "syscalls",
+    "cpus",
+    "budget",
+    "journal",
+    "resume",
+    "fault-plan",
+    "kill-after",
+    "checkpoint-every",
+];
 
 /// Parses `argv` (without the subcommand itself).
 ///

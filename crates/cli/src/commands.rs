@@ -44,6 +44,16 @@ USAGE:
                                  boot under EMBSAN and run executor calls
   embsan fuzz <image> [--iters N] [--seed S] [--syscalls N] [--cpus N]
                                  coverage-guided fuzzing with EMBSAN attached
+      --journal FILE             supervised run; stream findings, corpus adds
+                                 and checkpoints to an append-only journal
+      --resume FILE              resume a killed campaign from its journal
+                                 (image path comes from the journal; results
+                                 are bit-identical to an uninterrupted run)
+      --fault-plan FILE          arm a deterministic fault-injection plan
+                                 (`at N [every M xK] <kind> ...` per line)
+      --kill-after N             resilience drill: stop after N iterations
+      --checkpoint-every N       journal checkpoint cadence (default 500)
+      --supervised               watchdog supervision without a journal
   embsan help                    this text
 ";
 
@@ -369,22 +379,109 @@ fn cmd_run(parsed: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_fuzz(parsed: &Parsed) -> Result<(), String> {
-    use embsan_fuzz::{descs, Dictionary, Fuzzer, FuzzerConfig, Strategy};
-    let (mut session, image) = ready_session(parsed)?;
-    let iters = parsed.option_u64("iters", 5_000)?;
-    let seed = parsed.option_u64("seed", 0xE1B)?;
-    // Without source knowledge the interface size is a tester input; the
-    // default assumes the standard executor layout with up to 16 gated
-    // syscalls.
+/// Syscall descriptions for image-based fuzzing. Without source knowledge
+/// the interface size is a tester input; the default assumes the standard
+/// executor layout with up to 16 gated syscalls.
+fn fuzz_descriptions(parsed: &Parsed) -> Result<Vec<embsan_fuzz::SyscallDesc>, String> {
     let extra = parsed.option_u64("syscalls", 16)? as usize;
-    let mut syscall_descs = descs::base_descriptions();
+    let mut syscall_descs = embsan_fuzz::descs::base_descriptions();
     for i in 0..extra {
         syscall_descs.push(embsan_fuzz::SyscallDesc {
             nr: embsan_guestos::executor::sys::BUG_BASE + i as u8,
             args: vec![embsan_fuzz::ArgKind::Key],
         });
     }
+    Ok(syscall_descs)
+}
+
+/// Reads and parses `--fault-plan FILE` (when given).
+fn fuzz_fault_plan(parsed: &Parsed) -> Result<Option<embsan_emu::fault::FaultPlan>, String> {
+    let Some(path) = parsed.option("fault-plan") else { return Ok(None) };
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let plan = embsan_emu::fault::FaultPlan::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    Ok(Some(plan))
+}
+
+/// Builds the supervisor policy from command-line options.
+fn fuzz_supervisor_config(parsed: &Parsed) -> Result<embsan_fuzz::SupervisorConfig, String> {
+    let config = embsan_fuzz::SupervisorConfig {
+        checkpoint_interval: parsed.option_u64("checkpoint-every", 500)?,
+        kill_after: match parsed.option("kill-after") {
+            Some(_) => Some(parsed.option_u64("kill-after", 0)?),
+            None => None,
+        },
+        fault_plan: fuzz_fault_plan(parsed)?,
+        ..Default::default()
+    };
+    Ok(config)
+}
+
+fn print_supervised(outcome: &embsan_fuzz::SupervisedOutcome) {
+    let stats = &outcome.stats;
+    println!(
+        "execs {}  corpus {}  coverage {}  findings {}",
+        stats.execs, stats.corpus, stats.coverage, stats.findings
+    );
+    let health = &outcome.health;
+    println!(
+        "health: wedges {}  recoveries {}  quarantined {}  transient-retries {}  \
+         wfi-hangs {}  checkpoints {}",
+        health.wedges,
+        health.recoveries,
+        health.quarantined,
+        health.transient_retries,
+        health.wfi_hangs,
+        health.checkpoints
+    );
+    let inj = &outcome.injection;
+    if inj.total() > 0 {
+        println!(
+            "faults injected: {} (ram-bit-flips {}  mmio {}  irqs {}  alloc-fail {}  wedges {})",
+            inj.total(),
+            inj.ram_bit_flips,
+            inj.mmio_corruptions,
+            inj.spurious_irqs,
+            inj.alloc_failures,
+            inj.cpu_wedges
+        );
+    }
+    if !outcome.completed {
+        println!(
+            "stopped early at iteration {} (resume with `embsan fuzz --resume <journal>`)",
+            outcome.iterations_done
+        );
+    }
+    for finding in &outcome.findings {
+        println!(
+            "[{}] pc={:#010x} reproducer calls {:?}",
+            finding.report.class,
+            finding.report.pc,
+            finding.program.calls.iter().map(|c| c.nr).collect::<Vec<_>>()
+        );
+    }
+}
+
+fn cmd_fuzz(parsed: &Parsed) -> Result<(), String> {
+    if parsed.option("resume").is_some() {
+        return cmd_fuzz_resume(parsed);
+    }
+    let supervised = parsed.option("journal").is_some()
+        || parsed.option("fault-plan").is_some()
+        || parsed.option("kill-after").is_some()
+        || parsed.flags.iter().any(|f| f == "supervised");
+    if supervised {
+        cmd_fuzz_supervised(parsed)
+    } else {
+        cmd_fuzz_plain(parsed)
+    }
+}
+
+fn cmd_fuzz_plain(parsed: &Parsed) -> Result<(), String> {
+    use embsan_fuzz::{Dictionary, Fuzzer, FuzzerConfig, Strategy};
+    let (mut session, image) = ready_session(parsed)?;
+    let iters = parsed.option_u64("iters", 5_000)?;
+    let seed = parsed.option_u64("seed", 0xE1B)?;
+    let syscall_descs = fuzz_descriptions(parsed)?;
     let dict = Dictionary::extract(&image);
     println!("fuzzing: {iters} iterations, seed {seed}, dictionary {} entries", dict.len());
     let config = FuzzerConfig::new(Strategy::Tardis, seed);
@@ -404,6 +501,107 @@ fn cmd_fuzz(parsed: &Parsed) -> Result<(), String> {
             finding.program.calls.iter().map(|c| c.nr).collect::<Vec<_>>()
         );
     }
+    Ok(())
+}
+
+fn cmd_fuzz_supervised(parsed: &Parsed) -> Result<(), String> {
+    use embsan_fuzz::{run_supervised_session, Dictionary, Journal, StartInfo, Strategy};
+    let image_path = parsed.positional.first().ok_or("expected an image path")?.clone();
+    let (mut session, image) = ready_session(parsed)?;
+    let config = fuzz_supervisor_config(parsed)?;
+    let start = StartInfo {
+        firmware: image_path,
+        strategy: Strategy::Tardis,
+        seed: parsed.option_u64("seed", 0xE1B)?,
+        iterations: parsed.option_u64("iters", 5_000)?,
+        ready_budget: parsed.option_u64("budget", 400_000_000)?,
+        program_budget: 3_000_000,
+        checkpoint_interval: config.checkpoint_interval,
+    };
+    let syscall_descs = fuzz_descriptions(parsed)?;
+    let dict = Dictionary::extract(&image);
+    let mut journal = match parsed.option("journal") {
+        Some(path) => {
+            Some(Journal::create(std::path::Path::new(path)).map_err(|e| format!("{path}: {e}"))?)
+        }
+        None => None,
+    };
+    println!(
+        "supervised fuzzing: {} iterations, seed {}, dictionary {} entries{}",
+        start.iterations,
+        start.seed,
+        dict.len(),
+        if config.fault_plan.is_some() { ", fault plan armed" } else { "" }
+    );
+    let outcome = run_supervised_session(
+        &mut session,
+        syscall_descs,
+        dict,
+        &config,
+        start,
+        None,
+        journal.as_mut(),
+    )
+    .map_err(|e| e.to_string())?;
+    print_supervised(&outcome);
+    Ok(())
+}
+
+fn cmd_fuzz_resume(parsed: &Parsed) -> Result<(), String> {
+    use embsan_fuzz::{run_supervised_session, CampaignConfig, Dictionary, Journal};
+    let journal_path = parsed.option("resume").ok_or("expected --resume <journal>")?;
+    let loaded = Journal::load(std::path::Path::new(journal_path)).map_err(|e| e.to_string())?;
+    let start = loaded.start().map_err(|e| e.to_string())?.clone();
+    if loaded.ended() {
+        return Err(format!("{journal_path}: campaign already completed"));
+    }
+    // The journal's Start record names the image the campaign was fuzzing;
+    // the session is re-prepared from it exactly as `run_supervised_session`
+    // left it (probe mode and syscall count must match the original
+    // invocation — both default deterministically).
+    let image_path = &start.firmware;
+    let bytes = fs::read(image_path).map_err(|e| format!("cannot read {image_path}: {e}"))?;
+    let image = FirmwareImage::parse(&bytes).map_err(|e| format!("{image_path}: {e}"))?;
+    let mode = probe_mode(parsed, &image)?;
+    let artifacts = probe(&image, mode, None).map_err(|e| e.to_string())?;
+    let specs = embsan_core::reference_specs().map_err(|e| e.to_string())?;
+    let cpus = parsed.option_u64("cpus", 1)? as usize;
+    let mut session =
+        Session::with_cpus(&image, &specs, &artifacts, cpus).map_err(|e| e.to_string())?;
+    session.run_to_ready(start.ready_budget).map_err(|e| e.to_string())?;
+
+    let mut config = fuzz_supervisor_config(parsed)?;
+    config.campaign = CampaignConfig {
+        iterations: start.iterations,
+        seed: start.seed,
+        ready_budget: start.ready_budget,
+        program_budget: start.program_budget,
+    };
+    config.checkpoint_interval = start.checkpoint_interval;
+    let resume =
+        loaded.last_checkpoint().map(|cp| (cp.iteration, cp.fuzzer.clone(), cp.supervisor.clone()));
+    let resumed_at = resume.as_ref().map_or(0, |(iteration, _, _)| *iteration);
+    let mut journal = Journal::reopen(std::path::Path::new(journal_path), loaded.valid_len)
+        .map_err(|e| format!("{journal_path}: {e}"))?;
+    let syscall_descs = fuzz_descriptions(parsed)?;
+    let dict = Dictionary::extract(&image);
+    println!(
+        "resuming: {} at iteration {resumed_at}/{} (journal {journal_path}{})",
+        start.firmware,
+        start.iterations,
+        if loaded.truncated { ", torn tail discarded" } else { "" }
+    );
+    let outcome = run_supervised_session(
+        &mut session,
+        syscall_descs,
+        dict,
+        &config,
+        start,
+        resume,
+        Some(&mut journal),
+    )
+    .map_err(|e| e.to_string())?;
+    print_supervised(&outcome);
     Ok(())
 }
 

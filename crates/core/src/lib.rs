@@ -51,12 +51,14 @@
 //! ```
 
 pub mod distill;
+pub mod health;
 pub mod probe;
 pub mod report;
 pub mod runtime;
 pub mod session;
 
 pub use distill::{distill, distill_sources, reference_specs, DistillError};
+pub use health::{Degradation, HealthCounters};
 pub use probe::{probe, PriorKnowledge, ProbeArtifacts, ProbeError, ProbeMode, ProbeStats};
 pub use report::{BugClass, Report};
 pub use runtime::EmbsanRuntime;

@@ -42,6 +42,40 @@ impl BugClass {
         }
     }
 
+    /// Stable wire code for journal serialization. Codes are append-only:
+    /// never renumber an existing class, or resumed campaigns written by an
+    /// older build would mis-seed their dedup state.
+    pub fn code(self) -> u8 {
+        match self {
+            BugClass::HeapOob => 0,
+            BugClass::GlobalOob => 1,
+            BugClass::Uaf => 2,
+            BugClass::DoubleFree => 3,
+            BugClass::InvalidFree => 4,
+            BugClass::NullDeref => 5,
+            BugClass::Race => 6,
+            BugClass::WildAccess => 7,
+            BugClass::UninitRead => 8,
+        }
+    }
+
+    /// Inverse of [`BugClass::code`]; `None` for unknown codes (a journal
+    /// written by a newer build).
+    pub fn from_code(code: u8) -> Option<BugClass> {
+        Some(match code {
+            0 => BugClass::HeapOob,
+            1 => BugClass::GlobalOob,
+            2 => BugClass::Uaf,
+            3 => BugClass::DoubleFree,
+            4 => BugClass::InvalidFree,
+            5 => BugClass::NullDeref,
+            6 => BugClass::Race,
+            7 => BugClass::WildAccess,
+            8 => BugClass::UninitRead,
+            _ => return None,
+        })
+    }
+
     /// The bug-class label used by the paper's tables.
     pub fn paper_class(self) -> &'static str {
         match self {

@@ -48,6 +48,10 @@ pub struct KasanEngine {
     quarantine: VecDeque<u32>,
     quarantine_used: u64,
     globals: Vec<(u32, u32)>,
+    /// Chunks evicted under byte pressure since the last drain; the runtime
+    /// polls this after every free to surface quarantine exhaustion as a
+    /// degradation event instead of a silent fidelity loss.
+    pressure_evictions: u64,
 }
 
 impl KasanEngine {
@@ -60,7 +64,14 @@ impl KasanEngine {
             quarantine: VecDeque::new(),
             quarantine_used: 0,
             globals: Vec::new(),
+            pressure_evictions: 0,
         }
+    }
+
+    /// Drains the count of chunks evicted under quarantine byte pressure
+    /// since the last call.
+    pub fn take_pressure_evictions(&mut self) -> u64 {
+        std::mem::take(&mut self.pressure_evictions)
     }
 
     /// Number of currently live tracked chunks.
@@ -144,6 +155,7 @@ impl KasanEngine {
             let Some(evicted) = self.quarantine.pop_front() else { break };
             if let Some(chunk) = self.freed.remove(&evicted) {
                 self.quarantine_used -= u64::from(chunk.size);
+                self.pressure_evictions += 1;
                 // Evicted chunks lose their FREED poison only if the guest
                 // allocator has not recycled them; recycling already
                 // unpoisoned via on_alloc. Leave the shadow as-is: the

@@ -30,6 +30,7 @@ use embsan_emu::isa::Reg;
 use embsan_emu::profile::Arch;
 use embsan_emu::Fault;
 
+use crate::health::{Degradation, HealthCounters};
 use crate::report::{BugClass, Report};
 use kasan::{KasanConfig, KasanEngine};
 use kcsan::{KcsanConfig, KcsanEngine, KcsanOutcome};
@@ -214,7 +215,17 @@ pub struct EmbsanRuntime {
     /// must re-observe already-known bugs while minimizing reproducers.
     pub dedup_enabled: bool,
     checks_performed: u64,
+    /// Monotonic degradation counters (like reports, not part of
+    /// [`RuntimeState`]: they describe the whole campaign).
+    health: HealthCounters,
+    /// Bounded log of degradation events (the counters stay exact even
+    /// after the log caps out).
+    degradations: Vec<Degradation>,
 }
+
+/// Cap on the retained [`Degradation`] event log; beyond this only the
+/// [`HealthCounters`] keep counting.
+const DEGRADATION_LOG_CAP: usize = 256;
 
 impl std::fmt::Debug for EmbsanRuntime {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -269,6 +280,8 @@ impl EmbsanRuntime {
             stop_on_report: false,
             dedup_enabled: true,
             checks_performed: 0,
+            health: HealthCounters::default(),
+            degradations: Vec::new(),
         })
     }
 
@@ -334,6 +347,80 @@ impl EmbsanRuntime {
         std::mem::take(&mut self.new_reports)
     }
 
+    /// Campaign-wide degradation counters (never reset by state restores).
+    pub fn health(&self) -> &HealthCounters {
+        &self.health
+    }
+
+    /// The bounded degradation event log (see [`HealthCounters`] for exact
+    /// totals once the log caps out).
+    pub fn degradations(&self) -> &[Degradation] {
+        &self.degradations
+    }
+
+    fn note_degradation(&mut self, event: Degradation) {
+        match &event {
+            Degradation::QuarantineEvicted { chunks } => {
+                self.health.quarantine_evictions += chunks;
+            }
+            Degradation::ShadowClipped { granules, .. } => {
+                self.health.shadow_clips += u64::from(*granules);
+            }
+            Degradation::SpecDrift { .. } => self.health.spec_drift += 1,
+        }
+        if self.degradations.len() < DEGRADATION_LOG_CAP {
+            self.degradations.push(event);
+        }
+    }
+
+    /// Folds quarantine-pressure evictions accumulated inside the (restorable)
+    /// KASAN engine into the campaign-wide health counters. Called after every
+    /// free so the counters survive fuzzer state restores.
+    fn drain_kasan_pressure(&mut self) {
+        let chunks = self.kasan.as_mut().map_or(0, KasanEngine::take_pressure_evictions);
+        if chunks > 0 {
+            self.note_degradation(Degradation::QuarantineEvicted { chunks });
+        }
+    }
+
+    /// Audits the resolved probe spec against the firmware's text range
+    /// `[text_base, text_base + text_size)`. Hooks whose address falls
+    /// outside can never fire — that is probe-spec drift (the spec was
+    /// written for a different firmware build), recorded as a
+    /// [`Degradation::SpecDrift`] per offending hook rather than an error:
+    /// the remaining hooks still provide partial coverage.
+    ///
+    /// Returns the number of drifted hooks found.
+    pub fn audit_probe_spec(&mut self, text_base: u32, text_size: u32) -> usize {
+        let in_text = |addr: u32| addr >= text_base && addr < text_base.saturating_add(text_size);
+        let drifted: Vec<(String, u32)> = self
+            .platform
+            .hooks
+            .iter()
+            .filter(|hook| !in_text(hook.addr))
+            .map(|hook| (format!("{:?} hook", hook.role), hook.addr))
+            .collect();
+        let count = drifted.len();
+        for (what, addr) in drifted {
+            self.note_degradation(Degradation::SpecDrift { what, addr });
+        }
+        count
+    }
+
+    /// The dedup keys accumulated so far, sorted into a canonical order for
+    /// journal serialization (`HashSet` iteration order is nondeterministic).
+    pub fn dedup_keys(&self) -> Vec<(BugClass, u32, u64)> {
+        let mut keys: Vec<_> = self.dedup.iter().copied().collect();
+        keys.sort_by_key(|&(class, pc, sig)| (class.code(), pc, sig));
+        keys
+    }
+
+    /// Re-seeds the dedup set from journal-recovered keys, so a resumed
+    /// campaign suppresses re-discoveries exactly like the original run.
+    pub fn seed_dedup(&mut self, keys: impl IntoIterator<Item = (BugClass, u32, u64)>) {
+        self.dedup.extend(keys);
+    }
+
     /// Executes a prober-compiled init routine: shadow setup, boot-time
     /// allocation replay, global registration, then activation on `ready`.
     pub fn apply_init(&mut self, init: &InitProgram) {
@@ -346,12 +433,32 @@ impl EmbsanRuntime {
                         PoisonKind::Freed => code::FREED,
                         PoisonKind::Invalid => code::INVALID,
                     };
-                    self.shadow.poison(start as u32, end as u32, poison_code);
+                    let clipped = self.shadow.poison(start as u32, end as u32, poison_code);
+                    if clipped > 0 {
+                        self.note_degradation(Degradation::ShadowClipped {
+                            start: start as u32,
+                            end: end as u32,
+                            granules: clipped,
+                        });
+                    }
                 }
                 InitStep::Unpoison { start, end } => {
-                    self.shadow.poison(start as u32, end as u32, 0);
+                    let clipped = self.shadow.poison(start as u32, end as u32, 0);
+                    if clipped > 0 {
+                        self.note_degradation(Degradation::ShadowClipped {
+                            start: start as u32,
+                            end: end as u32,
+                            granules: clipped,
+                        });
+                    }
                 }
                 InitStep::Alloc { addr, size, site } => {
+                    if !self.shadow.covers(addr as u32) {
+                        self.note_degradation(Degradation::SpecDrift {
+                            what: "boot-time allocation".to_string(),
+                            addr: addr as u32,
+                        });
+                    }
                     if let Some(kasan) = &mut self.kasan {
                         kasan.on_alloc(&mut self.shadow, addr as u32, size as u32, site as u32);
                     }
@@ -365,6 +472,12 @@ impl EmbsanRuntime {
                     }
                 }
                 InitStep::Global { addr, size, redzone } => {
+                    if !self.shadow.covers(addr as u32) {
+                        self.note_degradation(Degradation::SpecDrift {
+                            what: "global registration".to_string(),
+                            addr: addr as u32,
+                        });
+                    }
                     if let Some(kasan) = &mut self.kasan {
                         kasan.on_global(&mut self.shadow, addr as u32, size as u32, redzone as u32);
                     }
@@ -564,6 +677,7 @@ impl ExecHook for EmbsanRuntime {
                     .kasan
                     .as_mut()
                     .and_then(|k| k.on_free(&mut self.shadow, addr, pc, cpu_index));
+                self.drain_kasan_pressure();
                 match report {
                     Some(report) => {
                         let signature = Self::call_site_signature(cpu);
@@ -612,6 +726,8 @@ impl ExecHook for EmbsanRuntime {
         if top.ret_to != target {
             return;
         }
+        // Infallible: `last()` above just witnessed a top-of-stack entry
+        // and nothing between the two calls can pop it.
         let pending = self.pending[cpu_index].pop().expect("pending call just observed");
         self.suppress[cpu_index] = self.suppress[cpu_index].saturating_sub(1);
         let hook = self.platform.hooks[pending.hook_index].clone();
@@ -643,6 +759,7 @@ impl ExecHook for EmbsanRuntime {
                     .kasan
                     .as_mut()
                     .and_then(|k| k.on_free(&mut self.shadow, addr, pc, cpu_index));
+                self.drain_kasan_pressure();
                 if let Some(report) = report {
                     self.record(report);
                 }
@@ -789,5 +906,77 @@ platform test {
         let mut spec = platform_spec();
         spec.hypercall_args = vec!["r99".to_string()];
         assert!(EmbsanRuntime::new(&merged, &spec, 1).is_err());
+    }
+
+    #[test]
+    fn drifted_init_steps_degrade_instead_of_misbehaving() {
+        let merged = reference_merged().unwrap();
+        let mut runtime = EmbsanRuntime::new(&merged, &platform_spec(), 1).unwrap();
+        // RAM is 0x100000..0x500000: poison past the end and replay a boot
+        // alloc outside RAM entirely (a spec written for different firmware).
+        let init = match embsan_dsl::parse(
+            "init {
+                poison 0x4FFFF0 .. 0x500080 invalid;
+                alloc 0x900000 size 64 site 0x10000;
+                ready;
+            }",
+        )
+        .unwrap()
+        .remove(0)
+        {
+            embsan_dsl::Item::Init(init) => init,
+            _ => panic!(),
+        };
+        runtime.apply_init(&init);
+        assert!(runtime.is_active());
+        let health = runtime.health();
+        assert_eq!(health.shadow_clips, 16, "0x80 bytes past the limit = 16 granules");
+        assert_eq!(health.spec_drift, 1);
+        assert!(!health.is_clean());
+        // The in-range prefix of the clipped poison still applied.
+        assert!(runtime.shadow.check(0x4F_FFF0, 4).is_err());
+        assert!(runtime
+            .degradations()
+            .iter()
+            .any(|d| matches!(d, Degradation::ShadowClipped { granules: 16, .. })));
+        assert!(runtime
+            .degradations()
+            .iter()
+            .any(|d| matches!(d, Degradation::SpecDrift { addr: 0x90_0000, .. })));
+    }
+
+    #[test]
+    fn dedup_keys_round_trip_in_canonical_order() {
+        let merged = reference_merged().unwrap();
+        let mut runtime = EmbsanRuntime::new(&merged, &platform_spec(), 1).unwrap();
+        let report = |class: BugClass, pc: u32| Report {
+            class,
+            addr: 0x20_0000,
+            size: 4,
+            is_write: false,
+            pc,
+            cpu: 0,
+            chunk: None,
+            other: None,
+        };
+        runtime.record_with_signature(report(BugClass::Uaf, 0x1_0200), 7);
+        runtime.record_with_signature(report(BugClass::HeapOob, 0x1_0100), 0);
+        runtime.record_with_signature(report(BugClass::HeapOob, 0x1_0000), 0);
+        let keys = runtime.dedup_keys();
+        assert_eq!(
+            keys,
+            vec![
+                (BugClass::HeapOob, 0x1_0000, 0),
+                (BugClass::HeapOob, 0x1_0100, 0),
+                (BugClass::Uaf, 0x1_0200, 7),
+            ]
+        );
+        // Seeding a fresh runtime suppresses re-discoveries of those bugs.
+        let mut resumed = EmbsanRuntime::new(&merged, &platform_spec(), 1).unwrap();
+        resumed.seed_dedup(keys);
+        resumed.record_with_signature(report(BugClass::Uaf, 0x1_0200), 7);
+        assert!(resumed.reports().is_empty());
+        resumed.record_with_signature(report(BugClass::Uaf, 0x1_0300), 7);
+        assert_eq!(resumed.reports().len(), 1);
     }
 }

@@ -64,15 +64,26 @@ impl ShadowMemory {
     /// Poisons `[start, end)` with `poison_code`. Partially covered edge
     /// granules are fully poisoned (conservative, like KASAN's
     /// `kasan_poison` which requires granule alignment — callers align).
-    pub fn poison(&mut self, start: u32, end: u32, poison_code: u8) {
-        if end <= start || !self.covers(start) {
-            return;
+    ///
+    /// Out-of-coverage portions are clipped; the return value is the number
+    /// of requested granules that could *not* be applied (0 when the range
+    /// is fully covered), so callers can surface the degradation instead of
+    /// silently losing poison.
+    pub fn poison(&mut self, start: u32, end: u32, poison_code: u8) -> u32 {
+        if end <= start {
+            return 0;
         }
+        let requested = end.saturating_sub(start).div_ceil(GRANULE);
+        if !self.covers(start) {
+            return requested;
+        }
+        let clipped_end = end.min(self.limit());
         let from = self.index(start);
-        let to = self.index(end.min(self.limit()) - 1);
+        let to = self.index(clipped_end - 1);
         for byte in &mut self.bytes[from..=to] {
             *byte = poison_code;
         }
+        end.saturating_sub(clipped_end).div_ceil(GRANULE)
     }
 
     /// Unpoisons an object `[addr, addr+size)`: full granules become

@@ -19,6 +19,7 @@ use embsan_emu::snapshot::Snapshot;
 use embsan_emu::EmuError;
 use embsan_guestos::executor::ExecProgram;
 
+use crate::health::{Degradation, HealthCounters};
 use crate::probe::ProbeArtifacts;
 use crate::report::Report;
 use crate::runtime::{EmbsanRuntime, RuntimeError, RuntimeState};
@@ -161,6 +162,17 @@ impl Session {
         self.runtime.reports()
     }
 
+    /// Campaign-wide degradation counters (quarantine pressure, shadow
+    /// clips, probe-spec drift). Not reset by [`Session::reset`].
+    pub fn health(&self) -> &HealthCounters {
+        self.runtime.health()
+    }
+
+    /// The bounded log of degradation events behind [`Session::health`].
+    pub fn degradations(&self) -> &[Degradation] {
+        self.runtime.degradations()
+    }
+
     /// Prioritizes KCSAN watchpoints on statically suspected race
     /// addresses (from `embsan-analysis`). Call before
     /// [`run_to_ready`](Session::run_to_ready) so the priorities are part
@@ -207,6 +219,10 @@ impl Session {
                 }
             }
         }
+        // Surface probe-spec drift (hooks that can never fire because they
+        // point outside the firmware text) as degradation events.
+        let (rom_base, rom_size) = self.machine.bus().rom_range();
+        self.runtime.audit_probe_spec(rom_base, rom_size);
         self.runtime.apply_init(&self.init);
         if !self.runtime.is_active() {
             // Init routines normally end with `ready;`; be lenient.

@@ -78,6 +78,10 @@ pub struct Bus {
     ram: Region,
     mmio_base: u32,
     mmio_size: u32,
+    /// Remaining guest MMIO reads corrupted by an injected bus fault.
+    mmio_xor_reads: u32,
+    /// Corruption mask XOR-ed into corrupted MMIO reads.
+    mmio_xor: u32,
     /// The platform devices. Public so hosts (fuzzers, benches, the prober)
     /// can drive the mailbox and read the UART.
     pub devices: DeviceSet,
@@ -99,8 +103,22 @@ impl Bus {
             ram: Region { base: ram_base, data: vec![0; ram_size as usize] },
             mmio_base: profile.mmio_base,
             mmio_size: profile.mmio_size,
+            mmio_xor_reads: 0,
+            mmio_xor: 0,
             devices: DeviceSet::new(rng_seed),
         }
+    }
+
+    /// Opens a fault-injection window: the next `reads` guest MMIO reads
+    /// return their data XOR-ed with `xor` (a flaky peripheral bus).
+    pub fn arm_mmio_corruption(&mut self, xor: u32, reads: u32) {
+        self.mmio_xor = xor;
+        self.mmio_xor_reads = reads;
+    }
+
+    /// Remaining MMIO reads in the current corruption window.
+    pub fn mmio_corruption_pending(&self) -> u32 {
+        self.mmio_xor_reads
     }
 
     /// Guest memory byte order.
@@ -189,7 +207,12 @@ impl Bus {
             return Ok(Self::load_int(&self.rom.data[off..off + size as usize], self.endian));
         }
         if self.is_mmio(addr) {
-            return Ok(self.devices.read(addr - self.mmio_base));
+            let mut value = self.devices.read(addr - self.mmio_base);
+            if self.mmio_xor_reads > 0 {
+                self.mmio_xor_reads -= 1;
+                value ^= self.mmio_xor;
+            }
+            return Ok(value);
         }
         Err(self.classify_fault(addr, false))
     }

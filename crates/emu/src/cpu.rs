@@ -52,7 +52,7 @@ impl Regs {
 }
 
 /// One virtual CPU.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Cpu {
     /// General-purpose registers.
     pub regs: Regs,
@@ -68,6 +68,10 @@ pub struct Cpu {
     pub(crate) stall_token: u64,
     /// Pending timer interrupt.
     pub(crate) irq_pending: bool,
+    /// Wedged by an injected [`crate::fault::FaultKind::StuckCpu`] fault:
+    /// retires instructions without making progress until a snapshot
+    /// restore replaces this vCPU's state.
+    pub(crate) wedged: bool,
     /// Instructions retired by this vCPU.
     pub retired: u64,
 }
@@ -89,8 +93,14 @@ impl Cpu {
             stalled_until: None,
             stall_token: 0,
             irq_pending: false,
+            wedged: false,
             retired: 0,
         }
+    }
+
+    /// Whether the vCPU is wedged by an injected stuck-at fault.
+    pub fn is_wedged(&self) -> bool {
+        self.wedged
     }
 
     /// This vCPU's index.

@@ -7,7 +7,7 @@
 //! compare the two collection mechanisms.
 
 /// Coverage-recording MMIO port.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CovPort {
     edges: Vec<u32>,
     enabled: bool,

@@ -1,0 +1,94 @@
+//! Fault-injection device: the MMIO face of the deterministic fault plan.
+//!
+//! Embedded allocators commonly consult a hardware status line (or a
+//! watchdog-adjacent register) before committing a reservation; firmware
+//! built with `BuildOptions` can poll this device to decide whether an
+//! allocation should be failed, which lets a [`crate::fault::FaultPlan`]
+//! drive allocator-failure paths deterministically from the host side.
+//!
+//! Registers (offsets within the `0x600` block):
+//!
+//! | offset | access | meaning |
+//! |--------|--------|---------|
+//! | `+0`   | read   | consume one armed allocation failure: reads 1 and decrements the budget while armed, 0 otherwise |
+//! | `+0`   | write  | arm `value` allocation failures |
+//! | `+4`   | read   | total faults injected through this device (diagnostic) |
+//! | `+8`   | read   | remaining armed allocation failures (non-consuming peek) |
+
+/// The fault-injection device.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultDev {
+    /// Remaining allocation failures to hand out.
+    armed: u32,
+    /// Total failures consumed by the guest (diagnostic counter).
+    consumed: u32,
+}
+
+impl FaultDev {
+    /// Creates an idle fault device (no failures armed).
+    pub fn new() -> FaultDev {
+        FaultDev::default()
+    }
+
+    /// Arms `count` allocation failures; the next `count` guest polls of
+    /// the consume register report "fail this allocation".
+    pub fn arm_alloc_failures(&mut self, count: u32) {
+        self.armed = self.armed.saturating_add(count);
+    }
+
+    /// Remaining armed allocation failures.
+    pub fn armed(&self) -> u32 {
+        self.armed
+    }
+
+    /// Total allocation failures the guest has consumed.
+    pub fn consumed(&self) -> u32 {
+        self.consumed
+    }
+
+    /// MMIO read dispatch.
+    pub fn read(&mut self, offset: u32) -> u32 {
+        match offset {
+            0 if self.armed > 0 => {
+                self.armed -= 1;
+                self.consumed = self.consumed.saturating_add(1);
+                1
+            }
+            4 => self.consumed,
+            8 => self.armed,
+            _ => 0,
+        }
+    }
+
+    /// MMIO write dispatch.
+    pub fn write(&mut self, offset: u32, value: u32) {
+        if offset == 0 {
+            self.arm_alloc_failures(value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consume_register_drains_armed_budget() {
+        let mut dev = FaultDev::new();
+        assert_eq!(dev.read(0), 0, "idle device never fails allocations");
+        dev.arm_alloc_failures(2);
+        assert_eq!(dev.read(8), 2);
+        assert_eq!(dev.read(0), 1);
+        assert_eq!(dev.read(0), 1);
+        assert_eq!(dev.read(0), 0, "budget exhausted");
+        assert_eq!(dev.read(4), 2, "diagnostic counter tracks consumption");
+    }
+
+    #[test]
+    fn guest_can_arm_via_mmio_write() {
+        let mut dev = FaultDev::new();
+        dev.write(0, 1);
+        assert_eq!(dev.read(0), 1);
+        assert_eq!(dev.read(0), 0);
+    }
+}

@@ -12,7 +12,7 @@ const NEXT: u32 = 0x8;
 const RESULT: u32 = 0xC;
 
 /// Program-injection mailbox.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Mailbox {
     program: Vec<u8>,
     cursor: usize,

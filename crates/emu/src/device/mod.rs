@@ -17,8 +17,10 @@
 //! | `0x300`| POWER   | `+0` write exit code → halt machine |
 //! | `0x400`| MAILBOX | `+0` status, `+4` len, `+8` next byte, `+12` result |
 //! | `0x500`| RNG     | `+0` next pseudo-random word |
+//! | `0x600`| FAULT   | `+0` consume/arm alloc failure, `+4` injected, `+8` armed |
 
 mod covport;
+mod faultdev;
 mod mailbox;
 mod power;
 mod rng;
@@ -26,6 +28,7 @@ mod timer;
 mod uart;
 
 pub use covport::CovPort;
+pub use faultdev::FaultDev;
 pub use mailbox::Mailbox;
 pub use power::Power;
 pub use rng::Rng;
@@ -44,9 +47,11 @@ pub const POWER_BASE: u32 = 0x300;
 pub const MAILBOX_BASE: u32 = 0x400;
 /// Offset of the RNG block.
 pub const RNG_BASE: u32 = 0x500;
+/// Offset of the fault-injection block.
+pub const FAULT_BASE: u32 = 0x600;
 
 /// The full set of devices behind a machine's MMIO window.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DeviceSet {
     /// Console output device.
     pub uart: Uart,
@@ -60,6 +65,8 @@ pub struct DeviceSet {
     pub mailbox: Mailbox,
     /// Deterministic pseudo-random source.
     pub rng: Rng,
+    /// Fault-injection device (allocator-failure triggers).
+    pub fault: FaultDev,
 }
 
 impl DeviceSet {
@@ -72,6 +79,7 @@ impl DeviceSet {
             power: Power::new(),
             mailbox: Mailbox::new(),
             rng: Rng::new(rng_seed),
+            fault: FaultDev::new(),
         }
     }
 
@@ -87,6 +95,7 @@ impl DeviceSet {
             POWER_BASE => self.power.read(offset & 0xFF),
             MAILBOX_BASE => self.mailbox.read(offset & 0xFF),
             RNG_BASE => self.rng.read(offset & 0xFF),
+            FAULT_BASE => self.fault.read(offset & 0xFF),
             _ => 0,
         }
     }
@@ -100,6 +109,7 @@ impl DeviceSet {
             POWER_BASE => self.power.write(offset & 0xFF, value),
             MAILBOX_BASE => self.mailbox.write(offset & 0xFF, value),
             RNG_BASE => self.rng.write(offset & 0xFF, value),
+            FAULT_BASE => self.fault.write(offset & 0xFF, value),
             _ => {}
         }
     }

@@ -4,7 +4,7 @@
 ///
 /// Writing an exit code to the control register requests a machine halt; the
 /// machine loop observes the request after the current instruction retires.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Power {
     halt: Option<u16>,
 }

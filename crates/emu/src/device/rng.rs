@@ -5,7 +5,7 @@
 /// Guests read successive words from the data register. Being seeded from
 /// the machine configuration keeps whole-system runs reproducible, which the
 /// fuzz-campaign benches rely on.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Rng {
     state: u64,
 }

@@ -5,7 +5,7 @@
 /// When enabled, the counter decrements once per retired instruction; on
 /// reaching zero it reloads and raises the machine interrupt line, which the
 /// guest kernels use for preemptive scheduling.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Timer {
     enabled: bool,
     reload: u32,

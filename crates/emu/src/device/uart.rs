@@ -5,7 +5,7 @@
 /// Bytes written to the TX register accumulate in a host-visible buffer; the
 /// prober uses console output (e.g. a firmware's "ready" banner) as one of
 /// its ready-point signals for closed-source firmware.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Uart {
     output: Vec<u8>,
 }

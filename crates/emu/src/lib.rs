@@ -45,6 +45,7 @@ pub mod bus;
 pub mod cpu;
 pub mod device;
 pub mod error;
+pub mod fault;
 pub mod hook;
 pub mod isa;
 pub mod machine;
@@ -53,6 +54,7 @@ pub mod snapshot;
 pub mod translate;
 
 pub use error::{EmuError, Fault};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultPlanError, HangClass, InjectionStats};
 pub use hook::{ExecHook, HookAction, HookConfig, NullHook};
 pub use machine::{Machine, MachineBuilder, RunExit};
 pub use profile::{Arch, ArchProfile, Endian};
@@ -62,6 +64,7 @@ pub mod prelude {
     pub use crate::bus::{Bus, MemAccess, MemKind};
     pub use crate::cpu::{Cpu, CpuView, Csr};
     pub use crate::error::{EmuError, Fault};
+    pub use crate::fault::{FaultEvent, FaultKind, FaultPlan, HangClass, InjectionStats};
     pub use crate::hook::{ExecHook, HookAction, HookConfig, NullHook};
     pub use crate::isa::{Insn, Reg, Word};
     pub use crate::machine::{Machine, MachineBuilder, RunExit};

@@ -6,6 +6,7 @@ use std::collections::HashSet;
 use crate::bus::{Bus, MemAccess, MemKind};
 use crate::cpu::{Cpu, CpuView, Csr};
 use crate::error::{EmuError, Fault};
+use crate::fault::{ArmedPlan, FaultKind, FaultPlan, HangClass, InjectionStats};
 use crate::hook::{ExecHook, HookAction, HookConfig};
 use crate::isa::{Insn, Reg};
 use crate::profile::ArchProfile;
@@ -150,9 +151,12 @@ impl MachineBuilder {
             cache: BlockCache::new(),
             quantum: self.quantum,
             global_retired: 0,
+            lifetime_retired: 0,
             next_cpu: 0,
             breakpoints: HashSet::new(),
             skip_bp_once: None,
+            fault_plan: None,
+            injection_stats: InjectionStats::default(),
         })
     }
 }
@@ -165,9 +169,16 @@ pub struct Machine {
     cache: BlockCache,
     quantum: u64,
     global_retired: u64,
+    /// Monotonic instruction clock: like `global_retired` but never rewound
+    /// by snapshot restore. Fault plans trigger against this clock so that
+    /// restoring the per-program snapshot cannot replay already-injected
+    /// faults.
+    lifetime_retired: u64,
     next_cpu: usize,
     breakpoints: HashSet<u32>,
     skip_bp_once: Option<(usize, u32)>,
+    fault_plan: Option<ArmedPlan>,
+    injection_stats: InjectionStats,
 }
 
 impl std::fmt::Debug for Machine {
@@ -242,6 +253,112 @@ impl Machine {
 
     pub(crate) fn set_retired(&mut self, value: u64) {
         self.global_retired = value;
+    }
+
+    /// Monotonic lifetime instruction clock (never rewound by snapshot
+    /// restore); the trigger timebase for fault plans.
+    pub fn lifetime_retired(&self) -> u64 {
+        self.lifetime_retired
+    }
+
+    /// Arms `plan` against the current lifetime clock: event offsets are
+    /// relative to this call. Replaces any previously armed plan.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        self.fault_plan = Some(ArmedPlan::arm(plan, self.lifetime_retired));
+    }
+
+    /// Disarms any pending fault plan (already-injected faults persist).
+    pub fn clear_fault_plan(&mut self) {
+        self.fault_plan = None;
+    }
+
+    /// Number of fault firings still pending in the armed plan.
+    pub fn pending_faults(&self) -> usize {
+        self.fault_plan.as_ref().map_or(0, ArmedPlan::pending)
+    }
+
+    /// Counters for faults injected so far.
+    pub fn injection_stats(&self) -> InjectionStats {
+        self.injection_stats
+    }
+
+    /// Injects every armed fault whose trigger time has passed.
+    fn apply_due_faults(&mut self) {
+        let Some(plan) = self.fault_plan.as_mut() else {
+            return;
+        };
+        let due = plan.take_due(self.lifetime_retired);
+        for kind in due {
+            match kind {
+                FaultKind::RamBitFlip { offset, bit } => {
+                    let (base, size) = self.bus.ram_range();
+                    if offset < size {
+                        let addr = base.wrapping_add(offset);
+                        // Byte accesses are always aligned; RAM reads and
+                        // writes of an in-range byte cannot fault.
+                        if let Ok(byte) = self.bus.read(addr, 1) {
+                            let _ = self.bus.write(addr, 1, byte ^ (1 << bit));
+                            self.injection_stats.ram_bit_flips += 1;
+                        }
+                    }
+                }
+                FaultKind::MmioCorrupt { xor, reads } => {
+                    self.bus.arm_mmio_corruption(xor, reads);
+                    self.injection_stats.mmio_corruptions += 1;
+                }
+                FaultKind::SpuriousIrq => {
+                    for cpu in &mut self.cpus {
+                        cpu.irq_pending = true;
+                        cpu.parked = false;
+                    }
+                    self.injection_stats.spurious_irqs += 1;
+                }
+                FaultKind::AllocFail { count } => {
+                    self.bus.devices.fault.arm_alloc_failures(count);
+                    self.injection_stats.alloc_failures += 1;
+                }
+                FaultKind::StuckCpu { cpu } => {
+                    if let Some(target) = self.cpus.get_mut(cpu) {
+                        target.wedged = true;
+                        target.parked = false;
+                        self.injection_stats.cpu_wedges += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Classifies why a guest that exhausted its budget is not progressing,
+    /// by running up to `slices` further windows of `slice_budget`
+    /// instructions each (without waking parked vCPUs) and watching whether
+    /// instructions still retire.
+    ///
+    /// The caller is expected to discard the machine state afterwards
+    /// (typically via snapshot restore): classification executes guest code.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Machine::run_resume`] errors (currently none).
+    pub fn classify_hang(
+        &mut self,
+        hook: &mut dyn ExecHook,
+        slices: u32,
+        slice_budget: u64,
+    ) -> Result<HangClass, EmuError> {
+        for _ in 0..slices.max(1) {
+            let before = self.global_retired;
+            match self.run_resume(hook, slice_budget.max(1))? {
+                RunExit::AllIdle => return Ok(HangClass::WfiIdle),
+                RunExit::BudgetExhausted => {
+                    if self.global_retired == before {
+                        // Nothing retired in the whole window: effectively idle.
+                        return Ok(HangClass::WfiIdle);
+                    }
+                }
+                _ => return Ok(HangClass::Responsive),
+            }
+        }
+        Ok(HangClass::LiveLock)
     }
 
     /// Installs a hook configuration, regenerating translation templates
@@ -377,7 +494,10 @@ impl Machine {
                     // fast-forward time to the earliest stall end.
                     if let Some(min_until) = self.cpus.iter().filter_map(|c| c.stalled_until).min()
                     {
+                        let skipped = min_until.saturating_sub(self.global_retired);
                         self.global_retired = self.global_retired.max(min_until);
+                        self.lifetime_retired += skipped;
+                        self.apply_due_faults();
                         continue;
                     }
                     // All parked: only a timer interrupt can wake them.
@@ -409,6 +529,8 @@ impl Machine {
             let exit = self.run_quantum(idx, hook, quantum);
             let ran = self.cpus[idx].retired - before;
             executed_total += ran;
+            self.lifetime_retired += ran;
+            self.apply_due_faults();
 
             // Advance platform time.
             if self.bus.devices.tick(ran) {
@@ -439,6 +561,14 @@ impl Machine {
 
     /// Executes up to `quantum` instructions on vCPU `idx`.
     fn run_quantum(&mut self, idx: usize, hook: &mut dyn ExecHook, quantum: u64) -> QuantumExit {
+        if self.cpus[idx].wedged {
+            // A stuck core keeps fetching and retiring the same instruction
+            // without architectural progress: burn the quantum so the hang
+            // is visible as budget exhaustion, never as idleness.
+            self.cpus[idx].retired += quantum;
+            self.global_retired += quantum;
+            return QuantumExit::Continue;
+        }
         let cfg = self.cache.config();
         let mut executed: u64 = 0;
         while executed < quantum {
@@ -1268,5 +1398,119 @@ mod tests {
             .cpus(0)
             .build()
             .is_err());
+    }
+
+    #[test]
+    fn fault_plan_flips_ram_bit_deterministically() {
+        let profile = ArchProfile::armv();
+        let run = |with_plan: bool| {
+            // Store a known value, then spin so the scheduled flip lands.
+            let ram = profile.ram_base;
+            let mut m = machine_with(&[
+                Insn::Lui { rd: Reg::R1, imm: ram },
+                Insn::Addi { rd: Reg::R2, rs1: Reg::R0, imm: 0x55 },
+                Insn::Sw { rs2: Reg::R2, rs1: Reg::R1, imm: 0 },
+                Insn::Jal { rd: Reg::R0, offset: 0 },
+            ]);
+            if with_plan {
+                let plan = crate::fault::FaultPlan::new().with(crate::fault::FaultEvent::once(
+                    100,
+                    FaultKind::RamBitFlip { offset: 0, bit: 1 },
+                ));
+                m.set_fault_plan(&plan);
+            }
+            m.run(&mut crate::hook::NullHook, 500).unwrap();
+            (m.read_mem(ram, 4).unwrap(), m.injection_stats())
+        };
+        let (clean, clean_stats) = run(false);
+        assert_eq!(clean, 0x55);
+        assert_eq!(clean_stats.total(), 0);
+        let (flipped, stats) = run(true);
+        assert_eq!(flipped, 0x57, "bit 1 flipped exactly once");
+        assert_eq!(stats.ram_bit_flips, 1);
+        // Determinism: the same plan injects identically on a second run.
+        assert_eq!(run(true), (flipped, stats));
+    }
+
+    #[test]
+    fn fault_plan_survives_snapshot_restore_without_replaying() {
+        let ram = ArchProfile::armv().ram_base;
+        let mut m = machine_with(&[
+            Insn::Lui { rd: Reg::R1, imm: ram },
+            Insn::Sw { rs2: Reg::R0, rs1: Reg::R1, imm: 0 },
+            Insn::Jal { rd: Reg::R0, offset: 0 },
+        ]);
+        let plan = crate::fault::FaultPlan::new()
+            .with(crate::fault::FaultEvent::once(50, FaultKind::RamBitFlip { offset: 0, bit: 0 }));
+        m.set_fault_plan(&plan);
+        let snap = m.snapshot();
+        m.run(&mut crate::hook::NullHook, 200).unwrap();
+        assert_eq!(m.injection_stats().ram_bit_flips, 1);
+        assert_eq!(m.pending_faults(), 0);
+        // Restoring the snapshot rewinds guest state but not the lifetime
+        // clock: the already-fired event must not replay.
+        m.restore(&snap).unwrap();
+        m.run(&mut crate::hook::NullHook, 200).unwrap();
+        assert_eq!(m.injection_stats().ram_bit_flips, 1, "no replay after restore");
+        assert_eq!(m.read_mem(ram, 4).unwrap(), 0, "restored RAM stays clean");
+        assert!(m.lifetime_retired() > m.retired());
+    }
+
+    #[test]
+    fn mmio_corruption_window_applies_and_drains() {
+        let mut m = machine_with(&[Insn::Jal { rd: Reg::R0, offset: 0 }]);
+        let plan = crate::fault::FaultPlan::new().with(crate::fault::FaultEvent::once(
+            10,
+            FaultKind::MmioCorrupt { xor: 0xFF, reads: 2 },
+        ));
+        m.set_fault_plan(&plan);
+        m.run(&mut crate::hook::NullHook, 50).unwrap();
+        assert_eq!(m.injection_stats().mmio_corruptions, 1);
+        let mmio = m.profile().mmio_base;
+        // UART status normally reads 1 (always ready); corrupted it is 0xFE.
+        assert_eq!(m.bus_mut().read(mmio + 4, 4).unwrap(), 0xFE);
+        assert_eq!(m.bus_mut().read(mmio + 4, 4).unwrap(), 0xFE);
+        assert_eq!(m.bus_mut().read(mmio + 4, 4).unwrap(), 1, "window drained");
+    }
+
+    #[test]
+    fn stuck_cpu_live_locks_and_classifies() {
+        // A well-behaved guest that parks after storing.
+        let mut m = machine_with(&[
+            Insn::Addi { rd: Reg::R1, rs1: Reg::R0, imm: 1 },
+            Insn::Wfi,
+            Insn::Jal { rd: Reg::R0, offset: -4 },
+        ]);
+        assert_eq!(m.run(&mut crate::hook::NullHook, 1000).unwrap(), RunExit::AllIdle);
+        assert_eq!(
+            m.classify_hang(&mut crate::hook::NullHook, 3, 100).unwrap(),
+            HangClass::WfiIdle
+        );
+        // Wedge the core: it now burns budget forever.
+        let plan = crate::fault::FaultPlan::new()
+            .with(crate::fault::FaultEvent::once(0, FaultKind::StuckCpu { cpu: 0 }));
+        m.set_fault_plan(&plan);
+        assert_eq!(m.run(&mut crate::hook::NullHook, 1000).unwrap(), RunExit::BudgetExhausted);
+        assert!(m.cpu(0).is_wedged());
+        assert_eq!(
+            m.classify_hang(&mut crate::hook::NullHook, 3, 100).unwrap(),
+            HangClass::LiveLock
+        );
+        assert_eq!(m.injection_stats().cpu_wedges, 1);
+    }
+
+    #[test]
+    fn spurious_irq_and_alloc_fail_inject() {
+        let mut m = machine_with(&[Insn::Jal { rd: Reg::R0, offset: 0 }]);
+        let plan = crate::fault::FaultPlan::new()
+            .with(crate::fault::FaultEvent::once(10, FaultKind::SpuriousIrq))
+            .with(crate::fault::FaultEvent::once(20, FaultKind::AllocFail { count: 3 }));
+        m.set_fault_plan(&plan);
+        m.run(&mut crate::hook::NullHook, 100).unwrap();
+        let stats = m.injection_stats();
+        assert_eq!(stats.spurious_irqs, 1);
+        assert_eq!(stats.alloc_failures, 1);
+        // With no trap vector the IRQ stays pending; the fault device is armed.
+        assert_eq!(m.bus_mut().devices.fault.armed(), 3);
     }
 }

@@ -13,7 +13,10 @@ use crate::machine::Machine;
 /// retired-instruction counters). The ROM and translation cache are not part
 /// of the snapshot: ROM is immutable and the cache is a pure function of ROM
 /// plus the hook configuration.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares the full captured state byte-for-byte, which is what
+/// the snapshot-fidelity property tests rely on.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Snapshot {
     ram: Vec<u8>,
     cpus: Vec<Cpu>,

@@ -43,9 +43,10 @@ impl Default for CampaignConfig {
     }
 }
 
-/// Campaign failures (harness-level; guest crashes are findings).
+/// What failed at the harness level (guest crashes are findings, never
+/// errors).
 #[derive(Debug)]
-pub enum CampaignError {
+pub enum CampaignErrorKind {
     /// Firmware build failure.
     Build(embsan_asm::LinkError),
     /// Probing failure.
@@ -54,42 +55,123 @@ pub enum CampaignError {
     Session(SessionError),
     /// Distiller failure.
     Distill(embsan_core::DistillError),
+    /// Campaign-journal failure (supervised runs).
+    Journal(crate::journal::JournalError),
 }
 
-impl std::fmt::Display for CampaignError {
+impl std::fmt::Display for CampaignErrorKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CampaignError::Build(e) => write!(f, "firmware build failed: {e}"),
-            CampaignError::Probe(e) => write!(f, "probing failed: {e}"),
-            CampaignError::Session(e) => write!(f, "session failed: {e}"),
-            CampaignError::Distill(e) => write!(f, "distilling failed: {e}"),
+            CampaignErrorKind::Build(e) => write!(f, "firmware build failed: {e}"),
+            CampaignErrorKind::Probe(e) => write!(f, "probing failed: {e}"),
+            CampaignErrorKind::Session(e) => write!(f, "session failed: {e}"),
+            CampaignErrorKind::Distill(e) => write!(f, "distilling failed: {e}"),
+            CampaignErrorKind::Journal(e) => write!(f, "campaign journal failed: {e}"),
         }
     }
 }
 
-impl std::error::Error for CampaignError {}
+/// A campaign failure with enough context to reproduce it: which firmware,
+/// at which iteration, executing which program. Context fields are filled
+/// in as the error propagates outward (the innermost layers don't know
+/// them), so any of them may be absent.
+#[derive(Debug)]
+pub struct CampaignError {
+    /// The underlying failure.
+    pub kind: CampaignErrorKind,
+    /// Firmware name (campaigns) or image path (CLI runs), when known.
+    pub firmware: Option<String>,
+    /// Fuzzing iteration at which the failure occurred, when known.
+    pub iteration: Option<u64>,
+    /// The program being executed when the failure occurred, when known.
+    pub program: Option<ExecProgram>,
+}
+
+impl CampaignError {
+    /// Wraps a failure kind with no context yet.
+    pub fn new(kind: CampaignErrorKind) -> CampaignError {
+        CampaignError { kind, firmware: None, iteration: None, program: None }
+    }
+
+    /// Attaches the firmware name (kept if already set — the innermost
+    /// attribution wins).
+    #[must_use]
+    pub fn with_firmware(self, firmware: &str) -> CampaignError {
+        self.with_firmware_string(firmware.to_string())
+    }
+
+    /// [`CampaignError::with_firmware`] for owned names.
+    #[must_use]
+    pub fn with_firmware_string(mut self, firmware: String) -> CampaignError {
+        self.firmware.get_or_insert(firmware);
+        self
+    }
+
+    /// Attaches iteration and program context (kept if already set).
+    #[must_use]
+    pub fn context(mut self, iteration: u64, program: &ExecProgram) -> CampaignError {
+        self.iteration.get_or_insert(iteration);
+        self.program.get_or_insert_with(|| program.clone());
+        self
+    }
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.kind)?;
+        if let Some(firmware) = &self.firmware {
+            write!(f, " [firmware: {firmware}]")?;
+        }
+        if let Some(iteration) = self.iteration {
+            write!(f, " [iteration: {iteration}]")?;
+        }
+        if let Some(program) = &self.program {
+            let nrs: Vec<u8> = program.calls.iter().map(|c| c.nr).collect();
+            write!(f, " [program: {} call(s) {nrs:?}]", program.calls.len())?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for CampaignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match &self.kind {
+            CampaignErrorKind::Build(e) => Some(e),
+            CampaignErrorKind::Probe(e) => Some(e),
+            CampaignErrorKind::Session(e) => Some(e),
+            CampaignErrorKind::Distill(e) => Some(e),
+            CampaignErrorKind::Journal(e) => Some(e),
+        }
+    }
+}
 
 impl From<embsan_asm::LinkError> for CampaignError {
     fn from(e: embsan_asm::LinkError) -> CampaignError {
-        CampaignError::Build(e)
+        CampaignError::new(CampaignErrorKind::Build(e))
     }
 }
 
 impl From<ProbeError> for CampaignError {
     fn from(e: ProbeError) -> CampaignError {
-        CampaignError::Probe(e)
+        CampaignError::new(CampaignErrorKind::Probe(e))
     }
 }
 
 impl From<SessionError> for CampaignError {
     fn from(e: SessionError) -> CampaignError {
-        CampaignError::Session(e)
+        CampaignError::new(CampaignErrorKind::Session(e))
     }
 }
 
 impl From<embsan_core::DistillError> for CampaignError {
     fn from(e: embsan_core::DistillError) -> CampaignError {
-        CampaignError::Distill(e)
+        CampaignError::new(CampaignErrorKind::Distill(e))
+    }
+}
+
+impl From<crate::journal::JournalError> for CampaignError {
+    fn from(e: crate::journal::JournalError) -> CampaignError {
+        CampaignError::new(CampaignErrorKind::Journal(e))
     }
 }
 
@@ -156,7 +238,8 @@ pub fn run_campaign(
     spec: &FirmwareSpec,
     config: &CampaignConfig,
 ) -> Result<CampaignResult, CampaignError> {
-    let (mut session, dict) = prepare_session(spec, config)?;
+    let (mut session, dict) =
+        prepare_session(spec, config).map_err(|e| e.with_firmware(spec.name))?;
     let strategy = match spec.fuzzer {
         PaperFuzzer::Syzkaller => Strategy::Syz,
         PaperFuzzer::Tardis => Strategy::Tardis,
@@ -165,14 +248,21 @@ pub fn run_campaign(
     fuzzer_config.program_budget = config.program_budget;
     let descs = descriptions_for(spec);
     let mut fuzzer = Fuzzer::new(&mut session, descs, dict, fuzzer_config);
-    fuzzer.run(config.iterations)?;
+    fuzzer.run(config.iterations).map_err(|e| CampaignError::from(e).with_firmware(spec.name))?;
     let stats = fuzzer.stats();
+    let found = attribute_findings(spec, fuzzer.findings());
+    Ok(CampaignResult { firmware: spec.name, found, stats })
+}
 
-    // Attribute findings to Table-4 rows via the gated syscalls left in
-    // the minimized reproducers.
+/// Attributes triaged findings to Table-4 rows via the gated syscalls left
+/// in the minimized reproducers, deduplicated by Table-4 identity (§4.2).
+pub fn attribute_findings(
+    spec: &FirmwareSpec,
+    findings: &[crate::fuzzer::Finding],
+) -> Vec<FoundBug> {
     let firmware_bugs = spec.latent_bugs();
     let mut found: Vec<FoundBug> = Vec::new();
-    for finding in fuzzer.into_findings() {
+    for finding in findings {
         for nr in &finding.bug_syscalls {
             let local_index = usize::from(nr - sys::BUG_BASE);
             let Some(bug) = firmware_bugs.get(local_index) else { continue };
@@ -193,7 +283,7 @@ pub fn run_campaign(
             });
         }
     }
-    Ok(CampaignResult { firmware: spec.name, found, stats })
+    found
 }
 
 #[cfg(test)]

@@ -65,6 +65,29 @@ impl Corpus {
             Some(&self.entries[index % self.entries.len()])
         }
     }
+
+    /// The retained programs, in retention order (checkpoint export).
+    pub fn entries(&self) -> &[ExecProgram] {
+        &self.entries
+    }
+
+    /// The global classified-coverage map (checkpoint export).
+    pub fn global_map(&self) -> &[u8; MAP_SIZE] {
+        &self.global
+    }
+
+    /// Rebuilds a corpus from checkpointed parts (the inverse of
+    /// [`Corpus::entries`] + [`Corpus::global_map`]).
+    pub fn from_parts(entries: Vec<ExecProgram>, global: Box<[u8; MAP_SIZE]>) -> Corpus {
+        Corpus { entries, global }
+    }
+
+    /// Drops every entry for which `keep` returns `false` (input
+    /// quarantine). The global coverage map is deliberately kept: the
+    /// dropped input's coverage was real, only the input is untrusted.
+    pub fn retain(&mut self, keep: impl FnMut(&ExecProgram) -> bool) {
+        self.entries.retain(keep);
+    }
 }
 
 #[cfg(test)]

@@ -1,11 +1,11 @@
 //! The coverage-guided fuzzing loop with crash triage.
 
-use embsan_core::report::Report;
-use embsan_core::session::{Session, SessionError};
+use embsan_core::report::{BugClass, Report};
+use embsan_core::session::{ExecOutcome, Session, SessionError};
 use embsan_guestos::executor::{sys, ExecProgram};
 
 use crate::corpus::Corpus;
-use crate::cover::CoverageMap;
+use crate::cover::{CoverageMap, MAP_SIZE};
 use crate::descs::SyscallDesc;
 use crate::dictionary::Dictionary;
 use crate::mutate::Mutator;
@@ -79,7 +79,7 @@ pub struct FuzzerStats {
 }
 
 /// One triaged finding: a sanitizer report with its minimized reproducer.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
     /// The sanitizer report.
     pub report: Report,
@@ -87,6 +87,42 @@ pub struct Finding {
     pub program: ExecProgram,
     /// Bug-syscall numbers remaining in the reproducer (attribution).
     pub bug_syscalls: Vec<u8>,
+}
+
+/// What a [`Fuzzer::commit`] did, for supervisor journaling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitSummary {
+    /// Whether the program was retained in the corpus (novel coverage).
+    pub retained: bool,
+    /// Index range of findings appended by this commit.
+    pub new_findings: std::ops::Range<usize>,
+}
+
+/// The complete mutable fuzzer state, exported for campaign journaling.
+///
+/// Everything that influences future iterations is here — RNG state, the
+/// corpus with its global coverage map, the deterministic-stage queue and
+/// its dedup set, findings, and the session runtime's report-dedup keys —
+/// so a killed campaign resumed from a checkpoint continues bit-identically
+/// to one that was never killed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzerState {
+    /// Raw SplitMix64 state.
+    pub rng_state: u64,
+    /// Programs executed so far.
+    pub execs: u64,
+    /// Corpus programs in retention order.
+    pub corpus_entries: Vec<ExecProgram>,
+    /// Global classified coverage map (MAP_SIZE bytes).
+    pub global_map: Vec<u8>,
+    /// Pending deterministic-stage candidates (popped from the back).
+    pub det_pending: Vec<ExecProgram>,
+    /// Deterministic-stage sites already enumerated, sorted canonically.
+    pub det_seen: Vec<(u8, u32, u32)>,
+    /// Triaged findings so far.
+    pub findings: Vec<Finding>,
+    /// Session-runtime report-dedup keys, sorted canonically.
+    pub dedup_keys: Vec<(BugClass, u32, u64)>,
 }
 
 /// A coverage-guided fuzzer bound to a sanitized session.
@@ -186,21 +222,29 @@ impl<'s> Fuzzer<'s> {
     /// guest crashes — guest faults are findings).
     pub fn run(&mut self, iterations: u64) -> Result<(), SessionError> {
         for _ in 0..iterations {
-            // Drain pending deterministic-stage candidates first (AFL's
-            // deterministic phase): they are bounded and systematically
-            // enumerate dictionary bytes over the new seed's arguments.
-            let program = if let Some(candidate) = self.det_pending.pop() {
-                candidate
-            } else if self.corpus.is_empty() || self.rng.gen_bool(0.2) {
-                self.mutator.generate(&mut self.rng)
-            } else {
-                let pick = self.rng.gen_usize();
-                let seed = self.corpus.pick(pick).expect("non-empty corpus").clone();
-                self.mutator.mutate(&seed, &mut self.rng)
-            };
+            let program = self.next_program();
             self.execute_one(&program)?;
         }
         Ok(())
+    }
+
+    /// Chooses the next program to execute. Deterministic given the fuzzer
+    /// state: the deterministic-stage queue is drained first (AFL's
+    /// deterministic phase — bounded, systematically enumerating dictionary
+    /// bytes over the new seed's arguments), then generation vs. corpus
+    /// mutation is an RNG draw.
+    pub fn next_program(&mut self) -> ExecProgram {
+        if let Some(candidate) = self.det_pending.pop() {
+            candidate
+        } else if self.corpus.is_empty() || self.rng.gen_bool(0.2) {
+            self.mutator.generate(&mut self.rng)
+        } else {
+            let pick = self.rng.gen_usize();
+            // Infallible: this branch is only reached when `corpus.is_empty()`
+            // was false, and nothing in between mutates the corpus.
+            let seed = self.corpus.pick(pick).expect("non-empty corpus").clone();
+            self.mutator.mutate(&seed, &mut self.rng)
+        }
     }
 
     /// Expands the deterministic dictionary stage for a newly retained
@@ -236,7 +280,27 @@ impl<'s> Fuzzer<'s> {
         }
     }
 
-    fn execute_one(&mut self, program: &ExecProgram) -> Result<(), SessionError> {
+    /// Executes one program end to end: raw run, then commit. The plain
+    /// (unsupervised) iteration step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates session failures.
+    pub fn execute_one(&mut self, program: &ExecProgram) -> Result<(), SessionError> {
+        let outcome = self.run_raw(program)?;
+        self.commit(program, outcome)?;
+        Ok(())
+    }
+
+    /// Resets the session and runs `program` once, collecting coverage into
+    /// the per-run map, *without* committing anything to the corpus or the
+    /// findings. Supervisors use this to inspect the outcome (wedged? slow?)
+    /// before deciding whether to [`Fuzzer::commit`], retry, or quarantine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates session failures.
+    pub fn run_raw(&mut self, program: &ExecProgram) -> Result<ExecOutcome, SessionError> {
         self.coverage.reset();
         self.session.reset()?;
         let Fuzzer { session, coverage, .. } = self;
@@ -248,16 +312,88 @@ impl<'s> Fuzzer<'s> {
             }
         }
         self.execs += 1;
-        if self.corpus.add_if_novel(program, &self.coverage) && self.config.deterministic_stage {
+        Ok(outcome)
+    }
+
+    /// Commits a [`Fuzzer::run_raw`] outcome: corpus novelty gating,
+    /// deterministic-stage expansion, and crash triage with minimization.
+    /// Returns whether the program was retained and how many findings it
+    /// produced (so a supervisor can journal both).
+    ///
+    /// # Errors
+    ///
+    /// Propagates session failures from reproducer minimization.
+    pub fn commit(
+        &mut self,
+        program: &ExecProgram,
+        outcome: ExecOutcome,
+    ) -> Result<CommitSummary, SessionError> {
+        let retained = self.corpus.add_if_novel(program, &self.coverage);
+        if retained && self.config.deterministic_stage {
             self.expand_deterministic(program);
         }
+        let first_finding = self.findings.len();
         for report in outcome.reports {
             let minimized = self.minimize(program, &report)?;
             let bug_syscalls =
                 minimized.calls.iter().map(|c| c.nr).filter(|&nr| nr >= sys::BUG_BASE).collect();
             self.findings.push(Finding { report, program: minimized, bug_syscalls });
         }
-        Ok(())
+        Ok(CommitSummary { retained, new_findings: first_finding..self.findings.len() })
+    }
+
+    /// The session driving this fuzzer (supervisors need machine access for
+    /// hang classification and snapshot-restore recovery).
+    pub fn session_mut(&mut self) -> &mut Session {
+        self.session
+    }
+
+    /// Removes every copy of `program` from the corpus and the
+    /// deterministic-stage queue (input quarantine: the input repeatedly
+    /// wedged the guest, so it must never be scheduled or mutated again).
+    /// The coverage it contributed stays — the coverage was real.
+    pub fn quarantine(&mut self, program: &ExecProgram) {
+        self.corpus.retain(|entry| entry != program);
+        self.det_pending.retain(|entry| entry != program);
+    }
+
+    /// Exports the complete mutable fuzzer state for journaling. Together
+    /// with a deterministically rebuilt session, importing this state
+    /// resumes the campaign bit-identically.
+    pub fn export_state(&self) -> FuzzerState {
+        let mut det_seen: Vec<(u8, u32, u32)> =
+            self.det_seen.iter().map(|&(nr, idx, val)| (nr, idx as u32, val)).collect();
+        det_seen.sort_unstable();
+        FuzzerState {
+            rng_state: self.rng.state(),
+            execs: self.execs,
+            corpus_entries: self.corpus.entries().to_vec(),
+            global_map: self.corpus.global_map().to_vec(),
+            det_pending: self.det_pending.clone(),
+            det_seen,
+            findings: self.findings.clone(),
+            dedup_keys: self.session.runtime().dedup_keys(),
+        }
+    }
+
+    /// Restores state exported by [`Fuzzer::export_state`], including
+    /// re-seeding the session runtime's report deduplication.
+    ///
+    /// Silently ignores a wrong-sized coverage map (it only costs novelty
+    /// precision, never correctness).
+    pub fn import_state(&mut self, state: FuzzerState) {
+        self.rng = SplitMix64::seed_from_u64(state.rng_state);
+        self.execs = state.execs;
+        let mut global = Box::new([0u8; MAP_SIZE]);
+        if state.global_map.len() == MAP_SIZE {
+            global.copy_from_slice(&state.global_map);
+        }
+        self.corpus = Corpus::from_parts(state.corpus_entries, global);
+        self.det_pending = state.det_pending;
+        self.det_seen =
+            state.det_seen.into_iter().map(|(nr, idx, val)| (nr, idx as usize, val)).collect();
+        self.findings = state.findings;
+        self.session.runtime_mut().seed_dedup(state.dedup_keys);
     }
 
     /// Checks whether `candidate` still reproduces `report`'s bug class.

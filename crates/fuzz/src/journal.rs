@@ -1,0 +1,830 @@
+//! Append-only campaign journal with crash-tolerant replay.
+//!
+//! The supervisor writes every durable campaign event — corpus additions,
+//! findings, periodic full-state checkpoints — as length-framed records
+//! appended (and flushed) to a single file. A campaign killed at any
+//! instant leaves at worst one torn record at the tail; [`Journal::load`]
+//! tolerates that by returning everything up to the last intact frame plus
+//! a `truncated` flag. Resuming from the newest checkpoint then reproduces
+//! the uninterrupted campaign bit-identically, because the checkpoint
+//! carries the *complete* mutable fuzzer state ([`FuzzerState`]) and the
+//! supervisor's own bookkeeping ([`SupervisorState`]).
+//!
+//! Wire format: an 8-byte magic (`EMBSANJ1`), then records framed as
+//! `[tag: u8][len: u32 LE][payload: len bytes]`. Payload encodings are
+//! hand-rolled little-endian (no serialization dependency) and versioned
+//! by the magic.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use embsan_core::report::{BugClass, ChunkInfo, RaceOther, Report};
+use embsan_guestos::executor::ExecProgram;
+
+use crate::fuzzer::{Finding, FuzzerState, Strategy};
+
+/// Journal file magic; bump the trailing digit on format changes.
+pub const MAGIC: &[u8; 8] = b"EMBSANJ1";
+
+/// Journal failures.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Filesystem-level failure.
+    Io(std::io::Error),
+    /// Structurally invalid content that is not a torn tail (bad magic,
+    /// undecodable payload inside an intact frame).
+    Corrupt {
+        /// Byte offset of the offending record.
+        offset: u64,
+        /// What failed to decode.
+        message: String,
+    },
+    /// The journal has no checkpoint (or no start record) to resume from.
+    NotResumable(String),
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O: {e}"),
+            JournalError::Corrupt { offset, message } => {
+                write!(f, "journal corrupt at byte {offset}: {message}")
+            }
+            JournalError::NotResumable(msg) => write!(f, "journal not resumable: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> JournalError {
+        JournalError::Io(e)
+    }
+}
+
+/// The campaign identity and configuration, written once at the head so a
+/// bare journal path is enough to resume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StartInfo {
+    /// Firmware identity: a `FirmwareSpec` name for Table-3/4 campaigns, an
+    /// image path for CLI `embsan fuzz` runs.
+    pub firmware: String,
+    /// Fuzzing strategy.
+    pub strategy: Strategy,
+    /// RNG seed.
+    pub seed: u64,
+    /// Total campaign iterations.
+    pub iterations: u64,
+    /// Boot budget in instructions.
+    pub ready_budget: u64,
+    /// Per-program budget in instructions.
+    pub program_budget: u64,
+    /// Checkpoint cadence in iterations.
+    pub checkpoint_interval: u64,
+}
+
+/// Supervisor bookkeeping that must survive kill/resume (it shapes future
+/// scheduling decisions) plus its health telemetry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SupervisorState {
+    /// FNV-1a hashes of quarantined inputs, sorted.
+    pub quarantined: Vec<u64>,
+    /// Watchdog health counters.
+    pub health: SupervisorHealth,
+}
+
+/// Supervisor health counters (monotonic over the whole campaign,
+/// including across resumes).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SupervisorHealth {
+    /// Executions the watchdog classified as wedged (live-lock).
+    pub wedges: u64,
+    /// Wedges recovered by snapshot restore + retry.
+    pub recoveries: u64,
+    /// Inputs quarantined after exhausting wedge retries.
+    pub quarantined: u64,
+    /// Transient harness errors absorbed by bounded retry.
+    pub transient_retries: u64,
+    /// Hangs classified as WFI-idle (guest legitimately asleep).
+    pub wfi_hangs: u64,
+    /// Checkpoints written.
+    pub checkpoints: u64,
+}
+
+/// One full-state checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Iterations completed when the checkpoint was taken.
+    pub iteration: u64,
+    /// Complete fuzzer state.
+    pub fuzzer: FuzzerState,
+    /// Supervisor bookkeeping.
+    pub supervisor: SupervisorState,
+}
+
+/// One journal record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// Campaign identity; always the first record.
+    Start(StartInfo),
+    /// A program was retained in the corpus at `iteration`.
+    CorpusAdd {
+        /// Iteration that produced the program.
+        iteration: u64,
+        /// The retained program.
+        program: ExecProgram,
+    },
+    /// A triaged finding at `iteration`.
+    Finding {
+        /// Iteration that produced the finding.
+        iteration: u64,
+        /// The finding.
+        finding: Finding,
+    },
+    /// A full-state checkpoint.
+    Checkpoint(Checkpoint),
+    /// Clean campaign completion (absence ⇒ the campaign was killed).
+    End {
+        /// Total iterations completed.
+        iterations: u64,
+    },
+}
+
+const TAG_START: u8 = 1;
+const TAG_CORPUS: u8 = 2;
+const TAG_FINDING: u8 = 3;
+const TAG_CHECKPOINT: u8 = 4;
+const TAG_END: u8 = 5;
+
+// ---------------------------------------------------------------------------
+// Byte-level encoding helpers.
+
+#[derive(Default)]
+struct Enc(Vec<u8>);
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.0.extend_from_slice(v);
+    }
+    fn string(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+}
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+type DecResult<T> = Result<T, String>;
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> DecResult<&'a [u8]> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        let end = end.ok_or_else(|| format!("truncated payload at offset {}", self.pos))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+    fn u8(&mut self) -> DecResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+    // The `expect`s below are infallible: `take(n)` returns exactly `n`
+    // bytes or errors, so the slice-to-array conversions cannot fail.
+    fn u32(&mut self) -> DecResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+    fn u64(&mut self) -> DecResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+    fn bytes(&mut self) -> DecResult<&'a [u8]> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+    fn string(&mut self) -> DecResult<String> {
+        let bytes = self.bytes()?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| "invalid UTF-8 string".to_string())
+    }
+    fn done(&self) -> DecResult<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(format!("{} trailing payload bytes", self.buf.len() - self.pos))
+        }
+    }
+}
+
+fn strategy_code(strategy: Strategy) -> u8 {
+    match strategy {
+        Strategy::Syz => 0,
+        Strategy::Tardis => 1,
+    }
+}
+
+fn strategy_from_code(code: u8) -> DecResult<Strategy> {
+    match code {
+        0 => Ok(Strategy::Syz),
+        1 => Ok(Strategy::Tardis),
+        other => Err(format!("unknown strategy code {other}")),
+    }
+}
+
+fn enc_program(enc: &mut Enc, program: &ExecProgram) {
+    enc.bytes(&program.encode());
+}
+
+fn dec_program(dec: &mut Dec<'_>) -> DecResult<ExecProgram> {
+    let bytes = dec.bytes()?;
+    ExecProgram::decode(bytes).ok_or_else(|| "undecodable program".to_string())
+}
+
+fn enc_report(enc: &mut Enc, report: &Report) {
+    enc.u8(report.class.code());
+    enc.u32(report.addr);
+    enc.u8(report.size);
+    enc.u8(u8::from(report.is_write));
+    enc.u32(report.pc);
+    enc.u32(report.cpu as u32);
+    match &report.chunk {
+        None => enc.u8(0),
+        Some(chunk) => {
+            enc.u8(1);
+            enc.u32(chunk.addr);
+            enc.u32(chunk.size);
+            enc.u32(chunk.alloc_pc);
+            match chunk.free_pc {
+                None => enc.u8(0),
+                Some(pc) => {
+                    enc.u8(1);
+                    enc.u32(pc);
+                }
+            }
+        }
+    }
+    match &report.other {
+        None => enc.u8(0),
+        Some(other) => {
+            enc.u8(1);
+            enc.u32(other.pc);
+            enc.u32(other.cpu as u32);
+            enc.u8(u8::from(other.is_write));
+        }
+    }
+}
+
+fn dec_report(dec: &mut Dec<'_>) -> DecResult<Report> {
+    let class = BugClass::from_code(dec.u8()?)
+        .ok_or_else(|| "unknown bug-class code (journal from a newer build?)".to_string())?;
+    let addr = dec.u32()?;
+    let size = dec.u8()?;
+    let is_write = dec.u8()? != 0;
+    let pc = dec.u32()?;
+    let cpu = dec.u32()? as usize;
+    let chunk = if dec.u8()? != 0 {
+        let (addr, size, alloc_pc) = (dec.u32()?, dec.u32()?, dec.u32()?);
+        let free_pc = if dec.u8()? != 0 { Some(dec.u32()?) } else { None };
+        Some(ChunkInfo { addr, size, alloc_pc, free_pc })
+    } else {
+        None
+    };
+    let other = if dec.u8()? != 0 {
+        let (pc, cpu) = (dec.u32()?, dec.u32()? as usize);
+        Some(RaceOther { pc, cpu, is_write: dec.u8()? != 0 })
+    } else {
+        None
+    };
+    Ok(Report { class, addr, size, is_write, pc, cpu, chunk, other })
+}
+
+fn enc_finding(enc: &mut Enc, finding: &Finding) {
+    enc_report(enc, &finding.report);
+    enc_program(enc, &finding.program);
+    enc.bytes(&finding.bug_syscalls);
+}
+
+fn dec_finding(dec: &mut Dec<'_>) -> DecResult<Finding> {
+    let report = dec_report(dec)?;
+    let program = dec_program(dec)?;
+    let bug_syscalls = dec.bytes()?.to_vec();
+    Ok(Finding { report, program, bug_syscalls })
+}
+
+/// Run-length encodes the (mostly zero) global coverage map.
+fn enc_rle(enc: &mut Enc, data: &[u8]) {
+    enc.u32(data.len() as u32);
+    let mut i = 0;
+    while i < data.len() {
+        let value = data[i];
+        let mut run = 1u32;
+        while i + (run as usize) < data.len() && data[i + run as usize] == value && run < u32::MAX {
+            run += 1;
+        }
+        enc.u8(value);
+        enc.u32(run);
+        i += run as usize;
+    }
+}
+
+fn dec_rle(dec: &mut Dec<'_>) -> DecResult<Vec<u8>> {
+    let total = dec.u32()? as usize;
+    if total > 1 << 24 {
+        return Err(format!("implausible RLE length {total}"));
+    }
+    let mut out = Vec::with_capacity(total);
+    while out.len() < total {
+        let value = dec.u8()?;
+        let run = dec.u32()? as usize;
+        if run == 0 || out.len() + run > total {
+            return Err("invalid RLE run".to_string());
+        }
+        out.extend(std::iter::repeat_n(value, run));
+    }
+    Ok(out)
+}
+
+fn enc_fuzzer_state(enc: &mut Enc, state: &FuzzerState) {
+    enc.u64(state.rng_state);
+    enc.u64(state.execs);
+    enc.u32(state.corpus_entries.len() as u32);
+    for program in &state.corpus_entries {
+        enc_program(enc, program);
+    }
+    enc_rle(enc, &state.global_map);
+    enc.u32(state.det_pending.len() as u32);
+    for program in &state.det_pending {
+        enc_program(enc, program);
+    }
+    enc.u32(state.det_seen.len() as u32);
+    for &(nr, idx, val) in &state.det_seen {
+        enc.u8(nr);
+        enc.u32(idx);
+        enc.u32(val);
+    }
+    enc.u32(state.findings.len() as u32);
+    for finding in &state.findings {
+        enc_finding(enc, finding);
+    }
+    enc.u32(state.dedup_keys.len() as u32);
+    for &(class, pc, sig) in &state.dedup_keys {
+        enc.u8(class.code());
+        enc.u32(pc);
+        enc.u64(sig);
+    }
+}
+
+fn dec_fuzzer_state(dec: &mut Dec<'_>) -> DecResult<FuzzerState> {
+    let rng_state = dec.u64()?;
+    let execs = dec.u64()?;
+    let mut corpus_entries = Vec::new();
+    for _ in 0..dec.u32()? {
+        corpus_entries.push(dec_program(dec)?);
+    }
+    let global_map = dec_rle(dec)?;
+    let mut det_pending = Vec::new();
+    for _ in 0..dec.u32()? {
+        det_pending.push(dec_program(dec)?);
+    }
+    let mut det_seen = Vec::new();
+    for _ in 0..dec.u32()? {
+        det_seen.push((dec.u8()?, dec.u32()?, dec.u32()?));
+    }
+    let mut findings = Vec::new();
+    for _ in 0..dec.u32()? {
+        findings.push(dec_finding(dec)?);
+    }
+    let mut dedup_keys = Vec::new();
+    for _ in 0..dec.u32()? {
+        let class = BugClass::from_code(dec.u8()?)
+            .ok_or_else(|| "unknown bug-class code in dedup key".to_string())?;
+        dedup_keys.push((class, dec.u32()?, dec.u64()?));
+    }
+    Ok(FuzzerState {
+        rng_state,
+        execs,
+        corpus_entries,
+        global_map,
+        det_pending,
+        det_seen,
+        findings,
+        dedup_keys,
+    })
+}
+
+fn enc_supervisor_state(enc: &mut Enc, state: &SupervisorState) {
+    enc.u32(state.quarantined.len() as u32);
+    for &hash in &state.quarantined {
+        enc.u64(hash);
+    }
+    let h = &state.health;
+    for v in
+        [h.wedges, h.recoveries, h.quarantined, h.transient_retries, h.wfi_hangs, h.checkpoints]
+    {
+        enc.u64(v);
+    }
+}
+
+fn dec_supervisor_state(dec: &mut Dec<'_>) -> DecResult<SupervisorState> {
+    let mut quarantined = Vec::new();
+    for _ in 0..dec.u32()? {
+        quarantined.push(dec.u64()?);
+    }
+    let health = SupervisorHealth {
+        wedges: dec.u64()?,
+        recoveries: dec.u64()?,
+        quarantined: dec.u64()?,
+        transient_retries: dec.u64()?,
+        wfi_hangs: dec.u64()?,
+        checkpoints: dec.u64()?,
+    };
+    Ok(SupervisorState { quarantined, health })
+}
+
+impl Record {
+    fn tag(&self) -> u8 {
+        match self {
+            Record::Start(_) => TAG_START,
+            Record::CorpusAdd { .. } => TAG_CORPUS,
+            Record::Finding { .. } => TAG_FINDING,
+            Record::Checkpoint(_) => TAG_CHECKPOINT,
+            Record::End { .. } => TAG_END,
+        }
+    }
+
+    fn encode_payload(&self) -> Vec<u8> {
+        let mut enc = Enc::default();
+        match self {
+            Record::Start(start) => {
+                enc.string(&start.firmware);
+                enc.u8(strategy_code(start.strategy));
+                enc.u64(start.seed);
+                enc.u64(start.iterations);
+                enc.u64(start.ready_budget);
+                enc.u64(start.program_budget);
+                enc.u64(start.checkpoint_interval);
+            }
+            Record::CorpusAdd { iteration, program } => {
+                enc.u64(*iteration);
+                enc_program(&mut enc, program);
+            }
+            Record::Finding { iteration, finding } => {
+                enc.u64(*iteration);
+                enc_finding(&mut enc, finding);
+            }
+            Record::Checkpoint(cp) => {
+                enc.u64(cp.iteration);
+                enc_fuzzer_state(&mut enc, &cp.fuzzer);
+                enc_supervisor_state(&mut enc, &cp.supervisor);
+            }
+            Record::End { iterations } => enc.u64(*iterations),
+        }
+        enc.0
+    }
+
+    fn decode(tag: u8, payload: &[u8]) -> DecResult<Record> {
+        let mut dec = Dec::new(payload);
+        let record = match tag {
+            TAG_START => Record::Start(StartInfo {
+                firmware: dec.string()?,
+                strategy: strategy_from_code(dec.u8()?)?,
+                seed: dec.u64()?,
+                iterations: dec.u64()?,
+                ready_budget: dec.u64()?,
+                program_budget: dec.u64()?,
+                checkpoint_interval: dec.u64()?,
+            }),
+            TAG_CORPUS => {
+                Record::CorpusAdd { iteration: dec.u64()?, program: dec_program(&mut dec)? }
+            }
+            TAG_FINDING => {
+                Record::Finding { iteration: dec.u64()?, finding: dec_finding(&mut dec)? }
+            }
+            TAG_CHECKPOINT => Record::Checkpoint(Checkpoint {
+                iteration: dec.u64()?,
+                fuzzer: dec_fuzzer_state(&mut dec)?,
+                supervisor: dec_supervisor_state(&mut dec)?,
+            }),
+            TAG_END => Record::End { iterations: dec.u64()? },
+            other => return Err(format!("unknown record tag {other}")),
+        };
+        dec.done()?;
+        Ok(record)
+    }
+}
+
+/// A journal loaded from disk.
+#[derive(Debug)]
+pub struct LoadedJournal {
+    /// All intact records, in file order.
+    pub records: Vec<Record>,
+    /// Whether a torn record was dropped from the tail (the campaign was
+    /// killed mid-write).
+    pub truncated: bool,
+    /// Byte length of the intact prefix (resume re-opens the file truncated
+    /// to this before appending).
+    pub valid_len: u64,
+}
+
+impl LoadedJournal {
+    /// The start record.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::NotResumable`] when the journal has none.
+    pub fn start(&self) -> Result<&StartInfo, JournalError> {
+        match self.records.first() {
+            Some(Record::Start(start)) => Ok(start),
+            _ => Err(JournalError::NotResumable("no start record".to_string())),
+        }
+    }
+
+    /// The newest intact checkpoint, if any.
+    pub fn last_checkpoint(&self) -> Option<&Checkpoint> {
+        self.records.iter().rev().find_map(|r| match r {
+            Record::Checkpoint(cp) => Some(cp),
+            _ => None,
+        })
+    }
+
+    /// Whether the campaign completed cleanly (an `End` record exists).
+    pub fn ended(&self) -> bool {
+        self.records.iter().any(|r| matches!(r, Record::End { .. }))
+    }
+}
+
+/// An open, append-mode campaign journal.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Creates (truncating) a journal at `path` and writes the magic.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn create(path: &Path) -> Result<Journal, JournalError> {
+        let mut file = File::create(path)?;
+        file.write_all(MAGIC)?;
+        file.flush()?;
+        Ok(Journal { file, path: path.to_path_buf() })
+    }
+
+    /// Re-opens an existing journal for appending, discarding any torn tail
+    /// record first (so subsequent frames are parseable).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; [`JournalError::Corrupt`] on bad magic.
+    pub fn reopen(path: &Path, valid_len: u64) -> Result<Journal, JournalError> {
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(valid_len)?;
+        let mut file = OpenOptions::new().append(true).open(path)?;
+        file.flush()?;
+        Ok(Journal { file, path: path.to_path_buf() })
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record and flushes it to disk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn append(&mut self, record: &Record) -> Result<(), JournalError> {
+        let payload = record.encode_payload();
+        let mut frame = Vec::with_capacity(5 + payload.len());
+        frame.push(record.tag());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.file.write_all(&frame)?;
+        self.file.flush()?;
+        Ok(())
+    }
+
+    /// Loads a journal, tolerating a torn tail record.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Corrupt`] for bad magic or an undecodable payload
+    /// inside an *intact* frame (torn tails are not errors).
+    pub fn load(path: &Path) -> Result<LoadedJournal, JournalError> {
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+            return Err(JournalError::Corrupt {
+                offset: 0,
+                message: "bad journal magic".to_string(),
+            });
+        }
+        let mut records = Vec::new();
+        let mut pos = MAGIC.len();
+        let mut truncated = false;
+        while pos < bytes.len() {
+            // A frame header or body extending past EOF is a torn tail.
+            if pos + 5 > bytes.len() {
+                truncated = true;
+                break;
+            }
+            let tag = bytes[pos];
+            let len =
+                u32::from_le_bytes(bytes[pos + 1..pos + 5].try_into().expect("4 bytes")) as usize;
+            let Some(end) = (pos + 5).checked_add(len).filter(|&e| e <= bytes.len()) else {
+                truncated = true;
+                break;
+            };
+            let payload = &bytes[pos + 5..end];
+            let record = Record::decode(tag, payload)
+                .map_err(|message| JournalError::Corrupt { offset: pos as u64, message })?;
+            records.push(record);
+            pos = end;
+        }
+        Ok(LoadedJournal { records, truncated, valid_len: pos as u64 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_program() -> ExecProgram {
+        let mut program = ExecProgram::new();
+        program.push(2, &[64, 0]).push(16, &[0xDEAD_BEEF]);
+        program
+    }
+
+    fn sample_finding() -> Finding {
+        Finding {
+            report: Report {
+                class: BugClass::Uaf,
+                addr: 0x20_0040,
+                size: 4,
+                is_write: true,
+                pc: 0x1_0100,
+                cpu: 1,
+                chunk: Some(ChunkInfo {
+                    addr: 0x20_0040,
+                    size: 24,
+                    alloc_pc: 0x1_0050,
+                    free_pc: Some(0x1_0060),
+                }),
+                other: Some(RaceOther { pc: 0x1_0200, cpu: 0, is_write: false }),
+            },
+            program: sample_program(),
+            bug_syscalls: vec![16],
+        }
+    }
+
+    fn sample_state() -> FuzzerState {
+        let mut global_map = vec![0u8; crate::cover::MAP_SIZE];
+        global_map[7] = 3;
+        global_map[4096] = 129;
+        FuzzerState {
+            rng_state: 0xDEAD_BEEF_CAFE_F00D,
+            execs: 1234,
+            corpus_entries: vec![sample_program()],
+            global_map,
+            det_pending: vec![sample_program(), ExecProgram::new()],
+            det_seen: vec![(2, 0, 64), (16, 0, 0xDEAD_BEEF)],
+            findings: vec![sample_finding()],
+            dedup_keys: vec![(BugClass::HeapOob, 0x1_0000, 0), (BugClass::Uaf, 0x1_0100, 99)],
+        }
+    }
+
+    fn roundtrip(record: &Record) -> Record {
+        let payload = record.encode_payload();
+        Record::decode(record.tag(), &payload).unwrap()
+    }
+
+    #[test]
+    fn records_roundtrip() {
+        let start = Record::Start(StartInfo {
+            firmware: "OpenWRT-armvirt".to_string(),
+            strategy: Strategy::Syz,
+            seed: 42,
+            iterations: 10_000,
+            ready_budget: 200_000_000,
+            program_budget: 3_000_000,
+            checkpoint_interval: 500,
+        });
+        assert_eq!(roundtrip(&start), start);
+        let add = Record::CorpusAdd { iteration: 7, program: sample_program() };
+        assert_eq!(roundtrip(&add), add);
+        let finding = Record::Finding { iteration: 9, finding: sample_finding() };
+        assert_eq!(roundtrip(&finding), finding);
+        let checkpoint = Record::Checkpoint(Checkpoint {
+            iteration: 500,
+            fuzzer: sample_state(),
+            supervisor: SupervisorState {
+                quarantined: vec![3, 9],
+                health: SupervisorHealth { wedges: 2, recoveries: 1, ..Default::default() },
+            },
+        });
+        assert_eq!(roundtrip(&checkpoint), checkpoint);
+        let end = Record::End { iterations: 10_000 };
+        assert_eq!(roundtrip(&end), end);
+    }
+
+    #[test]
+    fn file_roundtrip_and_torn_tail_tolerance() {
+        let dir = std::env::temp_dir().join(format!("embsan-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("campaign.journal");
+        let start = Record::Start(StartInfo {
+            firmware: "fw".to_string(),
+            strategy: Strategy::Tardis,
+            seed: 1,
+            iterations: 100,
+            ready_budget: 1,
+            program_budget: 1,
+            checkpoint_interval: 10,
+        });
+        let add = Record::CorpusAdd { iteration: 3, program: sample_program() };
+        {
+            let mut journal = Journal::create(&path).unwrap();
+            journal.append(&start).unwrap();
+            journal.append(&add).unwrap();
+        }
+        let loaded = Journal::load(&path).unwrap();
+        assert_eq!(loaded.records, vec![start.clone(), add.clone()]);
+        assert!(!loaded.truncated);
+        assert!(!loaded.ended());
+
+        // Simulate a kill mid-write: append a torn frame.
+        let intact_len = loaded.valid_len;
+        {
+            use std::io::Write;
+            let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+            file.write_all(&[TAG_FINDING, 0xFF, 0x00, 0x00, 0x00, 1, 2, 3]).unwrap();
+        }
+        let loaded = Journal::load(&path).unwrap();
+        assert_eq!(loaded.records.len(), 2, "torn tail dropped, intact prefix kept");
+        assert!(loaded.truncated);
+        assert_eq!(loaded.valid_len, intact_len);
+
+        // Reopen for resume: the torn tail is discarded, appends parse.
+        let end = Record::End { iterations: 100 };
+        {
+            let mut journal = Journal::reopen(&path, loaded.valid_len).unwrap();
+            journal.append(&end).unwrap();
+        }
+        let loaded = Journal::load(&path).unwrap();
+        assert_eq!(loaded.records, vec![start, add, end]);
+        assert!(!loaded.truncated);
+        assert!(loaded.ended());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_magic_and_bad_payloads_are_typed_errors() {
+        let dir = std::env::temp_dir().join(format!("embsan-journal-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.journal");
+        std::fs::write(&path, b"NOTAMAGI").unwrap();
+        assert!(matches!(Journal::load(&path), Err(JournalError::Corrupt { offset: 0, .. })));
+        // Intact frame with an undecodable payload: Corrupt, not a panic.
+        let mut bytes = MAGIC.to_vec();
+        bytes.push(TAG_START);
+        bytes.extend_from_slice(&3u32.to_le_bytes());
+        bytes.extend_from_slice(&[0xFF, 0xFF, 0xFF]);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(Journal::load(&path), Err(JournalError::Corrupt { .. })));
+        // Unknown tag inside an intact frame is also Corrupt.
+        let mut bytes = MAGIC.to_vec();
+        bytes.push(99);
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(Journal::load(&path), Err(JournalError::Corrupt { .. })));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rle_handles_degenerate_shapes() {
+        for data in [vec![], vec![0u8; 10], vec![1, 2, 3], vec![5; 100_000]] {
+            let mut enc = Enc::default();
+            enc_rle(&mut enc, &data);
+            let mut dec = Dec::new(&enc.0);
+            assert_eq!(dec_rle(&mut dec).unwrap(), data);
+            assert!(dec.done().is_ok());
+        }
+    }
+}

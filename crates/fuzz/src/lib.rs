@@ -23,13 +23,25 @@ pub mod cover;
 pub mod descs;
 pub mod dictionary;
 pub mod fuzzer;
+pub mod journal;
 pub mod mutate;
 pub mod rng;
+pub mod supervisor;
 
-pub use campaign::{run_campaign, CampaignConfig, CampaignError, CampaignResult, FoundBug};
+pub use campaign::{
+    run_campaign, CampaignConfig, CampaignError, CampaignErrorKind, CampaignResult, FoundBug,
+};
 pub use corpus::Corpus;
 pub use cover::CoverageMap;
 pub use descs::{descriptions_for, ArgKind, SyscallDesc};
 pub use dictionary::Dictionary;
-pub use fuzzer::{CoverageSource, Finding, Fuzzer, FuzzerConfig, FuzzerStats, Strategy};
+pub use fuzzer::{
+    CommitSummary, CoverageSource, Finding, Fuzzer, FuzzerConfig, FuzzerState, FuzzerStats,
+    Strategy,
+};
+pub use journal::{Journal, JournalError, Record, StartInfo, SupervisorHealth};
 pub use rng::SplitMix64;
+pub use supervisor::{
+    resume_supervised, run_supervised, run_supervised_session, SupervisedOutcome, SupervisedResult,
+    SupervisorConfig,
+};

@@ -22,6 +22,12 @@ impl SplitMix64 {
         SplitMix64 { state: seed }
     }
 
+    /// Raw generator state, for checkpointing:
+    /// `seed_from_u64(rng.state())` recreates the generator exactly.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
     /// Next raw 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);

@@ -1,0 +1,431 @@
+//! Resilient campaign supervision: watchdogs, recovery, quarantine, resume.
+//!
+//! Long campaigns die in ways that are not the target's fault: a fault-plan
+//! (or a real bug) live-locks the guest, a transient harness error aborts an
+//! iteration, the host kills the process. The supervisor wraps the fuzzing
+//! loop so none of these ends the campaign:
+//!
+//! - **watchdog** — a program that exhausts its instruction budget is
+//!   classified via retired-instruction slicing
+//!   ([`Machine::classify_hang`]): WFI-idle guests are merely asleep,
+//!   live-locked guests are wedged;
+//! - **snapshot-restore recovery** — a wedged guest is recovered by the
+//!   session's post-ready snapshot restore and the input retried a bounded
+//!   number of times;
+//! - **quarantine** — inputs that wedge on every retry are removed from the
+//!   corpus and mutation queue and never scheduled again;
+//! - **bounded retry** — transient harness errors are retried a bounded
+//!   number of times before failing the campaign with full context
+//!   (deterministic emulation has no time-based backoff to wait out, so the
+//!   bound *is* the backoff);
+//! - **journal + resume** — durable events stream to an append-only
+//!   [`Journal`]; a killed campaign resumed from its newest checkpoint
+//!   produces bit-identical results to one that was never killed, because
+//!   checkpoints carry the complete mutable state ([`FuzzerState`]) and the
+//!   per-program session reset makes iteration replay exact.
+//!
+//! [`Machine::classify_hang`]: embsan_emu::machine::Machine::classify_hang
+
+use std::path::Path;
+
+use embsan_emu::fault::{FaultPlan, HangClass, InjectionStats};
+use embsan_emu::machine::RunExit;
+use embsan_guestos::executor::ExecProgram;
+use embsan_guestos::{firmware_by_name, FirmwareSpec};
+
+use crate::campaign::{
+    attribute_findings, prepare_session, CampaignConfig, CampaignError, CampaignResult,
+};
+use crate::descs::{descriptions_for, SyscallDesc};
+use crate::dictionary::Dictionary;
+use crate::fuzzer::{Finding, Fuzzer, FuzzerConfig, FuzzerState, FuzzerStats, Strategy};
+use crate::journal::{
+    Checkpoint, Journal, JournalError, Record, StartInfo, SupervisorHealth, SupervisorState,
+};
+use embsan_core::session::Session;
+use embsan_guestos::firmware::Fuzzer as PaperFuzzer;
+
+/// Supervisor policy knobs.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// The underlying campaign configuration (iterations, seed, budgets).
+    pub campaign: CampaignConfig,
+    /// Checkpoint cadence in iterations.
+    pub checkpoint_interval: u64,
+    /// Retries (after snapshot-restore recovery) before a wedging input is
+    /// quarantined.
+    pub max_wedge_retries: u32,
+    /// Bounded retries for transient harness errors before the campaign
+    /// fails with context.
+    pub max_transient_retries: u32,
+    /// Resilience drill: stop (as if killed) after this many iterations.
+    /// The journal then resumes the campaign. `None` runs to completion.
+    pub kill_after: Option<u64>,
+    /// Deterministic fault plan armed on the machine before fuzzing
+    /// (fault-injection campaigns).
+    pub fault_plan: Option<FaultPlan>,
+    /// Retirement slices used by hang classification.
+    pub hang_slices: u32,
+    /// Instruction budget per classification slice.
+    pub hang_slice_budget: u64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> SupervisorConfig {
+        SupervisorConfig {
+            campaign: CampaignConfig::default(),
+            checkpoint_interval: 500,
+            max_wedge_retries: 2,
+            max_transient_retries: 3,
+            kill_after: None,
+            fault_plan: None,
+            hang_slices: 3,
+            hang_slice_budget: 10_000,
+        }
+    }
+}
+
+/// The raw supervised outcome (strategy-agnostic; campaign wrappers
+/// attribute findings to Table-4 rows on top).
+#[derive(Debug)]
+pub struct SupervisedOutcome {
+    /// Triaged findings, in discovery order.
+    pub findings: Vec<Finding>,
+    /// Fuzzer statistics.
+    pub stats: FuzzerStats,
+    /// Supervisor health counters.
+    pub health: SupervisorHealth,
+    /// FNV-1a hashes of quarantined inputs, sorted.
+    pub quarantined: Vec<u64>,
+    /// Iterations actually completed.
+    pub iterations_done: u64,
+    /// `false` when `kill_after` stopped the run early (resume from the
+    /// journal to continue).
+    pub completed: bool,
+    /// Fault-injection statistics from the machine (all zero when no fault
+    /// plan was armed).
+    pub injection: InjectionStats,
+}
+
+/// A supervised Table-3/4 campaign result.
+#[derive(Debug)]
+pub struct SupervisedResult {
+    /// The attributed campaign result (identical in shape to
+    /// [`crate::campaign::run_campaign`]'s).
+    pub result: CampaignResult,
+    /// Supervisor health counters.
+    pub health: SupervisorHealth,
+    /// Fault-injection statistics.
+    pub injection: InjectionStats,
+    /// Whether the campaign ran to completion (vs. a `kill_after` drill).
+    pub completed: bool,
+}
+
+/// FNV-1a hash of a program's wire encoding (quarantine identity).
+pub fn program_hash(program: &ExecProgram) -> u64 {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for byte in program.encode() {
+        hash = (hash ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+fn strategy_for(spec: &FirmwareSpec) -> Strategy {
+    match spec.fuzzer {
+        PaperFuzzer::Syzkaller => Strategy::Syz,
+        PaperFuzzer::Tardis => Strategy::Tardis,
+    }
+}
+
+fn start_info(spec: &FirmwareSpec, config: &SupervisorConfig) -> StartInfo {
+    StartInfo {
+        firmware: spec.name.to_string(),
+        strategy: strategy_for(spec),
+        seed: config.campaign.seed,
+        iterations: config.campaign.iterations,
+        ready_budget: config.campaign.ready_budget,
+        program_budget: config.campaign.program_budget,
+        checkpoint_interval: config.checkpoint_interval,
+    }
+}
+
+/// Runs a supervised campaign for one firmware, optionally journaled.
+///
+/// # Errors
+///
+/// See [`CampaignError`]; supervised errors carry firmware, iteration and
+/// program context.
+pub fn run_supervised(
+    spec: &FirmwareSpec,
+    config: &SupervisorConfig,
+    journal_path: Option<&Path>,
+) -> Result<SupervisedResult, CampaignError> {
+    let start = start_info(spec, config);
+    let (mut session, dict) =
+        prepare_session(spec, &config.campaign).map_err(|e| e.with_firmware(spec.name))?;
+    let mut journal = match journal_path {
+        Some(path) => {
+            Some(Journal::create(path).map_err(|e| campaign_journal_error(e, spec.name))?)
+        }
+        None => None,
+    };
+    let outcome = run_supervised_session(
+        &mut session,
+        descriptions_for(spec),
+        dict,
+        config,
+        start,
+        None,
+        journal.as_mut(),
+    )
+    .map_err(|e| e.with_firmware(spec.name))?;
+    Ok(finish(spec, outcome))
+}
+
+/// Resumes a supervised campaign from its journal. The journal alone
+/// identifies the firmware, configuration and newest checkpoint; the
+/// supervisor re-prepares the session deterministically, imports the
+/// checkpointed state, and continues — appending to the same journal.
+///
+/// # Errors
+///
+/// [`CampaignError`] with a [`JournalError`] kind when the journal is
+/// unreadable, corrupt, already ended, or names an unknown firmware.
+pub fn resume_supervised(
+    journal_path: &Path,
+    overrides: &SupervisorConfig,
+) -> Result<SupervisedResult, CampaignError> {
+    let loaded = Journal::load(journal_path).map_err(CampaignError::from)?;
+    let start = loaded.start()?.clone();
+    if loaded.ended() {
+        return Err(CampaignError::from(JournalError::NotResumable(
+            "campaign already completed".to_string(),
+        )));
+    }
+    let spec = firmware_by_name(&start.firmware).ok_or_else(|| {
+        CampaignError::from(JournalError::NotResumable(format!(
+            "unknown firmware `{}`",
+            start.firmware
+        )))
+        .with_firmware_string(start.firmware.clone())
+    })?;
+    let config = SupervisorConfig {
+        campaign: CampaignConfig {
+            iterations: start.iterations,
+            seed: start.seed,
+            ready_budget: start.ready_budget,
+            program_budget: start.program_budget,
+        },
+        checkpoint_interval: start.checkpoint_interval,
+        kill_after: overrides.kill_after,
+        fault_plan: overrides.fault_plan.clone(),
+        ..overrides.clone()
+    };
+    let resume =
+        loaded.last_checkpoint().map(|cp| (cp.iteration, cp.fuzzer.clone(), cp.supervisor.clone()));
+    let (mut session, dict) =
+        prepare_session(spec, &config.campaign).map_err(|e| e.with_firmware(spec.name))?;
+    let mut journal = Journal::reopen(journal_path, loaded.valid_len)
+        .map_err(|e| campaign_journal_error(e, spec.name))?;
+    let outcome = run_supervised_session(
+        &mut session,
+        descriptions_for(spec),
+        dict,
+        &config,
+        start,
+        resume,
+        Some(&mut journal),
+    )
+    .map_err(|e| e.with_firmware(spec.name))?;
+    Ok(finish(spec, outcome))
+}
+
+fn finish(spec: &FirmwareSpec, outcome: SupervisedOutcome) -> SupervisedResult {
+    let found = attribute_findings(spec, &outcome.findings);
+    SupervisedResult {
+        result: CampaignResult { firmware: spec.name, found, stats: outcome.stats },
+        health: outcome.health,
+        injection: outcome.injection,
+        completed: outcome.completed,
+    }
+}
+
+fn campaign_journal_error(e: JournalError, firmware: &str) -> CampaignError {
+    CampaignError::from(e).with_firmware(firmware)
+}
+
+/// The session-generic supervised loop: works for both `FirmwareSpec`
+/// campaigns and CLI image-based fuzzing (the caller prepares the session
+/// and, on resume, supplies the loaded checkpoint).
+///
+/// # Errors
+///
+/// [`CampaignError`] carrying iteration and program context.
+#[allow(clippy::too_many_arguments)]
+pub fn run_supervised_session(
+    session: &mut Session,
+    descs: Vec<SyscallDesc>,
+    dict: Dictionary,
+    config: &SupervisorConfig,
+    start: StartInfo,
+    resume: Option<(u64, FuzzerState, SupervisorState)>,
+    mut journal: Option<&mut Journal>,
+) -> Result<SupervisedOutcome, CampaignError> {
+    if let Some(plan) = &config.fault_plan {
+        session.machine_mut().set_fault_plan(plan);
+    }
+    let mut fuzzer_config = FuzzerConfig::new(start.strategy, start.seed);
+    fuzzer_config.program_budget = start.program_budget;
+    let mut fuzzer = Fuzzer::new(session, descs, dict, fuzzer_config);
+    let (mut iteration, mut sup) = match resume {
+        Some((iteration, state, sup)) => {
+            fuzzer.import_state(state);
+            (iteration, sup)
+        }
+        None => {
+            if let Some(journal) = journal.as_deref_mut() {
+                journal.append(&Record::Start(start.clone()))?;
+            }
+            (0, SupervisorState::default())
+        }
+    };
+
+    let total = start.iterations;
+    let mut completed = true;
+    while iteration < total {
+        if config.kill_after.is_some_and(|k| iteration >= k) {
+            completed = false;
+            break;
+        }
+        let program = fuzzer.next_program();
+        let outcome = execute_with_watchdog(&mut fuzzer, config, &program, &mut sup, iteration)?;
+        if let Some(outcome) = outcome {
+            let summary = fuzzer
+                .commit(&program, outcome)
+                .map_err(|e| CampaignError::from(e).context(iteration, &program))?;
+            if let Some(journal) = journal.as_deref_mut() {
+                if summary.retained {
+                    journal.append(&Record::CorpusAdd { iteration, program: program.clone() })?;
+                }
+                for finding in &fuzzer.findings()[summary.new_findings] {
+                    journal.append(&Record::Finding { iteration, finding: finding.clone() })?;
+                }
+            }
+        }
+        iteration += 1;
+        if config.checkpoint_interval > 0
+            && iteration % config.checkpoint_interval == 0
+            && iteration < total
+        {
+            if let Some(journal) = journal.as_deref_mut() {
+                sup.health.checkpoints += 1;
+                journal.append(&Record::Checkpoint(Checkpoint {
+                    iteration,
+                    fuzzer: fuzzer.export_state(),
+                    supervisor: sup.clone(),
+                }))?;
+            }
+        }
+    }
+    if completed {
+        if let Some(journal) = journal {
+            journal.append(&Record::End { iterations: iteration })?;
+        }
+    }
+    let stats = fuzzer.stats();
+    let injection = fuzzer.session_mut().machine_mut().injection_stats();
+    Ok(SupervisedOutcome {
+        findings: fuzzer.into_findings(),
+        stats,
+        health: sup.health,
+        quarantined: sup.quarantined,
+        iterations_done: iteration,
+        completed,
+        injection,
+    })
+}
+
+/// Executes one program under the watchdog. Returns `Ok(None)` when the
+/// input wedged through all retries and was quarantined.
+fn execute_with_watchdog(
+    fuzzer: &mut Fuzzer<'_>,
+    config: &SupervisorConfig,
+    program: &ExecProgram,
+    sup: &mut SupervisorState,
+    iteration: u64,
+) -> Result<Option<embsan_core::session::ExecOutcome>, CampaignError> {
+    let mut transient: u32 = 0;
+    let mut wedges: u32 = 0;
+    loop {
+        let outcome = match fuzzer.run_raw(program) {
+            Ok(outcome) => outcome,
+            Err(err) => {
+                // Transient harness error: bounded retry. The next run_raw
+                // starts from a snapshot restore, which is the recovery.
+                transient += 1;
+                sup.health.transient_retries += 1;
+                if transient > config.max_transient_retries {
+                    return Err(CampaignError::from(err).context(iteration, program));
+                }
+                continue;
+            }
+        };
+        if outcome.exit != RunExit::BudgetExhausted {
+            if outcome.exit == RunExit::AllIdle && outcome.results.len() < program.calls.len() {
+                // Guest parked mid-program: asleep, not spinning. Nothing to
+                // recover — the next reset unsticks it.
+                sup.health.wfi_hangs += 1;
+            }
+            return Ok(Some(outcome));
+        }
+        // Budget exhausted: ask the hang classifier whether the guest is
+        // idle, responsive-but-slow, or live-locked.
+        let class = fuzzer
+            .session_mut()
+            .machine_mut()
+            .classify_hang(&mut embsan_emu::NullHook, config.hang_slices, config.hang_slice_budget)
+            .map_err(|e| {
+                CampaignError::from(embsan_core::session::SessionError::Emu(e))
+                    .context(iteration, program)
+            })?;
+        match class {
+            HangClass::WfiIdle => {
+                sup.health.wfi_hangs += 1;
+                return Ok(Some(outcome));
+            }
+            HangClass::Responsive => return Ok(Some(outcome)),
+            HangClass::LiveLock => {
+                sup.health.wedges += 1;
+                wedges += 1;
+                if wedges > config.max_wedge_retries {
+                    fuzzer.quarantine(program);
+                    let hash = program_hash(program);
+                    if let Err(index) = sup.quarantined.binary_search(&hash) {
+                        sup.quarantined.insert(index, hash);
+                    }
+                    sup.health.quarantined += 1;
+                    return Ok(None);
+                }
+                // Snapshot-restore recovery happens in run_raw's reset on
+                // the retry; count it as such.
+                sup.health.recoveries += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_hash_is_stable_and_content_sensitive() {
+        let mut a = ExecProgram::new();
+        a.push(2, &[64, 0]);
+        let mut b = ExecProgram::new();
+        b.push(2, &[64, 1]);
+        assert_eq!(program_hash(&a), program_hash(&a));
+        assert_ne!(program_hash(&a), program_hash(&b));
+        assert_ne!(program_hash(&a), program_hash(&ExecProgram::new()));
+    }
+}

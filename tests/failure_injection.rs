@@ -135,3 +135,203 @@ fn guest_executor_survives_malformed_programs() {
     machine.run(&mut embsan::emu::NullHook, 10_000_000).unwrap();
     assert_eq!(machine.bus_mut().devices.mailbox.host_take_results(), vec![7]);
 }
+
+/// The fault-plan parser is total: malformed specs produce typed
+/// [`FaultPlanError`]s naming the offending line, and no input — including
+/// randomized garbage — can panic it.
+#[test]
+fn fault_plan_parser_is_total() {
+    use embsan::emu::fault::FaultPlan;
+
+    // A representative valid spec parses.
+    let plan = FaultPlan::parse(
+        "# schedule\nat 50_000 flip 0x2400 3\nat 80_000 every 1_000 x4 mmio-xor 0xFF 16\n\
+         at 120_000 irq\nat 150_000 alloc-fail 2\nat 200_000 stuck-cpu 0\n",
+    )
+    .expect("valid spec parses");
+    assert_eq!(plan.events().len(), 5);
+
+    // Each malformed line is rejected with its 1-based line number.
+    for (spec, bad_line) in [
+        ("inject now", 1),                        // no `at`
+        ("at", 1),                                // missing count
+        ("at banana irq", 1),                     // non-numeric count
+        ("at 100 every irq", 1),                  // `every` without interval
+        ("at 100 every 10 irq", 1),               // missing repeat count
+        ("at 100 every 10 x0 irq", 1),            // zero repeats
+        ("at 100 warp-core-breach", 1),           // unknown kind
+        ("at 100", 1),                            // missing kind
+        ("at 100 flip", 1),                       // flip without args
+        ("at 100 flip 0x10", 1),                  // flip without bit
+        ("at 100 flip 0x10 9", 1),                // bit out of range
+        ("at 100 mmio-xor 0xFF", 1),              // missing read count
+        ("at 100 alloc-fail", 1),                 // missing count
+        ("at 100 stuck-cpu", 1),                  // missing cpu
+        ("at 1 irq\nat 2 irq\nat broken irq", 3), // error on a later line
+        ("at 1 irq\n\n# ok\nat x irq", 4),        // blanks/comments counted
+    ] {
+        let err = FaultPlan::parse(spec).expect_err(spec);
+        assert_eq!(err.line, bad_line, "{spec:?}: {err}");
+        assert!(!err.message.is_empty());
+    }
+
+    // Truncations of a valid spec never panic (they parse or error).
+    let valid = "at 50_000 every 1_000 x4 mmio-xor 0xFF 16\nat 120_000 irq\n";
+    for cut in 0..valid.len() {
+        let _ = FaultPlan::parse(&valid[..cut]);
+    }
+
+    // Randomized garbage never panics.
+    let mut rng = embsan::fuzz::SplitMix64::seed_from_u64(0xFA17);
+    for _ in 0..500 {
+        let len = rng.range_usize(0, 80);
+        let garbage: String = (0..len)
+            .map(|_| {
+                // Printable ASCII plus newlines, biased toward spec tokens.
+                match rng.range_usize(0, 10) {
+                    0 => '\n',
+                    1 => 'x',
+                    2 => '#',
+                    3..=5 => char::from(rng.gen_u8() % 10 + b'0'),
+                    _ => char::from(rng.gen_u8() % 95 + 32),
+                }
+            })
+            .collect();
+        let _ = FaultPlan::parse(&garbage);
+    }
+}
+
+/// The sanitizer-DSL parser is total on malformed, truncated and
+/// interleaved documents: typed [`ParseError`]s with line numbers, never a
+/// panic, and well-formed prefixes never produce phantom items.
+#[test]
+fn dsl_parser_is_total_on_malformed_input() {
+    let specs = reference_specs().unwrap();
+    assert!(specs.len() >= 2, "reference bundle has KASAN and KCSAN");
+    let kasan = specs[0].to_string();
+    let kcsan = specs[1].to_string();
+
+    // Every prefix of a valid document parses or errors; no panics.
+    for cut in 0..kasan.len() {
+        if !kasan.is_char_boundary(cut) {
+            continue;
+        }
+        let _ = embsan::dsl::parse(&kasan[..cut]);
+    }
+
+    // Line-interleaving two valid documents shreds the nesting; the parser
+    // must reject the result with a typed error, not panic or mis-parse.
+    let interleaved: String =
+        kasan.lines().zip(kcsan.lines()).flat_map(|(a, b)| [a, b]).collect::<Vec<_>>().join("\n");
+    match embsan::dsl::parse(&interleaved) {
+        Ok(items) => assert!(!items.is_empty()),
+        Err(err) => {
+            assert!(err.line >= 1);
+            assert!(!err.message.is_empty());
+        }
+    }
+
+    // Classic malformed documents give line-numbered errors.
+    for (doc, description) in [
+        ("sanitizer {", "unclosed block"),
+        ("sanitizer kasan { point insn load { arg addr: }\n}", "missing type"),
+        ("sanitizer kasan }\n", "stray close"),
+        ("\u{0}\u{1}\u{2}", "control bytes"),
+        ("sanitizer kasan { point warp load {} }", "unknown point kind"),
+    ] {
+        let err = embsan::dsl::parse(doc).expect_err(description);
+        assert!(err.line >= 1, "{description}: {err}");
+    }
+
+    // Randomized garbage never panics.
+    let mut rng = embsan::fuzz::SplitMix64::seed_from_u64(0xD51);
+    for _ in 0..300 {
+        let len = rng.range_usize(0, 120);
+        let garbage: String = (0..len).map(|_| char::from(rng.gen_u8() % 96 + 31)).collect();
+        let _ = embsan::dsl::parse(&garbage);
+    }
+}
+
+/// The campaign journal survives kill-induced torn tails at *every* byte
+/// boundary (load returns the intact prefix), and rejects genuine
+/// corruption — bad magic, undecodable payloads — with typed errors.
+#[test]
+fn journal_survives_torn_tails_and_rejects_corruption() {
+    use embsan::fuzz::{Journal, JournalError, Record, StartInfo};
+
+    let dir = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("torn.journal");
+    let start = StartInfo {
+        firmware: "torn-test".to_string(),
+        strategy: embsan::fuzz::Strategy::Tardis,
+        seed: 7,
+        iterations: 100,
+        ready_budget: 1_000,
+        program_budget: 2_000,
+        checkpoint_interval: 10,
+    };
+    {
+        let mut journal = Journal::create(&path).unwrap();
+        journal.append(&Record::Start(start.clone())).unwrap();
+        let mut program = ExecProgram::new();
+        program.push(sys::ECHO, &[1, 2]);
+        journal.append(&Record::CorpusAdd { iteration: 3, program }).unwrap();
+        journal.append(&Record::End { iterations: 100 }).unwrap();
+    }
+    let bytes = std::fs::read(&path).unwrap();
+    let full = Journal::load(&path).unwrap();
+    assert_eq!(full.records.len(), 3);
+    assert!(!full.truncated);
+    assert!(full.ended());
+    assert_eq!(full.start().unwrap().firmware, "torn-test");
+
+    // Killing the writer at any byte leaves a loadable journal: the intact
+    // record prefix plus a truncation flag — never a panic, and an error
+    // only for cuts inside the magic itself.
+    let cut_path = dir.join("torn_cut.journal");
+    for cut in 0..bytes.len() {
+        std::fs::write(&cut_path, &bytes[..cut]).unwrap();
+        match Journal::load(&cut_path) {
+            Ok(loaded) => {
+                assert!(cut >= 8, "cut {cut} inside the magic must not load");
+                assert!(loaded.records.len() <= 3);
+                assert!(u64::try_from(cut).unwrap() >= loaded.valid_len);
+                assert!(loaded.truncated || loaded.valid_len == cut as u64);
+            }
+            Err(JournalError::Corrupt { .. }) => {
+                assert!(cut < 8, "cut {cut} after the magic is a torn tail, not corruption");
+            }
+            Err(other) => panic!("cut {cut}: unexpected {other}"),
+        }
+    }
+
+    // Bad magic is corruption at offset zero.
+    let mut bad = bytes.clone();
+    bad[0] ^= 0xFF;
+    std::fs::write(&cut_path, &bad).unwrap();
+    assert!(matches!(Journal::load(&cut_path), Err(JournalError::Corrupt { offset: 0, .. })));
+
+    // An intact frame with an undecodable payload (unknown tag) is
+    // corruption at that frame's offset, not a silent drop.
+    let mut junk_frame = bytes.clone();
+    let offset = junk_frame.len() as u64;
+    junk_frame.extend_from_slice(&[99, 3, 0, 0, 0, 1, 2, 3]);
+    std::fs::write(&cut_path, &junk_frame).unwrap();
+    match Journal::load(&cut_path) {
+        Err(JournalError::Corrupt { offset: at, .. }) => assert_eq!(at, offset),
+        other => panic!("unknown tag must be corruption, got {other:?}"),
+    }
+
+    // Reopen truncates the torn tail so appended records stay parseable.
+    std::fs::write(&cut_path, &bytes[..bytes.len() - 2]).unwrap();
+    let torn = Journal::load(&cut_path).unwrap();
+    assert!(torn.truncated);
+    {
+        let mut journal = Journal::reopen(&cut_path, torn.valid_len).unwrap();
+        journal.append(&Record::End { iterations: 42 }).unwrap();
+    }
+    let healed = Journal::load(&cut_path).unwrap();
+    assert!(!healed.truncated);
+    assert!(healed.ended());
+}

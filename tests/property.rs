@@ -194,6 +194,51 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Snapshot fidelity: from any reachable machine state,
+    /// `restore(snapshot())` followed by `snapshot()` is the identity. The
+    /// supervisor's wedge recovery and every fuzzing reset rely on this.
+    #[test]
+    fn snapshot_roundtrip_is_identity(
+        boot_budget in 1_000u64..200_000,
+        perturb in 100u64..20_000,
+        calls in prop::collection::vec((0u8..24, prop::collection::vec(any::<u32>(), 0..3)), 0..3)
+    ) {
+        let opts = embsan::guestos::BuildOptions::new(embsan::emu::profile::Arch::Armv);
+        let image = embsan::guestos::os::emblinux::build(&opts, &[]).unwrap();
+        let mut machine = image.boot_machine(1).unwrap();
+        machine.run(&mut embsan::emu::NullHook, boot_budget).unwrap();
+        let mut program = ExecProgram::new();
+        for (nr, args) in calls {
+            program.push(nr, &args);
+        }
+        machine.bus_mut().devices.mailbox.host_load(&program.encode());
+        machine.run(&mut embsan::emu::NullHook, perturb).unwrap();
+
+        let first = machine.snapshot();
+        machine.run(&mut embsan::emu::NullHook, perturb).unwrap();
+        machine.restore(&first).unwrap();
+        prop_assert_eq!(machine.snapshot(), first);
+    }
+
+    /// Restoring into a machine with a different vCPU count is a typed
+    /// mismatch error for every count pair, and never mutates the target.
+    #[test]
+    fn snapshot_vcpu_mismatch_is_typed(a in 1usize..4, b in 1usize..4) {
+        prop_assume!(a != b);
+        let opts = embsan::guestos::BuildOptions::new(embsan::emu::profile::Arch::Armv);
+        let image = embsan::guestos::os::emblinux::build(&opts, &[]).unwrap();
+        let source = image.boot_machine(a).unwrap();
+        let mut target = image.boot_machine(b).unwrap();
+        let before = target.snapshot();
+        let err = target.restore(&source.snapshot()).unwrap_err();
+        prop_assert!(matches!(err, embsan::emu::error::EmuError::SnapshotMismatch(_)));
+        prop_assert_eq!(target.snapshot(), before);
+    }
+}
+
 fn arb_spec(name: &'static str) -> impl Strategy<Value = SanitizerSpec> {
     let arb_ty = prop_oneof![
         Just(ArgType::U8),
