@@ -1,0 +1,340 @@
+//! Fuzzing-throughput and translation-cache benchmarks (`embsan bench`).
+//!
+//! Two measurements back the parallel-engine work:
+//!
+//! 1. **Worker scaling**: execs/sec and blocks-translated/exec of the
+//!    parallel campaign engine at several worker counts on one firmware in
+//!    its Table-1 sanitizer configuration. The finding set is
+//!    worker-count-independent (the engine's determinism contract), so the
+//!    points differ only in wall clock.
+//! 2. **Cache generations**: translations per hook-configuration toggle.
+//!    With generation-tagged block storage, toggling between two
+//!    configurations retranslates only on the first pass; every later
+//!    toggle reuses a retained generation (~0 retranslations).
+//!
+//! The report serializes to the hand-rolled `embsan-bench-throughput-v1`
+//! JSON schema consumed by CI's bench-smoke job and checked in as
+//! `BENCH_throughput.json`.
+
+use std::time::Instant;
+
+use embsan_emu::CacheStats;
+use embsan_fuzz::campaign::prepare_session;
+use embsan_fuzz::{run_parallel_campaign, CampaignConfig, CampaignError, ParallelConfig};
+use embsan_guestos::workload::merged_corpus;
+use embsan_guestos::FirmwareSpec;
+
+/// One worker-count measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerPoint {
+    /// Worker threads used.
+    pub workers: usize,
+    /// Programs executed.
+    pub execs: u64,
+    /// Fuzzing-loop wall clock in seconds (excludes build and boot).
+    pub fuzz_wall_secs: f64,
+    /// Throughput (execs / fuzz_wall_secs).
+    pub execs_per_sec: f64,
+    /// Blocks translated across all workers.
+    pub blocks_translated: u64,
+    /// Translations amortized per execution.
+    pub blocks_per_exec: f64,
+    /// Coverage buckets reached (identical across worker counts).
+    pub coverage: usize,
+    /// Deduplicated findings (identical across worker counts).
+    pub findings: usize,
+    /// Full cache counters.
+    pub cache: CacheStats,
+}
+
+/// Result of the configuration-toggle cache measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheToggleReport {
+    /// Toggle cycles measured after the first pass.
+    pub toggles: u64,
+    /// Translations spent populating both configurations once.
+    pub first_pass_translations: u64,
+    /// Translations during the steady toggling phase (~0 with generations).
+    pub retranslations_after_first_pass: u64,
+    /// Generation reactivations observed.
+    pub generation_hits: u64,
+}
+
+/// Throughput + cache measurements for one firmware.
+#[derive(Debug, Clone)]
+pub struct FirmwareThroughput {
+    /// Firmware name.
+    pub firmware: String,
+    /// Sanitizer configuration label (Table-1 default for the firmware).
+    pub san: String,
+    /// One point per measured worker count.
+    pub points: Vec<WorkerPoint>,
+    /// The cache-generation toggle measurement.
+    pub cache_toggle: CacheToggleReport,
+}
+
+/// The full bench report (`BENCH_throughput.json`).
+#[derive(Debug, Clone)]
+pub struct ThroughputReport {
+    /// Host CPU cores available to the worker pool — essential context for
+    /// the scaling points (a single-core host cannot show parallel
+    /// speedup regardless of engine quality).
+    pub host_cores: usize,
+    /// Iterations per campaign run.
+    pub iterations: u64,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Per-firmware sections.
+    pub firmwares: Vec<FirmwareThroughput>,
+}
+
+/// The sanitizer-configuration label for a firmware's Table-1 row.
+pub fn san_label(spec: &FirmwareSpec) -> &'static str {
+    if spec.embsan_c {
+        "EMBSAN-C"
+    } else if spec.open_source {
+        "EMBSAN-D (source)"
+    } else {
+        "EMBSAN-D (binary)"
+    }
+}
+
+/// Measures parallel-campaign throughput on `spec` at each worker count.
+///
+/// # Errors
+///
+/// Propagates campaign failures (build, probe, session).
+pub fn measure_worker_scaling(
+    spec: &FirmwareSpec,
+    campaign: &CampaignConfig,
+    worker_counts: &[usize],
+) -> Result<Vec<WorkerPoint>, CampaignError> {
+    let mut points = Vec::new();
+    for &workers in worker_counts {
+        let config = ParallelConfig { workers, campaign: *campaign, ..ParallelConfig::default() };
+        let started = Instant::now();
+        let (_result, outcome) = run_parallel_campaign(spec, &config)?;
+        let stats = outcome.stats;
+        // Fall back to total wall for degenerate zero-length runs.
+        let wall = if stats.fuzz_wall.is_zero() { started.elapsed() } else { stats.fuzz_wall };
+        let secs = wall.as_secs_f64().max(f64::EPSILON);
+        points.push(WorkerPoint {
+            workers,
+            execs: stats.execs,
+            fuzz_wall_secs: secs,
+            execs_per_sec: stats.execs as f64 / secs,
+            blocks_translated: stats.cache.translations,
+            blocks_per_exec: if stats.execs == 0 {
+                0.0
+            } else {
+                stats.cache.translations as f64 / stats.execs as f64
+            },
+            coverage: stats.coverage,
+            findings: stats.findings,
+            cache: stats.cache,
+        });
+    }
+    Ok(points)
+}
+
+/// Measures translations per hook-configuration toggle: a clean workload
+/// corpus is replayed while the session's block probes are armed and
+/// disarmed `toggles` times (exactly what the fuzzer and the overhead
+/// bench do between configurations).
+///
+/// # Errors
+///
+/// Propagates campaign failures.
+pub fn measure_cache_generations(
+    spec: &FirmwareSpec,
+    campaign: &CampaignConfig,
+    toggles: u64,
+) -> Result<CacheToggleReport, CampaignError> {
+    let (mut session, _dict) = prepare_session(spec, campaign)?;
+    let corpus = merged_corpus(0xF16, 4, 24);
+    let base = session.runtime().hook_config();
+    let mut armed = base;
+    armed.blocks = true;
+
+    let replay = |session: &mut embsan_core::session::Session| -> Result<(), CampaignError> {
+        for program in &corpus {
+            session.reset()?;
+            session.run_program(program, campaign.program_budget)?;
+        }
+        Ok(())
+    };
+
+    let before = session.cache_stats();
+    session.machine_mut().set_hook_config(armed);
+    replay(&mut session)?;
+    session.machine_mut().set_hook_config(base);
+    replay(&mut session)?;
+    let first_pass = session.cache_stats();
+
+    for _ in 0..toggles {
+        session.machine_mut().set_hook_config(armed);
+        replay(&mut session)?;
+        session.machine_mut().set_hook_config(base);
+        replay(&mut session)?;
+    }
+    let steady = session.cache_stats();
+    Ok(CacheToggleReport {
+        toggles,
+        first_pass_translations: first_pass.translations - before.translations,
+        retranslations_after_first_pass: steady.translations - first_pass.translations,
+        generation_hits: steady.generation_hits - before.generation_hits,
+    })
+}
+
+/// Runs both measurements for one firmware.
+///
+/// # Errors
+///
+/// Propagates campaign failures.
+pub fn measure_firmware_throughput(
+    spec: &FirmwareSpec,
+    campaign: &CampaignConfig,
+    worker_counts: &[usize],
+    toggles: u64,
+) -> Result<FirmwareThroughput, CampaignError> {
+    Ok(FirmwareThroughput {
+        firmware: spec.name.to_string(),
+        san: san_label(spec).to_string(),
+        points: measure_worker_scaling(spec, campaign, worker_counts)?,
+        cache_toggle: measure_cache_generations(spec, campaign, toggles)?,
+    })
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn json_f64(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:.4}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl ThroughputReport {
+    /// Serializes to the `embsan-bench-throughput-v1` schema.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"embsan-bench-throughput-v1\",\n");
+        out.push_str(&format!("  \"host_cores\": {},\n", self.host_cores));
+        out.push_str(&format!("  \"iterations\": {},\n", self.iterations));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str("  \"firmwares\": [\n");
+        for (i, fw) in self.firmwares.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"firmware\": \"{}\",\n", json_escape(&fw.firmware)));
+            out.push_str(&format!("      \"san\": \"{}\",\n", json_escape(&fw.san)));
+            out.push_str("      \"workers\": [\n");
+            for (j, p) in fw.points.iter().enumerate() {
+                out.push_str(&format!(
+                    "        {{\"workers\": {}, \"execs\": {}, \"fuzz_wall_secs\": {}, \
+                     \"execs_per_sec\": {}, \"blocks_translated\": {}, \"blocks_per_exec\": {}, \
+                     \"coverage\": {}, \"findings\": {}, \"cache\": {{\"translations\": {}, \
+                     \"hits\": {}, \"reconfigures\": {}, \"generation_hits\": {}, \
+                     \"generation_evictions\": {}, \"flushes\": {}}}}}{}\n",
+                    p.workers,
+                    p.execs,
+                    json_f64(p.fuzz_wall_secs),
+                    json_f64(p.execs_per_sec),
+                    p.blocks_translated,
+                    json_f64(p.blocks_per_exec),
+                    p.coverage,
+                    p.findings,
+                    p.cache.translations,
+                    p.cache.hits,
+                    p.cache.reconfigures,
+                    p.cache.generation_hits,
+                    p.cache.generation_evictions,
+                    p.cache.flushes,
+                    if j + 1 < fw.points.len() { "," } else { "" },
+                ));
+            }
+            out.push_str("      ],\n");
+            let t = &fw.cache_toggle;
+            out.push_str(&format!(
+                "      \"cache_toggle\": {{\"toggles\": {}, \"first_pass_translations\": {}, \
+                 \"retranslations_after_first_pass\": {}, \"generation_hits\": {}}}\n",
+                t.toggles,
+                t.first_pass_translations,
+                t.retranslations_after_first_pass,
+                t.generation_hits,
+            ));
+            out.push_str(&format!(
+                "    }}{}\n",
+                if i + 1 < self.firmwares.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embsan_guestos::firmware_by_name;
+
+    #[test]
+    fn cache_toggles_stop_retranslating_after_first_pass() {
+        let spec = firmware_by_name("TP-Link WDR-7660").unwrap();
+        let campaign = CampaignConfig::default();
+        let report = measure_cache_generations(spec, &campaign, 6).unwrap();
+        assert!(report.first_pass_translations > 0, "first pass translates the image");
+        assert_eq!(
+            report.retranslations_after_first_pass, 0,
+            "retained generations make toggles free"
+        );
+        // Each toggle cycle reactivates both generations, plus the two
+        // first-pass switches.
+        assert_eq!(report.generation_hits, 2 * report.toggles + 1);
+    }
+
+    #[test]
+    fn json_schema_is_well_formed_enough() {
+        let report = ThroughputReport {
+            host_cores: 4,
+            iterations: 100,
+            seed: 1,
+            firmwares: vec![FirmwareThroughput {
+                firmware: "T\"est".to_string(),
+                san: "EMBSAN-D (binary)".to_string(),
+                points: vec![WorkerPoint {
+                    workers: 1,
+                    execs: 100,
+                    fuzz_wall_secs: 0.5,
+                    execs_per_sec: 200.0,
+                    blocks_translated: 40,
+                    blocks_per_exec: 0.4,
+                    coverage: 10,
+                    findings: 0,
+                    cache: CacheStats::default(),
+                }],
+                cache_toggle: CacheToggleReport {
+                    toggles: 2,
+                    first_pass_translations: 40,
+                    retranslations_after_first_pass: 0,
+                    generation_hits: 5,
+                },
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"embsan-bench-throughput-v1\""));
+        assert!(json.contains("\\\"est"), "quotes escaped");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

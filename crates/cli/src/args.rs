@@ -30,6 +30,10 @@ const VALUED: &[&str] = &[
     "fault-plan",
     "kill-after",
     "checkpoint-every",
+    "workers",
+    "epoch",
+    "json",
+    "toggles",
 ];
 
 /// Parses `argv` (without the subcommand itself).

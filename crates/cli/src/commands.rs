@@ -44,6 +44,12 @@ USAGE:
                                  boot under EMBSAN and run executor calls
   embsan fuzz <image> [--iters N] [--seed S] [--syscalls N] [--cpus N]
                                  coverage-guided fuzzing with EMBSAN attached
+      --workers N                parallel campaign engine with N workers;
+                                 findings and corpus are identical to the
+                                 1-worker run (deterministic merges). Ignored
+                                 (single-thread) on supervised/journaled runs
+      --epoch N                  merge period of the parallel engine
+                                 (iterations per epoch, default 64)
       --journal FILE             supervised run; stream findings, corpus adds
                                  and checkpoints to an append-only journal
       --resume FILE              resume a killed campaign from its journal
@@ -54,6 +60,14 @@ USAGE:
       --kill-after N             resilience drill: stop after N iterations
       --checkpoint-every N       journal checkpoint cadence (default 500)
       --supervised               watchdog supervision without a journal
+  embsan bench [firmware-name] [--workers N] [--iters N] [--seed S]
+                                 fuzzing-throughput benchmark on a seed
+                                 firmware (default \"TP-Link WDR-7660\"):
+                                 execs/sec for 1 vs N workers plus
+                                 translation-cache generation telemetry
+      --toggles N                config-toggle cycles measured (default 8)
+      --json FILE                write the embsan-bench-throughput-v1 report
+                                 (the checked-in BENCH_throughput.json)
   embsan help                    this text
 ";
 
@@ -81,6 +95,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "probe" => cmd_probe(&parsed),
         "run" => cmd_run(&parsed),
         "fuzz" => cmd_fuzz(&parsed),
+        "bench" => cmd_bench(&parsed),
         other => Err(format!("unknown command `{other}` (try `embsan help`)")),
     }
 }
@@ -465,15 +480,156 @@ fn cmd_fuzz(parsed: &Parsed) -> Result<(), String> {
     if parsed.option("resume").is_some() {
         return cmd_fuzz_resume(parsed);
     }
+    let workers_flag = parsed.option("workers").is_some();
+    let workers = parsed.option_u64("workers", 1)? as usize;
+    if workers_flag && workers == 0 {
+        return Err("--workers must be at least 1".to_string());
+    }
     let supervised = parsed.option("journal").is_some()
         || parsed.option("fault-plan").is_some()
         || parsed.option("kill-after").is_some()
         || parsed.flags.iter().any(|f| f == "supervised");
     if supervised {
+        if workers > 1 {
+            // The journaled path's contract is bit-identical single-thread
+            // replay; --workers composes by falling back, not by changing
+            // the journal format.
+            println!(
+                "note: supervised/journaled runs are single-thread; ignoring --workers {workers}"
+            );
+        }
         cmd_fuzz_supervised(parsed)
+    } else if workers_flag {
+        // An explicit --workers always uses the parallel engine — including
+        // --workers 1 — so results are comparable across every worker count.
+        cmd_fuzz_parallel(parsed, workers)
     } else {
         cmd_fuzz_plain(parsed)
     }
+}
+
+fn cmd_fuzz_parallel(parsed: &Parsed, workers: usize) -> Result<(), String> {
+    use embsan_fuzz::{
+        run_parallel, CampaignConfig, CampaignError, Dictionary, ParallelConfig, Strategy,
+    };
+    let image = load_image(parsed)?;
+    let mode = probe_mode(parsed, &image)?;
+    let artifacts = probe(&image, mode, None).map_err(|e| e.to_string())?;
+    let specs = embsan_core::reference_specs().map_err(|e| e.to_string())?;
+    let cpus = parsed.option_u64("cpus", 1)? as usize;
+    let ready_budget = parsed.option_u64("budget", 400_000_000)?;
+    let config = ParallelConfig {
+        workers,
+        epoch_len: parsed.option_u64("epoch", 64)?,
+        campaign: CampaignConfig {
+            iterations: parsed.option_u64("iters", 5_000)?,
+            seed: parsed.option_u64("seed", 0xE1B)?,
+            ready_budget,
+            ..CampaignConfig::default()
+        },
+        ..ParallelConfig::default()
+    };
+    let syscall_descs = fuzz_descriptions(parsed)?;
+    let dict = Dictionary::extract(&image);
+    println!(
+        "parallel fuzzing: {} iterations, seed {}, {} workers, epoch {}, dictionary {} entries",
+        config.campaign.iterations,
+        config.campaign.seed,
+        workers,
+        config.epoch_len,
+        dict.len()
+    );
+    let factory = |_worker: usize| -> Result<Session, CampaignError> {
+        let mut session =
+            Session::with_cpus(&image, &specs, &artifacts, cpus).map_err(CampaignError::from)?;
+        session.run_to_ready(ready_budget).map_err(CampaignError::from)?;
+        Ok(session)
+    };
+    let outcome = run_parallel(factory, &syscall_descs, &dict, Strategy::Tardis, &config)
+        .map_err(|e| e.to_string())?;
+    let stats = &outcome.stats;
+    println!(
+        "execs {}  corpus {}  coverage {}  findings {}",
+        stats.execs, stats.corpus, stats.coverage, stats.findings
+    );
+    println!(
+        "wall {:.2}s ({:.0} execs/sec)  epochs {}  cache: {} translations, {} hits, \
+         {} generation reuses",
+        stats.fuzz_wall.as_secs_f64(),
+        stats.execs as f64 / stats.fuzz_wall.as_secs_f64().max(f64::EPSILON),
+        stats.epochs,
+        stats.cache.translations,
+        stats.cache.hits,
+        stats.cache.generation_hits
+    );
+    for finding in &outcome.findings {
+        println!(
+            "[{}] pc={:#010x} reproducer calls {:?}",
+            finding.report.class,
+            finding.report.pc,
+            finding.program.calls.iter().map(|c| c.nr).collect::<Vec<_>>()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_bench(parsed: &Parsed) -> Result<(), String> {
+    use embsan_bench::{measure_firmware_throughput, ThroughputReport};
+    use embsan_fuzz::CampaignConfig;
+    let name = parsed.positional.first().map_or("TP-Link WDR-7660", String::as_str);
+    let spec = embsan_guestos::firmware_by_name(name)
+        .ok_or_else(|| format!("unknown firmware `{name}` (see `embsan bench --help`)"))?;
+    let workers = parsed.option_u64("workers", 2)? as usize;
+    let campaign = CampaignConfig {
+        iterations: parsed.option_u64("iters", 400)?,
+        seed: parsed.option_u64("seed", 17)?,
+        ..CampaignConfig::default()
+    };
+    let toggles = parsed.option_u64("toggles", 8)?;
+    let worker_counts: Vec<usize> = if workers > 1 { vec![1, workers] } else { vec![1] };
+    let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!(
+        "bench: {} ({} iterations, seed {}, workers {:?}, {} host cores)",
+        spec.name, campaign.iterations, campaign.seed, worker_counts, host_cores
+    );
+    let fw = measure_firmware_throughput(spec, &campaign, &worker_counts, toggles)
+        .map_err(|e| e.to_string())?;
+    for point in &fw.points {
+        println!(
+            "  workers {}: {:.0} execs/sec ({} execs in {:.2}s), {:.2} blocks/exec, \
+             coverage {}, findings {}",
+            point.workers,
+            point.execs_per_sec,
+            point.execs,
+            point.fuzz_wall_secs,
+            point.blocks_per_exec,
+            point.coverage,
+            point.findings
+        );
+    }
+    let toggle = &fw.cache_toggle;
+    println!(
+        "  cache generations: {} first-pass translations, {} retranslations over {} \
+         config toggles, {} generation reuses",
+        toggle.first_pass_translations,
+        toggle.retranslations_after_first_pass,
+        toggle.toggles,
+        toggle.generation_hits
+    );
+    if fw.points.iter().any(|p| p.execs == 0 || p.execs_per_sec <= 0.0) {
+        return Err("zero throughput measured (harness regression)".to_string());
+    }
+    let report = ThroughputReport {
+        host_cores,
+        iterations: campaign.iterations,
+        seed: campaign.seed,
+        firmwares: vec![fw],
+    };
+    if let Some(path) = parsed.option("json") {
+        fs::write(path, report.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
 }
 
 fn cmd_fuzz_plain(parsed: &Parsed) -> Result<(), String> {

@@ -1,0 +1,104 @@
+//! `--workers` CLI behaviour: parallel worker counts agree with each
+//! other, and the flag composes with `--journal`/`--resume` by falling
+//! back to the bit-identical single-thread supervised path.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn embsan() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_embsan"))
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("embsan-workers-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let output = embsan().args(args).output().unwrap();
+    assert!(
+        output.status.success(),
+        "embsan {args:?} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8_lossy(&output.stdout).to_string()
+}
+
+/// The `execs … corpus … coverage … findings …` summary line.
+fn stats_line(stdout: &str) -> String {
+    stdout
+        .lines()
+        .find(|l| l.starts_with("execs "))
+        .unwrap_or_else(|| panic!("no stats line in:\n{stdout}"))
+        .to_string()
+}
+
+fn build_image(name: &str) -> PathBuf {
+    let image = scratch(name);
+    run_ok(&["build", "emblinux", "--bug", "fuzz/target:oob-write", "-o", image.to_str().unwrap()]);
+    image
+}
+
+#[test]
+fn parallel_worker_counts_agree() {
+    let image = build_image("agree.evfw");
+    let image = image.to_str().unwrap();
+    // An explicit --workers (even 1) routes through the parallel engine, so
+    // every worker count must report the same stats and findings.
+    let out1 = run_ok(&["fuzz", image, "--iters", "100", "--seed", "9", "--workers", "1"]);
+    let out2 = run_ok(&["fuzz", image, "--iters", "100", "--seed", "9", "--workers", "2"]);
+    let out4 = run_ok(&["fuzz", image, "--iters", "100", "--seed", "9", "--workers", "4"]);
+    assert_eq!(stats_line(&out1), stats_line(&out2));
+    assert_eq!(stats_line(&out2), stats_line(&out4));
+    // Findings lines (if any) must agree too.
+    let findings = |s: &str| -> Vec<String> {
+        s.lines().filter(|l| l.starts_with('[')).map(str::to_string).collect()
+    };
+    assert_eq!(findings(&out1), findings(&out2));
+    assert_eq!(findings(&out2), findings(&out4));
+}
+
+#[test]
+fn workers_flag_composes_with_journal_and_resume() {
+    let image = build_image("journal.evfw");
+    let image = image.to_str().unwrap();
+
+    // Reference: uninterrupted journaled run, no --workers.
+    let journal_ref = scratch("ref.evj");
+    let reference = run_ok(&[
+        "fuzz",
+        image,
+        "--iters",
+        "150",
+        "--seed",
+        "5",
+        "--journal",
+        journal_ref.to_str().unwrap(),
+    ]);
+
+    // --workers on a journaled run falls back to single-thread (with a
+    // note) so the journal contract holds; kill it partway, then resume.
+    let journal = scratch("killed.evj");
+    let killed = run_ok(&[
+        "fuzz",
+        image,
+        "--iters",
+        "150",
+        "--seed",
+        "5",
+        "--journal",
+        journal.to_str().unwrap(),
+        "--kill-after",
+        "60",
+        "--workers",
+        "4",
+    ]);
+    assert!(killed.contains("ignoring --workers"), "supervised fallback note missing:\n{killed}");
+    let resumed = run_ok(&["fuzz", "--resume", journal.to_str().unwrap()]);
+
+    // The killed-and-resumed campaign ends bit-identically to the
+    // uninterrupted one.
+    assert_eq!(stats_line(&reference), stats_line(&resumed));
+}

@@ -36,6 +36,9 @@ pub struct ShadowViolation {
 #[derive(Debug, Clone)]
 pub struct ShadowMemory {
     ram_base: u32,
+    /// `bytes.len() * GRANULE`, precomputed: `covers` runs on the hot
+    /// per-access check path and must not redo the division.
+    span: u32,
     bytes: Vec<u8>,
 }
 
@@ -43,20 +46,26 @@ impl ShadowMemory {
     /// Creates an all-addressable shadow for `ram_size` bytes of RAM at
     /// `ram_base`.
     pub fn new(ram_base: u32, ram_size: u32) -> ShadowMemory {
-        ShadowMemory { ram_base, bytes: vec![0; (ram_size / GRANULE) as usize] }
+        let granules = (ram_size / GRANULE) as usize;
+        ShadowMemory { ram_base, span: granules as u32 * GRANULE, bytes: vec![0; granules] }
     }
 
     /// Whether `addr` is covered by the shadow (i.e. inside RAM).
+    #[inline]
     pub fn covers(&self, addr: u32) -> bool {
-        addr >= self.ram_base && ((addr - self.ram_base) / GRANULE) < self.bytes.len() as u32
+        // Single wrapping compare against the precomputed span: addresses
+        // below `ram_base` wrap to huge values and fail the bound.
+        addr.wrapping_sub(self.ram_base) < self.span
     }
 
+    #[inline]
     fn index(&self, addr: u32) -> usize {
         debug_assert!(self.covers(addr));
         ((addr - self.ram_base) / GRANULE) as usize
     }
 
     /// Reads the shadow byte covering `addr`.
+    #[inline]
     pub fn get(&self, addr: u32) -> u8 {
         self.bytes[self.index(addr)]
     }
@@ -118,6 +127,7 @@ impl ShadowMemory {
     /// # Errors
     ///
     /// Returns the first violating byte and its shadow code.
+    #[inline]
     pub fn check(&self, addr: u32, size: u8) -> Result<(), ShadowViolation> {
         let end = addr.saturating_add(u32::from(size));
         let mut cursor = addr;

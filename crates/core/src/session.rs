@@ -152,6 +152,12 @@ impl Session {
         &self.runtime
     }
 
+    /// Translation-cache counters for this session's machine (hit/miss and
+    /// generation-reuse telemetry for the bench and campaign reports).
+    pub fn cache_stats(&self) -> embsan_emu::CacheStats {
+        self.machine.cache_stats()
+    }
+
     /// Mutable runtime access (e.g. to set `stop_on_report`).
     pub fn runtime_mut(&mut self) -> &mut EmbsanRuntime {
         &mut self.runtime

@@ -58,6 +58,7 @@ pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultPlanError, HangClass, Inj
 pub use hook::{ExecHook, HookAction, HookConfig, NullHook};
 pub use machine::{Machine, MachineBuilder, RunExit};
 pub use profile::{Arch, ArchProfile, Endian};
+pub use translate::CacheStats;
 
 /// Convenient glob import of the types needed by most users.
 pub mod prelude {
@@ -69,4 +70,5 @@ pub mod prelude {
     pub use crate::isa::{Insn, Reg, Word};
     pub use crate::machine::{Machine, MachineBuilder, RunExit};
     pub use crate::profile::{Arch, ArchProfile, Endian};
+    pub use crate::translate::CacheStats;
 }

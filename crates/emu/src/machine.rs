@@ -382,6 +382,11 @@ impl Machine {
         self.cache.translation_count()
     }
 
+    /// Translation-cache counters (hits, misses, generation telemetry).
+    pub fn cache_stats(&self) -> crate::translate::CacheStats {
+        self.cache.stats()
+    }
+
     /// Adds a host breakpoint: [`Machine::run`] returns
     /// [`RunExit::Breakpoint`] just before executing the instruction at `pc`.
     pub fn add_breakpoint(&mut self, pc: u32) {

@@ -44,24 +44,94 @@ pub struct Block {
     pub ops: Vec<TranslatedOp>,
 }
 
-/// Cache of translated blocks, keyed by start address.
+/// Counters describing translation-cache behaviour, exposed through
+/// `Machine::cache_stats` into the bench and campaign telemetry.
 ///
-/// The cache remembers the [`HookConfig`] it was built under; installing a
-/// different configuration must go through [`BlockCache::reconfigure`],
-/// which flushes every block.
-#[derive(Debug, Default)]
-pub struct BlockCache {
-    blocks: HashMap<u32, Rc<Block>>,
-    /// Direct-mapped front cache (the analogue of TCG's block chaining):
-    /// most lookups hit here without touching the hash map.
-    front: Vec<Option<Rc<Block>>>,
+/// All counters are monotonic over the cache's lifetime (flushes do not
+/// reset them), so deltas between two observations measure an interval.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Blocks translated (each one is a cache miss that ran the decoder).
+    pub translations: u64,
+    /// Lookups served from a cached block.
+    pub hits: u64,
+    /// Hook-configuration switches that actually changed the configuration.
+    pub reconfigures: u64,
+    /// Reconfigurations that found a retained generation and reused its
+    /// blocks instead of retranslating (the flush-on-reconfigure fix).
+    pub generation_hits: u64,
+    /// Generations evicted by the LRU bound.
+    pub generation_evictions: u64,
+    /// Full flushes (host-side code patching drops every generation).
+    pub flushes: u64,
+}
+
+impl CacheStats {
+    /// Field-wise sum (aggregating per-worker caches in parallel campaigns).
+    #[must_use]
+    pub fn merged(self, other: CacheStats) -> CacheStats {
+        CacheStats {
+            translations: self.translations + other.translations,
+            hits: self.hits + other.hits,
+            reconfigures: self.reconfigures + other.reconfigures,
+            generation_hits: self.generation_hits + other.generation_hits,
+            generation_evictions: self.generation_evictions + other.generation_evictions,
+            flushes: self.flushes + other.flushes,
+        }
+    }
+}
+
+/// One retained translation generation: every block translated under a
+/// single [`HookConfig`].
+#[derive(Debug)]
+struct Generation {
     config: HookConfig,
-    translations: u64,
-    hits: u64,
+    blocks: HashMap<u32, Rc<Block>>,
+    /// Reconfiguration clock at last activation (LRU victim selection).
+    last_used: u64,
+}
+
+/// Cache of translated blocks, keyed by `(start address, generation)`.
+///
+/// Each [`HookConfig`] the machine runs under gets its own *generation* of
+/// translated blocks. Switching configurations via
+/// [`BlockCache::reconfigure`] no longer flushes: a previously seen
+/// configuration reactivates its retained generation, so workloads that
+/// toggle sanitizer configurations (the ablation and overhead benches, the
+/// fuzzer's coverage arming) retranslate the image at most once per
+/// configuration. At most [`MAX_GENERATIONS`] generations are retained;
+/// beyond that the least-recently-activated generation is evicted.
+#[derive(Debug)]
+pub struct BlockCache {
+    gens: Vec<Generation>,
+    /// Index of the active generation in `gens`.
+    current: usize,
+    /// Direct-mapped front cache over the active generation (the analogue
+    /// of TCG's block chaining): most lookups hit here without touching the
+    /// hash map. Invalidated on generation switch.
+    front: Vec<Option<Rc<Block>>>,
+    /// Reconfiguration clock driving `Generation::last_used`.
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Default for BlockCache {
+    fn default() -> BlockCache {
+        BlockCache::new()
+    }
 }
 
 /// Size of the direct-mapped front cache (power of two).
 const FRONT_SIZE: usize = 1 << 14;
+
+/// Maximum retained generations (LRU-bounded; the active one never counts
+/// as a victim).
+pub const MAX_GENERATIONS: usize = 8;
+
+/// Per-generation block-count bound: a generation that somehow exceeds this
+/// is cleared rather than growing without limit (defensive; real firmware
+/// text is orders of magnitude smaller).
+const MAX_BLOCKS_PER_GENERATION: usize = 1 << 16;
 
 #[inline]
 fn front_index(pc: u32) -> usize {
@@ -71,41 +141,92 @@ fn front_index(pc: u32) -> usize {
 impl BlockCache {
     /// Creates an empty cache with no probes armed.
     pub fn new() -> BlockCache {
-        BlockCache::default()
-    }
-
-    /// The hook configuration the cached blocks were translated under.
-    pub fn config(&self) -> HookConfig {
-        self.config
-    }
-
-    /// Installs a new hook configuration, flushing all cached blocks if it
-    /// differs from the current one (template regeneration).
-    pub fn reconfigure(&mut self, config: HookConfig) {
-        if config != self.config {
-            self.flush();
-            self.config = config;
+        BlockCache {
+            gens: vec![Generation {
+                config: HookConfig::none(),
+                blocks: HashMap::new(),
+                last_used: 0,
+            }],
+            current: 0,
+            front: Vec::new(),
+            clock: 0,
+            stats: CacheStats::default(),
         }
     }
 
-    /// Drops every cached block (e.g. after host-side code patching).
-    pub fn flush(&mut self) {
-        self.blocks.clear();
+    /// The hook configuration the active generation was translated under.
+    pub fn config(&self) -> HookConfig {
+        self.gens[self.current].config
+    }
+
+    /// Installs a new hook configuration.
+    ///
+    /// A configuration seen before reactivates its retained generation
+    /// (no retranslation); a new one opens a fresh generation, evicting the
+    /// least-recently-used retained generation beyond [`MAX_GENERATIONS`].
+    pub fn reconfigure(&mut self, config: HookConfig) {
+        if config == self.gens[self.current].config {
+            return;
+        }
+        self.stats.reconfigures += 1;
+        self.clock += 1;
+        // The front cache indexes the active generation only.
         self.front.clear();
+        if let Some(idx) = self.gens.iter().position(|g| g.config == config) {
+            self.current = idx;
+            self.gens[idx].last_used = self.clock;
+            self.stats.generation_hits += 1;
+            return;
+        }
+        if self.gens.len() >= MAX_GENERATIONS {
+            // Infallible: MAX_GENERATIONS ≥ 2, so at least one non-current
+            // generation exists.
+            let victim = self
+                .gens
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != self.current)
+                .min_by_key(|&(_, g)| g.last_used)
+                .map(|(i, _)| i)
+                .expect("at least one evictable generation");
+            self.gens.remove(victim);
+            if victim < self.current {
+                self.current -= 1;
+            }
+            self.stats.generation_evictions += 1;
+        }
+        self.gens.push(Generation { config, blocks: HashMap::new(), last_used: self.clock });
+        self.current = self.gens.len() - 1;
+    }
+
+    /// Drops every cached block in every generation (e.g. after host-side
+    /// code patching — the translated code is stale in *all* generations).
+    pub fn flush(&mut self) {
+        for gen in &mut self.gens {
+            gen.blocks.clear();
+        }
+        self.front.clear();
+        self.stats.flushes += 1;
     }
 
     /// Number of blocks translated since creation (monotonic; not reset by
     /// flushes). Used by tests to observe cache behaviour.
     pub fn translation_count(&self) -> u64 {
-        self.translations
+        self.stats.translations
     }
 
     /// Number of cache hits since creation.
     pub fn hit_count(&self) -> u64 {
-        self.hits
+        self.stats.hits
     }
 
-    /// Looks up (or translates) the block starting at `pc`.
+    /// All cache counters (hit/miss/generation telemetry).
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up (or translates) the block starting at `pc` in the active
+    /// generation.
     ///
     /// # Errors
     ///
@@ -117,18 +238,23 @@ impl BlockCache {
         let slot = front_index(pc);
         if let Some(block) = &self.front[slot] {
             if block.start == pc {
-                self.hits += 1;
+                self.stats.hits += 1;
                 return Ok(Rc::clone(block));
             }
         }
-        if let Some(block) = self.blocks.get(&pc) {
-            self.hits += 1;
-            self.front[slot] = Some(Rc::clone(block));
-            return Ok(Rc::clone(block));
+        let gen = &mut self.gens[self.current];
+        if let Some(block) = gen.blocks.get(&pc) {
+            self.stats.hits += 1;
+            let block = Rc::clone(block);
+            self.front[slot] = Some(Rc::clone(&block));
+            return Ok(block);
         }
-        let block = Rc::new(translate_block(bus, pc, self.config)?);
-        self.translations += 1;
-        self.blocks.insert(pc, Rc::clone(&block));
+        let block = Rc::new(translate_block(bus, pc, gen.config)?);
+        self.stats.translations += 1;
+        if gen.blocks.len() >= MAX_BLOCKS_PER_GENERATION {
+            gen.blocks.clear();
+        }
+        gen.blocks.insert(pc, Rc::clone(&block));
         self.front[slot] = Some(Rc::clone(&block));
         Ok(block)
     }
@@ -262,7 +388,7 @@ mod tests {
     }
 
     #[test]
-    fn reconfigure_flushes_cache() {
+    fn reconfigure_opens_new_generation() {
         let (bus, base) = bus_with_text(&[Insn::Halt { code: 0 }]);
         let mut cache = BlockCache::new();
         cache.lookup(&bus, base).unwrap();
@@ -270,15 +396,86 @@ mod tests {
         assert_eq!(cache.translation_count(), 1);
         assert_eq!(cache.hit_count(), 1);
 
+        // A new configuration has no blocks yet: one fresh translation.
         cache.reconfigure(HookConfig::all());
         cache.lookup(&bus, base).unwrap();
         assert_eq!(cache.translation_count(), 2);
 
-        // Reinstalling the same config must NOT flush.
+        // Reinstalling the same config is a no-op.
         cache.reconfigure(HookConfig::all());
         cache.lookup(&bus, base).unwrap();
         assert_eq!(cache.translation_count(), 2);
         assert_eq!(cache.hit_count(), 2);
+    }
+
+    #[test]
+    fn toggling_config_reuses_retained_generation() {
+        let (bus, base) = bus_with_text(&[Insn::Halt { code: 0 }]);
+        let mut cache = BlockCache::new();
+        let plain = HookConfig::none();
+        let armed = HookConfig::all();
+
+        cache.lookup(&bus, base).unwrap();
+        cache.reconfigure(armed);
+        cache.lookup(&bus, base).unwrap();
+        assert_eq!(cache.translation_count(), 2);
+
+        // Toggling back and forth must not retranslate: both generations
+        // are retained.
+        for _ in 0..10 {
+            cache.reconfigure(plain);
+            cache.lookup(&bus, base).unwrap();
+            cache.reconfigure(armed);
+            cache.lookup(&bus, base).unwrap();
+        }
+        assert_eq!(cache.translation_count(), 2);
+        let stats = cache.stats();
+        assert_eq!(stats.generation_hits, 20);
+        assert_eq!(stats.generation_evictions, 0);
+        assert_eq!(stats.reconfigures, 21);
+    }
+
+    #[test]
+    fn lru_generation_eviction_respects_bound() {
+        let (bus, base) = bus_with_text(&[Insn::Halt { code: 0 }]);
+        let mut cache = BlockCache::new();
+        // Cycle through more distinct configs than MAX_GENERATIONS. The
+        // four HookConfig flags give 16 distinct configurations.
+        let configs: Vec<HookConfig> = (0u8..16)
+            .map(|bits| HookConfig {
+                mem: bits & 1 != 0,
+                hypercalls: bits & 2 != 0,
+                blocks: bits & 4 != 0,
+                calls: bits & 8 != 0,
+            })
+            .collect();
+        for config in &configs {
+            cache.reconfigure(*config);
+            cache.lookup(&bus, base).unwrap();
+        }
+        assert_eq!(cache.stats().generation_evictions as usize, configs.len() - MAX_GENERATIONS);
+        // The most recent config is still active and cached.
+        let hits_before = cache.hit_count();
+        cache.lookup(&bus, base).unwrap();
+        assert_eq!(cache.hit_count(), hits_before + 1);
+    }
+
+    #[test]
+    fn flush_clears_every_generation() {
+        let (bus, base) = bus_with_text(&[Insn::Halt { code: 0 }]);
+        let mut cache = BlockCache::new();
+        cache.lookup(&bus, base).unwrap();
+        cache.reconfigure(HookConfig::all());
+        cache.lookup(&bus, base).unwrap();
+        assert_eq!(cache.translation_count(), 2);
+
+        cache.flush();
+        // Both the active and the retained generation were dropped.
+        cache.lookup(&bus, base).unwrap();
+        cache.reconfigure(HookConfig::none());
+        cache.lookup(&bus, base).unwrap();
+        assert_eq!(cache.translation_count(), 4);
+        assert_eq!(cache.stats().flushes, 1);
     }
 
     #[test]

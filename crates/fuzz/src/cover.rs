@@ -93,6 +93,36 @@ impl CoverageMap {
         }
         novel
     }
+
+    /// Exports this execution's classified coverage as a sparse
+    /// `(bucket index, class bit)` list. Parallel workers ship these to the
+    /// merge step instead of full 64 KiB maps; merging every export in
+    /// iteration order via [`CoverageMap::merge_classified`] produces
+    /// exactly the same global map as calling [`CoverageMap::merge_novel`]
+    /// on the live maps in that order.
+    pub fn classified_sparse(&self) -> Vec<(u32, u8)> {
+        self.map
+            .iter()
+            .enumerate()
+            .filter(|&(_, &count)| count != 0)
+            .map(|(index, &count)| (index as u32, Self::classify(count)))
+            .collect()
+    }
+
+    /// Merges a sparse classified export (from
+    /// [`CoverageMap::classified_sparse`]) into `global`, returning the
+    /// number of buckets that gained a new class bit.
+    pub fn merge_classified(global: &mut [u8; MAP_SIZE], sparse: &[(u32, u8)]) -> usize {
+        let mut novel = 0;
+        for &(index, class) in sparse {
+            let bucket = &mut global[index as usize & (MAP_SIZE - 1)];
+            if class & !*bucket != 0 {
+                novel += 1;
+                *bucket |= class;
+            }
+        }
+        novel
+    }
 }
 
 impl ExecHook for CoverageMap {

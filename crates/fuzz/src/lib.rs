@@ -25,6 +25,7 @@ pub mod dictionary;
 pub mod fuzzer;
 pub mod journal;
 pub mod mutate;
+pub mod parallel;
 pub mod rng;
 pub mod supervisor;
 
@@ -40,6 +41,9 @@ pub use fuzzer::{
     Strategy,
 };
 pub use journal::{Journal, JournalError, Record, StartInfo, SupervisorHealth};
+pub use parallel::{
+    run_parallel, run_parallel_campaign, ParallelConfig, ParallelOutcome, ParallelStats,
+};
 pub use rng::SplitMix64;
 pub use supervisor::{
     resume_supervised, run_supervised, run_supervised_session, SupervisedOutcome, SupervisedResult,

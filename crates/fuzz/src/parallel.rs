@@ -1,0 +1,546 @@
+//! Parallel sharded campaign engine with deterministic merges.
+//!
+//! The paper's pitch (§5) is that emulator-level interception is *cheap*;
+//! this module supplies the other throughput lever: host-native parallel
+//! execution. N workers each own a full `Machine` + [`Session`] (the
+//! translation cache's `Rc` blocks make a session thread-affine, so every
+//! worker builds its own from the same deterministic recipe) and pull
+//! iteration chunks from a work-stealing scheduler.
+//!
+//! # Determinism argument
+//!
+//! An N-worker run reports the *same finding set, corpus and coverage* as
+//! the 1-worker run because nothing an iteration computes depends on which
+//! worker ran it or when:
+//!
+//! 1. The iteration space `0..iterations` is split into fixed *epochs* of
+//!    [`ParallelConfig::epoch_len`] iterations. Workers claim chunks within
+//!    the current epoch only.
+//! 2. Iteration `i` derives its RNG purely from `(campaign seed, i)` and
+//!    picks its input from the *corpus snapshot at the epoch boundary* — an
+//!    immutable `Arc` swapped only between epochs.
+//! 3. Guest execution is deterministic: each run starts from the pristine
+//!    ready-state snapshot ([`Session::reset`]), so an iteration's outcome
+//!    (coverage, reports, minimized reproducer) is a pure function of its
+//!    program.
+//! 4. At the epoch barrier one worker merges all results *sorted by
+//!    iteration index*: coverage novelty, corpus admission and finding
+//!    dedup (by [`Report::dedup_key`]) are evaluated in that canonical
+//!    order, exactly as a single worker walking the epoch sequentially
+//!    would.
+//!
+//! Workers publish per-execution coverage into a shared atomic edge bitmap
+//! as they go; that bitmap is a live progress/telemetry view only — corpus
+//! and coverage *decisions* always come from the canonical merge, which is
+//! what keeps them schedule-independent.
+//!
+//! The parallel engine deliberately has no deterministic dictionary stage
+//! (that queue is inherently sequential state); the sequential
+//! [`crate::fuzzer::Fuzzer`] and the journaled supervised path remain the
+//! bit-identical single-thread engines.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::{Duration, Instant};
+
+use embsan_core::report::{BugClass, Report};
+use embsan_core::session::{Session, SessionError};
+use embsan_emu::CacheStats;
+use embsan_guestos::executor::{sys, ExecProgram};
+use embsan_guestos::firmware::Fuzzer as PaperFuzzer;
+use embsan_guestos::FirmwareSpec;
+
+use crate::campaign::{
+    attribute_findings, prepare_session, CampaignConfig, CampaignError, CampaignResult,
+};
+use crate::cover::{CoverageMap, MAP_SIZE};
+use crate::descs::{descriptions_for, SyscallDesc};
+use crate::dictionary::Dictionary;
+use crate::fuzzer::{Finding, FuzzerStats, Strategy};
+use crate::mutate::Mutator;
+use crate::rng::SplitMix64;
+
+/// Golden-ratio increment used to decorrelate per-iteration seeds (the
+/// SplitMix64 stream constant).
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Parallel engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelConfig {
+    /// Worker count (1 runs the same algorithm on one thread).
+    pub workers: usize,
+    /// Iterations per epoch (merge/snapshot period). Smaller epochs adopt
+    /// novel inputs sooner; larger epochs synchronize less. Has no effect
+    /// on *which* inputs or findings are reported for a fixed value — but
+    /// is part of the seed-determinism contract, so comparing runs
+    /// requires equal `epoch_len`.
+    pub epoch_len: u64,
+    /// Iterations claimed per scheduler grab (work-stealing granularity).
+    pub chunk: u64,
+    /// The underlying campaign parameters (iterations, seed, budgets).
+    pub campaign: CampaignConfig,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> ParallelConfig {
+        ParallelConfig { workers: 1, epoch_len: 64, chunk: 8, campaign: CampaignConfig::default() }
+    }
+}
+
+/// Aggregate statistics of a parallel run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelStats {
+    /// Worker threads used.
+    pub workers: usize,
+    /// Programs executed (minimization re-executions not counted).
+    pub execs: u64,
+    /// Corpus entries retained.
+    pub corpus: usize,
+    /// Coverage buckets reached (canonical global map).
+    pub coverage: usize,
+    /// Findings after canonical dedup.
+    pub findings: usize,
+    /// Epochs merged.
+    pub epochs: u64,
+    /// Wall-clock time of the fuzzing loop (sessions ready → last merge;
+    /// excludes firmware build and boot).
+    pub fuzz_wall: Duration,
+    /// Translation-cache counters summed over all workers.
+    pub cache: CacheStats,
+    /// Non-zero buckets in the shared atomic bitmap (live-published
+    /// telemetry; equals `coverage` after the final merge).
+    pub published_coverage: usize,
+}
+
+/// Everything a parallel run produces.
+#[derive(Debug)]
+pub struct ParallelOutcome {
+    /// Findings in canonical (iteration) order, deduplicated by
+    /// [`Report::dedup_key`].
+    pub findings: Vec<Finding>,
+    /// Final corpus in canonical admission order.
+    pub corpus: Vec<ExecProgram>,
+    /// Run statistics.
+    pub stats: ParallelStats,
+}
+
+/// One iteration's shippable result.
+struct IterResult {
+    iter: u64,
+    program: ExecProgram,
+    cover: Vec<(u32, u8)>,
+    findings: Vec<Finding>,
+}
+
+/// Merge-side state, owned by whichever worker leads each epoch barrier.
+struct MergeState {
+    global: Box<[u8; MAP_SIZE]>,
+    corpus: Vec<ExecProgram>,
+    findings: Vec<Finding>,
+    seen: HashSet<(BugClass, u32)>,
+    execs: u64,
+    epochs: u64,
+}
+
+/// State shared by all workers of one run.
+struct Shared {
+    stop: AtomicBool,
+    /// Next unclaimed iteration (monotonic within an epoch; reset to the
+    /// epoch floor at each merge).
+    next_iter: AtomicU64,
+    /// One past the last iteration of the current epoch.
+    epoch_end: AtomicU64,
+    /// Immutable corpus snapshot workers draw from this epoch.
+    snapshot: Mutex<Arc<Vec<ExecProgram>>>,
+    /// Completed iterations awaiting the canonical merge.
+    results: Mutex<Vec<IterResult>>,
+    merge: Mutex<MergeState>,
+    error: Mutex<Option<CampaignError>>,
+    /// Live-published classified coverage (telemetry only; see module doc).
+    bitmap: Vec<AtomicU8>,
+    barrier: Barrier,
+    fuzz_start: Mutex<Option<Instant>>,
+    cache_stats: Mutex<Vec<CacheStats>>,
+}
+
+/// The RNG for iteration `iter`: a pure function of the campaign seed and
+/// the iteration index, independent of scheduling.
+fn iter_rng(seed: u64, iter: u64) -> SplitMix64 {
+    let mut mix = SplitMix64::seed_from_u64(seed ^ (iter + 1).wrapping_mul(GOLDEN));
+    SplitMix64::seed_from_u64(mix.next_u64())
+}
+
+/// Derives iteration `iter`'s program from the epoch's corpus snapshot.
+fn derive_program(
+    mutator: &Mutator,
+    snapshot: &[ExecProgram],
+    seed: u64,
+    iter: u64,
+) -> ExecProgram {
+    let mut rng = iter_rng(seed, iter);
+    if snapshot.is_empty() || rng.gen_bool(0.2) {
+        mutator.generate(&mut rng)
+    } else {
+        let pick = rng.gen_usize() % snapshot.len();
+        mutator.mutate(&snapshot[pick], &mut rng)
+    }
+}
+
+/// Runs `candidate` from the pristine snapshot and reports whether
+/// `class` still fires (runtime dedup is off in parallel workers, so every
+/// occurrence is visible).
+fn reproduces(
+    session: &mut Session,
+    candidate: &ExecProgram,
+    budget: u64,
+    class: BugClass,
+) -> Result<bool, SessionError> {
+    session.reset()?;
+    let outcome = session.run_program(candidate, budget)?;
+    Ok(outcome.reports.iter().any(|r| r.class == class))
+}
+
+/// Call-level reproducer minimization, same greedy policy as the
+/// sequential fuzzer's. Deterministic given the program and report.
+fn minimize(
+    session: &mut Session,
+    program: &ExecProgram,
+    report: &Report,
+    budget: u64,
+) -> Result<ExecProgram, SessionError> {
+    let mut current = program.clone();
+    let mut index = 0;
+    while current.calls.len() > 1 && index < current.calls.len() {
+        let mut candidate = current.clone();
+        candidate.calls.remove(index);
+        if reproduces(session, &candidate, budget, report.class)? {
+            current = candidate;
+        } else {
+            index += 1;
+        }
+    }
+    Ok(current)
+}
+
+/// Executes iteration `iter` end to end on a worker's private session.
+fn run_iteration(
+    session: &mut Session,
+    coverage: &mut CoverageMap,
+    mutator: &Mutator,
+    snapshot: &[ExecProgram],
+    config: &ParallelConfig,
+    iter: u64,
+) -> Result<IterResult, SessionError> {
+    let program = derive_program(mutator, snapshot, config.campaign.seed, iter);
+    coverage.reset();
+    session.reset()?;
+    let budget = config.campaign.program_budget;
+    let outcome = session.run_program_observed(&program, budget, coverage)?;
+    let mut findings = Vec::new();
+    for report in outcome.reports {
+        let minimized = minimize(session, &program, &report, budget)?;
+        let bug_syscalls =
+            minimized.calls.iter().map(|c| c.nr).filter(|&nr| nr >= sys::BUG_BASE).collect();
+        findings.push(Finding { report, program: minimized, bug_syscalls });
+    }
+    Ok(IterResult { iter, program, cover: coverage.classified_sparse(), findings })
+}
+
+/// The canonical merge: executed by the epoch leader while every other
+/// worker waits at the barrier. Results are reduced sorted by iteration
+/// index, so admission and dedup order is schedule-independent.
+fn merge_epoch(shared: &Shared, config: &ParallelConfig) {
+    let mut results = {
+        let mut guard = shared.results.lock().unwrap();
+        std::mem::take(&mut *guard)
+    };
+    results.sort_unstable_by_key(|r| r.iter);
+    let mut state = shared.merge.lock().unwrap();
+    for result in results {
+        state.execs += 1;
+        if CoverageMap::merge_classified(&mut state.global, &result.cover) > 0 {
+            state.corpus.push(result.program);
+        }
+        for finding in result.findings {
+            if state.seen.insert(finding.report.dedup_key()) {
+                state.findings.push(finding);
+            }
+        }
+    }
+    state.epochs += 1;
+    *shared.snapshot.lock().unwrap() = Arc::new(state.corpus.clone());
+    let done = shared.epoch_end.load(Ordering::SeqCst);
+    let failed = shared.error.lock().unwrap().is_some();
+    if failed || done >= config.campaign.iterations {
+        shared.stop.store(true, Ordering::SeqCst);
+    } else {
+        shared.next_iter.store(done, Ordering::SeqCst);
+        shared
+            .epoch_end
+            .store((done + config.epoch_len).min(config.campaign.iterations), Ordering::SeqCst);
+    }
+}
+
+/// One worker thread: claim chunks, execute, publish, synchronize.
+fn worker_loop<F>(
+    worker: usize,
+    factory: &F,
+    descs: &[SyscallDesc],
+    dict: &Dictionary,
+    strategy: Strategy,
+    config: &ParallelConfig,
+    shared: &Shared,
+) where
+    F: Fn(usize) -> Result<Session, CampaignError> + Sync,
+{
+    let mut session = match factory(worker) {
+        Ok(mut session) => {
+            // Canonical dedup happens at merge time; the runtime must
+            // report every occurrence or finding sets would depend on
+            // which worker saw a bug first.
+            session.runtime_mut().dedup_enabled = false;
+            session.enable_block_coverage();
+            Some(session)
+        }
+        Err(e) => {
+            shared.error.lock().unwrap().get_or_insert(e);
+            shared.stop.store(true, Ordering::SeqCst);
+            None
+        }
+    };
+    let mutator = Mutator::new(descs.to_vec(), dict.clone(), strategy, 12);
+    let mut coverage = CoverageMap::new();
+
+    if shared.barrier.wait().is_leader() {
+        *shared.fuzz_start.lock().unwrap() = Some(Instant::now());
+    }
+    loop {
+        let end = shared.epoch_end.load(Ordering::SeqCst);
+        let snapshot = Arc::clone(&shared.snapshot.lock().unwrap());
+        let mut batch = Vec::new();
+        if let Some(session) = session.as_mut() {
+            while !shared.stop.load(Ordering::Relaxed) {
+                let start = shared.next_iter.fetch_add(config.chunk, Ordering::SeqCst);
+                if start >= end {
+                    break;
+                }
+                for iter in start..(start + config.chunk).min(end) {
+                    match run_iteration(session, &mut coverage, &mutator, &snapshot, config, iter) {
+                        Ok(result) => {
+                            for &(index, class) in &result.cover {
+                                shared.bitmap[index as usize].fetch_or(class, Ordering::Relaxed);
+                            }
+                            batch.push(result);
+                        }
+                        Err(e) => {
+                            // Re-derive the failing program (pure function
+                            // of seed and iteration) for the error context.
+                            let program =
+                                derive_program(&mutator, &snapshot, config.campaign.seed, iter);
+                            let err = CampaignError::from(e).context(iter, &program);
+                            shared.error.lock().unwrap().get_or_insert(err);
+                            shared.stop.store(true, Ordering::SeqCst);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if !batch.is_empty() {
+            shared.results.lock().unwrap().extend(batch);
+        }
+        if shared.barrier.wait().is_leader() {
+            merge_epoch(shared, config);
+        }
+        shared.barrier.wait();
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+    if let Some(session) = &session {
+        shared.cache_stats.lock().unwrap().push(session.cache_stats());
+    }
+}
+
+/// Runs a parallel fuzzing campaign over sessions produced by `factory`.
+///
+/// `factory(worker_index)` must return a *ready* session (already past
+/// `run_to_ready`); it is called once per worker, on that worker's thread,
+/// because sessions are thread-affine. Every worker must get an
+/// identically-behaving session (same firmware, same configuration) or the
+/// determinism contract is void.
+///
+/// # Errors
+///
+/// Returns the first harness-level failure in canonical order of
+/// discovery (session build or execution failures; guest crashes are
+/// findings, not errors).
+///
+/// # Panics
+///
+/// Panics if `workers` is 0 or a worker thread panics.
+pub fn run_parallel<F>(
+    factory: F,
+    descs: &[SyscallDesc],
+    dict: &Dictionary,
+    strategy: Strategy,
+    config: &ParallelConfig,
+) -> Result<ParallelOutcome, CampaignError>
+where
+    F: Fn(usize) -> Result<Session, CampaignError> + Sync,
+{
+    assert!(config.workers > 0, "need at least one worker");
+    assert!(config.epoch_len > 0 && config.chunk > 0, "degenerate scheduling parameters");
+    let shared = Shared {
+        stop: AtomicBool::new(false),
+        next_iter: AtomicU64::new(0),
+        epoch_end: AtomicU64::new(config.epoch_len.min(config.campaign.iterations)),
+        snapshot: Mutex::new(Arc::new(Vec::new())),
+        results: Mutex::new(Vec::new()),
+        merge: Mutex::new(MergeState {
+            global: Box::new([0; MAP_SIZE]),
+            corpus: Vec::new(),
+            findings: Vec::new(),
+            seen: HashSet::new(),
+            execs: 0,
+            epochs: 0,
+        }),
+        error: Mutex::new(None),
+        bitmap: (0..MAP_SIZE).map(|_| AtomicU8::new(0)).collect(),
+        barrier: Barrier::new(config.workers),
+        fuzz_start: Mutex::new(None),
+        cache_stats: Mutex::new(Vec::new()),
+    };
+    if config.campaign.iterations == 0 {
+        shared.stop.store(true, Ordering::SeqCst);
+    }
+
+    std::thread::scope(|scope| {
+        for worker in 0..config.workers {
+            let shared = &shared;
+            let factory = &factory;
+            scope.spawn(move || {
+                worker_loop(worker, factory, descs, dict, strategy, config, shared);
+            });
+        }
+    });
+
+    if let Some(error) = shared.error.lock().unwrap().take() {
+        return Err(error);
+    }
+    let fuzz_wall =
+        shared.fuzz_start.lock().unwrap().map(|start| start.elapsed()).unwrap_or_default();
+    let cache = shared
+        .cache_stats
+        .lock()
+        .unwrap()
+        .iter()
+        .fold(CacheStats::default(), |acc, &s| acc.merged(s));
+    let published_coverage =
+        shared.bitmap.iter().filter(|b| b.load(Ordering::Relaxed) != 0).count();
+    let state = shared.merge.into_inner().unwrap();
+    let stats = ParallelStats {
+        workers: config.workers,
+        execs: state.execs,
+        corpus: state.corpus.len(),
+        coverage: state.global.iter().filter(|&&b| b != 0).count(),
+        findings: state.findings.len(),
+        epochs: state.epochs,
+        fuzz_wall,
+        cache,
+        published_coverage,
+    };
+    Ok(ParallelOutcome { findings: state.findings, corpus: state.corpus, stats })
+}
+
+/// Runs the parallel engine for one firmware in its Table-1 configuration
+/// (the `embsan fuzz --workers N` path).
+///
+/// # Errors
+///
+/// See [`CampaignError`].
+pub fn run_parallel_campaign(
+    spec: &FirmwareSpec,
+    config: &ParallelConfig,
+) -> Result<(CampaignResult, ParallelOutcome), CampaignError> {
+    let image = spec
+        .build(spec.default_san_mode())
+        .map_err(|e| CampaignError::from(e).with_firmware(spec.name))?;
+    let dict = Dictionary::extract(&image);
+    let descs = descriptions_for(spec);
+    let strategy = match spec.fuzzer {
+        PaperFuzzer::Syzkaller => Strategy::Syz,
+        PaperFuzzer::Tardis => Strategy::Tardis,
+    };
+    let outcome = run_parallel(
+        |_worker| prepare_session(spec, &config.campaign).map(|(session, _)| session),
+        &descs,
+        &dict,
+        strategy,
+        config,
+    )
+    .map_err(|e| e.with_firmware(spec.name))?;
+    let found = attribute_findings(spec, &outcome.findings);
+    let stats = outcome.stats;
+    let result = CampaignResult {
+        firmware: spec.name,
+        found,
+        stats: FuzzerStats {
+            execs: stats.execs,
+            corpus: stats.corpus,
+            coverage: stats.coverage,
+            findings: stats.findings,
+        },
+    };
+    Ok((result, outcome))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embsan_guestos::firmware_by_name;
+
+    fn small_config(workers: usize, iterations: u64) -> ParallelConfig {
+        ParallelConfig {
+            workers,
+            epoch_len: 32,
+            chunk: 4,
+            campaign: CampaignConfig { iterations, seed: 17, ..CampaignConfig::default() },
+        }
+    }
+
+    fn run(workers: usize) -> (Vec<usize>, usize, usize, u64) {
+        let spec = firmware_by_name("TP-Link WDR-7660").unwrap();
+        let (result, outcome) = run_parallel_campaign(spec, &small_config(workers, 96)).unwrap();
+        (
+            result.found.iter().map(|f| f.latent_index).collect(),
+            outcome.stats.corpus,
+            outcome.stats.coverage,
+            outcome.stats.execs,
+        )
+    }
+
+    #[test]
+    fn two_workers_match_one_worker() {
+        assert_eq!(run(1), run(2));
+    }
+
+    #[test]
+    fn zero_iterations_is_a_clean_noop() {
+        let spec = firmware_by_name("TP-Link WDR-7660").unwrap();
+        let (result, outcome) = run_parallel_campaign(spec, &small_config(2, 0)).unwrap();
+        assert_eq!(outcome.stats.execs, 0);
+        assert!(result.found.is_empty());
+    }
+
+    #[test]
+    fn iteration_rng_is_schedule_independent() {
+        // Same (seed, iter) → same stream regardless of anything else.
+        let mut a = iter_rng(42, 7);
+        let mut b = iter_rng(42, 7);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = iter_rng(42, 8);
+        assert_ne!(iter_rng(42, 7).next_u64(), c.next_u64());
+    }
+}

@@ -311,3 +311,31 @@ proptest! {
         prop_assert_eq!(reparsed.len(), 1);
     }
 }
+
+proptest! {
+    /// The parallel engine ships coverage as sparse classified exports and
+    /// merges them at epoch barriers; that path must be exactly equivalent
+    /// to the sequential fuzzer's dense `merge_novel` — same novelty count,
+    /// same resulting global map — or parallel corpus admission would
+    /// diverge from the 1-worker run.
+    #[test]
+    fn sparse_classified_merge_matches_dense_merge(
+        records in proptest::collection::vec((0u32..(1 << 18), 0usize..8), 0..300)
+    ) {
+        use embsan::fuzz::cover::{CoverageMap, MAP_SIZE};
+        let mut cov = CoverageMap::new();
+        for &(pc, cpu) in &records {
+            cov.record(cpu, pc);
+        }
+        let mut dense = Box::new([0u8; MAP_SIZE]);
+        let mut via_sparse = Box::new([0u8; MAP_SIZE]);
+        let dense_novel = cov.merge_novel(&mut dense);
+        let sparse = cov.classified_sparse();
+        let sparse_novel = CoverageMap::merge_classified(&mut via_sparse, &sparse);
+        prop_assert_eq!(dense_novel, sparse_novel);
+        prop_assert_eq!(&dense[..], &via_sparse[..]);
+
+        // Re-merging the same export is never novel (idempotence).
+        prop_assert_eq!(CoverageMap::merge_classified(&mut via_sparse, &sparse), 0);
+    }
+}
