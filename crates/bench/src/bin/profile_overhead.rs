@@ -1,0 +1,125 @@
+//! The profile-overhead gate: proves the `profile` feature costs ≤2% when
+//! compiled in but disabled.
+//!
+//! A single binary cannot carry both the feature-off and feature-on hot
+//! paths, so the gate compares two builds. Wall-clock on shared runners is
+//! noisy, so each build *accumulates* the minimum over repeated, ideally
+//! alternating, invocations before the ratio is taken:
+//!
+//! ```text
+//! export EMBSAN_PROFILE_BASELINE_FILE=target/prof-base.txt
+//! export EMBSAN_PROFILE_RESULT_FILE=target/prof-gated.txt
+//! cargo build --release -p embsan-bench --bin profile_overhead
+//! cp target/release/profile_overhead off
+//! cargo build --release -p embsan-bench --features profile --bin profile_overhead
+//! cp target/release/profile_overhead on
+//! for i in 1 2 3; do ./off; ./on; done     # merge-min into both files
+//! EMBSAN_PROFILE_COMPARE=1 ./on            # compare only: gate and exit
+//! ```
+//!
+//! The compare step exits nonzero if the disabled-profiler overhead
+//! exceeds `EMBSAN_PROFILE_GATE_PCT` percent (default 2). For a quick
+//! local check, a feature-on run with only the baseline file set gates
+//! immediately against it. Workload size is tunable via
+//! `EMBSAN_PROFILE_{PROGRAMS,CALLS,REPEATS,ROUNDS}`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use embsan_bench::{env_budget, measure_profile_overhead, ProfileWorkload};
+use embsan_guestos::firmware_by_name;
+
+fn env_path(name: &str) -> Option<PathBuf> {
+    std::env::var_os(name).map(PathBuf::from)
+}
+
+fn read_secs(path: &Path) -> Option<f64> {
+    fs::read_to_string(path).ok().and_then(|t| t.trim().parse().ok())
+}
+
+/// Writes `min(existing, value)` to `path`, returning the merged value.
+fn merge_min(path: &Path, value: f64) -> f64 {
+    let best = read_secs(path).map_or(value, |prior| prior.min(value));
+    fs::write(path, format!("{best:.9}\n")).expect("write measurement file");
+    best
+}
+
+/// Gates `gated` seconds against `baseline` seconds; returns the exit code.
+fn gate(baseline: f64, gated: f64) -> ExitCode {
+    let gate_pct = env_budget("EMBSAN_PROFILE_GATE_PCT", 2) as f64;
+    let ratio = gated / baseline;
+    println!(
+        "disabled-profiler overhead: {:+.2}% (gated {gated:.4}s vs baseline {baseline:.4}s, \
+         gate {gate_pct:.0}%)",
+        (ratio - 1.0) * 100.0
+    );
+    if ratio > 1.0 + gate_pct / 100.0 {
+        eprintln!("FAIL: disabled-profiler overhead exceeds the {gate_pct:.0}% budget");
+        return ExitCode::FAILURE;
+    }
+    println!("PASS: within the {gate_pct:.0}% budget");
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let baseline_file = env_path("EMBSAN_PROFILE_BASELINE_FILE");
+    let result_file = env_path("EMBSAN_PROFILE_RESULT_FILE");
+    if std::env::var_os("EMBSAN_PROFILE_COMPARE").is_some() {
+        let baseline = baseline_file
+            .as_deref()
+            .and_then(read_secs)
+            .expect("EMBSAN_PROFILE_BASELINE_FILE holds the feature-off measurement");
+        let gated = result_file
+            .as_deref()
+            .and_then(read_secs)
+            .expect("EMBSAN_PROFILE_RESULT_FILE holds the feature-on measurement");
+        return gate(baseline, gated);
+    }
+
+    let workload = ProfileWorkload {
+        programs: env_budget("EMBSAN_PROFILE_PROGRAMS", 16) as usize,
+        calls: env_budget("EMBSAN_PROFILE_CALLS", 48) as usize,
+        repeats: env_budget("EMBSAN_PROFILE_REPEATS", 6) as usize,
+        rounds: env_budget("EMBSAN_PROFILE_ROUNDS", 5) as usize,
+        ..ProfileWorkload::default()
+    };
+    let spec = firmware_by_name("TP-Link WDR-7660").expect("seed firmware exists");
+    println!(
+        "profile-overhead workload: {} on {} programs x {} calls, {} repeats, {} rounds",
+        spec.name, workload.programs, workload.calls, workload.repeats, workload.rounds
+    );
+    let report = measure_profile_overhead(spec, &workload);
+    let best = report.best_wall.as_secs_f64();
+    println!(
+        "profile feature compiled: {}  best wall {best:.4}s over {} rounds ({} execs/round)",
+        if report.compiled { "yes" } else { "no" },
+        report.rounds.len(),
+        report.execs_per_round
+    );
+    if let Some(profile) = &report.enabled_profile {
+        print!("{}", profile.render());
+    }
+
+    if !report.compiled {
+        if let Some(path) = &baseline_file {
+            let merged = merge_min(path, best);
+            println!("baseline merged into {}: {merged:.4}s", path.display());
+        }
+        return ExitCode::SUCCESS;
+    }
+    if let Some(path) = &result_file {
+        let merged = merge_min(path, best);
+        println!("gated measurement merged into {}: {merged:.4}s", path.display());
+        return ExitCode::SUCCESS;
+    }
+    // Local convenience: a feature-on run with only the baseline file set
+    // gates its own single measurement immediately.
+    match baseline_file.as_deref().and_then(read_secs) {
+        Some(baseline) => gate(baseline, best),
+        None => {
+            println!("no EMBSAN_PROFILE_BASELINE_FILE; measurement only, no gate");
+            ExitCode::SUCCESS
+        }
+    }
+}

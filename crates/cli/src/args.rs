@@ -34,6 +34,10 @@ const VALUED: &[&str] = &[
     "epoch",
     "json",
     "toggles",
+    "metrics-out",
+    "trace-out",
+    "out",
+    "format",
 ];
 
 /// Parses `argv` (without the subcommand itself).

@@ -60,6 +60,23 @@ USAGE:
       --kill-after N             resilience drill: stop after N iterations
       --checkpoint-every N       journal checkpoint cadence (default 500)
       --supervised               watchdog supervision without a journal
+      --metrics-out FILE         write an embsan-metrics-v1 snapshot of the
+                                 run (deterministic entries only, so the
+                                 file is identical for every worker count
+                                 at a fixed seed)
+      --trace-out FILE           write the merged embsan-trace-v1 event
+                                 trace (deterministic event subset; plain
+                                 runs route through the supervised loop to
+                                 collect per-iteration spans)
+  embsan trace <image> [--call NR:ARG,...]... [--cpus N] [--budget N]
+                                 boot under EMBSAN, run executor calls, and
+                                 export the structured event trace
+      --format jsonl|chrome      output format (default jsonl, the
+                                 embsan-trace-v1 stream; chrome emits a
+                                 trace_event document for Perfetto)
+      --out FILE                 write the trace here (default stdout)
+      --metrics-out FILE         also write the session's embsan-metrics-v1
+                                 snapshot
   embsan bench [firmware-name] [--workers N] [--iters N] [--seed S]
                                  fuzzing-throughput benchmark on a seed
                                  firmware (default \"TP-Link WDR-7660\"):
@@ -94,6 +111,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "distill" => cmd_distill(&parsed),
         "probe" => cmd_probe(&parsed),
         "run" => cmd_run(&parsed),
+        "trace" => cmd_trace(&parsed),
         "fuzz" => cmd_fuzz(&parsed),
         "bench" => cmd_bench(&parsed),
         other => Err(format!("unknown command `{other}` (try `embsan help`)")),
@@ -371,14 +389,7 @@ fn ready_session(parsed: &Parsed) -> Result<(Session, FirmwareImage), String> {
 
 fn cmd_run(parsed: &Parsed) -> Result<(), String> {
     let (mut session, _image) = ready_session(parsed)?;
-    let mut program = ExecProgram::new();
-    for call in parsed.option_all("call") {
-        let (nr, args) = parse_call(call)?;
-        program.push(nr, &args);
-    }
-    if program.calls.is_empty() {
-        program.push(0, &[]);
-    }
+    let program = calls_program(parsed)?;
     let outcome = session.run_program(&program, 50_000_000).map_err(|e| e.to_string())?;
     println!("exit:    {:?}", outcome.exit);
     println!("results: {:?}", outcome.results);
@@ -390,6 +401,54 @@ fn cmd_run(parsed: &Parsed) -> Result<(), String> {
     }
     for report in &outcome.reports {
         print!("{}", session.render_report(report));
+    }
+    Ok(())
+}
+
+/// Builds the program from repeated `--call` options (default: syscall 0).
+fn calls_program(parsed: &Parsed) -> Result<ExecProgram, String> {
+    let mut program = ExecProgram::new();
+    for call in parsed.option_all("call") {
+        let (nr, args) = parse_call(call)?;
+        program.push(nr, &args);
+    }
+    if program.calls.is_empty() {
+        program.push(0, &[]);
+    }
+    Ok(program)
+}
+
+fn cmd_trace(parsed: &Parsed) -> Result<(), String> {
+    use embsan_obs::{trace_to_chrome, trace_to_jsonl, TraceConfig};
+    let image_path = parsed.positional.first().ok_or("expected an image path")?.clone();
+    let (mut session, _image) = ready_session(parsed)?;
+    // Enabled after `run_to_ready` so the trace holds only the programs'
+    // events; the full preset is reproducible because a single sequential
+    // session's cache behaviour is itself deterministic.
+    session.enable_tracing(TraceConfig::full());
+    let program = calls_program(parsed)?;
+    let outcome = session.run_program(&program, 50_000_000).map_err(|e| e.to_string())?;
+    let events = session.take_trace();
+    let text = match parsed.option("format").unwrap_or("jsonl") {
+        "jsonl" => trace_to_jsonl(&events, &[("image", &image_path)]),
+        "chrome" => trace_to_chrome(&events),
+        other => return Err(format!("unknown trace format `{other}` (jsonl|chrome)")),
+    };
+    match parsed.option("out") {
+        Some(path) => {
+            fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("wrote {path}: {} events, exit {:?}", events.len(), outcome.exit);
+        }
+        // Status goes to stderr so a piped stdout stays pure JSONL.
+        None => {
+            print!("{text}");
+            eprintln!("{} events, exit {:?}", events.len(), outcome.exit);
+        }
+    }
+    if let Some(path) = parsed.option("metrics-out") {
+        let json = session.metrics_snapshot().to_json(false);
+        fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
     }
     Ok(())
 }
@@ -426,9 +485,32 @@ fn fuzz_supervisor_config(parsed: &Parsed) -> Result<embsan_fuzz::SupervisorConf
             None => None,
         },
         fault_plan: fuzz_fault_plan(parsed)?,
+        trace: parsed.option("trace-out").is_some(),
         ..Default::default()
     };
     Ok(config)
+}
+
+/// Writes the `--trace-out` / `--metrics-out` artifacts of a fuzz run.
+/// Metrics are serialized with deterministic entries only, so the file is
+/// byte-identical across repeated runs and worker counts at a fixed seed.
+fn write_fuzz_outputs(
+    parsed: &Parsed,
+    trace: Option<&embsan_obs::MergedTrace>,
+    snapshot: &embsan_obs::MetricsSnapshot,
+    meta: &[(&str, &str)],
+) -> Result<(), String> {
+    if let Some(path) = parsed.option("trace-out") {
+        let trace = trace.ok_or("no event trace was collected")?;
+        fs::write(path, trace.to_jsonl(meta)).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}: {} events", trace.event_count());
+    }
+    if let Some(path) = parsed.option("metrics-out") {
+        fs::write(path, snapshot.to_json(false))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
 }
 
 fn print_supervised(outcome: &embsan_fuzz::SupervisedOutcome) {
@@ -503,6 +585,10 @@ fn cmd_fuzz(parsed: &Parsed) -> Result<(), String> {
         // An explicit --workers always uses the parallel engine — including
         // --workers 1 — so results are comparable across every worker count.
         cmd_fuzz_parallel(parsed, workers)
+    } else if parsed.option("trace-out").is_some() {
+        // Merged per-iteration traces come from the supervised loop; a
+        // traced plain run is a supervised run with the default policy.
+        cmd_fuzz_supervised(parsed)
     } else {
         cmd_fuzz_plain(parsed)
     }
@@ -527,6 +613,7 @@ fn cmd_fuzz_parallel(parsed: &Parsed, workers: usize) -> Result<(), String> {
             ready_budget,
             ..CampaignConfig::default()
         },
+        trace: parsed.option("trace-out").is_some(),
         ..ParallelConfig::default()
     };
     let syscall_descs = fuzz_descriptions(parsed)?;
@@ -570,7 +657,12 @@ fn cmd_fuzz_parallel(parsed: &Parsed, workers: usize) -> Result<(), String> {
             finding.program.calls.iter().map(|c| c.nr).collect::<Vec<_>>()
         );
     }
-    Ok(())
+    // No worker count in the meta: the trace and deterministic metrics are
+    // byte-identical for every worker count, and the header must be too.
+    let seed = config.campaign.seed.to_string();
+    let iters = config.campaign.iterations.to_string();
+    let meta = [("engine", "parallel"), ("seed", seed.as_str()), ("iterations", iters.as_str())];
+    write_fuzz_outputs(parsed, outcome.trace.as_ref(), &outcome.stats.metrics_snapshot(), &meta)
 }
 
 fn cmd_bench(parsed: &Parsed) -> Result<(), String> {
@@ -657,7 +749,7 @@ fn cmd_fuzz_plain(parsed: &Parsed) -> Result<(), String> {
             finding.program.calls.iter().map(|c| c.nr).collect::<Vec<_>>()
         );
     }
-    Ok(())
+    write_fuzz_outputs(parsed, None, &session.metrics_snapshot(), &[])
 }
 
 fn cmd_fuzz_supervised(parsed: &Parsed) -> Result<(), String> {
@@ -689,6 +781,8 @@ fn cmd_fuzz_supervised(parsed: &Parsed) -> Result<(), String> {
         dict.len(),
         if config.fault_plan.is_some() { ", fault plan armed" } else { "" }
     );
+    let seed = start.seed.to_string();
+    let iters = start.iterations.to_string();
     let outcome = run_supervised_session(
         &mut session,
         syscall_descs,
@@ -700,7 +794,8 @@ fn cmd_fuzz_supervised(parsed: &Parsed) -> Result<(), String> {
     )
     .map_err(|e| e.to_string())?;
     print_supervised(&outcome);
-    Ok(())
+    let meta = [("engine", "supervised"), ("seed", seed.as_str()), ("iterations", iters.as_str())];
+    write_fuzz_outputs(parsed, outcome.trace.as_ref(), &outcome.metrics_snapshot(), &meta)
 }
 
 fn cmd_fuzz_resume(parsed: &Parsed) -> Result<(), String> {
@@ -747,6 +842,8 @@ fn cmd_fuzz_resume(parsed: &Parsed) -> Result<(), String> {
         start.iterations,
         if loaded.truncated { ", torn tail discarded" } else { "" }
     );
+    let seed = start.seed.to_string();
+    let iters = start.iterations.to_string();
     let outcome = run_supervised_session(
         &mut session,
         syscall_descs,
@@ -758,7 +855,8 @@ fn cmd_fuzz_resume(parsed: &Parsed) -> Result<(), String> {
     )
     .map_err(|e| e.to_string())?;
     print_supervised(&outcome);
-    Ok(())
+    let meta = [("engine", "supervised"), ("seed", seed.as_str()), ("iterations", iters.as_str())];
+    write_fuzz_outputs(parsed, outcome.trace.as_ref(), &outcome.metrics_snapshot(), &meta)
 }
 
 #[cfg(test)]

@@ -221,6 +221,8 @@ pub struct EmbsanRuntime {
     /// Bounded log of degradation events (the counters stay exact even
     /// after the log caps out).
     degradations: Vec<Degradation>,
+    tracer: embsan_obs::Tracer,
+    profiler: embsan_obs::Profiler,
 }
 
 /// Cap on the retained [`Degradation`] event log; beyond this only the
@@ -282,7 +284,22 @@ impl EmbsanRuntime {
             checks_performed: 0,
             health: HealthCounters::default(),
             degradations: Vec::new(),
+            tracer: embsan_obs::Tracer::disabled(),
+            profiler: embsan_obs::Profiler::disabled(),
         })
+    }
+
+    /// Attaches an observability tracer (shadow checks, allocator
+    /// intercepts, reports). Sessions share one tracer between the
+    /// machine and the runtime so the event stream is totally ordered.
+    pub fn set_tracer(&mut self, tracer: embsan_obs::Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Attaches a hot-path profiler charging shadow checks to
+    /// [`embsan_obs::Phase::Check`].
+    pub fn set_profiler(&mut self, profiler: embsan_obs::Profiler) {
+        self.profiler = profiler;
     }
 
     /// The attach mode.
@@ -542,6 +559,12 @@ impl EmbsanRuntime {
 
     fn record_with_signature(&mut self, report: Report, signature: u64) -> HookAction {
         let (class, pc) = report.dedup_key();
+        // Recorded before deduplication, so the event stream stays a pure
+        // function of the current execution (dedup depends on campaign
+        // history). Guarded: the label allocates.
+        if self.tracer.is_enabled() {
+            self.tracer.record(embsan_obs::EventKind::Report { class: class.to_string(), pc });
+        }
         if !self.dedup_enabled {
             self.new_reports.push(report);
         } else if self.dedup.insert((class, pc, signature)) {
@@ -572,7 +595,29 @@ impl EmbsanRuntime {
         pc: u32,
         written_value: Option<u32>,
     ) -> HookAction {
+        // Branch around scope construction: a ProfileScope local would add
+        // drop glue to every exit edge of this multi-million-calls-per-
+        // second function, which alone breaks the ≤2% disabled budget.
+        if self.profiler.is_enabled() {
+            let _scope = self.profiler.scope(embsan_obs::Phase::Check);
+            return self.check_access_inner(cpu, addr, size, is_write, atomic, pc, written_value);
+        }
+        self.check_access_inner(cpu, addr, size, is_write, atomic, pc, written_value)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn check_access_inner(
+        &mut self,
+        cpu: &mut CpuView<'_>,
+        addr: u32,
+        size: u8,
+        is_write: bool,
+        atomic: bool,
+        pc: u32,
+        written_value: Option<u32>,
+    ) -> HookAction {
         self.checks_performed += 1;
+        self.tracer.record(embsan_obs::EventKind::ShadowCheck { addr, size, write: is_write });
         let cpu_index = cpu.cpu_index();
         if self.kasan.is_some() {
             if let Err(violation) = self.shadow.check(addr, size) {
@@ -660,6 +705,11 @@ impl ExecHook for EmbsanRuntime {
         match nr {
             hyper::ALLOC if self.active => {
                 let (addr, size) = (arg(cpu, 0), arg(cpu, 1));
+                self.tracer.record(embsan_obs::EventKind::AllocIntercept {
+                    op: embsan_obs::AllocOp::Alloc,
+                    addr,
+                    size,
+                });
                 if let Some(kasan) = &mut self.kasan {
                     kasan.on_alloc(&mut self.shadow, addr, size, pc);
                 }
@@ -670,6 +720,11 @@ impl ExecHook for EmbsanRuntime {
             }
             hyper::FREE if self.active => {
                 let addr = arg(cpu, 0);
+                self.tracer.record(embsan_obs::EventKind::AllocIntercept {
+                    op: embsan_obs::AllocOp::Free,
+                    addr,
+                    size: 0,
+                });
                 if let Some(umsan) = &mut self.umsan {
                     umsan.on_free(addr);
                 }
@@ -688,6 +743,11 @@ impl ExecHook for EmbsanRuntime {
             }
             hyper::REGISTER_GLOBAL if self.active => {
                 let (addr, size, redzone) = (arg(cpu, 0), arg(cpu, 1), arg(cpu, 2));
+                self.tracer.record(embsan_obs::EventKind::AllocIntercept {
+                    op: embsan_obs::AllocOp::Global,
+                    addr,
+                    size,
+                });
                 if let Some(kasan) = &mut self.kasan {
                     kasan.on_global(&mut self.shadow, addr, size, redzone);
                 }
@@ -743,6 +803,11 @@ impl ExecHook for EmbsanRuntime {
             FuncRole::Alloc if self.active => {
                 let addr = if hook.returns { cpu.reg(Reg::A0) } else { 0 };
                 let size = param("size");
+                self.tracer.record(embsan_obs::EventKind::AllocIntercept {
+                    op: embsan_obs::AllocOp::Alloc,
+                    addr,
+                    size,
+                });
                 if let Some(kasan) = &mut self.kasan {
                     kasan.on_alloc(&mut self.shadow, addr, size, pc);
                 }
@@ -752,6 +817,11 @@ impl ExecHook for EmbsanRuntime {
             }
             FuncRole::Free if self.active => {
                 let addr = param("addr");
+                self.tracer.record(embsan_obs::EventKind::AllocIntercept {
+                    op: embsan_obs::AllocOp::Free,
+                    addr,
+                    size: 0,
+                });
                 if let Some(umsan) = &mut self.umsan {
                     umsan.on_free(addr);
                 }
@@ -765,6 +835,11 @@ impl ExecHook for EmbsanRuntime {
                 }
             }
             FuncRole::Global if self.active => {
+                self.tracer.record(embsan_obs::EventKind::AllocIntercept {
+                    op: embsan_obs::AllocOp::Global,
+                    addr: param("addr"),
+                    size: param("size"),
+                });
                 if let Some(kasan) = &mut self.kasan {
                     kasan.on_global(
                         &mut self.shadow,

@@ -84,6 +84,12 @@ pub struct Session {
     image: FirmwareImage,
     ready_done: bool,
     baseline: Option<(Snapshot, RuntimeState)>,
+    tracer: embsan_obs::Tracer,
+    profiler: embsan_obs::Profiler,
+    programs_run: u64,
+    /// Per-program retired-instruction distribution (log2 buckets); a pure
+    /// function of the executed programs, so it snapshots deterministically.
+    exec_insns: embsan_obs::Histogram,
 }
 
 impl std::fmt::Debug for Session {
@@ -131,6 +137,10 @@ impl Session {
             image: image.clone(),
             ready_done: false,
             baseline: None,
+            tracer: embsan_obs::Tracer::disabled(),
+            profiler: embsan_obs::Profiler::disabled(),
+            programs_run: 0,
+            exec_insns: embsan_obs::Histogram::new(),
         };
         let config = session.runtime.hook_config();
         session.machine.set_hook_config(config);
@@ -156,6 +166,119 @@ impl Session {
     /// generation-reuse telemetry for the bench and campaign reports).
     pub fn cache_stats(&self) -> embsan_emu::CacheStats {
         self.machine.cache_stats()
+    }
+
+    /// Arms structured event tracing: one shared ring buffer receives
+    /// events from the machine, the translation cache and the sanitizer
+    /// runtime, tagged with the lifetime-retired instruction clock.
+    ///
+    /// Typically called after [`Session::run_to_ready`] so the trace
+    /// covers test programs, not the boot's millions of instructions. The
+    /// tracer is not part of the reset snapshot: events survive
+    /// [`Session::reset`] until drained.
+    pub fn enable_tracing(&mut self, config: embsan_obs::TraceConfig) {
+        let tracer = embsan_obs::Tracer::new(config);
+        self.machine.set_tracer(tracer.clone());
+        self.runtime.set_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+
+    /// The session's tracer handle (disabled until
+    /// [`Session::enable_tracing`]).
+    pub fn tracer(&self) -> &embsan_obs::Tracer {
+        &self.tracer
+    }
+
+    /// The lifetime-retired clock value to pass to
+    /// [`Session::drain_trace`] for iteration-relative rebasing.
+    pub fn trace_mark(&self) -> u64 {
+        self.machine.lifetime_retired()
+    }
+
+    /// Drains buffered trace events, rebasing clock tags onto `mark`
+    /// (a value from [`Session::trace_mark`]) and restarting the sequence
+    /// counter — the resulting span is independent of how much this
+    /// session executed before the mark.
+    pub fn drain_trace(&mut self, mark: u64) -> Vec<embsan_obs::Event> {
+        self.tracer.drain_rebased(mark)
+    }
+
+    /// Drains buffered trace events with absolute clock tags.
+    pub fn take_trace(&mut self) -> Vec<embsan_obs::Event> {
+        self.tracer.drain()
+    }
+
+    /// Attaches hot-path profilers (translate/execute/check) and returns
+    /// the shared handle. The timers start disabled; call
+    /// [`embsan_obs::Profiler::set_enabled`] on the returned handle. A
+    /// no-op handle unless the `embsan-obs/profile` feature is compiled.
+    pub fn enable_profiling(&mut self) -> embsan_obs::Profiler {
+        let profiler = embsan_obs::Profiler::attached();
+        self.machine.set_profiler(profiler.clone());
+        self.runtime.set_profiler(profiler.clone());
+        self.profiler = profiler.clone();
+        profiler
+    }
+
+    /// Copies this session's counters into `registry`.
+    ///
+    /// Everything a sequential session observes is a pure function of the
+    /// executed programs, so all entries are
+    /// [`embsan_obs::MetricClass::Deterministic`] here; campaign engines
+    /// re-class schedule-dependent counters (notably per-worker cache
+    /// warmth) as telemetry in their own adapters.
+    pub fn collect_metrics(&self, registry: &mut embsan_obs::MetricsRegistry) {
+        use embsan_obs::MetricClass::Deterministic;
+        let cache = self.cache_stats();
+        registry.counter("translator", "translations", Deterministic, cache.translations);
+        registry.counter("translator", "hits", Deterministic, cache.hits);
+        registry.counter("translator", "reconfigures", Deterministic, cache.reconfigures);
+        registry.counter("translator", "generation_hits", Deterministic, cache.generation_hits);
+        registry.counter(
+            "translator",
+            "generation_evictions",
+            Deterministic,
+            cache.generation_evictions,
+        );
+        registry.counter("translator", "flushes", Deterministic, cache.flushes);
+        registry.counter(
+            "hooks",
+            "checks_performed",
+            Deterministic,
+            self.runtime.checks_performed(),
+        );
+        registry.counter("shadow", "reports", Deterministic, self.runtime.reports().len() as u64);
+        let health = self.health();
+        registry.counter(
+            "shadow",
+            "quarantine_evictions",
+            Deterministic,
+            health.quarantine_evictions,
+        );
+        registry.counter("shadow", "shadow_clips", Deterministic, health.shadow_clips);
+        registry.counter("shadow", "spec_drift", Deterministic, health.spec_drift);
+        let injection = self.machine.injection_stats();
+        registry.counter("injection", "ram_bit_flips", Deterministic, injection.ram_bit_flips);
+        registry.counter(
+            "injection",
+            "mmio_corruptions",
+            Deterministic,
+            injection.mmio_corruptions,
+        );
+        registry.counter("injection", "spurious_irqs", Deterministic, injection.spurious_irqs);
+        registry.counter("injection", "alloc_failures", Deterministic, injection.alloc_failures);
+        registry.counter("injection", "cpu_wedges", Deterministic, injection.cpu_wedges);
+        registry.counter("session", "programs_run", Deterministic, self.programs_run);
+        registry.histogram("session", "program_insns", Deterministic, self.exec_insns.clone());
+        registry.counter("session", "trace_dropped", Deterministic, self.tracer.dropped());
+    }
+
+    /// A metrics snapshot of this session (see
+    /// [`Session::collect_metrics`]).
+    pub fn metrics_snapshot(&self) -> embsan_obs::MetricsSnapshot {
+        let mut registry = embsan_obs::MetricsRegistry::new();
+        self.collect_metrics(&mut registry);
+        registry.snapshot()
     }
 
     /// Mutable runtime access (e.g. to set `stop_on_report`).
@@ -298,6 +421,7 @@ impl Session {
         // the executor's per-call result bytes — `AllIdle` alone is not
         // usable on SMP firmware whose background task never sleeps.
         let total_calls = program.calls.len();
+        let insns_before = self.machine.lifetime_retired();
         let mut exit;
         let mut spent: u64 = 0;
         loop {
@@ -318,6 +442,8 @@ impl Session {
                 _ => {}
             }
         }
+        self.programs_run += 1;
+        self.exec_insns.observe(self.machine.lifetime_retired() - insns_before);
         Ok(ExecOutcome {
             exit,
             results: self.machine.bus_mut().devices.mailbox.host_take_results(),

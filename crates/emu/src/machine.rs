@@ -157,6 +157,8 @@ impl MachineBuilder {
             skip_bp_once: None,
             fault_plan: None,
             injection_stats: InjectionStats::default(),
+            tracer: embsan_obs::Tracer::disabled(),
+            profiler: embsan_obs::Profiler::disabled(),
         })
     }
 }
@@ -179,6 +181,8 @@ pub struct Machine {
     skip_bp_once: Option<(usize, u32)>,
     fault_plan: Option<ArmedPlan>,
     injection_stats: InjectionStats,
+    tracer: embsan_obs::Tracer,
+    profiler: embsan_obs::Profiler,
 }
 
 impl std::fmt::Debug for Machine {
@@ -282,6 +286,29 @@ impl Machine {
         self.injection_stats
     }
 
+    /// Attaches an observability tracer. The handle is shared with the
+    /// translation cache; the machine keeps the tracer's clock pinned to
+    /// [`Machine::lifetime_retired`] at scheduling-quantum granularity, so
+    /// event tags are a pure function of guest execution. Snapshot restore
+    /// does not touch the tracer (like the lifetime clock itself).
+    pub fn set_tracer(&mut self, tracer: embsan_obs::Tracer) {
+        tracer.set_clock(self.lifetime_retired);
+        self.cache.set_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+
+    /// The attached tracer (disabled by default).
+    pub fn tracer(&self) -> &embsan_obs::Tracer {
+        &self.tracer
+    }
+
+    /// Attaches a hot-path profiler (shared with the translation cache).
+    /// A no-op unless the `embsan-obs/profile` feature is compiled in.
+    pub fn set_profiler(&mut self, profiler: embsan_obs::Profiler) {
+        self.cache.set_profiler(profiler.clone());
+        self.profiler = profiler;
+    }
+
     /// Injects every armed fault whose trigger time has passed.
     fn apply_due_faults(&mut self) {
         let Some(plan) = self.fault_plan.as_mut() else {
@@ -289,6 +316,14 @@ impl Machine {
         };
         let due = plan.take_due(self.lifetime_retired);
         for kind in due {
+            let label = match kind {
+                FaultKind::RamBitFlip { .. } => "ram-bit-flip",
+                FaultKind::MmioCorrupt { .. } => "mmio-corrupt",
+                FaultKind::SpuriousIrq => "spurious-irq",
+                FaultKind::AllocFail { .. } => "alloc-fail",
+                FaultKind::StuckCpu { .. } => "stuck-cpu",
+            };
+            self.tracer.record(embsan_obs::EventKind::FaultInjected { fault: label });
             match kind {
                 FaultKind::RamBitFlip { offset, bit } => {
                     let (base, size) = self.bus.ram_range();
@@ -460,6 +495,11 @@ impl Machine {
             if executed_total >= budget {
                 return Ok(RunExit::BudgetExhausted);
             }
+            // Pin the trace clock to the lifetime-retired counter once per
+            // quantum: events within a quantum share its start tag and are
+            // ordered by sequence number. Quantum boundaries are
+            // deterministic, so traces are reproducible.
+            self.tracer.set_clock(self.lifetime_retired);
             // Expire stalls whose window has passed.
             for idx in 0..self.cpus.len() {
                 if let Some(until) = self.cpus[idx].stalled_until {
@@ -531,7 +571,10 @@ impl Machine {
 
             let quantum = self.quantum.min(budget - executed_total);
             let before = self.cpus[idx].retired;
-            let exit = self.run_quantum(idx, hook, quantum);
+            let exit = {
+                let _scope = self.profiler.scope(embsan_obs::Phase::Execute);
+                self.run_quantum(idx, hook, quantum)
+            };
             let ran = self.cpus[idx].retired - before;
             executed_total += ran;
             self.lifetime_retired += ran;
@@ -586,6 +629,10 @@ impl Machine {
                 }
             };
             if cfg.blocks {
+                self.tracer.record(embsan_obs::EventKind::ProbeFire {
+                    probe: embsan_obs::ProbeKind::Block,
+                    pc,
+                });
                 let mut view = CpuView {
                     cpu: &mut self.cpus[idx],
                     bus: &mut self.bus,
@@ -669,7 +716,7 @@ impl Machine {
         probe_call: bool,
     ) -> Step {
         // Split borrows once for the whole op.
-        let Machine { cpus, bus, global_retired, .. } = self;
+        let Machine { cpus, bus, global_retired, tracer, .. } = self;
         let cpu = &mut cpus[idx];
         let r = |cpu: &Cpu, reg: Reg| cpu.regs.read(reg);
 
@@ -743,6 +790,10 @@ impl Machine {
                     _ => (4, false),
                 };
                 if probe_mem {
+                    tracer.record(embsan_obs::EventKind::ProbeFire {
+                        probe: embsan_obs::ProbeKind::Mem,
+                        pc,
+                    });
                     let access =
                         MemAccess { addr, size, kind: MemKind::Read, value: 0, pc, cpu: idx };
                     let mut view = CpuView { cpu, bus, global_retired: *global_retired };
@@ -784,6 +835,10 @@ impl Machine {
                     };
                 let mut stall: Option<(u64, u64)> = None;
                 if probe_mem {
+                    tracer.record(embsan_obs::EventKind::ProbeFire {
+                        probe: embsan_obs::ProbeKind::Mem,
+                        pc,
+                    });
                     let access =
                         MemAccess { addr, size, kind: MemKind::Write, value, pc, cpu: idx };
                     let mut view = CpuView { cpu, bus, global_retired: *global_retired };
@@ -806,6 +861,10 @@ impl Machine {
                 let addr = r(cpu, rs1);
                 let operand = r(cpu, rs2);
                 if probe_mem {
+                    tracer.record(embsan_obs::EventKind::ProbeFire {
+                        probe: embsan_obs::ProbeKind::Mem,
+                        pc,
+                    });
                     let access = MemAccess {
                         addr,
                         size: 4,
@@ -853,6 +912,10 @@ impl Machine {
                 let ret_to = pc.wrapping_add(4);
                 cpu.regs.write(rd, ret_to);
                 if probe_call && cfg.calls {
+                    tracer.record(embsan_obs::EventKind::ProbeFire {
+                        probe: embsan_obs::ProbeKind::Call,
+                        pc,
+                    });
                     let mut view = CpuView { cpu, bus, global_retired: *global_retired };
                     hook.call(&mut view, target, ret_to);
                 }
@@ -864,6 +927,17 @@ impl Machine {
                 let kind = call_kind(&insn);
                 cpu.regs.write(rd, ret_to);
                 if probe_call && cfg.calls {
+                    match kind {
+                        CallKind::Call => tracer.record(embsan_obs::EventKind::ProbeFire {
+                            probe: embsan_obs::ProbeKind::Call,
+                            pc,
+                        }),
+                        CallKind::Ret => tracer.record(embsan_obs::EventKind::ProbeFire {
+                            probe: embsan_obs::ProbeKind::Ret,
+                            pc,
+                        }),
+                        CallKind::Neither => {}
+                    }
                     let mut view = CpuView { cpu, bus, global_retired: *global_retired };
                     match kind {
                         CallKind::Call => hook.call(&mut view, target, ret_to),
@@ -887,6 +961,10 @@ impl Machine {
 
             Insn::Hyper { nr } => {
                 if cfg.hypercalls {
+                    tracer.record(embsan_obs::EventKind::ProbeFire {
+                        probe: embsan_obs::ProbeKind::Hypercall,
+                        pc,
+                    });
                     let mut view = CpuView { cpu, bus, global_retired: *global_retired };
                     match hook.hypercall(&mut view, nr) {
                         HookAction::Continue => Step::Next,

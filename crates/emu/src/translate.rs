@@ -113,6 +113,8 @@ pub struct BlockCache {
     /// Reconfiguration clock driving `Generation::last_used`.
     clock: u64,
     stats: CacheStats,
+    tracer: embsan_obs::Tracer,
+    profiler: embsan_obs::Profiler,
 }
 
 impl Default for BlockCache {
@@ -151,7 +153,21 @@ impl BlockCache {
             front: Vec::new(),
             clock: 0,
             stats: CacheStats::default(),
+            tracer: embsan_obs::Tracer::disabled(),
+            profiler: embsan_obs::Profiler::disabled(),
         }
+    }
+
+    /// Attaches an observability tracer (cache events: translate,
+    /// generation hit/evict, flush).
+    pub fn set_tracer(&mut self, tracer: embsan_obs::Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Attaches a profiler charging translation work to
+    /// [`embsan_obs::Phase::Translate`].
+    pub fn set_profiler(&mut self, profiler: embsan_obs::Profiler) {
+        self.profiler = profiler;
     }
 
     /// The hook configuration the active generation was translated under.
@@ -176,6 +192,9 @@ impl BlockCache {
             self.current = idx;
             self.gens[idx].last_used = self.clock;
             self.stats.generation_hits += 1;
+            self.tracer.record(embsan_obs::EventKind::CacheGenerationHit {
+                generations: self.gens.len() as u32,
+            });
             return;
         }
         if self.gens.len() >= MAX_GENERATIONS {
@@ -194,6 +213,9 @@ impl BlockCache {
                 self.current -= 1;
             }
             self.stats.generation_evictions += 1;
+            self.tracer.record(embsan_obs::EventKind::CacheGenerationEvict {
+                generations: self.gens.len() as u32,
+            });
         }
         self.gens.push(Generation { config, blocks: HashMap::new(), last_used: self.clock });
         self.current = self.gens.len() - 1;
@@ -207,6 +229,7 @@ impl BlockCache {
         }
         self.front.clear();
         self.stats.flushes += 1;
+        self.tracer.record(embsan_obs::EventKind::CacheFlush);
     }
 
     /// Number of blocks translated since creation (monotonic; not reset by
@@ -249,8 +272,12 @@ impl BlockCache {
             self.front[slot] = Some(Rc::clone(&block));
             return Ok(block);
         }
-        let block = Rc::new(translate_block(bus, pc, gen.config)?);
+        let block = {
+            let _scope = self.profiler.scope(embsan_obs::Phase::Translate);
+            Rc::new(translate_block(bus, pc, gen.config)?)
+        };
         self.stats.translations += 1;
+        self.tracer.record(embsan_obs::EventKind::BlockTranslate { pc });
         if gen.blocks.len() >= MAX_BLOCKS_PER_GENERATION {
             gen.blocks.clear();
         }

@@ -50,6 +50,10 @@ use embsan_emu::CacheStats;
 use embsan_guestos::executor::{sys, ExecProgram};
 use embsan_guestos::firmware::Fuzzer as PaperFuzzer;
 use embsan_guestos::FirmwareSpec;
+use embsan_obs::{
+    Event, EventKind, MergedTrace, MetricClass, MetricsRegistry, MetricsSnapshot, TraceConfig,
+    TraceSpan,
+};
 
 use crate::campaign::{
     attribute_findings, prepare_session, CampaignConfig, CampaignError, CampaignResult,
@@ -80,11 +84,22 @@ pub struct ParallelConfig {
     pub chunk: u64,
     /// The underlying campaign parameters (iterations, seed, budgets).
     pub campaign: CampaignConfig,
+    /// Records a merged event trace ([`TraceConfig::deterministic`] preset:
+    /// execution events only, since translation-cache warmth differs per
+    /// worker). Off by default; tracing never changes findings, corpus or
+    /// coverage.
+    pub trace: bool,
 }
 
 impl Default for ParallelConfig {
     fn default() -> ParallelConfig {
-        ParallelConfig { workers: 1, epoch_len: 64, chunk: 8, campaign: CampaignConfig::default() }
+        ParallelConfig {
+            workers: 1,
+            epoch_len: 64,
+            chunk: 8,
+            campaign: CampaignConfig::default(),
+            trace: false,
+        }
     }
 }
 
@@ -113,6 +128,52 @@ pub struct ParallelStats {
     pub published_coverage: usize,
 }
 
+impl ParallelStats {
+    /// Copies these stats into `registry` under the `scheduler` subsystem
+    /// (plus the summed `translator` cache counters).
+    ///
+    /// Campaign results (execs, corpus, coverage, findings, epochs and the
+    /// converged shared-bitmap coverage) are
+    /// [`MetricClass::Deterministic`] — identical for every worker count.
+    /// Wall time, the worker count itself and the summed per-worker cache
+    /// counters depend on scheduling and are classed as telemetry.
+    pub fn collect_metrics(&self, registry: &mut MetricsRegistry) {
+        use MetricClass::{Deterministic, Telemetry};
+        registry.gauge("scheduler", "workers", Telemetry, self.workers as i64);
+        registry.counter("scheduler", "execs", Deterministic, self.execs);
+        registry.gauge("scheduler", "corpus", Deterministic, self.corpus as i64);
+        registry.gauge("scheduler", "coverage", Deterministic, self.coverage as i64);
+        registry.gauge("scheduler", "findings", Deterministic, self.findings as i64);
+        registry.counter("scheduler", "epochs", Deterministic, self.epochs);
+        registry.gauge(
+            "scheduler",
+            "published_coverage",
+            Deterministic,
+            self.published_coverage as i64,
+        );
+        registry.counter("scheduler", "fuzz_wall_ms", Telemetry, self.fuzz_wall.as_millis() as u64);
+        registry.counter("translator", "translations", Telemetry, self.cache.translations);
+        registry.counter("translator", "hits", Telemetry, self.cache.hits);
+        registry.counter("translator", "reconfigures", Telemetry, self.cache.reconfigures);
+        registry.counter("translator", "generation_hits", Telemetry, self.cache.generation_hits);
+        registry.counter(
+            "translator",
+            "generation_evictions",
+            Telemetry,
+            self.cache.generation_evictions,
+        );
+        registry.counter("translator", "flushes", Telemetry, self.cache.flushes);
+    }
+
+    /// A metrics snapshot of these stats (see
+    /// [`ParallelStats::collect_metrics`]).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut registry = MetricsRegistry::new();
+        self.collect_metrics(&mut registry);
+        registry.snapshot()
+    }
+}
+
 /// Everything a parallel run produces.
 #[derive(Debug)]
 pub struct ParallelOutcome {
@@ -123,6 +184,10 @@ pub struct ParallelOutcome {
     pub corpus: Vec<ExecProgram>,
     /// Run statistics.
     pub stats: ParallelStats,
+    /// Merged event trace in canonical iteration order (spans rebased to
+    /// their iteration start, so the trace is identical for every worker
+    /// count). `None` unless [`ParallelConfig::trace`] was set.
+    pub trace: Option<MergedTrace>,
 }
 
 /// One iteration's shippable result.
@@ -131,6 +196,8 @@ struct IterResult {
     program: ExecProgram,
     cover: Vec<(u32, u8)>,
     findings: Vec<Finding>,
+    /// Iteration-relative trace span (empty unless tracing is on).
+    events: Vec<Event>,
 }
 
 /// Merge-side state, owned by whichever worker leads each epoch barrier.
@@ -141,6 +208,8 @@ struct MergeState {
     seen: HashSet<(BugClass, u32)>,
     execs: u64,
     epochs: u64,
+    /// Merged event trace in canonical iteration order (when tracing).
+    trace: Option<MergedTrace>,
 }
 
 /// State shared by all workers of one run.
@@ -232,6 +301,10 @@ fn run_iteration(
     config: &ParallelConfig,
     iter: u64,
 ) -> Result<IterResult, SessionError> {
+    // Rebasing against the iteration-start clock makes the span a pure
+    // function of (snapshot state, program): the lifetime clock itself is
+    // monotonic across the worker's whole schedule.
+    let mark = session.trace_mark();
     let program = derive_program(mutator, snapshot, config.campaign.seed, iter);
     coverage.reset();
     session.reset()?;
@@ -244,7 +317,8 @@ fn run_iteration(
             minimized.calls.iter().map(|c| c.nr).filter(|&nr| nr >= sys::BUG_BASE).collect();
         findings.push(Finding { report, program: minimized, bug_syscalls });
     }
-    Ok(IterResult { iter, program, cover: coverage.classified_sparse(), findings })
+    let events = session.drain_trace(mark);
+    Ok(IterResult { iter, program, cover: coverage.classified_sparse(), findings, events })
 }
 
 /// The canonical merge: executed by the epoch leader while every other
@@ -267,8 +341,30 @@ fn merge_epoch(shared: &Shared, config: &ParallelConfig) {
                 state.findings.push(finding);
             }
         }
+        if let Some(trace) = &mut state.trace {
+            trace.push_span(TraceSpan { iter: result.iter, events: result.events });
+        }
     }
     state.epochs += 1;
+    if state.trace.is_some() {
+        // Record the canonical post-merge totals as a scheduler event. The
+        // span is tagged with the epoch-end boundary, which totally orders
+        // it after every iteration it merged.
+        let merge = EventKind::EpochMerge {
+            epoch: state.epochs,
+            execs: state.execs,
+            corpus: state.corpus.len() as u64,
+            findings: state.findings.len() as u64,
+            coverage: state.global.iter().filter(|&&b| b != 0).count() as u64,
+        };
+        let boundary = shared.epoch_end.load(Ordering::SeqCst);
+        if let Some(trace) = &mut state.trace {
+            trace.push_span(TraceSpan {
+                iter: boundary,
+                events: vec![Event { clock: 0, seq: 0, kind: merge }],
+            });
+        }
+    }
     *shared.snapshot.lock().unwrap() = Arc::new(state.corpus.clone());
     let done = shared.epoch_end.load(Ordering::SeqCst);
     let failed = shared.error.lock().unwrap().is_some();
@@ -301,6 +397,12 @@ fn worker_loop<F>(
             // which worker saw a bug first.
             session.runtime_mut().dedup_enabled = false;
             session.enable_block_coverage();
+            if config.trace {
+                // Enabled after the factory's boot so spans hold only
+                // iteration events; the deterministic preset skips cache
+                // events, whose timing depends on per-worker warmth.
+                session.enable_tracing(TraceConfig::deterministic());
+            }
             Some(session)
         }
         Err(e) => {
@@ -405,6 +507,7 @@ where
             seen: HashSet::new(),
             execs: 0,
             epochs: 0,
+            trace: config.trace.then(MergedTrace::default),
         }),
         error: Mutex::new(None),
         bitmap: (0..MAP_SIZE).map(|_| AtomicU8::new(0)).collect(),
@@ -451,7 +554,12 @@ where
         cache,
         published_coverage,
     };
-    Ok(ParallelOutcome { findings: state.findings, corpus: state.corpus, stats })
+    Ok(ParallelOutcome {
+        findings: state.findings,
+        corpus: state.corpus,
+        stats,
+        trace: state.trace,
+    })
 }
 
 /// Runs the parallel engine for one firmware in its Table-1 configuration
@@ -507,6 +615,7 @@ mod tests {
             epoch_len: 32,
             chunk: 4,
             campaign: CampaignConfig { iterations, seed: 17, ..CampaignConfig::default() },
+            trace: false,
         }
     }
 
@@ -532,6 +641,45 @@ mod tests {
         let (result, outcome) = run_parallel_campaign(spec, &small_config(2, 0)).unwrap();
         assert_eq!(outcome.stats.execs, 0);
         assert!(result.found.is_empty());
+    }
+
+    #[test]
+    fn published_bitmap_converges_to_merged_coverage() {
+        // The shared atomic bitmap is telemetry while the run is live, but
+        // after the final merge its union over all executed iterations must
+        // equal the canonical coverage map's.
+        let spec = firmware_by_name("TP-Link WDR-7660").unwrap();
+        let (_, outcome) = run_parallel_campaign(spec, &small_config(2, 64)).unwrap();
+        assert!(outcome.stats.coverage > 0);
+        assert_eq!(outcome.stats.published_coverage, outcome.stats.coverage);
+        let snapshot = outcome.stats.metrics_snapshot();
+        assert_eq!(
+            snapshot.value("scheduler", "published_coverage"),
+            Some(outcome.stats.coverage as i64),
+        );
+        assert_eq!(snapshot.value("scheduler", "execs"), Some(64));
+    }
+
+    #[test]
+    fn tracing_yields_spans_without_changing_results() {
+        let spec = firmware_by_name("TP-Link WDR-7660").unwrap();
+        let plain = run_parallel_campaign(spec, &small_config(1, 48)).unwrap();
+        let mut traced_config = small_config(1, 48);
+        traced_config.trace = true;
+        let traced = run_parallel_campaign(spec, &traced_config).unwrap();
+        assert_eq!(plain.1.stats.coverage, traced.1.stats.coverage);
+        assert_eq!(plain.1.stats.corpus, traced.1.stats.corpus);
+        assert_eq!(plain.1.stats.findings, traced.1.stats.findings);
+        assert!(plain.1.trace.is_none());
+        let trace = traced.1.trace.expect("trace requested");
+        assert!(trace.event_count() > 0);
+        let merges = trace
+            .spans
+            .iter()
+            .flat_map(|s| &s.events)
+            .filter(|e| matches!(e.kind, EventKind::EpochMerge { .. }))
+            .count();
+        assert_eq!(merges as u64, traced.1.stats.epochs);
     }
 
     #[test]

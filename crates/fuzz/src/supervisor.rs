@@ -39,6 +39,9 @@ use embsan_emu::fault::{FaultPlan, HangClass, InjectionStats};
 use embsan_emu::machine::RunExit;
 use embsan_guestos::executor::ExecProgram;
 use embsan_guestos::{firmware_by_name, FirmwareSpec};
+use embsan_obs::{
+    EventKind, MergedTrace, MetricClass, MetricsRegistry, MetricsSnapshot, TraceConfig, TraceSpan,
+};
 
 use crate::campaign::{
     attribute_findings, prepare_session, CampaignConfig, CampaignError, CampaignResult,
@@ -75,6 +78,11 @@ pub struct SupervisorConfig {
     pub hang_slices: u32,
     /// Instruction budget per classification slice.
     pub hang_slice_budget: u64,
+    /// Records a merged event trace ([`TraceConfig::deterministic`]
+    /// preset). Per-iteration spans are clock-rebased, so the concatenation
+    /// of a killed run's spans (up to its resume checkpoint) with the
+    /// resumed run's spans equals the uninterrupted run's trace.
+    pub trace: bool,
 }
 
 impl Default for SupervisorConfig {
@@ -88,6 +96,7 @@ impl Default for SupervisorConfig {
             fault_plan: None,
             hang_slices: 3,
             hang_slice_budget: 10_000,
+            trace: false,
         }
     }
 }
@@ -112,6 +121,10 @@ pub struct SupervisedOutcome {
     /// Fault-injection statistics from the machine (all zero when no fault
     /// plan was armed).
     pub injection: InjectionStats,
+    /// Merged event trace with one span per iteration executed by *this*
+    /// process (a resumed run's trace starts at its checkpoint). `None`
+    /// unless [`SupervisorConfig::trace`] was set.
+    pub trace: Option<MergedTrace>,
 }
 
 /// A supervised Table-3/4 campaign result.
@@ -126,6 +139,68 @@ pub struct SupervisedResult {
     pub injection: InjectionStats,
     /// Whether the campaign ran to completion (vs. a `kill_after` drill).
     pub completed: bool,
+    /// Merged event trace (see [`SupervisedOutcome::trace`]).
+    pub trace: Option<MergedTrace>,
+}
+
+/// Copies a supervised run's counters into `registry` under the `fuzzer`,
+/// `supervisor` and `injection` subsystems. The supervised path is
+/// single-threaded and seed-deterministic, so every entry is
+/// [`MetricClass::Deterministic`].
+fn supervised_metrics(
+    stats: &FuzzerStats,
+    health: &SupervisorHealth,
+    injection: &InjectionStats,
+    registry: &mut MetricsRegistry,
+) {
+    use MetricClass::Deterministic;
+    registry.counter("fuzzer", "execs", Deterministic, stats.execs);
+    registry.gauge("fuzzer", "corpus", Deterministic, stats.corpus as i64);
+    registry.gauge("fuzzer", "coverage", Deterministic, stats.coverage as i64);
+    registry.gauge("fuzzer", "findings", Deterministic, stats.findings as i64);
+    registry.counter("supervisor", "wedges", Deterministic, health.wedges);
+    registry.counter("supervisor", "recoveries", Deterministic, health.recoveries);
+    registry.counter("supervisor", "quarantined", Deterministic, health.quarantined);
+    registry.counter("supervisor", "transient_retries", Deterministic, health.transient_retries);
+    registry.counter("supervisor", "wfi_hangs", Deterministic, health.wfi_hangs);
+    registry.counter("supervisor", "checkpoints", Deterministic, health.checkpoints);
+    registry.counter("injection", "ram_bit_flips", Deterministic, injection.ram_bit_flips);
+    registry.counter("injection", "mmio_corruptions", Deterministic, injection.mmio_corruptions);
+    registry.counter("injection", "spurious_irqs", Deterministic, injection.spurious_irqs);
+    registry.counter("injection", "alloc_failures", Deterministic, injection.alloc_failures);
+    registry.counter("injection", "cpu_wedges", Deterministic, injection.cpu_wedges);
+}
+
+impl SupervisedOutcome {
+    /// Copies the run's counters into `registry` (`fuzzer`, `supervisor`
+    /// and `injection` subsystems; every entry deterministic).
+    pub fn collect_metrics(&self, registry: &mut MetricsRegistry) {
+        supervised_metrics(&self.stats, &self.health, &self.injection, registry);
+    }
+
+    /// A metrics snapshot of this outcome (see
+    /// [`SupervisedOutcome::collect_metrics`]).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut registry = MetricsRegistry::new();
+        self.collect_metrics(&mut registry);
+        registry.snapshot()
+    }
+}
+
+impl SupervisedResult {
+    /// Copies the run's counters into `registry` (`fuzzer`, `supervisor`
+    /// and `injection` subsystems; every entry deterministic).
+    pub fn collect_metrics(&self, registry: &mut MetricsRegistry) {
+        supervised_metrics(&self.result.stats, &self.health, &self.injection, registry);
+    }
+
+    /// A metrics snapshot of this result (see
+    /// [`SupervisedResult::collect_metrics`]).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut registry = MetricsRegistry::new();
+        self.collect_metrics(&mut registry);
+        registry.snapshot()
+    }
 }
 
 /// FNV-1a hash of a program's wire encoding (quarantine identity).
@@ -254,6 +329,7 @@ fn finish(spec: &FirmwareSpec, outcome: SupervisedOutcome) -> SupervisedResult {
         health: outcome.health,
         injection: outcome.injection,
         completed: outcome.completed,
+        trace: outcome.trace,
     }
 }
 
@@ -281,6 +357,13 @@ pub fn run_supervised_session(
     if let Some(plan) = &config.fault_plan {
         session.machine_mut().set_fault_plan(plan);
     }
+    if config.trace {
+        // Enabled after boot (prepare_session ran `run_to_ready`), so spans
+        // hold only iteration events. The deterministic preset skips cache
+        // events, whose timing depends on where a resumed replay starts.
+        session.enable_tracing(TraceConfig::deterministic());
+    }
+    let mut trace = config.trace.then(MergedTrace::default);
     let mut fuzzer_config = FuzzerConfig::new(start.strategy, start.seed);
     fuzzer_config.program_budget = start.program_budget;
     let mut fuzzer = Fuzzer::new(session, descs, dict, fuzzer_config);
@@ -304,6 +387,7 @@ pub fn run_supervised_session(
             completed = false;
             break;
         }
+        let mark = fuzzer.session_mut().trace_mark();
         let program = fuzzer.next_program();
         let outcome = execute_with_watchdog(&mut fuzzer, config, &program, &mut sup, iteration)?;
         if let Some(outcome) = outcome {
@@ -318,6 +402,12 @@ pub fn run_supervised_session(
                     journal.append(&Record::Finding { iteration, finding: finding.clone() })?;
                 }
             }
+        }
+        if let Some(trace) = &mut trace {
+            // Drained after commit so minimization re-executions are part
+            // of the iteration's span (they are deterministic replays).
+            let events = fuzzer.session_mut().drain_trace(mark);
+            trace.push_span(TraceSpan { iter: iteration, events });
         }
         iteration += 1;
         if config.checkpoint_interval > 0
@@ -349,6 +439,7 @@ pub fn run_supervised_session(
         iterations_done: iteration,
         completed,
         injection,
+        trace,
     })
 }
 
@@ -395,6 +486,12 @@ fn execute_with_watchdog(
                 CampaignError::from(embsan_core::session::SessionError::Emu(e))
                     .context(iteration, program)
             })?;
+        let trip = match class {
+            HangClass::WfiIdle => "wfi-idle",
+            HangClass::Responsive => "responsive",
+            HangClass::LiveLock => "live-lock",
+        };
+        fuzzer.session_mut().tracer().record(EventKind::WatchdogTrip { class: trip });
         match class {
             HangClass::WfiIdle => {
                 sup.health.wfi_hangs += 1;

@@ -1,0 +1,36 @@
+//! Observability layer for the EMBSAN stack: structured event tracing, a
+//! typed metrics registry and feature-gated hot-path profilers.
+//!
+//! The layer is threaded through emu → core → fuzz → cli and is designed
+//! around two constraints:
+//!
+//! - **zero cost when disabled** — every subsystem holds a [`Tracer`]
+//!   handle that is a single `Option` check when tracing is off, and the
+//!   [`profile`] timers compile to unit structs unless the `profile`
+//!   cargo feature is enabled;
+//! - **determinism** — events are tagged with the machine's
+//!   lifetime-retired instruction clock plus a per-buffer sequence number,
+//!   so a trace is a pure function of guest execution. The
+//!   [`trace::TraceConfig::deterministic`] preset excludes the events that
+//!   depend on translation-cache warmth (and therefore on worker schedule
+//!   or kill/resume replay), which is what lets parallel campaigns merge
+//!   per-iteration trace spans into a stream that is identical for every
+//!   worker count.
+//!
+//! Exports: JSONL (`embsan-trace-v1`, one event per line) and Chrome
+//! `trace_event` JSON for flame views; metric snapshots as
+//! `embsan-metrics-v1` JSON with a deterministic/telemetry split.
+
+pub mod event;
+pub mod metrics;
+pub mod profile;
+pub mod trace;
+
+pub use event::{AllocOp, Event, EventKind, ProbeKind};
+pub use metrics::{
+    Histogram, MetricClass, MetricEntry, MetricValue, MetricsRegistry, MetricsSnapshot,
+};
+pub use profile::{Phase, ProfileReport, Profiler};
+pub use trace::{
+    jsonl_header, trace_to_chrome, trace_to_jsonl, MergedTrace, TraceConfig, TraceSpan, Tracer,
+};

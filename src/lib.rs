@@ -17,7 +17,10 @@
 //!   driver behind Tables 3 and 4;
 //! - [`analysis`]: static analysis over firmware images — CFG recovery,
 //!   probe-coverage auditing, allocator-signature priors for the D-binary
-//!   Prober, and lockset race candidates for KCSAN watchpoint priority.
+//!   Prober, and lockset race candidates for KCSAN watchpoint priority;
+//! - [`obs`]: the observability layer — structured event tracing
+//!   (`embsan-trace-v1`), the typed metrics registry, and the feature-gated
+//!   hot-path profilers, all zero-cost when disabled.
 //!
 //! Start with the `quickstart` example or [`core::session::Session`].
 
@@ -28,3 +31,4 @@ pub use embsan_dsl as dsl;
 pub use embsan_emu as emu;
 pub use embsan_fuzz as fuzz;
 pub use embsan_guestos as guestos;
+pub use embsan_obs as obs;

@@ -13,6 +13,7 @@ fn config(workers: usize, seed: u64, iterations: u64) -> ParallelConfig {
         workers,
         epoch_len: 40,
         chunk: 4,
+        trace: false,
         campaign: CampaignConfig { iterations, seed, ..CampaignConfig::default() },
     }
 }
@@ -68,6 +69,40 @@ fn parallel_runs_are_repeatable() {
     let a = observe("TP-Link WDR-7660", 2, 23, 120);
     let b = observe("TP-Link WDR-7660", 2, 23, 120);
     assert_eq!(a, b);
+}
+
+/// Observability extension of the tentpole property: with tracing on, the
+/// merged trace JSONL and the deterministic metrics snapshot are
+/// byte-identical for 1, 2 and 4 workers — and tracing itself never
+/// perturbs findings, corpus or coverage.
+#[test]
+fn traces_and_metrics_identical_across_worker_counts() {
+    let spec = firmware_by_name("TP-Link WDR-7660").unwrap();
+    let untraced = observe("TP-Link WDR-7660", 1, 17, 120);
+    let meta = [("engine", "parallel"), ("seed", "17"), ("iterations", "120")];
+    let mut baseline: Option<(String, String)> = None;
+    for workers in [1usize, 2, 4] {
+        let mut cfg = config(workers, 17, 120);
+        cfg.trace = true;
+        let (_, outcome): (_, ParallelOutcome) = run_parallel_campaign(spec, &cfg).unwrap();
+
+        // Tracing must be observationally neutral.
+        assert_eq!(outcome.stats.coverage, untraced.coverage, "coverage at x{workers}");
+        assert_eq!(outcome.corpus, untraced.corpus, "corpus at x{workers}");
+        assert_eq!(outcome.findings.len(), untraced.findings.len(), "findings at x{workers}");
+
+        let trace = outcome.trace.as_ref().expect("tracing was enabled");
+        assert!(trace.event_count() > 0, "trace empty at x{workers}");
+        let jsonl = trace.to_jsonl(&meta);
+        let metrics = outcome.stats.metrics_snapshot().to_json(false);
+        match &baseline {
+            None => baseline = Some((jsonl, metrics)),
+            Some((trace_1w, metrics_1w)) => {
+                assert_eq!(trace_1w, &jsonl, "merged trace differs at x{workers}");
+                assert_eq!(metrics_1w, &metrics, "metric snapshot differs at x{workers}");
+            }
+        }
+    }
 }
 
 /// A firmware that actually yields findings at small budgets must yield

@@ -123,6 +123,59 @@ fn killed_and_resumed_campaign_is_bit_identical() {
     assert!(again.is_err(), "a completed journal must not resume");
 }
 
+/// The trace side of kill/resume determinism: the killed run's event
+/// spans up to the resume point, concatenated with the resumed run's
+/// spans, equal the uninterrupted campaign's merged trace exactly. Span
+/// clocks are rebased per iteration, so the re-executed iterations after
+/// the newest checkpoint reproduce their spans bit-for-bit.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "campaign-scale test; run with `cargo test --release --test resilience`"
+)]
+fn kill_and_resume_traces_concatenate_exactly() {
+    use embsan::obs::MergedTrace;
+
+    let spec = firmware_by_name("OpenHarmony-stm32f407").unwrap();
+    let campaign = CampaignConfig { iterations: 2_000, seed: 99, ..CampaignConfig::default() };
+    let uninterrupted = run_supervised(
+        spec,
+        &SupervisorConfig { campaign, trace: true, ..SupervisorConfig::default() },
+        None,
+    )
+    .unwrap();
+
+    let journal = tmp_path("trace_concat.journal");
+    let mut config = SupervisorConfig {
+        campaign,
+        checkpoint_interval: 300,
+        kill_after: Some(1_000),
+        trace: true,
+        ..SupervisorConfig::default()
+    };
+    let first = run_supervised(spec, &config, Some(&journal)).unwrap();
+    assert!(!first.completed, "kill_after must stop the campaign early");
+    config.kill_after = None;
+    let resumed = resume_supervised(&journal, &config).unwrap();
+    assert!(resumed.completed);
+
+    let full = uninterrupted.trace.expect("uninterrupted run was traced");
+    let head = first.trace.expect("killed run was traced");
+    let tail = resumed.trace.expect("resumed run was traced");
+    let resume_start = tail.spans.first().expect("resumed run has spans").iter;
+    assert!(resume_start < 1_000, "resume must re-execute from the newest checkpoint");
+
+    let mut stitched = MergedTrace::default();
+    stitched.spans.extend(head.spans.into_iter().filter(|span| span.iter < resume_start));
+    stitched.spans.extend(tail.spans);
+    assert_eq!(stitched.spans.len(), full.spans.len(), "span count must match");
+    for (got, want) in stitched.spans.iter().zip(&full.spans) {
+        assert_eq!(got.iter, want.iter, "span order must match");
+        assert_eq!(got, want, "iteration {} must replay its exact span", want.iter);
+    }
+    assert!(full.event_count() > 0, "comparison is vacuous without events");
+}
+
 /// A fault plan live-locks the guest mid-campaign: the watchdog classifies
 /// the hang, snapshot-restore recovery retries it, the input is quarantined
 /// after the retry bound, and the campaign still completes — finding every

@@ -1,0 +1,234 @@
+//! Golden-trace lockdown of the observability layer: canonical
+//! `embsan-trace-v1` JSONL captures for two firmwares × two sanitizer
+//! configurations, compared line-by-line against checked-in goldens.
+//!
+//! The traces pin down the exact event stream — block translations, probe
+//! fires, shadow checks, allocator intercepts, sanitizer reports, each
+//! tagged with the lifetime-retired instruction clock — so any change to
+//! event ordering, clock semantics or serialization shows up as a diff.
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```text
+//! EMBSAN_BLESS=1 cargo test --test trace_golden
+//! ```
+//!
+//! On mismatch the actual capture is written to `CARGO_TARGET_TMPDIR` so
+//! CI can upload it as an artifact next to the failing log.
+
+use std::fs;
+use std::path::PathBuf;
+
+use embsan::core::probe::{probe, ProbeMode};
+use embsan::core::reference_specs;
+use embsan::core::session::Session;
+use embsan::emu::profile::Arch;
+use embsan::guestos::bugs::{trigger_key, BugKind, BugSpec};
+use embsan::guestos::executor::{sys, ExecProgram};
+use embsan::guestos::{os, BaseOs, BuildOptions, SanMode};
+use embsan::obs::TraceConfig;
+
+const READY_BUDGET: u64 = 200_000_000;
+const RUN_BUDGET: u64 = 20_000_000;
+
+struct GoldenCase {
+    /// Golden file stem under `tests/golden/`.
+    name: &'static str,
+    base_os: BaseOs,
+    san: SanMode,
+    mode: ProbeMode,
+    kind: BugKind,
+}
+
+/// Two firmwares × two sanitizer configurations: EMBSAN-C (compile-time
+/// hypercall attach) and EMBSAN-D (dynamic spliced probes) on both the
+/// embedded-Linux and FreeRTOS guests.
+const CASES: &[GoldenCase] = &[
+    GoldenCase {
+        name: "emblinux_embsan_c",
+        base_os: BaseOs::EmbeddedLinux,
+        san: SanMode::SanCall,
+        mode: ProbeMode::CompileTime,
+        kind: BugKind::Uaf,
+    },
+    GoldenCase {
+        name: "emblinux_embsan_d",
+        base_os: BaseOs::EmbeddedLinux,
+        san: SanMode::None,
+        mode: ProbeMode::DynamicSource,
+        kind: BugKind::Uaf,
+    },
+    GoldenCase {
+        name: "freertos_embsan_c",
+        base_os: BaseOs::FreeRtos,
+        san: SanMode::SanCall,
+        mode: ProbeMode::CompileTime,
+        kind: BugKind::DoubleFree,
+    },
+    GoldenCase {
+        name: "freertos_embsan_d",
+        base_os: BaseOs::FreeRtos,
+        san: SanMode::None,
+        mode: ProbeMode::DynamicSource,
+        kind: BugKind::DoubleFree,
+    },
+];
+
+fn case_by_name(name: &str) -> &'static GoldenCase {
+    CASES.iter().find(|c| c.name == name).expect("known case")
+}
+
+/// Runs the case's fixed workload with full tracing and serializes the
+/// event stream as `embsan-trace-v1` JSONL.
+fn capture(case: &GoldenCase) -> String {
+    let bug = BugSpec::new("golden/bug", case.kind);
+    let opts = BuildOptions::new(Arch::Armv).san(case.san);
+    let bugs = std::slice::from_ref(&bug);
+    let image = match case.base_os {
+        BaseOs::EmbeddedLinux => os::emblinux::build(&opts, bugs),
+        BaseOs::FreeRtos => os::freertos::build(&opts, bugs),
+        BaseOs::LiteOs => os::liteos::build(&opts, bugs),
+        BaseOs::VxWorks => os::vxworks::build(&opts, bugs),
+    }
+    .expect("firmware builds");
+    let specs = reference_specs().expect("reference specs");
+    let artifacts = probe(&image, case.mode, None).expect("probe succeeds");
+    let mut session = Session::new(&image, &specs, &artifacts).expect("session");
+    session.run_to_ready(READY_BUDGET).expect("ready");
+
+    // Tracing goes live only after boot: the golden stream is the
+    // steady-state behaviour, not the (much longer) boot transcript.
+    session.enable_tracing(TraceConfig::full());
+
+    // Fixed workload: allocator traffic, memory traffic over it, then the
+    // seeded bug — covers alloc-intercept, shadow-check, probe-fire and
+    // report events.
+    let mut warm = ExecProgram::new();
+    warm.push(sys::ALLOC, &[64, 0]);
+    warm.push(sys::NOP, &[]);
+    session.run_program(&warm, RUN_BUDGET).expect("warm program runs");
+    let mut trigger = ExecProgram::new();
+    trigger.push(sys::BUG_BASE, &[trigger_key("golden/bug")]);
+    session.run_program(&trigger, RUN_BUDGET).expect("trigger program runs");
+    assert!(!session.reports().is_empty(), "{}: seeded bug must fire", case.name);
+
+    let events = session.take_trace();
+    let san = match case.san {
+        SanMode::SanCall => "san-call",
+        SanMode::None => "none",
+        _ => "other",
+    };
+    let mode = match case.mode {
+        ProbeMode::CompileTime => "compile-time",
+        ProbeMode::DynamicSource => "dynamic-source",
+        ProbeMode::DynamicBinary => "dynamic-binary",
+    };
+    embsan::obs::trace_to_jsonl(&events, &[("case", case.name), ("san", san), ("probe", mode)])
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(format!("{name}.jsonl"))
+}
+
+/// Normalizes a trace for comparison: per-line trailing whitespace and
+/// blank lines are insignificant (so goldens survive editors and
+/// line-ending churn); everything else is byte-significant.
+fn normalize(text: &str) -> Vec<String> {
+    text.lines().map(|line| line.trim_end().to_string()).filter(|line| !line.is_empty()).collect()
+}
+
+fn check_case(name: &str) {
+    let case = case_by_name(name);
+    let actual = capture(case);
+    let path = golden_path(case.name);
+    if std::env::var_os("EMBSAN_BLESS").is_some() {
+        fs::create_dir_all(path.parent().unwrap()).expect("golden dir");
+        fs::write(&path, &actual).expect("write golden");
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "missing golden {}; regenerate with `EMBSAN_BLESS=1 cargo test --test trace_golden`",
+            path.display()
+        )
+    });
+    let actual_lines = normalize(&actual);
+    let expected_lines = normalize(&expected);
+    if actual_lines != expected_lines {
+        let dump = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("{name}.actual.jsonl"));
+        fs::create_dir_all(dump.parent().unwrap()).ok();
+        fs::write(&dump, &actual).expect("dump actual trace");
+        let first = actual_lines
+            .iter()
+            .zip(&expected_lines)
+            .position(|(a, e)| a != e)
+            .unwrap_or(actual_lines.len().min(expected_lines.len()));
+        panic!(
+            "golden trace mismatch for {name} at line {} ({} actual vs {} expected lines)\n\
+             expected: {}\n\
+             actual:   {}\n\
+             actual trace dumped to {}; bless with `EMBSAN_BLESS=1 cargo test --test trace_golden`",
+            first + 1,
+            actual_lines.len(),
+            expected_lines.len(),
+            expected_lines.get(first).map_or("<end of trace>", String::as_str),
+            actual_lines.get(first).map_or("<end of trace>", String::as_str),
+            dump.display()
+        );
+    }
+}
+
+#[test]
+fn golden_emblinux_embsan_c() {
+    check_case("emblinux_embsan_c");
+}
+
+#[test]
+fn golden_emblinux_embsan_d() {
+    check_case("emblinux_embsan_d");
+}
+
+#[test]
+fn golden_freertos_embsan_c() {
+    check_case("freertos_embsan_c");
+}
+
+#[test]
+fn golden_freertos_embsan_d() {
+    check_case("freertos_embsan_d");
+}
+
+/// Guards against a vacuous suite: the captured stream must exercise every
+/// major event family and carry a monotone non-decreasing clock.
+#[test]
+fn golden_traces_cover_all_event_families() {
+    let text = capture(case_by_name("emblinux_embsan_c"));
+    let mut lines = text.lines();
+    let header = lines.next().expect("header line");
+    assert!(header.contains("\"format\":\"embsan-trace-v1\""), "{header}");
+    for family in ["block-translate", "shadow-check", "alloc-intercept", "report"] {
+        assert!(
+            text.lines().any(|l| l.contains(&format!("\"event\":\"{family}\""))),
+            "missing event family {family} in:\n{text}"
+        );
+    }
+    let clocks: Vec<u64> = text
+        .lines()
+        .skip(1)
+        .map(|line| {
+            let tail = line.split("\"clock\":").nth(1).expect("clock field");
+            tail.split(|c: char| !c.is_ascii_digit()).next().unwrap().parse().unwrap()
+        })
+        .collect();
+    assert!(!clocks.is_empty());
+    assert!(clocks.windows(2).all(|w| w[0] <= w[1]), "clock must be monotone");
+}
+
+/// The same capture run twice is byte-identical — the repeatability
+/// property the golden files rely on.
+#[test]
+fn captures_are_repeatable() {
+    let case = case_by_name("freertos_embsan_d");
+    assert_eq!(capture(case), capture(case));
+}
