@@ -61,7 +61,7 @@ pub fn function_signatures(cfg: &Cfg, image: &FirmwareImage) -> BTreeMap<u32, Fn
         })
         .collect();
 
-    for site in cfg.memory_sites() {
+    for site in cfg.memory_sites_cached() {
         let Some(addr) = site.addr else { continue };
         if !ram.contains(&addr) || site.is_atomic {
             continue;

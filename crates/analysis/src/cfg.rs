@@ -93,6 +93,10 @@ pub struct Cfg {
     pub address_taken: BTreeSet<u32>,
     /// Immediate dominator of each block ([`VIRTUAL_ROOT`] for roots).
     pub idom: BTreeMap<u32, u32>,
+    /// Lazily computed memory-site enumeration. `Cfg` is immutable after
+    /// [`Cfg::build`], so the cache never needs invalidation; cloning a
+    /// `Cfg` clones whatever is already cached.
+    mem_sites: std::sync::OnceLock<Vec<MemSite>>,
 }
 
 /// How an instruction leaves a block.
@@ -430,6 +434,7 @@ impl Cfg {
             functions,
             address_taken,
             idom: BTreeMap::new(),
+            mem_sites: std::sync::OnceLock::new(),
         };
         cfg.idom = cfg.compute_dominators(&fn_entries);
         let loops: Vec<u32> = cfg
@@ -619,7 +624,23 @@ impl Cfg {
 
     /// Statically enumerates every reachable memory-access site, resolving
     /// effective addresses by constant propagation where possible.
+    ///
+    /// Returns an owned copy; prefer [`Cfg::memory_sites_cached`] when a
+    /// borrow suffices — this method delegates to the same cache, so the
+    /// constant-propagation pass still runs at most once per `Cfg`.
     pub fn memory_sites(&self) -> Vec<MemSite> {
+        self.memory_sites_cached().to_vec()
+    }
+
+    /// Borrowed view of the memoized memory-site enumeration. The first
+    /// call computes the sites; later calls (and [`Cfg::memory_sites`])
+    /// reuse them. A `Cfg` is immutable once built, so the cache cannot go
+    /// stale and no invalidation hook exists.
+    pub fn memory_sites_cached(&self) -> &[MemSite] {
+        self.mem_sites.get_or_init(|| self.compute_memory_sites())
+    }
+
+    fn compute_memory_sites(&self) -> Vec<MemSite> {
         let mut sites = Vec::new();
         for function in self.functions.values() {
             let states = self.reg_states(function);

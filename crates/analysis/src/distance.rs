@@ -1,0 +1,394 @@
+//! Böhme-style static distance to a target set.
+//!
+//! Given a recovered flow graph and a set of target addresses (typically
+//! race-candidate access sites from [`crate::races`], or user-supplied),
+//! this pass assigns every basic block a *static distance*: a deterministic
+//! integer estimate of how far the block is from reaching a target, in
+//! milli-edges. The construction follows AFLGo:
+//!
+//! 1. **Function-level** distance is computed over the call graph: a
+//!    function containing a target has distance 0; otherwise its distance is
+//!    the harmonic mean of its shortest call-chain hop counts to every
+//!    reachable target function. The harmonic mean rewards functions close
+//!    to *any* target without letting one unreachable target poison the
+//!    score.
+//! 2. **Block-level** distance relaxes over intra-procedural edges: a
+//!    target block has distance 0; a block whose call target can reach a
+//!    target seeds at [`CALL_WEIGHT`] × the callee's function distance; and
+//!    every other block is one edge ([`MILLI`]) farther than its closest
+//!    successor.
+//!
+//! Determinism: harmonic means are computed in `f64` but quantized **once**
+//! to integer milli-units per function; everything downstream (seeding,
+//! relaxation, and the fuzzer's scheduler) is pure integer arithmetic over
+//! `BTreeMap`s, so the result is a pure function of the graph and target
+//! set. Blocks that cannot reach any target are absent from the result map
+//! — callers observe `None`, never a sentinel.
+//!
+//! The pass runs on [`FlowGraph`], a minimal address-indexed projection of
+//! [`Cfg`] that is also what the `embsan-analysis-v1` artifact serializes —
+//! so a campaign can re-run the distance pass from an artifact without the
+//! image (see [`crate::artifact`]).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::cfg::Cfg;
+
+/// Milli-edge scale: one intra-procedural edge costs this much.
+pub const MILLI: u32 = 1000;
+
+/// Call-edge weight multiplier (AFLGo's constant 10): a block calling a
+/// function at function-distance *d* seeds at `CALL_WEIGHT × d` milli.
+pub const CALL_WEIGHT: u32 = 10;
+
+/// A basic block in the minimal flow-graph projection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowNode {
+    /// Address of the first instruction.
+    pub start: u32,
+    /// One past the last instruction byte (exclusive end).
+    pub end: u32,
+    /// Intra-procedural successor block starts.
+    pub succs: Vec<u32>,
+    /// Direct call target (function entry), if the block ends in a call.
+    pub call_target: Option<u32>,
+    /// Whether the block ends in an indirect call — modeled as possibly
+    /// calling any address-taken function (how the executor's `sys_table`
+    /// dispatch stays connected in the call graph).
+    pub indirect_call: bool,
+}
+
+/// The minimal flow graph the distance pass (and the analysis artifact)
+/// operates on: blocks plus the function partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowGraph {
+    /// Function entry addresses, ascending.
+    pub fn_entries: Vec<u32>,
+    /// Address-taken function entries: the possible targets of every
+    /// indirect call, ascending.
+    pub address_taken: Vec<u32>,
+    /// Blocks keyed by start address.
+    pub nodes: BTreeMap<u32, FlowNode>,
+}
+
+impl FlowGraph {
+    /// Projects a recovered [`Cfg`] down to the flow graph.
+    pub fn from_cfg(cfg: &Cfg) -> FlowGraph {
+        let nodes = cfg
+            .blocks
+            .values()
+            .map(|block| {
+                let end = block.insns.last().map_or(block.start, |&(pc, _)| pc + 4);
+                (
+                    block.start,
+                    FlowNode {
+                        start: block.start,
+                        end,
+                        succs: block.succs.clone(),
+                        call_target: block.call_target,
+                        indirect_call: block.indirect_call,
+                    },
+                )
+            })
+            .collect();
+        FlowGraph {
+            fn_entries: cfg.functions.keys().copied().collect(),
+            address_taken: cfg
+                .address_taken
+                .iter()
+                .copied()
+                .filter(|a| cfg.functions.contains_key(a))
+                .collect(),
+            nodes,
+        }
+    }
+
+    /// Entry of the function owning `block_start` (same rule as
+    /// [`Cfg::owner_of`]: the greatest entry not past the block).
+    pub fn owner_of(&self, block_start: u32) -> u32 {
+        match self.fn_entries.binary_search(&block_start) {
+            Ok(i) => self.fn_entries[i],
+            Err(0) => self.fn_entries.first().copied().unwrap_or(block_start),
+            Err(i) => self.fn_entries[i - 1],
+        }
+    }
+
+    /// Start of the block containing address `addr`, if any block does.
+    pub fn block_containing(&self, addr: u32) -> Option<u32> {
+        let (&start, node) = self.nodes.range(..=addr).next_back()?;
+        (addr < node.end).then_some(start)
+    }
+
+    /// Callees of each function: direct call targets plus, for functions
+    /// containing an indirect call, every address-taken function.
+    fn callees(&self) -> BTreeMap<u32, BTreeSet<u32>> {
+        let mut callees: BTreeMap<u32, BTreeSet<u32>> =
+            self.fn_entries.iter().map(|&e| (e, BTreeSet::new())).collect();
+        for node in self.nodes.values() {
+            let owner = self.owner_of(node.start);
+            if let Some(target) = node.call_target {
+                callees.entry(owner).or_default().insert(target);
+            }
+            if node.indirect_call {
+                callees.entry(owner).or_default().extend(self.address_taken.iter().copied());
+            }
+        }
+        callees
+    }
+}
+
+/// Function-level distances in milli-units: 0 for functions containing a
+/// target, harmonic-mean call-chain distance otherwise. Functions that
+/// cannot reach any target function are absent.
+pub fn function_distances(graph: &FlowGraph, target_fns: &BTreeSet<u32>) -> BTreeMap<u32, u32> {
+    // Reverse call graph: callee → callers.
+    let mut callers: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
+    for (&function, callees) in &graph.callees() {
+        for &callee in callees {
+            callers.entry(callee).or_default().insert(function);
+        }
+    }
+    // Per-function hop counts to each reachable target function (BFS per
+    // target over the reverse call graph).
+    let mut hops: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+    for &target in target_fns {
+        let mut dist: BTreeMap<u32, u32> = BTreeMap::new();
+        dist.insert(target, 0);
+        let mut queue = VecDeque::from([target]);
+        while let Some(function) = queue.pop_front() {
+            let d = dist[&function];
+            if let Some(callers) = callers.get(&function) {
+                for &caller in callers {
+                    if let std::collections::btree_map::Entry::Vacant(e) = dist.entry(caller) {
+                        e.insert(d + 1);
+                        queue.push_back(caller);
+                    }
+                }
+            }
+        }
+        for (function, d) in dist {
+            hops.entry(function).or_default().push(d);
+        }
+    }
+    hops.into_iter()
+        .filter_map(|(function, hops)| {
+            if target_fns.contains(&function) {
+                return Some((function, 0));
+            }
+            // Harmonic mean over reachable targets, quantized once.
+            let inv_sum: f64 = hops.iter().map(|&h| 1.0 / f64::from(h)).sum();
+            if inv_sum <= 0.0 {
+                return None;
+            }
+            let mean = hops.len() as f64 / inv_sum;
+            Some((function, (mean * f64::from(MILLI)).round() as u32))
+        })
+        .collect()
+}
+
+/// Per-block static distances in milli-units. Target addresses anywhere
+/// inside a block mark that block as distance 0. Blocks that cannot reach
+/// any target are absent from the map.
+pub fn block_distances(graph: &FlowGraph, targets: &[u32]) -> BTreeMap<u32, u32> {
+    let target_blocks: BTreeSet<u32> =
+        targets.iter().filter_map(|&a| graph.block_containing(a)).collect();
+    if target_blocks.is_empty() {
+        return BTreeMap::new();
+    }
+    let target_fns: BTreeSet<u32> = target_blocks.iter().map(|&b| graph.owner_of(b)).collect();
+    let fn_dist = function_distances(graph, &target_fns);
+
+    // Seed distances: 0 at target blocks, CALL_WEIGHT × fd(callee) at call
+    // sites whose callee can reach a target.
+    let mut dist: BTreeMap<u32, u32> = BTreeMap::new();
+    for (&start, node) in &graph.nodes {
+        let base = if target_blocks.contains(&start) {
+            Some(0)
+        } else {
+            let direct = node.call_target.and_then(|callee| fn_dist.get(&callee)).copied();
+            let indirect = if node.indirect_call {
+                graph.address_taken.iter().filter_map(|f| fn_dist.get(f)).min().copied()
+            } else {
+                None
+            };
+            direct.into_iter().chain(indirect).min().map(|fd| CALL_WEIGHT.saturating_mul(fd))
+        };
+        if let Some(base) = base {
+            dist.insert(start, base);
+        }
+    }
+
+    // Reverse relaxation over intra-procedural edges: a block is one edge
+    // (MILLI) farther than its closest successor, unless its seed is
+    // already closer.
+    let mut preds: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+    for (&start, node) in &graph.nodes {
+        for &succ in &node.succs {
+            if graph.nodes.contains_key(&succ) {
+                preds.entry(succ).or_default().push(start);
+            }
+        }
+    }
+    let mut queue: VecDeque<u32> = dist.keys().copied().collect();
+    while let Some(block) = queue.pop_front() {
+        let through = dist[&block].saturating_add(MILLI);
+        let Some(preds) = preds.get(&block) else { continue };
+        for &pred in preds.clone().iter() {
+            let improved = match dist.get(&pred) {
+                Some(&existing) => through < existing,
+                None => true,
+            };
+            if improved {
+                dist.insert(pred, through);
+                queue.push_back(pred);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a graph from `(start, end, succs, call_target)` tuples with a
+    /// single function per distinct entry in `fn_entries`.
+    fn graph(fn_entries: &[u32], nodes: &[(u32, u32, &[u32], Option<u32>)]) -> FlowGraph {
+        FlowGraph {
+            fn_entries: fn_entries.to_vec(),
+            address_taken: Vec::new(),
+            nodes: nodes
+                .iter()
+                .map(|&(start, end, succs, call_target)| {
+                    (
+                        start,
+                        FlowNode {
+                            start,
+                            end,
+                            succs: succs.to_vec(),
+                            call_target,
+                            indirect_call: false,
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn diamond_distances() {
+        // 0x100 → {0x110, 0x120} → 0x130 (target).
+        let g = graph(
+            &[0x100],
+            &[
+                (0x100, 0x110, &[0x110, 0x120], None),
+                (0x110, 0x120, &[0x130], None),
+                (0x120, 0x130, &[0x130], None),
+                (0x130, 0x140, &[], None),
+            ],
+        );
+        let d = block_distances(&g, &[0x134 - 4]);
+        assert_eq!(d.get(&0x130), Some(&0));
+        assert_eq!(d.get(&0x110), Some(&MILLI));
+        assert_eq!(d.get(&0x120), Some(&MILLI));
+        assert_eq!(d.get(&0x100), Some(&(2 * MILLI)));
+    }
+
+    #[test]
+    fn target_inside_block_counts() {
+        let g = graph(&[0x100], &[(0x100, 0x110, &[], None)]);
+        // 0x108 is inside [0x100, 0x110): the block is the target.
+        assert_eq!(block_distances(&g, &[0x108]).get(&0x100), Some(&0));
+        // 0x110 is past the block: no targets resolve.
+        assert!(block_distances(&g, &[0x110]).is_empty());
+    }
+
+    #[test]
+    fn loop_relaxation_converges() {
+        // 0x100 ⇄ 0x110, with 0x110 → 0x120 (target).
+        let g = graph(
+            &[0x100],
+            &[
+                (0x100, 0x110, &[0x110], None),
+                (0x110, 0x120, &[0x100, 0x120], None),
+                (0x120, 0x130, &[], None),
+            ],
+        );
+        let d = block_distances(&g, &[0x120]);
+        assert_eq!(d.get(&0x120), Some(&0));
+        assert_eq!(d.get(&0x110), Some(&MILLI));
+        assert_eq!(d.get(&0x100), Some(&(2 * MILLI)));
+    }
+
+    #[test]
+    fn unreachable_blocks_are_absent() {
+        // Two disconnected functions; only one contains the target.
+        let g = graph(&[0x100, 0x200], &[(0x100, 0x110, &[], None), (0x200, 0x210, &[], None)]);
+        let d = block_distances(&g, &[0x100]);
+        assert_eq!(d.get(&0x100), Some(&0));
+        assert_eq!(d.get(&0x200), None);
+    }
+
+    #[test]
+    fn no_resolvable_targets_yields_empty_map() {
+        let g = graph(&[0x100], &[(0x100, 0x110, &[], None)]);
+        assert!(block_distances(&g, &[0x900]).is_empty());
+    }
+
+    #[test]
+    fn call_sites_seed_from_function_distance() {
+        // main @0x100 calls helper @0x200; helper's block is the target.
+        let g = graph(
+            &[0x100, 0x200],
+            &[
+                (0x100, 0x110, &[0x110], Some(0x200)),
+                (0x110, 0x120, &[], None),
+                (0x200, 0x210, &[], None),
+            ],
+        );
+        let d = block_distances(&g, &[0x200]);
+        assert_eq!(d.get(&0x200), Some(&0));
+        // The call block seeds at CALL_WEIGHT × fd(helper) = 10 × 0 = 0.
+        assert_eq!(d.get(&0x100), Some(&0));
+    }
+
+    #[test]
+    fn indirect_dispatch_reaches_address_taken_targets() {
+        // dispatcher @0x100 ends in an indirect call; handler @0x200 is
+        // address-taken and contains the target.
+        let mut g = graph(&[0x100, 0x200], &[(0x100, 0x110, &[], None), (0x200, 0x210, &[], None)]);
+        g.address_taken = vec![0x200];
+        g.nodes.get_mut(&0x100).unwrap().indirect_call = true;
+        let d = block_distances(&g, &[0x200]);
+        // The dispatch block seeds at CALL_WEIGHT × fd(handler) = 0.
+        assert_eq!(d.get(&0x100), Some(&0));
+        // Without the indirect edge the dispatcher would be unreachable.
+        g.nodes.get_mut(&0x100).unwrap().indirect_call = false;
+        assert_eq!(block_distances(&g, &[0x200]).get(&0x100), None);
+    }
+
+    #[test]
+    fn harmonic_mean_over_two_targets() {
+        // caller @0x100 calls a @0x200 (which calls target t1 @0x300) and
+        // has its own path: a is 1 call-hop from t1's function.
+        let g = graph(
+            &[0x100, 0x200, 0x300, 0x400],
+            &[
+                (0x100, 0x110, &[0x110], Some(0x200)),
+                (0x110, 0x120, &[], Some(0x400)),
+                (0x200, 0x210, &[], Some(0x300)),
+                (0x300, 0x310, &[], None),
+                (0x400, 0x410, &[], None),
+            ],
+        );
+        let targets: BTreeSet<u32> = [0x300, 0x400].into_iter().collect();
+        let fd = function_distances(&g, &targets);
+        assert_eq!(fd.get(&0x300), Some(&0));
+        assert_eq!(fd.get(&0x400), Some(&0));
+        // one hop to one target
+        assert_eq!(fd.get(&0x200), Some(&MILLI));
+        // 0x100 reaches t1 in 2 hops (via a) and t2 in 1 hop: harmonic mean
+        // = 2 / (1/2 + 1/1) = 4/3 ≈ 1.333 → 1333 milli.
+        assert_eq!(fd.get(&0x100), Some(&1333));
+    }
+}

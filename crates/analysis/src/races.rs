@@ -135,7 +135,7 @@ pub fn race_candidates(cfg: &Cfg, image: &FirmwareImage) -> Vec<RaceCandidate> {
         unlocked_pcs: Vec<u32>,
     }
     let mut by_addr: BTreeMap<u32, AddrFacts> = BTreeMap::new();
-    for site in cfg.memory_sites() {
+    for site in cfg.memory_sites_cached() {
         let Some(addr) = site.addr else { continue };
         if !ram.contains(&addr) || site.is_atomic {
             continue;

@@ -3,8 +3,9 @@
 
 use embsan_analysis::audit::{audit, audit_with};
 use embsan_analysis::cfg::{Cfg, VIRTUAL_ROOT};
+use embsan_analysis::distance::{block_distances, FlowGraph, MILLI};
 use embsan_analysis::races::{race_candidates, watchpoint_priorities};
-use embsan_analysis::static_priors;
+use embsan_analysis::{harvest, static_priors, AnalysisArtifact};
 use embsan_asm::image::FirmwareImage;
 use embsan_core::probe::{probe, ProbeMode};
 use embsan_emu::hook::HookConfig;
@@ -195,4 +196,95 @@ fn race_priorities_flow_into_kcsan_session() {
     assert_eq!(session.runtime().race_priority_count(), 0);
     session.set_race_priorities(&priorities);
     assert_eq!(session.runtime().race_priority_count(), priorities.len());
+}
+
+/// The comparison harvester reassembles a wide-gate trigger key that the
+/// immediate scan can only ever see as two disjoint halves.
+#[test]
+fn harvester_reassembles_wide_gate_keys() {
+    let spec = BugSpec::new("fuzz/wide", BugKind::OobWrite);
+    let opts = BuildOptions::new(Arch::Armv).wide_gates(true);
+    let image = os::emblinux::build(&opts, std::slice::from_ref(&spec)).unwrap();
+    let cfg = Cfg::build(&image);
+    let key = embsan_guestos::bugs::wide_trigger_key("fuzz/wide");
+    let operands = harvest(&cfg);
+    let hit = operands.iter().find(|op| op.value == key).unwrap_or_else(|| {
+        panic!("wide key {key:#x} not harvested from {} operands", operands.len())
+    });
+    // The guarding block lives inside the bug handler.
+    let handler = image.symbol("sys_bug_0").unwrap();
+    assert_eq!(cfg.owner_of(hit.block), handler, "guard block outside sys_bug_0");
+    // The staged-gate build of the same firmware never compares the wide
+    // key (its constants are the two gate bytes).
+    let staged = os::emblinux::build(&BuildOptions::new(Arch::Armv), &[spec]).unwrap();
+    let staged_ops = harvest(&Cfg::build(&staged));
+    assert!(staged_ops.iter().all(|op| op.value != key));
+}
+
+/// Static distances on real firmware: blocks inside the bug handler sit at
+/// the target, its callers strictly farther, in whole milli-edge units.
+#[test]
+fn distances_descend_toward_a_bug_handler() {
+    let spec = BugSpec::new("fuzz/wide", BugKind::OobWrite);
+    let opts = BuildOptions::new(Arch::Armv);
+    let image = os::emblinux::build(&opts, &[spec]).unwrap();
+    let cfg = Cfg::build(&image);
+    let graph = FlowGraph::from_cfg(&cfg);
+    let handler = image.symbol("sys_bug_0").unwrap();
+    let dist = block_distances(&graph, &[handler]);
+    assert_eq!(dist.get(&handler), Some(&0));
+    // The dispatcher reaches the handler; boot reaches the dispatcher.
+    let dispatch = image.symbol("executor_loop").unwrap();
+    let dispatch_entry = dist.get(&dispatch);
+    assert!(dispatch_entry.is_some(), "executor_loop cannot reach the handler");
+    assert!(*dispatch_entry.unwrap() > 0);
+    // Every finite distance is a whole milli multiple of nothing smaller
+    // than the quantum... i.e. nonzero distances are at least one call-
+    // weighted step or an edge.
+    for (&block, &d) in &dist {
+        if d > 0 {
+            assert!(d >= MILLI / 10, "block {block:#x} has degenerate distance {d}");
+        }
+    }
+    // An address outside the text section resolves to no target.
+    assert!(block_distances(&graph, &[0xFFFF_0000]).is_empty());
+}
+
+/// The artifact round-trips through JSON bit-exactly and validates its
+/// image pairing.
+#[test]
+fn artifact_round_trips_on_real_firmware() {
+    let race_bug = LATENT_BUGS
+        .iter()
+        .find(|b| b.kind == BugKind::Race)
+        .map(|b| BugSpec::new(b.location, b.kind))
+        .unwrap();
+    let mut opts = BuildOptions::new(Arch::Armv);
+    opts.cpus = 2;
+    let image = os::emblinux::build(&opts, &[race_bug]).unwrap();
+    let artifact = AnalysisArtifact::from_image(&image);
+    assert!(!artifact.graph.nodes.is_empty());
+    // The race candidate's unlocked access sites become default targets.
+    assert!(!artifact.default_targets.is_empty(), "race bug should yield targets");
+    let reparsed = AnalysisArtifact::parse(&artifact.to_json()).unwrap();
+    assert_eq!(reparsed, artifact);
+    assert!(artifact.matches_image(&image));
+    // A different build is refused.
+    let other = os::freertos::build(&BuildOptions::new(Arch::Armv), &[]).unwrap();
+    assert!(!artifact.matches_image(&other));
+}
+
+/// `memory_sites_cached` memoizes: repeated calls return the same slice,
+/// and the owned export matches it.
+#[test]
+fn memory_sites_are_memoized() {
+    let opts = BuildOptions::new(Arch::Armv);
+    let image = os::emblinux::build(&opts, &[]).unwrap();
+    let cfg = Cfg::build(&image);
+    let first = cfg.memory_sites_cached();
+    let second = cfg.memory_sites_cached();
+    assert_eq!(first.as_ptr(), second.as_ptr(), "cache was recomputed");
+    let owned = cfg.memory_sites();
+    assert_eq!(owned.len(), first.len());
+    assert!(owned.iter().zip(first).all(|(a, b)| a.pc == b.pc && a.addr == b.addr));
 }

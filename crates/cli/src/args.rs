@@ -38,6 +38,8 @@ const VALUED: &[&str] = &[
     "trace-out",
     "out",
     "format",
+    "analysis",
+    "target",
 ];
 
 /// Parses `argv` (without the subcommand itself).

@@ -31,10 +31,21 @@ USAGE:
                                  oob-write|oob-read|oob-far|uaf|double-free|
                                  null-deref|global-oob|race|uninit-read
       --strip                    strip symbols (closed-source image)
+      --wide-gates               guard seeded bugs with one wide multi-byte
+                                 comparison instead of staged byte gates
+                                 (exercises the analyze operand harvester)
       -o FILE                    output path (default firmware.evfw)
   embsan inspect <image>         show image header, symbols, globals
   embsan analyze <image>         static analysis: CFG stats, probe-coverage
-                                 audit, allocator candidates, race candidates
+                                 audit, allocator candidates, race candidates,
+                                 comparison-operand harvest, static distances
+      --target A[,B...]          direction targets (addresses or symbol
+                                 names; repeatable; default: race-candidate
+                                 access sites)
+      --out FILE                 write the embsan-analysis-v1 artifact
+                                 (feeds `embsan fuzz --analysis`)
+      --json FILE|-              same artifact schema; `-` prints pure JSON
+                                 to stdout (no plain report)
   embsan disasm <image>          disassemble the text section
   embsan distill [headers...]    distill sanitizer headers to merged DSL
                                  (defaults to the bundled KASAN+KCSAN)
@@ -44,6 +55,16 @@ USAGE:
                                  boot under EMBSAN and run executor calls
   embsan fuzz <image> [--iters N] [--seed S] [--syscalls N] [--cpus N]
                                  coverage-guided fuzzing with EMBSAN attached
+      --analysis FILE            directed campaign steered by an
+                                 embsan-analysis-v1 artifact: corpus entries
+                                 are scored by static distance to the target
+                                 set and harvested comparison operands join
+                                 the dictionary stages. Deterministic for a
+                                 fixed seed + artifact; ignored (with a
+                                 note) on supervised/journaled runs
+      --target A[,B...]          override the artifact's default targets
+                                 (addresses or symbol names; needs
+                                 --analysis)
       --workers N                parallel campaign engine with N workers;
                                  findings and corpus are identical to the
                                  1-worker run (deterministic merges). Ignored
@@ -168,7 +189,10 @@ fn cmd_build(parsed: &Parsed) -> Result<(), String> {
     let bugs: Vec<BugSpec> =
         parsed.option_all("bug").into_iter().map(parse_bug).collect::<Result<_, _>>()?;
     let needs_smp = bugs.iter().any(|b| b.kind == BugKind::Race);
-    let opts = BuildOptions::new(arch).san(san).cpus(if needs_smp { 2 } else { 1 });
+    let opts = BuildOptions::new(arch)
+        .san(san)
+        .cpus(if needs_smp { 2 } else { 1 })
+        .wide_gates(parsed.flags.iter().any(|f| f == "wide-gates"));
     let image = match os_name.as_str() {
         "emblinux" => os::emblinux::build(&opts, &bugs),
         "freertos" => os::freertos::build(&opts, &bugs),
@@ -217,9 +241,57 @@ fn cmd_inspect(parsed: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses `--target` lists: comma-separated addresses (`0x`-hex or
+/// decimal) or symbol names resolved against the image.
+fn parse_targets(parsed: &Parsed, image: &FirmwareImage) -> Result<Vec<u32>, String> {
+    let mut targets = Vec::new();
+    for list in parsed.option_all("target") {
+        for token in list.split(',') {
+            let token = token.trim();
+            if token.is_empty() {
+                continue;
+            }
+            let addr = if let Some(hex) = token.strip_prefix("0x") {
+                u32::from_str_radix(hex, 16).map_err(|_| format!("bad target address `{token}`"))?
+            } else if token.bytes().all(|b| b.is_ascii_digit()) {
+                token.parse().map_err(|_| format!("bad target address `{token}`"))?
+            } else {
+                image.symbol(token).ok_or_else(|| format!("unknown target symbol `{token}`"))?
+            };
+            targets.push(addr);
+        }
+    }
+    Ok(targets)
+}
+
 fn cmd_analyze(parsed: &Parsed) -> Result<(), String> {
+    use embsan_analysis::{block_distances, AnalysisArtifact};
     let image = load_image(parsed)?;
     let cfg = Cfg::build(&image);
+    let mut artifact = AnalysisArtifact::from_cfg(&cfg, &image);
+    let targets = parse_targets(parsed, &image)?;
+    if !targets.is_empty() {
+        artifact.default_targets = targets;
+    }
+    let json_stdout = parsed.option("json") == Some("-");
+    for path in
+        [parsed.option("out"), parsed.option("json").filter(|&p| p != "-")].into_iter().flatten()
+    {
+        fs::write(path, artifact.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        if !json_stdout {
+            println!(
+                "wrote {path}: embsan-analysis-v1, {} blocks, {} operands, {} targets",
+                artifact.graph.nodes.len(),
+                artifact.cmp_operands.len(),
+                artifact.default_targets.len()
+            );
+        }
+    }
+    if json_stdout {
+        // Pure JSON on stdout for piping; the plain report is suppressed.
+        print!("{}", artifact.to_json());
+        return Ok(());
+    }
     println!("== control-flow recovery ==");
     println!(
         "text:       {} bytes, {} reachable instructions ({:.1}% of text)",
@@ -283,6 +355,32 @@ fn cmd_analyze(parsed: &Parsed) -> Result<(), String> {
             c.unlocked_sites,
             c.unlocked_writes
         );
+    }
+
+    // Both sections print in deterministic sorted order (operands sorted by
+    // value, distances by block address) so the output golden-tests cleanly.
+    println!("\n== comparison-operand harvest (multi-byte branch constants) ==");
+    if artifact.cmp_operands.is_empty() {
+        println!("  (none)");
+    }
+    for op in artifact.cmp_operands.iter().take(12) {
+        println!("  {:#010x} guarded at {:#010x}{}", op.value, op.block, name_of(op.block));
+    }
+    if artifact.cmp_operands.len() > 12 {
+        println!("  ... {} more", artifact.cmp_operands.len() - 12);
+    }
+
+    println!("\n== static distance to targets (milli-edges) ==");
+    if artifact.default_targets.is_empty() {
+        println!("  (no targets: no race candidates found and no --target given)");
+    } else {
+        let list: Vec<String> =
+            artifact.default_targets.iter().map(|t| format!("{t:#010x}")).collect();
+        println!("  targets: {}", list.join(", "));
+        let dist = block_distances(&artifact.graph, &artifact.default_targets);
+        println!("  {} of {} blocks reach a target", dist.len(), artifact.graph.nodes.len());
+        let max = dist.values().max().copied().unwrap_or(0);
+        println!("  farthest reaching block: {max} milli-edges");
     }
     Ok(())
 }
@@ -468,6 +566,37 @@ fn fuzz_descriptions(parsed: &Parsed) -> Result<Vec<embsan_fuzz::SyscallDesc>, S
     Ok(syscall_descs)
 }
 
+/// Loads `--analysis` (when given) into directed-campaign steering,
+/// cross-checked against the image and with `--target` overrides applied.
+fn fuzz_direction(
+    parsed: &Parsed,
+    image: &FirmwareImage,
+) -> Result<Option<embsan_fuzz::Direction>, String> {
+    let Some(path) = parsed.option("analysis") else {
+        if parsed.option("target").is_some() {
+            return Err("--target needs --analysis <artifact>".to_string());
+        }
+        return Ok(None);
+    };
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let artifact =
+        embsan_analysis::AnalysisArtifact::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    if !artifact.matches_image(image) {
+        return Err(format!(
+            "{path}: artifact was built from a different image (arch/entry/text mismatch)"
+        ));
+    }
+    let targets = parse_targets(parsed, image)?;
+    let direction = embsan_fuzz::Direction::from_artifact(&artifact, &targets)
+        .map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "directed: {} target(s), {} harvested operand(s) from {path}",
+        direction.targets().len(),
+        direction.operands().len()
+    );
+    Ok(Some(direction))
+}
+
 /// Reads and parses `--fault-plan FILE` (when given).
 fn fuzz_fault_plan(parsed: &Parsed) -> Result<Option<embsan_emu::fault::FaultPlan>, String> {
     let Some(path) = parsed.option("fault-plan") else { return Ok(None) };
@@ -596,7 +725,7 @@ fn cmd_fuzz(parsed: &Parsed) -> Result<(), String> {
 
 fn cmd_fuzz_parallel(parsed: &Parsed, workers: usize) -> Result<(), String> {
     use embsan_fuzz::{
-        run_parallel, CampaignConfig, CampaignError, Dictionary, ParallelConfig, Strategy,
+        run_parallel_directed, CampaignConfig, CampaignError, Dictionary, ParallelConfig, Strategy,
     };
     let image = load_image(parsed)?;
     let mode = probe_mode(parsed, &image)?;
@@ -618,6 +747,7 @@ fn cmd_fuzz_parallel(parsed: &Parsed, workers: usize) -> Result<(), String> {
     };
     let syscall_descs = fuzz_descriptions(parsed)?;
     let dict = Dictionary::extract(&image);
+    let direction = fuzz_direction(parsed, &image)?;
     println!(
         "parallel fuzzing: {} iterations, seed {}, {} workers, epoch {}, dictionary {} entries",
         config.campaign.iterations,
@@ -632,13 +762,23 @@ fn cmd_fuzz_parallel(parsed: &Parsed, workers: usize) -> Result<(), String> {
         session.run_to_ready(ready_budget).map_err(CampaignError::from)?;
         Ok(session)
     };
-    let outcome = run_parallel(factory, &syscall_descs, &dict, Strategy::Tardis, &config)
-        .map_err(|e| e.to_string())?;
+    let outcome = run_parallel_directed(
+        factory,
+        &syscall_descs,
+        &dict,
+        Strategy::Tardis,
+        direction.as_ref(),
+        &config,
+    )
+    .map_err(|e| e.to_string())?;
     let stats = &outcome.stats;
     println!(
         "execs {}  corpus {}  coverage {}  findings {}",
         stats.execs, stats.corpus, stats.coverage, stats.findings
     );
+    if let Some((min, mean)) = stats.frontier {
+        println!("frontier: min {min} mean {mean} milli-edges to target");
+    }
     println!(
         "wall {:.2}s ({:.0} execs/sec)  epochs {}  cache: {} translations, {} hits, \
          {} generation reuses",
@@ -732,14 +872,21 @@ fn cmd_fuzz_plain(parsed: &Parsed) -> Result<(), String> {
     let syscall_descs = fuzz_descriptions(parsed)?;
     let dict = Dictionary::extract(&image);
     println!("fuzzing: {iters} iterations, seed {seed}, dictionary {} entries", dict.len());
+    let direction = fuzz_direction(parsed, &image)?;
     let config = FuzzerConfig::new(Strategy::Tardis, seed);
     let mut fuzzer = Fuzzer::new(&mut session, syscall_descs, dict, config);
+    if let Some(direction) = direction {
+        fuzzer.set_direction(direction);
+    }
     fuzzer.run(iters).map_err(|e| e.to_string())?;
     let stats = fuzzer.stats();
     println!(
         "execs {}  corpus {}  coverage {}  findings {}",
         stats.execs, stats.corpus, stats.coverage, stats.findings
     );
+    if let Some((min, mean)) = fuzzer.frontier_distance() {
+        println!("frontier: min {min} mean {mean} milli-edges to target");
+    }
     let findings = fuzzer.into_findings();
     for finding in &findings {
         println!(
@@ -754,6 +901,12 @@ fn cmd_fuzz_plain(parsed: &Parsed) -> Result<(), String> {
 
 fn cmd_fuzz_supervised(parsed: &Parsed) -> Result<(), String> {
     use embsan_fuzz::{run_supervised_session, Dictionary, Journal, StartInfo, Strategy};
+    if parsed.option("analysis").is_some() {
+        // The journal format carries no scores; directed scheduling would
+        // not survive a resume bit-identically, so the supervised path
+        // stays undirected.
+        println!("note: supervised/journaled runs are undirected; ignoring --analysis");
+    }
     let image_path = parsed.positional.first().ok_or("expected an image path")?.clone();
     let (mut session, image) = ready_session(parsed)?;
     let config = fuzz_supervisor_config(parsed)?;

@@ -45,6 +45,12 @@ impl Dictionary {
         Dictionary { values }
     }
 
+    /// Builds a dictionary from explicit values (tests, replayed
+    /// checkpoints).
+    pub fn from_values(values: &[u32]) -> Dictionary {
+        Dictionary { values: values.to_vec() }
+    }
+
     /// The extracted constants.
     pub fn values(&self) -> &[u32] {
         &self.values

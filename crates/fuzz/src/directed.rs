@@ -1,0 +1,274 @@
+//! Directed-campaign steering from an `embsan-analysis-v1` artifact.
+//!
+//! [`Direction`] turns the static analysis into three runtime inputs:
+//!
+//! 1. **Edge-bucket distances**: the per-block static distances from
+//!    [`embsan_analysis::distance`] are projected onto the same AFL bucket
+//!    indices [`crate::cover::CoverageMap`] hashes dynamic edges into, so a
+//!    retained input's sparse classified-coverage export scores in O(edges)
+//!    with no second execution.
+//! 2. **Annealed scheduling**: [`Direction::directed_pick`] biases corpus
+//!    picks toward low-distance entries, hardening over campaign time.
+//! 3. **Harvested operands**: the multi-byte comparison constants feed the
+//!    mutator's dictionary stages (see [`crate::mutate::Mutator`]).
+//!
+//! Everything here is integer arithmetic over data already quantized by the
+//! analysis crate, and all randomness flows through the caller's
+//! [`SplitMix64`] — a directed campaign is a pure function of
+//! `(seed, artifact, targets)`, and with no artifact loaded none of this
+//! code runs, leaving undirected campaigns bit-identical.
+
+use embsan_analysis::artifact::AnalysisArtifact;
+use embsan_analysis::distance::block_distances;
+
+use crate::corpus::UNSCORED;
+use crate::cover::MAP_SIZE;
+use crate::rng::SplitMix64;
+
+/// Executions per annealing step: each step tightens the power-law bias by
+/// one extra comparison draw (capped).
+pub const ANNEAL_STEP: u64 = 2000;
+
+/// Maximum extra draws the annealed pick makes (bias exponent cap).
+const ANNEAL_CAP: u64 = 3;
+
+/// Runtime steering state distilled from an analysis artifact.
+#[derive(Clone)]
+pub struct Direction {
+    /// Minimum static distance (milli-edges) of any static edge hashing
+    /// into each AFL bucket; [`UNSCORED`] where no scored edge lands.
+    bucket_dist: Box<[u32; MAP_SIZE]>,
+    /// Harvested comparison operands, sorted ascending.
+    operands: Vec<u32>,
+    /// The resolved target addresses driving the distance pass.
+    targets: Vec<u32>,
+}
+
+impl std::fmt::Debug for Direction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Direction")
+            .field("scored_buckets", &self.bucket_dist.iter().filter(|&&d| d != UNSCORED).count())
+            .field("operands", &self.operands.len())
+            .field("targets", &self.targets.len())
+            .finish()
+    }
+}
+
+impl Direction {
+    /// Builds steering state from an artifact. `targets` overrides the
+    /// artifact's default target set when non-empty. Fails when no target
+    /// resolves to a known block (a direction that steers nowhere is a
+    /// configuration error, not a silent no-op).
+    pub fn from_artifact(
+        artifact: &AnalysisArtifact,
+        targets: &[u32],
+    ) -> Result<Direction, String> {
+        let targets: Vec<u32> =
+            if targets.is_empty() { artifact.default_targets.clone() } else { targets.to_vec() };
+        if targets.is_empty() {
+            return Err(
+                "no targets: pass --target or analyze firmware with race candidates".to_string()
+            );
+        }
+        let dist = block_distances(&artifact.graph, &targets);
+        if dist.is_empty() {
+            return Err(format!(
+                "none of the {} target addresses fall inside a recovered block",
+                targets.len()
+            ));
+        }
+        // Project block distances onto AFL edge buckets: for every static
+        // edge p→c where c has a finite distance, the bucket that edge
+        // hashes into inherits the distance (min over colliding edges).
+        // Dynamic fall-through edges that static block splitting does not
+        // predict simply leave their buckets unscored — a coverage-scoring
+        // heuristic, never a correctness input.
+        let mut bucket_dist = Box::new([UNSCORED; MAP_SIZE]);
+        let mut score_edge = |from: u32, to: u32| {
+            if let Some(&d) = dist.get(&to) {
+                let index = (((from >> 2) >> 1) ^ (to >> 2)) as usize & (MAP_SIZE - 1);
+                bucket_dist[index] = bucket_dist[index].min(d);
+            }
+        };
+        for node in artifact.graph.nodes.values() {
+            for &succ in &node.succs {
+                score_edge(node.start, succ);
+            }
+            if let Some(callee) = node.call_target {
+                score_edge(node.start, callee);
+            }
+        }
+        // Entry edges (prev = 0, how record() sees the first block after a
+        // reset) so a scored block reached first still scores.
+        for (&addr, &d) in &dist {
+            let index = (addr >> 2) as usize & (MAP_SIZE - 1);
+            bucket_dist[index] = bucket_dist[index].min(d);
+        }
+        let mut operands: Vec<u32> = artifact.cmp_operands.iter().map(|op| op.value).collect();
+        operands.sort_unstable();
+        operands.dedup();
+        Ok(Direction { bucket_dist, operands, targets })
+    }
+
+    /// The harvested comparison operands, sorted ascending.
+    pub fn operands(&self) -> &[u32] {
+        &self.operands
+    }
+
+    /// The resolved target addresses.
+    pub fn targets(&self) -> &[u32] {
+        &self.targets
+    }
+
+    /// Scores a sparse classified-coverage export: the minimum static
+    /// distance over all covered buckets, or [`UNSCORED`] when no covered
+    /// bucket carries a distance.
+    pub fn score_sparse(&self, sparse: &[(u32, u8)]) -> u32 {
+        sparse
+            .iter()
+            .map(|&(index, _)| self.bucket_dist[index as usize & (MAP_SIZE - 1)])
+            .min()
+            .unwrap_or(UNSCORED)
+    }
+
+    /// Annealed distance-biased corpus pick over `scores` (parallel to the
+    /// corpus entries). Draws `1 + min(execs / ANNEAL_STEP, ANNEAL_CAP)`
+    /// uniform candidates and keeps the lowest-scoring one (ties broken by
+    /// index, so the result is deterministic) — an integer-only power-law:
+    /// early in the campaign the bias is mild (2 draws), later it hardens
+    /// (up to 4). Returns `None` on an empty corpus.
+    pub fn directed_pick(&self, scores: &[u32], execs: u64, rng: &mut SplitMix64) -> Option<usize> {
+        if scores.is_empty() {
+            return None;
+        }
+        let draws = 1 + (execs / ANNEAL_STEP).min(ANNEAL_CAP);
+        let mut best: Option<usize> = None;
+        for _ in 0..draws {
+            let candidate = rng.gen_usize() % scores.len();
+            best = Some(match best {
+                None => candidate,
+                Some(current) => {
+                    if (scores[candidate], candidate) < (scores[current], current) {
+                        candidate
+                    } else {
+                        current
+                    }
+                }
+            });
+        }
+        best
+    }
+}
+
+/// Frontier summary of the corpus scores: `(min, mean)` static distance in
+/// milli-edges over scored entries, or `None` when nothing scored yet.
+pub fn frontier(scores: &[u32]) -> Option<(u32, u32)> {
+    let scored: Vec<u32> = scores.iter().copied().filter(|&s| s != UNSCORED).collect();
+    if scored.is_empty() {
+        return None;
+    }
+    let min = *scored.iter().min().unwrap();
+    let mean = (scored.iter().map(|&s| u64::from(s)).sum::<u64>() / scored.len() as u64) as u32;
+    Some((min, mean))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::BTreeMap;
+
+    use embsan_analysis::distance::{FlowGraph, FlowNode};
+    use embsan_emu::profile::Arch;
+
+    use super::*;
+
+    fn artifact() -> AnalysisArtifact {
+        let mut nodes = BTreeMap::new();
+        for (start, succs, call) in [
+            (0x1000u32, vec![0x1010, 0x1020], None),
+            (0x1010, vec![0x1020], None),
+            (0x1020, vec![], Some(0x2000)),
+            (0x2000, vec![], None),
+        ] {
+            nodes.insert(
+                start,
+                FlowNode {
+                    start,
+                    end: start + 0x10,
+                    succs,
+                    call_target: call,
+                    indirect_call: false,
+                },
+            );
+        }
+        AnalysisArtifact {
+            arch: Arch::Armv,
+            entry: 0x1000,
+            text_base: 0x1000,
+            text_len: 0x2000,
+            graph: FlowGraph { fn_entries: vec![0x1000, 0x2000], address_taken: vec![], nodes },
+            cmp_operands: vec![
+                embsan_analysis::CmpOperand { value: 0x1234_5678, block: 0x1020 },
+                embsan_analysis::CmpOperand { value: 0x1234_5678, block: 0x1000 },
+            ],
+            default_targets: vec![0x2000],
+        }
+    }
+
+    #[test]
+    fn from_artifact_resolves_defaults_and_dedups_operands() {
+        let direction = Direction::from_artifact(&artifact(), &[]).unwrap();
+        assert_eq!(direction.targets(), &[0x2000]);
+        assert_eq!(direction.operands(), &[0x1234_5678]);
+    }
+
+    #[test]
+    fn unresolvable_targets_are_an_error() {
+        assert!(Direction::from_artifact(&artifact(), &[0xDEAD_0000]).is_err());
+        let mut empty = artifact();
+        empty.default_targets.clear();
+        assert!(Direction::from_artifact(&empty, &[]).is_err());
+    }
+
+    #[test]
+    fn sparse_scoring_prefers_edges_near_the_target() {
+        let direction = Direction::from_artifact(&artifact(), &[0x2000]).unwrap();
+        // The dynamic edge 0x1020 → 0x2000 (the call) hashes like record():
+        let near = (((0x1020u32 >> 2) >> 1) ^ (0x2000 >> 2)) & (MAP_SIZE as u32 - 1);
+        let far = (((0x1000u32 >> 2) >> 1) ^ (0x1010 >> 2)) & (MAP_SIZE as u32 - 1);
+        let near_score = direction.score_sparse(&[(near, 1)]);
+        let far_score = direction.score_sparse(&[(far, 1)]);
+        assert!(near_score < far_score, "{near_score} vs {far_score}");
+        // Min over a combined run equals the best single edge.
+        assert_eq!(direction.score_sparse(&[(near, 1), (far, 1)]), near_score);
+        // Unknown buckets score UNSCORED; empty exports too.
+        assert_eq!(direction.score_sparse(&[]), UNSCORED);
+    }
+
+    #[test]
+    fn directed_pick_is_deterministic_and_biased() {
+        let direction = Direction::from_artifact(&artifact(), &[]).unwrap();
+        let scores = vec![5000, 100, UNSCORED, 3000];
+        let mut a = SplitMix64::seed_from_u64(7);
+        let mut b = SplitMix64::seed_from_u64(7);
+        for execs in [0u64, 1000, 5000, 100_000] {
+            assert_eq!(
+                direction.directed_pick(&scores, execs, &mut a),
+                direction.directed_pick(&scores, execs, &mut b)
+            );
+        }
+        // Late-campaign picks concentrate on the best entry.
+        let mut rng = SplitMix64::seed_from_u64(11);
+        let mut hits = [0usize; 4];
+        for _ in 0..400 {
+            hits[direction.directed_pick(&scores, 1_000_000, &mut rng).unwrap()] += 1;
+        }
+        assert!(hits[1] > hits[0] && hits[1] > hits[2] && hits[1] > hits[3], "{hits:?}");
+    }
+
+    #[test]
+    fn frontier_summarizes_scored_entries() {
+        assert_eq!(frontier(&[]), None);
+        assert_eq!(frontier(&[UNSCORED, UNSCORED]), None);
+        assert_eq!(frontier(&[3000, UNSCORED, 1000]), Some((1000, 2000)));
+    }
+}

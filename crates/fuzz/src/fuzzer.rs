@@ -4,10 +4,11 @@ use embsan_core::report::{BugClass, Report};
 use embsan_core::session::{ExecOutcome, Session, SessionError};
 use embsan_guestos::executor::{sys, ExecProgram};
 
-use crate::corpus::Corpus;
+use crate::corpus::{Corpus, UNSCORED};
 use crate::cover::{CoverageMap, MAP_SIZE};
 use crate::descs::SyscallDesc;
 use crate::dictionary::Dictionary;
+use crate::directed::Direction;
 use crate::mutate::Mutator;
 use crate::rng::SplitMix64;
 
@@ -147,6 +148,10 @@ pub struct Fuzzer<'s> {
     /// differ only in coverage counts would otherwise re-expand identical
     /// candidate sets and starve the queue.
     det_seen: std::collections::HashSet<(u8, usize, u32)>,
+    /// Directed-campaign steering, when an analysis artifact is loaded.
+    /// `None` leaves scheduling and mutation bit-identical to the
+    /// undirected fuzzer.
+    direction: Option<Direction>,
 }
 
 impl std::fmt::Debug for Fuzzer<'_> {
@@ -191,7 +196,23 @@ impl<'s> Fuzzer<'s> {
             key_nrs,
             det_pending: Vec::new(),
             det_seen: std::collections::HashSet::new(),
+            direction: None,
         }
+    }
+
+    /// Loads directed-campaign steering: corpus entries are scored by
+    /// static distance, scheduling anneals toward the frontier, and the
+    /// harvested comparison operands join the mutator's dictionary pool
+    /// and the deterministic stage.
+    pub fn set_direction(&mut self, direction: Direction) {
+        self.mutator.set_operands(direction.operands());
+        self.direction = Some(direction);
+    }
+
+    /// `(min, mean)` static frontier distance over scored corpus entries
+    /// in milli-edges, `None` while nothing scored (or undirected).
+    pub fn frontier_distance(&self) -> Option<(u32, u32)> {
+        crate::directed::frontier(self.corpus.scores())
     }
 
     /// Current statistics.
@@ -238,6 +259,13 @@ impl<'s> Fuzzer<'s> {
             candidate
         } else if self.corpus.is_empty() || self.rng.gen_bool(0.2) {
             self.mutator.generate(&mut self.rng)
+        } else if let Some(direction) = &self.direction {
+            // Directed: annealed distance-biased pick over entry scores.
+            let index = direction
+                .directed_pick(self.corpus.scores(), self.execs, &mut self.rng)
+                .expect("non-empty corpus");
+            let seed = self.corpus.entries()[index].clone();
+            self.mutator.mutate(&seed, &mut self.rng)
         } else {
             let pick = self.rng.gen_usize();
             // Infallible: this branch is only reached when `corpus.is_empty()`
@@ -266,6 +294,17 @@ impl<'s> Fuzzer<'s> {
                         let mut candidate = seed.clone();
                         let arg = &mut candidate.calls[call_index].args[arg_index];
                         *arg = (*arg & !(0xFF << shift)) | (u32::from(byte) << shift);
+                        self.det_pending.push(candidate);
+                    }
+                }
+                // Directed campaigns additionally substitute each harvested
+                // comparison operand whole — byte-wise splicing cannot build
+                // a multi-piece constant one stage at a time because a wide
+                // gate has no intermediate stages to reward.
+                if let Some(direction) = &self.direction {
+                    for &operand in direction.operands() {
+                        let mut candidate = seed.clone();
+                        candidate.calls[call_index].args[arg_index] = operand;
                         self.det_pending.push(candidate);
                     }
                 }
@@ -328,7 +367,13 @@ impl<'s> Fuzzer<'s> {
         program: &ExecProgram,
         outcome: ExecOutcome,
     ) -> Result<CommitSummary, SessionError> {
-        let retained = self.corpus.add_if_novel(program, &self.coverage);
+        // Directed campaigns score the entry by the minimum static distance
+        // over its covered edge buckets; undirected ones skip the export.
+        let score = match &self.direction {
+            Some(direction) => direction.score_sparse(&self.coverage.classified_sparse()),
+            None => UNSCORED,
+        };
+        let retained = self.corpus.add_if_novel_scored(program, &self.coverage, score);
         if retained && self.config.deterministic_stage {
             self.expand_deterministic(program);
         }
@@ -444,7 +489,13 @@ mod tests {
     use embsan_guestos::{os, BuildOptions, SanMode};
 
     fn ready_session(bugs: &[BugSpec]) -> (Session, embsan_asm::FirmwareImage) {
-        let opts = BuildOptions::new(Arch::Armv).san(SanMode::SanCall);
+        ready_session_opts(BuildOptions::new(Arch::Armv).san(SanMode::SanCall), bugs)
+    }
+
+    fn ready_session_opts(
+        opts: BuildOptions,
+        bugs: &[BugSpec],
+    ) -> (Session, embsan_asm::FirmwareImage) {
         let image = os::emblinux::build(&opts, bugs).unwrap();
         let specs = reference_specs().unwrap();
         let artifacts = probe(&image, ProbeMode::CompileTime, None).unwrap();
@@ -490,6 +541,57 @@ mod tests {
         // Triage minimized the reproducer down to the trigger call.
         assert_eq!(finding.program.calls.len(), 1);
         assert_eq!(finding.bug_syscalls, vec![sys::BUG_BASE]);
+    }
+
+    /// The directed-fuzzing capability test: a wide (single-comparison,
+    /// multi-byte) gate has no intermediate stages for coverage feedback to
+    /// climb, so the staged-dictionary fuzzer stays blind — but the
+    /// analysis artifact's harvested comparison operand opens it.
+    #[test]
+    fn fuzzer_finds_gated_bug_with_harvested_operand() {
+        let bug = BugSpec::new("fuzz/wide", BugKind::OobWrite);
+        let opts = BuildOptions::new(Arch::Armv).san(SanMode::SanCall).wide_gates(true);
+        let (mut session, image) = ready_session_opts(opts, std::slice::from_ref(&bug));
+        let artifact = embsan_analysis::AnalysisArtifact::from_image(&image);
+        let handler = image.symbol("sys_bug_0").unwrap();
+        let direction = crate::directed::Direction::from_artifact(&artifact, &[handler]).unwrap();
+        let key = embsan_guestos::bugs::wide_trigger_key("fuzz/wide");
+        assert!(direction.operands().contains(&key), "wide key must be harvested");
+
+        let dict = Dictionary::extract(&image);
+        let config = FuzzerConfig::new(Strategy::Syz, 42);
+        let mut fuzzer = Fuzzer::new(&mut session, descs_with_bugs(1), dict.clone(), config);
+        fuzzer.set_direction(direction);
+        let mut found = false;
+        for _ in 0..60 {
+            fuzzer.run(250).unwrap();
+            if !fuzzer.findings().is_empty() {
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "directed stats: {:?}", fuzzer.stats());
+        let finding = &fuzzer.findings()[0];
+        assert_eq!(finding.report.class, BugClass::HeapOob);
+        assert_eq!(finding.bug_syscalls, vec![sys::BUG_BASE]);
+        // Scored entries expose a frontier once the corpus is directed.
+        assert!(fuzzer.frontier_distance().is_some());
+
+        // Control: the immediate-only dictionary never reassembles the
+        // 4-byte key (both halves require a lui+ori pair), so an undirected
+        // fuzzer with the same budget finds nothing behind the wide gate.
+        let mut control = Fuzzer::new(
+            &mut session,
+            descs_with_bugs(1),
+            dict,
+            FuzzerConfig::new(Strategy::Syz, 42),
+        );
+        control.run(4000).unwrap();
+        assert!(
+            control.findings().is_empty(),
+            "undirected fuzzer should not pass the wide gate: {:?}",
+            control.stats()
+        );
     }
 
     #[test]

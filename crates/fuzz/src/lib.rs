@@ -16,12 +16,20 @@
 //! the firmware binary (the classic binary-dictionary trick), crash triage
 //! with program minimization, and a deterministic seeded [`campaign`]
 //! driver used by the Table 3/4 benches.
+//!
+//! Loading an `embsan-analysis-v1` artifact upgrades either strategy to a
+//! **directed** campaign ([`directed`]): corpus entries are scored by the
+//! static distance of their covered edges to a target set, scheduling is
+//! annealed toward the frontier, and harvested comparison operands join the
+//! dictionary stages. With no artifact loaded the directed layer is
+//! completely inert.
 
 pub mod campaign;
 pub mod corpus;
 pub mod cover;
 pub mod descs;
 pub mod dictionary;
+pub mod directed;
 pub mod fuzzer;
 pub mod journal;
 pub mod mutate;
@@ -36,13 +44,15 @@ pub use corpus::Corpus;
 pub use cover::CoverageMap;
 pub use descs::{descriptions_for, ArgKind, SyscallDesc};
 pub use dictionary::Dictionary;
+pub use directed::{frontier, Direction};
 pub use fuzzer::{
     CommitSummary, CoverageSource, Finding, Fuzzer, FuzzerConfig, FuzzerState, FuzzerStats,
     Strategy,
 };
 pub use journal::{Journal, JournalError, Record, StartInfo, SupervisorHealth};
 pub use parallel::{
-    run_parallel, run_parallel_campaign, ParallelConfig, ParallelOutcome, ParallelStats,
+    run_parallel, run_parallel_campaign, run_parallel_campaign_directed, run_parallel_directed,
+    ParallelConfig, ParallelOutcome, ParallelStats,
 };
 pub use rng::SplitMix64;
 pub use supervisor::{

@@ -27,6 +27,10 @@ const INTERESTING: [u32; 8] = [0, 1, 7, 8, 0xFF, 0x100, 0xFFFF, u32::MAX];
 pub struct Mutator {
     descs: Vec<SyscallDesc>,
     dict: Dictionary,
+    /// Harvested comparison operands appended to the dictionary pool
+    /// (directed campaigns; empty otherwise, which leaves every draw
+    /// bit-identical to the dictionary-only mutator).
+    operands: Vec<u32>,
     strategy: Strategy,
     max_calls: usize,
 }
@@ -44,13 +48,33 @@ impl Mutator {
         max_calls: usize,
     ) -> Mutator {
         assert!(!descs.is_empty(), "mutator needs at least one syscall description");
-        Mutator { descs, dict, strategy, max_calls }
+        Mutator { descs, dict, operands: Vec::new(), strategy, max_calls }
+    }
+
+    /// Installs harvested comparison operands (directed campaigns). They
+    /// join the dictionary pool for every constant draw; with an empty
+    /// slice the mutator is bit-identical to the plain dictionary mutator.
+    pub fn set_operands(&mut self, operands: &[u32]) {
+        self.operands = operands.to_vec();
+    }
+
+    /// Picks from the combined constant pool — dictionary values first,
+    /// then harvested operands — with a single index draw, so the RNG
+    /// stream does not depend on whether operands are loaded.
+    fn pick_const(&self, index: usize) -> Option<u32> {
+        let dict = self.dict.values();
+        let total = dict.len() + self.operands.len();
+        if total == 0 {
+            return None;
+        }
+        let at = index % total;
+        Some(if at < dict.len() { dict[at] } else { self.operands[at - dict.len()] })
     }
 
     fn gen_value(&self, rng: &mut SplitMix64) -> u32 {
         match rng.range_u32(0, 4) {
             0 => INTERESTING[rng.range_usize(0, INTERESTING.len())],
-            1 => self.dict.pick(rng.gen_usize()).unwrap_or_else(|| rng.gen_u32()),
+            1 => self.pick_const(rng.gen_usize()).unwrap_or_else(|| rng.gen_u32()),
             2 => rng.range_u32(0, 1024),
             _ => rng.gen_u32(),
         }
@@ -103,11 +127,11 @@ impl Mutator {
             2 => {
                 // Splice a dictionary byte into one byte position — the
                 // stage-climbing move for byte-compared gates.
-                let byte = self.dict.pick(rng.gen_usize()).unwrap_or_else(|| rng.gen_u32()) & 0xFF;
+                let byte = self.pick_const(rng.gen_usize()).unwrap_or_else(|| rng.gen_u32()) & 0xFF;
                 let shift = 8 * rng.range_u32(0, 4);
                 (value & !(0xFF << shift)) | (byte << shift)
             }
-            3 => self.dict.pick(rng.gen_usize()).unwrap_or_else(|| rng.gen_u32()),
+            3 => self.pick_const(rng.gen_usize()).unwrap_or_else(|| rng.gen_u32()),
             4 => value.wrapping_add(rng.range_u32(0, 8)).wrapping_sub(4),
             _ => INTERESTING[rng.range_usize(0, INTERESTING.len())],
         }
@@ -224,6 +248,40 @@ mod tests {
         for _ in 0..50 {
             assert_eq!(m.generate(&mut a), m.generate(&mut b));
         }
+    }
+
+    #[test]
+    fn empty_operands_are_bit_identical_to_plain_dictionary() {
+        let dict = Dictionary::from_values(&[0x41, 0x1000, 0xBEEF]);
+        let plain = Mutator::new(base_descriptions(), dict.clone(), Strategy::Tardis, 12);
+        let mut loaded = Mutator::new(base_descriptions(), dict, Strategy::Tardis, 12);
+        loaded.set_operands(&[]);
+        let mut a = SplitMix64::seed_from_u64(99);
+        let mut b = SplitMix64::seed_from_u64(99);
+        let base = plain.generate(&mut a);
+        assert_eq!(base, loaded.generate(&mut b));
+        for _ in 0..200 {
+            assert_eq!(plain.mutate(&base, &mut a), loaded.mutate(&base, &mut b));
+            assert_eq!(a.state(), b.state(), "RNG streams diverged");
+        }
+    }
+
+    #[test]
+    fn operands_join_the_constant_pool() {
+        let key = 0x1234_5678u32;
+        let mut m = mutator(Strategy::Tardis);
+        m.set_operands(&[key]);
+        let mut rng = SplitMix64::seed_from_u64(5);
+        let base = m.generate(&mut rng);
+        let mut seen = false;
+        for _ in 0..2000 {
+            let mutated = m.mutate(&base, &mut rng);
+            if mutated.calls.iter().any(|c| c.args.contains(&key)) {
+                seen = true;
+                break;
+            }
+        }
+        assert!(seen, "harvested operand never spliced whole into an argument");
     }
 
     #[test]

@@ -58,9 +58,11 @@ use embsan_obs::{
 use crate::campaign::{
     attribute_findings, prepare_session, CampaignConfig, CampaignError, CampaignResult,
 };
+use crate::corpus::UNSCORED;
 use crate::cover::{CoverageMap, MAP_SIZE};
 use crate::descs::{descriptions_for, SyscallDesc};
 use crate::dictionary::Dictionary;
+use crate::directed::Direction;
 use crate::fuzzer::{Finding, FuzzerStats, Strategy};
 use crate::mutate::Mutator;
 use crate::rng::SplitMix64;
@@ -126,6 +128,10 @@ pub struct ParallelStats {
     /// Non-zero buckets in the shared atomic bitmap (live-published
     /// telemetry; equals `coverage` after the final merge).
     pub published_coverage: usize,
+    /// `(min, mean)` static frontier distance in milli-edges over scored
+    /// corpus entries. `None` for undirected runs (every score is
+    /// [`UNSCORED`]) and before anything scored is retained.
+    pub frontier: Option<(u32, u32)>,
 }
 
 impl ParallelStats {
@@ -152,6 +158,10 @@ impl ParallelStats {
             self.published_coverage as i64,
         );
         registry.counter("scheduler", "fuzz_wall_ms", Telemetry, self.fuzz_wall.as_millis() as u64);
+        if let Some((min, mean)) = self.frontier {
+            registry.gauge("directed", "frontier_min_milli", Deterministic, i64::from(min));
+            registry.gauge("directed", "frontier_mean_milli", Deterministic, i64::from(mean));
+        }
         registry.counter("translator", "translations", Telemetry, self.cache.translations);
         registry.counter("translator", "hits", Telemetry, self.cache.hits);
         registry.counter("translator", "reconfigures", Telemetry, self.cache.reconfigures);
@@ -200,10 +210,19 @@ struct IterResult {
     events: Vec<Event>,
 }
 
+/// Immutable per-epoch corpus view: programs plus their static-distance
+/// scores (all [`UNSCORED`] in undirected runs).
+struct Snapshot {
+    programs: Vec<ExecProgram>,
+    scores: Vec<u32>,
+}
+
 /// Merge-side state, owned by whichever worker leads each epoch barrier.
 struct MergeState {
     global: Box<[u8; MAP_SIZE]>,
     corpus: Vec<ExecProgram>,
+    /// Static-distance score per corpus entry, admission-ordered.
+    scores: Vec<u32>,
     findings: Vec<Finding>,
     seen: HashSet<(BugClass, u32)>,
     execs: u64,
@@ -221,7 +240,7 @@ struct Shared {
     /// One past the last iteration of the current epoch.
     epoch_end: AtomicU64,
     /// Immutable corpus snapshot workers draw from this epoch.
-    snapshot: Mutex<Arc<Vec<ExecProgram>>>,
+    snapshot: Mutex<Arc<Snapshot>>,
     /// Completed iterations awaiting the canonical merge.
     results: Mutex<Vec<IterResult>>,
     merge: Mutex<MergeState>,
@@ -243,16 +262,24 @@ fn iter_rng(seed: u64, iter: u64) -> SplitMix64 {
 /// Derives iteration `iter`'s program from the epoch's corpus snapshot.
 fn derive_program(
     mutator: &Mutator,
-    snapshot: &[ExecProgram],
+    snapshot: &Snapshot,
+    direction: Option<&Direction>,
     seed: u64,
     iter: u64,
 ) -> ExecProgram {
     let mut rng = iter_rng(seed, iter);
-    if snapshot.is_empty() || rng.gen_bool(0.2) {
+    if snapshot.programs.is_empty() || rng.gen_bool(0.2) {
         mutator.generate(&mut rng)
+    } else if let Some(direction) = direction {
+        // Directed: distance-biased pick over the snapshot scores. The
+        // iteration index is the anneal clock — unlike a live exec counter
+        // it is a pure function of the schedule-independent iteration id.
+        let index =
+            direction.directed_pick(&snapshot.scores, iter, &mut rng).expect("non-empty snapshot");
+        mutator.mutate(&snapshot.programs[index], &mut rng)
     } else {
-        let pick = rng.gen_usize() % snapshot.len();
-        mutator.mutate(&snapshot[pick], &mut rng)
+        let pick = rng.gen_usize() % snapshot.programs.len();
+        mutator.mutate(&snapshot.programs[pick], &mut rng)
     }
 }
 
@@ -297,7 +324,8 @@ fn run_iteration(
     session: &mut Session,
     coverage: &mut CoverageMap,
     mutator: &Mutator,
-    snapshot: &[ExecProgram],
+    snapshot: &Snapshot,
+    direction: Option<&Direction>,
     config: &ParallelConfig,
     iter: u64,
 ) -> Result<IterResult, SessionError> {
@@ -305,7 +333,7 @@ fn run_iteration(
     // function of (snapshot state, program): the lifetime clock itself is
     // monotonic across the worker's whole schedule.
     let mark = session.trace_mark();
-    let program = derive_program(mutator, snapshot, config.campaign.seed, iter);
+    let program = derive_program(mutator, snapshot, direction, config.campaign.seed, iter);
     coverage.reset();
     session.reset()?;
     let budget = config.campaign.program_budget;
@@ -324,7 +352,7 @@ fn run_iteration(
 /// The canonical merge: executed by the epoch leader while every other
 /// worker waits at the barrier. Results are reduced sorted by iteration
 /// index, so admission and dedup order is schedule-independent.
-fn merge_epoch(shared: &Shared, config: &ParallelConfig) {
+fn merge_epoch(shared: &Shared, config: &ParallelConfig, direction: Option<&Direction>) {
     let mut results = {
         let mut guard = shared.results.lock().unwrap();
         std::mem::take(&mut *guard)
@@ -334,7 +362,14 @@ fn merge_epoch(shared: &Shared, config: &ParallelConfig) {
     for result in results {
         state.execs += 1;
         if CoverageMap::merge_classified(&mut state.global, &result.cover) > 0 {
+            // Scoring uses the iteration's own sparse export, so the score
+            // too is a pure function of the program — merge-order free.
+            let score = match direction {
+                Some(d) => d.score_sparse(&result.cover),
+                None => UNSCORED,
+            };
             state.corpus.push(result.program);
+            state.scores.push(score);
         }
         for finding in result.findings {
             if state.seen.insert(finding.report.dedup_key()) {
@@ -365,7 +400,8 @@ fn merge_epoch(shared: &Shared, config: &ParallelConfig) {
             });
         }
     }
-    *shared.snapshot.lock().unwrap() = Arc::new(state.corpus.clone());
+    *shared.snapshot.lock().unwrap() =
+        Arc::new(Snapshot { programs: state.corpus.clone(), scores: state.scores.clone() });
     let done = shared.epoch_end.load(Ordering::SeqCst);
     let failed = shared.error.lock().unwrap().is_some();
     if failed || done >= config.campaign.iterations {
@@ -378,18 +414,26 @@ fn merge_epoch(shared: &Shared, config: &ParallelConfig) {
     }
 }
 
+/// Per-run mutation inputs shared (immutably) by every worker.
+#[derive(Clone, Copy)]
+struct WorkerSetup<'a> {
+    descs: &'a [SyscallDesc],
+    dict: &'a Dictionary,
+    strategy: Strategy,
+    direction: Option<&'a Direction>,
+}
+
 /// One worker thread: claim chunks, execute, publish, synchronize.
 fn worker_loop<F>(
     worker: usize,
     factory: &F,
-    descs: &[SyscallDesc],
-    dict: &Dictionary,
-    strategy: Strategy,
+    setup: WorkerSetup<'_>,
     config: &ParallelConfig,
     shared: &Shared,
 ) where
     F: Fn(usize) -> Result<Session, CampaignError> + Sync,
 {
+    let WorkerSetup { descs, dict, strategy, direction } = setup;
     let mut session = match factory(worker) {
         Ok(mut session) => {
             // Canonical dedup happens at merge time; the runtime must
@@ -411,7 +455,10 @@ fn worker_loop<F>(
             None
         }
     };
-    let mutator = Mutator::new(descs.to_vec(), dict.clone(), strategy, 12);
+    let mut mutator = Mutator::new(descs.to_vec(), dict.clone(), strategy, 12);
+    if let Some(direction) = direction {
+        mutator.set_operands(direction.operands());
+    }
     let mut coverage = CoverageMap::new();
 
     if shared.barrier.wait().is_leader() {
@@ -428,7 +475,15 @@ fn worker_loop<F>(
                     break;
                 }
                 for iter in start..(start + config.chunk).min(end) {
-                    match run_iteration(session, &mut coverage, &mutator, &snapshot, config, iter) {
+                    match run_iteration(
+                        session,
+                        &mut coverage,
+                        &mutator,
+                        &snapshot,
+                        direction,
+                        config,
+                        iter,
+                    ) {
                         Ok(result) => {
                             for &(index, class) in &result.cover {
                                 shared.bitmap[index as usize].fetch_or(class, Ordering::Relaxed);
@@ -438,8 +493,13 @@ fn worker_loop<F>(
                         Err(e) => {
                             // Re-derive the failing program (pure function
                             // of seed and iteration) for the error context.
-                            let program =
-                                derive_program(&mutator, &snapshot, config.campaign.seed, iter);
+                            let program = derive_program(
+                                &mutator,
+                                &snapshot,
+                                direction,
+                                config.campaign.seed,
+                                iter,
+                            );
                             let err = CampaignError::from(e).context(iter, &program);
                             shared.error.lock().unwrap().get_or_insert(err);
                             shared.stop.store(true, Ordering::SeqCst);
@@ -453,7 +513,7 @@ fn worker_loop<F>(
             shared.results.lock().unwrap().extend(batch);
         }
         if shared.barrier.wait().is_leader() {
-            merge_epoch(shared, config);
+            merge_epoch(shared, config, direction);
         }
         shared.barrier.wait();
         if shared.stop.load(Ordering::SeqCst) {
@@ -492,17 +552,45 @@ pub fn run_parallel<F>(
 where
     F: Fn(usize) -> Result<Session, CampaignError> + Sync,
 {
+    run_parallel_directed(factory, descs, dict, strategy, None, config)
+}
+
+/// [`run_parallel`] with optional directed-campaign steering. With
+/// `direction` loaded, every worker scores retained entries by static
+/// distance and anneals its picks toward the frontier; scores are part of
+/// the canonical merge, so the determinism contract (same results for any
+/// worker count) carries over unchanged. `None` is exactly [`run_parallel`].
+///
+/// # Errors
+///
+/// See [`run_parallel`].
+///
+/// # Panics
+///
+/// See [`run_parallel`].
+pub fn run_parallel_directed<F>(
+    factory: F,
+    descs: &[SyscallDesc],
+    dict: &Dictionary,
+    strategy: Strategy,
+    direction: Option<&Direction>,
+    config: &ParallelConfig,
+) -> Result<ParallelOutcome, CampaignError>
+where
+    F: Fn(usize) -> Result<Session, CampaignError> + Sync,
+{
     assert!(config.workers > 0, "need at least one worker");
     assert!(config.epoch_len > 0 && config.chunk > 0, "degenerate scheduling parameters");
     let shared = Shared {
         stop: AtomicBool::new(false),
         next_iter: AtomicU64::new(0),
         epoch_end: AtomicU64::new(config.epoch_len.min(config.campaign.iterations)),
-        snapshot: Mutex::new(Arc::new(Vec::new())),
+        snapshot: Mutex::new(Arc::new(Snapshot { programs: Vec::new(), scores: Vec::new() })),
         results: Mutex::new(Vec::new()),
         merge: Mutex::new(MergeState {
             global: Box::new([0; MAP_SIZE]),
             corpus: Vec::new(),
+            scores: Vec::new(),
             findings: Vec::new(),
             seen: HashSet::new(),
             execs: 0,
@@ -524,7 +612,8 @@ where
             let shared = &shared;
             let factory = &factory;
             scope.spawn(move || {
-                worker_loop(worker, factory, descs, dict, strategy, config, shared);
+                let setup = WorkerSetup { descs, dict, strategy, direction };
+                worker_loop(worker, factory, setup, config, shared);
             });
         }
     });
@@ -553,6 +642,7 @@ where
         fuzz_wall,
         cache,
         published_coverage,
+        frontier: crate::directed::frontier(&state.scores),
     };
     Ok(ParallelOutcome {
         findings: state.findings,
@@ -572,6 +662,20 @@ pub fn run_parallel_campaign(
     spec: &FirmwareSpec,
     config: &ParallelConfig,
 ) -> Result<(CampaignResult, ParallelOutcome), CampaignError> {
+    run_parallel_campaign_directed(spec, None, config)
+}
+
+/// [`run_parallel_campaign`] with optional directed steering (the
+/// `embsan fuzz --workers N --analysis ART` path).
+///
+/// # Errors
+///
+/// See [`CampaignError`].
+pub fn run_parallel_campaign_directed(
+    spec: &FirmwareSpec,
+    direction: Option<&Direction>,
+    config: &ParallelConfig,
+) -> Result<(CampaignResult, ParallelOutcome), CampaignError> {
     let image = spec
         .build(spec.default_san_mode())
         .map_err(|e| CampaignError::from(e).with_firmware(spec.name))?;
@@ -581,11 +685,12 @@ pub fn run_parallel_campaign(
         PaperFuzzer::Syzkaller => Strategy::Syz,
         PaperFuzzer::Tardis => Strategy::Tardis,
     };
-    let outcome = run_parallel(
+    let outcome = run_parallel_directed(
         |_worker| prepare_session(spec, &config.campaign).map(|(session, _)| session),
         &descs,
         &dict,
         strategy,
+        direction,
         config,
     )
     .map_err(|e| e.with_firmware(spec.name))?;

@@ -286,6 +286,16 @@ pub fn trigger_key(location: &str) -> u32 {
     u32::from(s0) | u32::from(s1) << 8
 }
 
+/// The full-word key guarding a wide-gated bug (see
+/// [`emit_bug_handler_gated`]). Bit 28 and bit 0 are forced on so the key
+/// always has a non-zero upper half *and* a non-zero low 12 bits: the
+/// assembler must lower the comparison constant as a `lui`+`ori` pair,
+/// meaning neither immediate alone equals the key. Bit 31 is cleared so the
+/// value stays positive as an `i64` literal.
+pub fn wide_trigger_key(location: &str) -> u32 {
+    (fnv(location) | 0x1000_0001) & 0x7FFF_FFFF
+}
+
 /// Turns a location string into a symbol-safe suffix.
 pub fn symbolize(location: &str) -> String {
     location.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
@@ -316,47 +326,90 @@ pub fn emit_bug_handler(
     alloc_fn: &str,
     free_fn: &str,
 ) -> String {
+    emit_bug_handler_gated(asm, globals, index, spec, alloc_fn, free_fn, false)
+}
+
+/// Emits `sys_bug_<index>` with either the staged byte gates (`wide ==
+/// false`, same output as [`emit_bug_handler`]) or a single full-word key
+/// comparison against [`wide_trigger_key`] (`wide == true`).
+///
+/// The wide gate is deliberately hostile to coverage guidance: there are no
+/// intermediate stages to climb, and the key is materialized as a
+/// `lui`+`ori` pair, so an immediate-scan dictionary only ever sees the two
+/// halves. Breaking it requires harvesting the reassembled comparison
+/// operand from the branch itself.
+pub fn emit_bug_handler_gated(
+    asm: &mut Asm,
+    globals: &mut Vec<GlobalDef>,
+    index: usize,
+    spec: &BugSpec,
+    alloc_fn: &str,
+    free_fn: &str,
+    wide: bool,
+) -> String {
     let name = format!("sys_bug_{index}");
-    let [s0, s1] = gate_stages(&spec.location);
     let out = format!("{name}.out");
     asm.func(&name);
     asm.prologue(&[Reg::R7]);
-    // Gate stage 1: low key byte.
-    asm.andi(Reg::A1, Reg::A0, 0xFF);
-    asm.li(Reg::A2, i64::from(s0));
-    asm.bne(Reg::A1, Reg::A2, &out);
-    // Gate stage 2: second key byte (a separate branch, so coverage-guided
-    // fuzzers climb the stages one at a time).
-    asm.srli(Reg::A1, Reg::A0, 8);
-    asm.andi(Reg::A1, Reg::A1, 0xFF);
-    asm.li(Reg::A2, i64::from(s1));
-    asm.bne(Reg::A1, Reg::A2, &out);
+    if wide {
+        // Wide gate: one all-or-nothing full-word comparison.
+        asm.li(Reg::A2, i64::from(wide_trigger_key(&spec.location)));
+        asm.bne(Reg::A0, Reg::A2, &out);
+    } else {
+        let [s0, s1] = gate_stages(&spec.location);
+        // Gate stage 1: low key byte.
+        asm.andi(Reg::A1, Reg::A0, 0xFF);
+        asm.li(Reg::A2, i64::from(s0));
+        asm.bne(Reg::A1, Reg::A2, &out);
+        // Gate stage 2: second key byte (a separate branch, so
+        // coverage-guided fuzzers climb the stages one at a time).
+        asm.srli(Reg::A1, Reg::A0, 8);
+        asm.andi(Reg::A1, Reg::A1, 0xFF);
+        asm.li(Reg::A2, i64::from(s1));
+        asm.bne(Reg::A1, Reg::A2, &out);
+    }
+    emit_bug_body(asm, globals, spec, alloc_fn, free_fn, &name, &out);
+    asm.label(&out);
+    asm.li(Reg::A0, 0);
+    asm.epilogue(&[Reg::R7]);
+    name
+}
 
+/// Emits the post-gate buggy body shared by both gate shapes.
+fn emit_bug_body(
+    asm: &mut Asm,
+    globals: &mut Vec<GlobalDef>,
+    spec: &BugSpec,
+    alloc_fn: &str,
+    free_fn: &str,
+    name: &str,
+    out: &str,
+) {
     match spec.kind {
         BugKind::OobWrite => {
             asm.li(Reg::A0, BUG_OBJ_SIZE);
             asm.call(alloc_fn);
-            asm.beq(Reg::A0, Reg::R0, &out);
+            asm.beq(Reg::A0, Reg::R0, out);
             asm.li(Reg::A1, 0x41);
             asm.sb(Reg::A1, Reg::A0, BUG_OOB_OFFSET);
         }
         BugKind::OobWriteFar => {
             asm.li(Reg::A0, BUG_OBJ_SIZE);
             asm.call(alloc_fn);
-            asm.beq(Reg::A0, Reg::R0, &out);
+            asm.beq(Reg::A0, Reg::R0, out);
             asm.li(Reg::A1, 0x43);
             asm.sb(Reg::A1, Reg::A0, BUG_OOB_FAR_OFFSET);
         }
         BugKind::OobRead => {
             asm.li(Reg::A0, BUG_OBJ_SIZE);
             asm.call(alloc_fn);
-            asm.beq(Reg::A0, Reg::R0, &out);
+            asm.beq(Reg::A0, Reg::R0, out);
             asm.lbu(Reg::A1, Reg::A0, BUG_OOB_OFFSET);
         }
         BugKind::Uaf => {
             asm.li(Reg::A0, BUG_OBJ_SIZE);
             asm.call(alloc_fn);
-            asm.beq(Reg::A0, Reg::R0, &out);
+            asm.beq(Reg::A0, Reg::R0, out);
             asm.mv(Reg::R7, Reg::A0);
             asm.call(free_fn);
             asm.lw(Reg::A1, Reg::R7, 4);
@@ -364,7 +417,7 @@ pub fn emit_bug_handler(
         BugKind::DoubleFree => {
             asm.li(Reg::A0, BUG_OBJ_SIZE);
             asm.call(alloc_fn);
-            asm.beq(Reg::A0, Reg::R0, &out);
+            asm.beq(Reg::A0, Reg::R0, out);
             asm.mv(Reg::R7, Reg::A0);
             asm.call(free_fn);
             asm.mv(Reg::A0, Reg::R7);
@@ -385,7 +438,7 @@ pub fn emit_bug_handler(
             // but uninitialized.
             asm.li(Reg::A0, BUG_OBJ_SIZE);
             asm.call(alloc_fn);
-            asm.beq(Reg::A0, Reg::R0, &out);
+            asm.beq(Reg::A0, Reg::R0, out);
             asm.lw(Reg::A1, Reg::A0, 4);
         }
         BugKind::Race => {
@@ -400,10 +453,6 @@ pub fn emit_bug_handler(
             asm.bne(Reg::A2, Reg::R0, &loop_label);
         }
     }
-    asm.label(&out);
-    asm.li(Reg::A0, 0);
-    asm.epilogue(&[Reg::R7]);
-    name
 }
 
 #[cfg(test)]
@@ -467,6 +516,37 @@ mod tests {
     #[test]
     fn symbolize_is_symbol_safe() {
         assert_eq!(symbolize("drivers/net/ethernet#2"), "drivers_net_ethernet_2");
+    }
+
+    #[test]
+    fn wide_keys_need_both_immediate_halves() {
+        for bug in KNOWN_BUGS {
+            let key = wide_trigger_key(bug.location);
+            // Both the upper-20 and low-12 immediate halves are non-zero,
+            // so `li` must lower the key as lui+ori and neither half alone
+            // equals the key.
+            assert_ne!(key & 0xFFFF_F000, 0, "{}", bug.location);
+            assert_ne!(key & 0xFFF, 0, "{}", bug.location);
+            assert_ne!(key & 0xFFFF_F000, key, "{}", bug.location);
+            assert_ne!(key & 0xFFF, key, "{}", bug.location);
+            // Positive as an i64 literal.
+            assert_eq!(key & 0x8000_0000, 0, "{}", bug.location);
+        }
+        assert_eq!(wide_trigger_key("fs/btrfs"), wide_trigger_key("fs/btrfs"));
+        assert_ne!(wide_trigger_key("fs/btrfs"), wide_trigger_key("fs/nfs"));
+    }
+
+    #[test]
+    fn wide_gate_emits_single_branch_handler() {
+        let mut asm = Asm::new();
+        let mut globals = Vec::new();
+        let spec = BugSpec::new("fuzz/wide", BugKind::OobWrite);
+        let name =
+            emit_bug_handler_gated(&mut asm, &mut globals, 0, &spec, "kmalloc", "kfree", true);
+        assert_eq!(name, "sys_bug_0");
+        let mut p = embsan_asm::ir::Program::new();
+        p.text = asm.into_items();
+        assert!(p.defines_function("sys_bug_0"));
     }
 
     #[test]

@@ -85,6 +85,12 @@ pub struct BuildOptions {
     /// Build with kcov-style guest coverage beacons (function-entry writes
     /// to the coverage port).
     pub kcov: bool,
+    /// Gate seeded bugs behind a single full-word key comparison instead of
+    /// the two staged byte gates. The 32-bit key is materialized as a
+    /// `lui`+`ori` pair, so neither half alone opens the gate — the shape
+    /// that defeats immediate-scan dictionaries and needs comparison-operand
+    /// harvesting (the directed-fuzzing evaluation firmware).
+    pub wide_gates: bool,
 }
 
 impl BuildOptions {
@@ -97,6 +103,7 @@ impl BuildOptions {
             heap_size: 1024 * 1024,
             cpus: 1,
             kcov: false,
+            wide_gates: false,
         }
     }
 
@@ -115,6 +122,12 @@ impl BuildOptions {
     /// Enables kcov-style guest coverage beacons.
     pub fn kcov(mut self, kcov: bool) -> BuildOptions {
         self.kcov = kcov;
+        self
+    }
+
+    /// Gates seeded bugs behind a single full-word key comparison.
+    pub fn wide_gates(mut self, wide: bool) -> BuildOptions {
+        self.wide_gates = wide;
         self
     }
 }

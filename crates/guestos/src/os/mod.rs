@@ -15,7 +15,7 @@ use embsan_asm::link::{link, LinkError, LinkOptions};
 use embsan_emu::isa::Reg;
 
 use crate::alloc::{emit_for, AllocatorPieces};
-use crate::bugs::{emit_bug_handler, BugKind, BugSpec};
+use crate::bugs::{emit_bug_handler_gated, BugKind, BugSpec};
 use crate::executor::{self, sys};
 use crate::kernlib;
 use crate::native;
@@ -49,8 +49,15 @@ pub fn build_program(os: BaseOs, opts: &BuildOptions, bug_specs: &[BugSpec]) -> 
     let mut bug_globals = Vec::new();
     let mut extra = Vec::new();
     for (i, spec) in bug_specs.iter().enumerate() {
-        let handler =
-            emit_bug_handler(&mut bug_asm, &mut bug_globals, i, spec, alloc_name, free_name);
+        let handler = emit_bug_handler_gated(
+            &mut bug_asm,
+            &mut bug_globals,
+            i,
+            spec,
+            alloc_name,
+            free_name,
+            opts.wide_gates,
+        );
         extra.push((sys::BUG_BASE + i as u8, handler));
     }
     program.text.extend(bug_asm.into_items());
