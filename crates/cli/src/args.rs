@@ -40,6 +40,18 @@ const VALUED: &[&str] = &[
     "format",
     "analysis",
     "target",
+    "state-dir",
+    "socket",
+    "slice",
+    "max-active",
+    "max-queued",
+    "max-strikes",
+    "turn-timeout-ms",
+    "await-jobs",
+    "report",
+    "firmware",
+    "priority",
+    "drill",
 ];
 
 /// Parses `argv` (without the subcommand itself).

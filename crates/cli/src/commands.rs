@@ -106,6 +106,41 @@ USAGE:
       --toggles N                config-toggle cycles measured (default 8)
       --json FILE                write the embsan-bench-throughput-v1 report
                                  (the checked-in BENCH_throughput.json)
+  embsan serve --state-dir DIR --socket PATH
+                                 crash-tolerant campaign daemon: schedules
+                                 submitted campaigns across a supervised
+                                 worker pool in fair-share slices; every
+                                 durable fact lives under the state
+                                 directory, so kill -9 + restart resumes
+                                 all jobs bit-identically
+      --workers N                worker threads (default 2)
+      --slice N                  iterations per scheduling turn and journal
+                                 checkpoint cadence (default 50)
+      --max-active N             runnable jobs before the rest are parked
+                                 lowest-priority-first (default 4)
+      --max-queued N             non-terminal jobs before submissions are
+                                 shed (default 32)
+      --max-strikes N            crashed/wedged turns before a job is
+                                 quarantined (default 2)
+      --turn-timeout-ms N        wall-clock wedge detector per turn
+                                 (default 120000)
+      --await-jobs N             exit once N jobs are terminal (soak/CI)
+      --report FILE              write the embsan-serve-report-v1 document
+                                 on exit
+      --trace                    collect per-job deterministic event traces
+  embsan submit --socket PATH --firmware NAME [--iters N] [--seed S]
+                                 submit a campaign to a running daemon
+      --priority N               scheduling priority 0-255; higher runs
+                                 first and is shed last (default 0)
+      --drill panic-after:N|wedge-at:N
+                                 arm a resilience drill (testing/soak)
+  embsan jobs --socket PATH [action]
+                                 query a running daemon; the action is one
+                                 of jobs (default, list jobs and phases),
+                                 findings (the deduplicated findings
+                                 store), report (embsan-serve-report-v1),
+                                 ping, or shutdown (jobs resume on the
+                                 next start)
   embsan help                    this text
 ";
 
@@ -135,6 +170,9 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "trace" => cmd_trace(&parsed),
         "fuzz" => cmd_fuzz(&parsed),
         "bench" => cmd_bench(&parsed),
+        "serve" => cmd_serve(&parsed),
+        "submit" => cmd_submit(&parsed),
+        "jobs" => cmd_jobs(&parsed),
         other => Err(format!("unknown command `{other}` (try `embsan help`)")),
     }
 }
@@ -701,15 +739,21 @@ fn cmd_fuzz(parsed: &Parsed) -> Result<(), String> {
         || parsed.option("kill-after").is_some()
         || parsed.flags.iter().any(|f| f == "supervised");
     if supervised {
+        let mut degraded = Vec::new();
         if workers > 1 {
             // The journaled path's contract is bit-identical single-thread
             // replay; --workers composes by falling back, not by changing
             // the journal format.
-            println!(
-                "note: supervised/journaled runs are single-thread; ignoring --workers {workers}"
-            );
+            degraded.push(warn_degraded(
+                "supervised",
+                "workers_ignored",
+                workers as u64,
+                format!(
+                    "supervised/journaled runs are single-thread; ignoring --workers {workers}"
+                ),
+            ));
         }
-        cmd_fuzz_supervised(parsed)
+        cmd_fuzz_supervised(parsed, degraded)
     } else if workers_flag {
         // An explicit --workers always uses the parallel engine — including
         // --workers 1 — so results are comparable across every worker count.
@@ -717,9 +761,33 @@ fn cmd_fuzz(parsed: &Parsed) -> Result<(), String> {
     } else if parsed.option("trace-out").is_some() {
         // Merged per-iteration traces come from the supervised loop; a
         // traced plain run is a supervised run with the default policy.
-        cmd_fuzz_supervised(parsed)
+        cmd_fuzz_supervised(parsed, Vec::new())
     } else {
         cmd_fuzz_plain(parsed)
+    }
+}
+
+/// Emits a degraded-mode warning as a structured `embsan-trace-v1` event
+/// on stderr and returns the matching Telemetry-class metric entry for
+/// the run's snapshot (excluded from `--metrics-out`, which keeps only
+/// deterministic entries — a degraded run still writes identical files).
+fn warn_degraded(
+    component: &'static str,
+    metric: &'static str,
+    count: u64,
+    detail: String,
+) -> embsan_obs::MetricEntry {
+    use embsan_obs::{EventKind, TraceConfig, Tracer};
+    let tracer = Tracer::new(TraceConfig { capacity: 4, ..TraceConfig::deterministic() });
+    tracer.record(EventKind::DegradedMode { component, detail });
+    for event in tracer.drain() {
+        eprintln!("{}", event.to_jsonl(None));
+    }
+    embsan_obs::MetricEntry {
+        subsystem: "cli".to_string(),
+        name: metric.to_string(),
+        class: embsan_obs::MetricClass::Telemetry,
+        value: embsan_obs::MetricValue::Counter(count),
     }
 }
 
@@ -899,13 +967,21 @@ fn cmd_fuzz_plain(parsed: &Parsed) -> Result<(), String> {
     write_fuzz_outputs(parsed, None, &session.metrics_snapshot(), &[])
 }
 
-fn cmd_fuzz_supervised(parsed: &Parsed) -> Result<(), String> {
+fn cmd_fuzz_supervised(
+    parsed: &Parsed,
+    mut degraded: Vec<embsan_obs::MetricEntry>,
+) -> Result<(), String> {
     use embsan_fuzz::{run_supervised_session, Dictionary, Journal, StartInfo, Strategy};
     if parsed.option("analysis").is_some() {
         // The journal format carries no scores; directed scheduling would
         // not survive a resume bit-identically, so the supervised path
         // stays undirected.
-        println!("note: supervised/journaled runs are undirected; ignoring --analysis");
+        degraded.push(warn_degraded(
+            "supervised",
+            "analysis_ignored",
+            1,
+            "supervised/journaled runs are undirected; ignoring --analysis".to_string(),
+        ));
     }
     let image_path = parsed.positional.first().ok_or("expected an image path")?.clone();
     let (mut session, image) = ready_session(parsed)?;
@@ -947,8 +1023,11 @@ fn cmd_fuzz_supervised(parsed: &Parsed) -> Result<(), String> {
     )
     .map_err(|e| e.to_string())?;
     print_supervised(&outcome);
+    let mut snapshot = outcome.metrics_snapshot();
+    snapshot.entries.extend(degraded);
+    snapshot.entries.sort_by(|a, b| (&a.subsystem, &a.name).cmp(&(&b.subsystem, &b.name)));
     let meta = [("engine", "supervised"), ("seed", seed.as_str()), ("iterations", iters.as_str())];
-    write_fuzz_outputs(parsed, outcome.trace.as_ref(), &outcome.metrics_snapshot(), &meta)
+    write_fuzz_outputs(parsed, outcome.trace.as_ref(), &snapshot, &meta)
 }
 
 fn cmd_fuzz_resume(parsed: &Parsed) -> Result<(), String> {
@@ -982,9 +1061,8 @@ fn cmd_fuzz_resume(parsed: &Parsed) -> Result<(), String> {
         program_budget: start.program_budget,
     };
     config.checkpoint_interval = start.checkpoint_interval;
-    let resume =
-        loaded.last_checkpoint().map(|cp| (cp.iteration, cp.fuzzer.clone(), cp.supervisor.clone()));
-    let resumed_at = resume.as_ref().map_or(0, |(iteration, _, _)| *iteration);
+    let resume = embsan_fuzz::ResumePoint::from_journal(&loaded);
+    let resumed_at = resume.state.as_ref().map_or(0, |_| resume.iteration);
     let mut journal = Journal::reopen(std::path::Path::new(journal_path), loaded.valid_len)
         .map_err(|e| format!("{journal_path}: {e}"))?;
     let syscall_descs = fuzz_descriptions(parsed)?;
@@ -1003,13 +1081,102 @@ fn cmd_fuzz_resume(parsed: &Parsed) -> Result<(), String> {
         dict,
         &config,
         start,
-        resume,
+        Some(resume),
         Some(&mut journal),
     )
     .map_err(|e| e.to_string())?;
     print_supervised(&outcome);
     let meta = [("engine", "supervised"), ("seed", seed.as_str()), ("iterations", iters.as_str())];
     write_fuzz_outputs(parsed, outcome.trace.as_ref(), &outcome.metrics_snapshot(), &meta)
+}
+
+#[cfg(unix)]
+fn cmd_serve(parsed: &Parsed) -> Result<(), String> {
+    use embsan_serve::{DaemonConfig, ServeConfig, ServeEngine};
+    let state_dir = parsed.option("state-dir").ok_or("expected --state-dir <dir>")?;
+    let socket = parsed.option("socket").ok_or("expected --socket <path>")?;
+    let defaults = ServeConfig::default();
+    let config = ServeConfig {
+        state_dir: std::path::PathBuf::from(state_dir),
+        workers: parsed.option_u64("workers", defaults.workers as u64)? as usize,
+        slice: parsed.option_u64("slice", defaults.slice)?,
+        max_active: parsed.option_u64("max-active", defaults.max_active as u64)? as usize,
+        max_queued: parsed.option_u64("max-queued", defaults.max_queued as u64)? as usize,
+        max_strikes: parsed.option_u64("max-strikes", u64::from(defaults.max_strikes))? as u32,
+        turn_timeout_ms: parsed.option_u64("turn-timeout-ms", defaults.turn_timeout_ms)?,
+        trace: parsed.flags.iter().any(|f| f == "trace"),
+        ..defaults
+    };
+    let daemon = DaemonConfig {
+        socket: std::path::PathBuf::from(socket),
+        await_jobs: match parsed.option("await-jobs") {
+            Some(_) => Some(parsed.option_u64("await-jobs", 0)?),
+            None => None,
+        },
+        report_path: parsed.option("report").map(std::path::PathBuf::from),
+    };
+    let engine = ServeEngine::open(config)?;
+    let queued =
+        engine.jobs_status().iter().filter(|(_, _, phase, _)| !phase.is_terminal()).count();
+    println!("serve: listening on {socket} (state {state_dir}, {queued} job(s) resumable)");
+    embsan_serve::run_daemon(engine, &daemon, &mut std::io::stderr())
+}
+
+#[cfg(unix)]
+fn cmd_submit(parsed: &Parsed) -> Result<(), String> {
+    use embsan_serve::protocol::escape_json;
+    let socket = parsed.option("socket").ok_or("expected --socket <path>")?;
+    let firmware = parsed.option("firmware").ok_or("expected --firmware <name>")?;
+    let iterations = parsed.option_u64("iters", 400)?;
+    let seed = parsed.option_u64("seed", 17)?;
+    let priority = parsed.option_u64("priority", 0)?;
+    if priority > u64::from(u8::MAX) {
+        return Err("--priority must be 0-255".to_string());
+    }
+    let drill = match parsed.option("drill") {
+        Some(text) => {
+            // Validate locally so a typo is reported before the daemon sees it.
+            embsan_serve::Drill::parse(text)?;
+            format!(",\"drill\":\"{text}\"")
+        }
+        None => String::new(),
+    };
+    let line = format!(
+        "{{\"cmd\":\"submit\",\"firmware\":\"{}\",\"iterations\":{iterations},\
+         \"seed\":{seed},\"priority\":{priority}{drill}}}",
+        escape_json(firmware)
+    );
+    let response = embsan_serve::request(std::path::Path::new(socket), &line)?;
+    println!("{response}");
+    Ok(())
+}
+
+#[cfg(unix)]
+fn cmd_jobs(parsed: &Parsed) -> Result<(), String> {
+    let socket = parsed.option("socket").ok_or("expected --socket <path>")?;
+    let action = parsed.positional.first().map_or("jobs", String::as_str);
+    if !matches!(action, "jobs" | "findings" | "report" | "ping" | "shutdown") {
+        return Err(format!("unknown action `{action}` (try `embsan help`)"));
+    }
+    let response =
+        embsan_serve::request(std::path::Path::new(socket), &format!("{{\"cmd\":\"{action}\"}}"))?;
+    println!("{response}");
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn cmd_serve(_parsed: &Parsed) -> Result<(), String> {
+    Err("`embsan serve` needs Unix domain sockets".to_string())
+}
+
+#[cfg(not(unix))]
+fn cmd_submit(_parsed: &Parsed) -> Result<(), String> {
+    Err("`embsan submit` needs Unix domain sockets".to_string())
+}
+
+#[cfg(not(unix))]
+fn cmd_jobs(_parsed: &Parsed) -> Result<(), String> {
+    Err("`embsan jobs` needs Unix domain sockets".to_string())
 }
 
 #[cfg(test)]

@@ -16,6 +16,12 @@ fn scratch(name: &str) -> PathBuf {
 }
 
 fn run_ok(args: &[&str]) -> String {
+    run_ok_captured(args).0
+}
+
+/// Like [`run_ok`] but also returns stderr (structured degraded-mode
+/// warnings are emitted there as `embsan-trace-v1` events).
+fn run_ok_captured(args: &[&str]) -> (String, String) {
     let output = embsan().args(args).output().unwrap();
     assert!(
         output.status.success(),
@@ -23,7 +29,10 @@ fn run_ok(args: &[&str]) -> String {
         String::from_utf8_lossy(&output.stdout),
         String::from_utf8_lossy(&output.stderr)
     );
-    String::from_utf8_lossy(&output.stdout).to_string()
+    (
+        String::from_utf8_lossy(&output.stdout).to_string(),
+        String::from_utf8_lossy(&output.stderr).to_string(),
+    )
 }
 
 /// The `execs … corpus … coverage … findings …` summary line.
@@ -79,9 +88,10 @@ fn workers_flag_composes_with_journal_and_resume() {
     ]);
 
     // --workers on a journaled run falls back to single-thread (with a
-    // note) so the journal contract holds; kill it partway, then resume.
+    // structured degraded-mode warning on stderr) so the journal contract
+    // holds; kill it partway, then resume.
     let journal = scratch("killed.evj");
-    let killed = run_ok(&[
+    let (killed, warnings) = run_ok_captured(&[
         "fuzz",
         image,
         "--iters",
@@ -95,7 +105,10 @@ fn workers_flag_composes_with_journal_and_resume() {
         "--workers",
         "4",
     ]);
-    assert!(killed.contains("ignoring --workers"), "supervised fallback note missing:\n{killed}");
+    assert!(
+        warnings.contains("\"event\":\"degraded-mode\"") && warnings.contains("ignoring --workers"),
+        "structured supervised-fallback warning missing:\nstdout: {killed}\nstderr: {warnings}"
+    );
     let resumed = run_ok(&["fuzz", "--resume", journal.to_str().unwrap()]);
 
     // The killed-and-resumed campaign ends bit-identically to the

@@ -149,6 +149,33 @@ impl Report {
         (self.class, self.pc)
     }
 
+    /// A stable 64-bit classified signature for cross-campaign
+    /// deduplication: FNV-1a over the class code and the access shape
+    /// (pc, addr, size, direction). Unlike [`Report::dedup_key`] this
+    /// folds in the faulting address so two campaigns of the same firmware
+    /// that hit the same site through different objects still collide only
+    /// when the whole access shape matches, and it serializes as one u64
+    /// for store keys and wire formats.
+    pub fn signature(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        let mut eat = |byte: u8| {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        };
+        eat(self.class.code());
+        for byte in self.pc.to_le_bytes() {
+            eat(byte);
+        }
+        for byte in self.addr.to_le_bytes() {
+            eat(byte);
+        }
+        eat(self.size);
+        eat(u8::from(self.is_write));
+        hash
+    }
+
     /// Renders a KASAN-style textual report; with an unstripped firmware
     /// image, addresses are symbolized to function names.
     pub fn render(&self, image: Option<&FirmwareImage>) -> String {
@@ -231,6 +258,22 @@ mod tests {
         let mut c = sample();
         c.pc = 0x1_0104;
         assert_ne!(a.dedup_key(), c.dedup_key());
+    }
+
+    #[test]
+    fn signature_separates_access_shapes() {
+        let a = sample();
+        let same = sample();
+        assert_eq!(a.signature(), same.signature());
+        let mut other_addr = sample();
+        other_addr.addr = 0x20_0F00;
+        assert_ne!(a.signature(), other_addr.signature(), "addr is part of the shape");
+        let mut other_dir = sample();
+        other_dir.is_write = true;
+        assert_ne!(a.signature(), other_dir.signature());
+        let mut other_chunk = sample();
+        other_chunk.chunk = None; // context is not part of the shape
+        assert_eq!(a.signature(), other_chunk.signature());
     }
 
     #[test]

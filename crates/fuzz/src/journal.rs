@@ -64,6 +64,85 @@ impl From<std::io::Error> for JournalError {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Bounded retry with exponential backoff for transient IO.
+
+/// Bounded-retry policy for transient IO failures (journal appends,
+/// socket accepts). The backoff schedule is deterministic — a pure
+/// function of (base delay, attempt) — but the *delays* are wall-clock
+/// sleeps: host IO timing is inherently nondeterministic, so retry counts
+/// are telemetry and must never feed journaled (replayed) state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first failure (0 disables retrying).
+    pub max_retries: u32,
+    /// Backoff before retry `n` (1-based) is `base_delay_ms << (n - 1)`,
+    /// capped at [`RetryPolicy::MAX_DELAY_MS`].
+    pub base_delay_ms: u64,
+}
+
+impl RetryPolicy {
+    /// Cap on any single backoff sleep.
+    pub const MAX_DELAY_MS: u64 = 1_000;
+
+    /// No retrying at all: every failure is final.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy { max_retries: 0, base_delay_ms: 0 }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy { max_retries: 3, base_delay_ms: 2 }
+    }
+}
+
+/// The deterministic backoff schedule: delay (ms) before 1-based retry
+/// `attempt` under `base_delay_ms`, doubling per attempt and capped at
+/// [`RetryPolicy::MAX_DELAY_MS`]. Exposed as a pure function so tests can
+/// verify the schedule without sleeping.
+pub fn backoff_delay_ms(base_delay_ms: u64, attempt: u32) -> u64 {
+    if attempt == 0 || base_delay_ms == 0 {
+        return 0;
+    }
+    let shift = (attempt - 1).min(63);
+    base_delay_ms.checked_shl(shift).unwrap_or(u64::MAX).min(RetryPolicy::MAX_DELAY_MS)
+}
+
+/// Whether an IO error kind is worth retrying: the host signalled a
+/// transient condition rather than a structural failure.
+pub fn is_transient_io(kind: std::io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        std::io::ErrorKind::Interrupted
+            | std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Runs `op`, retrying transient failures per `policy` with exponential
+/// wall-clock backoff. Returns the final result plus the number of retries
+/// consumed (telemetry — never journal this).
+pub fn retry_io<T>(
+    policy: RetryPolicy,
+    mut op: impl FnMut() -> std::io::Result<T>,
+) -> (std::io::Result<T>, u32) {
+    let mut retries = 0u32;
+    loop {
+        match op() {
+            Ok(value) => return (Ok(value), retries),
+            Err(err) if is_transient_io(err.kind()) && retries < policy.max_retries => {
+                retries += 1;
+                let delay = backoff_delay_ms(policy.base_delay_ms, retries);
+                if delay > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(delay));
+                }
+            }
+            Err(err) => return (Err(err), retries),
+        }
+    }
+}
+
 /// The campaign identity and configuration, written once at the head so a
 /// bare journal path is enough to resume.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -567,10 +646,18 @@ impl LoadedJournal {
 }
 
 /// An open, append-mode campaign journal.
+///
+/// Appends absorb transient IO failures via a bounded [`RetryPolicy`];
+/// the consumed retry count is a per-process telemetry counter
+/// ([`Journal::io_retries`]) and is deliberately *not* part of any
+/// journaled or checkpointed state — host IO timing is nondeterministic
+/// and must not leak into bit-identical resume.
 #[derive(Debug)]
 pub struct Journal {
     file: File,
     path: PathBuf,
+    policy: RetryPolicy,
+    io_retries: u64,
 }
 
 impl Journal {
@@ -583,7 +670,12 @@ impl Journal {
         let mut file = File::create(path)?;
         file.write_all(MAGIC)?;
         file.flush()?;
-        Ok(Journal { file, path: path.to_path_buf() })
+        Ok(Journal {
+            file,
+            path: path.to_path_buf(),
+            policy: RetryPolicy::default(),
+            io_retries: 0,
+        })
     }
 
     /// Re-opens an existing journal for appending, discarding any torn tail
@@ -597,7 +689,18 @@ impl Journal {
         file.set_len(valid_len)?;
         let mut file = OpenOptions::new().append(true).open(path)?;
         file.flush()?;
-        Ok(Journal { file, path: path.to_path_buf() })
+        Ok(Journal {
+            file,
+            path: path.to_path_buf(),
+            policy: RetryPolicy::default(),
+            io_retries: 0,
+        })
+    }
+
+    /// Replaces the append retry policy (builder style).
+    pub fn with_policy(mut self, policy: RetryPolicy) -> Journal {
+        self.policy = policy;
+        self
     }
 
     /// The journal's path.
@@ -605,19 +708,38 @@ impl Journal {
         &self.path
     }
 
-    /// Appends one record and flushes it to disk.
+    /// Transient-IO retries absorbed by appends so far this process.
+    /// Telemetry only: never journaled, never part of resume state.
+    pub fn io_retries(&self) -> u64 {
+        self.io_retries
+    }
+
+    /// Appends one record and flushes it to disk, retrying transient IO
+    /// failures per the journal's [`RetryPolicy`].
     ///
     /// # Errors
     ///
-    /// Propagates filesystem errors.
+    /// Propagates filesystem errors once retries are exhausted (or
+    /// immediately for non-transient error kinds).
     pub fn append(&mut self, record: &Record) -> Result<(), JournalError> {
         let payload = record.encode_payload();
         let mut frame = Vec::with_capacity(5 + payload.len());
         frame.push(record.tag());
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&payload);
-        self.file.write_all(&frame)?;
-        self.file.flush()?;
+        // A torn write followed by a successful retry would double-frame,
+        // so retries re-send the whole frame only when nothing was written;
+        // write_all on a File either writes fully or fails before advancing
+        // our buffer (we rebuild from the start each attempt), and a
+        // half-written frame on the final failure is exactly the torn tail
+        // `load` already tolerates.
+        let file = &mut self.file;
+        let (result, retries) = retry_io(self.policy, || {
+            file.write_all(&frame)?;
+            file.flush()
+        });
+        self.io_retries += u64::from(retries);
+        result?;
         Ok(())
     }
 
@@ -814,6 +936,60 @@ mod tests {
         bytes.extend_from_slice(&0u32.to_le_bytes());
         std::fs::write(&path, &bytes).unwrap();
         assert!(matches!(Journal::load(&path), Err(JournalError::Corrupt { .. })));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn backoff_schedule_is_exponential_and_capped() {
+        assert_eq!(backoff_delay_ms(2, 0), 0, "attempt 0 never sleeps");
+        assert_eq!(backoff_delay_ms(0, 5), 0, "zero base disables sleeping");
+        assert_eq!(backoff_delay_ms(2, 1), 2);
+        assert_eq!(backoff_delay_ms(2, 2), 4);
+        assert_eq!(backoff_delay_ms(2, 3), 8);
+        assert_eq!(backoff_delay_ms(2, 20), RetryPolicy::MAX_DELAY_MS, "capped");
+        assert_eq!(backoff_delay_ms(u64::MAX, 64), RetryPolicy::MAX_DELAY_MS, "no overflow");
+    }
+
+    #[test]
+    fn retry_io_absorbs_transient_failures_and_counts() {
+        let policy = RetryPolicy { max_retries: 3, base_delay_ms: 0 };
+        // Two transient failures, then success.
+        let mut attempts = 0;
+        let (result, retries) = retry_io(policy, || {
+            attempts += 1;
+            if attempts <= 2 {
+                Err(std::io::Error::from(std::io::ErrorKind::Interrupted))
+            } else {
+                Ok(attempts)
+            }
+        });
+        assert_eq!(result.unwrap(), 3);
+        assert_eq!(retries, 2);
+
+        // Persistent transient failure exhausts the budget.
+        let (result, retries) =
+            retry_io(policy, || Err::<(), _>(std::io::Error::from(std::io::ErrorKind::TimedOut)));
+        assert!(result.is_err());
+        assert_eq!(retries, 3);
+
+        // Non-transient failures are final immediately.
+        let (result, retries) = retry_io(policy, || {
+            Err::<(), _>(std::io::Error::from(std::io::ErrorKind::PermissionDenied))
+        });
+        assert!(result.is_err());
+        assert_eq!(retries, 0);
+    }
+
+    #[test]
+    fn journal_counts_no_retries_on_healthy_appends() {
+        let dir = std::env::temp_dir().join(format!("embsan-journal-rt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rt.journal");
+        let mut journal = Journal::create(&path)
+            .unwrap()
+            .with_policy(RetryPolicy { max_retries: 2, base_delay_ms: 0 });
+        journal.append(&Record::End { iterations: 1 }).unwrap();
+        assert_eq!(journal.io_retries(), 0);
         std::fs::remove_dir_all(&dir).ok();
     }
 

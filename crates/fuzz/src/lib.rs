@@ -49,13 +49,16 @@ pub use fuzzer::{
     CommitSummary, CoverageSource, Finding, Fuzzer, FuzzerConfig, FuzzerState, FuzzerStats,
     Strategy,
 };
-pub use journal::{Journal, JournalError, Record, StartInfo, SupervisorHealth};
+pub use journal::{
+    backoff_delay_ms, is_transient_io, retry_io, Journal, JournalError, LoadedJournal, Record,
+    RetryPolicy, StartInfo, SupervisorHealth,
+};
 pub use parallel::{
     run_parallel, run_parallel_campaign, run_parallel_campaign_directed, run_parallel_directed,
     ParallelConfig, ParallelOutcome, ParallelStats,
 };
 pub use rng::SplitMix64;
 pub use supervisor::{
-    resume_supervised, run_supervised, run_supervised_session, SupervisedOutcome, SupervisedResult,
-    SupervisorConfig,
+    program_hash, resume_supervised, run_supervised, run_supervised_session, run_supervised_span,
+    ResumePoint, SupervisedOutcome, SupervisedResult, SupervisorConfig,
 };

@@ -50,7 +50,8 @@ use crate::descs::{descriptions_for, SyscallDesc};
 use crate::dictionary::Dictionary;
 use crate::fuzzer::{Finding, Fuzzer, FuzzerConfig, FuzzerState, FuzzerStats, Strategy};
 use crate::journal::{
-    Checkpoint, Journal, JournalError, Record, StartInfo, SupervisorHealth, SupervisorState,
+    Checkpoint, Journal, JournalError, LoadedJournal, Record, StartInfo, SupervisorHealth,
+    SupervisorState,
 };
 use embsan_core::session::Session;
 use embsan_guestos::firmware::Fuzzer as PaperFuzzer;
@@ -125,6 +126,10 @@ pub struct SupervisedOutcome {
     /// process (a resumed run's trace starts at its checkpoint). `None`
     /// unless [`SupervisorConfig::trace`] was set.
     pub trace: Option<MergedTrace>,
+    /// Transient journal-IO retries absorbed during this process's run.
+    /// Host-IO telemetry: never journaled, excluded from deterministic
+    /// metric snapshots.
+    pub journal_retries: u64,
 }
 
 /// A supervised Table-3/4 campaign result.
@@ -141,6 +146,8 @@ pub struct SupervisedResult {
     pub completed: bool,
     /// Merged event trace (see [`SupervisedOutcome::trace`]).
     pub trace: Option<MergedTrace>,
+    /// Transient journal-IO retries (see [`SupervisedOutcome::journal_retries`]).
+    pub journal_retries: u64,
 }
 
 /// Copies a supervised run's counters into `registry` under the `fuzzer`,
@@ -151,9 +158,14 @@ fn supervised_metrics(
     stats: &FuzzerStats,
     health: &SupervisorHealth,
     injection: &InjectionStats,
+    journal_retries: u64,
     registry: &mut MetricsRegistry,
 ) {
     use MetricClass::Deterministic;
+    // Journal-IO retry counts reflect host filesystem behaviour, not guest
+    // execution, so they ride in the Telemetry class and never appear in
+    // `to_json(false)` deterministic artifacts.
+    registry.counter("supervisor", "journal_io_retries", MetricClass::Telemetry, journal_retries);
     registry.counter("fuzzer", "execs", Deterministic, stats.execs);
     registry.gauge("fuzzer", "corpus", Deterministic, stats.corpus as i64);
     registry.gauge("fuzzer", "coverage", Deterministic, stats.coverage as i64);
@@ -175,7 +187,13 @@ impl SupervisedOutcome {
     /// Copies the run's counters into `registry` (`fuzzer`, `supervisor`
     /// and `injection` subsystems; every entry deterministic).
     pub fn collect_metrics(&self, registry: &mut MetricsRegistry) {
-        supervised_metrics(&self.stats, &self.health, &self.injection, registry);
+        supervised_metrics(
+            &self.stats,
+            &self.health,
+            &self.injection,
+            self.journal_retries,
+            registry,
+        );
     }
 
     /// A metrics snapshot of this outcome (see
@@ -191,7 +209,13 @@ impl SupervisedResult {
     /// Copies the run's counters into `registry` (`fuzzer`, `supervisor`
     /// and `injection` subsystems; every entry deterministic).
     pub fn collect_metrics(&self, registry: &mut MetricsRegistry) {
-        supervised_metrics(&self.result.stats, &self.health, &self.injection, registry);
+        supervised_metrics(
+            &self.result.stats,
+            &self.health,
+            &self.injection,
+            self.journal_retries,
+            registry,
+        );
     }
 
     /// A metrics snapshot of this result (see
@@ -200,6 +224,89 @@ impl SupervisedResult {
         let mut registry = MetricsRegistry::new();
         self.collect_metrics(&mut registry);
         registry.snapshot()
+    }
+}
+
+/// A resume/continuation point for the supervised loop: everything a
+/// process (or a daemon scheduler slice) needs to continue a campaign
+/// without re-deriving state.
+///
+/// Built either from a journal ([`ResumePoint::from_journal`]) after a
+/// kill, or returned in-memory by [`run_supervised_span`] at a slice
+/// boundary so the next slice continues without touching disk.
+#[derive(Debug, Clone)]
+pub struct ResumePoint {
+    /// Iterations completed before this point.
+    pub iteration: u64,
+    /// Complete mutable state, or `None` when the journal holds a `Start`
+    /// record but no checkpoint yet: the run restarts from iteration 0
+    /// with fresh state, but must *not* re-append `Start` and must dedupe
+    /// the records the killed process already journaled.
+    pub state: Option<(FuzzerState, SupervisorState)>,
+    /// Multiset of findings already journaled at or after this point,
+    /// keyed by (input-hash, bug-class code). Replay regenerates these
+    /// deterministically; matching appends are suppressed so journal
+    /// consumers (the daemon findings store) never see duplicates.
+    pub journaled_findings: Vec<(u64, u8)>,
+    /// Multiset of corpus additions already journaled at or after this
+    /// point, keyed by input-hash (same suppression).
+    pub journaled_corpus: Vec<u64>,
+}
+
+impl ResumePoint {
+    /// A fresh-start point that still carries an existing journal's
+    /// already-written records (no checkpoint yet).
+    fn fresh() -> ResumePoint {
+        ResumePoint {
+            iteration: 0,
+            state: None,
+            journaled_findings: Vec::new(),
+            journaled_corpus: Vec::new(),
+        }
+    }
+
+    /// Builds the resume point from a loaded journal: the newest
+    /// checkpoint (if any) plus the dedupe multisets of records the killed
+    /// process journaled after it — replay will regenerate exactly those,
+    /// and re-appending them would hand duplicates to whoever consumes the
+    /// journal's record stream.
+    pub fn from_journal(loaded: &LoadedJournal) -> ResumePoint {
+        let cp_index = loaded.records.iter().rposition(|r| matches!(r, Record::Checkpoint(_)));
+        let mut point = match cp_index {
+            Some(index) => match &loaded.records[index] {
+                Record::Checkpoint(cp) => ResumePoint {
+                    iteration: cp.iteration,
+                    state: Some((cp.fuzzer.clone(), cp.supervisor.clone())),
+                    ..ResumePoint::fresh()
+                },
+                _ => unreachable!("rposition matched a checkpoint"),
+            },
+            None => ResumePoint::fresh(),
+        };
+        let tail = &loaded.records[cp_index.map_or(0, |i| i + 1)..];
+        for record in tail {
+            match record {
+                Record::Finding { finding, .. } => point
+                    .journaled_findings
+                    .push((program_hash(&finding.program), finding.report.class.code())),
+                Record::CorpusAdd { program, .. } => {
+                    point.journaled_corpus.push(program_hash(program));
+                }
+                _ => {}
+            }
+        }
+        point
+    }
+}
+
+/// Removes one occurrence of `key` from the multiset; `true` if present.
+fn consume<T: PartialEq>(set: &mut Vec<T>, key: &T) -> bool {
+    match set.iter().position(|k| k == key) {
+        Some(pos) => {
+            set.swap_remove(pos);
+            true
+        }
+        None => false,
     }
 }
 
@@ -303,8 +410,10 @@ pub fn resume_supervised(
         fault_plan: overrides.fault_plan.clone(),
         ..overrides.clone()
     };
-    let resume =
-        loaded.last_checkpoint().map(|cp| (cp.iteration, cp.fuzzer.clone(), cp.supervisor.clone()));
+    // Even without a checkpoint, a resume point carries the dedupe
+    // multisets of already-journaled records (and suppresses the duplicate
+    // `Start` a fresh restart would otherwise append).
+    let resume = Some(ResumePoint::from_journal(&loaded));
     let (mut session, dict) =
         prepare_session(spec, &config.campaign).map_err(|e| e.with_firmware(spec.name))?;
     let mut journal = Journal::reopen(journal_path, loaded.valid_len)
@@ -330,6 +439,7 @@ fn finish(spec: &FirmwareSpec, outcome: SupervisedOutcome) -> SupervisedResult {
         injection: outcome.injection,
         completed: outcome.completed,
         trace: outcome.trace,
+        journal_retries: outcome.journal_retries,
     }
 }
 
@@ -344,16 +454,40 @@ fn campaign_journal_error(e: JournalError, firmware: &str) -> CampaignError {
 /// # Errors
 ///
 /// [`CampaignError`] carrying iteration and program context.
-#[allow(clippy::too_many_arguments)]
 pub fn run_supervised_session(
     session: &mut Session,
     descs: Vec<SyscallDesc>,
     dict: Dictionary,
     config: &SupervisorConfig,
     start: StartInfo,
-    resume: Option<(u64, FuzzerState, SupervisorState)>,
-    mut journal: Option<&mut Journal>,
+    resume: Option<ResumePoint>,
+    journal: Option<&mut Journal>,
 ) -> Result<SupervisedOutcome, CampaignError> {
+    run_supervised_span(session, descs, dict, config, start, resume, journal)
+        .map(|(outcome, _)| outcome)
+}
+
+/// The slice-capable supervised loop: identical to
+/// [`run_supervised_session`] but additionally returns an in-memory
+/// [`ResumePoint`] when the run stopped early (`kill_after`), so a
+/// scheduler running a campaign in fair-share slices can continue the next
+/// slice on the same warm session without a journal round-trip. The
+/// journal stays the source of truth — the continuation is a pure
+/// optimization and can always be dropped in favour of
+/// [`ResumePoint::from_journal`].
+///
+/// # Errors
+///
+/// [`CampaignError`] carrying iteration and program context.
+pub fn run_supervised_span(
+    session: &mut Session,
+    descs: Vec<SyscallDesc>,
+    dict: Dictionary,
+    config: &SupervisorConfig,
+    start: StartInfo,
+    resume: Option<ResumePoint>,
+    mut journal: Option<&mut Journal>,
+) -> Result<(SupervisedOutcome, Option<ResumePoint>), CampaignError> {
     if let Some(plan) = &config.fault_plan {
         session.machine_mut().set_fault_plan(plan);
     }
@@ -367,16 +501,25 @@ pub fn run_supervised_session(
     let mut fuzzer_config = FuzzerConfig::new(start.strategy, start.seed);
     fuzzer_config.program_budget = start.program_budget;
     let mut fuzzer = Fuzzer::new(session, descs, dict, fuzzer_config);
-    let (mut iteration, mut sup) = match resume {
-        Some((iteration, state, sup)) => {
-            fuzzer.import_state(state);
-            (iteration, sup)
+    let (mut iteration, mut sup, mut journaled_findings, mut journaled_corpus) = match resume {
+        Some(point) => {
+            let ResumePoint { iteration, state, journaled_findings, journaled_corpus } = point;
+            match state {
+                Some((fuzzer_state, sup)) => {
+                    fuzzer.import_state(fuzzer_state);
+                    (iteration, sup, journaled_findings, journaled_corpus)
+                }
+                // Journal has a Start record but no checkpoint: restart
+                // from scratch, but don't re-append Start and still dedupe
+                // whatever the killed process managed to journal.
+                None => (0, SupervisorState::default(), journaled_findings, journaled_corpus),
+            }
         }
         None => {
             if let Some(journal) = journal.as_deref_mut() {
                 journal.append(&Record::Start(start.clone()))?;
             }
-            (0, SupervisorState::default())
+            (0, SupervisorState::default(), Vec::new(), Vec::new())
         }
     };
 
@@ -395,11 +538,18 @@ pub fn run_supervised_session(
                 .commit(&program, outcome)
                 .map_err(|e| CampaignError::from(e).context(iteration, &program))?;
             if let Some(journal) = journal.as_deref_mut() {
-                if summary.retained {
+                // Replayed iterations regenerate records the pre-kill
+                // process already journaled; consuming them from the
+                // dedupe multisets instead of re-appending keeps the
+                // record stream duplicate-free for downstream consumers.
+                if summary.retained && !consume(&mut journaled_corpus, &program_hash(&program)) {
                     journal.append(&Record::CorpusAdd { iteration, program: program.clone() })?;
                 }
                 for finding in &fuzzer.findings()[summary.new_findings] {
-                    journal.append(&Record::Finding { iteration, finding: finding.clone() })?;
+                    let key = (program_hash(&finding.program), finding.report.class.code());
+                    if !consume(&mut journaled_findings, &key) {
+                        journal.append(&Record::Finding { iteration, finding: finding.clone() })?;
+                    }
                 }
             }
         }
@@ -425,22 +575,45 @@ pub fn run_supervised_session(
         }
     }
     if completed {
-        if let Some(journal) = journal {
+        if let Some(journal) = journal.as_deref_mut() {
+            // A final checkpoint ahead of `End` lets a restarted daemon
+            // recover a completed job's full end state (stats, corpus,
+            // findings) from the journal alone. Ended journals are never
+            // resumed, so mid-campaign resume points are unaffected.
+            if config.checkpoint_interval > 0 {
+                sup.health.checkpoints += 1;
+                journal.append(&Record::Checkpoint(Checkpoint {
+                    iteration,
+                    fuzzer: fuzzer.export_state(),
+                    supervisor: sup.clone(),
+                }))?;
+            }
             journal.append(&Record::End { iterations: iteration })?;
         }
     }
+    let continuation = (!completed).then(|| ResumePoint {
+        iteration,
+        state: Some((fuzzer.export_state(), sup.clone())),
+        journaled_findings,
+        journaled_corpus,
+    });
     let stats = fuzzer.stats();
     let injection = fuzzer.session_mut().machine_mut().injection_stats();
-    Ok(SupervisedOutcome {
-        findings: fuzzer.into_findings(),
-        stats,
-        health: sup.health,
-        quarantined: sup.quarantined,
-        iterations_done: iteration,
-        completed,
-        injection,
-        trace,
-    })
+    let journal_retries = journal.as_deref().map_or(0, |j| j.io_retries());
+    Ok((
+        SupervisedOutcome {
+            findings: fuzzer.into_findings(),
+            stats,
+            health: sup.health,
+            quarantined: sup.quarantined,
+            iterations_done: iteration,
+            completed,
+            injection,
+            trace,
+            journal_retries,
+        },
+        continuation,
+    ))
 }
 
 /// Executes one program under the watchdog. Returns `Ok(None)` when the

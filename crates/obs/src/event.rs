@@ -133,6 +133,29 @@ pub enum EventKind {
         /// Non-zero coverage buckets after the merge.
         coverage: u64,
     },
+    /// A component entered a degraded operating mode (e.g. the supervised
+    /// path ignoring a multi-worker request, or the daemon shedding load).
+    DegradedMode {
+        /// The degraded component (`supervised`, `scheduler`, `queue`).
+        component: &'static str,
+        /// Human-readable description of the degradation.
+        detail: String,
+    },
+    /// A daemon job crossed a lifecycle boundary.
+    JobLifecycle {
+        /// Daemon-assigned job id (submission order).
+        job: u64,
+        /// Lifecycle phase label (`queued`, `running`, `parked`,
+        /// `completed`, `quarantined`).
+        phase: &'static str,
+    },
+    /// A transient IO failure triggered a bounded retry with backoff.
+    RetryBackoff {
+        /// The retried operation (`journal-append`, `socket-accept`).
+        op: &'static str,
+        /// 1-based retry attempt number.
+        attempt: u32,
+    },
 }
 
 impl EventKind {
@@ -150,6 +173,9 @@ impl EventKind {
             EventKind::WatchdogTrip { .. } => "watchdog-trip",
             EventKind::FaultInjected { .. } => "fault-injected",
             EventKind::EpochMerge { .. } => "epoch-merge",
+            EventKind::DegradedMode { .. } => "degraded-mode",
+            EventKind::JobLifecycle { .. } => "job-lifecycle",
+            EventKind::RetryBackoff { .. } => "retry-backoff",
         }
     }
 
@@ -192,6 +218,15 @@ impl EventKind {
                     ",\"epoch\":{epoch},\"execs\":{execs},\"corpus\":{corpus},\
                      \"findings\":{findings},\"coverage\":{coverage}"
                 );
+            }
+            EventKind::DegradedMode { component, detail } => {
+                let _ = write!(out, ",\"component\":\"{component}\",\"detail\":\"{detail}\"");
+            }
+            EventKind::JobLifecycle { job, phase } => {
+                let _ = write!(out, ",\"job\":{job},\"phase\":\"{phase}\"");
+            }
+            EventKind::RetryBackoff { op, attempt } => {
+                let _ = write!(out, ",\"op\":\"{op}\",\"attempt\":{attempt}");
             }
         }
     }

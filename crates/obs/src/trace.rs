@@ -84,7 +84,10 @@ impl TraceConfig {
             EventKind::Report { .. } => self.reports,
             EventKind::WatchdogTrip { .. }
             | EventKind::FaultInjected { .. }
-            | EventKind::EpochMerge { .. } => self.engine,
+            | EventKind::EpochMerge { .. }
+            | EventKind::DegradedMode { .. }
+            | EventKind::JobLifecycle { .. }
+            | EventKind::RetryBackoff { .. } => self.engine,
         }
     }
 }

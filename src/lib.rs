@@ -20,7 +20,11 @@
 //!   Prober, and lockset race candidates for KCSAN watchpoint priority;
 //! - [`obs`]: the observability layer — structured event tracing
 //!   (`embsan-trace-v1`), the typed metrics registry, and the feature-gated
-//!   hot-path profilers, all zero-cost when disabled.
+//!   hot-path profilers, all zero-cost when disabled;
+//! - [`serve`]: the crash-tolerant campaign daemon behind `embsan serve` —
+//!   fair-share scheduling over a supervised worker pool, quarantine and
+//!   graceful degradation, and a cross-campaign deduplicating findings
+//!   store, all restartable from durable journals.
 //!
 //! Start with the `quickstart` example or [`core::session::Session`].
 
@@ -32,3 +36,4 @@ pub use embsan_emu as emu;
 pub use embsan_fuzz as fuzz;
 pub use embsan_guestos as guestos;
 pub use embsan_obs as obs;
+pub use embsan_serve as serve;

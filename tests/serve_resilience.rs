@@ -1,0 +1,303 @@
+//! Daemon resilience integration tests: kill/restart determinism of the
+//! `embsan serve` engine, quarantine equivalence for crashing and wedging
+//! jobs, and K-cycle kill+resume concatenation (with torn journal tails)
+//! for the supervised campaign layer underneath it.
+
+use std::path::PathBuf;
+
+use embsan::fuzz::{
+    resume_supervised, run_supervised, CampaignConfig, SplitMix64, SupervisorConfig,
+};
+use embsan::guestos::firmware_by_name;
+use embsan::serve::{Drill, ServeConfig, ServeEngine};
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("stale state dir");
+    }
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    dir
+}
+
+/// A small daemon configuration: two workers, short slices, so a handful
+/// of scheduling turns covers several checkpoint boundaries per job.
+fn serve_config(state_dir: PathBuf) -> ServeConfig {
+    ServeConfig { state_dir, workers: 2, slice: 50, ..ServeConfig::default() }
+}
+
+// Campaign shape shared by every daemon test: long enough that the
+// firmware's seeded bugs are actually found (the store/quarantine
+// equivalences are vacuous without findings), short enough for CI.
+const FIRMWARE: &str = "OpenHarmony-stm32f407";
+const ITERS: u64 = 2_000;
+const SEED: u64 = 99;
+
+/// Submits `jobs` campaigns over the same firmware (distinct seeds) and
+/// returns the idle-state artifacts: the `embsan-serve-report-v1` JSON and
+/// the deterministic metrics snapshot.
+fn run_to_idle(state_dir: PathBuf, jobs: u64) -> (String, String) {
+    let mut engine = ServeEngine::open(serve_config(state_dir)).expect("engine opens");
+    for job in 0..jobs {
+        engine.submit(FIRMWARE, ITERS, SEED + job, 0, None).expect("submit");
+    }
+    engine.run_until_idle();
+    let artifacts = (engine.report_json(), engine.metrics_snapshot().to_json(false));
+    engine.shutdown();
+    artifacts
+}
+
+/// The acceptance gate: for any kill point, killing the daemon after `k`
+/// scheduling turns and restarting over the same state directory yields a
+/// report and deterministic metrics snapshot byte-identical to a daemon
+/// that was never interrupted — for one- and two-job fleets.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "campaign-scale test; run with `cargo test --release --test serve_resilience`"
+)]
+fn daemon_kill_restart_is_deterministic() {
+    for jobs in [1u64, 2] {
+        let control = run_to_idle(tmp_dir(&format!("serve-control-{jobs}")), jobs);
+        assert!(
+            control.0.contains("\"phase\":\"completed\""),
+            "control must finish: {}",
+            control.0
+        );
+
+        for kill_at in [1u64, 3, 6] {
+            let dir = tmp_dir(&format!("serve-kill-{jobs}-{kill_at}"));
+            let mut engine = ServeEngine::open(serve_config(dir.clone())).expect("engine opens");
+            for job in 0..jobs {
+                engine.submit(FIRMWARE, ITERS, SEED + job, 0, None).expect("submit");
+            }
+            let ran = engine.run_turns(kill_at);
+            // Kill: drop the engine (worker threads join; any in-flight turn
+            // lands on a durable journal boundary, exactly as the supervised
+            // journal survives kill -9 at arbitrary byte offsets).
+            engine.shutdown();
+            assert!(ran <= kill_at);
+
+            // Restart over the same state directory: the manifest restores
+            // the queue, the journals restore each campaign's progress.
+            let mut engine = ServeEngine::open(serve_config(dir)).expect("engine reopens");
+            engine.run_until_idle();
+            let resumed = (engine.report_json(), engine.metrics_snapshot().to_json(false));
+            engine.shutdown();
+            assert_eq!(
+                resumed, control,
+                "jobs={jobs} kill_at={kill_at}: restarted daemon must converge bit-identically"
+            );
+        }
+    }
+}
+
+/// Two campaigns over the same firmware and seed find the same crashes;
+/// the store deduplicates them by (firmware, signature) and attributes
+/// each unique finding to both jobs.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "campaign-scale test; run with `cargo test --release --test serve_resilience`"
+)]
+fn store_deduplicates_across_campaigns_of_same_firmware() {
+    let mut engine = ServeEngine::open(serve_config(tmp_dir("serve-dedup"))).expect("engine opens");
+    engine.submit(FIRMWARE, ITERS, SEED, 0, None).expect("submit");
+    engine.submit(FIRMWARE, ITERS, SEED, 0, None).expect("submit");
+    engine.run_until_idle();
+    let first = engine.job_report(0);
+    assert_eq!(first, engine.job_report(1), "identical campaigns produce identical reports");
+    assert!(first.findings > 0, "dedup comparison is vacuous without findings");
+    assert_eq!(engine.store().uniques(), first.findings, "store holds one entry per signature");
+    assert_eq!(engine.store().attributions(), 2 * first.findings, "both jobs attributed");
+    engine.shutdown();
+}
+
+/// A job that panics mid-campaign is quarantined after `max_strikes`
+/// turns, its findings leave the store, and the surviving job finishes
+/// with results identical to a fleet where the bad job was never
+/// submitted — including across a kill/restart in the middle.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "campaign-scale test; run with `cargo test --release --test serve_resilience`"
+)]
+fn panicking_job_is_quarantined_without_disturbing_others() {
+    // Control: the good job alone.
+    let mut control =
+        ServeEngine::open(serve_config(tmp_dir("serve-quar-control"))).expect("engine opens");
+    control.submit(FIRMWARE, ITERS, SEED, 0, None).expect("submit");
+    control.run_until_idle();
+    let control_report = control.job_report(0);
+    let control_store = control.store().to_json();
+    control.shutdown();
+
+    // The same good job plus a crasher, with a kill/restart mid-fleet.
+    let dir = tmp_dir("serve-quar");
+    let mut engine = ServeEngine::open(serve_config(dir.clone())).expect("engine opens");
+    engine.submit(FIRMWARE, ITERS, SEED, 0, None).expect("submit good");
+    engine
+        .submit(FIRMWARE, ITERS, SEED + 7, 0, Some(Drill::PanicAfter(60)))
+        .expect("submit crasher");
+    engine.run_turns(3);
+    engine.shutdown();
+    let mut engine = ServeEngine::open(serve_config(dir)).expect("engine reopens");
+    engine.run_until_idle();
+
+    let phases: Vec<(u64, String)> = engine
+        .jobs_status()
+        .into_iter()
+        .map(|(id, _, phase, _)| (id, phase.name().to_string()))
+        .collect();
+    assert_eq!(
+        phases,
+        vec![(0, "completed".to_string()), (1, "quarantined".to_string())],
+        "crasher must be quarantined, good job must complete"
+    );
+    assert_eq!(engine.job_report(0), control_report, "good job's results must be undisturbed");
+    assert!(control_report.findings > 0, "equivalence is vacuous without findings");
+    assert_eq!(
+        engine.store().to_json(),
+        control_store,
+        "quarantine must remove the bad job's evidence from the store"
+    );
+    engine.shutdown();
+}
+
+/// A wedging job (a turn that exceeds the wall-clock bound) is detected,
+/// its worker is replaced, and after `max_strikes` wedges the job is
+/// quarantined while the surviving job's results match the control fleet.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "campaign-scale test; run with `cargo test --release --test serve_resilience`"
+)]
+fn wedging_job_is_quarantined_and_its_worker_replaced() {
+    let mut control =
+        ServeEngine::open(serve_config(tmp_dir("serve-wedge-control"))).expect("engine opens");
+    control.submit(FIRMWARE, ITERS, SEED, 0, None).expect("submit");
+    control.run_until_idle();
+    let control_report = control.job_report(0);
+    control.shutdown();
+
+    let config = ServeConfig {
+        // Short wedge detector so the test stays fast; the drill sleeps a
+        // multiple of this bound to guarantee detection.
+        turn_timeout_ms: 1_200,
+        ..serve_config(tmp_dir("serve-wedge"))
+    };
+    let mut engine = ServeEngine::open(config).expect("engine opens");
+    engine.submit(FIRMWARE, ITERS, SEED, 0, None).expect("submit good");
+    engine.submit(FIRMWARE, ITERS, SEED + 7, 0, Some(Drill::WedgeAt(60))).expect("submit wedger");
+    engine.run_until_idle();
+
+    let phases: Vec<(u64, String)> = engine
+        .jobs_status()
+        .into_iter()
+        .map(|(id, _, phase, _)| (id, phase.name().to_string()))
+        .collect();
+    assert_eq!(phases, vec![(0, "completed".to_string()), (1, "quarantined".to_string())]);
+    assert_eq!(engine.job_report(0), control_report, "good job's results must be undisturbed");
+    let telemetry = engine.metrics_snapshot().to_json(true);
+    assert!(
+        telemetry.contains("\"workers_replaced\""),
+        "worker replacement must be visible in telemetry: {telemetry}"
+    );
+    engine.shutdown();
+}
+
+/// S3 property: K successive kill+resume cycles — with a torn journal
+/// tail injected between two of them — concatenate to the uninterrupted
+/// campaign's findings and trace spans exactly. The kill points are drawn
+/// from a seeded RNG so each run of the suite exercises the same schedule.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "campaign-scale test; run with `cargo test --release --test serve_resilience`"
+)]
+fn k_kill_resume_cycles_concatenate_exactly() {
+    use embsan::obs::MergedTrace;
+
+    let spec = firmware_by_name("OpenHarmony-stm32f407").unwrap();
+    let campaign = CampaignConfig { iterations: 2_000, seed: 77, ..CampaignConfig::default() };
+    let full = run_supervised(
+        spec,
+        &SupervisorConfig { campaign, trace: true, ..SupervisorConfig::default() },
+        None,
+    )
+    .unwrap();
+
+    let journal = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("k_cycles.journal");
+    std::fs::create_dir_all(journal.parent().unwrap()).unwrap();
+    let mut rng = SplitMix64::seed_from_u64(0x5EED);
+    let mut config = SupervisorConfig {
+        campaign,
+        checkpoint_interval: 250,
+        trace: true,
+        ..SupervisorConfig::default()
+    };
+
+    // Segment 0: the initial run, killed early.
+    let mut kill_at = 300 + rng.range_u64(0, 200);
+    config.kill_after = Some(kill_at);
+    let first = run_supervised(spec, &config, Some(&journal)).unwrap();
+    assert!(!first.completed);
+    let mut segments = vec![first.trace.expect("killed run was traced")];
+
+    // Segments 1..=K: resume, killing again at advancing points; the last
+    // cycle runs to completion. Cycle 2 first tears the journal tail, as a
+    // kill -9 mid-append would.
+    let cycles = 3;
+    let mut last = None;
+    for cycle in 1..=cycles {
+        if cycle == 2 {
+            let len = std::fs::metadata(&journal).unwrap().len();
+            let torn = rng.range_u64(1, 40);
+            assert!(len > torn + 64, "journal long enough to tear");
+            std::fs::OpenOptions::new()
+                .write(true)
+                .open(&journal)
+                .unwrap()
+                .set_len(len - torn)
+                .unwrap();
+        }
+        config.kill_after = if cycle == cycles {
+            None
+        } else {
+            kill_at += 300 + rng.range_u64(0, 300);
+            Some(kill_at)
+        };
+        let resumed = resume_supervised(&journal, &config).unwrap();
+        assert_eq!(resumed.completed, cycle == cycles, "cycle {cycle}");
+        segments.push(resumed.trace.clone().expect("resumed run was traced"));
+        last = Some(resumed);
+    }
+
+    // Findings: the final resume reports the cumulative campaign, which
+    // must be bit-identical to the uninterrupted run's.
+    let last = last.unwrap();
+    assert_eq!(last.result.stats, full.result.stats, "stats must survive {cycles} kill cycles");
+    assert_eq!(last.result.found.len(), full.result.found.len());
+    for (a, b) in last.result.found.iter().zip(&full.result.found) {
+        assert_eq!((a.latent_index, a.class), (b.latent_index, b.class));
+        assert_eq!(a.reproducer, b.reproducer);
+    }
+    assert!(!full.result.found.is_empty(), "comparison is vacuous without findings");
+
+    // Traces: each segment owns the spans up to the next segment's resume
+    // point; the concatenation equals the uninterrupted trace exactly.
+    let full_trace = full.trace.expect("uninterrupted run was traced");
+    let mut stitched = MergedTrace::default();
+    for (index, segment) in segments.iter().enumerate() {
+        let cut = segments
+            .get(index + 1)
+            .map(|next| next.spans.first().expect("resumed segment has spans").iter);
+        stitched.spans.extend(
+            segment.spans.iter().filter(|span| cut.is_none_or(|cut| span.iter < cut)).cloned(),
+        );
+    }
+    assert_eq!(stitched.spans.len(), full_trace.spans.len(), "span count must match");
+    for (got, want) in stitched.spans.iter().zip(&full_trace.spans) {
+        assert_eq!(got, want, "iteration {} must replay its exact span", want.iter);
+    }
+}
