@@ -1,0 +1,454 @@
+//! Baseline comparison for the CI bench-smoke regression guard.
+//!
+//! Reads a checked-in `embsan-bench-throughput-v1` document (the baseline),
+//! matches its worker-scaling points against a freshly measured
+//! [`ThroughputReport`] by `(firmware, workers)`, and reports every point
+//! whose throughput fell more than the tolerated fraction below the
+//! baseline. Points flagged `oversubscribed_workers` — in the baseline's
+//! warnings array or on the current host — are excluded: their wall clock
+//! measures host scheduling, not the engine (see
+//! [`ThroughputReport::warnings`]).
+
+use crate::throughput::ThroughputReport;
+
+/// One comparable worker-scaling point lifted from a baseline document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselinePoint {
+    /// Firmware name.
+    pub firmware: String,
+    /// Worker threads of the point.
+    pub workers: usize,
+    /// Baseline throughput.
+    pub execs_per_sec: f64,
+    /// Whether the baseline itself flagged this point as oversubscribed.
+    pub oversubscribed: bool,
+}
+
+/// Extracts the comparable points of a baseline throughput document.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed construct. Unknown fields
+/// are ignored so older guards keep working as the schema grows.
+pub fn parse_baseline(text: &str) -> Result<Vec<BaselinePoint>, String> {
+    let doc = json::parse(text)?;
+    let root = doc.as_object().ok_or("baseline root must be an object")?;
+    if json::field(root, "schema").and_then(json::Value::as_str)
+        != Some("embsan-bench-throughput-v1")
+    {
+        return Err("baseline is not an embsan-bench-throughput-v1 document".into());
+    }
+
+    let mut flagged = Vec::new();
+    if let Some(warnings) = json::field(root, "warnings").and_then(json::Value::as_array) {
+        for w in warnings {
+            let w = w.as_object().ok_or("warning entries must be objects")?;
+            if json::field(w, "kind").and_then(json::Value::as_str)
+                == Some("oversubscribed_workers")
+            {
+                let firmware = json::field(w, "firmware")
+                    .and_then(json::Value::as_str)
+                    .ok_or("warning missing firmware")?;
+                let workers = json::field(w, "workers")
+                    .and_then(json::Value::as_usize)
+                    .ok_or("warning missing workers")?;
+                flagged.push((firmware.to_string(), workers));
+            }
+        }
+    }
+
+    let mut points = Vec::new();
+    let firmwares = json::field(root, "firmwares")
+        .and_then(json::Value::as_array)
+        .ok_or("baseline missing firmwares array")?;
+    for fw in firmwares {
+        let fw = fw.as_object().ok_or("firmware entries must be objects")?;
+        let name = json::field(fw, "firmware")
+            .and_then(json::Value::as_str)
+            .ok_or("firmware entry missing name")?;
+        let workers = json::field(fw, "workers")
+            .and_then(json::Value::as_array)
+            .ok_or("firmware entry missing workers array")?;
+        for p in workers {
+            let p = p.as_object().ok_or("worker points must be objects")?;
+            let count = json::field(p, "workers")
+                .and_then(json::Value::as_usize)
+                .ok_or("worker point missing workers")?;
+            let execs_per_sec = json::field(p, "execs_per_sec")
+                .and_then(json::Value::as_f64)
+                .ok_or("worker point missing execs_per_sec")?;
+            points.push(BaselinePoint {
+                firmware: name.to_string(),
+                workers: count,
+                execs_per_sec,
+                oversubscribed: flagged.iter().any(|(f, w)| f == name && *w == count),
+            });
+        }
+    }
+    Ok(points)
+}
+
+/// Compares a fresh report against baseline points and returns one line per
+/// regression: a matched point whose throughput is more than `tolerance`
+/// (a fraction, e.g. `0.25`) below the baseline. Oversubscribed points —
+/// flagged in the baseline or exceeding the fresh report's `host_cores` —
+/// and points without a baseline counterpart are skipped.
+pub fn regressions(
+    baseline: &[BaselinePoint],
+    fresh: &ThroughputReport,
+    tolerance: f64,
+) -> Vec<String> {
+    let mut out = Vec::new();
+    for fw in &fresh.firmwares {
+        for p in &fw.points {
+            if p.workers > fresh.host_cores {
+                continue;
+            }
+            let Some(base) =
+                baseline.iter().find(|b| b.firmware == fw.firmware && b.workers == p.workers)
+            else {
+                continue;
+            };
+            if base.oversubscribed {
+                continue;
+            }
+            let floor = base.execs_per_sec * (1.0 - tolerance);
+            if p.execs_per_sec < floor {
+                out.push(format!(
+                    "{} @ {} workers: {:.0} execs/sec is {:.0}% below baseline {:.0} \
+                     (tolerance {:.0}%)",
+                    fw.firmware,
+                    p.workers,
+                    p.execs_per_sec,
+                    (1.0 - p.execs_per_sec / base.execs_per_sec) * 100.0,
+                    base.execs_per_sec,
+                    tolerance * 100.0,
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// A minimal recursive-descent JSON reader for baseline documents: objects,
+/// arrays, strings with `\"`/`\\`/`\uXXXX` escapes, floats, booleans and
+/// null — just enough for the `embsan-bench-throughput-v1` schema.
+mod json {
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// A number (all JSON numbers read as f64).
+        Num(f64),
+        /// A string.
+        Str(String),
+        /// A boolean.
+        Bool(bool),
+        /// `null`.
+        Null,
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object, in document order.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_f64(&self) -> Option<f64> {
+            match *self {
+                Value::Num(n) => Some(n),
+                _ => None,
+            }
+        }
+
+        pub fn as_usize(&self) -> Option<usize> {
+            match *self {
+                Value::Num(n) if n >= 0.0 && n.fract() == 0.0 => Some(n as usize),
+                _ => None,
+            }
+        }
+
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Obj(fields) => Some(fields),
+                _ => None,
+            }
+        }
+    }
+
+    /// First value of `key` in an object's field list.
+    pub fn field<'a>(obj: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+        obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+        if bytes.get(*pos) == Some(&b) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, pos))
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b'{') => parse_object(bytes, pos),
+            Some(b'[') => parse_array(bytes, pos),
+            Some(b'"') => Ok(Value::Str(parse_string(bytes, pos)?)),
+            Some(b't') => parse_keyword(bytes, pos, "true", Value::Bool(true)),
+            Some(b'f') => parse_keyword(bytes, pos, "false", Value::Bool(false)),
+            Some(b'n') => parse_keyword(bytes, pos, "null", Value::Null),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
+            _ => Err(format!("unexpected byte at {pos}")),
+        }
+    }
+
+    fn parse_keyword(
+        bytes: &[u8],
+        pos: &mut usize,
+        word: &str,
+        value: Value,
+    ) -> Result<Value, String> {
+        if bytes[*pos..].starts_with(word.as_bytes()) {
+            *pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad keyword at byte {pos}"))
+        }
+    }
+
+    fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        if bytes.get(*pos) == Some(&b'-') {
+            *pos += 1;
+        }
+        while *pos < bytes.len()
+            && (bytes[*pos].is_ascii_digit()
+                || matches!(bytes[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            *pos += 1;
+        }
+        std::str::from_utf8(&bytes[start..*pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(bytes, pos, b'"')?;
+        let mut out = Vec::new();
+        loop {
+            match bytes.get(*pos) {
+                Some(b'"') => {
+                    *pos += 1;
+                    return String::from_utf8(out).map_err(|_| "bad utf8 in string".to_string());
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match bytes.get(*pos) {
+                        Some(b'"') => out.push(b'"'),
+                        Some(b'\\') => out.push(b'\\'),
+                        Some(b'n') => out.push(b'\n'),
+                        Some(b't') => out.push(b'\t'),
+                        Some(b'u') => {
+                            let hex = bytes
+                                .get(*pos + 1..*pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?;
+                            let c = char::from_u32(hex)
+                                .ok_or_else(|| format!("bad codepoint at byte {pos}"))?;
+                            let mut buf = [0u8; 4];
+                            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                            *pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {pos}")),
+                    }
+                    *pos += 1;
+                }
+                Some(&b) => {
+                    out.push(b);
+                    *pos += 1;
+                }
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(bytes, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(parse_value(bytes, pos)?);
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+            }
+        }
+    }
+
+    fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(bytes, pos, b'{')?;
+        let mut fields = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            skip_ws(bytes, pos);
+            let key = parse_string(bytes, pos)?;
+            skip_ws(bytes, pos);
+            expect(bytes, pos, b':')?;
+            let value = parse_value(bytes, pos)?;
+            fields.push((key, value));
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::throughput::{CacheToggleReport, FirmwareThroughput, WorkerPoint};
+    use embsan_emu::CacheStats;
+
+    fn point(workers: usize, execs_per_sec: f64) -> WorkerPoint {
+        WorkerPoint {
+            workers,
+            execs: 100,
+            fuzz_wall_secs: 1.0,
+            execs_per_sec,
+            blocks_translated: 10,
+            blocks_per_exec: 0.1,
+            coverage: 5,
+            findings: 0,
+            slow_path_checks: 0,
+            cache: CacheStats::default(),
+        }
+    }
+
+    fn report(host_cores: usize, points: Vec<WorkerPoint>) -> ThroughputReport {
+        ThroughputReport {
+            host_cores,
+            iterations: 100,
+            seed: 1,
+            firmwares: vec![FirmwareThroughput {
+                firmware: "Router".to_string(),
+                san: "EMBSAN-D (binary)".to_string(),
+                points,
+                cache_toggle: CacheToggleReport {
+                    toggles: 2,
+                    first_pass_translations: 10,
+                    retranslations_after_first_pass: 0,
+                    generation_hits: 5,
+                },
+            }],
+        }
+    }
+
+    #[test]
+    fn baseline_roundtrips_through_report_json() {
+        let base = report(1, vec![point(1, 2000.0), point(2, 1800.0)]);
+        let points = parse_baseline(&base.to_json()).unwrap();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].firmware, "Router");
+        assert_eq!(points[0].workers, 1);
+        assert!((points[0].execs_per_sec - 2000.0).abs() < 1e-6);
+        // host_cores 1: the 2-worker point carries the baseline's own
+        // oversubscription flag.
+        assert!(!points[0].oversubscribed);
+        assert!(points[1].oversubscribed);
+    }
+
+    #[test]
+    fn regression_detected_beyond_tolerance() {
+        let base = parse_baseline(&report(8, vec![point(1, 2000.0)]).to_json()).unwrap();
+        // 26% below: regression at 25% tolerance.
+        let bad = regressions(&base, &report(8, vec![point(1, 1480.0)]), 0.25);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].contains("1 workers"));
+        // 24% below: within tolerance.
+        assert!(regressions(&base, &report(8, vec![point(1, 1520.0)]), 0.25).is_empty());
+        // Faster than baseline: never a regression.
+        assert!(regressions(&base, &report(8, vec![point(1, 9000.0)]), 0.25).is_empty());
+    }
+
+    #[test]
+    fn oversubscribed_points_are_not_compared() {
+        // Baseline measured on a 1-core host: its 2-worker point is flagged
+        // and must not gate anything, even if the fresh number is far lower.
+        let base =
+            parse_baseline(&report(1, vec![point(1, 2000.0), point(2, 1800.0)]).to_json()).unwrap();
+        let fresh = report(8, vec![point(1, 2000.0), point(2, 100.0)]);
+        assert!(regressions(&base, &fresh, 0.25).is_empty());
+
+        // And a fresh point that oversubscribes the current host is skipped
+        // regardless of the baseline's view of it.
+        let base8 =
+            parse_baseline(&report(8, vec![point(1, 2000.0), point(2, 1800.0)]).to_json()).unwrap();
+        let fresh1 = report(1, vec![point(1, 2000.0), point(2, 100.0)]);
+        assert!(regressions(&base8, &fresh1, 0.25).is_empty());
+    }
+
+    #[test]
+    fn unmatched_points_and_bad_documents() {
+        let base = parse_baseline(&report(8, vec![point(1, 2000.0)]).to_json()).unwrap();
+        // A fresh point with no baseline counterpart is informational only.
+        let fresh = report(8, vec![point(4, 10.0)]);
+        assert!(regressions(&base, &fresh, 0.25).is_empty());
+
+        assert!(parse_baseline("{}").is_err());
+        assert!(parse_baseline("{\"schema\": \"other\"}").is_err());
+        assert!(parse_baseline("not json").is_err());
+    }
+}

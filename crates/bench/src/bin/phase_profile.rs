@@ -1,0 +1,83 @@
+//! Phase-attribution probe: runs a short sequential campaign with the
+//! hot-path profilers armed and prints where wall time goes
+//! (translate / execute / check) plus the translator and session
+//! counters that explain it.
+//!
+//! Build with `--features profile` for real numbers; without the feature
+//! the phase table is empty but the counters still print.
+//!
+//! Usage: `phase_profile [firmware] [iters] [seed]`
+
+use embsan_fuzz::campaign::prepare_session;
+use embsan_fuzz::{CampaignConfig, Fuzzer, FuzzerConfig, Strategy};
+use embsan_guestos::firmware_by_name;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map_or("TP-Link WDR-7660", String::as_str);
+    let iters: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(400);
+    let seed: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(17);
+
+    let spec = firmware_by_name(name).unwrap_or_else(|| panic!("unknown firmware `{name}`"));
+    let config = CampaignConfig { iterations: iters, seed, ..CampaignConfig::default() };
+    let (mut session, dict) = prepare_session(spec, &config).expect("session");
+    let profiler = session.enable_profiling();
+    profiler.set_enabled(true);
+
+    let descs = embsan_fuzz::descriptions_for(spec);
+    let fuzzer_config = FuzzerConfig::new(Strategy::Tardis, seed);
+    let (wall, stats) = {
+        let mut fuzzer = Fuzzer::new(&mut session, descs, dict, fuzzer_config);
+        let start = std::time::Instant::now();
+        fuzzer.run(iters).expect("campaign");
+        (start.elapsed(), fuzzer.stats())
+    };
+
+    println!(
+        "{name}: {iters} iters in {:.3}s ({:.0} execs/sec), coverage {}, findings {}",
+        wall.as_secs_f64(),
+        stats.execs as f64 / wall.as_secs_f64(),
+        stats.coverage,
+        stats.findings
+    );
+    print!("{}", profiler.report().render());
+    let cache = session.cache_stats();
+    println!(
+        "cache: translations={} hits={} reconfigures={} generation_hits={} \
+         chained_dispatches={} superblocks_formed={}",
+        cache.translations,
+        cache.hits,
+        cache.reconfigures,
+        cache.generation_hits,
+        cache.chained_dispatches,
+        cache.superblocks_formed
+    );
+    println!(
+        "checks: performed={} slow_path={}",
+        session.runtime().checks_performed(),
+        session.runtime().slow_path_checks()
+    );
+    // Micro-breakdown of one iteration's fixed costs.
+    {
+        let session = &mut session;
+        let t = std::time::Instant::now();
+        for _ in 0..200 {
+            session.reset().unwrap();
+        }
+        println!("  reset: {:.1}us/iter", t.elapsed().as_secs_f64() * 1e6 / 200.0);
+        let program = embsan_guestos::executor::ExecProgram::default();
+        let t = std::time::Instant::now();
+        for _ in 0..200 {
+            session.reset().unwrap();
+            session.run_program(&program, 3_000_000).unwrap();
+        }
+        println!("  reset+empty-run: {:.1}us/iter", t.elapsed().as_secs_f64() * 1e6 / 200.0);
+    }
+    let mut metrics = embsan_obs::MetricsRegistry::new();
+    session.collect_metrics(&mut metrics);
+    for line in metrics.snapshot().to_json(true).lines() {
+        if line.contains("shadow.") || line.contains("hooks.") {
+            println!("  {}", line.trim().trim_end_matches(','));
+        }
+    }
+}

@@ -16,12 +16,14 @@
 //! machinery those binaries (and the integration tests) share.
 
 pub mod ablation;
+pub mod baseline;
 pub mod overhead;
 pub mod profile_overhead;
 pub mod table2;
 pub mod table34;
 pub mod throughput;
 
+pub use baseline::{parse_baseline, regressions, BaselinePoint};
 pub use overhead::{
     measure_configuration, OverheadConfig, OverheadRow, OverheadWorkload, SanitizerChoice,
 };
@@ -30,7 +32,7 @@ pub use table2::{replay_known_bug, replay_table2, DetectionRow};
 pub use table34::{run_all_campaigns, CampaignSummary};
 pub use throughput::{
     measure_cache_generations, measure_firmware_throughput, measure_worker_scaling, san_label,
-    CacheToggleReport, FirmwareThroughput, ThroughputReport, WorkerPoint,
+    BenchWarning, CacheToggleReport, FirmwareThroughput, ThroughputReport, WorkerPoint,
 };
 
 /// Reads an environment-variable budget with a default (used to scale the

@@ -43,6 +43,9 @@ pub struct WorkerPoint {
     pub coverage: usize,
     /// Deduplicated findings (identical across worker counts).
     pub findings: usize,
+    /// Shadow checks that took the byte-wise slow path (summed over
+    /// workers; the rest proved clean on the inline fast path).
+    pub slow_path_checks: u64,
     /// Full cache counters.
     pub cache: CacheStats,
 }
@@ -88,6 +91,20 @@ pub struct ThroughputReport {
     pub firmwares: Vec<FirmwareThroughput>,
 }
 
+/// One structured data-quality warning attached to a bench report (see
+/// [`ThroughputReport::warnings`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchWarning {
+    /// Machine-readable warning class (e.g. `oversubscribed_workers`).
+    pub kind: &'static str,
+    /// Firmware whose scaling point triggered the warning.
+    pub firmware: String,
+    /// Worker count of the affected point.
+    pub workers: usize,
+    /// Host cores available to the pool.
+    pub host_cores: usize,
+}
+
 /// The sanitizer-configuration label for a firmware's Table-1 row.
 pub fn san_label(spec: &FirmwareSpec) -> &'static str {
     if spec.embsan_c {
@@ -131,6 +148,7 @@ pub fn measure_worker_scaling(
             },
             coverage: stats.coverage,
             findings: stats.findings,
+            slow_path_checks: stats.slow_path_checks,
             cache: stats.cache,
         });
     }
@@ -225,6 +243,28 @@ fn json_f64(value: f64) -> String {
 }
 
 impl ThroughputReport {
+    /// Structured data-quality warnings for this report. Currently one
+    /// kind: a scaling point that ran more workers than the host has
+    /// cores measures scheduler contention, not engine regression, and
+    /// consumers (CI's regression guard, humans reading the JSON) must not
+    /// read its throughput as a slowdown.
+    pub fn warnings(&self) -> Vec<BenchWarning> {
+        let mut warnings = Vec::new();
+        for fw in &self.firmwares {
+            for p in &fw.points {
+                if p.workers > self.host_cores {
+                    warnings.push(BenchWarning {
+                        kind: "oversubscribed_workers",
+                        firmware: fw.firmware.clone(),
+                        workers: p.workers,
+                        host_cores: self.host_cores,
+                    });
+                }
+            }
+        }
+        warnings
+    }
+
     /// Serializes to the `embsan-bench-throughput-v1` schema.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
@@ -233,6 +273,21 @@ impl ThroughputReport {
         out.push_str(&format!("  \"host_cores\": {},\n", self.host_cores));
         out.push_str(&format!("  \"iterations\": {},\n", self.iterations));
         out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        let warnings = self.warnings();
+        out.push_str("  \"warnings\": [");
+        for (i, w) in warnings.iter().enumerate() {
+            out.push_str(&format!(
+                "\n    {{\"kind\": \"{}\", \"firmware\": \"{}\", \"workers\": {}, \
+                 \"host_cores\": {}, \"note\": \"throughput at this point measures host \
+                 oversubscription, not engine regression\"}}{}",
+                w.kind,
+                json_escape(&w.firmware),
+                w.workers,
+                w.host_cores,
+                if i + 1 < warnings.len() { "," } else { "\n  " },
+            ));
+        }
+        out.push_str("],\n");
         out.push_str("  \"firmwares\": [\n");
         for (i, fw) in self.firmwares.iter().enumerate() {
             out.push_str("    {\n");
@@ -243,9 +298,11 @@ impl ThroughputReport {
                 out.push_str(&format!(
                     "        {{\"workers\": {}, \"execs\": {}, \"fuzz_wall_secs\": {}, \
                      \"execs_per_sec\": {}, \"blocks_translated\": {}, \"blocks_per_exec\": {}, \
-                     \"coverage\": {}, \"findings\": {}, \"cache\": {{\"translations\": {}, \
+                     \"coverage\": {}, \"findings\": {}, \"slow_path_checks\": {}, \
+                     \"cache\": {{\"translations\": {}, \
                      \"hits\": {}, \"reconfigures\": {}, \"generation_hits\": {}, \
-                     \"generation_evictions\": {}, \"flushes\": {}}}}}{}\n",
+                     \"generation_evictions\": {}, \"flushes\": {}, \
+                     \"chained_dispatches\": {}, \"superblocks_formed\": {}}}}}{}\n",
                     p.workers,
                     p.execs,
                     json_f64(p.fuzz_wall_secs),
@@ -254,12 +311,15 @@ impl ThroughputReport {
                     json_f64(p.blocks_per_exec),
                     p.coverage,
                     p.findings,
+                    p.slow_path_checks,
                     p.cache.translations,
                     p.cache.hits,
                     p.cache.reconfigures,
                     p.cache.generation_hits,
                     p.cache.generation_evictions,
                     p.cache.flushes,
+                    p.cache.chained_dispatches,
+                    p.cache.superblocks_formed,
                     if j + 1 < fw.points.len() { "," } else { "" },
                 ));
             }
@@ -321,6 +381,7 @@ mod tests {
                     blocks_per_exec: 0.4,
                     coverage: 10,
                     findings: 0,
+                    slow_path_checks: 7,
                     cache: CacheStats::default(),
                 }],
                 cache_toggle: CacheToggleReport {
@@ -334,7 +395,70 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"schema\": \"embsan-bench-throughput-v1\""));
         assert!(json.contains("\\\"est"), "quotes escaped");
+        assert!(json.contains("\"slow_path_checks\": 7"));
+        assert!(json.contains("\"chained_dispatches\": 0"));
+        assert!(json.contains("\"superblocks_formed\": 0"));
+        // 1 worker on 4 cores: no oversubscription warning.
+        assert!(json.contains("\"warnings\": []"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn oversubscription_yields_structured_warning_not_regression() {
+        let mut report = ThroughputReport {
+            host_cores: 1,
+            iterations: 100,
+            seed: 1,
+            firmwares: vec![FirmwareThroughput {
+                firmware: "Router".to_string(),
+                san: "EMBSAN-D (binary)".to_string(),
+                points: vec![
+                    WorkerPoint {
+                        workers: 1,
+                        execs: 100,
+                        fuzz_wall_secs: 0.5,
+                        execs_per_sec: 200.0,
+                        blocks_translated: 40,
+                        blocks_per_exec: 0.4,
+                        coverage: 10,
+                        findings: 0,
+                        slow_path_checks: 0,
+                        cache: CacheStats::default(),
+                    },
+                    WorkerPoint {
+                        workers: 4,
+                        execs: 100,
+                        fuzz_wall_secs: 1.0,
+                        execs_per_sec: 100.0,
+                        blocks_translated: 160,
+                        blocks_per_exec: 1.6,
+                        coverage: 10,
+                        findings: 0,
+                        slow_path_checks: 0,
+                        cache: CacheStats::default(),
+                    },
+                ],
+                cache_toggle: CacheToggleReport {
+                    toggles: 2,
+                    first_pass_translations: 40,
+                    retranslations_after_first_pass: 0,
+                    generation_hits: 5,
+                },
+            }],
+        };
+        let warnings = report.warnings();
+        assert_eq!(warnings.len(), 1);
+        assert_eq!(warnings[0].kind, "oversubscribed_workers");
+        assert_eq!(warnings[0].workers, 4);
+        assert_eq!(warnings[0].host_cores, 1);
+        let json = report.to_json();
+        assert!(json.contains("\"kind\": \"oversubscribed_workers\""));
+        assert!(json.contains("not engine regression"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        // Enough cores: the warning disappears.
+        report.host_cores = 8;
+        assert!(report.warnings().is_empty());
     }
 }

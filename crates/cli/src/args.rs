@@ -34,6 +34,8 @@ const VALUED: &[&str] = &[
     "epoch",
     "json",
     "toggles",
+    "baseline",
+    "max-regression",
     "metrics-out",
     "trace-out",
     "out",

@@ -106,6 +106,10 @@ USAGE:
       --toggles N                config-toggle cycles measured (default 8)
       --json FILE                write the embsan-bench-throughput-v1 report
                                  (the checked-in BENCH_throughput.json)
+      --baseline FILE            compare against a checked-in report and
+                                 exit non-zero on a throughput regression
+                                 (oversubscribed points are never gated)
+      --max-regression PCT       tolerated drop vs baseline (default 25)
   embsan serve --state-dir DIR --socket PATH
                                  crash-tolerant campaign daemon: schedules
                                  submitted campaigns across a supervised
@@ -925,9 +929,35 @@ fn cmd_bench(parsed: &Parsed) -> Result<(), String> {
         seed: campaign.seed,
         firmwares: vec![fw],
     };
+    for warning in report.warnings() {
+        println!(
+            "  warning[{}]: {} workers on {} host cores — that point measures host \
+             oversubscription, not an engine regression",
+            warning.kind, warning.workers, warning.host_cores
+        );
+    }
     if let Some(path) = parsed.option("json") {
         fs::write(path, report.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("wrote {path}");
+    }
+    if let Some(path) = parsed.option("baseline") {
+        let tolerance = parsed.option_u64("max-regression", 25)? as f64 / 100.0;
+        let text =
+            fs::read_to_string(path).map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+        let baseline = embsan_bench::parse_baseline(&text)
+            .map_err(|e| format!("malformed baseline {path}: {e}"))?;
+        let regressions = embsan_bench::regressions(&baseline, &report, tolerance);
+        for regression in &regressions {
+            println!("  regression: {regression}");
+        }
+        if !regressions.is_empty() {
+            return Err(format!(
+                "{} throughput regression(s) beyond {:.0}% vs {path}",
+                regressions.len(),
+                tolerance * 100.0
+            ));
+        }
+        println!("  baseline check: no point more than {:.0}% below {path}", tolerance * 100.0);
     }
     Ok(())
 }

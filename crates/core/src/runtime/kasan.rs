@@ -68,6 +68,19 @@ impl KasanEngine {
         }
     }
 
+    /// Allocation-reusing restore to `baseline`'s state (fuzzer reset):
+    /// `clone_from` on the maps reuses their table storage instead of
+    /// reallocating every iteration.
+    pub(crate) fn restore_from(&mut self, baseline: &KasanEngine) {
+        self.config = baseline.config;
+        self.live.clone_from(&baseline.live);
+        self.freed.clone_from(&baseline.freed);
+        self.quarantine.clone_from(&baseline.quarantine);
+        self.quarantine_used = baseline.quarantine_used;
+        self.globals.clone_from(&baseline.globals);
+        self.pressure_evictions = baseline.pressure_evictions;
+    }
+
     /// Drains the count of chunks evicted under quarantine byte pressure
     /// since the last call.
     pub fn take_pressure_evictions(&mut self) -> u64 {

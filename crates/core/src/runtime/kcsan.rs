@@ -80,6 +80,15 @@ impl KcsanEngine {
         }
     }
 
+    /// Allocation-reusing restore to `baseline`'s state (fuzzer reset).
+    pub(crate) fn restore_from(&mut self, baseline: &KcsanEngine) {
+        self.config = baseline.config;
+        self.slots.clone_from(&baseline.slots);
+        self.counter = baseline.counter;
+        self.next_token = baseline.next_token;
+        self.priority.clone_from(&baseline.priority);
+    }
+
     /// Number of active watchpoints.
     pub fn active_watchpoints(&self) -> usize {
         self.slots.iter().filter(|s| s.is_some()).count()

@@ -170,10 +170,18 @@ impl EngineSelection {
     }
 }
 
+/// Process-wide state identity counter; see [`RuntimeState`].
+static NEXT_STATE_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
 /// Opaque snapshot of the runtime's mutable sanitizer state, captured at
 /// the ready point and restored on every fuzzer reset.
 #[derive(Clone)]
 pub struct RuntimeState {
+    /// Unique per-capture identity (clones share it — their contents are
+    /// identical). Keys the dirty-bounded fast path of
+    /// [`EmbsanRuntime::restore_state_from`], mirroring snapshot ids in the
+    /// emulator.
+    id: u64,
     shadow: ShadowMemory,
     kasan: Option<KasanEngine>,
     kcsan: Option<KcsanEngine>,
@@ -203,6 +211,10 @@ pub struct EmbsanRuntime {
     ready_seen: bool,
     pending: Vec<Vec<PendingCall>>,
     suppress: Vec<u32>,
+    /// Id of the last [`RuntimeState`] fully installed; while it matches the
+    /// state being restored, the shadow/uninit planes need only dirty-page
+    /// copies.
+    state_baseline: Option<u64>,
     stall_watch: HashMap<u64, (u32, u8)>,
     reports: Vec<Report>,
     new_reports: Vec<Report>,
@@ -215,6 +227,9 @@ pub struct EmbsanRuntime {
     /// must re-observe already-known bugs while minimizing reproducers.
     pub dedup_enabled: bool,
     checks_performed: u64,
+    /// Checks that fell off the inline shadow fast path onto the byte-wise
+    /// slow walk (partial granules, poisoned neighborhoods, MMIO).
+    slow_path_checks: u64,
     /// Monotonic degradation counters (like reports, not part of
     /// [`RuntimeState`]: they describe the whole campaign).
     health: HealthCounters,
@@ -275,6 +290,7 @@ impl EmbsanRuntime {
             ready_seen: false,
             pending: vec![Vec::new(); cpus],
             suppress: vec![0; cpus],
+            state_baseline: None,
             stall_watch: HashMap::new(),
             reports: Vec::new(),
             new_reports: Vec::new(),
@@ -282,6 +298,7 @@ impl EmbsanRuntime {
             stop_on_report: false,
             dedup_enabled: true,
             checks_performed: 0,
+            slow_path_checks: 0,
             health: HealthCounters::default(),
             degradations: Vec::new(),
             tracer: embsan_obs::Tracer::disabled(),
@@ -338,6 +355,12 @@ impl EmbsanRuntime {
     /// Total checks performed (for overhead accounting).
     pub fn checks_performed(&self) -> u64 {
         self.checks_performed
+    }
+
+    /// Checks served by the byte-wise slow path (a subset of
+    /// [`EmbsanRuntime::checks_performed`]; the rest proved clean inline).
+    pub fn slow_path_checks(&self) -> u64 {
+        self.slow_path_checks
     }
 
     /// All reports so far (deduplicated).
@@ -509,6 +532,7 @@ impl EmbsanRuntime {
     /// state — they accumulate across resets.
     pub fn state(&self) -> RuntimeState {
         RuntimeState {
+            id: NEXT_STATE_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             shadow: self.shadow.clone(),
             kasan: self.kasan.clone(),
             kcsan: self.kcsan.clone(),
@@ -521,6 +545,7 @@ impl EmbsanRuntime {
 
     /// Restores state captured by [`EmbsanRuntime::state`].
     pub fn restore_state(&mut self, state: RuntimeState) {
+        self.state_baseline = Some(state.id);
         self.shadow = state.shadow;
         self.kasan = state.kasan;
         self.kcsan = state.kcsan;
@@ -529,6 +554,45 @@ impl EmbsanRuntime {
         self.suppress = state.suppress;
         self.active = state.active;
         self.stall_watch.clear();
+        // The moved-in planes carry the dirty bits of the *capture* moment;
+        // clear them so the invariant starts exact (stale marks would only
+        // cost extra copying, never correctness, but keep the map minimal).
+        self.shadow.clear_dirty();
+        if let Some(umsan) = &mut self.umsan {
+            umsan.clear_dirty();
+        }
+    }
+
+    /// Borrowing restore for the per-iteration reset path: installs
+    /// `state` without consuming it, reusing this runtime's allocations.
+    /// When `state` is the same capture that was installed last time, the
+    /// big shadow/uninit planes are restored by copying only pages dirtied
+    /// since — O(touched state) instead of O(RAM).
+    pub fn restore_state_from(&mut self, state: &RuntimeState) {
+        let fast = self.state_baseline == Some(state.id);
+        if self.shadow.same_shape(&state.shadow) {
+            self.shadow.restore_from(&state.shadow, fast);
+        } else {
+            self.shadow = state.shadow.clone();
+            self.shadow.clear_dirty();
+        }
+        match (&mut self.kasan, &state.kasan) {
+            (Some(live), Some(base)) => live.restore_from(base),
+            (live, base) => *live = base.clone(),
+        }
+        match (&mut self.kcsan, &state.kcsan) {
+            (Some(live), Some(base)) => live.restore_from(base),
+            (live, base) => *live = base.clone(),
+        }
+        match (&mut self.umsan, &state.umsan) {
+            (Some(live), Some(base)) if live.same_shape(base) => live.restore_from(base, fast),
+            (live, base) => *live = base.clone(),
+        }
+        self.pending.clone_from(&state.pending);
+        self.suppress.clone_from(&state.suppress);
+        self.active = state.active;
+        self.stall_watch.clear();
+        self.state_baseline = Some(state.id);
     }
 
     /// Heuristic guest backtrace signature: scan the top of the stack for
@@ -620,12 +684,26 @@ impl EmbsanRuntime {
         self.tracer.record(embsan_obs::EventKind::ShadowCheck { addr, size, write: is_write });
         let cpu_index = cpu.cpu_index();
         if self.kasan.is_some() {
-            if let Err(violation) = self.shadow.check(addr, size) {
-                let report = self.kasan.as_ref().map(|k| {
-                    k.classify(violation.bad_addr, violation.code, size, is_write, pc, cpu_index)
-                });
-                if let Some(report) = report {
-                    return self.record(report);
+            // Inline fast path: a provably-clean access costs one compare
+            // against the valid-granule shape; everything else (partial
+            // granules, poison, MMIO) drops to the out-of-line byte-wise
+            // walk and is counted.
+            if !self.shadow.check_fast(addr, size) {
+                self.slow_path_checks += 1;
+                if let Err(violation) = self.shadow.check_slow(addr, size) {
+                    let report = self.kasan.as_ref().map(|k| {
+                        k.classify(
+                            violation.bad_addr,
+                            violation.code,
+                            size,
+                            is_write,
+                            pc,
+                            cpu_index,
+                        )
+                    });
+                    if let Some(report) = report {
+                        return self.record(report);
+                    }
                 }
             }
         }

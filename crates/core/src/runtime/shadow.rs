@@ -5,8 +5,15 @@
 //! machine"). Encoding follows KASAN: `0` fully addressable, `1..=7`
 //! first-N-bytes addressable, `≥ 0x80` poisoned with a class code.
 
+use embsan_emu::dirty::DirtyPages;
+
 /// Shadow granule size in bytes.
 pub const GRANULE: u32 = 8;
+
+/// Page shift for shadow-plane dirty tracking: 4 KiB of shadow bytes cover
+/// 32 KiB of guest RAM, so poison churn between resets stays a handful of
+/// pages while the bitmap itself stays tiny.
+const SHADOW_PAGE_SHIFT: u32 = 12;
 
 /// Poison class codes (the high-bit range).
 pub mod code {
@@ -40,6 +47,9 @@ pub struct ShadowMemory {
     /// per-access check path and must not redo the division.
     span: u32,
     bytes: Vec<u8>,
+    /// Shadow pages poisoned/unpoisoned since the last baseline restore;
+    /// lets reset copy back only touched shadow instead of the full plane.
+    dirty: DirtyPages,
 }
 
 impl ShadowMemory {
@@ -47,7 +57,38 @@ impl ShadowMemory {
     /// `ram_base`.
     pub fn new(ram_base: u32, ram_size: u32) -> ShadowMemory {
         let granules = (ram_size / GRANULE) as usize;
-        ShadowMemory { ram_base, span: granules as u32 * GRANULE, bytes: vec![0; granules] }
+        ShadowMemory {
+            ram_base,
+            span: granules as u32 * GRANULE,
+            bytes: vec![0; granules],
+            dirty: DirtyPages::new(granules, SHADOW_PAGE_SHIFT),
+        }
+    }
+
+    /// Marks every shadow page clean (after a full install of this plane
+    /// as the new baseline).
+    pub(crate) fn clear_dirty(&mut self) {
+        self.dirty.clear();
+    }
+
+    /// Whether `other` shadows the same region (restore-compat check).
+    pub(crate) fn same_shape(&self, other: &ShadowMemory) -> bool {
+        self.ram_base == other.ram_base && self.span == other.span
+    }
+
+    /// Restores this shadow to `baseline`'s contents. With `dirty_only` the
+    /// copy is bounded to pages poisoned/unpoisoned since the last restore
+    /// against this same baseline (the caller guarantees the invariant via
+    /// state ids); otherwise the full plane is copied. Either way the dirty
+    /// map ends clean, re-establishing the invariant.
+    pub(crate) fn restore_from(&mut self, baseline: &ShadowMemory, dirty_only: bool) {
+        debug_assert!(self.same_shape(baseline));
+        if dirty_only {
+            self.dirty.restore_from(&mut self.bytes, &baseline.bytes);
+        } else {
+            self.bytes.copy_from_slice(&baseline.bytes);
+            self.dirty.clear();
+        }
     }
 
     /// Whether `addr` is covered by the shadow (i.e. inside RAM).
@@ -89,6 +130,7 @@ impl ShadowMemory {
         let clipped_end = end.min(self.limit());
         let from = self.index(start);
         let to = self.index(clipped_end - 1);
+        self.dirty.mark_range(from, to - from + 1);
         for byte in &mut self.bytes[from..=to] {
             *byte = poison_code;
         }
@@ -112,11 +154,35 @@ impl ShadowMemory {
         if tail != 0 && from + full < self.bytes.len() {
             self.bytes[from + full] = tail;
         }
+        let touched_end = (from + full + usize::from(tail != 0)).clamp(from + 1, self.bytes.len());
+        self.dirty.mark_range(from, touched_end - from);
     }
 
     /// One past the highest shadowed address.
     pub fn limit(&self) -> u32 {
         self.ram_base + self.bytes.len() as u32 * GRANULE
+    }
+
+    /// Single-branch fast path of [`ShadowMemory::check`]: `true` proves the
+    /// access clean (fully inside RAM, every granule it touches marked
+    /// all-addressable). `false` decides nothing — the caller must run
+    /// [`ShadowMemory::check_slow`], which handles partial granules, poison
+    /// classification, and out-of-RAM addresses.
+    ///
+    /// Restricted to accesses of at most one granule (the executor issues
+    /// 1/2/4-byte accesses), which touch at most two shadow bytes — both are
+    /// inspected, so a `true` here is exactly "the slow path would pass
+    /// without consulting partial-granule watermarks".
+    #[inline]
+    pub fn check_fast(&self, addr: u32, size: u8) -> bool {
+        let size = u32::from(size);
+        let first = addr.wrapping_sub(self.ram_base);
+        if size == 0 || size > GRANULE || self.span < size || first > self.span - size {
+            return false;
+        }
+        let i0 = (first / GRANULE) as usize;
+        let i1 = ((first + size - 1) / GRANULE) as usize;
+        self.bytes[i0] == 0 && self.bytes[i1] == 0
     }
 
     /// Checks an access of `size` bytes at `addr`.
@@ -129,6 +195,21 @@ impl ShadowMemory {
     /// Returns the first violating byte and its shadow code.
     #[inline]
     pub fn check(&self, addr: u32, size: u8) -> Result<(), ShadowViolation> {
+        if self.check_fast(addr, size) {
+            return Ok(());
+        }
+        self.check_slow(addr, size)
+    }
+
+    /// Byte-wise check: the out-of-line complement of
+    /// [`ShadowMemory::check_fast`] (same contract as
+    /// [`ShadowMemory::check`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violating byte and its shadow code.
+    #[cold]
+    pub fn check_slow(&self, addr: u32, size: u8) -> Result<(), ShadowViolation> {
         let end = addr.saturating_add(u32::from(size));
         let mut cursor = addr;
         while cursor < end {

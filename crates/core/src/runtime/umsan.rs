@@ -12,7 +12,13 @@
 //! overlapping any still-uninitialized byte of a live chunk reports. Shadow
 //! is not propagated through register flow or copies — a read *is* the use.
 
+use embsan_emu::dirty::DirtyPages;
+
 use crate::report::{BugClass, ChunkInfo, Report};
+
+/// Page shift for uninit-plane dirty tracking: one 4 KiB page of uninit
+/// bits covers 32 KiB of RAM.
+const UNINIT_PAGE_SHIFT: u32 = 12;
 
 /// Per-byte initialization shadow over RAM, tracked only inside live heap
 /// chunks (everything else reads as initialized).
@@ -21,6 +27,8 @@ pub struct UmsanEngine {
     ram_base: u32,
     /// One bit per RAM byte: 1 = known-uninitialized.
     uninit: Vec<u8>,
+    /// Uninit-plane pages touched since the last baseline restore.
+    dirty: DirtyPages,
     /// Live chunk table (addr → size, alloc pc) for report context.
     chunks: std::collections::HashMap<u32, (u32, u32)>,
 }
@@ -28,11 +36,38 @@ pub struct UmsanEngine {
 impl UmsanEngine {
     /// Creates an engine covering `ram_size` bytes at `ram_base`.
     pub fn new(ram_base: u32, ram_size: u32) -> UmsanEngine {
+        let bytes = (ram_size as usize).div_ceil(8);
         UmsanEngine {
             ram_base,
-            uninit: vec![0; (ram_size as usize).div_ceil(8)],
+            uninit: vec![0; bytes],
+            dirty: DirtyPages::new(bytes, UNINIT_PAGE_SHIFT),
             chunks: std::collections::HashMap::new(),
         }
+    }
+
+    /// Restores this engine to `baseline`'s state. With `dirty_only` the
+    /// uninit-plane copy is bounded to pages touched since the last restore
+    /// against this same baseline (caller guarantees via state ids).
+    pub(crate) fn restore_from(&mut self, baseline: &UmsanEngine, dirty_only: bool) {
+        debug_assert_eq!(self.ram_base, baseline.ram_base);
+        debug_assert_eq!(self.uninit.len(), baseline.uninit.len());
+        if dirty_only {
+            self.dirty.restore_from(&mut self.uninit, &baseline.uninit);
+        } else {
+            self.uninit.copy_from_slice(&baseline.uninit);
+            self.dirty.clear();
+        }
+        self.chunks.clone_from(&baseline.chunks);
+    }
+
+    /// Marks every uninit-plane page clean (after a full install).
+    pub(crate) fn clear_dirty(&mut self) {
+        self.dirty.clear();
+    }
+
+    /// Whether `other` covers the same RAM region (restore-compat check).
+    pub(crate) fn same_shape(&self, other: &UmsanEngine) -> bool {
+        self.ram_base == other.ram_base && self.uninit.len() == other.uninit.len()
     }
 
     fn in_range(&self, addr: u32) -> bool {
@@ -44,6 +79,7 @@ impl UmsanEngine {
             return;
         }
         let offset = (addr - self.ram_base) as usize;
+        self.dirty.mark(offset / 8);
         if value {
             self.uninit[offset / 8] |= 1 << (offset % 8);
         } else {

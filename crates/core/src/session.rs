@@ -242,10 +242,28 @@ impl Session {
         );
         registry.counter("translator", "flushes", Deterministic, cache.flushes);
         registry.counter(
+            "translator",
+            "chained_dispatches",
+            Deterministic,
+            cache.chained_dispatches,
+        );
+        registry.counter(
+            "translator",
+            "superblocks_formed",
+            Deterministic,
+            cache.superblocks_formed,
+        );
+        registry.counter(
             "hooks",
             "checks_performed",
             Deterministic,
             self.runtime.checks_performed(),
+        );
+        registry.counter(
+            "hooks",
+            "slow_path_checks",
+            Deterministic,
+            self.runtime.slow_path_checks(),
         );
         registry.counter("shadow", "reports", Deterministic, self.runtime.reports().len() as u64);
         let health = self.health();
@@ -371,7 +389,9 @@ impl Session {
     pub fn reset(&mut self) -> Result<(), SessionError> {
         let (snapshot, state) = self.baseline.as_ref().ok_or(SessionError::NotReady)?;
         self.machine.restore(snapshot)?;
-        self.runtime.restore_state(state.clone());
+        // Borrowing restore: reuses the runtime's allocations and, after the
+        // first reset, copies only state dirtied since the last one.
+        self.runtime.restore_state_from(state);
         Ok(())
     }
 

@@ -1,6 +1,7 @@
 //! Physical memory bus: ROM, RAM, MMIO window, and fault generation.
 
 use crate::device::DeviceSet;
+use crate::dirty::{DirtyPages, RAM_PAGE_SHIFT};
 use crate::error::Fault;
 use crate::profile::{ArchProfile, Endian};
 
@@ -82,6 +83,9 @@ pub struct Bus {
     mmio_xor_reads: u32,
     /// Corruption mask XOR-ed into corrupted MMIO reads.
     mmio_xor: u32,
+    /// RAM pages written since the last snapshot restore; lets restore copy
+    /// only touched pages back from the pristine image.
+    ram_dirty: DirtyPages,
     /// The platform devices. Public so hosts (fuzzers, benches, the prober)
     /// can drive the mailbox and read the UART.
     pub devices: DeviceSet,
@@ -105,6 +109,7 @@ impl Bus {
             mmio_size: profile.mmio_size,
             mmio_xor_reads: 0,
             mmio_xor: 0,
+            ram_dirty: DirtyPages::new(ram_size as usize, RAM_PAGE_SHIFT),
             devices: DeviceSet::new(rng_seed),
         }
     }
@@ -230,6 +235,8 @@ impl Bus {
         let len = u32::from(size);
         if self.ram.contains(addr, len) {
             let off = (addr - self.ram.base) as usize;
+            // Size-aligned stores of ≤4 bytes cannot straddle a page.
+            self.ram_dirty.mark(off);
             Self::store_int(&mut self.ram.data[off..off + size as usize], self.endian, value);
             return Ok(());
         }
@@ -288,6 +295,7 @@ impl Bus {
         let len = bytes.len() as u32;
         if self.ram.contains(addr, len) {
             let off = (addr - self.ram.base) as usize;
+            self.ram_dirty.mark_range(off, bytes.len());
             self.ram.data[off..off + bytes.len()].copy_from_slice(bytes);
             return Ok(());
         }
@@ -298,8 +306,23 @@ impl Bus {
         self.ram.data.clone()
     }
 
+    /// Full-copy restore; leaves RAM byte-identical to `data` with every
+    /// page clean, (re-)establishing the dirty-restore invariant.
     pub(crate) fn restore_ram(&mut self, data: &[u8]) {
         self.ram.data.copy_from_slice(data);
+        self.ram_dirty.clear();
+    }
+
+    /// Dirty-page restore: copies back only pages written since the last
+    /// restore. Caller guarantees `data` is the same image the invariant
+    /// was established against (see [`crate::snapshot::Snapshot`] ids).
+    pub(crate) fn restore_ram_dirty(&mut self, data: &[u8]) {
+        self.ram_dirty.restore_from(&mut self.ram.data, data);
+    }
+
+    /// Number of RAM pages written since the last restore (telemetry).
+    pub fn dirty_ram_pages(&self) -> usize {
+        self.ram_dirty.count()
     }
 }
 

@@ -44,6 +44,7 @@
 pub mod bus;
 pub mod cpu;
 pub mod device;
+pub mod dirty;
 pub mod error;
 pub mod fault;
 pub mod hook;

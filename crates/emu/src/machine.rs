@@ -2,6 +2,7 @@
 //! deterministic execution loop.
 
 use std::collections::HashSet;
+use std::rc::Rc;
 
 use crate::bus::{Bus, MemAccess, MemKind};
 use crate::cpu::{Cpu, CpuView, Csr};
@@ -10,7 +11,7 @@ use crate::fault::{ArmedPlan, FaultKind, FaultPlan, HangClass, InjectionStats};
 use crate::hook::{ExecHook, HookAction, HookConfig};
 use crate::isa::{Insn, Reg};
 use crate::profile::ArchProfile;
-use crate::translate::{call_kind, BlockCache, CallKind};
+use crate::translate::{call_kind, Block, BlockCache, CallKind};
 
 /// Why a [`Machine::run`] call returned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -155,6 +156,7 @@ impl MachineBuilder {
             next_cpu: 0,
             breakpoints: HashSet::new(),
             skip_bp_once: None,
+            restore_baseline: None,
             fault_plan: None,
             injection_stats: InjectionStats::default(),
             tracer: embsan_obs::Tracer::disabled(),
@@ -179,6 +181,9 @@ pub struct Machine {
     next_cpu: usize,
     breakpoints: HashSet<u32>,
     skip_bp_once: Option<(usize, u32)>,
+    /// Id of the last snapshot fully restored into RAM; while it matches the
+    /// snapshot being restored, only dirty pages need copying back.
+    pub(crate) restore_baseline: Option<u64>,
     fault_plan: Option<ArmedPlan>,
     injection_stats: InjectionStats,
     tracer: embsan_obs::Tracer,
@@ -618,17 +623,63 @@ impl Machine {
             return QuantumExit::Continue;
         }
         let cfg = self.cache.config();
+        // Monomorphize the dispatch loop on "anything armed?": the unarmed
+        // instantiation folds every probe branch and the breakpoint scan out
+        // of the hot loop entirely.
+        if cfg == HookConfig::none() && self.breakpoints.is_empty() {
+            self.run_quantum_spec::<false>(idx, hook, cfg, quantum)
+        } else {
+            self.run_quantum_spec::<true>(idx, hook, cfg, quantum)
+        }
+    }
+
+    /// The dispatch loop, monomorphized over `ARMED` (any probes or
+    /// breakpoints live). `ARMED == false` implies `cfg` is
+    /// [`HookConfig::none`] and no breakpoints are set.
+    fn run_quantum_spec<const ARMED: bool>(
+        &mut self,
+        idx: usize,
+        hook: &mut dyn ExecHook,
+        cfg: HookConfig,
+        quantum: u64,
+    ) -> QuantumExit {
         let mut executed: u64 = 0;
+        // The block run by the previous dispatch in this quantum: its chain
+        // slots resolve repeat control transfers without a cache lookup. The
+        // first dispatch of a quantum always goes through the cache, so
+        // chains never outlive a reconfiguration (each quantum re-enters
+        // through the active generation).
+        let mut prev: Option<Rc<Block>> = None;
         while executed < quantum {
             let pc = self.cpus[idx].pc;
-            let block = match self.cache.lookup(&self.bus, pc) {
-                Ok(block) => block,
-                Err(fault) => {
-                    self.deliver_fault(idx, hook, fault);
-                    return QuantumExit::Fault(fault, pc);
+            let chained = prev.as_ref().and_then(|p| p.chained(pc));
+            let block = match chained {
+                Some(block) => {
+                    self.cache.note_chained();
+                    block
+                }
+                None => {
+                    let block = match self.cache.lookup(&self.bus, pc) {
+                        Ok(block) => block,
+                        Err(fault) => {
+                            self.deliver_fault(idx, hook, fault);
+                            return QuantumExit::Fault(fault, pc);
+                        }
+                    };
+                    if let Some(p) = &prev {
+                        // Merge across an unconditional direct jump into a
+                        // superblock; where the merge does not apply, chain
+                        // the edge so its next occurrence skips the lookup.
+                        // (This dispatch still runs the unmerged block; the
+                        // superblock serves future dispatches of its start.)
+                        if !ends_with_jump_to(p, pc) || self.cache.try_promote(p, pc).is_none() {
+                            p.install_chain(pc, &block);
+                        }
+                    }
+                    block
                 }
             };
-            if cfg.blocks {
+            if ARMED && cfg.blocks {
                 self.tracer.record(embsan_obs::EventKind::ProbeFire {
                     probe: embsan_obs::ProbeKind::Block,
                     pc,
@@ -640,9 +691,11 @@ impl Machine {
                 };
                 hook.block_enter(&mut view, pc);
             }
-            for op in &block.ops {
+            let mut i = 0;
+            while i < block.ops.len() {
+                let op = &block.ops[i];
                 // Host breakpoints (checked only when any are set).
-                if !self.breakpoints.is_empty() && self.breakpoints.contains(&op.pc) {
+                if ARMED && !self.breakpoints.is_empty() && self.breakpoints.contains(&op.pc) {
                     if self.skip_bp_once == Some((idx, op.pc)) {
                         self.skip_bp_once = None;
                     } else {
@@ -650,8 +703,15 @@ impl Machine {
                         return QuantumExit::Breakpoint(op.pc);
                     }
                 }
-                let step =
-                    self.exec_op(idx, hook, cfg, op.insn, op.pc, op.probe_mem, op.probe_call);
+                let step = self.exec_op::<ARMED>(
+                    idx,
+                    hook,
+                    cfg,
+                    op.insn,
+                    op.pc,
+                    op.probe_mem,
+                    op.probe_call,
+                );
                 executed += 1;
                 self.cpus[idx].retired += 1;
                 self.global_retired += 1;
@@ -661,6 +721,31 @@ impl Machine {
                     }
                     Step::Jump(target) => {
                         self.cpus[idx].pc = target;
+                        if has_seam(&block, i + 1, target) {
+                            // The merged continuation starts at the next op.
+                            // Replicate the unmerged flow exactly: quantum
+                            // expiry first (pc already points at the seam),
+                            // then the block-entry probe, then fall through
+                            // into the continuation's ops.
+                            if executed >= quantum {
+                                return QuantumExit::Continue;
+                            }
+                            self.cache.note_chained();
+                            if ARMED && cfg.blocks {
+                                self.tracer.record(embsan_obs::EventKind::ProbeFire {
+                                    probe: embsan_obs::ProbeKind::Block,
+                                    pc: target,
+                                });
+                                let mut view = CpuView {
+                                    cpu: &mut self.cpus[idx],
+                                    bus: &mut self.bus,
+                                    global_retired: self.global_retired,
+                                };
+                                hook.block_enter(&mut view, target);
+                            }
+                            i += 1;
+                            continue;
+                        }
                         break; // control flow leaves the block
                     }
                     Step::Halt(code) => return QuantumExit::Halt(code),
@@ -689,7 +774,9 @@ impl Machine {
                     // Quantum expired mid-block; pc already advanced.
                     return QuantumExit::Continue;
                 }
+                i += 1;
             }
+            prev = Some(block);
         }
         QuantumExit::Continue
     }
@@ -703,9 +790,11 @@ impl Machine {
         hook.fault(&mut view, fault);
     }
 
-    /// Executes a single translated op on vCPU `idx`.
+    /// Executes a single translated op on vCPU `idx`. Monomorphized over
+    /// `ARMED` like [`Machine::run_quantum_spec`]: the unarmed instantiation
+    /// compiles every probe branch out.
     #[allow(clippy::too_many_arguments)]
-    fn exec_op(
+    fn exec_op<const ARMED: bool>(
         &mut self,
         idx: usize,
         hook: &mut dyn ExecHook,
@@ -789,7 +878,7 @@ impl Machine {
                     Insn::Lhu { .. } => (2, false),
                     _ => (4, false),
                 };
-                if probe_mem {
+                if ARMED && probe_mem {
                     tracer.record(embsan_obs::EventKind::ProbeFire {
                         probe: embsan_obs::ProbeKind::Mem,
                         pc,
@@ -834,7 +923,7 @@ impl Machine {
                         _ => u32::MAX,
                     };
                 let mut stall: Option<(u64, u64)> = None;
-                if probe_mem {
+                if ARMED && probe_mem {
                     tracer.record(embsan_obs::EventKind::ProbeFire {
                         probe: embsan_obs::ProbeKind::Mem,
                         pc,
@@ -860,7 +949,7 @@ impl Machine {
             Insn::AmoAddW { rd, rs1, rs2 } | Insn::AmoSwpW { rd, rs1, rs2 } => {
                 let addr = r(cpu, rs1);
                 let operand = r(cpu, rs2);
-                if probe_mem {
+                if ARMED && probe_mem {
                     tracer.record(embsan_obs::EventKind::ProbeFire {
                         probe: embsan_obs::ProbeKind::Mem,
                         pc,
@@ -911,7 +1000,7 @@ impl Machine {
                 let target = pc.wrapping_add(offset as u32);
                 let ret_to = pc.wrapping_add(4);
                 cpu.regs.write(rd, ret_to);
-                if probe_call && cfg.calls {
+                if ARMED && probe_call && cfg.calls {
                     tracer.record(embsan_obs::EventKind::ProbeFire {
                         probe: embsan_obs::ProbeKind::Call,
                         pc,
@@ -926,7 +1015,7 @@ impl Machine {
                 let ret_to = pc.wrapping_add(4);
                 let kind = call_kind(&insn);
                 cpu.regs.write(rd, ret_to);
-                if probe_call && cfg.calls {
+                if ARMED && probe_call && cfg.calls {
                     match kind {
                         CallKind::Call => tracer.record(embsan_obs::EventKind::ProbeFire {
                             probe: embsan_obs::ProbeKind::Call,
@@ -960,7 +1049,7 @@ impl Machine {
             Insn::Eret => Step::Jump(cpu.csr(Csr::Epc)),
 
             Insn::Hyper { nr } => {
-                if cfg.hypercalls {
+                if ARMED && cfg.hypercalls {
                     tracer.record(embsan_obs::EventKind::ProbeFire {
                         probe: embsan_obs::ProbeKind::Hypercall,
                         pc,
@@ -989,6 +1078,26 @@ impl Machine {
             Insn::Brk => Step::Fault(Fault::Breakpoint { pc }),
         }
     }
+}
+
+/// Whether `block` ends in an unconditional direct jump to `target` — the
+/// precondition for merging it with the block at `target` into a superblock
+/// (every execution of the terminator lands on `target`, so a seam there is
+/// always taken).
+fn ends_with_jump_to(block: &Block, target: u32) -> bool {
+    match block.ops.last() {
+        Some(op) => match op.insn {
+            Insn::Jal { rd: Reg::R0, offset } => op.pc.wrapping_add(offset as u32) == target,
+            _ => false,
+        },
+        None => false,
+    }
+}
+
+/// Whether `block` has a superblock seam at op `index` continuing at `pc`.
+#[inline]
+fn has_seam(block: &Block, index: usize, pc: u32) -> bool {
+    block.seams.iter().any(|&(i, p)| i == index && p == pc)
 }
 
 fn load_value(bus: &mut Bus, addr: u32, size: u8, sign: bool) -> Result<u32, Fault> {

@@ -4,10 +4,15 @@
 //! it before every test program, so each execution starts from an identical,
 //! fully booted system state.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use crate::cpu::Cpu;
 use crate::device::DeviceSet;
 use crate::error::EmuError;
 use crate::machine::Machine;
+
+/// Process-wide snapshot identity counter; see [`Snapshot::id`].
+static NEXT_SNAPSHOT_ID: AtomicU64 = AtomicU64::new(1);
 
 /// A point-in-time copy of all mutable machine state (RAM, vCPUs, devices,
 /// retired-instruction counters). The ROM and translation cache are not part
@@ -15,19 +20,37 @@ use crate::machine::Machine;
 /// plus the hook configuration.
 ///
 /// `PartialEq` compares the full captured state byte-for-byte, which is what
-/// the snapshot-fidelity property tests rely on.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// the snapshot-fidelity property tests rely on. The internal identity tag
+/// (used to key the dirty-page fast restore) is excluded: clones share their
+/// original's id — their RAM images are identical, so either is a valid
+/// dirty-restore baseline for the other.
+#[derive(Debug, Clone, Eq)]
 pub struct Snapshot {
+    /// Unique per-capture identity. The machine remembers the id of the last
+    /// snapshot it fully restored; restoring the *same* snapshot again can
+    /// then copy only pages dirtied since, because RAM is known to differ
+    /// from the snapshot image only where the bus marked writes.
+    id: u64,
     ram: Vec<u8>,
     cpus: Vec<Cpu>,
     devices: DeviceSet,
     global_retired: u64,
 }
 
+impl PartialEq for Snapshot {
+    fn eq(&self, other: &Snapshot) -> bool {
+        self.ram == other.ram
+            && self.cpus == other.cpus
+            && self.devices == other.devices
+            && self.global_retired == other.global_retired
+    }
+}
+
 impl Machine {
     /// Captures a snapshot of the current machine state.
     pub fn snapshot(&self) -> Snapshot {
         Snapshot {
+            id: NEXT_SNAPSHOT_ID.fetch_add(1, Ordering::Relaxed),
             ram: self.bus().clone_ram(),
             cpus: (0..self.cpu_count()).map(|i| self.cpu(i).clone()).collect(),
             devices: self.bus().devices.clone(),
@@ -58,7 +81,14 @@ impl Machine {
                 self.cpu_count()
             )));
         }
-        self.bus_mut().restore_ram(&snapshot.ram);
+        if self.restore_baseline == Some(snapshot.id) {
+            // Fast path: RAM differs from the snapshot image only on pages
+            // the bus marked dirty since the last restore of this snapshot.
+            self.bus_mut().restore_ram_dirty(&snapshot.ram);
+        } else {
+            self.bus_mut().restore_ram(&snapshot.ram);
+            self.restore_baseline = Some(snapshot.id);
+        }
         self.bus_mut().devices = snapshot.devices.clone();
         for (i, cpu) in snapshot.cpus.iter().enumerate() {
             *self.cpu_mut(i) = cpu.clone();
@@ -118,6 +148,47 @@ mod tests {
         assert_eq!(exit1, exit2);
         assert_eq!(exit1, RunExit::BudgetExhausted);
         assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn repeated_restores_use_dirty_fast_path_and_stay_exact() {
+        let mut m = counting_machine();
+        m.run(&mut NullHook, 100).unwrap();
+        let snap = m.snapshot();
+        // First restore takes the full-copy path and establishes the baseline.
+        m.restore(&snap).unwrap();
+        assert_eq!(m.bus().dirty_ram_pages(), 0);
+        for round in 0..4u64 {
+            // Dirty RAM through both guest stores and host bulk writes.
+            m.run(&mut NullHook, 50 + round).unwrap();
+            let (ram_base, ram_size) = m.bus().ram_range();
+            m.write_mem(ram_base + ram_size - 4, 4, 0xC0FF_EE00 + round as u32).unwrap();
+            m.bus_mut().write_bytes(ram_base + 0x800, &[round as u8; 16]).unwrap();
+            assert!(m.bus().dirty_ram_pages() > 0);
+            m.restore(&snap).unwrap();
+            // Dirty-page restore must leave state byte-identical to a full
+            // restore: re-capturing reproduces the original snapshot exactly.
+            assert_eq!(m.snapshot(), snap);
+            assert_eq!(m.bus().dirty_ram_pages(), 0);
+        }
+    }
+
+    #[test]
+    fn restoring_a_different_snapshot_rebaselines() {
+        let mut m = counting_machine();
+        m.run(&mut NullHook, 100).unwrap();
+        let snap_a = m.snapshot();
+        m.restore(&snap_a).unwrap(); // baseline is now snap_a
+        m.run(&mut NullHook, 100).unwrap();
+        let snap_b = m.snapshot();
+        // Alternating snapshots always takes the full path, never a stale
+        // dirty baseline; each restore must be exact.
+        m.restore(&snap_a).unwrap();
+        assert_eq!(m.snapshot(), snap_a);
+        m.restore(&snap_b).unwrap();
+        assert_eq!(m.snapshot(), snap_b);
+        m.restore(&snap_a).unwrap();
+        assert_eq!(m.snapshot(), snap_a);
     }
 
     #[test]

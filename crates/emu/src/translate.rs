@@ -9,8 +9,9 @@
 //! call to a delegate function `load_intercept()`"), expressed in a
 //! micro-op interpreter instead of emitted host code.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::rc::{Rc, Weak};
 
 use crate::bus::Bus;
 use crate::error::Fault;
@@ -19,6 +20,11 @@ use crate::isa::{Insn, Reg, Word};
 
 /// Maximum instructions per translation block.
 pub const MAX_BLOCK_LEN: usize = 64;
+
+/// Maximum instructions per superblock (merged across unconditional direct
+/// jumps). Bounds self-loop promotion, which otherwise doubles the block on
+/// every merge.
+pub const MAX_SUPERBLOCK_LEN: usize = 256;
 
 /// One translated operation: a decoded instruction plus the probe markers
 /// spliced in at translation time.
@@ -35,14 +41,108 @@ pub struct TranslatedOp {
     pub probe_call: bool,
 }
 
+/// A resolved successor edge: the block starting at `target`, held weakly
+/// so chained blocks do not keep evicted or flushed blocks alive.
+#[derive(Debug)]
+struct ChainEdge {
+    target: u32,
+    block: Weak<Block>,
+}
+
+/// Number of chain slots per block. Two covers both edges of a conditional
+/// branch terminator (taken and fall-through).
+const CHAIN_SLOTS: usize = 2;
+
 /// A translated basic block.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Blocks carry two dispatch accelerators on top of their ops:
+///
+/// * **Chain slots** — weak successor edges installed by the executor so a
+///   repeat of the same control transfer skips the [`BlockCache`] lookup
+///   entirely. Chains are dispatch state, not translation content: clones
+///   start unchained and equality ignores them.
+/// * **Seams** — when blocks are merged into a superblock (see
+///   [`BlockCache::try_promote`]), each merge point is recorded as
+///   `(op_index, pc)`: the op at `op_index` is the first instruction of the
+///   constituent block that started at `pc`. The executor uses seams to keep
+///   block-entry probes and quantum accounting identical to the unmerged
+///   execution.
+#[derive(Debug)]
 pub struct Block {
     /// Guest address of the first instruction.
     pub start: u32,
     /// The translated operations, in program order.
     pub ops: Vec<TranslatedOp>,
+    /// Superblock merge points, ascending by op index (empty for plain
+    /// blocks).
+    pub seams: Vec<(usize, u32)>,
+    chains: RefCell<[Option<ChainEdge>; CHAIN_SLOTS]>,
 }
+
+impl Block {
+    /// Creates a plain (seamless, unchained) block.
+    fn new(start: u32, ops: Vec<TranslatedOp>) -> Block {
+        Block { start, ops, seams: Vec::new(), chains: RefCell::default() }
+    }
+
+    /// Follows the chain edge for `target`, if one is installed and its
+    /// block is still alive.
+    pub(crate) fn chained(&self, target: u32) -> Option<Rc<Block>> {
+        for edge in self.chains.borrow().iter().flatten() {
+            if edge.target == target {
+                return edge.block.upgrade();
+            }
+        }
+        None
+    }
+
+    /// Installs (or refreshes) the chain edge `target → next`. An existing
+    /// slot for the same target is reused, then a free or dead slot; with
+    /// all slots live for other targets the edge is dropped — chains are an
+    /// accelerator, never required for correctness.
+    pub(crate) fn install_chain(&self, target: u32, next: &Rc<Block>) {
+        let mut chains = self.chains.borrow_mut();
+        let mut candidate = None;
+        for (i, slot) in chains.iter().enumerate() {
+            match slot {
+                Some(edge) if edge.target == target => {
+                    candidate = Some(i);
+                    break;
+                }
+                Some(edge) if edge.block.strong_count() == 0 => {
+                    candidate.get_or_insert(i);
+                }
+                Some(_) => {}
+                None => {
+                    candidate.get_or_insert(i);
+                }
+            }
+        }
+        if let Some(i) = candidate {
+            chains[i] = Some(ChainEdge { target, block: Rc::downgrade(next) });
+        }
+    }
+}
+
+impl Clone for Block {
+    fn clone(&self) -> Block {
+        // Chains are per-instance dispatch state: a clone starts unchained.
+        Block {
+            start: self.start,
+            ops: self.ops.clone(),
+            seams: self.seams.clone(),
+            chains: RefCell::default(),
+        }
+    }
+}
+
+impl PartialEq for Block {
+    fn eq(&self, other: &Block) -> bool {
+        self.start == other.start && self.ops == other.ops && self.seams == other.seams
+    }
+}
+
+impl Eq for Block {}
 
 /// Counters describing translation-cache behaviour, exposed through
 /// `Machine::cache_stats` into the bench and campaign telemetry.
@@ -64,6 +164,11 @@ pub struct CacheStats {
     pub generation_evictions: u64,
     /// Full flushes (host-side code patching drops every generation).
     pub flushes: u64,
+    /// Dispatches served through a direct chain edge or a superblock seam
+    /// instead of a cache lookup (a subset of `hits`).
+    pub chained_dispatches: u64,
+    /// Superblocks formed by merging across unconditional direct jumps.
+    pub superblocks_formed: u64,
 }
 
 impl CacheStats {
@@ -77,6 +182,8 @@ impl CacheStats {
             generation_hits: self.generation_hits + other.generation_hits,
             generation_evictions: self.generation_evictions + other.generation_evictions,
             flushes: self.flushes + other.flushes,
+            chained_dispatches: self.chained_dispatches + other.chained_dispatches,
+            superblocks_formed: self.superblocks_formed + other.superblocks_formed,
         }
     }
 }
@@ -248,6 +355,50 @@ impl BlockCache {
         self.stats
     }
 
+    /// Records a dispatch served through a chain edge or a superblock seam:
+    /// still a hit (the dispatch ran cached translation), but one that
+    /// skipped the lookup path entirely.
+    pub(crate) fn note_chained(&mut self) {
+        self.stats.hits += 1;
+        self.stats.chained_dispatches += 1;
+    }
+
+    /// Merges `prev` with the cached block at `target` into a superblock
+    /// installed at `prev.start`, recording the merge point as a seam.
+    ///
+    /// The caller guarantees `prev` ends in an unconditional direct jump to
+    /// `target` (the seam contract: every execution of the last op of
+    /// `prev`'s portion lands on `target`). The constituent block stays
+    /// cached under its own start address — quantum expiry at a seam resumes
+    /// through a plain lookup of the seam pc.
+    ///
+    /// Returns `None` when the merge does not apply (target not in the
+    /// active generation's map, or the combined block would exceed
+    /// [`MAX_SUPERBLOCK_LEN`]).
+    pub(crate) fn try_promote(&mut self, prev: &Rc<Block>, target: u32) -> Option<Rc<Block>> {
+        let gen = &mut self.gens[self.current];
+        // Clone out before mutating the map: with a self-loop `target` is
+        // `prev.start` and the insert below replaces this very entry.
+        let next = Rc::clone(gen.blocks.get(&target)?);
+        if prev.ops.len() + next.ops.len() > MAX_SUPERBLOCK_LEN {
+            return None;
+        }
+        let mut ops = Vec::with_capacity(prev.ops.len() + next.ops.len());
+        ops.extend_from_slice(&prev.ops);
+        ops.extend_from_slice(&next.ops);
+        let mut seams = prev.seams.clone();
+        seams.push((prev.ops.len(), target));
+        seams.extend(next.seams.iter().map(|&(i, pc)| (i + prev.ops.len(), pc)));
+        let superblock =
+            Rc::new(Block { start: prev.start, ops, seams, chains: RefCell::default() });
+        gen.blocks.insert(prev.start, Rc::clone(&superblock));
+        if !self.front.is_empty() {
+            self.front[front_index(prev.start)] = Some(Rc::clone(&superblock));
+        }
+        self.stats.superblocks_formed += 1;
+        Some(superblock)
+    }
+
     /// Looks up (or translates) the block starting at `pc` in the active
     /// generation.
     ///
@@ -348,7 +499,7 @@ fn translate_block(bus: &Bus, pc: u32, config: HookConfig) -> Result<Block, Faul
         }
         cur = cur.wrapping_add(4);
     }
-    Ok(Block { start: pc, ops })
+    Ok(Block::new(pc, ops))
 }
 
 /// Classification of a call-probe op used by the executor.

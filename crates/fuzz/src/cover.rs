@@ -16,6 +16,13 @@ pub const MAP_SIZE: usize = 1 << 16;
 pub struct CoverageMap {
     map: Box<[u8; MAP_SIZE]>,
     prev: [u32; 8],
+    /// Buckets set since the last reset, one entry per zero→nonzero
+    /// transition (counts saturate and never return to zero, so entries are
+    /// unique). Firmware touches a few hundred buckets per execution;
+    /// driving reset/merge/export off this list instead of scanning the
+    /// full 64 KiB map keeps per-iteration bookkeeping proportional to
+    /// actual coverage.
+    touched: Vec<u32>,
 }
 
 impl std::fmt::Debug for CoverageMap {
@@ -35,34 +42,48 @@ impl Default for CoverageMap {
 impl CoverageMap {
     /// Creates an empty map.
     pub fn new() -> CoverageMap {
-        CoverageMap { map: Box::new([0; MAP_SIZE]), prev: [0; 8] }
+        CoverageMap { map: Box::new([0; MAP_SIZE]), prev: [0; 8], touched: Vec::new() }
     }
 
     /// Clears hit counts and edge history (call before each execution).
+    /// Only touched buckets are cleared (every nonzero bucket is on the
+    /// touched list by construction), so the cost tracks coverage, not map
+    /// size.
     pub fn reset(&mut self) {
-        self.map.fill(0);
+        for &index in &self.touched {
+            self.map[index as usize] = 0;
+        }
+        self.touched.clear();
         self.prev = [0; 8];
+    }
+
+    #[inline]
+    fn bump(&mut self, index: usize) {
+        let bucket = &mut self.map[index];
+        if *bucket == 0 {
+            self.touched.push(index as u32);
+        }
+        *bucket = bucket.saturating_add(1);
     }
 
     /// Records an edge ending at block `pc` on `cpu`.
     pub fn record(&mut self, cpu: usize, pc: u32) {
         let cur = pc >> 2;
-        let prev = &mut self.prev[cpu & 7];
-        let index = ((*prev >> 1) ^ cur) as usize & (MAP_SIZE - 1);
-        self.map[index] = self.map[index].saturating_add(1);
-        *prev = cur;
+        let prev = self.prev[cpu & 7];
+        let index = ((prev >> 1) ^ cur) as usize & (MAP_SIZE - 1);
+        self.bump(index);
+        self.prev[cpu & 7] = cur;
     }
 
     /// Records a kcov-style coverage identifier directly (PC/function-set
     /// semantics: no edge mixing, one bucket per identifier).
     pub fn record_id(&mut self, id: u32) {
-        let index = id as usize & (MAP_SIZE - 1);
-        self.map[index] = self.map[index].saturating_add(1);
+        self.bump(id as usize & (MAP_SIZE - 1));
     }
 
     /// Number of non-zero buckets.
     pub fn count_set(&self) -> usize {
-        self.map.iter().filter(|&&b| b != 0).count()
+        self.touched.len()
     }
 
     /// Folds raw counts into AFL bucket classes (1, 2, 3, 4-7, 8-15, …).
@@ -83,9 +104,13 @@ impl CoverageMap {
     /// Merges this execution's classified coverage into `global`, returning
     /// the number of buckets that gained a new class bit (novelty signal).
     pub fn merge_novel(&self, global: &mut [u8; MAP_SIZE]) -> usize {
+        // Bucket updates are independent (distinct indices, OR-merge), so
+        // walking the unordered touched list produces the same global map
+        // and novelty count as a full ascending scan.
         let mut novel = 0;
-        for (bucket, &count) in global.iter_mut().zip(self.map.iter()) {
-            let class = Self::classify(count);
+        for &index in &self.touched {
+            let bucket = &mut global[index as usize];
+            let class = Self::classify(self.map[index as usize]);
             if class & !*bucket != 0 {
                 novel += 1;
                 *bucket |= class;
@@ -101,12 +126,12 @@ impl CoverageMap {
     /// exactly the same global map as calling [`CoverageMap::merge_novel`]
     /// on the live maps in that order.
     pub fn classified_sparse(&self) -> Vec<(u32, u8)> {
-        self.map
-            .iter()
-            .enumerate()
-            .filter(|&(_, &count)| count != 0)
-            .map(|(index, &count)| (index as u32, Self::classify(count)))
-            .collect()
+        // Sorted so the export is byte-identical to the historical full-map
+        // scan (ascending indices) — these lists land in deterministic
+        // artifacts.
+        let mut indices = self.touched.clone();
+        indices.sort_unstable();
+        indices.iter().map(|&index| (index, Self::classify(self.map[index as usize]))).collect()
     }
 
     /// Merges a sparse classified export (from

@@ -125,6 +125,9 @@ pub struct ParallelStats {
     pub fuzz_wall: Duration,
     /// Translation-cache counters summed over all workers.
     pub cache: CacheStats,
+    /// Shadow checks that fell off the inline fast path onto the byte-wise
+    /// slow walk, summed over all workers.
+    pub slow_path_checks: u64,
     /// Non-zero buckets in the shared atomic bitmap (live-published
     /// telemetry; equals `coverage` after the final merge).
     pub published_coverage: usize,
@@ -173,6 +176,19 @@ impl ParallelStats {
             self.cache.generation_evictions,
         );
         registry.counter("translator", "flushes", Telemetry, self.cache.flushes);
+        registry.counter(
+            "translator",
+            "chained_dispatches",
+            Telemetry,
+            self.cache.chained_dispatches,
+        );
+        registry.counter(
+            "translator",
+            "superblocks_formed",
+            Telemetry,
+            self.cache.superblocks_formed,
+        );
+        registry.counter("hooks", "slow_path_checks", Telemetry, self.slow_path_checks);
     }
 
     /// A metrics snapshot of these stats (see
@@ -249,7 +265,9 @@ struct Shared {
     bitmap: Vec<AtomicU8>,
     barrier: Barrier,
     fuzz_start: Mutex<Option<Instant>>,
-    cache_stats: Mutex<Vec<CacheStats>>,
+    /// Per-worker `(cache counters, slow-path shadow checks)` pushed at
+    /// worker exit.
+    worker_stats: Mutex<Vec<(CacheStats, u64)>>,
 }
 
 /// The RNG for iteration `iter`: a pure function of the campaign seed and
@@ -521,7 +539,11 @@ fn worker_loop<F>(
         }
     }
     if let Some(session) = &session {
-        shared.cache_stats.lock().unwrap().push(session.cache_stats());
+        shared
+            .worker_stats
+            .lock()
+            .unwrap()
+            .push((session.cache_stats(), session.runtime().slow_path_checks()));
     }
 }
 
@@ -601,7 +623,7 @@ where
         bitmap: (0..MAP_SIZE).map(|_| AtomicU8::new(0)).collect(),
         barrier: Barrier::new(config.workers),
         fuzz_start: Mutex::new(None),
-        cache_stats: Mutex::new(Vec::new()),
+        worker_stats: Mutex::new(Vec::new()),
     };
     if config.campaign.iterations == 0 {
         shared.stop.store(true, Ordering::SeqCst);
@@ -623,12 +645,12 @@ where
     }
     let fuzz_wall =
         shared.fuzz_start.lock().unwrap().map(|start| start.elapsed()).unwrap_or_default();
-    let cache = shared
-        .cache_stats
+    let (cache, slow_path_checks) = shared
+        .worker_stats
         .lock()
         .unwrap()
         .iter()
-        .fold(CacheStats::default(), |acc, &s| acc.merged(s));
+        .fold((CacheStats::default(), 0u64), |(acc, slow), &(s, sp)| (acc.merged(s), slow + sp));
     let published_coverage =
         shared.bitmap.iter().filter(|b| b.load(Ordering::Relaxed) != 0).count();
     let state = shared.merge.into_inner().unwrap();
@@ -641,6 +663,7 @@ where
         epochs: state.epochs,
         fuzz_wall,
         cache,
+        slow_path_checks,
         published_coverage,
         frontier: crate::directed::frontier(&state.scores),
     };

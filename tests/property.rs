@@ -381,3 +381,82 @@ proptest! {
         prop_assert_eq!(CoverageMap::merge_classified(&mut via_sparse, &sparse), 0);
     }
 }
+
+/// Decodes one raw u64 into a loop-heavy instruction at index `i` of an
+/// `n`-instruction program, mirroring the deterministic generator in
+/// `crates/emu/tests/chaining.rs`: no CSR writes (no timer interrupts), no
+/// `wfi`, no indirect jumps, memory traffic only through a preserved RAM
+/// base register — so the retired stream depends only on the program.
+fn synth_loop_insn(raw: u64, i: usize, n: usize) -> Insn {
+    let rd = Reg::from_index((raw >> 8) as u8 % 16);
+    let rd = if rd == Reg::R10 { Reg::R11 } else { rd };
+    let rs1 = Reg::from_index((raw >> 16) as u8 % 16);
+    let rs2 = Reg::from_index((raw >> 24) as u8 % 16);
+    let imm = ((raw >> 32) & 0x7FF) as i32;
+    let target = ((raw >> 44) as usize) % n;
+    let offset = (target as i32 - i as i32) * 4;
+    match raw % 10 {
+        0 => Insn::Add { rd, rs1, rs2 },
+        1 => Insn::Sub { rd, rs1, rs2 },
+        2 => Insn::Xor { rd, rs1, rs2 },
+        3 => Insn::Addi { rd, rs1, imm: imm - 1024 },
+        4 => Insn::Slli { rd, rs1, shamt: (raw >> 50) as u8 % 32 },
+        5 => Insn::Lw { rd, rs1: Reg::R10, imm: imm & !3 },
+        6 => Insn::Sw { rs2: rs1, rs1: Reg::R10, imm: imm & !3 },
+        7 => Insn::Beq { rs1, rs2, offset },
+        8 => Insn::Bne { rs1, rs2, offset },
+        _ => Insn::Jal { rd: Reg::R0, offset },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The chained/superblock dispatcher retires the identical architectural
+    /// stream as the plain per-block dispatcher. The reference executor is
+    /// the same machine with a one-instruction scheduling quantum: chains
+    /// and promotion only engage on the second dispatch within a quantum, so
+    /// quantum 1 always goes through the plain cache-lookup path.
+    #[test]
+    fn chained_dispatch_equals_unchained(
+        words in proptest::collection::vec(any::<u64>(), 24),
+        tail in any::<u64>(),
+        armed in any::<bool>(),
+    ) {
+        use embsan::emu::prelude::*;
+
+        let profile = ArchProfile::armv();
+        let n = words.len() + 1;
+        let mut insns = vec![Insn::Lui { rd: Reg::R10, imm: profile.ram_base }];
+        for (i, &raw) in words.iter().enumerate() {
+            insns.push(synth_loop_insn(raw, i + 1, n));
+        }
+        // Close the program with a backward jump so every case loops.
+        let target = (tail as usize) % n;
+        insns.push(Insn::Jal { rd: Reg::R0, offset: (target as i32 - n as i32) * 4 });
+
+        let config = if armed {
+            HookConfig { mem: true, calls: true, ..HookConfig::none() }
+        } else {
+            HookConfig::none()
+        };
+        let run = |quantum: Option<u64>| {
+            let mut text = Vec::new();
+            for insn in &insns {
+                text.extend_from_slice(&insn.encode().to_bytes(profile.endian));
+            }
+            let mut builder = Machine::builder(profile)
+                .rom(profile.rom_base, &text)
+                .ram(profile.ram_base, 0x1_0000);
+            if let Some(q) = quantum {
+                builder = builder.quantum(q);
+            }
+            let mut m = builder.build().unwrap();
+            m.set_hook_config(config);
+            let exit = m.run(&mut NullHook, 2_500).unwrap();
+            let regs: Vec<u32> = Reg::ALL.iter().map(|&r| m.cpu(0).regs.read(r)).collect();
+            (exit, regs, m.cpu(0).pc, m.retired())
+        };
+        prop_assert_eq!(run(None), run(Some(1)));
+    }
+}
