@@ -22,6 +22,12 @@ pub struct BaselinePoint {
     pub execs_per_sec: f64,
     /// Whether the baseline itself flagged this point as oversubscribed.
     pub oversubscribed: bool,
+    /// Baseline shared-base size in bytes (`None` in documents written
+    /// before the memory fields existed).
+    pub base_bytes: Option<u64>,
+    /// Baseline peak per-worker overlay in bytes (`None` for old
+    /// documents).
+    pub peak_overlay_bytes: Option<u64>,
 }
 
 /// Extracts the comparable points of a baseline throughput document.
@@ -77,11 +83,17 @@ pub fn parse_baseline(text: &str) -> Result<Vec<BaselinePoint>, String> {
             let execs_per_sec = json::field(p, "execs_per_sec")
                 .and_then(json::Value::as_f64)
                 .ok_or("worker point missing execs_per_sec")?;
+            // Memory fields are additive (schema stays -v1): absent in
+            // older baselines, so they parse as None rather than erroring.
+            let as_u64 =
+                |key| json::field(p, key).and_then(json::Value::as_usize).map(|value| value as u64);
             points.push(BaselinePoint {
                 firmware: name.to_string(),
                 workers: count,
                 execs_per_sec,
                 oversubscribed: flagged.iter().any(|(f, w)| f == name && *w == count),
+                base_bytes: as_u64("base_bytes"),
+                peak_overlay_bytes: as_u64("peak_overlay_bytes"),
             });
         }
     }
@@ -124,6 +136,53 @@ pub fn regressions(
                     base.execs_per_sec,
                     tolerance * 100.0,
                 ));
+            }
+        }
+    }
+    out
+}
+
+/// The CI memory gate: returns one line per worker-scaling point whose
+/// per-worker memory has regressed toward O(RAM). Two checks per matched,
+/// non-oversubscribed point:
+///
+/// 1. **Absolute**: the peak per-worker overlay must stay at least 10×
+///    below the shared base (`peak_overlay_bytes * 10 <= base_bytes`) —
+///    the copy-on-write contract that an extra worker costs dirty pages,
+///    not a RAM image.
+/// 2. **Relative**: with a baseline that recorded memory, the fresh
+///    overlay must not exceed 10× the baseline's (a creeping-divergence
+///    guard; the generous factor absorbs workload noise).
+///
+/// Points oversubscribing the host are exempt, like the throughput guard:
+/// scheduling jitter inflates how many pages an iteration touches between
+/// resets. Single-worker points still gate check 1 — the overlay bound is
+/// per worker, not about scaling.
+pub fn memory_regressions(baseline: &[BaselinePoint], fresh: &ThroughputReport) -> Vec<String> {
+    let mut out = Vec::new();
+    for fw in &fresh.firmwares {
+        for p in &fw.points {
+            if p.workers > fresh.host_cores {
+                continue;
+            }
+            let base = baseline
+                .iter()
+                .find(|b| b.firmware == fw.firmware && b.workers == p.workers)
+                .filter(|b| !b.oversubscribed);
+            if p.base_bytes > 0 && p.peak_overlay_bytes.saturating_mul(10) > p.base_bytes {
+                out.push(format!(
+                    "{} @ {} workers: peak overlay {} B is not 10x below the {} B shared base \
+                     (per-worker memory is drifting toward O(RAM))",
+                    fw.firmware, p.workers, p.peak_overlay_bytes, p.base_bytes,
+                ));
+            }
+            if let Some(prior) = base.and_then(|b| b.peak_overlay_bytes).filter(|&b| b > 0) {
+                if p.peak_overlay_bytes > prior.saturating_mul(10) {
+                    out.push(format!(
+                        "{} @ {} workers: peak overlay {} B exceeds 10x the baseline's {} B",
+                        fw.firmware, p.workers, p.peak_overlay_bytes, prior,
+                    ));
+                }
             }
         }
     }
@@ -374,6 +433,9 @@ mod tests {
             findings: 0,
             slow_path_checks: 0,
             cache: CacheStats::default(),
+            base_bytes: 4_194_304,
+            peak_overlay_bytes: 65_536,
+            workers_sharing_base: workers,
         }
     }
 
@@ -382,6 +444,7 @@ mod tests {
             host_cores,
             iterations: 100,
             seed: 1,
+            peak_rss_bytes: 0,
             firmwares: vec![FirmwareThroughput {
                 firmware: "Router".to_string(),
                 san: "EMBSAN-D (binary)".to_string(),
@@ -438,6 +501,43 @@ mod tests {
             parse_baseline(&report(8, vec![point(1, 2000.0), point(2, 1800.0)]).to_json()).unwrap();
         let fresh1 = report(1, vec![point(1, 2000.0), point(2, 100.0)]);
         assert!(regressions(&base8, &fresh1, 0.25).is_empty());
+    }
+
+    #[test]
+    fn memory_fields_roundtrip_and_old_baselines_parse_as_none() {
+        let base = parse_baseline(&report(8, vec![point(1, 2000.0)]).to_json()).unwrap();
+        assert_eq!(base[0].base_bytes, Some(4_194_304));
+        assert_eq!(base[0].peak_overlay_bytes, Some(65_536));
+        // A pre-memory-schema document: fields absent, not an error.
+        let old = "{\"schema\": \"embsan-bench-throughput-v1\", \"firmwares\": [{\"firmware\": \
+                   \"Router\", \"workers\": [{\"workers\": 1, \"execs_per_sec\": 5.0}]}]}";
+        let parsed = parse_baseline(old).unwrap();
+        assert_eq!(parsed[0].base_bytes, None);
+        assert_eq!(parsed[0].peak_overlay_bytes, None);
+    }
+
+    #[test]
+    fn memory_gate_fails_o_ram_overlays_and_exempts_oversubscription() {
+        let base = parse_baseline(&report(8, vec![point(1, 2000.0)]).to_json()).unwrap();
+        // Healthy: overlay 64 KiB vs 4 MiB base.
+        assert!(memory_regressions(&base, &report(8, vec![point(1, 2000.0)])).is_empty());
+        // Overlay grew to a third of the base: both the absolute 10x bound
+        // and the relative vs-baseline bound fire.
+        let mut fat = report(8, vec![point(1, 2000.0)]);
+        fat.firmwares[0].points[0].peak_overlay_bytes = 1_400_000;
+        let lines = memory_regressions(&base, &fat);
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        assert!(lines[0].contains("O(RAM)"), "{lines:?}");
+        // The same point oversubscribed is exempt.
+        fat.host_cores = 0;
+        assert!(memory_regressions(&base, &fat).is_empty());
+        // No baseline memory data: only the absolute bound applies.
+        let old = "{\"schema\": \"embsan-bench-throughput-v1\", \"firmwares\": [{\"firmware\": \
+                   \"Router\", \"workers\": [{\"workers\": 1, \"execs_per_sec\": 5.0}]}]}";
+        let no_mem = parse_baseline(old).unwrap();
+        assert_eq!(memory_regressions(&no_mem, &fat.clone()).len(), 0);
+        fat.host_cores = 8;
+        assert_eq!(memory_regressions(&no_mem, &fat).len(), 1);
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub mod table2;
 pub mod table34;
 pub mod throughput;
 
-pub use baseline::{parse_baseline, regressions, BaselinePoint};
+pub use baseline::{memory_regressions, parse_baseline, regressions, BaselinePoint};
 pub use overhead::{
     measure_configuration, OverheadConfig, OverheadRow, OverheadWorkload, SanitizerChoice,
 };
@@ -31,8 +31,8 @@ pub use profile_overhead::{measure_profile_overhead, ProfileOverheadReport, Prof
 pub use table2::{replay_known_bug, replay_table2, DetectionRow};
 pub use table34::{run_all_campaigns, CampaignSummary};
 pub use throughput::{
-    measure_cache_generations, measure_firmware_throughput, measure_worker_scaling, san_label,
-    BenchWarning, CacheToggleReport, FirmwareThroughput, ThroughputReport, WorkerPoint,
+    measure_cache_generations, measure_firmware_throughput, measure_worker_scaling, peak_rss_bytes,
+    san_label, BenchWarning, CacheToggleReport, FirmwareThroughput, ThroughputReport, WorkerPoint,
 };
 
 /// Reads an environment-variable budget with a default (used to scale the

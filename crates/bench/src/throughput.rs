@@ -48,6 +48,16 @@ pub struct WorkerPoint {
     pub slow_path_checks: u64,
     /// Full cache counters.
     pub cache: CacheStats,
+    /// Bytes of the shared ready-point base image (RAM + sanitizer
+    /// planes) — paid once, not per worker.
+    pub base_bytes: u64,
+    /// Largest per-worker copy-on-write overlay observed: the incremental
+    /// memory each extra worker costs. CI's memory gate requires this to
+    /// stay an order of magnitude below `base_bytes` (O(dirty pages), not
+    /// O(RAM)).
+    pub peak_overlay_bytes: u64,
+    /// Workers that forked from the shared base image.
+    pub workers_sharing_base: usize,
 }
 
 /// Result of the configuration-toggle cache measurement.
@@ -87,8 +97,24 @@ pub struct ThroughputReport {
     pub iterations: u64,
     /// Campaign seed.
     pub seed: u64,
+    /// Peak resident set of the bench process in bytes (`VmHWM`), covering
+    /// every measurement; `0` when the host does not expose it.
+    pub peak_rss_bytes: u64,
     /// Per-firmware sections.
     pub firmwares: Vec<FirmwareThroughput>,
+}
+
+/// Peak resident-set size of this process in bytes, from
+/// `/proc/self/status` `VmHWM`. Returns 0 on hosts without procfs.
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.trim().trim_end_matches("kB").trim().parse::<u64>().ok())
+        .map_or(0, |kib| kib * 1024)
 }
 
 /// One structured data-quality warning attached to a bench report (see
@@ -150,6 +176,9 @@ pub fn measure_worker_scaling(
             findings: stats.findings,
             slow_path_checks: stats.slow_path_checks,
             cache: stats.cache,
+            base_bytes: stats.base_bytes,
+            peak_overlay_bytes: stats.max_worker_overlay_bytes,
+            workers_sharing_base: stats.workers_sharing_base,
         });
     }
     Ok(points)
@@ -273,6 +302,7 @@ impl ThroughputReport {
         out.push_str(&format!("  \"host_cores\": {},\n", self.host_cores));
         out.push_str(&format!("  \"iterations\": {},\n", self.iterations));
         out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"peak_rss_bytes\": {},\n", self.peak_rss_bytes));
         let warnings = self.warnings();
         out.push_str("  \"warnings\": [");
         for (i, w) in warnings.iter().enumerate() {
@@ -299,6 +329,8 @@ impl ThroughputReport {
                     "        {{\"workers\": {}, \"execs\": {}, \"fuzz_wall_secs\": {}, \
                      \"execs_per_sec\": {}, \"blocks_translated\": {}, \"blocks_per_exec\": {}, \
                      \"coverage\": {}, \"findings\": {}, \"slow_path_checks\": {}, \
+                     \"base_bytes\": {}, \"peak_overlay_bytes\": {}, \
+                     \"workers_sharing_base\": {}, \
                      \"cache\": {{\"translations\": {}, \
                      \"hits\": {}, \"reconfigures\": {}, \"generation_hits\": {}, \
                      \"generation_evictions\": {}, \"flushes\": {}, \
@@ -312,6 +344,9 @@ impl ThroughputReport {
                     p.coverage,
                     p.findings,
                     p.slow_path_checks,
+                    p.base_bytes,
+                    p.peak_overlay_bytes,
+                    p.workers_sharing_base,
                     p.cache.translations,
                     p.cache.hits,
                     p.cache.reconfigures,
@@ -369,6 +404,7 @@ mod tests {
             host_cores: 4,
             iterations: 100,
             seed: 1,
+            peak_rss_bytes: 123_456,
             firmwares: vec![FirmwareThroughput {
                 firmware: "T\"est".to_string(),
                 san: "EMBSAN-D (binary)".to_string(),
@@ -383,6 +419,9 @@ mod tests {
                     findings: 0,
                     slow_path_checks: 7,
                     cache: CacheStats::default(),
+                    base_bytes: 1_048_576,
+                    peak_overlay_bytes: 8_192,
+                    workers_sharing_base: 1,
                 }],
                 cache_toggle: CacheToggleReport {
                     toggles: 2,
@@ -398,6 +437,10 @@ mod tests {
         assert!(json.contains("\"slow_path_checks\": 7"));
         assert!(json.contains("\"chained_dispatches\": 0"));
         assert!(json.contains("\"superblocks_formed\": 0"));
+        assert!(json.contains("\"peak_rss_bytes\": 123456"));
+        assert!(json.contains("\"base_bytes\": 1048576"));
+        assert!(json.contains("\"peak_overlay_bytes\": 8192"));
+        assert!(json.contains("\"workers_sharing_base\": 1"));
         // 1 worker on 4 cores: no oversubscription warning.
         assert!(json.contains("\"warnings\": []"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
@@ -410,6 +453,7 @@ mod tests {
             host_cores: 1,
             iterations: 100,
             seed: 1,
+            peak_rss_bytes: 0,
             firmwares: vec![FirmwareThroughput {
                 firmware: "Router".to_string(),
                 san: "EMBSAN-D (binary)".to_string(),
@@ -425,6 +469,9 @@ mod tests {
                         findings: 0,
                         slow_path_checks: 0,
                         cache: CacheStats::default(),
+                        base_bytes: 0,
+                        peak_overlay_bytes: 0,
+                        workers_sharing_base: 1,
                     },
                     WorkerPoint {
                         workers: 4,
@@ -437,6 +484,9 @@ mod tests {
                         findings: 0,
                         slow_path_checks: 0,
                         cache: CacheStats::default(),
+                        base_bytes: 0,
+                        peak_overlay_bytes: 0,
+                        workers_sharing_base: 4,
                     },
                 ],
                 cache_toggle: CacheToggleReport {

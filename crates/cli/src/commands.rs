@@ -107,7 +107,8 @@ USAGE:
       --json FILE                write the embsan-bench-throughput-v1 report
                                  (the checked-in BENCH_throughput.json)
       --baseline FILE            compare against a checked-in report and
-                                 exit non-zero on a throughput regression
+                                 exit non-zero on a throughput or per-worker
+                                 memory regression
                                  (oversubscribed points are never gated)
       --max-regression PCT       tolerated drop vs baseline (default 25)
   embsan serve --state-dir DIR --socket PATH
@@ -910,6 +911,13 @@ fn cmd_bench(parsed: &Parsed) -> Result<(), String> {
             point.coverage,
             point.findings
         );
+        println!(
+            "    memory: base {} KiB shared by {}/{} workers, peak per-worker overlay {} KiB",
+            point.base_bytes / 1024,
+            point.workers_sharing_base,
+            point.workers,
+            point.peak_overlay_bytes.div_ceil(1024),
+        );
     }
     let toggle = &fw.cache_toggle;
     println!(
@@ -927,8 +935,12 @@ fn cmd_bench(parsed: &Parsed) -> Result<(), String> {
         host_cores,
         iterations: campaign.iterations,
         seed: campaign.seed,
+        peak_rss_bytes: embsan_bench::peak_rss_bytes(),
         firmwares: vec![fw],
     };
+    if report.peak_rss_bytes > 0 {
+        println!("  peak process RSS: {} MiB", report.peak_rss_bytes / (1024 * 1024));
+    }
     for warning in report.warnings() {
         println!(
             "  warning[{}]: {} workers on {} host cores — that point measures host \
@@ -956,6 +968,13 @@ fn cmd_bench(parsed: &Parsed) -> Result<(), String> {
                 regressions.len(),
                 tolerance * 100.0
             ));
+        }
+        let memory = embsan_bench::memory_regressions(&baseline, &report);
+        for line in &memory {
+            println!("  memory regression: {line}");
+        }
+        if !memory.is_empty() {
+            return Err(format!("{} per-worker memory regression(s) vs {path}", memory.len()));
         }
         println!("  baseline check: no point more than {:.0}% below {path}", tolerance * 100.0);
     }
@@ -1024,6 +1043,8 @@ fn cmd_fuzz_supervised(
         ready_budget: parsed.option_u64("budget", 400_000_000)?,
         program_budget: 3_000_000,
         checkpoint_interval: config.checkpoint_interval,
+        // Stamped with the live session's hash by the supervised span.
+        base_hash: 0,
     };
     let syscall_descs = fuzz_descriptions(parsed)?;
     let dict = Dictionary::extract(&image);

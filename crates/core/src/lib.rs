@@ -62,7 +62,7 @@ pub use health::{Degradation, HealthCounters};
 pub use probe::{probe, PriorKnowledge, ProbeArtifacts, ProbeError, ProbeMode, ProbeStats};
 pub use report::{BugClass, Report};
 pub use runtime::EmbsanRuntime;
-pub use session::{ExecOutcome, Session, SessionError};
+pub use session::{BaseImage, ExecOutcome, Session, SessionError};
 
 /// Convenient glob import for typical usage.
 pub mod prelude {

@@ -191,6 +191,31 @@ pub struct RuntimeState {
     active: bool,
 }
 
+impl RuntimeState {
+    /// Folds the contents of the big sanitizer planes into `hash` (FNV-1a).
+    /// Part of the base-image identity: two sessions whose RAM, CPU state
+    /// *and* sanitizer planes hash alike can share one copy-on-write base.
+    pub(crate) fn fold_plane_hash(&self, mut hash: u64) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut fold = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(PRIME);
+            }
+        };
+        fold(&self.shadow.plane_to_vec());
+        if let Some(umsan) = &self.umsan {
+            fold(&umsan.plane_to_vec());
+        }
+        hash
+    }
+
+    /// Total bytes of the big sanitizer planes (shared-base accounting).
+    pub(crate) fn plane_bytes(&self) -> usize {
+        self.shadow.plane_bytes() + self.umsan.as_ref().map_or(0, UmsanEngine::plane_bytes)
+    }
+}
+
 #[derive(Debug, Clone)]
 struct PendingCall {
     hook_index: usize,
@@ -525,6 +550,31 @@ impl EmbsanRuntime {
                 InitStep::Ready => self.activate(),
             }
         }
+    }
+
+    /// Freezes the big sanitizer planes (shadow, uninit bits) as immutable
+    /// shared bases and re-forks the live planes from them. Called once at
+    /// the ready point, *before* capturing the baseline state: the capture
+    /// then clones an empty-overlay fork, so baseline and live plane share
+    /// one backing allocation and per-iteration restores cost O(dirty).
+    pub fn freeze_planes(&mut self) {
+        self.shadow.freeze_plane();
+        if let Some(umsan) = &mut self.umsan {
+            umsan.freeze_plane();
+        }
+    }
+
+    /// Private overlay bytes the live sanitizer planes hold beyond their
+    /// shared bases (0 until a plane page diverges from the frozen base).
+    pub fn plane_overlay_bytes(&self) -> usize {
+        self.shadow.overlay_bytes() + self.umsan.as_ref().map_or(0, UmsanEngine::overlay_bytes)
+    }
+
+    /// Forgets which [`RuntimeState`] was installed last, forcing the next
+    /// [`EmbsanRuntime::restore_state_from`] onto the full-copy path. Used
+    /// when a session adopts a base image captured by another worker.
+    pub fn clear_state_baseline(&mut self) {
+        self.state_baseline = None;
     }
 
     /// Captures the mutable sanitizer state (for fuzzer resets paired with

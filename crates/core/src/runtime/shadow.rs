@@ -5,6 +5,7 @@
 //! machine"). Encoding follows KASAN: `0` fully addressable, `1..=7`
 //! first-N-bytes addressable, `≥ 0x80` poisoned with a class code.
 
+use embsan_emu::cow::PagedBytes;
 use embsan_emu::dirty::DirtyPages;
 
 /// Shadow granule size in bytes.
@@ -46,7 +47,11 @@ pub struct ShadowMemory {
     /// `bytes.len() * GRANULE`, precomputed: `covers` runs on the hot
     /// per-access check path and must not redo the division.
     span: u32,
-    bytes: Vec<u8>,
+    /// The shadow plane: flat while booting, a copy-on-write fork of the
+    /// `Arc`-shared baseline plane once frozen at the ready point — forked
+    /// workers then pay only for the shadow pages their poison churn
+    /// touches.
+    bytes: PagedBytes,
     /// Shadow pages poisoned/unpoisoned since the last baseline restore;
     /// lets reset copy back only touched shadow instead of the full plane.
     dirty: DirtyPages,
@@ -60,9 +65,31 @@ impl ShadowMemory {
         ShadowMemory {
             ram_base,
             span: granules as u32 * GRANULE,
-            bytes: vec![0; granules],
+            bytes: PagedBytes::zeroed(granules, SHADOW_PAGE_SHIFT),
             dirty: DirtyPages::new(granules, SHADOW_PAGE_SHIFT),
         }
+    }
+
+    /// Freezes the current plane as an immutable shared base and re-forks
+    /// this shadow from it. Called once at the ready point so baseline
+    /// clones (and adopted cross-worker baselines) share one plane.
+    pub(crate) fn freeze_plane(&mut self) {
+        self.bytes.freeze();
+    }
+
+    /// Private overlay bytes this plane holds beyond its shared base.
+    pub(crate) fn overlay_bytes(&self) -> usize {
+        self.bytes.overlay_bytes()
+    }
+
+    /// Materialized plane contents (for base-image content hashing).
+    pub(crate) fn plane_to_vec(&self) -> Vec<u8> {
+        self.bytes.to_vec()
+    }
+
+    /// Total plane size in bytes (shared-base accounting).
+    pub(crate) fn plane_bytes(&self) -> usize {
+        self.bytes.len()
     }
 
     /// Marks every shadow page clean (after a full install of this plane
@@ -84,9 +111,13 @@ impl ShadowMemory {
     pub(crate) fn restore_from(&mut self, baseline: &ShadowMemory, dirty_only: bool) {
         debug_assert!(self.same_shape(baseline));
         if dirty_only {
-            self.dirty.restore_from(&mut self.bytes, &baseline.bytes);
+            // When both planes fork the same base this drops the touched
+            // overlay pages (O(dirty), frees memory); otherwise it copies
+            // the touched pages from the baseline view.
+            let bytes = &mut self.bytes;
+            self.dirty.drain(|page| bytes.restore_page_from(&baseline.bytes, page));
         } else {
-            self.bytes.copy_from_slice(&baseline.bytes);
+            self.bytes = baseline.bytes.clone();
             self.dirty.clear();
         }
     }
@@ -108,7 +139,7 @@ impl ShadowMemory {
     /// Reads the shadow byte covering `addr`.
     #[inline]
     pub fn get(&self, addr: u32) -> u8 {
-        self.bytes[self.index(addr)]
+        self.bytes.get(self.index(addr))
     }
 
     /// Poisons `[start, end)` with `poison_code`. Partially covered edge
@@ -131,9 +162,7 @@ impl ShadowMemory {
         let from = self.index(start);
         let to = self.index(clipped_end - 1);
         self.dirty.mark_range(from, to - from + 1);
-        for byte in &mut self.bytes[from..=to] {
-            *byte = poison_code;
-        }
+        self.bytes.fill(from, to - from + 1, poison_code);
         end.saturating_sub(clipped_end).div_ceil(GRANULE)
     }
 
@@ -147,12 +176,12 @@ impl ShadowMemory {
         let full = (size / GRANULE) as usize;
         let from = self.index(addr);
         let end = (from + full).min(self.bytes.len());
-        for byte in &mut self.bytes[from..end] {
-            *byte = 0;
+        if end > from {
+            self.bytes.fill(from, end - from, 0);
         }
         let tail = (size % GRANULE) as u8;
         if tail != 0 && from + full < self.bytes.len() {
-            self.bytes[from + full] = tail;
+            *self.bytes.byte_mut(from + full) = tail;
         }
         let touched_end = (from + full + usize::from(tail != 0)).clamp(from + 1, self.bytes.len());
         self.dirty.mark_range(from, touched_end - from);
@@ -182,7 +211,7 @@ impl ShadowMemory {
         }
         let i0 = (first / GRANULE) as usize;
         let i1 = ((first + size - 1) / GRANULE) as usize;
-        self.bytes[i0] == 0 && self.bytes[i1] == 0
+        self.bytes.get(i0) == 0 && self.bytes.get(i1) == 0
     }
 
     /// Checks an access of `size` bytes at `addr`.
@@ -217,7 +246,7 @@ impl ShadowMemory {
                 cursor += 1;
                 continue;
             }
-            let shadow = self.bytes[self.index(cursor)];
+            let shadow = self.bytes.get(self.index(cursor));
             if shadow == 0 {
                 // Whole granule addressable: skip to the next granule.
                 cursor = (cursor / GRANULE + 1) * GRANULE;

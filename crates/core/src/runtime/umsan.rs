@@ -12,6 +12,7 @@
 //! overlapping any still-uninitialized byte of a live chunk reports. Shadow
 //! is not propagated through register flow or copies — a read *is* the use.
 
+use embsan_emu::cow::PagedBytes;
 use embsan_emu::dirty::DirtyPages;
 
 use crate::report::{BugClass, ChunkInfo, Report};
@@ -25,8 +26,9 @@ const UNINIT_PAGE_SHIFT: u32 = 12;
 #[derive(Debug, Clone)]
 pub struct UmsanEngine {
     ram_base: u32,
-    /// One bit per RAM byte: 1 = known-uninitialized.
-    uninit: Vec<u8>,
+    /// One bit per RAM byte: 1 = known-uninitialized. Flat while booting,
+    /// a copy-on-write fork of the shared baseline plane once frozen.
+    uninit: PagedBytes,
     /// Uninit-plane pages touched since the last baseline restore.
     dirty: DirtyPages,
     /// Live chunk table (addr → size, alloc pc) for report context.
@@ -39,10 +41,31 @@ impl UmsanEngine {
         let bytes = (ram_size as usize).div_ceil(8);
         UmsanEngine {
             ram_base,
-            uninit: vec![0; bytes],
+            uninit: PagedBytes::zeroed(bytes, UNINIT_PAGE_SHIFT),
             dirty: DirtyPages::new(bytes, UNINIT_PAGE_SHIFT),
             chunks: std::collections::HashMap::new(),
         }
+    }
+
+    /// Freezes the uninit plane as an immutable shared base and re-forks
+    /// from it (called once at the ready point).
+    pub(crate) fn freeze_plane(&mut self) {
+        self.uninit.freeze();
+    }
+
+    /// Private overlay bytes this plane holds beyond its shared base.
+    pub(crate) fn overlay_bytes(&self) -> usize {
+        self.uninit.overlay_bytes()
+    }
+
+    /// Materialized plane contents (for base-image content hashing).
+    pub(crate) fn plane_to_vec(&self) -> Vec<u8> {
+        self.uninit.to_vec()
+    }
+
+    /// Total plane size in bytes (shared-base accounting).
+    pub(crate) fn plane_bytes(&self) -> usize {
+        self.uninit.len()
     }
 
     /// Restores this engine to `baseline`'s state. With `dirty_only` the
@@ -52,9 +75,10 @@ impl UmsanEngine {
         debug_assert_eq!(self.ram_base, baseline.ram_base);
         debug_assert_eq!(self.uninit.len(), baseline.uninit.len());
         if dirty_only {
-            self.dirty.restore_from(&mut self.uninit, &baseline.uninit);
+            let uninit = &mut self.uninit;
+            self.dirty.drain(|page| uninit.restore_page_from(&baseline.uninit, page));
         } else {
-            self.uninit.copy_from_slice(&baseline.uninit);
+            self.uninit = baseline.uninit.clone();
             self.dirty.clear();
         }
         self.chunks.clone_from(&baseline.chunks);
@@ -80,10 +104,11 @@ impl UmsanEngine {
         }
         let offset = (addr - self.ram_base) as usize;
         self.dirty.mark(offset / 8);
+        let byte = self.uninit.byte_mut(offset / 8);
         if value {
-            self.uninit[offset / 8] |= 1 << (offset % 8);
+            *byte |= 1 << (offset % 8);
         } else {
-            self.uninit[offset / 8] &= !(1 << (offset % 8));
+            *byte &= !(1 << (offset % 8));
         }
     }
 
@@ -92,7 +117,7 @@ impl UmsanEngine {
             return false;
         }
         let offset = (addr - self.ram_base) as usize;
-        self.uninit[offset / 8] & (1 << (offset % 8)) != 0
+        self.uninit.get(offset / 8) & (1 << (offset % 8)) != 0
     }
 
     /// A fresh allocation: all bytes become uninitialized.

@@ -12,6 +12,8 @@
 //! 3. [`Session::reset`] restores the post-ready snapshot (machine *and*
 //!    sanitizer state), giving fuzzers a clean target per input.
 
+use std::sync::Arc;
+
 use embsan_asm::image::FirmwareImage;
 use embsan_dsl::{merge, InitProgram, ReadyPoint, SanitizerSpec};
 use embsan_emu::machine::{Machine, RunExit};
@@ -75,6 +77,41 @@ pub struct ExecOutcome {
     pub console: Vec<u8>,
 }
 
+/// An immutable ready-point image: the machine snapshot plus the captured
+/// sanitizer state, content-hashed. One `Arc<BaseImage>` is shared by every
+/// session forked from it — each fork holds only the pages it dirties
+/// (copy-on-write), so N workers cost one base plus N small overlays
+/// instead of N private RAM copies.
+pub struct BaseImage {
+    snapshot: Snapshot,
+    state: RuntimeState,
+    hash: u64,
+}
+
+impl std::fmt::Debug for BaseImage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BaseImage")
+            .field("hash", &format_args!("{:#018x}", self.hash))
+            .field("base_bytes", &self.base_bytes())
+            .finish_non_exhaustive()
+    }
+}
+
+impl BaseImage {
+    /// FNV-1a content hash over RAM, CPU/device state, retired count and
+    /// the sanitizer planes. Two sessions whose base images hash alike are
+    /// bit-identical at the ready point and may share one base.
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// Bytes the shared base holds (RAM image plus sanitizer planes) —
+    /// paid once per base, regardless of how many sessions fork from it.
+    pub fn base_bytes(&self) -> usize {
+        self.snapshot.base_bytes() + self.state.plane_bytes()
+    }
+}
+
 /// A sanitized testing session over one firmware image.
 pub struct Session {
     machine: Machine,
@@ -83,7 +120,7 @@ pub struct Session {
     ready: Option<ReadyPoint>,
     image: FirmwareImage,
     ready_done: bool,
-    baseline: Option<(Snapshot, RuntimeState)>,
+    baseline: Option<Arc<BaseImage>>,
     tracer: embsan_obs::Tracer,
     profiler: embsan_obs::Profiler,
     programs_run: u64,
@@ -376,8 +413,63 @@ impl Session {
             self.runtime.activate();
         }
         self.ready_done = true;
-        self.baseline = Some((self.machine.snapshot(), self.runtime.state()));
+        // Freeze the sanitizer planes first: the captured state then shares
+        // one immutable backing with the live planes, so the capture is an
+        // O(pages) fork instead of a full copy, and every session adopting
+        // this base image shares the same allocation.
+        self.runtime.freeze_planes();
+        let snapshot = self.machine.snapshot();
+        let state = self.runtime.state();
+        let hash = state.fold_plane_hash(snapshot.fold_hash(0xCBF2_9CE4_8422_2325));
+        self.baseline = Some(Arc::new(BaseImage { snapshot, state, hash }));
         Ok(())
+    }
+
+    /// The base image captured at the ready point, shareable across
+    /// sessions of the same firmware via [`Session::adopt_base`].
+    pub fn base(&self) -> Option<&Arc<BaseImage>> {
+        self.baseline.as_ref()
+    }
+
+    /// Content hash of the ready-point base image (`None` before ready).
+    pub fn base_hash(&self) -> Option<u64> {
+        self.baseline.as_ref().map(|base| base.hash)
+    }
+
+    /// Bytes held by the (possibly shared) base image; 0 before ready.
+    pub fn base_bytes(&self) -> usize {
+        self.baseline.as_ref().map_or(0, |base| base.base_bytes())
+    }
+
+    /// Private bytes this session holds beyond the shared base image: the
+    /// machine's dirty-page RAM overlay plus the sanitizer-plane overlays.
+    /// O(pages touched since the last reset) — the per-worker incremental
+    /// memory cost under copy-on-write forking.
+    pub fn overlay_bytes(&self) -> usize {
+        self.machine.ram_overlay_bytes() + self.runtime.plane_overlay_bytes()
+    }
+
+    /// Replaces this session's private baseline with a shared base image
+    /// captured by another session of the same firmware, then resets onto
+    /// it. Returns `Ok(false)` (keeping the private baseline) if the
+    /// hashes differ — the sessions did not reach bit-identical ready
+    /// states, so sharing would corrupt both.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::NotReady`] before [`Session::run_to_ready`];
+    /// emulator errors from the reset.
+    pub fn adopt_base(&mut self, base: &Arc<BaseImage>) -> Result<bool, SessionError> {
+        let own = self.baseline.as_ref().ok_or(SessionError::NotReady)?;
+        if own.hash != base.hash {
+            return Ok(false);
+        }
+        self.baseline = Some(Arc::clone(base));
+        // Force the next restore onto the full-install path: the dirty-page
+        // fast path is only valid against the previously installed state.
+        self.runtime.clear_state_baseline();
+        self.reset()?;
+        Ok(true)
     }
 
     /// Restores the post-ready snapshot: machine and sanitizer state
@@ -387,11 +479,12 @@ impl Session {
     ///
     /// [`SessionError::NotReady`] before [`Session::run_to_ready`].
     pub fn reset(&mut self) -> Result<(), SessionError> {
-        let (snapshot, state) = self.baseline.as_ref().ok_or(SessionError::NotReady)?;
-        self.machine.restore(snapshot)?;
+        let Session { machine, runtime, baseline, .. } = self;
+        let base = baseline.as_ref().ok_or(SessionError::NotReady)?;
+        machine.restore(&base.snapshot)?;
         // Borrowing restore: reuses the runtime's allocations and, after the
         // first reset, copies only state dirtied since the last one.
-        self.runtime.restore_state_from(state);
+        runtime.restore_state_from(&base.state);
         Ok(())
     }
 

@@ -1,5 +1,8 @@
 //! Physical memory bus: ROM, RAM, MMIO window, and fault generation.
 
+use std::sync::Arc;
+
+use crate::cow::PagedBytes;
 use crate::device::DeviceSet;
 use crate::dirty::{DirtyPages, RAM_PAGE_SHIFT};
 use crate::error::Fault;
@@ -76,7 +79,12 @@ impl Region {
 pub struct Bus {
     endian: Endian,
     rom: Region,
-    ram: Region,
+    ram_base: u32,
+    /// Guest RAM: flat while booting, a copy-on-write fork of an
+    /// `Arc`-shared base image once a snapshot has been restored (see
+    /// [`crate::snapshot`]). Forked workers then hold only the overlay
+    /// pages they dirty — O(dirty), not O(RAM).
+    ram: PagedBytes,
     mmio_base: u32,
     mmio_size: u32,
     /// Remaining guest MMIO reads corrupted by an injected bus fault.
@@ -104,7 +112,8 @@ impl Bus {
         Bus {
             endian: profile.endian,
             rom: Region { base: rom_base, data: rom },
-            ram: Region { base: ram_base, data: vec![0; ram_size as usize] },
+            ram_base,
+            ram: PagedBytes::zeroed(ram_size as usize, RAM_PAGE_SHIFT),
             mmio_base: profile.mmio_base,
             mmio_size: profile.mmio_size,
             mmio_xor_reads: 0,
@@ -133,7 +142,15 @@ impl Bus {
 
     /// The RAM region as `(base, size)`.
     pub fn ram_range(&self) -> (u32, u32) {
-        (self.ram.base, self.ram.data.len() as u32)
+        (self.ram_base, self.ram.len() as u32)
+    }
+
+    /// Whether `addr..addr+size` falls entirely inside RAM (internal,
+    /// byte-offset form of [`Bus::is_ram`]).
+    #[inline]
+    fn ram_contains(&self, addr: u32, size: u32) -> bool {
+        addr >= self.ram_base
+            && u64::from(addr) + u64::from(size) <= u64::from(self.ram_base) + self.ram.len() as u64
     }
 
     /// The ROM region as `(base, size)`.
@@ -149,7 +166,7 @@ impl Bus {
 
     /// Whether `addr..addr+size` falls entirely inside RAM.
     pub fn is_ram(&self, addr: u32, size: u32) -> bool {
-        self.ram.contains(addr, size)
+        self.ram_contains(addr, size)
     }
 
     fn classify_fault(&self, addr: u32, is_write: bool) -> Fault {
@@ -203,9 +220,10 @@ impl Bus {
             return Err(Fault::Misaligned { addr, size });
         }
         let len = u32::from(size);
-        if self.ram.contains(addr, len) {
-            let off = (addr - self.ram.base) as usize;
-            return Ok(Self::load_int(&self.ram.data[off..off + size as usize], self.endian));
+        if self.ram_contains(addr, len) {
+            let off = (addr - self.ram_base) as usize;
+            // Size-aligned loads of ≤4 bytes cannot straddle a page.
+            return Ok(Self::load_int(self.ram.read_slice(off, size as usize), self.endian));
         }
         if self.rom.contains(addr, len) {
             let off = (addr - self.rom.base) as usize;
@@ -233,11 +251,11 @@ impl Bus {
             return Err(Fault::Misaligned { addr, size });
         }
         let len = u32::from(size);
-        if self.ram.contains(addr, len) {
-            let off = (addr - self.ram.base) as usize;
+        if self.ram_contains(addr, len) {
+            let off = (addr - self.ram_base) as usize;
             // Size-aligned stores of ≤4 bytes cannot straddle a page.
             self.ram_dirty.mark(off);
-            Self::store_int(&mut self.ram.data[off..off + size as usize], self.endian, value);
+            Self::store_int(self.ram.slice_mut(off, size as usize), self.endian, value);
             return Ok(());
         }
         if self.rom.contains(addr, len) {
@@ -259,11 +277,14 @@ impl Bus {
         if !pc.is_multiple_of(4) {
             return Err(Fault::BadFetch { pc });
         }
-        for region in [&self.rom, &self.ram] {
-            if region.contains(pc, 4) {
-                let off = (pc - region.base) as usize;
-                return Ok(Self::load_int(&region.data[off..off + 4], self.endian));
-            }
+        if self.rom.contains(pc, 4) {
+            let off = (pc - self.rom.base) as usize;
+            return Ok(Self::load_int(&self.rom.data[off..off + 4], self.endian));
+        }
+        if self.ram_contains(pc, 4) {
+            // 4-byte-aligned fetches cannot straddle a page.
+            let off = (pc - self.ram_base) as usize;
+            return Ok(Self::load_int(self.ram.read_slice(off, 4), self.endian));
         }
         Err(Fault::BadFetch { pc })
     }
@@ -275,12 +296,15 @@ impl Bus {
     /// Faults if any byte of the range is outside ROM and RAM.
     pub fn read_bytes(&self, addr: u32, buf: &mut [u8]) -> Result<(), Fault> {
         let len = buf.len() as u32;
-        for region in [&self.ram, &self.rom] {
-            if region.contains(addr, len) {
-                let off = (addr - region.base) as usize;
-                buf.copy_from_slice(&region.data[off..off + buf.len()]);
-                return Ok(());
-            }
+        if self.ram_contains(addr, len) {
+            let off = (addr - self.ram_base) as usize;
+            self.ram.read_bytes(off, buf);
+            return Ok(());
+        }
+        if self.rom.contains(addr, len) {
+            let off = (addr - self.rom.base) as usize;
+            buf.copy_from_slice(&self.rom.data[off..off + buf.len()]);
+            return Ok(());
         }
         Err(self.classify_fault(addr, false))
     }
@@ -293,36 +317,65 @@ impl Bus {
     /// Faults if any byte of the range is outside RAM.
     pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) -> Result<(), Fault> {
         let len = bytes.len() as u32;
-        if self.ram.contains(addr, len) {
-            let off = (addr - self.ram.base) as usize;
+        if self.ram_contains(addr, len) {
+            let off = (addr - self.ram_base) as usize;
             self.ram_dirty.mark_range(off, bytes.len());
-            self.ram.data[off..off + bytes.len()].copy_from_slice(bytes);
+            self.ram.write_bytes(off, bytes);
             return Ok(());
         }
         Err(self.classify_fault(addr, true))
     }
 
+    /// Materializes the current RAM contents as an owned vector
+    /// (base + overlay when forked).
     pub(crate) fn clone_ram(&self) -> Vec<u8> {
-        self.ram.data.clone()
+        self.ram.to_vec()
     }
 
-    /// Full-copy restore; leaves RAM byte-identical to `data` with every
-    /// page clean, (re-)establishing the dirty-restore invariant.
-    pub(crate) fn restore_ram(&mut self, data: &[u8]) {
-        self.ram.data.copy_from_slice(data);
+    /// Whether guest RAM currently forks from exactly `base`.
+    pub fn ram_shares_base(&self, base: &Arc<Vec<u8>>) -> bool {
+        self.ram.shares_base(base)
+    }
+
+    /// Re-forks RAM from `base`: contents become byte-identical to the
+    /// base image with every page clean and no resident overlay. O(pages)
+    /// bookkeeping, no byte copies — rebasing to a different snapshot is
+    /// cheaper than the old full-copy restore.
+    pub(crate) fn adopt_ram(&mut self, base: &Arc<Vec<u8>>) {
+        self.ram.adopt(Arc::clone(base));
         self.ram_dirty.clear();
     }
 
-    /// Dirty-page restore: copies back only pages written since the last
-    /// restore. Caller guarantees `data` is the same image the invariant
-    /// was established against (see [`crate::snapshot::Snapshot`] ids).
-    pub(crate) fn restore_ram_dirty(&mut self, data: &[u8]) {
-        self.ram_dirty.restore_from(&mut self.ram.data, data);
+    /// Copy-on-write restore: drops exactly the overlay pages the dirty
+    /// bitmap names, reverting them to the shared base. O(dirty pages),
+    /// and frees the worker's private memory instead of copying into it.
+    pub(crate) fn restore_ram_cow(&mut self) {
+        let ram = &mut self.ram;
+        self.ram_dirty.drain(|page| ram.revert_page(page));
+    }
+
+    /// Full-private-copy restore (the pre-CoW reference path, kept for
+    /// fork-isolation equivalence testing): RAM becomes a flat owned copy
+    /// of `data` with every page clean.
+    pub(crate) fn restore_ram_flat(&mut self, data: &[u8]) {
+        self.ram = PagedBytes::from_vec(data.to_vec(), RAM_PAGE_SHIFT);
+        self.ram_dirty.clear();
     }
 
     /// Number of RAM pages written since the last restore (telemetry).
     pub fn dirty_ram_pages(&self) -> usize {
         self.ram_dirty.count()
+    }
+
+    /// Private overlay bytes resident for guest RAM (0 when flat or
+    /// freshly restored; the shared base is not counted).
+    pub fn ram_overlay_bytes(&self) -> usize {
+        self.ram.overlay_bytes()
+    }
+
+    /// Whether guest RAM is a copy-on-write fork of a shared base.
+    pub fn ram_is_forked(&self) -> bool {
+        self.ram.is_forked()
     }
 }
 

@@ -78,6 +78,21 @@ impl DirtyPages {
             *word = 0;
         }
     }
+
+    /// Calls `f` with each dirty page index and marks it clean. The
+    /// copy-on-write restore path uses this to visit exactly the overlay
+    /// pages that diverged from the base since the last restore.
+    pub fn drain(&mut self, mut f: impl FnMut(usize)) {
+        for (word_index, word) in self.bits.iter_mut().enumerate() {
+            let mut pending = *word;
+            while pending != 0 {
+                let page = word_index * 64 + pending.trailing_zeros() as usize;
+                pending &= pending - 1;
+                f(page);
+            }
+            *word = 0;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -130,6 +145,18 @@ mod tests {
     fn zero_length_range_marks_nothing() {
         let mut dirty = DirtyPages::new(4096, RAM_PAGE_SHIFT);
         dirty.mark_range(100, 0);
+        assert_eq!(dirty.count(), 0);
+    }
+
+    #[test]
+    fn drain_visits_each_dirty_page_once_and_clears() {
+        let mut dirty = DirtyPages::new(70 * 4096, RAM_PAGE_SHIFT);
+        dirty.mark(0);
+        dirty.mark(5 * 4096 + 17);
+        dirty.mark(69 * 4096); // second bitmap word
+        let mut seen = Vec::new();
+        dirty.drain(|page| seen.push(page));
+        assert_eq!(seen, vec![0, 5, 69]);
         assert_eq!(dirty.count(), 0);
     }
 

@@ -42,6 +42,7 @@
 //! ```
 
 pub mod bus;
+pub mod cow;
 pub mod cpu;
 pub mod device;
 pub mod dirty;
@@ -54,6 +55,7 @@ pub mod profile;
 pub mod snapshot;
 pub mod translate;
 
+pub use cow::PagedBytes;
 pub use error::{EmuError, Fault};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultPlanError, HangClass, InjectionStats};
 pub use hook::{ExecHook, HookAction, HookConfig, NullHook};

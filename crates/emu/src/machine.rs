@@ -156,7 +156,6 @@ impl MachineBuilder {
             next_cpu: 0,
             breakpoints: HashSet::new(),
             skip_bp_once: None,
-            restore_baseline: None,
             fault_plan: None,
             injection_stats: InjectionStats::default(),
             tracer: embsan_obs::Tracer::disabled(),
@@ -181,9 +180,6 @@ pub struct Machine {
     next_cpu: usize,
     breakpoints: HashSet<u32>,
     skip_bp_once: Option<(usize, u32)>,
-    /// Id of the last snapshot fully restored into RAM; while it matches the
-    /// snapshot being restored, only dirty pages need copying back.
-    pub(crate) restore_baseline: Option<u64>,
     fault_plan: Option<ArmedPlan>,
     injection_stats: InjectionStats,
     tracer: embsan_obs::Tracer,

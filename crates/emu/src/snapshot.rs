@@ -1,57 +1,82 @@
-//! Machine snapshot / restore.
+//! Machine snapshot / restore around copy-on-write forking.
 //!
 //! Fuzzers take a snapshot at the firmware's ready-to-run point and restore
 //! it before every test program, so each execution starts from an identical,
 //! fully booted system state.
+//!
+//! The RAM image inside a [`Snapshot`] is an immutable `Arc`-shared base:
+//! restoring it *forks* the machine's RAM from that base instead of copying
+//! it. From then on the bus allocates private overlay pages only for pages
+//! the guest writes, and restoring the same snapshot again just drops those
+//! overlay pages (O(dirty), and it *frees* memory rather than copying).
+//! Any number of machines — parallel fuzzing workers, daemon jobs — can
+//! fork from one base, so per-worker incremental memory is O(dirty pages),
+//! not O(RAM). Base identity is `Arc` pointer identity: no id counters, no
+//! cross-restore bookkeeping to invalidate.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::cpu::Cpu;
 use crate::device::DeviceSet;
 use crate::error::EmuError;
 use crate::machine::Machine;
 
-/// Process-wide snapshot identity counter; see [`Snapshot::id`].
-static NEXT_SNAPSHOT_ID: AtomicU64 = AtomicU64::new(1);
-
 /// A point-in-time copy of all mutable machine state (RAM, vCPUs, devices,
 /// retired-instruction counters). The ROM and translation cache are not part
 /// of the snapshot: ROM is immutable and the cache is a pure function of ROM
 /// plus the hook configuration.
 ///
-/// `PartialEq` compares the full captured state byte-for-byte, which is what
-/// the snapshot-fidelity property tests rely on. The internal identity tag
-/// (used to key the dirty-page fast restore) is excluded: clones share their
-/// original's id — their RAM images are identical, so either is a valid
-/// dirty-restore baseline for the other.
-#[derive(Debug, Clone, Eq)]
+/// The RAM image is `Arc`-shared and never mutated after capture; clones
+/// share it. `PartialEq` compares the full captured state byte-for-byte,
+/// which is what the snapshot-fidelity property tests rely on.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Snapshot {
-    /// Unique per-capture identity. The machine remembers the id of the last
-    /// snapshot it fully restored; restoring the *same* snapshot again can
-    /// then copy only pages dirtied since, because RAM is known to differ
-    /// from the snapshot image only where the bus marked writes.
-    id: u64,
-    ram: Vec<u8>,
+    /// The immutable base RAM image machines fork from on restore.
+    ram: Arc<Vec<u8>>,
     cpus: Vec<Cpu>,
     devices: DeviceSet,
     global_retired: u64,
 }
 
-impl PartialEq for Snapshot {
-    fn eq(&self, other: &Snapshot) -> bool {
-        self.ram == other.ram
-            && self.cpus == other.cpus
-            && self.devices == other.devices
-            && self.global_retired == other.global_retired
+impl Snapshot {
+    /// The shared base RAM image (for base-identity checks and hashing).
+    pub fn ram_base(&self) -> &Arc<Vec<u8>> {
+        &self.ram
+    }
+
+    /// Size of the captured state in bytes (the shared base; paid once per
+    /// base image, not per forked machine).
+    pub fn base_bytes(&self) -> usize {
+        self.ram.len()
+    }
+
+    /// Folds this snapshot's contents into `hash` (FNV-1a): RAM bytes,
+    /// then the CPU/device state and retired count via their canonical
+    /// `Debug` rendering. Deterministic for identical machine states, so
+    /// two independently booted sessions of the same firmware hash alike
+    /// and can share one base image.
+    pub fn fold_hash(&self, mut hash: u64) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        for &b in self.ram.iter() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(PRIME);
+        }
+        let tail = format!("{:?}|{:?}|{}", self.cpus, self.devices, self.global_retired);
+        for &b in tail.as_bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(PRIME);
+        }
+        hash
     }
 }
 
 impl Machine {
-    /// Captures a snapshot of the current machine state.
+    /// Captures a snapshot of the current machine state. The RAM image is
+    /// materialized once (base + any overlay) and becomes the immutable
+    /// shared base of every machine that restores the snapshot.
     pub fn snapshot(&self) -> Snapshot {
         Snapshot {
-            id: NEXT_SNAPSHOT_ID.fetch_add(1, Ordering::Relaxed),
-            ram: self.bus().clone_ram(),
+            ram: Arc::new(self.bus().clone_ram()),
             cpus: (0..self.cpu_count()).map(|i| self.cpu(i).clone()).collect(),
             devices: self.bus().devices.clone(),
             global_retired: self.retired(),
@@ -60,6 +85,12 @@ impl Machine {
 
     /// Restores a snapshot previously taken from a machine with the same
     /// RAM size and vCPU count.
+    ///
+    /// If RAM already forks from this snapshot's base, the restore drops
+    /// only the overlay pages dirtied since the last restore (O(dirty)).
+    /// Otherwise RAM re-forks from the snapshot's base — O(pages)
+    /// bookkeeping and zero byte copies, releasing any previously private
+    /// RAM back to the allocator.
     ///
     /// # Errors
     ///
@@ -81,25 +112,65 @@ impl Machine {
                 self.cpu_count()
             )));
         }
-        if self.restore_baseline == Some(snapshot.id) {
-            // Fast path: RAM differs from the snapshot image only on pages
-            // the bus marked dirty since the last restore of this snapshot.
-            self.bus_mut().restore_ram_dirty(&snapshot.ram);
+        if self.bus().ram_shares_base(&snapshot.ram) {
+            // Fast path: RAM differs from the base only on the overlay
+            // pages the bus marked dirty since the last restore.
+            self.bus_mut().restore_ram_cow();
         } else {
-            self.bus_mut().restore_ram(&snapshot.ram);
-            self.restore_baseline = Some(snapshot.id);
+            self.bus_mut().adopt_ram(&snapshot.ram);
         }
+        self.finish_restore(snapshot);
+        Ok(())
+    }
+
+    /// The pre-CoW reference restore: RAM becomes a flat private copy of
+    /// the snapshot image (O(RAM) memory and copy cost). Kept so the
+    /// fork-isolation suite can prove the CoW path byte-equivalent to it;
+    /// not used on any production path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmuError::SnapshotMismatch`] exactly as [`Machine::restore`].
+    pub fn restore_materialized(&mut self, snapshot: &Snapshot) -> Result<(), EmuError> {
+        let (_, ram_size) = self.bus().ram_range();
+        if snapshot.ram.len() != ram_size as usize {
+            return Err(EmuError::SnapshotMismatch(format!(
+                "snapshot RAM is {} bytes, machine has {}",
+                snapshot.ram.len(),
+                ram_size
+            )));
+        }
+        if snapshot.cpus.len() != self.cpu_count() {
+            return Err(EmuError::SnapshotMismatch(format!(
+                "snapshot has {} vCPUs, machine has {}",
+                snapshot.cpus.len(),
+                self.cpu_count()
+            )));
+        }
+        self.bus_mut().restore_ram_flat(&snapshot.ram);
+        self.finish_restore(snapshot);
+        Ok(())
+    }
+
+    fn finish_restore(&mut self, snapshot: &Snapshot) {
         self.bus_mut().devices = snapshot.devices.clone();
         for (i, cpu) in snapshot.cpus.iter().enumerate() {
             *self.cpu_mut(i) = cpu.clone();
         }
         self.set_retired(snapshot.global_retired);
-        Ok(())
+    }
+
+    /// Private overlay bytes guest RAM holds beyond its shared base
+    /// (0 right after a restore; grows with pages dirtied since).
+    pub fn ram_overlay_bytes(&self) -> usize {
+        self.bus().ram_overlay_bytes()
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use std::sync::Arc;
+
     use crate::hook::NullHook;
     use crate::isa::{Insn, Reg};
     use crate::machine::{Machine, RunExit};
@@ -151,13 +222,15 @@ mod tests {
     }
 
     #[test]
-    fn repeated_restores_use_dirty_fast_path_and_stay_exact() {
+    fn repeated_restores_use_cow_fast_path_and_stay_exact() {
         let mut m = counting_machine();
         m.run(&mut NullHook, 100).unwrap();
         let snap = m.snapshot();
-        // First restore takes the full-copy path and establishes the baseline.
+        // First restore forks RAM from the snapshot's base.
         m.restore(&snap).unwrap();
+        assert!(m.bus().ram_is_forked());
         assert_eq!(m.bus().dirty_ram_pages(), 0);
+        assert_eq!(m.ram_overlay_bytes(), 0);
         for round in 0..4u64 {
             // Dirty RAM through both guest stores and host bulk writes.
             m.run(&mut NullHook, 50 + round).unwrap();
@@ -165,30 +238,74 @@ mod tests {
             m.write_mem(ram_base + ram_size - 4, 4, 0xC0FF_EE00 + round as u32).unwrap();
             m.bus_mut().write_bytes(ram_base + 0x800, &[round as u8; 16]).unwrap();
             assert!(m.bus().dirty_ram_pages() > 0);
+            assert!(m.ram_overlay_bytes() > 0, "writes allocate overlay pages");
             m.restore(&snap).unwrap();
-            // Dirty-page restore must leave state byte-identical to a full
+            // CoW restore must leave state byte-identical to a full
             // restore: re-capturing reproduces the original snapshot exactly.
             assert_eq!(m.snapshot(), snap);
             assert_eq!(m.bus().dirty_ram_pages(), 0);
+            assert_eq!(m.ram_overlay_bytes(), 0, "restore frees the overlay");
         }
     }
 
     #[test]
-    fn restoring_a_different_snapshot_rebaselines() {
+    fn restoring_a_different_snapshot_rebases() {
         let mut m = counting_machine();
         m.run(&mut NullHook, 100).unwrap();
         let snap_a = m.snapshot();
-        m.restore(&snap_a).unwrap(); // baseline is now snap_a
+        m.restore(&snap_a).unwrap(); // RAM now forks from snap_a's base
         m.run(&mut NullHook, 100).unwrap();
         let snap_b = m.snapshot();
-        // Alternating snapshots always takes the full path, never a stale
-        // dirty baseline; each restore must be exact.
+        // Alternating snapshots re-forks each time; each restore must be
+        // exact (no stale overlay from the other base can survive).
         m.restore(&snap_a).unwrap();
         assert_eq!(m.snapshot(), snap_a);
         m.restore(&snap_b).unwrap();
         assert_eq!(m.snapshot(), snap_b);
         m.restore(&snap_a).unwrap();
         assert_eq!(m.snapshot(), snap_a);
+    }
+
+    #[test]
+    fn forked_machines_share_one_base() {
+        let mut a = counting_machine();
+        a.run(&mut NullHook, 100).unwrap();
+        let snap = a.snapshot();
+        let mut b = counting_machine();
+        a.restore(&snap).unwrap();
+        b.restore(&snap).unwrap();
+        assert!(a.bus().ram_shares_base(snap.ram_base()));
+        assert!(b.bus().ram_shares_base(snap.ram_base()));
+        // Diverge both; the base (and the other fork) must not observe it.
+        let (ram_base, _) = a.bus().ram_range();
+        a.write_mem(ram_base + 0x10, 4, 0xAAAA_AAAA).unwrap();
+        b.write_mem(ram_base + 0x10, 4, 0xBBBB_BBBB).unwrap();
+        assert_eq!(a.read_mem(ram_base + 0x10, 4).unwrap(), 0xAAAA_AAAA);
+        assert_eq!(b.read_mem(ram_base + 0x10, 4).unwrap(), 0xBBBB_BBBB);
+        a.restore(&snap).unwrap();
+        b.restore(&snap).unwrap();
+        assert_eq!(a.snapshot(), snap);
+        assert_eq!(b.snapshot(), snap);
+    }
+
+    #[test]
+    fn cow_restore_equals_materialized_restore() {
+        let mut cow = counting_machine();
+        cow.run(&mut NullHook, 100).unwrap();
+        let snap = cow.snapshot();
+        let mut flat = counting_machine();
+        cow.restore(&snap).unwrap();
+        flat.restore_materialized(&snap).unwrap();
+        for step in 0..3 {
+            cow.run(&mut NullHook, 80 + step).unwrap();
+            flat.run(&mut NullHook, 80 + step).unwrap();
+            assert_eq!(cow.snapshot(), flat.snapshot(), "divergence at step {step}");
+            cow.restore(&snap).unwrap();
+            flat.restore_materialized(&snap).unwrap();
+            assert_eq!(cow.snapshot(), snap);
+            assert_eq!(flat.snapshot(), snap);
+        }
+        assert!(Arc::strong_count(snap.ram_base()) >= 2, "cow machine shares the base");
     }
 
     #[test]
@@ -202,5 +319,6 @@ mod tests {
             .build()
             .unwrap();
         assert!(m2.restore(&snap).is_err());
+        assert!(m2.restore_materialized(&snap).is_err());
     }
 }

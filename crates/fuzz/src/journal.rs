@@ -162,6 +162,15 @@ pub struct StartInfo {
     pub program_budget: u64,
     /// Checkpoint cadence in iterations.
     pub checkpoint_interval: u64,
+    /// Content hash of the ready-point base image the campaign forked
+    /// from (see `embsan_core::session::BaseImage::hash`). Stamped by the
+    /// supervisor when the session is prepared; `0` means unstamped (the
+    /// record was built before a session existed). A resume verifies the
+    /// freshly prepared session hashes identically — journals encode only
+    /// this hash plus the campaign's dirty state, never a RAM image, so a
+    /// silent firmware/toolchain drift between kill and resume must be
+    /// caught here rather than by replay divergence.
+    pub base_hash: u64,
 }
 
 /// Supervisor bookkeeping that must survive kill/resume (it shapes future
@@ -555,6 +564,7 @@ impl Record {
                 enc.u64(start.ready_budget);
                 enc.u64(start.program_budget);
                 enc.u64(start.checkpoint_interval);
+                enc.u64(start.base_hash);
             }
             Record::CorpusAdd { iteration, program } => {
                 enc.u64(*iteration);
@@ -585,6 +595,7 @@ impl Record {
                 ready_budget: dec.u64()?,
                 program_budget: dec.u64()?,
                 checkpoint_interval: dec.u64()?,
+                base_hash: dec.u64()?,
             }),
             TAG_CORPUS => {
                 Record::CorpusAdd { iteration: dec.u64()?, program: dec_program(&mut dec)? }
@@ -847,6 +858,7 @@ mod tests {
             ready_budget: 200_000_000,
             program_budget: 3_000_000,
             checkpoint_interval: 500,
+            base_hash: 0xDEAD_BEEF_0BAD_F00D,
         });
         assert_eq!(roundtrip(&start), start);
         let add = Record::CorpusAdd { iteration: 7, program: sample_program() };
@@ -879,6 +891,7 @@ mod tests {
             ready_budget: 1,
             program_budget: 1,
             checkpoint_interval: 10,
+            base_hash: 0,
         });
         let add = Record::CorpusAdd { iteration: 3, program: sample_program() };
         {

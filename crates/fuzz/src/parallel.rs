@@ -45,7 +45,7 @@ use std::sync::{Arc, Barrier, Mutex};
 use std::time::{Duration, Instant};
 
 use embsan_core::report::{BugClass, Report};
-use embsan_core::session::{Session, SessionError};
+use embsan_core::session::{BaseImage, Session, SessionError};
 use embsan_emu::CacheStats;
 use embsan_guestos::executor::{sys, ExecProgram};
 use embsan_guestos::firmware::Fuzzer as PaperFuzzer;
@@ -135,6 +135,16 @@ pub struct ParallelStats {
     /// corpus entries. `None` for undirected runs (every score is
     /// [`UNSCORED`]) and before anything scored is retained.
     pub frontier: Option<(u32, u32)>,
+    /// Bytes of the ready-point base image (RAM plus sanitizer planes) —
+    /// paid once when workers share it, not per worker.
+    pub base_bytes: u64,
+    /// Largest per-iteration copy-on-write overlay any worker held
+    /// (private dirty pages beyond the shared base): the per-worker
+    /// incremental memory cost, O(pages touched) rather than O(RAM).
+    pub max_worker_overlay_bytes: u64,
+    /// Workers that forked from the shared base image (the rest kept a
+    /// private baseline because their ready-state hash differed).
+    pub workers_sharing_base: usize,
 }
 
 impl ParallelStats {
@@ -189,6 +199,21 @@ impl ParallelStats {
             self.cache.superblocks_formed,
         );
         registry.counter("hooks", "slow_path_checks", Telemetry, self.slow_path_checks);
+        // Memory accounting is telemetry: overlay peaks depend on which
+        // iterations a worker happened to claim.
+        registry.gauge("memory", "base_bytes", Telemetry, self.base_bytes as i64);
+        registry.gauge(
+            "memory",
+            "max_worker_overlay_bytes",
+            Telemetry,
+            self.max_worker_overlay_bytes as i64,
+        );
+        registry.gauge(
+            "memory",
+            "workers_sharing_base",
+            Telemetry,
+            self.workers_sharing_base as i64,
+        );
     }
 
     /// A metrics snapshot of these stats (see
@@ -265,9 +290,24 @@ struct Shared {
     bitmap: Vec<AtomicU8>,
     barrier: Barrier,
     fuzz_start: Mutex<Option<Instant>>,
-    /// Per-worker `(cache counters, slow-path shadow checks)` pushed at
-    /// worker exit.
-    worker_stats: Mutex<Vec<(CacheStats, u64)>>,
+    /// Per-worker exit statistics, pushed as each worker finishes.
+    worker_stats: Mutex<Vec<WorkerExit>>,
+    /// First-published ready-point base image. The first worker to come up
+    /// installs its base here; every later worker whose ready-state hash
+    /// matches adopts it and runs as a copy-on-write fork, so N workers
+    /// share one RAM + sanitizer-plane image.
+    base: Mutex<Option<Arc<BaseImage>>>,
+}
+
+/// One worker's exit statistics.
+struct WorkerExit {
+    cache: CacheStats,
+    slow_path_checks: u64,
+    /// Largest post-iteration overlay this worker held (bytes).
+    peak_overlay_bytes: u64,
+    base_bytes: u64,
+    /// Whether this worker forked from the shared base image.
+    shares_base: bool,
 }
 
 /// The RNG for iteration `iter`: a pure function of the campaign seed and
@@ -465,6 +505,28 @@ fn worker_loop<F>(
                 // events, whose timing depends on per-worker warmth.
                 session.enable_tracing(TraceConfig::deterministic());
             }
+            // Publish-or-adopt the ready-point base image. Adoption swaps
+            // the worker's private baseline for the shared one (hashes are
+            // verified inside `adopt_base`; a mismatch keeps the private
+            // copy, which is correct but costs a full RAM image). Findings
+            // are unaffected either way: the adopted base is bit-identical
+            // to the private one by construction.
+            let published = {
+                let mut base = shared.base.lock().unwrap();
+                match base.as_ref() {
+                    Some(base) => Some(Arc::clone(base)),
+                    None => {
+                        *base = session.base().cloned();
+                        None
+                    }
+                }
+            };
+            if let Some(base) = published {
+                if let Err(e) = session.adopt_base(&base) {
+                    shared.error.lock().unwrap().get_or_insert(CampaignError::from(e));
+                    shared.stop.store(true, Ordering::SeqCst);
+                }
+            }
             Some(session)
         }
         Err(e) => {
@@ -478,6 +540,10 @@ fn worker_loop<F>(
         mutator.set_operands(direction.operands());
     }
     let mut coverage = CoverageMap::new();
+    // Peak private overlay across the worker's schedule, sampled after
+    // each iteration (a reset frees the overlay again, so end-of-run
+    // sampling would always read ~0).
+    let mut peak_overlay: usize = 0;
 
     if shared.barrier.wait().is_leader() {
         *shared.fuzz_start.lock().unwrap() = Some(Instant::now());
@@ -506,6 +572,7 @@ fn worker_loop<F>(
                             for &(index, class) in &result.cover {
                                 shared.bitmap[index as usize].fetch_or(class, Ordering::Relaxed);
                             }
+                            peak_overlay = peak_overlay.max(session.overlay_bytes());
                             batch.push(result);
                         }
                         Err(e) => {
@@ -539,11 +606,19 @@ fn worker_loop<F>(
         }
     }
     if let Some(session) = &session {
-        shared
-            .worker_stats
+        let shares_base = shared
+            .base
             .lock()
             .unwrap()
-            .push((session.cache_stats(), session.runtime().slow_path_checks()));
+            .as_ref()
+            .is_some_and(|base| session.base().is_some_and(|own| Arc::ptr_eq(own, base)));
+        shared.worker_stats.lock().unwrap().push(WorkerExit {
+            cache: session.cache_stats(),
+            slow_path_checks: session.runtime().slow_path_checks(),
+            peak_overlay_bytes: peak_overlay as u64,
+            base_bytes: session.base_bytes() as u64,
+            shares_base,
+        });
     }
 }
 
@@ -624,6 +699,7 @@ where
         barrier: Barrier::new(config.workers),
         fuzz_start: Mutex::new(None),
         worker_stats: Mutex::new(Vec::new()),
+        base: Mutex::new(None),
     };
     if config.campaign.iterations == 0 {
         shared.stop.store(true, Ordering::SeqCst);
@@ -645,12 +721,19 @@ where
     }
     let fuzz_wall =
         shared.fuzz_start.lock().unwrap().map(|start| start.elapsed()).unwrap_or_default();
-    let (cache, slow_path_checks) = shared
-        .worker_stats
-        .lock()
-        .unwrap()
-        .iter()
-        .fold((CacheStats::default(), 0u64), |(acc, slow), &(s, sp)| (acc.merged(s), slow + sp));
+    let (cache, slow_path_checks, base_bytes, max_worker_overlay_bytes, workers_sharing_base) =
+        shared.worker_stats.lock().unwrap().iter().fold(
+            (CacheStats::default(), 0u64, 0u64, 0u64, 0usize),
+            |(cache, slow, base, overlay, sharing), w| {
+                (
+                    cache.merged(w.cache),
+                    slow + w.slow_path_checks,
+                    base.max(w.base_bytes),
+                    overlay.max(w.peak_overlay_bytes),
+                    sharing + usize::from(w.shares_base),
+                )
+            },
+        );
     let published_coverage =
         shared.bitmap.iter().filter(|b| b.load(Ordering::Relaxed) != 0).count();
     let state = shared.merge.into_inner().unwrap();
@@ -666,6 +749,9 @@ where
         slow_path_checks,
         published_coverage,
         frontier: crate::directed::frontier(&state.scores),
+        base_bytes,
+        max_worker_overlay_bytes,
+        workers_sharing_base,
     };
     Ok(ParallelOutcome {
         findings: state.findings,

@@ -335,6 +335,9 @@ fn start_info(spec: &FirmwareSpec, config: &SupervisorConfig) -> StartInfo {
         ready_budget: config.campaign.ready_budget,
         program_budget: config.campaign.program_budget,
         checkpoint_interval: config.checkpoint_interval,
+        // Stamped by `run_supervised_span` once the session exists: the
+        // hash is a property of the booted ready state, not the config.
+        base_hash: 0,
     }
 }
 
@@ -498,6 +501,22 @@ pub fn run_supervised_span(
         session.enable_tracing(TraceConfig::deterministic());
     }
     let mut trace = config.trace.then(MergedTrace::default);
+    // Stamp or verify the base-image identity before the fuzzer borrows
+    // the session. A fresh campaign records the live session's hash in its
+    // Start record; a resume insists the freshly prepared session reached
+    // a bit-identical ready state — the journal stores only this hash and
+    // the campaign's dirty state, never a RAM image, so firmware or
+    // toolchain drift between kill and resume must be caught here.
+    let mut start = start;
+    let live_hash = session.base_hash().unwrap_or(0);
+    if start.base_hash == 0 {
+        start.base_hash = live_hash;
+    } else if start.base_hash != live_hash {
+        return Err(CampaignError::from(JournalError::NotResumable(format!(
+            "base image hash mismatch: journal has {:#018x}, prepared session is {:#018x}",
+            start.base_hash, live_hash
+        ))));
+    }
     let mut fuzzer_config = FuzzerConfig::new(start.strategy, start.seed);
     fuzzer_config.program_budget = start.program_budget;
     let mut fuzzer = Fuzzer::new(session, descs, dict, fuzzer_config);

@@ -34,10 +34,11 @@ use std::collections::{BTreeMap, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use embsan_core::session::Session;
+use embsan_core::session::{BaseImage, Session};
 use embsan_fuzz::campaign::prepare_session;
 use embsan_fuzz::{
     descriptions_for, retry_io, run_supervised_span, CampaignConfig, Dictionary, Journal,
@@ -196,7 +197,15 @@ pub struct ServeEngine {
     manifest_retries: u64,
     workers_replaced: u64,
     park_events: u64,
+    /// One ready-point base image per firmware identity, shared by every
+    /// job and worker (including replacement workers): N concurrent
+    /// campaigns of the same firmware cost one RAM + sanitizer-plane image
+    /// plus per-job copy-on-write overlays.
+    bases: BaseCache,
 }
+
+/// Shared per-firmware base images, keyed by [`firmware_identity`].
+type BaseCache = Arc<Mutex<HashMap<u64, Arc<BaseImage>>>>;
 
 impl ServeEngine {
     /// Opens (or creates) the daemon state directory, recovers every job
@@ -240,10 +249,16 @@ impl ServeEngine {
             manifest_retries: 0,
             workers_replaced: 0,
             park_events: 0,
+            bases: Arc::new(Mutex::new(HashMap::new())),
             config,
         };
         for index in 0..engine.config.workers {
-            let worker = spawn_worker(index, engine.config.clone(), engine.result_tx.clone());
+            let worker = spawn_worker(
+                index,
+                engine.config.clone(),
+                engine.result_tx.clone(),
+                Arc::clone(&engine.bases),
+            );
             engine.workers.push(worker);
         }
         for spec in specs {
@@ -581,7 +596,12 @@ impl ServeEngine {
         // current (ignored) turn; dropping its JoinHandle detaches it so
         // the engine never blocks on a wedged thread. It can no longer
         // write: its last journal append completed before the wedge.
-        self.workers[index] = spawn_worker(index, self.config.clone(), self.result_tx.clone());
+        self.workers[index] = spawn_worker(
+            index,
+            self.config.clone(),
+            self.result_tx.clone(),
+            Arc::clone(&self.bases),
+        );
     }
 
     // -- Introspection ------------------------------------------------------
@@ -727,28 +747,39 @@ struct JobCtx {
     resume: Option<ResumePoint>,
 }
 
-fn spawn_worker(index: usize, config: ServeConfig, tx: Sender<TurnResult>) -> WorkerHandle {
+fn spawn_worker(
+    index: usize,
+    config: ServeConfig,
+    tx: Sender<TurnResult>,
+    bases: BaseCache,
+) -> WorkerHandle {
     let (sender, rx) = channel::<Assignment>();
     let thread = std::thread::Builder::new()
         .name(format!("serve-worker-{index}"))
-        .spawn(move || worker_loop(&rx, &tx, &config))
+        .spawn(move || worker_loop(&rx, &tx, &config, &bases))
         .expect("spawn serve worker");
     WorkerHandle { sender: Some(sender), thread: Some(thread) }
 }
 
-fn worker_loop(rx: &Receiver<Assignment>, tx: &Sender<TurnResult>, config: &ServeConfig) {
+fn worker_loop(
+    rx: &Receiver<Assignment>,
+    tx: &Sender<TurnResult>,
+    config: &ServeConfig,
+    bases: &BaseCache,
+) {
     let mut ctxs: HashMap<u64, JobCtx> = HashMap::new();
     while let Ok(Assignment { token, spec }) = rx.recv() {
         let job = spec.id;
-        let payload = match catch_unwind(AssertUnwindSafe(|| run_turn(&mut ctxs, &spec, config))) {
-            Ok(payload) => payload,
-            Err(_) => {
-                // The panicked turn may have left the context
-                // half-mutated; drop it — the journal has everything.
-                ctxs.remove(&job);
-                Payload::Panicked
-            }
-        };
+        let payload =
+            match catch_unwind(AssertUnwindSafe(|| run_turn(&mut ctxs, &spec, config, bases))) {
+                Ok(payload) => payload,
+                Err(_) => {
+                    // The panicked turn may have left the context
+                    // half-mutated; drop it — the journal has everything.
+                    ctxs.remove(&job);
+                    Payload::Panicked
+                }
+            };
         // A send failure means the engine is gone (or replaced us); either
         // way there is no one to report to.
         if tx.send(TurnResult { token, job, payload }).is_err() {
@@ -757,8 +788,13 @@ fn worker_loop(rx: &Receiver<Assignment>, tx: &Sender<TurnResult>, config: &Serv
     }
 }
 
-fn run_turn(ctxs: &mut HashMap<u64, JobCtx>, spec: &JobSpec, config: &ServeConfig) -> Payload {
-    match turn_inner(ctxs, spec, config) {
+fn run_turn(
+    ctxs: &mut HashMap<u64, JobCtx>,
+    spec: &JobSpec,
+    config: &ServeConfig,
+    bases: &BaseCache,
+) -> Payload {
+    match turn_inner(ctxs, spec, config, bases) {
         Ok(payload) => payload,
         Err(error) => Payload::Failed(error),
     }
@@ -778,8 +814,9 @@ fn turn_inner(
     ctxs: &mut HashMap<u64, JobCtx>,
     spec: &JobSpec,
     config: &ServeConfig,
+    bases: &BaseCache,
 ) -> Result<Payload, String> {
-    ensure_ctx(ctxs, spec, config)?;
+    ensure_ctx(ctxs, spec, config, bases)?;
     let ctx = ctxs.get_mut(&spec.id).expect("context just ensured");
     let total = ctx.start.iterations;
     let cur = match &ctx.resume {
@@ -849,6 +886,7 @@ fn ensure_ctx(
     ctxs: &mut HashMap<u64, JobCtx>,
     spec: &JobSpec,
     config: &ServeConfig,
+    bases: &BaseCache,
 ) -> Result<(), String> {
     if ctxs.contains_key(&spec.id) {
         return Ok(());
@@ -861,7 +899,7 @@ fn ensure_ctx(
         ready_budget: config.ready_budget,
         program_budget: config.program_budget,
     };
-    let start = StartInfo {
+    let mut start = StartInfo {
         firmware: spec.firmware.clone(),
         strategy: strategy_for(fw),
         seed: spec.seed,
@@ -869,20 +907,47 @@ fn ensure_ctx(
         ready_budget: campaign.ready_budget,
         program_budget: campaign.program_budget,
         checkpoint_interval: config.slice,
+        base_hash: 0,
     };
     let path = spec.journal_path(&config.state_dir);
     let (journal, resume) = if path.exists() {
         let loaded = Journal::load(&path).map_err(|e| format!("journal load: {e}"))?;
         // A journal with no intact Start record (killed before the first
         // append) restarts from scratch: resume None re-appends Start.
-        let resume = loaded.start().ok().map(|_| ResumePoint::from_journal(&loaded));
+        // An intact Start carries the base-image hash of the killed run;
+        // adopting it makes the supervised span verify that the rebuilt
+        // session forked from a bit-identical ready state.
+        let resume = loaded.start().ok().map(|journaled| {
+            start.base_hash = journaled.base_hash;
+            ResumePoint::from_journal(&loaded)
+        });
         let journal =
             Journal::reopen(&path, loaded.valid_len).map_err(|e| format!("journal reopen: {e}"))?;
         (journal, resume)
     } else {
         (Journal::create(&path).map_err(|e| format!("journal create: {e}"))?, None)
     };
-    let (session, dict) = prepare_session(fw, &campaign).map_err(|e| e.to_string())?;
+    let (mut session, dict) = prepare_session(fw, &campaign).map_err(|e| e.to_string())?;
+    // Share one base image per firmware across the whole daemon. Every job
+    // of a firmware boots to the same ready state, so the first session to
+    // come up publishes its base and the rest adopt it, holding only their
+    // dirty-page overlays. A hash mismatch (adopt_base returns false)
+    // keeps the private copy — correct, just not shared.
+    {
+        let mut cache = bases.lock().unwrap();
+        match cache.get(&firmware_identity(&spec.firmware)) {
+            Some(base) => {
+                let base = Arc::clone(base);
+                drop(cache);
+                session.adopt_base(&base).map_err(|e| format!("base adopt: {e}"))?;
+            }
+            None => {
+                if let Some(own) = session.base() {
+                    cache.insert(firmware_identity(&spec.firmware), Arc::clone(own));
+                }
+            }
+        }
+    }
     ctxs.insert(spec.id, JobCtx { fw, session, dict, journal, start, resume });
     Ok(())
 }

@@ -270,6 +270,7 @@ fn journal_survives_torn_tails_and_rejects_corruption() {
         ready_budget: 1_000,
         program_budget: 2_000,
         checkpoint_interval: 10,
+        base_hash: 0,
     };
     {
         let mut journal = Journal::create(&path).unwrap();
