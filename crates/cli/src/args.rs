@@ -54,6 +54,7 @@ const VALUED: &[&str] = &[
     "firmware",
     "priority",
     "drill",
+    "mmio-model-free",
 ];
 
 /// Parses `argv` (without the subcommand itself).

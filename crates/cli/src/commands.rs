@@ -89,6 +89,17 @@ USAGE:
                                  trace (deterministic event subset; plain
                                  runs route through the supervised loop to
                                  collect per-iteration spans)
+      --mmio-model-free BASE:SIZE
+                                 serve guest reads in [BASE, BASE+SIZE) from
+                                 a fuzzer-controlled response stream with
+                                 per-(pc, addr) refinement instead of
+                                 faulting (hex with 0x, or decimal)
+      --mmio-withheld            additionally hide the platform device
+                                 window from the guest (the region must
+                                 cover it): fuzz a firmware whose MMIO map
+                                 was never modelled. Programs then run to
+                                 their fixed budget slice; journaled runs
+                                 record the configuration and resume it
   embsan trace <image> [--call NR:ARG,...]... [--cpus N] [--budget N]
                                  boot under EMBSAN, run executor calls, and
                                  export the structured event trace
@@ -516,6 +527,30 @@ fn parse_call(text: &str) -> Result<(u8, Vec<u32>), String> {
     Ok((nr, args))
 }
 
+/// Parses `--mmio-model-free BASE:SIZE` (hex with `0x`, or decimal) and the
+/// companion `--mmio-withheld` switch into the model-free MMIO region.
+fn mmio_model_free(parsed: &Parsed) -> Result<(Option<(u32, u32)>, bool), String> {
+    let withheld = parsed.flags.iter().any(|f| f == "mmio-withheld");
+    let Some(text) = parsed.option("mmio-model-free") else {
+        if withheld {
+            return Err("--mmio-withheld requires --mmio-model-free BASE:SIZE".to_string());
+        }
+        return Ok((None, false));
+    };
+    let parse = |part: &str| -> Result<u32, String> {
+        let (digits, radix) = part.strip_prefix("0x").map_or((part, 10), |hex| (hex, 16));
+        u32::from_str_radix(digits, radix).map_err(|e| format!("--mmio-model-free {text}: {e}"))
+    };
+    let (base, size) = text
+        .split_once(':')
+        .ok_or_else(|| format!("--mmio-model-free {text}: expected BASE:SIZE"))?;
+    let region = (parse(base)?, parse(size)?);
+    if region.1 == 0 {
+        return Err("--mmio-model-free: size must be non-zero".to_string());
+    }
+    Ok((Some(region), withheld))
+}
+
 fn ready_session(parsed: &Parsed) -> Result<(Session, FirmwareImage), String> {
     let image = load_image(parsed)?;
     let mode = probe_mode(parsed, &image)?;
@@ -524,6 +559,12 @@ fn ready_session(parsed: &Parsed) -> Result<(Session, FirmwareImage), String> {
     let cpus = parsed.option_u64("cpus", 1)? as usize;
     let mut session =
         Session::with_cpus(&image, &specs, &artifacts, cpus).map_err(|e| e.to_string())?;
+    let (model_free, withheld) = mmio_model_free(parsed)?;
+    if let Some((base, size)) = model_free {
+        // Before run_to_ready, so boot-time refinement is in the reset
+        // snapshot (see Session::enable_model_free).
+        session.enable_model_free(base, size, withheld);
+    }
     session.run_to_ready(parsed.option_u64("budget", 400_000_000)?).map_err(|e| e.to_string())?;
     Ok((session, image))
 }
@@ -806,6 +847,7 @@ fn cmd_fuzz_parallel(parsed: &Parsed, workers: usize) -> Result<(), String> {
     let specs = embsan_core::reference_specs().map_err(|e| e.to_string())?;
     let cpus = parsed.option_u64("cpus", 1)? as usize;
     let ready_budget = parsed.option_u64("budget", 400_000_000)?;
+    let (model_free, mmio_withheld) = mmio_model_free(parsed)?;
     let config = ParallelConfig {
         workers,
         epoch_len: parsed.option_u64("epoch", 64)?,
@@ -813,6 +855,8 @@ fn cmd_fuzz_parallel(parsed: &Parsed, workers: usize) -> Result<(), String> {
             iterations: parsed.option_u64("iters", 5_000)?,
             seed: parsed.option_u64("seed", 0xE1B)?,
             ready_budget,
+            model_free,
+            mmio_withheld,
             ..CampaignConfig::default()
         },
         trace: parsed.option("trace-out").is_some(),
@@ -832,6 +876,9 @@ fn cmd_fuzz_parallel(parsed: &Parsed, workers: usize) -> Result<(), String> {
     let factory = |_worker: usize| -> Result<Session, CampaignError> {
         let mut session =
             Session::with_cpus(&image, &specs, &artifacts, cpus).map_err(CampaignError::from)?;
+        if let Some((base, size)) = model_free {
+            session.enable_model_free(base, size, mmio_withheld);
+        }
         session.run_to_ready(ready_budget).map_err(CampaignError::from)?;
         Ok(session)
     };
@@ -1034,7 +1081,12 @@ fn cmd_fuzz_supervised(
     }
     let image_path = parsed.positional.first().ok_or("expected an image path")?.clone();
     let (mut session, image) = ready_session(parsed)?;
-    let config = fuzz_supervisor_config(parsed)?;
+    let mut config = fuzz_supervisor_config(parsed)?;
+    let (model_free, mmio_withheld) = mmio_model_free(parsed)?;
+    // Keep the supervisor's campaign view coherent with the live session
+    // (ready_session already enabled the region before boot).
+    config.campaign.model_free = model_free;
+    config.campaign.mmio_withheld = mmio_withheld;
     let start = StartInfo {
         firmware: image_path,
         strategy: Strategy::Tardis,
@@ -1045,6 +1097,8 @@ fn cmd_fuzz_supervised(
         checkpoint_interval: config.checkpoint_interval,
         // Stamped with the live session's hash by the supervised span.
         base_hash: 0,
+        model_free,
+        mmio_withheld,
     };
     let syscall_descs = fuzz_descriptions(parsed)?;
     let dict = Dictionary::extract(&image);
@@ -1102,6 +1156,11 @@ fn cmd_fuzz_resume(parsed: &Parsed) -> Result<(), String> {
     let cpus = parsed.option_u64("cpus", 1)? as usize;
     let mut session =
         Session::with_cpus(&image, &specs, &artifacts, cpus).map_err(|e| e.to_string())?;
+    if let Some((base, size)) = start.model_free {
+        // Replaying a model-free campaign requires the same refinement
+        // configuration the journal was recorded under.
+        session.enable_model_free(base, size, start.mmio_withheld);
+    }
     session.run_to_ready(start.ready_budget).map_err(|e| e.to_string())?;
 
     let mut config = fuzz_supervisor_config(parsed)?;
@@ -1110,6 +1169,8 @@ fn cmd_fuzz_resume(parsed: &Parsed) -> Result<(), String> {
         seed: start.seed,
         ready_budget: start.ready_budget,
         program_budget: start.program_budget,
+        model_free: start.model_free,
+        mmio_withheld: start.mmio_withheld,
     };
     config.checkpoint_interval = start.checkpoint_interval;
     let resume = embsan_fuzz::ResumePoint::from_journal(&loaded);

@@ -365,6 +365,43 @@ impl Session {
         self.runtime.set_race_priorities(addrs);
     }
 
+    /// Enables the model-free MMIO region (`[base, base + size)`): reads
+    /// with no device behind them are answered from a fuzzer-controlled
+    /// response stream with Ember-IO-style per-(pc, addr) refinement
+    /// instead of faulting. With `withhold_devices` the platform device
+    /// window itself is hidden and must be covered by the region — the
+    /// "fuzz firmware whose MMIO map we never modelled" mode.
+    ///
+    /// Call before [`run_to_ready`](Session::run_to_ready) so the
+    /// boot-time refinement state (cache, cursor) is part of the reset
+    /// snapshot and survives kill/resume and CoW forking.
+    pub fn enable_model_free(&mut self, base: u32, size: u32, withhold_devices: bool) {
+        self.machine.bus_mut().enable_model_free(base, size, withhold_devices);
+    }
+
+    /// Installs the response stream for the model-free MMIO region and
+    /// rewinds its cursor (the refinement cache is kept — committed
+    /// responses persist across iterations like a learned peripheral
+    /// model). Call after [`reset`](Session::reset), before running an
+    /// iteration's program. No-op when model-free MMIO is not enabled.
+    pub fn set_model_free_stream(&mut self, stream: &[u8]) {
+        if let Some(mf) = self.machine.bus_mut().devices.model_free.as_mut() {
+            mf.set_stream(stream);
+        }
+    }
+
+    /// Refinement statistics for the model-free MMIO region, if enabled.
+    pub fn model_free_stats(&self) -> Option<embsan_emu::ModelFreeStats> {
+        self.machine.bus().devices.model_free.as_ref().map(|mf| mf.stats)
+    }
+
+    /// Whether the platform device window is withheld (served entirely by
+    /// the model-free region). In this mode the guest's result writes are
+    /// absorbed, so programs run to their full budget by design.
+    pub fn mmio_withheld(&self) -> bool {
+        self.machine.bus().mmio_is_withheld()
+    }
+
     /// Renders a report against this session's firmware symbols.
     pub fn render_report(&self, report: &Report) -> String {
         report.render(if self.image.has_symbols() { Some(&self.image) } else { None })
@@ -529,6 +566,13 @@ impl Session {
         self.machine.take_console();
         self.runtime.take_new_reports();
         self.machine.bus_mut().devices.mailbox.host_load(&program.encode());
+        // With model-free MMIO enabled the program is also the response
+        // stream (the mailbox may sit inside the withheld window), so every
+        // execution path — fuzzing, reproduction, minimization, trace
+        // capture — installs it here rather than at each call site.
+        if self.machine.bus().devices.model_free.is_some() {
+            self.set_model_free_stream(&program.model_free_stream());
+        }
         // Run in slices, waking parked vCPUs at each slice boundary (`wfi`
         // waits for an event; host slicing is one). The completion signal is
         // the executor's per-call result bytes — `AllIdle` alone is not

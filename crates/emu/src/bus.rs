@@ -6,6 +6,7 @@ use crate::cow::PagedBytes;
 use crate::device::DeviceSet;
 use crate::dirty::{DirtyPages, RAM_PAGE_SHIFT};
 use crate::error::Fault;
+use crate::mmio_free::ModelFreeMmio;
 use crate::profile::{ArchProfile, Endian};
 
 /// End of the null guard page: accesses below this address fault as
@@ -94,6 +95,12 @@ pub struct Bus {
     /// RAM pages written since the last snapshot restore; lets restore copy
     /// only touched pages back from the pristine image.
     ram_dirty: DirtyPages,
+    /// When set, the platform device window is *withheld*: guest accesses
+    /// to it are not dispatched to [`DeviceSet`] and instead fall through
+    /// to the model-free region (which must cover the window) — the
+    /// "fuzz firmware whose MMIO map we don't know" mode. Host-side
+    /// device access is unaffected.
+    mmio_withheld: bool,
     /// The platform devices. Public so hosts (fuzzers, benches, the prober)
     /// can drive the mailbox and read the UART.
     pub devices: DeviceSet,
@@ -119,8 +126,33 @@ impl Bus {
             mmio_xor_reads: 0,
             mmio_xor: 0,
             ram_dirty: DirtyPages::new(ram_size as usize, RAM_PAGE_SHIFT),
+            mmio_withheld: false,
             devices: DeviceSet::new(rng_seed),
         }
+    }
+
+    /// Installs a model-free MMIO region answering reads in
+    /// `base..base+size` from a fuzzer-controlled response stream (see
+    /// [`crate::mmio_free`]). With `withhold_devices`, the platform
+    /// device window is additionally hidden from the guest so its
+    /// accesses fall through to the model-free region — the region must
+    /// then cover the window.
+    pub fn enable_model_free(&mut self, base: u32, size: u32, withhold_devices: bool) {
+        self.devices.model_free = Some(ModelFreeMmio::new(base, size));
+        self.mmio_withheld = withhold_devices;
+        if withhold_devices {
+            let mf = self.devices.model_free.as_ref().expect("just installed");
+            assert!(
+                mf.contains(self.mmio_base, 1)
+                    && mf.contains(self.mmio_base.saturating_add(self.mmio_size - 1), 1),
+                "withheld device window must be covered by the model-free region"
+            );
+        }
+    }
+
+    /// Whether the platform device window is withheld from the guest.
+    pub fn mmio_is_withheld(&self) -> bool {
+        self.mmio_withheld
     }
 
     /// Opens a fault-injection window: the next `reads` guest MMIO reads
@@ -210,12 +242,25 @@ impl Bus {
         }
     }
 
-    /// Performs a guest read of `size` bytes (1, 2 or 4) at `addr`.
+    /// Performs a guest read of `size` bytes (1, 2 or 4) at `addr`
+    /// without an attributed program counter (host-side and legacy
+    /// callers). Guest instruction paths use [`Bus::read_at`] so
+    /// model-free responses are cached per read *site*.
     ///
     /// # Errors
     ///
     /// Faults on misalignment, the null guard page, and unmapped addresses.
     pub fn read(&mut self, addr: u32, size: u8) -> Result<u32, Fault> {
+        self.read_at(addr, size, 0)
+    }
+
+    /// Performs a guest read of `size` bytes (1, 2 or 4) at `addr` from
+    /// the instruction at `pc`.
+    ///
+    /// # Errors
+    ///
+    /// Faults on misalignment, the null guard page, and unmapped addresses.
+    pub fn read_at(&mut self, addr: u32, size: u8, pc: u32) -> Result<u32, Fault> {
         if !addr.is_multiple_of(u32::from(size)) {
             return Err(Fault::Misaligned { addr, size });
         }
@@ -229,7 +274,7 @@ impl Bus {
             let off = (addr - self.rom.base) as usize;
             return Ok(Self::load_int(&self.rom.data[off..off + size as usize], self.endian));
         }
-        if self.is_mmio(addr) {
+        if !self.mmio_withheld && self.is_mmio(addr) {
             let mut value = self.devices.read(addr - self.mmio_base);
             if self.mmio_xor_reads > 0 {
                 self.mmio_xor_reads -= 1;
@@ -237,16 +282,33 @@ impl Bus {
             }
             return Ok(value);
         }
+        if let Some(mf) = &mut self.devices.model_free {
+            if mf.contains(addr, len) {
+                return Ok(mf.read(pc, addr, size));
+            }
+        }
         Err(self.classify_fault(addr, false))
     }
 
-    /// Performs a guest write of `size` bytes (1, 2 or 4) at `addr`.
+    /// Performs a guest write of `size` bytes (1, 2 or 4) at `addr`
+    /// without an attributed program counter (see [`Bus::read`]).
     ///
     /// # Errors
     ///
     /// Faults on misalignment, ROM writes, the null guard page, and unmapped
     /// addresses.
     pub fn write(&mut self, addr: u32, size: u8, value: u32) -> Result<(), Fault> {
+        self.write_at(addr, size, value, 0)
+    }
+
+    /// Performs a guest write of `size` bytes (1, 2 or 4) at `addr` from
+    /// the instruction at `pc`.
+    ///
+    /// # Errors
+    ///
+    /// Faults on misalignment, ROM writes, the null guard page, and unmapped
+    /// addresses.
+    pub fn write_at(&mut self, addr: u32, size: u8, value: u32, pc: u32) -> Result<(), Fault> {
         if !addr.is_multiple_of(u32::from(size)) {
             return Err(Fault::Misaligned { addr, size });
         }
@@ -261,9 +323,15 @@ impl Bus {
         if self.rom.contains(addr, len) {
             return Err(Fault::RomWrite { addr });
         }
-        if self.is_mmio(addr) {
+        if !self.mmio_withheld && self.is_mmio(addr) {
             self.devices.write(addr - self.mmio_base, value);
             return Ok(());
+        }
+        if let Some(mf) = &mut self.devices.model_free {
+            if mf.contains(addr, len) {
+                mf.write(pc, addr, value);
+                return Ok(());
+            }
         }
         Err(self.classify_fault(addr, true))
     }
@@ -289,11 +357,29 @@ impl Bus {
         Err(Fault::BadFetch { pc })
     }
 
+    /// The first byte of `addr..addr+len` not covered by the region the
+    /// range starts in (RAM or ROM) — the exact faulting address for a
+    /// byte-granular access, rather than the request base. A range that
+    /// starts outside both regions faults at its base.
+    fn first_uncovered_byte(&self, addr: u32, len: u32) -> u32 {
+        if self.ram_contains(addr, 1) {
+            // Starts in RAM: faults at the first byte past RAM's end.
+            let ram_end = u64::from(self.ram_base) + self.ram.len() as u64;
+            return ram_end.min(u64::from(addr) + u64::from(len) - 1) as u32;
+        }
+        if self.rom.contains(addr, 1) {
+            let rom_end = u64::from(self.rom.base) + self.rom.data.len() as u64;
+            return rom_end.min(u64::from(addr) + u64::from(len) - 1) as u32;
+        }
+        addr
+    }
+
     /// Host-side bulk read from ROM or RAM (never touches devices).
     ///
     /// # Errors
     ///
-    /// Faults if any byte of the range is outside ROM and RAM.
+    /// Faults at the exact first uncovered byte if any byte of the range
+    /// is outside ROM and RAM.
     pub fn read_bytes(&self, addr: u32, buf: &mut [u8]) -> Result<(), Fault> {
         let len = buf.len() as u32;
         if self.ram_contains(addr, len) {
@@ -306,7 +392,7 @@ impl Bus {
             buf.copy_from_slice(&self.rom.data[off..off + buf.len()]);
             return Ok(());
         }
-        Err(self.classify_fault(addr, false))
+        Err(self.classify_fault(self.first_uncovered_byte(addr, len.max(1)), false))
     }
 
     /// Host-side bulk write into RAM (used by loaders and the fuzzer to
@@ -314,7 +400,8 @@ impl Bus {
     ///
     /// # Errors
     ///
-    /// Faults if any byte of the range is outside RAM.
+    /// Faults at the exact first uncovered byte if any byte of the range
+    /// is outside RAM.
     pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) -> Result<(), Fault> {
         let len = bytes.len() as u32;
         if self.ram_contains(addr, len) {
@@ -323,7 +410,11 @@ impl Bus {
             self.ram.write_bytes(off, bytes);
             return Ok(());
         }
-        Err(self.classify_fault(addr, true))
+        if self.rom.contains(addr, 1) {
+            // Starts in ROM: a bulk *write* is a ROM write at the base.
+            return Err(Fault::RomWrite { addr });
+        }
+        Err(self.classify_fault(self.first_uncovered_byte(addr, len.max(1)), true))
     }
 
     /// Materializes the current RAM contents as an owned vector
@@ -483,5 +574,107 @@ mod tests {
         assert_eq!(rom_buf, [0xAA, 0xAA]);
         // Bulk writes cannot touch ROM.
         assert!(bus.write_bytes(0x1_0000, &[0]).is_err());
+    }
+
+    #[test]
+    fn misalignment_at_device_boundaries() {
+        let mut bus = test_bus(Endian::Little);
+        let mmio = 0xF000_0000;
+        // Halfword/word accesses at odd offsets inside the window fault as
+        // misaligned before any device sees them.
+        for (addr, size) in [(mmio + 0x101, 2u8), (mmio + 0x102, 4), (mmio + 0x3FE, 4)] {
+            assert_eq!(bus.read(addr, size), Err(Fault::Misaligned { addr, size }));
+            assert_eq!(bus.write(addr, size, 1), Err(Fault::Misaligned { addr, size }));
+        }
+        // The exact first and last aligned words of the window dispatch.
+        assert!(bus.read(mmio, 4).is_ok());
+        assert!(bus.read(mmio + 0x0FFC, 4).is_ok());
+        // One word past the window is unmapped, not a device.
+        assert_eq!(
+            bus.read(mmio + 0x1000, 4),
+            Err(Fault::Unmapped { addr: mmio + 0x1000, is_write: false })
+        );
+    }
+
+    #[test]
+    fn rom_write_and_null_guard_faults() {
+        let mut bus = test_bus(Endian::Little);
+        // Every size of ROM store faults as RomWrite at the exact address.
+        for size in [1u8, 2, 4] {
+            assert_eq!(bus.write(0x1_0004, size, 0), Err(Fault::RomWrite { addr: 0x1_0004 }));
+        }
+        // Null-guard faults cover the whole guard page, reads and writes.
+        assert_eq!(bus.read(0xFFC, 4), Err(Fault::NullPage { addr: 0xFFC, is_write: false }));
+        assert_eq!(bus.write(0xFFC, 4, 1), Err(Fault::NullPage { addr: 0xFFC, is_write: true }));
+        // First byte past the guard is merely unmapped.
+        assert_eq!(bus.read(0x1000, 4), Err(Fault::Unmapped { addr: 0x1000, is_write: false }));
+    }
+
+    #[test]
+    fn bulk_access_straddling_a_region_boundary_faults_at_exact_byte() {
+        let mut bus = test_bus(Endian::Little);
+        // RAM is 0x10_0000..0x10_1000: a 8-byte read starting 4 bytes
+        // before the end faults at the first byte past RAM, not the base.
+        let mut buf = [0u8; 8];
+        assert_eq!(
+            bus.read_bytes(0x10_0FFC, &mut buf),
+            Err(Fault::Unmapped { addr: 0x10_1000, is_write: false })
+        );
+        assert_eq!(
+            bus.write_bytes(0x10_0FFC, &buf),
+            Err(Fault::Unmapped { addr: 0x10_1000, is_write: true })
+        );
+        // ROM is 0x1_0000..0x1_0040: a straddling bulk read faults at the
+        // first byte past ROM.
+        let mut rom_buf = [0u8; 0x50];
+        assert_eq!(
+            bus.read_bytes(0x1_0000, &mut rom_buf),
+            Err(Fault::Unmapped { addr: 0x1_0040, is_write: false })
+        );
+        // A range starting outside everything still faults at its base.
+        assert_eq!(
+            bus.read_bytes(0x8000_0000, &mut buf),
+            Err(Fault::Unmapped { addr: 0x8000_0000, is_write: false })
+        );
+        assert_eq!(
+            bus.read_bytes(0x10, &mut buf),
+            Err(Fault::NullPage { addr: 0x10, is_write: false })
+        );
+    }
+
+    #[test]
+    fn model_free_region_answers_before_unmapped() {
+        let mut bus = test_bus(Endian::Little);
+        bus.enable_model_free(0x4000_0000, 0x1000, false);
+        let mf = bus.devices.model_free.as_mut().unwrap();
+        mf.set_stream(&[0x78, 0x56, 0x34, 0x12]);
+        // Inside the region: served from the stream instead of faulting.
+        assert_eq!(bus.read_at(0x4000_0010, 4, 0x100).unwrap(), 0x1234_5678);
+        // Writes are absorbed.
+        bus.write_at(0x4000_0010, 4, 7, 0x104).unwrap();
+        assert_eq!(bus.devices.model_free.as_ref().unwrap().stats.writes, 1);
+        // Outside the region: still unmapped.
+        assert_eq!(
+            bus.read(0x5000_0000, 4),
+            Err(Fault::Unmapped { addr: 0x5000_0000, is_write: false })
+        );
+        // RAM and the device window are untouched by the fallback.
+        bus.write(0x10_0000, 4, 9).unwrap();
+        assert_eq!(bus.read(0x10_0000, 4).unwrap(), 9);
+        bus.write(0xF000_0000, 4, u32::from(b'y')).unwrap();
+        assert_eq!(bus.devices.uart.take_output(), b"y");
+    }
+
+    #[test]
+    fn withheld_window_falls_through_to_model_free() {
+        let mut bus = test_bus(Endian::Little);
+        bus.enable_model_free(0xF000_0000, 0x1000, true);
+        assert!(bus.mmio_is_withheld());
+        bus.devices.model_free.as_mut().unwrap().set_stream(&[0xAB, 0, 0, 0]);
+        // A guest UART write no longer reaches the device...
+        bus.write_at(0xF000_0000, 4, u32::from(b'z'), 0x200).unwrap();
+        assert!(bus.devices.uart.take_output().is_empty());
+        // ...and reads come from the stream, not device registers.
+        assert_eq!(bus.read_at(0xF000_0100, 4, 0x204).unwrap(), 0xAB);
     }
 }

@@ -1,0 +1,187 @@
+//! Alarm with a free-running counter plus a deferred-call slot
+//! (Tock-HIL-style `Alarm` + `DeferredCall`).
+//!
+//! The counter counts retired instructions and never stops. Arming the
+//! alarm latches an interrupt the first time the counter reaches the
+//! compare value (one-shot: firing disarms, the ISR re-arms). The
+//! deferred-call register schedules a software interrupt a fixed number
+//! of instructions in the future — the "do this outside interrupt
+//! context, soon" primitive kernels use to split ISR top/bottom halves.
+//!
+//! Register map (offsets within the ALARM block):
+//!
+//! | offset | register |
+//! |--------|----------|
+//! | `+0x00`| counter (RO, free-running, low 32 bits) |
+//! | `+0x04`| compare value |
+//! | `+0x08`| ctrl: bit 0 arms the one-shot compare |
+//! | `+0x0C`| pending: bit 0 compare, bit 1 deferred call (RO latch, W1C) |
+//! | `+0x10`| schedule a deferred call this many instructions out (0 = cancel) |
+
+/// Pending bit for a fired compare.
+pub const ALARM_PENDING_COMPARE: u32 = 1;
+/// Pending bit for a fired deferred call.
+pub const ALARM_PENDING_DEFERRED: u32 = 2;
+
+/// One-shot compare alarm and deferred-call source on the
+/// retired-instruction clock.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Alarm {
+    counter: u64,
+    compare: u32,
+    armed: bool,
+    pending: u32,
+    /// Instructions until the scheduled deferred call fires (0 = none).
+    deferred_in: u64,
+    /// Interrupt events recorded since the last drain.
+    events: Vec<super::IrqEvent>,
+}
+
+impl Alarm {
+    /// Creates a disarmed alarm with the counter at zero.
+    pub fn new() -> Alarm {
+        Alarm::default()
+    }
+
+    /// Pending interrupt bits (the RO latch the ISR reads).
+    pub fn pending(&self) -> u32 {
+        self.pending
+    }
+
+    /// Whether the alarm can raise an interrupt without further guest
+    /// writes (armed compare or scheduled deferred call).
+    pub fn armed_or_deferred(&self) -> bool {
+        self.armed || self.deferred_in > 0
+    }
+
+    /// Takes the interrupt raise/ack events recorded since the last call.
+    pub(crate) fn drain_events(&mut self) -> Vec<super::IrqEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    pub(crate) fn read(&mut self, offset: u32) -> u32 {
+        match offset {
+            0x00 => self.counter as u32,
+            0x04 => self.compare,
+            0x08 => u32::from(self.armed),
+            0x0C => self.pending,
+            0x10 => self.deferred_in as u32,
+            _ => 0,
+        }
+    }
+
+    pub(crate) fn write(&mut self, offset: u32, value: u32) {
+        match offset {
+            0x04 => self.compare = value,
+            0x08 => self.armed = value & 1 != 0,
+            0x0C => {
+                let acked = self.pending & value;
+                if acked != 0 {
+                    self.events.push(super::IrqEvent::Acked { source: "alarm", lines: acked });
+                }
+                self.pending &= !value;
+            }
+            0x10 => {
+                self.deferred_in = u64::from(value);
+                if value != 0 {
+                    self.events.push(super::IrqEvent::DeferredScheduled { delay: value });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Advances the counter by `instructions`; returns `true` if the
+    /// compare or a deferred call latched an interrupt in the window.
+    pub fn tick(&mut self, instructions: u64) -> bool {
+        let before = self.counter;
+        self.counter = self.counter.wrapping_add(instructions);
+        let mut raised = false;
+        if self.armed {
+            // One-shot: fires when the counter next reaches the compare
+            // value (wrapping 32-bit distance, Tock alarm semantics).
+            let distance = self.compare.wrapping_sub(before as u32);
+            if u64::from(distance) <= instructions {
+                self.armed = false;
+                if self.pending & ALARM_PENDING_COMPARE == 0 {
+                    self.events.push(super::IrqEvent::Raised {
+                        source: "alarm",
+                        lines: ALARM_PENDING_COMPARE,
+                    });
+                }
+                self.pending |= ALARM_PENDING_COMPARE;
+                raised = true;
+            }
+        }
+        if self.deferred_in > 0 {
+            if instructions >= self.deferred_in {
+                self.deferred_in = 0;
+                if self.pending & ALARM_PENDING_DEFERRED == 0 {
+                    self.events.push(super::IrqEvent::Raised {
+                        source: "alarm",
+                        lines: ALARM_PENDING_DEFERRED,
+                    });
+                }
+                self.pending |= ALARM_PENDING_DEFERRED;
+                raised = true;
+            } else {
+                self.deferred_in -= instructions;
+            }
+        }
+        raised
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::IrqEvent;
+    use super::*;
+
+    #[test]
+    fn disarmed_alarm_only_counts() {
+        let mut alarm = Alarm::new();
+        assert!(!alarm.tick(500));
+        assert_eq!(alarm.read(0x00), 500);
+        assert_eq!(alarm.pending(), 0);
+    }
+
+    #[test]
+    fn compare_fires_once_and_disarms() {
+        let mut alarm = Alarm::new();
+        alarm.tick(10);
+        alarm.write(0x04, 100); // compare
+        alarm.write(0x08, 1); // arm
+        assert!(!alarm.tick(89), "counter 99 < 100");
+        assert!(alarm.tick(1), "counter reaches 100");
+        assert_eq!(alarm.pending(), ALARM_PENDING_COMPARE);
+        assert_eq!(alarm.read(0x08), 0, "one-shot disarms");
+        alarm.write(0x0C, ALARM_PENDING_COMPARE);
+        assert!(!alarm.tick(1_000_000), "stays quiet until re-armed");
+    }
+
+    #[test]
+    fn deferred_call_fires_after_its_delay() {
+        let mut alarm = Alarm::new();
+        alarm.write(0x10, 50);
+        assert!(!alarm.tick(49));
+        assert!(alarm.tick(1));
+        assert_eq!(alarm.pending() & ALARM_PENDING_DEFERRED, ALARM_PENDING_DEFERRED);
+        assert_eq!(
+            alarm.drain_events(),
+            vec![
+                IrqEvent::DeferredScheduled { delay: 50 },
+                IrqEvent::Raised { source: "alarm", lines: ALARM_PENDING_DEFERRED },
+            ]
+        );
+    }
+
+    #[test]
+    fn huge_windows_fire_exactly_once() {
+        let mut alarm = Alarm::new();
+        alarm.write(0x04, 1000);
+        alarm.write(0x08, 1);
+        alarm.write(0x10, 2000);
+        assert!(alarm.tick(u64::MAX / 2));
+        assert_eq!(alarm.pending(), ALARM_PENDING_COMPARE | ALARM_PENDING_DEFERRED);
+    }
+}

@@ -1,0 +1,195 @@
+//! GPIO bank with edge interrupts (Tock-HIL-style `gpio::Client`).
+//!
+//! Eight input lines and eight output lines. Input line 0 is driven by a
+//! deterministic pattern generator clocked on retired instructions: when
+//! the guest programs a non-zero toggle period, the line flips every
+//! `period` instructions. Each flip is matched against the per-line edge
+//! configuration; enabled edges latch into a write-1-to-clear pending
+//! register and raise the machine interrupt line — the interrupt-driven
+//! concurrency surface firmware ISRs run on.
+//!
+//! Register map (offsets within the GPIO block):
+//!
+//! | offset | register |
+//! |--------|----------|
+//! | `+0x00`| input lines (RO) |
+//! | `+0x04`| output lines |
+//! | `+0x08`| interrupt enable mask |
+//! | `+0x0C`| edge config: bit set = both edges, clear = rising only |
+//! | `+0x10`| interrupt pending (RO latch, W1C) |
+//! | `+0x14`| input-toggle period in retired instructions (0 = off) |
+
+/// Interrupt-latching GPIO bank clocked on retired instructions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Gpio {
+    input: u32,
+    output: u32,
+    irq_enable: u32,
+    edge_both: u32,
+    pending: u32,
+    period: u32,
+    /// Instructions until the next input toggle (counts down while a
+    /// period is programmed).
+    until_toggle: u64,
+    /// Interrupt events recorded since the last drain (see
+    /// [`Gpio::drain_events`]).
+    events: Vec<super::IrqEvent>,
+}
+
+impl Gpio {
+    /// Creates a quiescent GPIO bank (no pattern, no interrupts).
+    pub fn new() -> Gpio {
+        Gpio::default()
+    }
+
+    /// Pending interrupt lines (the RO latch the ISR reads).
+    pub fn pending(&self) -> u32 {
+        self.pending
+    }
+
+    /// Whether the pattern generator can raise an interrupt without
+    /// further guest writes.
+    pub fn pattern_active(&self) -> bool {
+        self.period != 0 && self.irq_enable & 1 != 0
+    }
+
+    /// Takes the interrupt raise/ack events recorded since the last call.
+    pub(crate) fn drain_events(&mut self) -> Vec<super::IrqEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    pub(crate) fn read(&mut self, offset: u32) -> u32 {
+        match offset {
+            0x00 => self.input,
+            0x04 => self.output,
+            0x08 => self.irq_enable,
+            0x0C => self.edge_both,
+            0x10 => self.pending,
+            0x14 => self.period,
+            _ => 0,
+        }
+    }
+
+    pub(crate) fn write(&mut self, offset: u32, value: u32) {
+        match offset {
+            0x04 => self.output = value & 0xFF,
+            0x08 => self.irq_enable = value & 0xFF,
+            0x0C => self.edge_both = value & 0xFF,
+            0x10 => {
+                // Write-1-to-clear acknowledge.
+                let acked = self.pending & value;
+                if acked != 0 {
+                    self.events.push(super::IrqEvent::Acked { source: "gpio", lines: acked });
+                }
+                self.pending &= !value;
+            }
+            0x14 => {
+                self.period = value;
+                self.until_toggle = u64::from(value);
+            }
+            _ => {}
+        }
+    }
+
+    /// Advances the pattern generator by `instructions` retired
+    /// instructions; returns `true` if an enabled edge latched an
+    /// interrupt during the window. Closed-form (O(1) for any window
+    /// size): the idle skip-ahead path ticks with huge windows.
+    pub fn tick(&mut self, instructions: u64) -> bool {
+        if self.period == 0 || instructions < self.until_toggle {
+            self.until_toggle = self.until_toggle.saturating_sub(instructions);
+            return false;
+        }
+        let period = u64::from(self.period);
+        let past_first = instructions - self.until_toggle;
+        let toggles = 1 + past_first / period;
+        self.until_toggle = period - past_first % period;
+        let started_high = self.input & 1 != 0;
+        if !toggles.is_multiple_of(2) {
+            self.input ^= 1;
+        }
+        // With n ≥ 1 toggles from starting level L: a rising edge occurred
+        // iff L was low or the line flipped more than once; a falling edge
+        // symmetrically.
+        let rising = !started_high || toggles >= 2;
+        let falling = started_high || toggles >= 2;
+        let wanted = rising || (falling && self.edge_both & 1 != 0);
+        if wanted && self.irq_enable & 1 != 0 {
+            if self.pending & 1 == 0 {
+                self.events.push(super::IrqEvent::Raised { source: "gpio", lines: 1 });
+            }
+            self.pending |= 1;
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::IrqEvent;
+    use super::*;
+
+    #[test]
+    fn quiescent_bank_never_fires() {
+        let mut gpio = Gpio::new();
+        assert!(!gpio.tick(1_000_000));
+        assert_eq!(gpio.pending(), 0);
+    }
+
+    #[test]
+    fn rising_edges_latch_when_enabled() {
+        let mut gpio = Gpio::new();
+        gpio.write(0x14, 100); // toggle every 100 instructions
+        gpio.write(0x08, 1); // enable line 0
+        assert!(!gpio.tick(99));
+        assert!(gpio.tick(1), "first toggle is low→high: rising edge");
+        assert_eq!(gpio.read(0x10), 1);
+        assert_eq!(gpio.read(0x00) & 1, 1);
+        // Second toggle is falling: not latched under rising-only config
+        // (pending stays set from before; ack then verify no re-latch).
+        gpio.write(0x10, 1);
+        assert!(!gpio.tick(100), "falling edge ignored in rising-only mode");
+        assert_eq!(gpio.read(0x10), 0);
+        // Both-edges config latches the next falling edge too.
+        gpio.write(0x0C, 1);
+        assert!(gpio.tick(200)); // rising at +100, falling at +200
+        assert_eq!(gpio.read(0x10), 1);
+    }
+
+    #[test]
+    fn multiple_periods_in_one_window_are_exact() {
+        let mut gpio = Gpio::new();
+        gpio.write(0x14, 10);
+        gpio.write(0x08, 1);
+        // 35 instructions = 3 toggles (at 10, 20, 30), line ends high.
+        assert!(gpio.tick(35));
+        assert_eq!(gpio.read(0x00) & 1, 1);
+        let mut replay = Gpio::new();
+        replay.write(0x14, 10);
+        replay.write(0x08, 1);
+        for _ in 0..35 {
+            replay.tick(1);
+        }
+        replay.events.clear();
+        gpio.events.clear();
+        assert_eq!(gpio, replay, "one window of N == N windows of 1");
+    }
+
+    #[test]
+    fn ack_and_raise_are_recorded_as_events() {
+        let mut gpio = Gpio::new();
+        gpio.write(0x14, 4);
+        gpio.write(0x08, 1);
+        gpio.tick(4);
+        gpio.write(0x10, 1);
+        assert_eq!(
+            gpio.drain_events(),
+            vec![
+                IrqEvent::Raised { source: "gpio", lines: 1 },
+                IrqEvent::Acked { source: "gpio", lines: 1 },
+            ]
+        );
+        assert!(gpio.drain_events().is_empty());
+    }
+}

@@ -18,22 +18,56 @@
 //! | `0x400`| MAILBOX | `+0` status, `+4` len, `+8` next byte, `+12` result |
 //! | `0x500`| RNG     | `+0` next pseudo-random word |
 //! | `0x600`| FAULT   | `+0` consume/arm alloc failure, `+4` injected, `+8` armed |
+//! | `0x700`| GPIO    | see [`Gpio`]: edge-interrupt bank + pattern generator |
+//! | `0x800`| ALARM   | see [`Alarm`]: one-shot compare + deferred calls |
 
+mod alarm;
 mod covport;
 mod faultdev;
+mod gpio;
 mod mailbox;
 mod power;
 mod rng;
 mod timer;
 mod uart;
 
+pub use alarm::{Alarm, ALARM_PENDING_COMPARE, ALARM_PENDING_DEFERRED};
 pub use covport::CovPort;
 pub use faultdev::FaultDev;
+pub use gpio::Gpio;
 pub use mailbox::Mailbox;
 pub use power::Power;
 pub use rng::Rng;
 pub use timer::Timer;
 pub use uart::Uart;
+
+use crate::mmio_free::ModelFreeMmio;
+
+/// One interrupt-delivery event recorded by a device for the tracer
+/// (drained by the machine every quantum, on the retired-instruction
+/// clock).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrqEvent {
+    /// An interrupt source latched its pending line(s).
+    Raised {
+        /// Device label (`"timer"`, `"gpio"`, `"alarm"`).
+        source: &'static str,
+        /// Pending bits newly latched.
+        lines: u32,
+    },
+    /// The guest acknowledged pending line(s) (write-1-to-clear).
+    Acked {
+        /// Device label.
+        source: &'static str,
+        /// Pending bits cleared.
+        lines: u32,
+    },
+    /// The guest scheduled a deferred call.
+    DeferredScheduled {
+        /// Delay in retired instructions.
+        delay: u32,
+    },
+}
 
 /// Offset of the UART block.
 pub const UART_BASE: u32 = 0x000;
@@ -49,6 +83,10 @@ pub const MAILBOX_BASE: u32 = 0x400;
 pub const RNG_BASE: u32 = 0x500;
 /// Offset of the fault-injection block.
 pub const FAULT_BASE: u32 = 0x600;
+/// Offset of the GPIO block.
+pub const GPIO_BASE: u32 = 0x700;
+/// Offset of the alarm block.
+pub const ALARM_BASE: u32 = 0x800;
 
 /// The full set of devices behind a machine's MMIO window.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,6 +105,15 @@ pub struct DeviceSet {
     pub rng: Rng,
     /// Fault-injection device (allocator-failure triggers).
     pub fault: FaultDev,
+    /// Edge-interrupt GPIO bank.
+    pub gpio: Gpio,
+    /// One-shot compare alarm + deferred-call source.
+    pub alarm: Alarm,
+    /// Model-free MMIO region, when configured (see
+    /// [`crate::mmio_free`]). Living inside the device set puts its
+    /// whole refinement state — cache, stream, cursor — under snapshot
+    /// capture/restore and the snapshot content hash for free.
+    pub model_free: Option<ModelFreeMmio>,
 }
 
 impl DeviceSet {
@@ -80,6 +127,9 @@ impl DeviceSet {
             mailbox: Mailbox::new(),
             rng: Rng::new(rng_seed),
             fault: FaultDev::new(),
+            gpio: Gpio::new(),
+            alarm: Alarm::new(),
+            model_free: None,
         }
     }
 
@@ -96,6 +146,8 @@ impl DeviceSet {
             MAILBOX_BASE => self.mailbox.read(offset & 0xFF),
             RNG_BASE => self.rng.read(offset & 0xFF),
             FAULT_BASE => self.fault.read(offset & 0xFF),
+            GPIO_BASE => self.gpio.read(offset & 0xFF),
+            ALARM_BASE => self.alarm.read(offset & 0xFF),
             _ => 0,
         }
     }
@@ -110,15 +162,39 @@ impl DeviceSet {
             MAILBOX_BASE => self.mailbox.write(offset & 0xFF, value),
             RNG_BASE => self.rng.write(offset & 0xFF, value),
             FAULT_BASE => self.fault.write(offset & 0xFF, value),
+            GPIO_BASE => self.gpio.write(offset & 0xFF, value),
+            ALARM_BASE => self.alarm.write(offset & 0xFF, value),
             _ => {}
         }
     }
 
     /// Advances time by `instructions` retired instructions.
     ///
-    /// Returns `true` if the timer raised an interrupt during the window.
+    /// Returns `true` if any interrupt source (timer, GPIO edge, alarm
+    /// compare or deferred call) raised the machine interrupt line during
+    /// the window. All sources share the single line; the ISR reads each
+    /// device's pending register to demultiplex.
     pub fn tick(&mut self, instructions: u64) -> bool {
-        self.timer.tick(instructions)
+        // `|` not `||`: every source must observe the elapsed window even
+        // when an earlier one already fired.
+        self.timer.tick(instructions) | self.gpio.tick(instructions) | self.alarm.tick(instructions)
+    }
+
+    /// Takes the interrupt raise/ack/deferred events the devices recorded
+    /// since the last call, in device order (GPIO, then alarm) — the
+    /// machine drains this every quantum and stamps the events onto the
+    /// retired-instruction clock.
+    pub fn drain_irq_events(&mut self) -> Vec<IrqEvent> {
+        let mut events = self.gpio.drain_events();
+        events.extend(self.alarm.drain_events());
+        events
+    }
+
+    /// Whether any interrupt source could fire in the future without
+    /// further guest activity (used by the all-parked skip-ahead: a
+    /// machine waiting only on `wfi` must wake for any of these).
+    pub fn irq_source_armed(&self) -> bool {
+        self.timer.armed() || self.gpio.pattern_active() || self.alarm.armed_or_deferred()
     }
 }
 
@@ -129,9 +205,24 @@ mod tests {
     #[test]
     fn unassigned_offsets_read_zero() {
         let mut devices = DeviceSet::new(1);
-        assert_eq!(devices.read(0x700), 0);
         assert_eq!(devices.read(0x900), 0);
-        devices.write(0x700, 0xFFFF_FFFF); // must not panic
+        assert_eq!(devices.read(0xA00), 0);
+        devices.write(0x900, 0xFFFF_FFFF); // must not panic
+    }
+
+    #[test]
+    fn tick_reaches_every_interrupt_source() {
+        let mut devices = DeviceSet::new(1);
+        devices.write(GPIO_BASE + 0x14, 50);
+        devices.write(GPIO_BASE + 0x08, 1);
+        devices.write(ALARM_BASE + 0x10, 80);
+        assert!(devices.irq_source_armed());
+        assert!(devices.tick(50), "gpio edge");
+        assert!(devices.tick(30), "deferred call at 80");
+        assert_eq!(devices.gpio.pending(), 1);
+        assert_eq!(devices.alarm.pending(), ALARM_PENDING_DEFERRED);
+        let events = devices.drain_irq_events();
+        assert_eq!(events.len(), 3, "raise, schedule, raise: {events:?}");
     }
 
     #[test]

@@ -38,6 +38,12 @@ impl Timer {
         }
     }
 
+    /// Whether the timer can raise an interrupt without further guest
+    /// writes (enabled with a non-zero reload).
+    pub fn armed(&self) -> bool {
+        self.enabled && self.reload != 0
+    }
+
     /// Advances the timer by `instructions` ticks; returns `true` if the
     /// counter expired (and reloaded) at least once in the window.
     pub fn tick(&mut self, instructions: u64) -> bool {

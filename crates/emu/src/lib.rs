@@ -51,6 +51,7 @@ pub mod fault;
 pub mod hook;
 pub mod isa;
 pub mod machine;
+pub mod mmio_free;
 pub mod profile;
 pub mod snapshot;
 pub mod translate;
@@ -60,6 +61,7 @@ pub use error::{EmuError, Fault};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultPlanError, HangClass, InjectionStats};
 pub use hook::{ExecHook, HookAction, HookConfig, NullHook};
 pub use machine::{Machine, MachineBuilder, RunExit};
+pub use mmio_free::{ModelFreeMmio, ModelFreeStats};
 pub use profile::{Arch, ArchProfile, Endian};
 pub use translate::CacheStats;
 

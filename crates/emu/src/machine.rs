@@ -546,10 +546,14 @@ impl Machine {
                         self.apply_due_faults();
                         continue;
                     }
-                    // All parked: only a timer interrupt can wake them.
-                    let timer_live = self.bus.devices.timer.tick(u64::MAX / 2)
+                    // All parked: only a device interrupt (timer, GPIO
+                    // edge, alarm/deferred call) can wake them. Skip time
+                    // ahead far enough for any armed source to fire.
+                    let irq_live = self.bus.devices.irq_source_armed()
+                        && self.bus.devices.tick(u64::MAX / 2)
                         && self.cpus.iter().any(|c| c.csr(Csr::Ie) != 0 && c.csr(Csr::Tvec) != 0);
-                    if timer_live {
+                    self.drain_irq_events();
+                    if irq_live {
                         for cpu in &mut self.cpus {
                             cpu.irq_pending = true;
                             cpu.parked = false;
@@ -588,6 +592,7 @@ impl Machine {
                     cpu.parked = false;
                 }
             }
+            self.drain_irq_events();
             if let Some(code) = self.bus.devices.power.halt_request() {
                 self.bus.devices.power.clear();
                 return Ok(RunExit::Halted { code });
@@ -777,6 +782,33 @@ impl Machine {
         QuantumExit::Continue
     }
 
+    /// Drains the interrupt raise/ack/deferred events devices recorded and
+    /// stamps them onto the trace at the current quantum clock. Called once
+    /// per quantum (and on the all-parked skip-ahead) so delivery order is a
+    /// pure function of guest execution.
+    fn drain_irq_events(&mut self) {
+        if !self.tracer.is_enabled() {
+            // Still drain so the device queues never grow unbounded (and so
+            // snapshot equality never depends on whether tracing was on).
+            self.bus.devices.drain_irq_events();
+            return;
+        }
+        for event in self.bus.devices.drain_irq_events() {
+            let kind = match event {
+                crate::device::IrqEvent::Raised { source, lines } => {
+                    embsan_obs::EventKind::IrqRaised { source, lines }
+                }
+                crate::device::IrqEvent::Acked { source, lines } => {
+                    embsan_obs::EventKind::IrqAcked { source, lines }
+                }
+                crate::device::IrqEvent::DeferredScheduled { delay } => {
+                    embsan_obs::EventKind::DeferredCall { delay }
+                }
+            };
+            self.tracer.record(kind);
+        }
+    }
+
     fn deliver_fault(&mut self, idx: usize, hook: &mut dyn ExecHook, fault: Fault) {
         let mut view = CpuView {
             cpu: &mut self.cpus[idx],
@@ -887,7 +919,7 @@ impl Machine {
                         HookAction::Stop => return Step::Stopped,
                         HookAction::Stall { instrs, token } => {
                             // Perform the access, then open the stall window.
-                            return match load_value(bus, addr, size, sign) {
+                            return match load_value(bus, addr, size, sign, pc) {
                                 Ok(value) => {
                                     cpu.regs.write(rd, value);
                                     Step::Stall { instrs, token }
@@ -897,7 +929,7 @@ impl Machine {
                         }
                     }
                 }
-                match load_value(bus, addr, size, sign) {
+                match load_value(bus, addr, size, sign, pc) {
                     Ok(value) => alu!(cpu, rd, value),
                     Err(fault) => Step::Fault(fault),
                 }
@@ -933,7 +965,7 @@ impl Machine {
                         HookAction::Stall { instrs, token } => stall = Some((instrs, token)),
                     }
                 }
-                match bus.write(addr, size, value) {
+                match bus.write_at(addr, size, value, pc) {
                     Ok(()) => match stall {
                         Some((instrs, token)) => Step::Stall { instrs, token },
                         None => Step::Next,
@@ -967,7 +999,7 @@ impl Machine {
                         HookAction::Stall { .. } => {}
                     }
                 }
-                let old = match bus.read(addr, 4) {
+                let old = match bus.read_at(addr, 4, pc) {
                     Ok(value) => value,
                     Err(fault) => return Step::Fault(fault),
                 };
@@ -975,7 +1007,7 @@ impl Machine {
                     Insn::AmoAddW { .. } => old.wrapping_add(operand),
                     _ => operand,
                 };
-                if let Err(fault) = bus.write(addr, 4, new) {
+                if let Err(fault) = bus.write_at(addr, 4, new, pc) {
                     return Step::Fault(fault);
                 }
                 alu!(cpu, rd, old)
@@ -1096,8 +1128,8 @@ fn has_seam(block: &Block, index: usize, pc: u32) -> bool {
     block.seams.iter().any(|&(i, p)| i == index && p == pc)
 }
 
-fn load_value(bus: &mut Bus, addr: u32, size: u8, sign: bool) -> Result<u32, Fault> {
-    let raw = bus.read(addr, size)?;
+fn load_value(bus: &mut Bus, addr: u32, size: u8, sign: bool, pc: u32) -> Result<u32, Fault> {
+    let raw = bus.read_at(addr, size, pc)?;
     Ok(if sign {
         match size {
             1 => raw as u8 as i8 as i32 as u32,

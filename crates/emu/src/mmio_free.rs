@@ -1,0 +1,258 @@
+//! Model-free MMIO: answering unknown-peripheral reads from fuzzer input.
+//!
+//! Real firmware talks to peripherals we have no model for. Instead of
+//! faulting (or demanding a platform DSL entry), an Ember-IO-style layer
+//! serves reads from an "unknown MMIO" region out of a fuzzer-controlled
+//! *response stream*, with a per-(pc, addr) response cache refined by guest
+//! progress:
+//!
+//! * Every read site is identified by `(pc, addr)` — the instruction doing
+//!   the read and the register it reads. The same driver poll loop is one
+//!   site; two different drivers reading the same register are two sites.
+//! * A response drawn from the stream is *pending* for its site. When the
+//!   guest moves on to a different read site, the pending response is
+//!   *committed* to the cache: the value let the guest make progress past
+//!   the read, so it is a good answer for that site from now on.
+//! * A read that repeats the site it just read (a poll that did not
+//!   advance — the guest is stalled on this register) *invalidates* any
+//!   committed response for the site and draws a fresh value from the
+//!   stream: the cached answer stopped working, so the fuzzer gets to pick
+//!   a new one. Exhausted streams serve zeroes, which parks pollers on
+//!   "not ready" until the machine goes idle.
+//! * Writes to the region are absorbed (and counted); unknown peripherals
+//!   have no host-visible side effects.
+//!
+//! Everything here is a pure function of the read/write sequence and the
+//! stream bytes — no host randomness, wall time or allocation order leaks
+//! into responses. The whole struct lives inside the snapshotted device
+//! set, so kill/resume and N-worker determinism hold with no extra
+//! bookkeeping: a restored snapshot restores the cache, the stream and the
+//! cursor exactly.
+
+use std::collections::BTreeMap;
+
+/// Consecutive same-site reads allowed to hit the cache before the cached
+/// response is declared stale. The first repeat already bypasses the
+/// cache (see module docs); this constant exists so the policy is named,
+/// tested and stable rather than implicit.
+pub const STALL_INVALIDATE_AFTER: u32 = 1;
+
+/// Deterministic counters describing how the region answered the guest.
+/// Part of the snapshotted state: byte-identical across replays.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModelFreeStats {
+    /// Guest reads served by the region.
+    pub reads: u64,
+    /// Reads answered from a committed cache entry.
+    pub cache_hits: u64,
+    /// Reads answered by drawing fresh bytes from the stream (including
+    /// zero-fill draws past the end of the stream).
+    pub stream_draws: u64,
+    /// Pending responses committed because the guest progressed to a
+    /// different read site.
+    pub commits: u64,
+    /// Committed responses invalidated by a stalled (repeated) read site.
+    pub invalidations: u64,
+    /// Guest writes absorbed by the region.
+    pub writes: u64,
+}
+
+/// A fuzzer-controlled MMIO region serving reads from a response stream
+/// with per-(pc, addr) caching and progress-based refinement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelFreeMmio {
+    base: u32,
+    size: u32,
+    /// The response stream: raw bytes consumed little-endian, `size` bytes
+    /// per fresh draw. Reads past the end are zero-filled.
+    stream: Vec<u8>,
+    /// Cursor into `stream`.
+    cursor: usize,
+    /// Committed responses per read site.
+    cache: BTreeMap<(u32, u32), u32>,
+    /// The last fresh draw, not yet committed: `(site, value)`.
+    pending: Option<((u32, u32), u32)>,
+    /// The most recent read site (progress/stall detection).
+    last_site: Option<(u32, u32)>,
+    /// Deterministic service counters.
+    pub stats: ModelFreeStats,
+}
+
+impl ModelFreeMmio {
+    /// Creates a region covering `base..base+size` with an empty stream.
+    pub fn new(base: u32, size: u32) -> ModelFreeMmio {
+        ModelFreeMmio {
+            base,
+            size,
+            stream: Vec::new(),
+            cursor: 0,
+            cache: BTreeMap::new(),
+            pending: None,
+            last_site: None,
+            stats: ModelFreeStats::default(),
+        }
+    }
+
+    /// The region as `(base, size)`.
+    pub fn range(&self) -> (u32, u32) {
+        (self.base, self.size)
+    }
+
+    /// Whether `addr..addr+size` falls entirely inside the region.
+    pub fn contains(&self, addr: u32, size: u32) -> bool {
+        addr >= self.base
+            && u64::from(addr) + u64::from(size) <= u64::from(self.base) + u64::from(self.size)
+    }
+
+    /// Replaces the response stream and rewinds the cursor. The cache and
+    /// refinement state persist: responses learned while booting keep
+    /// answering boot-time pollers while the new stream feeds new sites.
+    pub fn set_stream(&mut self, bytes: &[u8]) {
+        self.stream = bytes.to_vec();
+        self.cursor = 0;
+    }
+
+    /// Unconsumed bytes left in the response stream.
+    pub fn stream_remaining(&self) -> usize {
+        self.stream.len().saturating_sub(self.cursor)
+    }
+
+    /// Number of committed cache entries.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The committed response for `(pc, addr)`, if any (test/telemetry
+    /// introspection).
+    pub fn cached(&self, pc: u32, addr: u32) -> Option<u32> {
+        self.cache.get(&(pc, addr)).copied()
+    }
+
+    fn draw(&mut self, size: u8) -> u32 {
+        self.stats.stream_draws += 1;
+        let mut value: u32 = 0;
+        for i in 0..usize::from(size) {
+            let byte = self.stream.get(self.cursor).copied().unwrap_or(0);
+            if self.cursor < self.stream.len() {
+                self.cursor += 1;
+            }
+            value |= u32::from(byte) << (8 * i);
+        }
+        value
+    }
+
+    /// Serves a guest read of `size` bytes at `addr` from instruction `pc`.
+    pub fn read(&mut self, pc: u32, addr: u32, size: u8) -> u32 {
+        self.stats.reads += 1;
+        let site = (pc, addr);
+        if self.last_site == Some(site) {
+            // Stalled poll: the site repeated without progress, so any
+            // committed answer stopped working. Drop it and draw fresh.
+            if self.cache.remove(&site).is_some() {
+                self.stats.invalidations += 1;
+            }
+            let value = self.draw(size);
+            self.pending = Some((site, value));
+            return value;
+        }
+        // Progress past the previous read site: its pending response
+        // earned its place in the cache.
+        if let Some((prev_site, value)) = self.pending.take() {
+            if prev_site != site {
+                self.cache.insert(prev_site, value);
+                self.stats.commits += 1;
+            }
+        }
+        self.last_site = Some(site);
+        if let Some(&value) = self.cache.get(&site) {
+            self.stats.cache_hits += 1;
+            return value;
+        }
+        let value = self.draw(size);
+        self.pending = Some((site, value));
+        value
+    }
+
+    /// Absorbs a guest write (unknown peripherals have no modelled side
+    /// effects; the write is counted for telemetry).
+    pub fn write(&mut self, _pc: u32, _addr: u32, _value: u32) {
+        self.stats.writes += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_reads_draw_from_stream_in_order() {
+        let mut mf = ModelFreeMmio::new(0x4000_0000, 0x1000);
+        mf.set_stream(&[0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88]);
+        assert_eq!(mf.read(0x100, 0x4000_0000, 4), 0x4433_2211);
+        assert_eq!(mf.read(0x104, 0x4000_0004, 4), 0x8877_6655);
+        // Exhausted stream zero-fills.
+        assert_eq!(mf.read(0x108, 0x4000_0008, 4), 0);
+        assert_eq!(mf.stats.stream_draws, 3);
+    }
+
+    #[test]
+    fn progress_commits_and_repolls_hit_the_cache() {
+        let mut mf = ModelFreeMmio::new(0, 0x100);
+        mf.set_stream(&[7, 0, 0, 0, 9, 0, 0, 0]);
+        assert_eq!(mf.read(0x10, 0x0, 4), 7); // pending for site A
+        assert_eq!(mf.read(0x20, 0x4, 4), 9); // progress → A committed
+        assert_eq!(mf.cached(0x10, 0x0), Some(7));
+        // Back to A from somewhere new: committed answer, no draw.
+        assert_eq!(mf.read(0x10, 0x0, 4), 7);
+        assert_eq!(mf.stats.cache_hits, 1);
+        assert_eq!(mf.stats.commits, 2); // B committed on the return to A
+    }
+
+    #[test]
+    fn stalled_site_invalidates_and_redraws() {
+        let mut mf = ModelFreeMmio::new(0, 0x100);
+        mf.set_stream(&[1, 0, 0, 0, 2, 0, 0, 0, 3, 0, 0, 0]);
+        assert_eq!(mf.read(0x10, 0x0, 4), 1);
+        // Same site again: a stalled poll draws fresh each time.
+        assert_eq!(mf.read(0x10, 0x0, 4), 2);
+        assert_eq!(mf.read(0x10, 0x0, 4), 3);
+        assert_eq!(mf.read(0x10, 0x0, 4), 0, "exhausted stream parks the poller on zero");
+        assert_eq!(mf.stats.invalidations, 0, "nothing was committed yet");
+        // Commit via progress, then stall: the commit is invalidated.
+        mf.set_stream(&[0xAB, 0, 0, 0]);
+        let _ = mf.read(0x20, 0x4, 4); // commits the zero pending for site A
+        assert_eq!(mf.read(0x10, 0x0, 4), 0, "committed answer first");
+        assert_eq!(mf.read(0x10, 0x0, 4), 0, "stall invalidates, draws stream leftovers");
+        assert!(mf.stats.invalidations >= 1);
+    }
+
+    #[test]
+    fn identical_sequences_are_identical() {
+        let run = || {
+            let mut mf = ModelFreeMmio::new(0, 0x100);
+            mf.set_stream(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+            let mut out = Vec::new();
+            for (pc, addr, size) in
+                [(0x10, 0x0, 4u8), (0x10, 0x0, 4), (0x14, 0x4, 2), (0x10, 0x0, 1), (0x14, 0x4, 2)]
+            {
+                out.push(mf.read(pc, addr, size));
+            }
+            mf.write(0x18, 0x8, 0xFFFF_FFFF);
+            (out, mf)
+        };
+        let (a_out, a) = run();
+        let (b_out, b) = run();
+        assert_eq!(a_out, b_out);
+        assert_eq!(a, b, "full state (cache, cursor, stats) must match");
+    }
+
+    #[test]
+    fn containment_is_exact() {
+        let mf = ModelFreeMmio::new(0x4000_0000, 0x1000);
+        assert!(mf.contains(0x4000_0000, 4));
+        assert!(mf.contains(0x4000_0FFC, 4));
+        assert!(!mf.contains(0x4000_0FFE, 4));
+        assert!(!mf.contains(0x3FFF_FFFC, 4));
+        assert!(!mf.contains(0x4000_1000, 1));
+    }
+}

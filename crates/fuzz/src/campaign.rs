@@ -30,6 +30,18 @@ pub struct CampaignConfig {
     pub ready_budget: u64,
     /// Per-program execution budget in instructions.
     pub program_budget: u64,
+    /// Model-free MMIO region as `(base, size)`: guest reads in it are
+    /// answered from a per-iteration response stream derived from the
+    /// program under test (see [`embsan_emu::ModelFreeMmio`]). `None`
+    /// leaves the platform model as the only MMIO.
+    pub model_free: Option<(u32, u32)>,
+    /// Withholds the platform device window from the guest, so its MMIO
+    /// accesses fall through to the model-free region — fuzzing firmware
+    /// whose MMIO map is unknown. Requires `model_free` covering the
+    /// window; programs are then delivered via the response stream and
+    /// each execution ends on stream exhaustion or budget, never on
+    /// mailbox completion.
+    pub mmio_withheld: bool,
 }
 
 impl Default for CampaignConfig {
@@ -39,6 +51,8 @@ impl Default for CampaignConfig {
             seed: 0x0E1B_5A11,
             ready_budget: 200_000_000,
             program_budget: 3_000_000,
+            model_free: None,
+            mmio_withheld: false,
         }
     }
 }
@@ -224,6 +238,11 @@ pub fn prepare_session(
     let sanitizers = embsan_core::reference_specs()?;
     let cpus = if spec.needs_smp() { 2 } else { 1 };
     let mut session = Session::with_cpus(&image, &sanitizers, &artifacts, cpus)?;
+    if let Some((base, size)) = config.model_free {
+        // Before run_to_ready, so the boot-time refinement state is part of
+        // the reset snapshot and every iteration replays it identically.
+        session.enable_model_free(base, size, config.mmio_withheld);
+    }
     session.run_to_ready(config.ready_budget)?;
     let dict = Dictionary::extract(&image);
     Ok((session, dict))

@@ -61,6 +61,16 @@ pub fn base_descriptions() -> Vec<SyscallDesc> {
 /// not the trigger values).
 pub fn descriptions_for(spec: &FirmwareSpec) -> Vec<SyscallDesc> {
     let mut descs = base_descriptions();
+    if spec.irq {
+        // Interrupt-rich builds: arm the GPIO pattern generator / alarm
+        // (period, both_edges, deferred) and drive the mainloop half of
+        // the ISR/mainloop shared-counter race.
+        descs.push(SyscallDesc::new(
+            sys::IRQ_SETUP,
+            &[ArgKind::Value, ArgKind::Value, ArgKind::Value],
+        ));
+        descs.push(SyscallDesc::new(sys::IRQ_LOAD, &[ArgKind::Value]));
+    }
     for i in 0..spec.latent_bugs().len() {
         descs.push(SyscallDesc::new(sys::BUG_BASE + i as u8, &[ArgKind::Key]));
     }

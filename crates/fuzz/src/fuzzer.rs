@@ -342,6 +342,9 @@ impl<'s> Fuzzer<'s> {
     pub fn run_raw(&mut self, program: &ExecProgram) -> Result<ExecOutcome, SessionError> {
         self.coverage.reset();
         self.session.reset()?;
+        // Model-free MMIO stream installation happens inside
+        // `run_program_observed` — the stream is a pure function of the
+        // program, so refinement depends only on (firmware, seed).
         let Fuzzer { session, coverage, .. } = self;
         let outcome =
             session.run_program_observed(program, self.config.program_budget, coverage)?;

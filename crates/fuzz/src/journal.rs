@@ -25,7 +25,8 @@ use embsan_guestos::executor::ExecProgram;
 use crate::fuzzer::{Finding, FuzzerState, Strategy};
 
 /// Journal file magic; bump the trailing digit on format changes.
-pub const MAGIC: &[u8; 8] = b"EMBSANJ1";
+/// (`2`: `StartInfo` gained the model-free MMIO configuration.)
+pub const MAGIC: &[u8; 8] = b"EMBSANJ2";
 
 /// Journal failures.
 #[derive(Debug)]
@@ -171,6 +172,12 @@ pub struct StartInfo {
     /// silent firmware/toolchain drift between kill and resume must be
     /// caught here rather than by replay divergence.
     pub base_hash: u64,
+    /// Model-free MMIO region as `(base, size)`, `None` when the platform
+    /// model answers all MMIO. Part of campaign identity: a resume must
+    /// rebuild the session with the same region or replay diverges.
+    pub model_free: Option<(u32, u32)>,
+    /// Whether the platform device window was withheld from the guest.
+    pub mmio_withheld: bool,
 }
 
 /// Supervisor bookkeeping that must survive kill/resume (it shapes future
@@ -565,6 +572,15 @@ impl Record {
                 enc.u64(start.program_budget);
                 enc.u64(start.checkpoint_interval);
                 enc.u64(start.base_hash);
+                match start.model_free {
+                    None => enc.u8(0),
+                    Some((base, size)) => {
+                        enc.u8(1);
+                        enc.u32(base);
+                        enc.u32(size);
+                    }
+                }
+                enc.u8(u8::from(start.mmio_withheld));
             }
             Record::CorpusAdd { iteration, program } => {
                 enc.u64(*iteration);
@@ -596,6 +612,8 @@ impl Record {
                 program_budget: dec.u64()?,
                 checkpoint_interval: dec.u64()?,
                 base_hash: dec.u64()?,
+                model_free: if dec.u8()? != 0 { Some((dec.u32()?, dec.u32()?)) } else { None },
+                mmio_withheld: dec.u8()? != 0,
             }),
             TAG_CORPUS => {
                 Record::CorpusAdd { iteration: dec.u64()?, program: dec_program(&mut dec)? }
@@ -859,6 +877,8 @@ mod tests {
             program_budget: 3_000_000,
             checkpoint_interval: 500,
             base_hash: 0xDEAD_BEEF_0BAD_F00D,
+            model_free: Some((0xF000_0000, 0x1000)),
+            mmio_withheld: true,
         });
         assert_eq!(roundtrip(&start), start);
         let add = Record::CorpusAdd { iteration: 7, program: sample_program() };
@@ -892,6 +912,8 @@ mod tests {
             program_budget: 1,
             checkpoint_interval: 10,
             base_hash: 0,
+            model_free: None,
+            mmio_withheld: false,
         });
         let add = Record::CorpusAdd { iteration: 3, program: sample_program() };
         {

@@ -338,6 +338,8 @@ fn start_info(spec: &FirmwareSpec, config: &SupervisorConfig) -> StartInfo {
         // Stamped by `run_supervised_span` once the session exists: the
         // hash is a property of the booted ready state, not the config.
         base_hash: 0,
+        model_free: config.campaign.model_free,
+        mmio_withheld: config.campaign.mmio_withheld,
     }
 }
 
@@ -407,6 +409,8 @@ pub fn resume_supervised(
             seed: start.seed,
             ready_budget: start.ready_budget,
             program_budget: start.program_budget,
+            model_free: start.model_free,
+            mmio_withheld: start.mmio_withheld,
         },
         checkpoint_interval: start.checkpoint_interval,
         kill_after: overrides.kill_after,
@@ -660,6 +664,13 @@ fn execute_with_watchdog(
                 continue;
             }
         };
+        if fuzzer.session_mut().mmio_withheld() && outcome.exit == RunExit::BudgetExhausted {
+            // Withheld MMIO: the guest's result writes are absorbed by the
+            // model-free region, so programs run to their fixed time slice
+            // — budget exhaustion is the normal end of an iteration, not a
+            // hang to classify.
+            return Ok(Some(outcome));
+        }
         if outcome.exit != RunExit::BudgetExhausted {
             if outcome.exit == RunExit::AllIdle && outcome.results.len() < program.calls.len() {
                 // Guest parked mid-program: asleep, not spinning. Nothing to

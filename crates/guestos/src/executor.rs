@@ -47,6 +47,14 @@ pub mod sys {
     pub const STAT: u8 = 8;
     /// `hash(n)`: cpu-bound mixing loop.
     pub const HASH: u8 = 9;
+    /// `irq_setup(period, both_edges, deferred)`: arm the GPIO pattern
+    /// generator (and optionally an alarm deferred call) so the secondary
+    /// CPU's ISR starts firing. Only on `BuildOptions::irq` builds.
+    pub const IRQ_SETUP: u8 = 10;
+    /// `irq_load(n)`: unsynchronized read-modify-write loop on the counter
+    /// the ISR also increments — the mainloop half of the ISR/mainloop
+    /// race. Only on `BuildOptions::irq` builds.
+    pub const IRQ_LOAD: u8 = 11;
     /// First bug-syscall number.
     pub const BUG_BASE: u8 = 16;
 }
@@ -106,6 +114,27 @@ impl ExecProgram {
             for arg in &call.args {
                 out.extend_from_slice(&arg.to_le_bytes());
             }
+        }
+        out
+    }
+
+    /// Derives the model-free MMIO response stream that delivers this
+    /// program through a *withheld* mailbox (no platform MMIO model).
+    ///
+    /// The executor polls the status register once (one read site), then
+    /// streams bytes through `mb_read_byte` — a single 4-byte load at one
+    /// pc, so consecutive reads are same-site "stalls" that each draw a
+    /// fresh word from the stream. The stream is therefore one status word
+    /// (nonzero = program pending) followed by each wire-format byte
+    /// widened to a little-endian word. Once the stream runs dry the
+    /// executor reads zeros and idles, so the program boundary needs no
+    /// terminator.
+    pub fn model_free_stream(&self) -> Vec<u8> {
+        let encoded = self.encode();
+        let mut out = Vec::with_capacity(4 + encoded.len() * 4);
+        out.extend_from_slice(&1u32.to_le_bytes());
+        for byte in encoded {
+            out.extend_from_slice(&u32::from(byte).to_le_bytes());
         }
         out
     }
@@ -234,6 +263,9 @@ pub fn emit(
     asm.jump("executor_loop.calls");
 
     emit_base_syscalls(&mut asm, alloc_fn, free_fn);
+    if opts.irq {
+        emit_irq_syscalls(&mut asm, &profile);
+    }
 
     // syscalls_init(): fill the dispatch table.
     let mut entries: Vec<(u8, String)> = vec![
@@ -248,6 +280,10 @@ pub fn emit(
         (sys::STAT, "sys_stat".into()),
         (sys::HASH, "sys_hash".into()),
     ];
+    if opts.irq {
+        entries.push((sys::IRQ_SETUP, "sys_irq_setup".into()));
+        entries.push((sys::IRQ_LOAD, "sys_irq_load".into()));
+    }
     entries.extend(extra.iter().cloned());
     let max_nr = entries.iter().map(|(nr, _)| *nr).max().unwrap_or(0);
     assert!(usize::from(max_nr) < SYS_TABLE_CAP, "syscall table capacity exceeded");
@@ -276,6 +312,47 @@ pub fn emit(
         "syscalls_init".into(),
     ];
     (asm, globals, no_instrument)
+}
+
+/// Emits the interrupt syscalls (`BuildOptions::irq` builds only).
+fn emit_irq_syscalls(asm: &mut Asm, profile: &ArchProfile) {
+    let gpio = i64::from(profile.mmio_base + device::GPIO_BASE);
+    let alarm = i64::from(profile.mmio_base + device::ALARM_BASE);
+
+    // sys_irq_setup(period, both_edges, deferred) -> 0: arm the GPIO
+    // pattern generator. The period is clamped into [0x40, 0xFFF] so edges
+    // land inside a program's instruction budget whatever the fuzzer picks.
+    asm.func("sys_irq_setup");
+    asm.andi(Reg::A0, Reg::A0, 0xFFF);
+    asm.ori(Reg::A0, Reg::A0, 0x40);
+    asm.li(Reg::A4, gpio);
+    asm.sw(Reg::A1, Reg::A4, 0x0C); // edge config: bit 0 = both edges
+    asm.li(Reg::A5, 1);
+    asm.sw(Reg::A5, Reg::A4, 0x08); // enable line 0
+    asm.sw(Reg::A0, Reg::A4, 0x14); // pattern period — arms the generator
+    asm.beq(Reg::A2, Reg::R0, "sys_irq_setup.out");
+    asm.li(Reg::A4, alarm);
+    asm.andi(Reg::A2, Reg::A2, 0xFFF);
+    asm.sw(Reg::A2, Reg::A4, 0x10); // schedule a deferred call
+    asm.label("sys_irq_setup.out");
+    asm.li(Reg::A0, 0);
+    asm.ret();
+
+    // sys_irq_load(n) -> counter: the mainloop half of the ISR/mainloop
+    // race. Plain lw/addi/sw on `irq_shared` — the ISR on the secondary
+    // CPU does the same RMW with no synchronization between them.
+    asm.func("sys_irq_load");
+    asm.andi(Reg::A1, Reg::A0, 0x3FF);
+    asm.ori(Reg::A1, Reg::A1, 0x20); // at least 32 iterations
+    asm.la(Reg::A2, "irq_shared");
+    asm.label("sys_irq_load.loop");
+    asm.lw(Reg::A3, Reg::A2, 0);
+    asm.addi(Reg::A3, Reg::A3, 1);
+    asm.sw(Reg::A3, Reg::A2, 0);
+    asm.addi(Reg::A1, Reg::A1, -1);
+    asm.bne(Reg::A1, Reg::R0, "sys_irq_load.loop");
+    asm.lw(Reg::A0, Reg::A2, 0);
+    asm.ret();
 }
 
 /// Emits the base syscall handlers shared by every OS flavour.

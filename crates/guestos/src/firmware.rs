@@ -46,6 +46,9 @@ pub struct FirmwareSpec {
     pub open_source: bool,
     /// Assigned fuzzer.
     pub fuzzer: Fuzzer,
+    /// Whether the build enables the interrupt-driven concurrency surface
+    /// (ISR on a second vCPU plus the `irq_setup`/`irq_load` syscalls).
+    pub irq: bool,
 }
 
 /// The eleven evaluated firmware, in Table 1's row order.
@@ -57,6 +60,7 @@ pub const FIRMWARE: [FirmwareSpec; 11] = [
         embsan_c: true,
         open_source: true,
         fuzzer: Fuzzer::Syzkaller,
+        irq: false,
     },
     FirmwareSpec {
         name: "OpenWRT-bcm63xx",
@@ -65,6 +69,7 @@ pub const FIRMWARE: [FirmwareSpec; 11] = [
         embsan_c: false,
         open_source: true,
         fuzzer: Fuzzer::Syzkaller,
+        irq: false,
     },
     FirmwareSpec {
         name: "OpenWRT-ipq807x",
@@ -73,6 +78,7 @@ pub const FIRMWARE: [FirmwareSpec; 11] = [
         embsan_c: true,
         open_source: true,
         fuzzer: Fuzzer::Syzkaller,
+        irq: false,
     },
     FirmwareSpec {
         name: "OpenWRT-mt7629",
@@ -81,6 +87,7 @@ pub const FIRMWARE: [FirmwareSpec; 11] = [
         embsan_c: true,
         open_source: true,
         fuzzer: Fuzzer::Syzkaller,
+        irq: false,
     },
     FirmwareSpec {
         name: "OpenWRT-rtl839x",
@@ -89,6 +96,7 @@ pub const FIRMWARE: [FirmwareSpec; 11] = [
         embsan_c: false,
         open_source: true,
         fuzzer: Fuzzer::Syzkaller,
+        irq: false,
     },
     FirmwareSpec {
         name: "OpenWRT-x86_64",
@@ -97,6 +105,7 @@ pub const FIRMWARE: [FirmwareSpec; 11] = [
         embsan_c: true,
         open_source: true,
         fuzzer: Fuzzer::Syzkaller,
+        irq: false,
     },
     FirmwareSpec {
         name: "OpenHarmony-rk3566",
@@ -105,6 +114,7 @@ pub const FIRMWARE: [FirmwareSpec; 11] = [
         embsan_c: true,
         open_source: true,
         fuzzer: Fuzzer::Tardis,
+        irq: false,
     },
     FirmwareSpec {
         name: "OpenHarmony-stm32mp1",
@@ -113,6 +123,7 @@ pub const FIRMWARE: [FirmwareSpec; 11] = [
         embsan_c: false,
         open_source: true,
         fuzzer: Fuzzer::Tardis,
+        irq: false,
     },
     FirmwareSpec {
         name: "OpenHarmony-stm32f407",
@@ -121,6 +132,7 @@ pub const FIRMWARE: [FirmwareSpec; 11] = [
         embsan_c: false,
         open_source: true,
         fuzzer: Fuzzer::Tardis,
+        irq: false,
     },
     FirmwareSpec {
         name: "InfiniTime",
@@ -129,6 +141,7 @@ pub const FIRMWARE: [FirmwareSpec; 11] = [
         embsan_c: false,
         open_source: true,
         fuzzer: Fuzzer::Tardis,
+        irq: false,
     },
     FirmwareSpec {
         name: "TP-Link WDR-7660",
@@ -137,12 +150,30 @@ pub const FIRMWARE: [FirmwareSpec; 11] = [
         embsan_c: false,
         open_source: false,
         fuzzer: Fuzzer::Tardis,
+        irq: false,
     },
 ];
 
-/// Looks up a firmware spec by name.
+/// Interrupt-rich companion firmware (not a Table-1 row): the InfiniTime
+/// build with its sensor interrupt surface enabled. The secondary vCPU
+/// services GPIO-edge and alarm interrupts from an ISR that shares
+/// unsynchronized state with the `irq_load` syscall — the ISR/mainloop
+/// race family that syscall-only firmware cannot exhibit. EMBSAN-D so the
+/// uninstrumented ISR is still observed by dynamic interception.
+pub const IRQ_FIRMWARE: FirmwareSpec = FirmwareSpec {
+    name: "InfiniTime-sensor",
+    base_os: BaseOs::FreeRtos,
+    arch: Arch::Armv,
+    embsan_c: false,
+    open_source: true,
+    fuzzer: Fuzzer::Tardis,
+    irq: true,
+};
+
+/// Looks up a firmware spec by name (Table-1 rows plus the interrupt-rich
+/// companion firmware).
 pub fn firmware_by_name(name: &str) -> Option<&'static FirmwareSpec> {
-    FIRMWARE.iter().find(|f| f.name == name)
+    FIRMWARE.iter().chain(std::iter::once(&IRQ_FIRMWARE)).find(|f| f.name == name)
 }
 
 impl FirmwareSpec {
@@ -164,15 +195,19 @@ impl FirmwareSpec {
             .collect()
     }
 
-    /// Whether this firmware needs a second vCPU (it has seeded races).
+    /// Whether this firmware needs a second vCPU (it has seeded races, or
+    /// its interrupt surface needs a CPU to service the ISR).
     pub fn needs_smp(&self) -> bool {
-        self.latent_bugs().iter().any(|b| b.kind == BugKind::Race)
+        self.irq || self.latent_bugs().iter().any(|b| b.kind == BugKind::Race)
     }
 
     /// Default build options for this firmware under the given sanitizer
     /// mode.
     pub fn build_options(&self, san: SanMode) -> BuildOptions {
-        BuildOptions::new(self.arch).san(san).cpus(if self.needs_smp() { 2 } else { 1 })
+        BuildOptions::new(self.arch)
+            .san(san)
+            .cpus(if self.needs_smp() { 2 } else { 1 })
+            .irq(self.irq)
     }
 
     /// The sanitizer mode matching the firmware's Table-1 instrumentation
@@ -232,6 +267,22 @@ mod tests {
         assert_eq!(firmware_by_name("TP-Link WDR-7660").unwrap().latent_bugs().len(), 2);
         assert!(firmware_by_name("OpenWRT-x86_64").unwrap().needs_smp());
         assert!(!firmware_by_name("InfiniTime").unwrap().needs_smp());
+    }
+
+    #[test]
+    fn irq_firmware_builds_with_interrupt_surface() {
+        let spec = firmware_by_name("InfiniTime-sensor").unwrap();
+        assert!(spec.irq);
+        assert!(spec.needs_smp());
+        assert!(!spec.embsan_c, "ISR observation relies on EMBSAN-D dynamic interception");
+        let image = spec.build(spec.default_san_mode()).unwrap();
+        assert!(image.symbol("irq_vector").is_some());
+        assert!(image.symbol("irq_shared").is_some());
+        // The base InfiniTime row is untouched: single-CPU, no ISR.
+        let base = firmware_by_name("InfiniTime").unwrap();
+        assert!(!base.irq);
+        let base_image = base.build(base.default_san_mode()).unwrap();
+        assert!(base_image.symbol("irq_vector").is_none());
     }
 
     #[test]

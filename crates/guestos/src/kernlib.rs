@@ -64,6 +64,16 @@ pub fn emit(opts: &BuildOptions, with_racy_bg: bool) -> (Asm, Vec<GlobalDef>) {
     // executor_loop never returns; halt defensively.
     asm.halt(0xDEAD);
     asm.label("boot.secondary");
+    if opts.irq {
+        // The secondary is the interrupt-servicing core: install the trap
+        // vector and enable interrupt delivery before parking. The primary
+        // keeps Ie = 0 so syscall dispatch is never preempted — the ISR and
+        // the executor genuinely run concurrently on different vCPUs.
+        asm.la(Reg::R2, "irq_vector");
+        asm.csrw(Reg::R2, embsan_emu::cpu::Csr::Tvec as u16);
+        asm.li(Reg::R3, 1);
+        asm.csrw(Reg::R3, embsan_emu::cpu::Csr::Ie as u16);
+    }
     asm.la(Reg::R2, "boot_release");
     asm.label("boot.spin");
     asm.lw(Reg::R3, Reg::R2, 0);
@@ -189,7 +199,37 @@ pub fn emit(opts: &BuildOptions, with_racy_bg: bool) -> (Asm, Vec<GlobalDef>) {
     }
     asm.jump("bg_task.loop");
 
-    let globals = vec![
+    // --- interrupt service routine (secondary CPU) -----------------------
+    // Asynchronous entry: every register may be live in the interrupted
+    // context, so the ISR saves exactly what it clobbers. Acks whatever the
+    // GPIO and alarm devices latched (write-1-to-clear), then bumps the
+    // `irq_shared` counter with a plain read-modify-write — deliberately
+    // unsynchronized against `sys_irq_load`'s mainloop increments, the
+    // classic ISR/mainloop shared-state race.
+    if opts.irq {
+        let gpio_pending = i64::from(profile.mmio_base + device::GPIO_BASE + 0x10);
+        let alarm_pending = i64::from(profile.mmio_base + device::ALARM_BASE + 0x0C);
+        asm.func("irq_vector");
+        asm.addi(Reg::SP, Reg::SP, -8);
+        asm.sw(Reg::A0, Reg::SP, 0);
+        asm.sw(Reg::A1, Reg::SP, 4);
+        asm.li(Reg::A0, gpio_pending);
+        asm.lw(Reg::A1, Reg::A0, 0);
+        asm.sw(Reg::A1, Reg::A0, 0);
+        asm.li(Reg::A0, alarm_pending);
+        asm.lw(Reg::A1, Reg::A0, 0);
+        asm.sw(Reg::A1, Reg::A0, 0);
+        asm.la(Reg::A0, "irq_shared");
+        asm.lw(Reg::A1, Reg::A0, 0);
+        asm.addi(Reg::A1, Reg::A1, 1);
+        asm.sw(Reg::A1, Reg::A0, 0);
+        asm.lw(Reg::A1, Reg::SP, 4);
+        asm.lw(Reg::A0, Reg::SP, 0);
+        asm.addi(Reg::SP, Reg::SP, 8);
+        asm.eret();
+    }
+
+    let mut globals = vec![
         GlobalDef::plain("banner_str", format!("{READY_BANNER}\0").into_bytes()),
         GlobalDef::plain("panic_str", b"guest panic\n\0".to_vec()),
         GlobalDef::plain("boot_release", vec![0; 4]),
@@ -197,6 +237,9 @@ pub fn emit(opts: &BuildOptions, with_racy_bg: bool) -> (Asm, Vec<GlobalDef>) {
         GlobalDef::plain("stats_lock", vec![0; 4]),
         GlobalDef::zeroed("racy_counter", 4),
     ];
+    if opts.irq {
+        globals.push(GlobalDef::zeroed("irq_shared", 4));
+    }
     (asm, globals)
 }
 

@@ -91,6 +91,14 @@ pub struct BuildOptions {
     /// that defeats immediate-scan dictionaries and needs comparison-operand
     /// harvesting (the directed-fuzzing evaluation firmware).
     pub wide_gates: bool,
+    /// Build the interrupt-driven concurrency surface: the secondary vCPU
+    /// installs an ISR (trap vector + interrupt enable) servicing the GPIO
+    /// and alarm devices, and the executor gains `irq_setup`/`irq_load`
+    /// syscalls. The ISR and the syscall path share unsynchronized state —
+    /// the ISR/mainloop race family that syscall-only workloads cannot
+    /// exercise. Requires `cpus >= 2`. Default off, so every pre-existing
+    /// image is byte-identical.
+    pub irq: bool,
 }
 
 impl BuildOptions {
@@ -104,6 +112,7 @@ impl BuildOptions {
             cpus: 1,
             kcov: false,
             wide_gates: false,
+            irq: false,
         }
     }
 
@@ -128,6 +137,13 @@ impl BuildOptions {
     /// Gates seeded bugs behind a single full-word key comparison.
     pub fn wide_gates(mut self, wide: bool) -> BuildOptions {
         self.wide_gates = wide;
+        self
+    }
+
+    /// Builds the interrupt-driven concurrency surface (ISR on the
+    /// secondary vCPU plus the `irq_setup`/`irq_load` syscalls).
+    pub fn irq(mut self, irq: bool) -> BuildOptions {
+        self.irq = irq;
         self
     }
 }

@@ -38,6 +38,13 @@ pub fn build_program(os: BaseOs, opts: &BuildOptions, bug_specs: &[BugSpec]) -> 
     for name in kernlib::NO_INSTRUMENT {
         program.no_instrument.insert(name.to_string());
     }
+    if opts.irq {
+        // The ISR is entered asynchronously with every register live;
+        // instrumentation's dummy-library calls assume function context
+        // and would corrupt the interrupted frame. EMBSAN-D still observes
+        // the ISR's accesses through dynamic interception.
+        program.no_instrument.insert("irq_vector".to_string());
+    }
 
     let AllocatorPieces { asm, globals, no_instrument, init_fn } = emit_for(os, opts);
     program.text.extend(asm.into_items());

@@ -99,6 +99,58 @@ pub fn merged_corpus(seed: u32, programs: usize, calls: usize) -> Vec<ExecProgra
     (0..programs).map(|_| corpus_program(&mut rng, calls)).collect()
 }
 
+/// Generates one interrupt-heavy program (for `BuildOptions::irq`
+/// firmware): arm the GPIO pattern generator — usually with a deferred
+/// call riding along — then keep the mainloop busy with unsynchronized
+/// `irq_load` read-modify-write bursts interleaved with ordinary object
+/// traffic. While the mainloop loops, the secondary CPU's ISR keeps
+/// firing on GPIO edges and touching the same counter — the ISR/mainloop
+/// interleaving a syscall-only workload never produces.
+pub fn irq_program(rng: &mut WorkloadRng, calls: usize) -> ExecProgram {
+    let calls = calls.min(crate::executor::MAX_CALLS);
+    let mut program = ExecProgram::new();
+    // Tight period = many edges per mainloop burst.
+    let period = 64 + rng.below(192);
+    let both_edges = rng.below(2);
+    let deferred = if rng.below(2) == 0 { 0 } else { 200 + rng.below(800) };
+    program.push(sys::IRQ_SETUP, &[period, both_edges, deferred]);
+    program.push(sys::ALLOC, &[64 + rng.below(192), 0]);
+    for _ in 0..calls.saturating_sub(2) {
+        match rng.below(100) {
+            // The mainloop half of the race dominates.
+            0..=54 => {
+                program.push(sys::IRQ_LOAD, &[32 + rng.below(480)]);
+            }
+            // Re-arm with a fresh cadence mid-program.
+            55..=64 => {
+                program.push(sys::IRQ_SETUP, &[64 + rng.below(448), rng.below(2), 0]);
+            }
+            // Ordinary object traffic so the address space stays noisy.
+            65..=84 => {
+                if rng.below(2) == 0 {
+                    program.push(sys::WRITE, &[0, rng.below(192), rng.below(256)]);
+                } else {
+                    program.push(sys::READ, &[0, rng.below(192)]);
+                }
+            }
+            _ => {
+                program.push(sys::HASH, &[100 + rng.below(200)]);
+            }
+        }
+        if program.calls.len() >= calls {
+            break;
+        }
+    }
+    program
+}
+
+/// Generates the interrupt-heavy corpus: `programs` programs of `calls`
+/// calls each.
+pub fn irq_corpus(seed: u32, programs: usize, calls: usize) -> Vec<ExecProgram> {
+    let mut rng = WorkloadRng::new(seed);
+    (0..programs).map(|_| irq_program(&mut rng, calls)).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

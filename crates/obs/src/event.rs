@@ -156,6 +156,27 @@ pub enum EventKind {
         /// 1-based retry attempt number.
         attempt: u32,
     },
+    /// A device latched pending interrupt line(s) onto the shared machine
+    /// interrupt (raise side of the IRQ lifecycle).
+    IrqRaised {
+        /// Raising device label (`gpio`, `alarm`, `timer`).
+        source: &'static str,
+        /// Pending bits newly latched.
+        lines: u32,
+    },
+    /// The guest acknowledged pending interrupt line(s) (write-1-to-clear).
+    IrqAcked {
+        /// Acknowledged device label.
+        source: &'static str,
+        /// Pending bits cleared.
+        lines: u32,
+    },
+    /// The guest scheduled a deferred call (software interrupt a fixed
+    /// number of retired instructions in the future).
+    DeferredCall {
+        /// Delay in retired instructions.
+        delay: u32,
+    },
 }
 
 impl EventKind {
@@ -176,6 +197,9 @@ impl EventKind {
             EventKind::DegradedMode { .. } => "degraded-mode",
             EventKind::JobLifecycle { .. } => "job-lifecycle",
             EventKind::RetryBackoff { .. } => "retry-backoff",
+            EventKind::IrqRaised { .. } => "irq-raised",
+            EventKind::IrqAcked { .. } => "irq-acked",
+            EventKind::DeferredCall { .. } => "deferred-call",
         }
     }
 
@@ -227,6 +251,12 @@ impl EventKind {
             }
             EventKind::RetryBackoff { op, attempt } => {
                 let _ = write!(out, ",\"op\":\"{op}\",\"attempt\":{attempt}");
+            }
+            EventKind::IrqRaised { source, lines } | EventKind::IrqAcked { source, lines } => {
+                let _ = write!(out, ",\"source\":\"{source}\",\"lines\":{lines}");
+            }
+            EventKind::DeferredCall { delay } => {
+                let _ = write!(out, ",\"delay\":{delay}");
             }
         }
     }

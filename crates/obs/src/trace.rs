@@ -43,6 +43,10 @@ pub struct TraceConfig {
     pub reports: bool,
     /// Engine events: watchdog trips, fault injections, epoch merges.
     pub engine: bool,
+    /// Interrupt-delivery events: raises, acknowledgements, deferred-call
+    /// scheduling. Execution-derived (devices are clocked on retired
+    /// instructions), so these stay on in the deterministic preset.
+    pub irq: bool,
 }
 
 impl TraceConfig {
@@ -60,6 +64,7 @@ impl TraceConfig {
             allocs: true,
             reports: true,
             engine: true,
+            irq: true,
         }
     }
 
@@ -88,6 +93,9 @@ impl TraceConfig {
             | EventKind::DegradedMode { .. }
             | EventKind::JobLifecycle { .. }
             | EventKind::RetryBackoff { .. } => self.engine,
+            EventKind::IrqRaised { .. }
+            | EventKind::IrqAcked { .. }
+            | EventKind::DeferredCall { .. } => self.irq,
         }
     }
 }

@@ -831,6 +831,8 @@ fn turn_inner(
             seed: ctx.start.seed,
             ready_budget: ctx.start.ready_budget,
             program_budget: ctx.start.program_budget,
+            model_free: ctx.start.model_free,
+            mmio_withheld: ctx.start.mmio_withheld,
         },
         checkpoint_interval: config.slice,
         // kill_after == total never fires (the loop exits first), so the
@@ -898,6 +900,9 @@ fn ensure_ctx(
         seed: spec.seed,
         ready_budget: config.ready_budget,
         program_budget: config.program_budget,
+        // Daemon campaigns always fuzz with the platform MMIO model.
+        model_free: None,
+        mmio_withheld: false,
     };
     let mut start = StartInfo {
         firmware: spec.firmware.clone(),
@@ -908,6 +913,8 @@ fn ensure_ctx(
         program_budget: campaign.program_budget,
         checkpoint_interval: config.slice,
         base_hash: 0,
+        model_free: campaign.model_free,
+        mmio_withheld: campaign.mmio_withheld,
     };
     let path = spec.journal_path(&config.state_dir);
     let (journal, resume) = if path.exists() {

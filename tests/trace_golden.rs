@@ -126,6 +126,50 @@ fn capture(case: &GoldenCase) -> String {
     embsan::obs::trace_to_jsonl(&events, &[("case", case.name), ("san", san), ("probe", mode)])
 }
 
+/// Captures the interrupt-rich FreeRTOS build's event stream: GPIO-edge
+/// and alarm interrupts serviced by the secondary vCPU's ISR while the
+/// `irq_load` mainloop races it over the shared counter. The trace is
+/// focused on the interrupt surface — irq-raised / irq-acked /
+/// deferred-call plus sanitizer reports — each on the retired-instruction
+/// clock, locking delivery order, acknowledgement pairing and the
+/// ISR/mainloop data-race reports.
+fn capture_irq() -> String {
+    let opts = BuildOptions::new(Arch::Armv).cpus(2).irq(true);
+    let image = os::freertos::build(&opts, &[]).expect("irq firmware builds");
+    let specs = reference_specs().expect("reference specs");
+    let artifacts = probe(&image, ProbeMode::DynamicSource, None).expect("probe succeeds");
+    let mut session = Session::with_cpus(&image, &specs, &artifacts, 2).expect("session");
+    session.run_to_ready(READY_BUDGET).expect("ready");
+
+    session.enable_tracing(TraceConfig {
+        irq: true,
+        reports: true,
+        // Everything else off: the golden locks the interrupt surface, not
+        // the (much denser) probe/check streams already pinned above.
+        cache: false,
+        probes: false,
+        checks: false,
+        allocs: false,
+        engine: false,
+        capacity: TraceConfig::DEFAULT_CAPACITY,
+    });
+
+    // Fixed workload: arm the GPIO pattern generator (period 96, both
+    // edges) with an alarm deferred call, then two mainloop bursts over
+    // the shared counter.
+    let mut program = ExecProgram::new();
+    program.push(sys::IRQ_SETUP, &[96, 1, 300]);
+    program.push(sys::IRQ_LOAD, &[200]);
+    program.push(sys::IRQ_LOAD, &[200]);
+    session.run_program(&program, 2_000_000).expect("irq program runs");
+
+    let events = session.take_trace();
+    embsan::obs::trace_to_jsonl(
+        &events,
+        &[("case", "freertos_irq"), ("san", "none"), ("probe", "dynamic-source")],
+    )
+}
+
 fn golden_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(format!("{name}.jsonl"))
 }
@@ -138,9 +182,11 @@ fn normalize(text: &str) -> Vec<String> {
 }
 
 fn check_case(name: &str) {
-    let case = case_by_name(name);
-    let actual = capture(case);
-    let path = golden_path(case.name);
+    check_golden(name, capture(case_by_name(name)));
+}
+
+fn check_golden(name: &str, actual: String) {
+    let path = golden_path(name);
     if std::env::var_os("EMBSAN_BLESS").is_some() {
         fs::create_dir_all(path.parent().unwrap()).expect("golden dir");
         fs::write(&path, &actual).expect("write golden");
@@ -231,4 +277,101 @@ fn golden_traces_cover_all_event_families() {
 fn captures_are_repeatable() {
     let case = case_by_name("freertos_embsan_d");
     assert_eq!(capture(case), capture(case));
+}
+
+#[test]
+fn golden_freertos_irq() {
+    check_golden("freertos_irq", capture_irq());
+}
+
+/// Guards the IRQ golden against vacuity: the capture must contain GPIO
+/// raises, acknowledgements, an alarm deferred call and the ISR/mainloop
+/// data-race reports, all on a monotone retired-instruction clock.
+#[test]
+fn irq_golden_covers_the_interrupt_surface() {
+    let text = capture_irq();
+    for family in ["irq-raised", "irq-acked", "deferred-call", "report"] {
+        assert!(
+            text.lines().any(|l| l.contains(&format!("\"event\":\"{family}\""))),
+            "missing event family {family} in:\n{text}"
+        );
+    }
+    assert!(text.contains("data-race"), "the ISR/mainloop race must be reported");
+    let clocks: Vec<u64> = text
+        .lines()
+        .skip(1)
+        .map(|line| {
+            let tail = line.split("\"clock\":").nth(1).expect("clock field");
+            tail.split(|c: char| !c.is_ascii_digit()).next().unwrap().parse().unwrap()
+        })
+        .collect();
+    assert!(clocks.windows(2).all(|w| w[0] <= w[1]), "clock must be monotone");
+    // IRQ captures are repeatable, like every other golden.
+    assert_eq!(text, capture_irq());
+}
+
+/// Interrupt delivery order is deterministic under CoW-forked snapshots:
+/// a worker session that adopts another worker's base image (sharing one
+/// copy-on-write RAM allocation) replays the exact same irq-raised /
+/// irq-acked / deferred-call stream, clock included, for arbitrary
+/// interrupt programs. Gated like `tests/property.rs`: the external
+/// `proptest` crate cannot be fetched in offline builds.
+#[cfg(feature = "proptest")]
+mod irq_cow_determinism {
+    use proptest::prelude::*;
+
+    use embsan::fuzz::campaign::{prepare_session, CampaignConfig};
+    use embsan::guestos::executor::{sys, ExecProgram};
+    use embsan::guestos::firmware_by_name;
+    use embsan::obs::TraceConfig;
+
+    /// The interrupt-only event stream of one program on a fresh session,
+    /// optionally CoW-forked from `base`.
+    fn irq_stream(
+        program: &ExecProgram,
+        base: Option<&std::sync::Arc<embsan::core::session::BaseImage>>,
+    ) -> String {
+        let spec = firmware_by_name("InfiniTime-sensor").unwrap();
+        let (mut session, _) = prepare_session(spec, &CampaignConfig::default()).unwrap();
+        if let Some(base) = base {
+            assert!(session.adopt_base(base).unwrap(), "hash-equal base must be adopted");
+        }
+        session.enable_tracing(TraceConfig::deterministic());
+        let mark = session.trace_mark();
+        session.run_program(program, 2_000_000).expect("program runs");
+        let events: Vec<_> = session
+            .drain_trace(mark)
+            .into_iter()
+            .filter(|e| matches!(e.kind.name(), "irq-raised" | "irq-acked" | "deferred-call"))
+            .collect();
+        embsan::obs::trace_to_jsonl(&events, &[])
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        #[test]
+        fn irq_delivery_order_survives_cow_forking(
+            period in 64u32..256,
+            both_edges in 0u32..2,
+            deferred in prop_oneof![Just(0u32), 200u32..1000],
+            loads in prop::collection::vec(50u32..400, 1..4),
+        ) {
+            let mut program = ExecProgram::new();
+            program.push(sys::IRQ_SETUP, &[period, both_edges, deferred]);
+            for n in &loads {
+                program.push(sys::IRQ_LOAD, &[*n]);
+            }
+            let spec = firmware_by_name("InfiniTime-sensor").unwrap();
+            let (leader, _) = prepare_session(spec, &CampaignConfig::default()).unwrap();
+            let base = std::sync::Arc::clone(leader.base().expect("leader has a base"));
+            let private = irq_stream(&program, None);
+            let forked = irq_stream(&program, Some(&base));
+            prop_assert_eq!(&private, &forked, "CoW fork must not reorder interrupts");
+            prop_assert!(
+                private.lines().count() > 1,
+                "interrupt program must raise at least one irq"
+            );
+        }
+    }
 }
